@@ -1,0 +1,157 @@
+// E8 — the [TNP14] protocol family trade-off (tutorial Part III, "Proposed
+// Solutions"): secure-agg vs white-noise vs domain-noise vs histogram for
+// the same GROUP-BY aggregate.
+//
+// Paper shape per protocol (tokens=100, sweeping tuples/groups/noise):
+//   secure-agg   — highest token work & rounds, zero structural leakage;
+//   white-noise  — one round, leakage = noisy group-size histogram;
+//   domain-noise — one round, higher bandwidth, near-uniform SSI view;
+//   histogram    — cheapest tokens, leakage = bucket histogram only.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+
+#include <memory>
+
+#include "global/agg_protocols.h"
+
+namespace {
+
+using pds::global::AggFunc;
+using pds::global::AggOutput;
+using pds::global::AggregationProtocol;
+using pds::global::Participant;
+using pds::global::SourceTuple;
+using pds::mcu::SecureToken;
+
+struct Fleet {
+  std::vector<std::unique_ptr<SecureToken>> tokens;
+  std::vector<Participant> participants;
+};
+
+std::unique_ptr<Fleet> BuildFleet(size_t num_tokens, size_t tuples_per_token,
+                                  uint32_t num_groups) {
+  auto fleet = std::make_unique<Fleet>();
+  pds::crypto::SymmetricKey key = pds::crypto::KeyFromString("agg-bench");
+  pds::Rng rng(31);
+  for (size_t i = 0; i < num_tokens; ++i) {
+    SecureToken::Config cfg;
+    cfg.token_id = i;
+    cfg.fleet_key = key;
+    fleet->tokens.push_back(std::make_unique<SecureToken>(cfg));
+    Participant p;
+    p.token = fleet->tokens.back().get();
+    for (size_t t = 0; t < tuples_per_token; ++t) {
+      p.tuples.push_back({"g" + std::to_string(rng.Uniform(num_groups)),
+                          static_cast<double>(rng.Uniform(100))});
+    }
+    fleet->participants.push_back(std::move(p));
+  }
+  return fleet;
+}
+
+Fleet* Cached(size_t tokens, size_t tuples, uint32_t groups) {
+  static std::map<std::tuple<size_t, size_t, uint32_t>,
+                  std::unique_ptr<Fleet>>
+      cache;
+  auto key = std::make_tuple(tokens, tuples, groups);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, BuildFleet(tokens, tuples, groups)).first;
+  }
+  return it->second.get();
+}
+
+void ReportOutput(benchmark::State& state, const AggOutput& out) {
+  state.counters["token_ops"] =
+      static_cast<double>(out.metrics.token_crypto_ops);
+  state.counters["bytes"] = static_cast<double>(out.metrics.bytes);
+  state.counters["rounds"] = static_cast<double>(out.metrics.rounds);
+  state.counters["ssi_classes"] =
+      static_cast<double>(out.leakage.distinct_classes);
+  state.counters["max_class_pct"] = 100.0 * out.leakage.MaxClassFraction();
+  state.counters["entropy_bits"] = out.leakage.ClassEntropyBits();
+}
+
+void RunProtocol(benchmark::State& state, AggregationProtocol* protocol,
+                 Fleet* fleet) {
+  AggOutput last;
+  for (auto _ : state) {
+    auto out = protocol->Execute(fleet->participants, AggFunc::kSum);
+    benchmark::DoNotOptimize(out);
+    if (out.ok()) {
+      last = std::move(out).value();
+    }
+  }
+  ReportOutput(state, last);
+}
+
+// Sweep total tuples (tokens * tuples_per_token) with 10 groups.
+void BM_SecureAgg(benchmark::State& state) {
+  Fleet* fleet = Cached(100, static_cast<size_t>(state.range(0)), 10);
+  pds::global::SecureAggProtocol protocol({/*partition_capacity=*/256});
+  RunProtocol(state, &protocol, fleet);
+}
+BENCHMARK(BM_SecureAgg)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_WhiteNoise(benchmark::State& state) {
+  Fleet* fleet = Cached(100, static_cast<size_t>(state.range(0)), 10);
+  pds::global::WhiteNoiseProtocol protocol(
+      {/*noise_ratio=*/0.2, /*noise_seed=*/5});
+  RunProtocol(state, &protocol, fleet);
+}
+BENCHMARK(BM_WhiteNoise)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_DomainNoise(benchmark::State& state) {
+  Fleet* fleet = Cached(100, static_cast<size_t>(state.range(0)), 10);
+  pds::global::DomainNoiseProtocol::Config cfg;
+  for (int g = 0; g < 10; ++g) {
+    cfg.domain.push_back("g" + std::to_string(g));
+  }
+  cfg.fakes_per_value = 1;
+  pds::global::DomainNoiseProtocol protocol(cfg);
+  RunProtocol(state, &protocol, fleet);
+}
+BENCHMARK(BM_DomainNoise)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_Histogram(benchmark::State& state) {
+  Fleet* fleet = Cached(100, static_cast<size_t>(state.range(0)), 10);
+  pds::global::HistogramProtocol protocol({/*num_buckets=*/4});
+  RunProtocol(state, &protocol, fleet);
+}
+BENCHMARK(BM_Histogram)->Arg(1)->Arg(10)->Arg(50);
+
+// Ablation: the white-noise privacy/cost knob.
+void BM_WhiteNoiseRatioAblation(benchmark::State& state) {
+  Fleet* fleet = Cached(100, 10, 10);
+  double ratio = static_cast<double>(state.range(0)) / 100.0;
+  pds::global::WhiteNoiseProtocol protocol({ratio, 5});
+  RunProtocol(state, &protocol, fleet);
+  state.counters["noise_ratio_pct"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_WhiteNoiseRatioAblation)->Arg(0)->Arg(20)->Arg(100)->Arg(300);
+
+// Ablation: histogram bucket count (leakage vs token balance).
+void BM_HistogramBucketsAblation(benchmark::State& state) {
+  Fleet* fleet = Cached(100, 10, 50);
+  pds::global::HistogramProtocol protocol(
+      {static_cast<uint32_t>(state.range(0))});
+  RunProtocol(state, &protocol, fleet);
+  state.counters["buckets"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_HistogramBucketsAblation)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// Ablation: group cardinality at fixed volume.
+void BM_SecureAggGroupsAblation(benchmark::State& state) {
+  Fleet* fleet =
+      Cached(100, 10, static_cast<uint32_t>(state.range(0)));
+  pds::global::SecureAggProtocol protocol({256});
+  RunProtocol(state, &protocol, fleet);
+  state.counters["groups"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SecureAggGroupsAblation)->Arg(2)->Arg(20)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,189 @@
+// E1 — the tutorial's headline index figure ("How to build an index in log
+// structures?"): looking up CUSTOMER.CITY='Lyon' via the Bloom-summary
+// key-log index costs |Log2| summary reads + ~1 read per hit page
+// ("Summary Scan (17 IOs)") versus a full table scan ("Table scan
+// (640 IOs)").
+//
+// We regenerate the row with a CUSTOMER table sized to ~640 data pages and
+// sweep table size, selectivity, and the bits-per-key ablation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "embdb/database.h"
+#include "flash/flash.h"
+#include "mcu/ram_gauge.h"
+
+namespace {
+
+using pds::embdb::ColumnType;
+using pds::embdb::Database;
+using pds::embdb::KeyLogIndex;
+using pds::embdb::Predicate;
+using pds::embdb::Schema;
+using pds::embdb::Tuple;
+using pds::embdb::Value;
+
+pds::flash::Geometry BenchGeometry() {
+  pds::flash::Geometry g;
+  g.page_size = 2048;
+  g.pages_per_block = 64;
+  g.block_count = 2048;  // 256 MB
+  return g;
+}
+
+struct Fixture {
+  std::unique_ptr<pds::flash::FlashChip> chip;
+  std::unique_ptr<pds::mcu::RamGauge> gauge;
+  std::unique_ptr<Database> db;
+  uint64_t rows = 0;
+  uint32_t cities = 0;
+};
+
+/// Loads a CUSTOMER table of `rows` rows with `cities` distinct cities and
+/// a key-log index on CITY (bits_per_key configurable).
+std::unique_ptr<Fixture> Load(uint64_t rows, uint32_t cities,
+                              double bits_per_key) {
+  auto f = std::make_unique<Fixture>();
+  f->chip = std::make_unique<pds::flash::FlashChip>(BenchGeometry());
+  f->gauge = std::make_unique<pds::mcu::RamGauge>(256 * 1024);
+  f->db = std::make_unique<Database>(f->chip.get(), f->gauge.get());
+  f->rows = rows;
+  f->cities = cities;
+
+  Schema customer("customer", {{"id", ColumnType::kUint64, ""},
+                               {"name", ColumnType::kString, ""},
+                               {"city", ColumnType::kString, ""}});
+  Database::TableOptions topts;
+  topts.data_blocks = 512;
+  topts.directory_blocks = 32;
+  if (!f->db->CreateTable(customer, topts).ok()) {
+    return nullptr;
+  }
+  Database::IndexOptions iopts;
+  iopts.key_log.bits_per_key = bits_per_key;
+  iopts.keys_blocks = 64;
+  iopts.bloom_blocks = 16;
+  if (!f->db->CreateKeyIndex("customer", "city", iopts).ok()) {
+    return nullptr;
+  }
+  pds::Rng rng(1);
+  for (uint64_t i = 0; i < rows; ++i) {
+    Tuple t = {Value::U64(i),
+               Value::Str("customer-name-padding-" + std::to_string(i)),
+               Value::Str("city-" + std::to_string(rng.Uniform(cities)))};
+    if (!f->db->Insert("customer", t).ok()) {
+      return nullptr;
+    }
+  }
+  return f;
+}
+
+Fixture* CachedFixture(uint64_t rows, uint32_t cities, double bpk) {
+  static std::map<std::tuple<uint64_t, uint32_t, int>,
+                  std::unique_ptr<Fixture>>
+      cache;
+  auto key = std::make_tuple(rows, cities, static_cast<int>(bpk * 10));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, Load(rows, cities, bpk)).first;
+  }
+  return it->second.get();
+}
+
+// Baseline: full table scan with a predicate.
+void BM_TableScan(benchmark::State& state) {
+  Fixture* f = CachedFixture(static_cast<uint64_t>(state.range(0)), 100,
+                             16.0);
+  Predicate p{2, Predicate::Op::kEq, Value::Str("city-7")};
+  uint64_t reads = 0, matches = 0;
+  for (auto _ : state) {
+    f->chip->ResetStats();
+    matches = 0;
+    auto s = f->db->SelectScan("customer", {p},
+                               [&](uint64_t, const Tuple&) {
+                                 ++matches;
+                                 return pds::Status::Ok();
+                               });
+    benchmark::DoNotOptimize(s);
+    reads = f->chip->stats().page_reads;
+  }
+  state.counters["page_reads"] = static_cast<double>(reads);
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["table_pages"] = static_cast<double>(
+      f->db->table("customer")->num_data_pages());
+}
+BENCHMARK(BM_TableScan)->Arg(5000)->Arg(20000)->Arg(40000);
+
+// The Bloom-summary index lookup, with the IO breakdown of the slide.
+void BM_SummaryScanLookup(benchmark::State& state) {
+  Fixture* f = CachedFixture(static_cast<uint64_t>(state.range(0)), 100,
+                             16.0);
+  KeyLogIndex* index = f->db->key_index("customer", "city");
+  std::vector<uint64_t> rowids;
+  KeyLogIndex::LookupStats stats;
+  uint64_t reads = 0;
+  for (auto _ : state) {
+    f->chip->ResetStats();
+    auto s = index->Lookup(Value::Str("city-7"), &rowids, &stats);
+    benchmark::DoNotOptimize(s);
+    reads = f->chip->stats().page_reads;
+  }
+  state.counters["page_reads"] = static_cast<double>(reads);
+  state.counters["summary_pages"] = static_cast<double>(stats.summary_pages);
+  state.counters["key_pages"] = static_cast<double>(stats.key_pages);
+  state.counters["false_pos_pages"] =
+      static_cast<double>(stats.false_positive_pages);
+  state.counters["matches"] = static_cast<double>(stats.matches);
+}
+BENCHMARK(BM_SummaryScanLookup)->Arg(5000)->Arg(20000)->Arg(40000);
+
+// Selectivity sweep: more duplicates per city -> more true hit pages.
+void BM_SummaryScanSelectivity(benchmark::State& state) {
+  Fixture* f = CachedFixture(20000,
+                             static_cast<uint32_t>(state.range(0)), 16.0);
+  KeyLogIndex* index = f->db->key_index("customer", "city");
+  std::vector<uint64_t> rowids;
+  KeyLogIndex::LookupStats stats;
+  for (auto _ : state) {
+    auto s = index->Lookup(Value::Str("city-3"), &rowids, &stats);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["summary_pages"] = static_cast<double>(stats.summary_pages);
+  state.counters["key_pages"] = static_cast<double>(stats.key_pages);
+  state.counters["matches"] = static_cast<double>(stats.matches);
+}
+BENCHMARK(BM_SummaryScanSelectivity)->Arg(10)->Arg(100)->Arg(1000);
+
+// Ablation: bits/key of the Bloom summary vs false-positive page reads.
+void BM_BloomBitsAblation(benchmark::State& state) {
+  double bpk = static_cast<double>(state.range(0));
+  Fixture* f = CachedFixture(20000, 20000, bpk);  // unique keys
+  KeyLogIndex* index = f->db->key_index("customer", "city");
+  std::vector<uint64_t> rowids;
+  KeyLogIndex::LookupStats stats;
+  uint64_t fp = 0, probes = 0;
+  for (auto _ : state) {
+    fp = 0;
+    probes = 0;
+    // Probe absent keys: every key-page read is a false positive.
+    for (int i = 0; i < 50; ++i) {
+      auto s = index->Lookup(Value::Str("absent-" + std::to_string(i)),
+                             &rowids, &stats);
+      benchmark::DoNotOptimize(s);
+      fp += stats.false_positive_pages;
+      ++probes;
+    }
+  }
+  state.counters["bits_per_key"] = bpk;
+  state.counters["false_pos_pages_per_probe"] =
+      static_cast<double>(fp) / static_cast<double>(probes);
+  state.counters["summary_pages"] = static_cast<double>(stats.summary_pages);
+}
+BENCHMARK(BM_BloomBitsAblation)->Arg(2)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

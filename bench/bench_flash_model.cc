@@ -1,0 +1,121 @@
+// E2 — flash constraint ladder (tutorial Part II, "Severe hardware
+// constraints"): sequential page programs are cheap; random in-place
+// updates force block erase + rewrite ("erase by block vs write by page",
+// "high cost of random writes").
+//
+// Reported counters: programs, erases, and simulated device time under the
+// datasheet cost model. The paper's shape: random updates cost 1-2 orders
+// of magnitude more device time than sequential writes of the same volume.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "flash/flash.h"
+
+namespace {
+
+using pds::flash::CostModel;
+using pds::flash::FlashChip;
+using pds::flash::Geometry;
+using pds::flash::Stats;
+
+Geometry BenchGeometry() {
+  Geometry g;
+  g.page_size = 2048;
+  g.pages_per_block = 64;
+  g.block_count = 512;
+  return g;
+}
+
+// Writes `num_pages` pages strictly sequentially (the log-structured way).
+void BM_SequentialWrite(benchmark::State& state) {
+  const uint32_t num_pages = static_cast<uint32_t>(state.range(0));
+  CostModel cost;
+  Stats total;
+  pds::Bytes data(2048, 0xAB);
+  for (auto _ : state) {
+    FlashChip chip(BenchGeometry());
+    for (uint32_t p = 0; p < num_pages; ++p) {
+      benchmark::DoNotOptimize(chip.ProgramPage(p, pds::ByteView(data)));
+    }
+    total = chip.stats();
+  }
+  state.counters["programs"] = static_cast<double>(total.page_programs);
+  state.counters["erases"] = static_cast<double>(total.block_erases);
+  state.counters["device_ms"] = total.TimeUs(cost) / 1000.0;
+  state.counters["us_per_write"] =
+      total.TimeUs(cost) / static_cast<double>(num_pages);
+}
+BENCHMARK(BM_SequentialWrite)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Updates `num_updates` random pages in place, as a naive structure (e.g.,
+// an update-in-place B-tree) would: each update must erase the whole block
+// and reprogram its 64 pages.
+void BM_RandomInPlaceUpdate(benchmark::State& state) {
+  const uint32_t num_updates = static_cast<uint32_t>(state.range(0));
+  CostModel cost;
+  Stats total;
+  pds::Bytes data(2048, 0xCD);
+  for (auto _ : state) {
+    Geometry g = BenchGeometry();
+    FlashChip chip(g);
+    // Pre-fill the chip.
+    for (uint32_t p = 0; p < g.total_pages(); ++p) {
+      (void)chip.ProgramPage(p, pds::ByteView(data));
+    }
+    chip.ResetStats();
+    pds::Rng rng(42);
+    pds::Bytes page;
+    for (uint32_t u = 0; u < num_updates; ++u) {
+      uint32_t target = static_cast<uint32_t>(rng.Uniform(g.total_pages()));
+      uint32_t block = target / g.pages_per_block;
+      uint32_t first = block * g.pages_per_block;
+      // Read-modify-write of the whole block (no spare blocks modeled;
+      // a real FTL amortizes but pays the same asymptotics under churn).
+      std::vector<pds::Bytes> saved(g.pages_per_block);
+      for (uint32_t i = 0; i < g.pages_per_block; ++i) {
+        (void)chip.ReadPage(first + i, &saved[i]);
+      }
+      (void)chip.EraseBlock(block);
+      saved[target - first] = data;
+      for (uint32_t i = 0; i < g.pages_per_block; ++i) {
+        (void)chip.ProgramPage(first + i, pds::ByteView(saved[i]));
+      }
+    }
+    total = chip.stats();
+  }
+  state.counters["programs"] = static_cast<double>(total.page_programs);
+  state.counters["erases"] = static_cast<double>(total.block_erases);
+  state.counters["device_ms"] = total.TimeUs(cost) / 1000.0;
+  state.counters["us_per_write"] =
+      total.TimeUs(cost) / static_cast<double>(num_updates);
+}
+BENCHMARK(BM_RandomInPlaceUpdate)->Arg(256)->Arg(1024);
+
+// The log-structured alternative to random updates: append the new version
+// sequentially (out-of-place), which is what every Part-II structure does.
+void BM_OutOfPlaceUpdate(benchmark::State& state) {
+  const uint32_t num_updates = static_cast<uint32_t>(state.range(0));
+  CostModel cost;
+  Stats total;
+  pds::Bytes data(2048, 0xEF);
+  for (auto _ : state) {
+    Geometry g = BenchGeometry();
+    FlashChip chip(g);
+    chip.ResetStats();
+    for (uint32_t u = 0; u < num_updates; ++u) {
+      (void)chip.ProgramPage(u, pds::ByteView(data));
+    }
+    total = chip.stats();
+  }
+  state.counters["programs"] = static_cast<double>(total.page_programs);
+  state.counters["erases"] = static_cast<double>(total.block_erases);
+  state.counters["device_ms"] = total.TimeUs(cost) / 1000.0;
+  state.counters["us_per_write"] =
+      total.TimeUs(cost) / static_cast<double>(num_updates);
+}
+BENCHMARK(BM_OutOfPlaceUpdate)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// E9 — weakly-malicious SSI detection (tutorial threat model B: "WM +
+// Broken -> must be prevented via security primitives, see [ANP13]").
+//
+// The SSI drops/duplicates/alters sealed tuples at a configurable rate;
+// the verifier token checks per-tuple MACs + per-participant manifests.
+// Paper shape: detection probability is 1 whenever at least one action
+// occurred (deterministic primitives), so a covert adversary is deterred;
+// the bench also reports the token-side verification cost that buys it.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+
+#include <memory>
+
+#include "global/integrity.h"
+
+namespace {
+
+using pds::global::MakeManifest;
+using pds::global::Manifest;
+using pds::global::SealedTuple;
+using pds::global::SealTuples;
+using pds::global::TamperingSsi;
+using pds::global::VerifyBatch;
+using pds::mcu::SecureToken;
+
+struct Setup {
+  std::unique_ptr<SecureToken> producer;
+  std::unique_ptr<SecureToken> verifier;
+  std::vector<SealedTuple> batch;
+  Manifest manifest;
+};
+
+std::unique_ptr<Setup> Build(size_t n) {
+  auto s = std::make_unique<Setup>();
+  SecureToken::Config cfg;
+  cfg.fleet_key = pds::crypto::KeyFromString("integrity-bench");
+  cfg.token_id = 1;
+  s->producer = std::make_unique<SecureToken>(cfg);
+  cfg.token_id = 2;
+  s->verifier = std::make_unique<SecureToken>(cfg);
+
+  std::vector<pds::Bytes> cts;
+  for (size_t i = 0; i < n; ++i) {
+    std::string payload = "tuple-payload-" + std::to_string(i);
+    auto ct = s->producer->EncryptNonDet(
+        pds::ByteView(std::string_view(payload)));
+    cts.push_back(std::move(ct).value());
+  }
+  s->batch = std::move(SealTuples(s->producer.get(), 1, cts)).value();
+  s->manifest = std::move(MakeManifest(s->producer.get(), 1, n)).value();
+  return s;
+}
+
+// Detection probability vs tamper rate: run many tampered batches and
+// count how often verification flags them.
+void BM_DetectionRate(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 1000.0;
+  auto setup = Build(200);
+  uint64_t tampered_batches = 0, detected = 0, trials = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    std::vector<SealedTuple> batch = setup->batch;
+    TamperingSsi ssi({rate / 3, rate / 3, rate / 3, seed++});
+    auto actions = ssi.Tamper(&batch);
+    auto verdict =
+        VerifyBatch(setup->verifier.get(), batch, {setup->manifest});
+    benchmark::DoNotOptimize(verdict);
+    ++trials;
+    if (actions.total() > 0) {
+      ++tampered_batches;
+      if (verdict.ok() && !verdict->ok) {
+        ++detected;
+      }
+    }
+  }
+  state.counters["tamper_rate_permille"] =
+      static_cast<double>(state.range(0));
+  state.counters["detection_rate"] =
+      tampered_batches == 0
+          ? 1.0
+          : static_cast<double>(detected) /
+                static_cast<double>(tampered_batches);
+  state.counters["tampered_batches"] =
+      static_cast<double>(tampered_batches);
+  state.counters["trials"] = static_cast<double>(trials);
+}
+BENCHMARK(BM_DetectionRate)->Arg(1)->Arg(10)->Arg(100)->Arg(300);
+
+// Cost of the defence: sealing and verifying per tuple.
+void BM_SealTuples(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto setup = Build(1);
+  std::vector<pds::Bytes> cts;
+  for (size_t i = 0; i < n; ++i) {
+    cts.push_back(std::move(setup->producer
+                                ->EncryptNonDet(pds::ByteView(
+                                    std::string_view("payload")))
+                                .value()));
+  }
+  for (auto _ : state) {
+    auto sealed = SealTuples(setup->producer.get(), 1, cts);
+    benchmark::DoNotOptimize(sealed);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SealTuples)->Arg(100)->Arg(1000);
+
+void BM_VerifyCleanBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto setup = Build(n);
+  for (auto _ : state) {
+    auto verdict = VerifyBatch(setup->verifier.get(), setup->batch,
+                               {setup->manifest});
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_VerifyCleanBatch)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// RAM-budget ablation (DESIGN.md §5, the tutorial's co-design question):
+// how does the MCU RAM budget shape each treatment's feasibility and IO?
+//
+// Shapes: external-sort flash IO falls as the budget grows until the merge
+// becomes single-pass (then flat — more RAM buys nothing); pipeline search
+// feasibility is a step function at keywords * page_size; streaming
+// aggregation caps the group count linearly in the budget.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "embdb/executor.h"
+#include "flash/flash.h"
+#include "logstore/external_sort.h"
+#include "mcu/calibration.h"
+#include "mcu/ram_gauge.h"
+#include "search/search_engine.h"
+
+namespace {
+
+pds::flash::Geometry BigGeometry() {
+  pds::flash::Geometry g;
+  g.page_size = 2048;
+  g.pages_per_block = 64;
+  g.block_count = 4096;
+  return g;
+}
+
+// External sort of 100k 32-byte entries under a budget sweep.
+void BM_SortUnderBudget(benchmark::State& state) {
+  const size_t budget = static_cast<size_t>(state.range(0)) * 1024;
+  const uint64_t n = 100000;
+  pds::flash::Stats io;
+  size_t runs = 0;
+  for (auto _ : state) {
+    auto chip = std::make_unique<pds::flash::FlashChip>(BigGeometry());
+    pds::flash::PartitionAllocator alloc(chip.get());
+    pds::mcu::RamGauge gauge(budget + 8 * 1024);
+    pds::logstore::ExternalSorter::Options opts;
+    opts.record_size = 32;
+    opts.ram_budget_bytes = budget;
+    pds::logstore::ExternalSorter sorter(&alloc, opts, &gauge);
+    pds::Rng rng(7);
+    uint8_t rec[32] = {0};
+    for (uint64_t i = 0; i < n; ++i) {
+      pds::EncodeU64BE(rec, rng.Next());
+      (void)sorter.Add(pds::ByteView(rec, 32));
+    }
+    runs = sorter.num_runs() + 1;
+    chip->ResetStats();
+    benchmark::DoNotOptimize(
+        sorter.Finish([](pds::ByteView) { return pds::Status::Ok(); }));
+    io = chip->stats();
+  }
+  state.counters["budget_kb"] = static_cast<double>(budget) / 1024;
+  state.counters["merge_reads"] = static_cast<double>(io.page_reads);
+  state.counters["merge_programs"] = static_cast<double>(io.page_programs);
+  state.counters["initial_runs"] = static_cast<double>(runs);
+  state.counters["single_pass_needs_kb"] =
+      static_cast<double>(pds::mcu::SinglePassSortRam(n, 32, 2048)) / 1024;
+}
+BENCHMARK(BM_SortUnderBudget)->Arg(2)->Arg(8)->Arg(32)->Arg(96)->Arg(256);
+
+// Pipeline search feasibility: k-keyword query under a budget sweep.
+void BM_SearchUnderBudget(benchmark::State& state) {
+  const size_t budget = static_cast<size_t>(state.range(0)) * 1024;
+  const int keywords = static_cast<int>(state.range(1));
+
+  auto chip = std::make_unique<pds::flash::FlashChip>(BigGeometry());
+  pds::flash::PartitionAllocator alloc(chip.get());
+  pds::mcu::RamGauge gauge(budget);
+  auto part = alloc.Allocate(256);
+  pds::search::EmbeddedSearchEngine::Options opts;
+  opts.index.num_buckets = 16;
+  opts.index.insert_buffer_bytes = 1024;
+  pds::search::EmbeddedSearchEngine engine(*part, &gauge, opts);
+  bool init_ok = engine.Init().ok();
+  if (init_ok) {
+    pds::Rng rng(5);
+    for (int d = 0; d < 500; ++d) {
+      std::string text;
+      for (int w = 0; w < 8; ++w) {
+        text += "term" + std::to_string(rng.Uniform(50)) + " ";
+      }
+      (void)engine.AddDocument(text);
+    }
+    (void)engine.Flush();
+  }
+  std::vector<std::string> query;
+  for (int k = 0; k < keywords; ++k) {
+    query.push_back("term" + std::to_string(3 + k));
+  }
+
+  bool feasible = false;
+  for (auto _ : state) {
+    if (!init_ok) {
+      continue;
+    }
+    auto results = engine.Search(query, 10);
+    feasible = results.ok();
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["budget_kb"] = static_cast<double>(budget) / 1024;
+  state.counters["keywords"] = keywords;
+  state.counters["feasible"] = (init_ok && feasible) ? 1 : 0;
+  state.counters["needed_bytes"] = static_cast<double>(
+      pds::mcu::SearchQueryRam(static_cast<size_t>(keywords), 2048, 10, 16,
+                               1024));
+}
+BENCHMARK(BM_SearchUnderBudget)
+    ->Args({4, 1})
+    ->Args({4, 3})
+    ->Args({8, 3})
+    ->Args({16, 5})
+    ->Args({64, 5});
+
+// Streaming aggregation: max distinct groups before the budget trips.
+void BM_AggregationGroupCapacity(benchmark::State& state) {
+  const size_t budget = static_cast<size_t>(state.range(0)) * 1024;
+  uint64_t max_groups = 0;
+  for (auto _ : state) {
+    pds::mcu::RamGauge gauge(budget);
+    pds::embdb::Aggregator agg(pds::embdb::Aggregator::Func::kSum, &gauge);
+    max_groups = 0;
+    for (uint64_t g = 0; g < 1u << 20; ++g) {
+      if (!agg.Add(pds::embdb::Value::U64(g), 1.0).ok()) {
+        break;
+      }
+      ++max_groups;
+    }
+    benchmark::DoNotOptimize(agg.Finish());
+  }
+  state.counters["budget_kb"] = static_cast<double>(budget) / 1024;
+  state.counters["max_groups"] = static_cast<double>(max_groups);
+}
+BENCHMARK(BM_AggregationGroupCapacity)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

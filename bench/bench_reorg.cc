@@ -1,0 +1,182 @@
+// E4 — index reorganization (tutorial Part II, "Scalability => timely
+// reorganize the index"): the sequential key-log index degrades linearly
+// with size; reorganizing it into the B-tree-like structure (log-only
+// external sort + bottom-up build) makes lookups O(height).
+//
+// Paper shape: lookup IO before reorg grows with the log size, after reorg
+// it is flat (~height + 1); the reorganization itself is a sequential pass
+// whose cost amortizes after a modest number of lookups (crossover
+// reported).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+
+#include <map>
+#include <memory>
+
+#include "embdb/key_index.h"
+#include "embdb/reorganize.h"
+#include "flash/flash.h"
+#include "mcu/ram_gauge.h"
+
+namespace {
+
+using pds::embdb::KeyLogIndex;
+using pds::embdb::Reorganizer;
+using pds::embdb::TreeIndex;
+using pds::embdb::Value;
+
+pds::flash::Geometry BigGeometry() {
+  pds::flash::Geometry g;
+  g.page_size = 2048;
+  g.pages_per_block = 64;
+  g.block_count = 4096;  // 512 MB
+  return g;
+}
+
+struct Fixture {
+  std::unique_ptr<pds::flash::FlashChip> chip;
+  std::unique_ptr<pds::mcu::RamGauge> gauge;
+  std::unique_ptr<pds::flash::PartitionAllocator> alloc;
+  std::unique_ptr<KeyLogIndex> key_log;
+  std::unique_ptr<TreeIndex> tree;
+  uint64_t entries = 0;
+  pds::flash::Stats reorg_cost;
+};
+
+std::unique_ptr<Fixture> Build(uint64_t entries) {
+  auto f = std::make_unique<Fixture>();
+  f->chip = std::make_unique<pds::flash::FlashChip>(BigGeometry());
+  f->gauge = std::make_unique<pds::mcu::RamGauge>(64 * 1024);
+  f->alloc =
+      std::make_unique<pds::flash::PartitionAllocator>(f->chip.get());
+  f->entries = entries;
+
+  auto keys = f->alloc->Allocate(512);
+  auto bloom = f->alloc->Allocate(64);
+  if (!keys.ok() || !bloom.ok()) {
+    return nullptr;
+  }
+  f->key_log = std::make_unique<KeyLogIndex>(*keys, *bloom, f->gauge.get(),
+                                             KeyLogIndex::Options{});
+  if (!f->key_log->Init().ok()) {
+    return nullptr;
+  }
+  pds::Rng rng(13);
+  for (uint64_t i = 0; i < entries; ++i) {
+    if (!f->key_log->Insert(Value::U64(rng.Next() % (entries * 4)), i)
+             .ok()) {
+      return nullptr;
+    }
+  }
+
+  // Reorganize once, recording the flash cost of the transformation.
+  pds::flash::Stats before = f->chip->stats();
+  Reorganizer::Options opts;
+  opts.sort_ram_bytes = 16 * 1024;
+  auto tree = Reorganizer::Reorganize(f->key_log.get(), f->alloc.get(),
+                                      f->gauge.get(), opts);
+  if (!tree.ok()) {
+    return nullptr;
+  }
+  f->reorg_cost = f->chip->stats() - before;
+  f->tree = std::make_unique<TreeIndex>(std::move(tree).value());
+  return f;
+}
+
+Fixture* Cached(uint64_t entries) {
+  static std::map<uint64_t, std::unique_ptr<Fixture>> cache;
+  auto it = cache.find(entries);
+  if (it == cache.end()) {
+    it = cache.emplace(entries, Build(entries)).first;
+  }
+  return it->second.get();
+}
+
+void BM_KeyLogLookup(benchmark::State& state) {
+  Fixture* f = Cached(static_cast<uint64_t>(state.range(0)));
+  pds::Rng rng(21);
+  std::vector<uint64_t> rowids;
+  KeyLogIndex::LookupStats stats;
+  uint64_t reads = 0;
+  for (auto _ : state) {
+    f->chip->ResetStats();
+    auto s = f->key_log->Lookup(
+        Value::U64(rng.Next() % (f->entries * 4)), &rowids, &stats);
+    benchmark::DoNotOptimize(s);
+    reads += f->chip->stats().page_reads;
+  }
+  state.counters["page_reads_per_lookup"] =
+      static_cast<double>(reads) / static_cast<double>(state.iterations());
+  state.counters["key_pages_total"] =
+      static_cast<double>(f->key_log->num_key_pages_flushed());
+}
+BENCHMARK(BM_KeyLogLookup)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_TreeLookup(benchmark::State& state) {
+  Fixture* f = Cached(static_cast<uint64_t>(state.range(0)));
+  pds::Rng rng(22);
+  std::vector<uint64_t> rowids;
+  TreeIndex::LookupStats stats;
+  uint64_t reads = 0;
+  for (auto _ : state) {
+    f->chip->ResetStats();
+    auto s = f->tree->Lookup(Value::U64(rng.Next() % (f->entries * 4)),
+                             &rowids, &stats);
+    benchmark::DoNotOptimize(s);
+    reads += f->chip->stats().page_reads;
+  }
+  double per_lookup =
+      static_cast<double>(reads) / static_cast<double>(state.iterations());
+  state.counters["page_reads_per_lookup"] = per_lookup;
+  state.counters["tree_height"] = static_cast<double>(f->tree->height());
+
+  // Amortization: after how many lookups does reorg IO pay for itself?
+  Fixture* same = f;
+  double keylog_cost =
+      static_cast<double>(same->key_log->num_summary_pages_flushed()) + 2;
+  double saved_per_lookup = keylog_cost - per_lookup;
+  double reorg_io = static_cast<double>(same->reorg_cost.page_reads +
+                                        same->reorg_cost.page_programs);
+  state.counters["crossover_lookups"] =
+      saved_per_lookup > 0 ? reorg_io / saved_per_lookup : -1;
+}
+BENCHMARK(BM_TreeLookup)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_ReorganizeCost(benchmark::State& state) {
+  // Measures a fresh reorganization end-to-end (time + flash ops).
+  const uint64_t entries = static_cast<uint64_t>(state.range(0));
+  pds::flash::Stats cost;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto chip = std::make_unique<pds::flash::FlashChip>(BigGeometry());
+    pds::mcu::RamGauge gauge(64 * 1024);
+    pds::flash::PartitionAllocator alloc(chip.get());
+    auto keys = alloc.Allocate(512);
+    auto bloom = alloc.Allocate(64);
+    KeyLogIndex source(*keys, *bloom, &gauge, {});
+    (void)source.Init();
+    pds::Rng rng(5);
+    for (uint64_t i = 0; i < entries; ++i) {
+      (void)source.Insert(Value::U64(rng.Next()), i);
+    }
+    chip->ResetStats();
+    state.ResumeTiming();
+
+    auto tree = Reorganizer::Reorganize(&source, &alloc, &gauge, {});
+    benchmark::DoNotOptimize(tree);
+    cost = chip->stats();
+  }
+  pds::flash::CostModel model;
+  state.counters["flash_reads"] = static_cast<double>(cost.page_reads);
+  state.counters["flash_programs"] = static_cast<double>(cost.page_programs);
+  state.counters["device_ms"] = cost.TimeUs(model) / 1000.0;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(entries));
+}
+BENCHMARK(BM_ReorganizeCost)->Arg(10000)->Arg(50000)->Arg(200000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

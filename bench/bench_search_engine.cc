@@ -1,0 +1,181 @@
+// E3 — embedded search engine (tutorial Part II, first illustration):
+// pipeline top-N merge uses one flash page of RAM per query keyword vs the
+// naive evaluator's container-per-docid. Sweeps corpus size and keyword
+// count; reports page reads and RAM high-water.
+//
+// Paper shape: pipeline RAM stays flat as the corpus grows; the naive
+// evaluator's RAM grows linearly with matching documents and blows the
+// 64 KB budget, while both return identical rankings when naive fits.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "flash/flash.h"
+#include "mcu/ram_gauge.h"
+#include "search/search_engine.h"
+
+namespace {
+
+using pds::search::EmbeddedSearchEngine;
+
+struct Fixture {
+  std::unique_ptr<pds::flash::FlashChip> chip;
+  std::unique_ptr<pds::mcu::RamGauge> gauge;
+  std::unique_ptr<EmbeddedSearchEngine> engine;
+};
+
+std::unique_ptr<Fixture> Build(int num_docs) {
+  auto f = std::make_unique<Fixture>();
+  pds::flash::Geometry g;
+  g.page_size = 2048;
+  g.pages_per_block = 64;
+  g.block_count = 2048;
+  f->chip = std::make_unique<pds::flash::FlashChip>(g);
+  f->gauge = std::make_unique<pds::mcu::RamGauge>(10 * 1024 * 1024);
+  pds::flash::PartitionAllocator alloc(f->chip.get());
+  auto part = alloc.Allocate(1536);
+  if (!part.ok()) {
+    return nullptr;
+  }
+  // A small bucket count + larger insert buffer keeps flushed bucket pages
+  // reasonably full at corpus scale (underfull pages waste the partition).
+  EmbeddedSearchEngine::Options opts;
+  opts.index.num_buckets = 16;
+  opts.index.insert_buffer_bytes = 16384;
+  f->engine = std::make_unique<EmbeddedSearchEngine>(*part, f->gauge.get(),
+                                                     opts);
+  if (!f->engine->Init().ok()) {
+    return nullptr;
+  }
+  // Zipf-distributed vocabulary of 1000 terms.
+  pds::Rng rng(3);
+  pds::ZipfSampler zipf(1000, 0.9, 5);
+  for (int d = 0; d < num_docs; ++d) {
+    std::string text;
+    int len = 8 + static_cast<int>(rng.Uniform(16));
+    for (int w = 0; w < len; ++w) {
+      text += "term" + std::to_string(zipf.Sample()) + " ";
+    }
+    if (!f->engine->AddDocument(text).ok()) {
+      return nullptr;
+    }
+  }
+  (void)f->engine->Flush();
+  return f;
+}
+
+Fixture* Cached(int num_docs) {
+  static std::map<int, std::unique_ptr<Fixture>> cache;
+  auto it = cache.find(num_docs);
+  if (it == cache.end()) {
+    it = cache.emplace(num_docs, Build(num_docs)).first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> QueryTerms(int k) {
+  // Mix of common (low rank) and rarer terms.
+  std::vector<std::string> q;
+  for (int i = 0; i < k; ++i) {
+    q.push_back("term" + std::to_string(3 + i * 17));
+  }
+  return q;
+}
+
+void BM_PipelineSearch(benchmark::State& state) {
+  Fixture* f = Cached(static_cast<int>(state.range(0)));
+  if (f == nullptr) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  auto query = QueryTerms(static_cast<int>(state.range(1)));
+  uint64_t reads = 0;
+  size_t ram = 0, hits = 0;
+  for (auto _ : state) {
+    f->chip->ResetStats();
+    f->gauge->ResetHighWater();
+    auto results = f->engine->Search(query, 10);
+    benchmark::DoNotOptimize(results);
+    reads = f->chip->stats().page_reads;
+    ram = f->gauge->high_water();
+    hits = results.ok() ? results->size() : 0;
+  }
+  state.counters["page_reads"] = static_cast<double>(reads);
+  state.counters["ram_high_water"] = static_cast<double>(ram);
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["index_pages"] =
+      static_cast<double>(f->engine->num_index_pages());
+}
+BENCHMARK(BM_PipelineSearch)
+    ->Args({1000, 1})
+    ->Args({1000, 3})
+    ->Args({1000, 5})
+    ->Args({5000, 3})
+    ->Args({20000, 3});
+
+void BM_NaiveSearch(benchmark::State& state) {
+  Fixture* f = Cached(static_cast<int>(state.range(0)));
+  if (f == nullptr) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  auto query = QueryTerms(static_cast<int>(state.range(1)));
+  uint64_t reads = 0;
+  size_t ram = 0;
+  bool fits = true;
+  for (auto _ : state) {
+    f->chip->ResetStats();
+    f->gauge->ResetHighWater();
+    auto results = f->engine->SearchNaive(query, 10);
+    benchmark::DoNotOptimize(results);
+    reads = f->chip->stats().page_reads;
+    ram = f->gauge->high_water();
+    fits = results.ok();
+  }
+  state.counters["page_reads"] = static_cast<double>(reads);
+  state.counters["ram_high_water"] = static_cast<double>(ram);
+  state.counters["fits_64k_budget"] = ram <= 64 * 1024 ? 1 : 0;
+  (void)fits;
+}
+BENCHMARK(BM_NaiveSearch)
+    ->Args({1000, 3})
+    ->Args({5000, 3})
+    ->Args({20000, 3});
+
+// Indexing throughput: documents per second into the log-only index.
+void BM_IndexDocuments(benchmark::State& state) {
+  pds::Rng rng(9);
+  pds::ZipfSampler zipf(1000, 0.9, 11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    pds::flash::Geometry g;
+    g.page_size = 2048;
+    g.pages_per_block = 64;
+    g.block_count = 512;
+    pds::flash::FlashChip chip(g);
+    pds::mcu::RamGauge gauge(128 * 1024);
+    pds::flash::PartitionAllocator alloc(&chip);
+    auto part = alloc.Allocate(256);
+    EmbeddedSearchEngine::Options opts;
+    EmbeddedSearchEngine engine(*part, &gauge, opts);
+    (void)engine.Init();
+    state.ResumeTiming();
+
+    for (int d = 0; d < 1000; ++d) {
+      std::string text;
+      for (int w = 0; w < 12; ++w) {
+        text += "term" + std::to_string(zipf.Sample()) + " ";
+      }
+      benchmark::DoNotOptimize(engine.AddDocument(text));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_IndexDocuments);
+
+}  // namespace
+
+BENCHMARK_MAIN();

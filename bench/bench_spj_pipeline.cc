@@ -1,0 +1,161 @@
+// E5 — the tutorial's pipeline SPJ query on the TPC-D-like schema:
+//   SELECT ... FROM CUSTOMER, ORDERS, LINEITEM, PARTSUPP, SUPPLIER
+//   WHERE (joins) AND CUS.mktsegment='HOUSEHOLD' AND SUP.name='SUPPLIER-1'
+//
+// Pipeline plan: Tselect on CUS.mktsegment and SUP.name give *sorted*
+// LINEITEM rowids, merged by intersection, then the Tjoin index + tuple
+// fetches materialize each surviving row — bounded RAM.
+// Baseline: RAM-materializing hash join ("Join algorithms consume lots of
+// RAM") whose footprint grows with the database and bursts the 64 KB MCU.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+
+#include <map>
+#include <memory>
+
+#include "workloads/tpcd.h"
+
+namespace {
+
+using pds::embdb::Database;
+using pds::embdb::NaiveHashJoinSpj;
+using pds::embdb::SpjExecutor;
+using pds::embdb::SpjQuery;
+using pds::embdb::SpjStats;
+using pds::embdb::TjoinIndex;
+using pds::embdb::TselectIndex;
+using pds::embdb::Tuple;
+using pds::workloads::LoadTpcd;
+using pds::workloads::TpcdConfig;
+using pds::workloads::TpcdInstance;
+using pds::workloads::TpcdNode;
+using pds::workloads::TutorialQuery;
+
+pds::flash::Geometry BigGeometry() {
+  pds::flash::Geometry g;
+  g.page_size = 2048;
+  g.pages_per_block = 64;
+  g.block_count = 4096;
+  return g;
+}
+
+struct Fixture {
+  std::unique_ptr<pds::flash::FlashChip> chip;
+  std::unique_ptr<pds::mcu::RamGauge> gauge;
+  std::unique_ptr<Database> db;
+  TpcdInstance inst;
+  std::unique_ptr<TjoinIndex> tjoin;
+  std::unique_ptr<TselectIndex> tsel_cust;
+  std::unique_ptr<TselectIndex> tsel_supp;
+  pds::flash::Stats index_build_cost;
+};
+
+std::unique_ptr<Fixture> Build(uint64_t scale) {
+  auto f = std::make_unique<Fixture>();
+  f->chip = std::make_unique<pds::flash::FlashChip>(BigGeometry());
+  f->gauge = std::make_unique<pds::mcu::RamGauge>(16 * 1024 * 1024);
+  f->db = std::make_unique<Database>(f->chip.get(), f->gauge.get());
+
+  TpcdConfig cfg;
+  cfg.num_suppliers = 10 * scale;
+  cfg.num_customers = 50 * scale;
+  cfg.num_orders = 200 * scale;
+  cfg.num_partsupps = 100 * scale;
+  cfg.num_lineitems = 1000 * scale;
+  cfg.table_options.data_blocks = static_cast<uint32_t>(32 * scale);
+  cfg.table_options.directory_blocks = static_cast<uint32_t>(8 * scale);
+  auto inst = LoadTpcd(f->db.get(), cfg);
+  if (!inst.ok()) {
+    return nullptr;
+  }
+  f->inst = *inst;
+
+  pds::flash::Stats before = f->chip->stats();
+  auto tjoin = TjoinIndex::Build(f->inst.path, f->db->allocator());
+  auto tc = TselectIndex::Build(f->inst.path, TpcdNode::kCustomer, 2,
+                                f->db->allocator(), f->gauge.get());
+  auto ts = TselectIndex::Build(f->inst.path, TpcdNode::kSupplier, 1,
+                                f->db->allocator(), f->gauge.get());
+  if (!tjoin.ok() || !tc.ok() || !ts.ok()) {
+    return nullptr;
+  }
+  f->index_build_cost = f->chip->stats() - before;
+  f->tjoin = std::make_unique<TjoinIndex>(std::move(tjoin).value());
+  f->tsel_cust = std::make_unique<TselectIndex>(std::move(tc).value());
+  f->tsel_supp = std::make_unique<TselectIndex>(std::move(ts).value());
+  return f;
+}
+
+Fixture* Cached(uint64_t scale) {
+  static std::map<uint64_t, std::unique_ptr<Fixture>> cache;
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    it = cache.emplace(scale, Build(scale)).first;
+  }
+  return it->second.get();
+}
+
+void BM_TjoinPipelineSpj(benchmark::State& state) {
+  Fixture* f = Cached(static_cast<uint64_t>(state.range(0)));
+  SpjQuery query = TutorialQuery(0, 1);
+  // Run under the real 64 KB token budget.
+  pds::mcu::RamGauge token_ram(64 * 1024);
+  SpjExecutor executor(f->inst.path, f->tjoin.get(),
+                       {f->tsel_cust.get(), f->tsel_supp.get()}, &token_ram);
+  SpjStats stats;
+  uint64_t reads = 0;
+  bool ok = true;
+  for (auto _ : state) {
+    f->chip->ResetStats();
+    token_ram.ResetHighWater();
+    auto s = executor.Execute(
+        query, [](const Tuple&) { return pds::Status::Ok(); }, &stats);
+    ok = s.ok();
+    benchmark::DoNotOptimize(s);
+    reads = f->chip->stats().page_reads;
+  }
+  state.counters["page_reads"] = static_cast<double>(reads);
+  state.counters["ram_high_water"] =
+      static_cast<double>(token_ram.high_water());
+  state.counters["result_rows"] = static_cast<double>(stats.result_rows);
+  state.counters["fits_64k"] = ok ? 1 : 0;
+  state.counters["index_build_programs"] =
+      static_cast<double>(f->index_build_cost.page_programs);
+}
+BENCHMARK(BM_TjoinPipelineSpj)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_NaiveHashJoinSpj(benchmark::State& state) {
+  Fixture* f = Cached(static_cast<uint64_t>(state.range(0)));
+  SpjQuery query = TutorialQuery(0, 1);
+  // Unbounded gauge first, to measure the true RAM footprint.
+  pds::mcu::RamGauge big_ram(1ULL << 30);
+  NaiveHashJoinSpj naive(f->inst.path, &big_ram);
+  SpjStats stats;
+  uint64_t reads = 0;
+  for (auto _ : state) {
+    f->chip->ResetStats();
+    big_ram.ResetHighWater();
+    auto s = naive.Execute(
+        query, [](const Tuple&) { return pds::Status::Ok(); }, &stats);
+    benchmark::DoNotOptimize(s);
+    reads = f->chip->stats().page_reads;
+  }
+  state.counters["page_reads"] = static_cast<double>(reads);
+  state.counters["ram_high_water"] =
+      static_cast<double>(big_ram.high_water());
+  state.counters["result_rows"] = static_cast<double>(stats.result_rows);
+
+  // Would it run on the token?
+  pds::mcu::RamGauge token_ram(64 * 1024);
+  NaiveHashJoinSpj constrained(f->inst.path, &token_ram);
+  auto s = constrained.Execute(
+      query, [](const Tuple&) { return pds::Status::Ok(); }, &stats);
+  state.counters["fits_64k"] = s.ok() ? 1 : 0;
+}
+BENCHMARK(BM_NaiveHashJoinSpj)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// E11 — the Perspectives instances: personal social-medical folder sync
+// (badge-carried, disconnected) and the Folk-IS delay-tolerant network.
+//
+// Paper shape: badge sync moves only the delta (bytes ~ new entries, not
+// folder size); Folk-IS delivery delay falls steeply as ferry density
+// rises, with deployment cost = tokens only.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+
+#include <memory>
+
+#include "sync/folder.h"
+#include "sync/folkis.h"
+
+namespace {
+
+using pds::global::Metrics;
+using pds::mcu::SecureToken;
+using pds::sync::ArchiveServer;
+using pds::sync::FerryNetwork;
+using pds::sync::PersonalFolder;
+
+SecureToken::Config TokenConfig(uint64_t id) {
+  SecureToken::Config cfg;
+  cfg.token_id = id;
+  cfg.fleet_key = pds::crypto::KeyFromString("sync-bench");
+  return cfg;
+}
+
+// Full badge sync of a folder of `n` entries into an empty replica.
+void BM_BadgeSyncFull(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SecureToken home_token(TokenConfig(1));
+  PersonalFolder home(&home_token, 7);
+  for (int i = 0; i < n; ++i) {
+    (void)home.AddEntry("entry", "content-" + std::to_string(i));
+  }
+  Metrics metrics;
+  for (auto _ : state) {
+    SecureToken fresh_token(TokenConfig(2));
+    PersonalFolder fresh(&fresh_token, 7);
+    metrics = Metrics();
+    auto s = PersonalFolder::BadgeSync(&home, &fresh, &metrics);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["bytes_carried"] = static_cast<double>(metrics.bytes);
+  state.counters["blobs"] = static_cast<double>(metrics.messages);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BadgeSyncFull)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Incremental sync: replicas already share n entries; only `delta` new
+// ones move. Paper shape: cost tracks the delta, not the folder size.
+void BM_BadgeSyncDelta(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int delta = 10;
+  Metrics metrics;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SecureToken t1(TokenConfig(1)), t2(TokenConfig(2));
+    PersonalFolder a(&t1, 7), b(&t2, 7);
+    for (int i = 0; i < n; ++i) {
+      (void)a.AddEntry("base", "content-" + std::to_string(i));
+    }
+    (void)PersonalFolder::BadgeSync(&a, &b, nullptr);
+    for (int i = 0; i < delta; ++i) {
+      (void)a.AddEntry("new", "delta-" + std::to_string(i));
+    }
+    state.ResumeTiming();
+
+    metrics = Metrics();
+    auto s = PersonalFolder::BadgeSync(&a, &b, &metrics);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["bytes_carried"] = static_cast<double>(metrics.bytes);
+  state.counters["blobs"] = static_cast<double>(metrics.messages);
+  state.counters["folder_size"] = static_cast<double>(n);
+}
+BENCHMARK(BM_BadgeSyncDelta)->Arg(100)->Arg(1000)->Arg(5000);
+
+// Archive round trip: push n entries and bootstrap a replica.
+void BM_ArchiveRoundTrip(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Metrics metrics;
+  for (auto _ : state) {
+    SecureToken t1(TokenConfig(1)), t2(TokenConfig(2));
+    PersonalFolder home(&t1, 7), replica(&t2, 7);
+    ArchiveServer archive;
+    for (int i = 0; i < n; ++i) {
+      (void)home.AddEntry("e", "content-" + std::to_string(i));
+    }
+    metrics = Metrics();
+    (void)home.PushTo(&archive, &metrics);
+    (void)replica.PullFrom(archive, &metrics);
+    benchmark::DoNotOptimize(replica.entries().size());
+  }
+  state.counters["bytes"] = static_cast<double>(metrics.bytes);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ArchiveRoundTrip)->Arg(100)->Arg(1000);
+
+// Folk-IS: mean delivery delay vs ferry density, single-custody (arg1=0)
+// vs epidemic replication (arg1=1).
+void BM_FolkisDelivery(benchmark::State& state) {
+  const uint32_t ferries = static_cast<uint32_t>(state.range(0));
+  const bool epidemic = state.range(1) != 0;
+  double mean_delay = 0;
+  uint64_t human_steps = 0;
+  for (auto _ : state) {
+    FerryNetwork::Config cfg;
+    cfg.num_villages = 32;
+    cfg.num_ferries = ferries;
+    cfg.epidemic = epidemic;
+    cfg.ferry_capacity = 128;
+    cfg.seed = 5;
+    FerryNetwork net(cfg);
+    pds::Rng rng(9);
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 50; ++i) {
+      ids.push_back(net.Post(static_cast<uint32_t>(rng.Uniform(32)),
+                             static_cast<uint32_t>(rng.Uniform(32)), 256));
+    }
+    net.RunUntilDelivered(5000000);
+    double total = 0;
+    for (uint64_t id : ids) {
+      total += static_cast<double>(net.DeliveryDelay(id));
+    }
+    mean_delay = total / static_cast<double>(ids.size());
+    human_steps = net.ferry_steps();
+    benchmark::DoNotOptimize(net.messages_delivered());
+  }
+  state.counters["ferries"] = static_cast<double>(ferries);
+  state.counters["epidemic"] = epidemic ? 1 : 0;
+  state.counters["mean_delay_steps"] = mean_delay;
+  state.counters["ferry_steps"] = static_cast<double>(human_steps);
+}
+BENCHMARK(BM_FolkisDelivery)
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({16, 0})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Args({32, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// E7 — the [CKV+02] data-mining toolkit primitives (tutorial Part III,
+// "Toolkits for Secure Computations"): secure sum, secure set union,
+// secure size of set intersection, secure scalar product.
+//
+// Paper shape: secure sum is linear and cheap (symmetric masking only);
+// the commutative-encryption primitives cost O(parties^2 * items) modular
+// exponentiations — usable for small coalitions, painful beyond.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+
+#include "global/toolkit.h"
+
+namespace {
+
+using pds::global::Metrics;
+
+void BM_SecureSum(benchmark::State& state) {
+  const size_t parties = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> values(parties);
+  pds::Rng value_rng(3);
+  for (auto& v : values) {
+    v = value_rng.Uniform(10000);
+  }
+  pds::Rng rng(4);
+  Metrics metrics;
+  for (auto _ : state) {
+    metrics = Metrics();
+    auto sum = pds::global::SecureSum(values, 1ULL << 40, &rng, &metrics);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["messages"] = static_cast<double>(metrics.messages);
+  state.counters["bytes"] = static_cast<double>(metrics.bytes);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SecureSum)->Arg(4)->Arg(32)->Arg(128)->Arg(512);
+
+std::vector<std::vector<std::string>> SiteSets(size_t parties,
+                                               size_t items_per_site) {
+  pds::Rng rng(5);
+  std::vector<std::vector<std::string>> sets(parties);
+  for (auto& set : sets) {
+    for (size_t i = 0; i < items_per_site; ++i) {
+      set.push_back("item-" + std::to_string(rng.Uniform(64)));
+    }
+  }
+  return sets;
+}
+
+void BM_SecureSetUnion(benchmark::State& state) {
+  const size_t parties = static_cast<size_t>(state.range(0));
+  auto sets = SiteSets(parties, 8);
+  pds::Rng rng(6);
+  Metrics metrics;
+  for (auto _ : state) {
+    metrics = Metrics();
+    auto result = pds::global::SecureSetUnion(sets, 128, &rng, &metrics);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["crypto_ops"] =
+      static_cast<double>(metrics.token_crypto_ops);
+  state.counters["bytes"] = static_cast<double>(metrics.bytes);
+}
+BENCHMARK(BM_SecureSetUnion)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SecureIntersectionSize(benchmark::State& state) {
+  const size_t parties = static_cast<size_t>(state.range(0));
+  auto sets = SiteSets(parties, 8);
+  pds::Rng rng(7);
+  Metrics metrics;
+  for (auto _ : state) {
+    metrics = Metrics();
+    auto result =
+        pds::global::SecureIntersectionSize(sets, 128, &rng, &metrics);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["crypto_ops"] =
+      static_cast<double>(metrics.token_crypto_ops);
+}
+BENCHMARK(BM_SecureIntersectionSize)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SecureScalarProduct(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> a(dim), b(dim);
+  pds::Rng value_rng(8);
+  for (size_t i = 0; i < dim; ++i) {
+    a[i] = value_rng.Uniform(100);
+    b[i] = value_rng.Uniform(100);
+  }
+  pds::Rng rng(9);
+  Metrics metrics;
+  for (auto _ : state) {
+    metrics = Metrics();
+    auto result =
+        pds::global::SecureScalarProduct(a, b, 256, &rng, &metrics);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["crypto_ops"] =
+      static_cast<double>(metrics.token_crypto_ops);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SecureScalarProduct)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Embedded search engine on a secure token (tutorial Part II).
+//
+// Indexes a mailbox-like corpus into the log-only inverted index and runs
+// top-k TF-IDF queries with the pipeline evaluator — one flash page of RAM
+// per query keyword — then contrasts it with the naive evaluator that the
+// tutorial rules out ("one container per retrieved docid ... too much!").
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "flash/flash.h"
+#include "mcu/ram_gauge.h"
+#include "search/search_engine.h"
+
+using pds::flash::FlashChip;
+using pds::flash::Geometry;
+using pds::flash::PartitionAllocator;
+using pds::mcu::RamGauge;
+using pds::search::EmbeddedSearchEngine;
+
+int main() {
+  Geometry geometry;
+  geometry.page_size = 2048;
+  geometry.pages_per_block = 64;
+  geometry.block_count = 256;  // 32 MB chip
+  FlashChip chip(geometry);
+  PartitionAllocator allocator(&chip);
+  RamGauge ram(64 * 1024);  // 64 KB secure-MCU RAM
+
+  auto partition = allocator.Allocate(128);
+  if (!partition.ok()) {
+    return 1;
+  }
+  EmbeddedSearchEngine::Options options;
+  options.index.num_buckets = 64;
+  options.index.insert_buffer_bytes = 4096;
+  EmbeddedSearchEngine engine(*partition, &ram, options);
+  if (auto s = engine.Init(); !s.ok()) {
+    std::printf("init failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // A synthetic mailbox: folders-worth of short messages over a small
+  // vocabulary with a few "interesting" rare terms.
+  const char* common[] = {"meeting", "report",  "budget", "family",
+                          "photos",  "invoice", "travel", "project",
+                          "lunch",   "schedule"};
+  pds::Rng rng(7);
+  const int kNumDocs = 3000;
+  for (int d = 0; d < kNumDocs; ++d) {
+    std::string text;
+    int len = 5 + static_cast<int>(rng.Uniform(15));
+    for (int w = 0; w < len; ++w) {
+      text += std::string(common[rng.Uniform(10)]) + " ";
+    }
+    if (d % 250 == 0) {
+      text += "confidential diagnosis";  // the rare needle
+    }
+    auto docid = engine.AddDocument(text);
+    if (!docid.ok()) {
+      std::printf("indexing failed at doc %d: %s\n", d,
+                  docid.status().ToString().c_str());
+      return 1;
+    }
+  }
+  (void)engine.Flush();
+  std::printf("indexed %u documents into %u flash pages\n",
+              engine.num_documents(), engine.num_index_pages());
+
+  std::vector<std::vector<std::string>> queries = {
+      {"confidential"},
+      {"confidential", "diagnosis"},
+      {"budget", "meeting", "schedule"},
+  };
+  for (const auto& query : queries) {
+    std::string qstr;
+    for (const auto& term : query) {
+      qstr += term + " ";
+    }
+    chip.ResetStats();
+    ram.ResetHighWater();
+    auto results = engine.Search(query, 5);
+    if (!results.ok()) {
+      std::printf("query failed: %s\n", results.status().ToString().c_str());
+      continue;
+    }
+    std::printf("\nquery [%s] -> %zu hits, %llu page reads, RAM high water "
+                "%zu B\n",
+                qstr.c_str(), results->size(),
+                static_cast<unsigned long long>(chip.stats().page_reads),
+                ram.high_water());
+    for (const auto& hit : *results) {
+      std::printf("  doc %-6u score %.3f\n", hit.docid, hit.score);
+    }
+  }
+
+  // The naive evaluator allocates per-docid containers: on a popular term
+  // it bursts through the 64 KB budget exactly as the tutorial warns.
+  auto naive = engine.SearchNaive({"meeting"}, 5);
+  std::printf("\nnaive evaluator on a popular term: %s\n",
+              naive.ok() ? "unexpectedly fit in RAM"
+                         : naive.status().ToString().c_str());
+  auto pipeline = engine.Search({"meeting"}, 5);
+  std::printf("pipeline evaluator on the same term: %s (%zu hits)\n",
+              pipeline.ok() ? "OK" : pipeline.status().ToString().c_str(),
+              pipeline.ok() ? pipeline->size() : 0);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// The developer-facing surfaces added on top of the tutorial's core: the
+// embedded-SQL subset with its index-aware planner, and the RAM co-design
+// calibrator that answers "how much MCU RAM does my workload need?" — the
+// tutorial's open question ("How to calibrate the HW (RAM) to data
+// oriented treatments?").
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "embdb/database.h"
+#include "flash/flash.h"
+#include "mcu/calibration.h"
+#include "mcu/ram_gauge.h"
+
+using pds::embdb::ColumnType;
+using pds::embdb::Database;
+using pds::embdb::Schema;
+using pds::embdb::Tuple;
+using pds::embdb::Value;
+
+int main() {
+  pds::flash::Geometry geometry;
+  geometry.page_size = 2048;
+  geometry.pages_per_block = 64;
+  geometry.block_count = 512;
+  pds::flash::FlashChip chip(geometry);
+  pds::mcu::RamGauge gauge(64 * 1024);
+  Database db(&chip, &gauge);
+
+  Schema purchases("purchases", {{"id", ColumnType::kUint64, ""},
+                                 {"store", ColumnType::kString, ""},
+                                 {"category", ColumnType::kString, ""},
+                                 {"amount", ColumnType::kDouble, ""}});
+  (void)db.CreateTable(purchases, {});
+  (void)db.CreateKeyIndex("purchases", "store", {});
+
+  const char* stores[] = {"grocer", "pharmacy", "bookshop", "bakery"};
+  const char* categories[] = {"food", "health", "culture"};
+  pds::Rng rng(4);
+  for (uint64_t i = 0; i < 500; ++i) {
+    Tuple t = {Value::U64(i), Value::Str(stores[rng.Uniform(4)]),
+               Value::Str(categories[rng.Uniform(3)]),
+               Value::F64(static_cast<double>(rng.Uniform(20000)) / 100.0)};
+    (void)db.Insert("purchases", t);
+  }
+
+  const char* queries[] = {
+      "SELECT * FROM purchases WHERE amount > 195.0",
+      "SELECT category, amount FROM purchases WHERE store = 'pharmacy' "
+      "AND amount >= 100.0",
+      "SELECT id FROM purchases WHERE store = 'bakery' AND "
+      "category = 'food'",
+  };
+  for (const char* sql : queries) {
+    std::printf("\n> %s\n", sql);
+    chip.ResetStats();
+    int rows = 0;
+    pds::Status s = db.Query(sql, [&](const Tuple& t) {
+      if (rows < 3) {
+        std::printf("  ");
+        for (const Value& v : t) {
+          std::printf("%s  ", v.ToString().c_str());
+        }
+        std::printf("\n");
+      }
+      ++rows;
+      return pds::Status::Ok();
+    });
+    if (!s.ok()) {
+      std::printf("  error: %s\n", s.ToString().c_str());
+      continue;
+    }
+    std::printf("  ... %d rows, %llu flash reads%s\n", rows,
+                static_cast<unsigned long long>(chip.stats().page_reads),
+                sql[30] == 's' ? "" : "");
+  }
+
+  // RAM co-design: what budget does this class of workload actually need?
+  pds::mcu::WorkloadProfile profile;
+  profile.page_size = geometry.page_size;
+  profile.search_keywords = 5;
+  profile.largest_index_entries = 1 << 20;
+  profile.spj_max_rowids_per_selection = 2048;
+  profile.aggregation_groups = 128;
+
+  std::printf("\nRAM calibration for this workload profile:\n");
+  std::printf("  %-22s %10s  %s\n", "treatment", "bytes", "formula");
+  for (const auto& r : pds::mcu::CalibrateRam(profile)) {
+    std::printf("  %-22s %10zu  %s\n", r.treatment.c_str(), r.bytes,
+                r.formula.c_str());
+  }
+  std::printf("  recommended MCU RAM budget: %zu KB\n",
+              pds::mcu::RecommendedRamBudget(profile) / 1024);
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "ac/policy.h"
+
+#include <algorithm>
+
+namespace pds::ac {
+
+std::string_view ActionName(Action action) {
+  switch (action) {
+    case Action::kRead:
+      return "read";
+    case Action::kInsert:
+      return "insert";
+    case Action::kShare:
+      return "share";
+  }
+  return "?";
+}
+
+Decision PolicySet::Check(const Subject& subject, Action action,
+                          const std::string& table,
+                          const std::vector<std::string>& columns) const {
+  Decision decision;
+  // Greedy cover: collect matching rules until all requested columns are
+  // granted. A rule with empty columns covers everything.
+  std::vector<std::string> remaining = columns;
+  bool all_columns_requested = columns.empty();
+  bool any_rule_used = false;
+
+  for (const Rule& rule : rules_) {
+    if (rule.role != subject.role || rule.action != action ||
+        rule.table != table) {
+      continue;
+    }
+    if (rule.columns.empty()) {
+      // Grants all columns.
+      any_rule_used = true;
+      remaining.clear();
+      all_columns_requested = false;
+      if (rule.row_filter.has_value()) {
+        decision.mandatory_filters.push_back(*rule.row_filter);
+      }
+      break;
+    }
+    if (all_columns_requested) {
+      // Asking for all columns but this rule grants a subset: not enough
+      // on its own, and partial covers of "*" are not composed.
+      continue;
+    }
+    // Remove the granted columns from the remaining set.
+    size_t before = remaining.size();
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [&](const std::string& c) {
+                                     return std::find(rule.columns.begin(),
+                                                      rule.columns.end(),
+                                                      c) !=
+                                            rule.columns.end();
+                                   }),
+                    remaining.end());
+    if (remaining.size() != before) {
+      any_rule_used = true;
+      if (rule.row_filter.has_value()) {
+        decision.mandatory_filters.push_back(*rule.row_filter);
+      }
+    }
+    if (remaining.empty()) {
+      break;
+    }
+  }
+
+  decision.allowed =
+      any_rule_used && remaining.empty() && !all_columns_requested;
+  // "All columns" request allowed only via an all-columns rule, which
+  // cleared the flag above.
+  if (all_columns_requested) {
+    decision.allowed = false;
+  }
+  if (!decision.allowed) {
+    decision.mandatory_filters.clear();
+  }
+  return decision;
+}
+
+std::string AuditEntry::ToString() const {
+  return subject.role + ":" + subject.id + " " +
+         std::string(ActionName(action)) + " " + table + " -> " +
+         (allowed ? "ALLOW" : "DENY");
+}
+
+}  // namespace pds::ac

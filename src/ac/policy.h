@@ -1,0 +1,87 @@
+#ifndef PDS_AC_POLICY_H_
+#define PDS_AC_POLICY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "embdb/executor.h"
+
+namespace pds::ac {
+
+/// What a subject may do with the data.
+enum class Action {
+  kRead,
+  kInsert,
+  kShare,  // export beyond the token (global protocols, publishing)
+};
+
+std::string_view ActionName(Action action);
+
+/// A subject interacting with the PDS: a role (matched by rules) plus an
+/// identifier for the audit trail — e.g., {"doctor", "dr-lucas"},
+/// {"owner", "alice"}, {"third-party", "acme-ads"}.
+struct Subject {
+  std::string role;
+  std::string id;
+};
+
+/// One access-control rule, in the spirit of the tutorial's requirement for
+/// "intuitive, simple ways for users to define access control rules":
+/// <role> may <action> <columns> of <table> [where <row filter>].
+struct Rule {
+  std::string role;
+  Action action = Action::kRead;
+  std::string table;
+  /// Columns the rule grants; empty means all columns.
+  std::vector<std::string> columns;
+  /// Optional mandatory row filter (e.g., doctor sees only medical rows).
+  std::optional<embdb::Predicate> row_filter;
+};
+
+/// Outcome of a policy check.
+struct Decision {
+  bool allowed = false;
+  /// Row filters that MUST be conjoined to the subject's query (one per
+  /// matching rule actually used).
+  std::vector<embdb::Predicate> mandatory_filters;
+};
+
+/// The token-resident policy set. Deny by default: a request is allowed
+/// only if some rule grants the role every requested column of the table
+/// for the action. An important property of the PDS architecture is that
+/// this evaluation happens *inside* the secure token — the tutorial's
+/// "observation: a user does not have all the privileges over the data in
+/// her PDS" also holds: even the owner is governed by rules.
+class PolicySet {
+ public:
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  /// Checks `subject` performing `action` on `columns` of `table`
+  /// (empty `columns` = all columns of the table).
+  Decision Check(const Subject& subject, Action action,
+                 const std::string& table,
+                 const std::vector<std::string>& columns) const;
+
+  size_t num_rules() const { return rules_.size(); }
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// Append-only audit trail of access decisions — the "secure usage and
+/// accountability" requirement. Entries are kept as rendered strings; the
+/// PDS node persists them to a flash log.
+struct AuditEntry {
+  Subject subject;
+  Action action = Action::kRead;
+  std::string table;
+  bool allowed = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace pds::ac
+
+#endif  // PDS_AC_POLICY_H_

@@ -1,0 +1,69 @@
+#ifndef PDS_ANON_HIERARCHY_H_
+#define PDS_ANON_HIERARCHY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pds::anon {
+
+/// A value generalization hierarchy for one quasi-identifier attribute.
+/// Level 0 is the exact value; each level is strictly more general;
+/// `max_level()` maps everything to "*".
+class Hierarchy {
+ public:
+  virtual ~Hierarchy() = default;
+
+  virtual uint32_t max_level() const = 0;
+  /// Generalizes `value` to `level` (clamped to max_level).
+  virtual std::string Generalize(const std::string& value,
+                                 uint32_t level) const = 0;
+};
+
+/// Numeric ranges: level l maps v to the bucket of width
+/// `base_width * 2^(l-1)` containing it ("[20-29]"), level 0 is exact,
+/// max level is "*".
+class NumericHierarchy : public Hierarchy {
+ public:
+  /// `levels` counts the range levels between exact and "*"
+  /// (max_level() == levels + 1).
+  NumericHierarchy(int64_t base_width, uint32_t levels)
+      : base_width_(base_width), levels_(levels) {}
+
+  uint32_t max_level() const override { return levels_ + 1; }
+  std::string Generalize(const std::string& value,
+                         uint32_t level) const override;
+
+ private:
+  int64_t base_width_;
+  uint32_t levels_;
+};
+
+/// String prefixes (zip codes): level l replaces the last l characters
+/// with '*'; the max level (== max_suffix) yields all-stars.
+class PrefixHierarchy : public Hierarchy {
+ public:
+  explicit PrefixHierarchy(uint32_t max_suffix) : max_suffix_(max_suffix) {}
+
+  uint32_t max_level() const override { return max_suffix_; }
+  std::string Generalize(const std::string& value,
+                         uint32_t level) const override;
+
+ private:
+  uint32_t max_suffix_;
+};
+
+/// Flat two-level hierarchy: exact or "*". For categorical attributes with
+/// no natural order (diagnosis codes, professions).
+class SuppressionHierarchy : public Hierarchy {
+ public:
+  uint32_t max_level() const override { return 1; }
+  std::string Generalize(const std::string& value,
+                         uint32_t level) const override {
+    return level == 0 ? value : "*";
+  }
+};
+
+}  // namespace pds::anon
+
+#endif  // PDS_ANON_HIERARCHY_H_

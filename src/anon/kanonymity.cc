@@ -1,0 +1,178 @@
+#include "anon/kanonymity.h"
+
+#include <functional>
+#include <set>
+
+namespace pds::anon {
+
+std::string KAnonymizer::ClassKey(const Record& generalized) const {
+  std::string key;
+  for (const std::string& qi : generalized.quasi_identifiers) {
+    key += qi;
+    key.push_back('\x1F');
+  }
+  return key;
+}
+
+Record KAnonymizer::GeneralizeRecord(const Record& record,
+                                     const LevelVector& levels) const {
+  Record out;
+  out.sensitive = record.sensitive;
+  out.quasi_identifiers.reserve(hierarchies_.size());
+  for (size_t i = 0; i < hierarchies_.size(); ++i) {
+    out.quasi_identifiers.push_back(
+        hierarchies_[i]->Generalize(record.quasi_identifiers[i], levels[i]));
+  }
+  return out;
+}
+
+std::map<std::string, uint64_t> KAnonymizer::ClassSizes(
+    const std::vector<Record>& records, const LevelVector& levels) const {
+  std::map<std::string, uint64_t> sizes;
+  for (const Record& r : records) {
+    ++sizes[ClassKey(GeneralizeRecord(r, levels))];
+  }
+  return sizes;
+}
+
+std::vector<uint32_t> KAnonymizer::MaxLevels() const {
+  std::vector<uint32_t> out;
+  out.reserve(hierarchies_.size());
+  for (const auto& h : hierarchies_) {
+    out.push_back(h->max_level());
+  }
+  return out;
+}
+
+std::vector<LevelVector> KAnonymizer::StrategiesWithTotal(
+    uint32_t total) const {
+  std::vector<LevelVector> out;
+  LevelVector current(hierarchies_.size(), 0);
+  // Recursive enumeration of compositions of `total` bounded per attribute.
+  std::function<void(size_t, uint32_t)> rec = [&](size_t attr,
+                                                  uint32_t remaining) {
+    if (attr + 1 == hierarchies_.size()) {
+      if (remaining <= hierarchies_[attr]->max_level()) {
+        current[attr] = remaining;
+        out.push_back(current);
+      }
+      return;
+    }
+    uint32_t cap = std::min(remaining, hierarchies_[attr]->max_level());
+    for (uint32_t l = 0; l <= cap; ++l) {
+      current[attr] = l;
+      rec(attr + 1, remaining - l);
+    }
+  };
+  if (!hierarchies_.empty()) {
+    rec(0, total);
+  }
+  return out;
+}
+
+Result<AnonymizationResult> KAnonymizer::Anonymize(
+    const std::vector<Record>& records) const {
+  if (hierarchies_.empty()) {
+    return Status::FailedPrecondition("no hierarchies configured");
+  }
+  for (const Record& r : records) {
+    if (r.quasi_identifiers.size() != hierarchies_.size()) {
+      return Status::InvalidArgument("record QI arity mismatch");
+    }
+  }
+  if (records.empty()) {
+    AnonymizationResult empty;
+    empty.levels.assign(hierarchies_.size(), 0);
+    return empty;
+  }
+
+  uint32_t max_total = 0;
+  for (const auto& h : hierarchies_) {
+    max_total += h->max_level();
+  }
+  const uint64_t suppression_budget = static_cast<uint64_t>(
+      options_.max_suppression_rate * static_cast<double>(records.size()));
+
+  for (uint32_t total = 0; total <= max_total; ++total) {
+    for (const LevelVector& levels : StrategiesWithTotal(total)) {
+      std::map<std::string, uint64_t> sizes = ClassSizes(records, levels);
+      uint64_t to_suppress = 0;
+      for (const auto& [key, count] : sizes) {
+        if (count < options_.k) {
+          to_suppress += count;
+        }
+      }
+      if (to_suppress > suppression_budget) {
+        continue;
+      }
+
+      // Strategy accepted: build the release.
+      AnonymizationResult result;
+      result.levels = levels;
+      result.suppressed = to_suppress;
+      for (const Record& r : records) {
+        Record g = GeneralizeRecord(r, levels);
+        if (sizes[ClassKey(g)] >= options_.k) {
+          result.published.push_back(std::move(g));
+        }
+      }
+      std::set<std::string> classes;
+      for (const Record& r : result.published) {
+        classes.insert(ClassKey(r));
+      }
+      result.num_classes = static_cast<uint32_t>(classes.size());
+
+      double level_loss = 0;
+      for (size_t i = 0; i < hierarchies_.size(); ++i) {
+        level_loss += static_cast<double>(levels[i]) /
+                      static_cast<double>(hierarchies_[i]->max_level());
+      }
+      level_loss /= static_cast<double>(hierarchies_.size());
+      double supp_loss = static_cast<double>(to_suppress) /
+                         static_cast<double>(records.size());
+      result.information_loss =
+          level_loss + (1.0 - level_loss) * supp_loss;
+      return result;
+    }
+  }
+  return Status::Internal("no k-anonymous strategy found (even all-*)");
+}
+
+namespace {
+std::string PlainClassKey(const Record& r) {
+  std::string key;
+  for (const std::string& qi : r.quasi_identifiers) {
+    key += qi;
+    key.push_back('\x1F');
+  }
+  return key;
+}
+}  // namespace
+
+bool CheckKAnonymity(const std::vector<Record>& records, uint32_t k) {
+  std::map<std::string, uint64_t> sizes;
+  for (const Record& r : records) {
+    ++sizes[PlainClassKey(r)];
+  }
+  for (const auto& [key, count] : sizes) {
+    if (count < k) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckLDiversity(const std::vector<Record>& records, uint32_t l) {
+  std::map<std::string, std::set<std::string>> values;
+  for (const Record& r : records) {
+    values[PlainClassKey(r)].insert(r.sensitive);
+  }
+  for (const auto& [key, sens] : values) {
+    if (sens.size() < l) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pds::anon

@@ -1,0 +1,93 @@
+#ifndef PDS_ANON_KANONYMITY_H_
+#define PDS_ANON_KANONYMITY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anon/hierarchy.h"
+#include "common/result.h"
+
+namespace pds::anon {
+
+/// One microdata record: quasi-identifier values (one per configured
+/// hierarchy) plus a sensitive attribute that is published as-is.
+struct Record {
+  std::vector<std::string> quasi_identifiers;
+  std::string sensitive;
+};
+
+/// A generalization strategy: one level per quasi-identifier attribute.
+using LevelVector = std::vector<uint32_t>;
+
+/// The anonymized release plus quality metrics.
+struct AnonymizationResult {
+  std::vector<Record> published;  // generalized, small classes suppressed
+  LevelVector levels;             // chosen generalization levels
+  uint64_t suppressed = 0;        // records dropped
+  uint32_t num_classes = 0;       // equivalence classes published
+  /// Information loss in [0,1]: mean of level/max_level across attributes,
+  /// folding in the suppression fraction.
+  double information_loss = 0.0;
+};
+
+/// Full-domain generalization k-anonymizer (the centralized algorithm the
+/// MetaP protocol executes with secure devices): searches the
+/// generalization lattice breadth-first by total level and returns the
+/// first (minimum-loss) strategy that makes every published equivalence
+/// class at least `k` strong, suppressing at most `max_suppression`
+/// records.
+class KAnonymizer {
+ public:
+  struct Options {
+    uint32_t k = 5;
+    /// Max fraction of records that may be suppressed instead of
+    /// generalizing further.
+    double max_suppression_rate = 0.05;
+  };
+
+  KAnonymizer(std::vector<std::unique_ptr<Hierarchy>> hierarchies,
+              const Options& options)
+      : hierarchies_(std::move(hierarchies)), options_(options) {}
+
+  Result<AnonymizationResult> Anonymize(
+      const std::vector<Record>& records) const;
+
+  /// Applies one strategy and reports the resulting class sizes (used by
+  /// the distributed protocol, where counting happens at the SSI).
+  std::map<std::string, uint64_t> ClassSizes(
+      const std::vector<Record>& records, const LevelVector& levels) const;
+
+  /// Generalizes one record under a strategy.
+  Record GeneralizeRecord(const Record& record,
+                          const LevelVector& levels) const;
+
+  size_t num_attributes() const { return hierarchies_.size(); }
+  const Options& options() const { return options_; }
+
+  /// Max generalization level per attribute (the lattice's top corner).
+  std::vector<uint32_t> MaxLevels() const;
+
+  /// Enumerates all level vectors with the given total, in lexicographic
+  /// order (exposed for the lattice walk and for tests).
+  std::vector<LevelVector> StrategiesWithTotal(uint32_t total) const;
+
+ private:
+  std::string ClassKey(const Record& generalized) const;
+
+  std::vector<std::unique_ptr<Hierarchy>> hierarchies_;
+  Options options_;
+};
+
+/// True if every equivalence class over the quasi-identifiers has at least
+/// k records.
+bool CheckKAnonymity(const std::vector<Record>& records, uint32_t k);
+
+/// True if every equivalence class contains at least l distinct sensitive
+/// values (distinct l-diversity).
+bool CheckLDiversity(const std::vector<Record>& records, uint32_t l);
+
+}  // namespace pds::anon
+
+#endif  // PDS_ANON_KANONYMITY_H_

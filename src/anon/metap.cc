@@ -1,0 +1,125 @@
+#include "anon/metap.h"
+
+#include <map>
+#include <set>
+
+namespace pds::anon {
+
+namespace {
+std::string ClassKeyOf(const Record& generalized) {
+  std::string key;
+  for (const std::string& qi : generalized.quasi_identifiers) {
+    key += qi;
+    key.push_back('\x1F');
+  }
+  return key;
+}
+}  // namespace
+
+Result<MetapOutput> MetapProtocol::Publish(
+    std::vector<MetapParticipant>& participants) {
+  if (participants.empty()) {
+    return Status::InvalidArgument("no participants");
+  }
+  MetapOutput out;
+  global::HbcObserver observer;
+
+  uint64_t total_records = 0;
+  for (const MetapParticipant& p : participants) {
+    for (const Record& r : p.records) {
+      if (r.quasi_identifiers.size() != anonymizer_.num_attributes()) {
+        return Status::InvalidArgument("record QI arity mismatch");
+      }
+      ++total_records;
+    }
+  }
+  if (total_records == 0) {
+    return Status::InvalidArgument("fleet holds no records");
+  }
+
+  const uint32_t k = anonymizer_.options().k;
+  const uint64_t suppression_budget = static_cast<uint64_t>(
+      anonymizer_.options().max_suppression_rate *
+      static_cast<double>(total_records));
+
+  const std::vector<uint32_t> max_levels = anonymizer_.MaxLevels();
+  uint32_t max_total = 0;
+  for (uint32_t ml : max_levels) {
+    max_total += ml;
+  }
+
+  for (uint32_t total = 0; total <= max_total; ++total) {
+    for (const LevelVector& levels :
+         anonymizer_.StrategiesWithTotal(total)) {
+      ++out.strategies_tried;
+      ++out.metrics.rounds;
+
+      // 1. Tokens send det-encrypted class keys to the SSI.
+      std::map<std::string, uint64_t> class_counts;  // by ciphertext
+      for (MetapParticipant& p : participants) {
+        for (const Record& r : p.records) {
+          Record g = anonymizer_.GeneralizeRecord(r, levels);
+          std::string key = ClassKeyOf(g);
+          PDS_ASSIGN_OR_RETURN(
+              Bytes ct, p.token->EncryptDet(ByteView(std::string_view(key))));
+          ++out.metrics.token_crypto_ops;
+          out.metrics.AddMessage(ct.size());
+          std::string ct_key = ByteView(ct).ToString();
+          observer.ObserveTuple(ByteView(ct));
+          ++class_counts[ct_key];
+          ++out.metrics.ssi_ops;
+        }
+      }
+
+      // 2. SSI reports class sizes; a verifier token checks k.
+      uint64_t to_suppress = 0;
+      for (const auto& [ct, count] : class_counts) {
+        if (count < k) {
+          to_suppress += count;
+        }
+      }
+      out.metrics.AddMessage(class_counts.size() * 8);
+      if (to_suppress > suppression_budget) {
+        continue;  // next strategy
+      }
+
+      // 3. Accepted: tokens publish generalized records of big classes.
+      AnonymizationResult& result = out.result;
+      result.levels = levels;
+      result.suppressed = to_suppress;
+      std::set<std::string> classes;
+      for (MetapParticipant& p : participants) {
+        for (const Record& r : p.records) {
+          Record g = anonymizer_.GeneralizeRecord(r, levels);
+          std::string key = ClassKeyOf(g);
+          PDS_ASSIGN_OR_RETURN(
+              Bytes ct, p.token->EncryptDet(ByteView(std::string_view(key))));
+          ++out.metrics.token_crypto_ops;
+          std::string ct_key = ByteView(ct).ToString();
+          if (class_counts[ct_key] >= k) {
+            classes.insert(key);
+            out.metrics.AddMessage(32);
+            result.published.push_back(std::move(g));
+          }
+        }
+      }
+      result.num_classes = static_cast<uint32_t>(classes.size());
+
+      double level_loss = 0;
+      for (size_t i = 0; i < levels.size(); ++i) {
+        level_loss +=
+            static_cast<double>(levels[i]) / static_cast<double>(max_levels[i]);
+      }
+      level_loss /= static_cast<double>(levels.size());
+      double supp_loss = static_cast<double>(to_suppress) /
+                         static_cast<double>(total_records);
+      result.information_loss = level_loss + (1.0 - level_loss) * supp_loss;
+
+      out.leakage = observer.Report();
+      return out;
+    }
+  }
+  return Status::Internal("no k-anonymous strategy found");
+}
+
+}  // namespace pds::anon

@@ -1,0 +1,61 @@
+#ifndef PDS_ANON_METAP_H_
+#define PDS_ANON_METAP_H_
+
+#include <memory>
+#include <vector>
+
+#include "anon/kanonymity.h"
+#include "common/result.h"
+#include "global/common.h"
+#include "global/observer.h"
+#include "mcu/secure_token.h"
+
+namespace pds::anon {
+
+/// Distributed privacy-preserving data publishing over the asymmetric
+/// architecture, in the spirit of MetaP [ANP13] (tutorial Part III: "This
+/// generic protocol can be used in many different contexts, such as
+/// Privacy Preserving Data Publishing").
+///
+/// Each PDS holds its owner's microdata record(s). The untrusted SSI
+/// coordinates the generalization-lattice walk but sees only
+/// deterministically encrypted equivalence-class keys:
+///
+///  per candidate strategy (walked in increasing information loss):
+///   1. every token generalizes its records locally and sends
+///      Enc_det(class key) per record;
+///   2. the SSI counts class sizes over ciphertexts (equality is all it
+///      can test) and reports the minimum;
+///   3. a verifier token checks min >= k (after subtracting the suppression
+///      budget); when satisfied, tokens release the generalized records of
+///      surviving classes, suppressing the rest.
+struct MetapParticipant {
+  mcu::SecureToken* token = nullptr;
+  std::vector<Record> records;
+};
+
+struct MetapOutput {
+  AnonymizationResult result;
+  global::Metrics metrics;
+  global::LeakageReport leakage;
+  /// Strategies tried before one satisfied k (protocol rounds).
+  uint32_t strategies_tried = 0;
+};
+
+class MetapProtocol {
+ public:
+  MetapProtocol(std::vector<std::unique_ptr<Hierarchy>> hierarchies,
+                const KAnonymizer::Options& options)
+      : anonymizer_(std::move(hierarchies), options) {}
+
+  Result<MetapOutput> Publish(std::vector<MetapParticipant>& participants);
+
+  const KAnonymizer& anonymizer() const { return anonymizer_; }
+
+ private:
+  KAnonymizer anonymizer_;
+};
+
+}  // namespace pds::anon
+
+#endif  // PDS_ANON_METAP_H_

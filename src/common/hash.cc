@@ -1,0 +1,32 @@
+#include "common/hash.h"
+
+namespace pds {
+
+namespace {
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+uint64_t Fnv1a64(ByteView data) {
+  uint64_t h = kFnvOffset;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(ByteView(s));
+}
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace pds

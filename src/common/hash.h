@@ -1,0 +1,22 @@
+#ifndef PDS_COMMON_HASH_H_
+#define PDS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace pds {
+
+/// FNV-1a 64-bit hash — used for hash-bucket routing in the inverted index
+/// and for Bloom filter probes (combined with double hashing).
+uint64_t Fnv1a64(ByteView data);
+uint64_t Fnv1a64(std::string_view s);
+
+/// 64-bit avalanche mix (Murmur3 finalizer); good for deriving the second
+/// Bloom probe from the first.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace pds
+
+#endif  // PDS_COMMON_HASH_H_

@@ -1,0 +1,92 @@
+#ifndef PDS_COMMON_RESULT_H_
+#define PDS_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pds {
+
+/// Either a value of type T or a non-OK Status, in the style of
+/// absl::StatusOr<T>.
+///
+/// A default-constructed Result is an Internal error; a Result constructed
+/// from a T is OK. Accessing `value()` on a non-OK Result aborts the
+/// process (this is a programming error, not a runtime condition).
+template <typename T>
+class Result {
+ public:
+  Result() : status_(Status::Internal("uninitialized Result")) {}
+
+  // Intentionally implicit so `return value;` and `return status;` both work,
+  // mirroring absl::StatusOr.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("OK status used to construct error Result");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when not OK.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its Status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define PDS_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  PDS_ASSIGN_OR_RETURN_IMPL_(                       \
+      PDS_RESULT_CONCAT_(pds_result_, __LINE__), lhs, rexpr)
+
+#define PDS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+#define PDS_RESULT_CONCAT_INNER_(a, b) a##b
+#define PDS_RESULT_CONCAT_(a, b) PDS_RESULT_CONCAT_INNER_(a, b)
+
+}  // namespace pds
+
+#endif  // PDS_COMMON_RESULT_H_

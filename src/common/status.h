@@ -1,0 +1,113 @@
+#ifndef PDS_COMMON_STATUS_H_
+#define PDS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pds {
+
+/// Canonical error codes used across the library. The library never throws;
+/// every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,   // e.g., RAM budget of the secure MCU exceeded
+  kIoError,             // flash-level failure
+  kCorruption,          // on-flash structure failed validation
+  kPermissionDenied,    // access-control rejection inside the token
+  kFailedPrecondition,
+  kIntegrityViolation,  // tampering detected in a global protocol
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("Ok", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-type status carrying a code and an optional message.
+///
+/// Cheap to copy in the OK case (no allocation). Follows the
+/// absl::Status/rocksdb::Status idiom: factory functions per code, `ok()`
+/// for the happy-path test, `ToString()` for logging.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IntegrityViolation(std::string msg) {
+    return Status(StatusCode::kIntegrityViolation, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define PDS_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::pds::Status pds_status_tmp_ = (expr);      \
+    if (!pds_status_tmp_.ok()) {                 \
+      return pds_status_tmp_;                    \
+    }                                            \
+  } while (0)
+
+}  // namespace pds
+
+#endif  // PDS_COMMON_STATUS_H_

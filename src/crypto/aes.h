@@ -1,0 +1,45 @@
+#ifndef PDS_CRYPTO_AES_H_
+#define PDS_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace pds::crypto {
+
+/// AES-128 block cipher (FIPS 197), encryption direction only — every mode
+/// used in the library (CTR, SIV-style deterministic encryption, CMAC-free
+/// HMAC tags) needs only the forward permutation.
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+  using Block = std::array<uint8_t, kBlockSize>;
+  using Key = std::array<uint8_t, kKeySize>;
+
+  explicit Aes128(const Key& key);
+
+  /// Encrypts one 16-byte block in place.
+  void EncryptBlock(uint8_t block[kBlockSize]) const;
+
+  Block EncryptBlock(const Block& in) const {
+    Block out = in;
+    EncryptBlock(out.data());
+    return out;
+  }
+
+ private:
+  // 11 round keys of 16 bytes.
+  uint8_t round_keys_[176];
+};
+
+/// AES-128-CTR keystream applied to `data` in place. Encryption and
+/// decryption are the same operation. `nonce` is the 16-byte initial counter
+/// block; successive blocks increment its last 4 bytes big-endian.
+void AesCtrXor(const Aes128& aes, const Aes128::Block& nonce, uint8_t* data,
+               size_t len);
+
+}  // namespace pds::crypto
+
+#endif  // PDS_CRYPTO_AES_H_

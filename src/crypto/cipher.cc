@@ -1,0 +1,111 @@
+#include "crypto/cipher.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace pds::crypto {
+
+namespace {
+
+Aes128::Key AesKeyFrom(const SymmetricKey& key, std::string_view label) {
+  Sha256::Digest derived = DeriveKey(ByteView(key.data(), key.size()),
+                                     ByteView(label));
+  Aes128::Key out;
+  std::memcpy(out.data(), derived.data(), out.size());
+  return out;
+}
+
+SymmetricKey MacKeyFrom(const SymmetricKey& key, std::string_view label) {
+  return DeriveKey(ByteView(key.data(), key.size()), ByteView(label));
+}
+
+}  // namespace
+
+SymmetricKey KeyFromString(std::string_view passphrase) {
+  return Sha256::Hash(ByteView(passphrase));
+}
+
+DetCipher::DetCipher(const SymmetricKey& key)
+    : mac_key_(MacKeyFrom(key, "det-mac")), aes_(AesKeyFrom(key, "det-enc")) {}
+
+Bytes DetCipher::Encrypt(ByteView plaintext) const {
+  Sha256::Digest mac =
+      HmacSha256(ByteView(mac_key_.data(), mac_key_.size()), plaintext);
+  Aes128::Block iv;
+  std::memcpy(iv.data(), mac.data(), iv.size());
+
+  Bytes out(iv.begin(), iv.end());
+  size_t body_start = out.size();
+  out.insert(out.end(), plaintext.data(), plaintext.data() + plaintext.size());
+  AesCtrXor(aes_, iv, out.data() + body_start, plaintext.size());
+  return out;
+}
+
+Result<Bytes> DetCipher::Decrypt(ByteView ciphertext) const {
+  if (ciphertext.size() < kOverhead) {
+    return Status::IntegrityViolation("ciphertext too short");
+  }
+  Aes128::Block iv;
+  std::memcpy(iv.data(), ciphertext.data(), iv.size());
+  Bytes plaintext(ciphertext.data() + kOverhead,
+                  ciphertext.data() + ciphertext.size());
+  AesCtrXor(aes_, iv, plaintext.data(), plaintext.size());
+
+  // Recompute the SIV and compare with the IV that was used.
+  Sha256::Digest mac = HmacSha256(ByteView(mac_key_.data(), mac_key_.size()),
+                                  ByteView(plaintext));
+  uint8_t diff = 0;
+  for (size_t i = 0; i < iv.size(); ++i) {
+    diff |= static_cast<uint8_t>(iv[i] ^ mac[i]);
+  }
+  if (diff != 0) {
+    return Status::IntegrityViolation("deterministic cipher tag mismatch");
+  }
+  return plaintext;
+}
+
+NonDetCipher::NonDetCipher(const SymmetricKey& key)
+    : mac_key_(MacKeyFrom(key, "nondet-mac")),
+      aes_(AesKeyFrom(key, "nondet-enc")) {}
+
+Bytes NonDetCipher::Encrypt(ByteView plaintext, Rng* rng) const {
+  Aes128::Block nonce;
+  rng->FillBytes(nonce.data(), nonce.size());
+
+  Bytes out(nonce.begin(), nonce.end());
+  size_t body_start = out.size();
+  out.insert(out.end(), plaintext.data(), plaintext.data() + plaintext.size());
+  AesCtrXor(aes_, nonce, out.data() + body_start, plaintext.size());
+
+  Sha256::Digest tag =
+      HmacSha256(ByteView(mac_key_.data(), mac_key_.size()), ByteView(out));
+  out.insert(out.end(), tag.begin(), tag.begin() + 16);
+  return out;
+}
+
+Result<Bytes> NonDetCipher::Decrypt(ByteView ciphertext) const {
+  if (ciphertext.size() < kOverhead) {
+    return Status::IntegrityViolation("ciphertext too short");
+  }
+  size_t body_len = ciphertext.size() - kOverhead;
+  ByteView authed = ciphertext.subview(0, 16 + body_len);
+  Sha256::Digest tag =
+      HmacSha256(ByteView(mac_key_.data(), mac_key_.size()), authed);
+  uint8_t diff = 0;
+  const uint8_t* stored_tag = ciphertext.data() + 16 + body_len;
+  for (size_t i = 0; i < 16; ++i) {
+    diff |= static_cast<uint8_t>(stored_tag[i] ^ tag[i]);
+  }
+  if (diff != 0) {
+    return Status::IntegrityViolation("nondeterministic cipher tag mismatch");
+  }
+
+  Aes128::Block nonce;
+  std::memcpy(nonce.data(), ciphertext.data(), nonce.size());
+  Bytes plaintext(ciphertext.data() + 16, ciphertext.data() + 16 + body_len);
+  AesCtrXor(aes_, nonce, plaintext.data(), plaintext.size());
+  return plaintext;
+}
+
+}  // namespace pds::crypto

@@ -1,0 +1,46 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace pds::crypto {
+
+Sha256::Digest HmacSha256(ByteView key, ByteView message) {
+  uint8_t key_block[64];
+  std::memset(key_block, 0, sizeof(key_block));
+  if (key.size() > 64) {
+    Sha256::Digest kd = Sha256::Hash(key);
+    std::memcpy(key_block, kd.data(), kd.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ByteView(ipad, 64));
+  inner.Update(message);
+  Sha256::Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(ByteView(opad, 64));
+  outer.Update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.Finish();
+}
+
+Sha256::Digest DeriveKey(ByteView master, ByteView label) {
+  return HmacSha256(master, label);
+}
+
+bool DigestEqual(const Sha256::Digest& a, const Sha256::Digest& b) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace pds::crypto

@@ -1,0 +1,98 @@
+#include "crypto/paillier.h"
+
+namespace pds::crypto {
+
+Result<Paillier> Paillier::Generate(size_t modulus_bits, Rng* rng) {
+  if (modulus_bits < 64) {
+    return Status::InvalidArgument("Paillier modulus must be >= 64 bits");
+  }
+  size_t prime_bits = modulus_bits / 2;
+  BigInt p, q, n;
+  for (;;) {
+    p = BigInt::GeneratePrime(prime_bits, rng);
+    q = BigInt::GeneratePrime(prime_bits, rng);
+    if (p == q) {
+      continue;
+    }
+    n = BigInt::Mul(p, q);
+    // gcd(n, (p-1)(q-1)) must be 1; guaranteed for distinct primes of equal
+    // length, but check cheaply anyway.
+    BigInt p1 = BigInt::Sub(p, BigInt::One());
+    BigInt q1 = BigInt::Sub(q, BigInt::One());
+    if (BigInt::Gcd(n, BigInt::Mul(p1, q1)).IsOne()) {
+      break;
+    }
+  }
+
+  BigInt p1 = BigInt::Sub(p, BigInt::One());
+  BigInt q1 = BigInt::Sub(q, BigInt::One());
+  BigInt lambda = BigInt::Lcm(p1, q1);
+  BigInt n_squared = BigInt::Mul(n, n);
+
+  // With g = n + 1: g^lambda mod n^2 = 1 + lambda*n mod n^2, so
+  // L(g^lambda) = lambda mod n and mu = lambda^-1 mod n.
+  BigInt mu = BigInt::ModInverse(BigInt::Mod(lambda, n), n);
+  if (mu.IsZero()) {
+    return Status::Internal("lambda not invertible mod n");
+  }
+
+  PublicKey pub{n, n_squared};
+  PrivateKey priv{lambda, mu};
+  return Paillier(std::move(pub), std::move(priv));
+}
+
+Result<BigInt> Paillier::Encrypt(const BigInt& m, Rng* rng) const {
+  const BigInt& n = public_key_.n;
+  const BigInt& n2 = public_key_.n_squared;
+  if (BigInt::Compare(m, n) >= 0) {
+    return Status::InvalidArgument("plaintext not less than modulus");
+  }
+  // r uniform in [1, n) with gcd(r, n) = 1 (overwhelmingly likely).
+  BigInt r;
+  do {
+    r = BigInt::RandomBelow(n, rng);
+  } while (r.IsZero() || !BigInt::Gcd(r, n).IsOne());
+
+  // (1 + m*n) * r^n mod n^2.
+  BigInt g_m = BigInt::Mod(BigInt::Add(BigInt::One(), BigInt::Mul(m, n)), n2);
+  BigInt r_n = BigInt::ModExp(r, n, n2);
+  return BigInt::ModMul(g_m, r_n, n2);
+}
+
+Result<BigInt> Paillier::EncryptU64(uint64_t m, Rng* rng) const {
+  return Encrypt(BigInt(m), rng);
+}
+
+Result<BigInt> Paillier::Decrypt(const BigInt& c) const {
+  const BigInt& n = public_key_.n;
+  const BigInt& n2 = public_key_.n_squared;
+  if (c.IsZero() || BigInt::Compare(c, n2) >= 0) {
+    return Status::InvalidArgument("ciphertext out of range");
+  }
+  BigInt x = BigInt::ModExp(c, private_key_.lambda, n2);
+  // L(x) = (x - 1) / n.
+  BigInt l = BigInt::Div(BigInt::Sub(x, BigInt::One()), n);
+  return BigInt::ModMul(l, private_key_.mu, n);
+}
+
+Result<uint64_t> Paillier::DecryptU64(const BigInt& c) const {
+  PDS_ASSIGN_OR_RETURN(BigInt m, Decrypt(c));
+  return m.ToU64();
+}
+
+BigInt Paillier::AddCiphertexts(const BigInt& c1, const BigInt& c2) const {
+  return BigInt::ModMul(c1, c2, public_key_.n_squared);
+}
+
+BigInt Paillier::AddPlaintext(const BigInt& c, const BigInt& k) const {
+  const BigInt& n = public_key_.n;
+  const BigInt& n2 = public_key_.n_squared;
+  BigInt g_k = BigInt::Mod(BigInt::Add(BigInt::One(), BigInt::Mul(k, n)), n2);
+  return BigInt::ModMul(c, g_k, n2);
+}
+
+BigInt Paillier::MulPlaintext(const BigInt& c, const BigInt& k) const {
+  return BigInt::ModExp(c, k, public_key_.n_squared);
+}
+
+}  // namespace pds::crypto

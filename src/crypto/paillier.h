@@ -1,0 +1,65 @@
+#ifndef PDS_CRYPTO_PAILLIER_H_
+#define PDS_CRYPTO_PAILLIER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/bigint.h"
+
+namespace pds::crypto {
+
+/// Paillier additively homomorphic cryptosystem.
+///
+/// The tutorial (Part III) uses homomorphic encryption as the
+/// "untrusted-server-only" point of the solution spectrum: the SSI can add
+/// encrypted values without learning them, at a crypto cost that the
+/// tutorial calls "(incredibly) high". bench_crypto_ladder reproduces that
+/// cost ladder against plaintext and secure-aggregation.
+///
+/// Standard scheme with the g = n+1 optimization:
+///   Enc(m; r) = (1 + m*n) * r^n mod n^2
+///   Dec(c)    = L(c^lambda mod n^2) * mu mod n, with L(x) = (x-1)/n
+class Paillier {
+ public:
+  struct PublicKey {
+    BigInt n;
+    BigInt n_squared;
+  };
+  struct PrivateKey {
+    BigInt lambda;  // lcm(p-1, q-1)
+    BigInt mu;      // (L(g^lambda mod n^2))^-1 mod n
+  };
+
+  /// Generates a keypair with an n of roughly `modulus_bits` bits.
+  /// Deterministic given the RNG seed.
+  static Result<Paillier> Generate(size_t modulus_bits, Rng* rng);
+
+  const PublicKey& public_key() const { return public_key_; }
+
+  /// Encrypts m (requires m < n).
+  Result<BigInt> Encrypt(const BigInt& m, Rng* rng) const;
+  Result<BigInt> EncryptU64(uint64_t m, Rng* rng) const;
+
+  /// Decrypts a ciphertext.
+  Result<BigInt> Decrypt(const BigInt& c) const;
+  Result<uint64_t> DecryptU64(const BigInt& c) const;
+
+  /// Homomorphic addition: Dec(AddCiphertexts(E(a), E(b))) = a + b mod n.
+  BigInt AddCiphertexts(const BigInt& c1, const BigInt& c2) const;
+  /// Homomorphic plaintext addition: E(a) -> E(a + k).
+  BigInt AddPlaintext(const BigInt& c, const BigInt& k) const;
+  /// Homomorphic scalar multiplication: E(a) -> E(a * k).
+  BigInt MulPlaintext(const BigInt& c, const BigInt& k) const;
+
+ private:
+  Paillier(PublicKey pub, PrivateKey priv)
+      : public_key_(std::move(pub)), private_key_(std::move(priv)) {}
+
+  PublicKey public_key_;
+  PrivateKey private_key_;
+};
+
+}  // namespace pds::crypto
+
+#endif  // PDS_CRYPTO_PAILLIER_H_

@@ -1,0 +1,42 @@
+#ifndef PDS_CRYPTO_SHA256_H_
+#define PDS_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace pds::crypto {
+
+/// Incremental SHA-256 (FIPS 180-4), implemented from scratch.
+///
+/// Usage:
+///   Sha256 h;
+///   h.Update(a); h.Update(b);
+///   std::array<uint8_t, 32> digest = h.Finish();
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void Update(ByteView data);
+  /// Finalizes and returns the digest; the object must not be reused after.
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Hash(ByteView data);
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace pds::crypto
+
+#endif  // PDS_CRYPTO_SHA256_H_

@@ -1,0 +1,60 @@
+#include "crypto/sra.h"
+
+namespace pds::crypto {
+
+Result<SraCipher> SraCipher::Create(const BigInt& p, Rng* rng) {
+  if (p.BitLength() < 32) {
+    return Status::InvalidArgument("SRA prime too small");
+  }
+  BigInt p_minus_1 = BigInt::Sub(p, BigInt::One());
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    BigInt e = BigInt::Add(BigInt::RandomBelow(p_minus_1, rng), BigInt(2));
+    if (!BigInt::Gcd(e, p_minus_1).IsOne()) {
+      continue;
+    }
+    BigInt d = BigInt::ModInverse(e, p_minus_1);
+    if (d.IsZero()) {
+      continue;
+    }
+    return SraCipher(p, std::move(e), std::move(d));
+  }
+  return Status::Internal("could not find invertible SRA exponent");
+}
+
+Result<BigInt> SraCipher::Encrypt(const BigInt& x) const {
+  if (x.IsZero() || BigInt::Compare(x, p_) >= 0) {
+    return Status::InvalidArgument("SRA plaintext out of [1, p)");
+  }
+  return BigInt::ModExp(x, e_, p_);
+}
+
+Result<BigInt> SraCipher::Decrypt(const BigInt& y) const {
+  if (y.IsZero() || BigInt::Compare(y, p_) >= 0) {
+    return Status::InvalidArgument("SRA ciphertext out of [1, p)");
+  }
+  return BigInt::ModExp(y, d_, p_);
+}
+
+Result<BigInt> SraCipher::EncodeItem(const std::string& item) const {
+  // Prefix 0x01 preserves leading zero bytes and guarantees nonzero.
+  Bytes bytes;
+  bytes.push_back(0x01);
+  bytes.insert(bytes.end(), item.begin(), item.end());
+  BigInt x = BigInt::FromBytes(ByteView(bytes));
+  if (BigInt::Compare(x, p_) >= 0) {
+    return Status::InvalidArgument(
+        "item too long for the SRA prime (" +
+        std::to_string(p_.BitLength() / 8 - 1) + " bytes max)");
+  }
+  return x;
+}
+
+Result<std::string> SraCipher::DecodeItem(const BigInt& x) const {
+  Bytes bytes = x.ToBytes();
+  if (bytes.empty() || bytes[0] != 0x01) {
+    return Status::Corruption("bad SRA item encoding");
+  }
+  return std::string(bytes.begin() + 1, bytes.end());
+}
+
+}  // namespace pds::crypto

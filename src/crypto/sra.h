@@ -1,0 +1,49 @@
+#ifndef PDS_CRYPTO_SRA_H_
+#define PDS_CRYPTO_SRA_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/bigint.h"
+
+namespace pds::crypto {
+
+/// SRA (Shamir–Rivest–Adleman) commutative encryption: E_k(x) = x^k mod p.
+///
+/// For parties holding keys e1, e2: E_e1(E_e2(x)) = E_e2(E_e1(x)), the
+/// property the data-mining toolkit's secure set union and secure
+/// set-intersection-size protocols [CKV+02] are built on.
+class SraCipher {
+ public:
+  /// Generates the public prime shared by all protocol participants.
+  static BigInt GeneratePrime(size_t bits, Rng* rng) {
+    return BigInt::GeneratePrime(bits, rng);
+  }
+
+  /// Picks a random exponent coprime to p-1 (with its inverse for
+  /// decryption).
+  static Result<SraCipher> Create(const BigInt& p, Rng* rng);
+
+  /// x must be in [1, p). Encryption of 0 is rejected.
+  Result<BigInt> Encrypt(const BigInt& x) const;
+  Result<BigInt> Decrypt(const BigInt& y) const;
+
+  /// Maps a string item into [1, p) (length must fit below the prime).
+  Result<BigInt> EncodeItem(const std::string& item) const;
+  Result<std::string> DecodeItem(const BigInt& x) const;
+
+  const BigInt& prime() const { return p_; }
+
+ private:
+  SraCipher(BigInt p, BigInt e, BigInt d)
+      : p_(std::move(p)), e_(std::move(e)), d_(std::move(d)) {}
+
+  BigInt p_;
+  BigInt e_;
+  BigInt d_;
+};
+
+}  // namespace pds::crypto
+
+#endif  // PDS_CRYPTO_SRA_H_

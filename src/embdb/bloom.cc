@@ -1,0 +1,45 @@
+#include "embdb/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace pds::embdb {
+
+BloomFilter::BloomFilter(uint32_t bits, uint32_t num_probes)
+    : bits_((std::max(bits, 8u) + 7) / 8, 0),
+      num_probes_(std::max(num_probes, 1u)) {}
+
+BloomFilter::BloomFilter(ByteView serialized, uint32_t num_probes)
+    : bits_(serialized.ToBytes()), num_probes_(std::max(num_probes, 1u)) {}
+
+void BloomFilter::Add(ByteView key) {
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = Mix64(h1) | 1;  // odd step
+  uint32_t n = num_bits();
+  for (uint32_t i = 0; i < num_probes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % n;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::MayContain(ByteView key) const {
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = Mix64(h1) | 1;
+  uint32_t n = num_bits();
+  for (uint32_t i = 0; i < num_probes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % n;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint32_t BloomFilter::OptimalProbes(double bits_per_key) {
+  double k = bits_per_key * 0.6931471805599453;  // ln 2
+  return std::max(1u, static_cast<uint32_t>(std::lround(k)));
+}
+
+}  // namespace pds::embdb

@@ -1,0 +1,41 @@
+#ifndef PDS_EMBDB_BLOOM_H_
+#define PDS_EMBDB_BLOOM_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace pds::embdb {
+
+/// Fixed-size Bloom filter used as the per-page summary of the PBFilter-style
+/// key-log index (tutorial: "BF is a probabilistic summary (~2B/key)").
+///
+/// Probes use double hashing h_i = h1 + i*h2, the standard Kirsch–Mitzenmacher
+/// construction.
+class BloomFilter {
+ public:
+  /// `bits` is rounded up to a multiple of 8. `num_probes` is the number of
+  /// hash functions.
+  BloomFilter(uint32_t bits, uint32_t num_probes);
+
+  /// Reconstructs a filter from its serialized bytes.
+  BloomFilter(ByteView serialized, uint32_t num_probes);
+
+  void Add(ByteView key);
+  bool MayContain(ByteView key) const;
+
+  const Bytes& bytes() const { return bits_; }
+  uint32_t num_bits() const { return static_cast<uint32_t>(bits_.size() * 8); }
+  uint32_t num_probes() const { return num_probes_; }
+
+  /// Suggested probe count for a bits-per-key budget (ln 2 * bits/key).
+  static uint32_t OptimalProbes(double bits_per_key);
+
+ private:
+  Bytes bits_;
+  uint32_t num_probes_;
+};
+
+}  // namespace pds::embdb
+
+#endif  // PDS_EMBDB_BLOOM_H_

@@ -1,0 +1,217 @@
+#include "embdb/join_index.h"
+
+#include <cstring>
+
+#include "logstore/external_sort.h"
+
+namespace pds::embdb {
+
+Status JoinPath::ResolveRowids(const Tuple& root_tuple,
+                               std::vector<uint64_t>* node_rowids) const {
+  node_rowids->assign(nodes.size(), 0);
+  // Tuples fetched along the way, for multi-hop branches.
+  std::vector<Tuple> fetched(nodes.size());
+  std::vector<bool> have(nodes.size(), false);
+
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const Node& node = nodes[i];
+    const Tuple* parent_tuple = nullptr;
+    if (node.parent < 0) {
+      parent_tuple = &root_tuple;
+    } else {
+      if (!have[node.parent]) {
+        return Status::InvalidArgument(
+            "join path nodes must be ordered parents-first");
+      }
+      parent_tuple = &fetched[node.parent];
+    }
+    if (node.fk_column < 0 ||
+        static_cast<size_t>(node.fk_column) >= parent_tuple->size()) {
+      return Status::InvalidArgument("bad fk column in join path");
+    }
+    uint64_t rowid = (*parent_tuple)[node.fk_column].AsU64();
+    (*node_rowids)[i] = rowid;
+
+    // Fetch this node's tuple only if a later node hangs off it.
+    bool is_parent = false;
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      if (nodes[j].parent == static_cast<int>(i)) {
+        is_parent = true;
+        break;
+      }
+    }
+    if (is_parent) {
+      PDS_ASSIGN_OR_RETURN(fetched[i], node.table->Get(rowid));
+      have[i] = true;
+    }
+  }
+  return Status::Ok();
+}
+
+Status JoinPath::ResolveRowidsFromRam(
+    const Tuple& root_tuple,
+    const std::vector<std::unordered_map<uint64_t, Tuple>>& tables,
+    std::vector<uint64_t>* node_rowids) const {
+  node_rowids->assign(nodes.size(), 0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const Node& node = nodes[i];
+    const Tuple* parent_tuple = nullptr;
+    if (node.parent < 0) {
+      parent_tuple = &root_tuple;
+    } else {
+      size_t p = static_cast<size_t>(node.parent);
+      auto it = tables[p].find((*node_rowids)[p]);
+      if (it == tables[p].end()) {
+        return Status::NotFound("dangling fk (RAM resolution)");
+      }
+      parent_tuple = &it->second;
+    }
+    if (node.fk_column < 0 ||
+        static_cast<size_t>(node.fk_column) >= parent_tuple->size()) {
+      return Status::InvalidArgument("bad fk column in join path");
+    }
+    (*node_rowids)[i] = (*parent_tuple)[node.fk_column].AsU64();
+  }
+  return Status::Ok();
+}
+
+Result<TjoinIndex> TjoinIndex::Build(const JoinPath& path,
+                                     flash::PartitionAllocator* allocator) {
+  if (path.root == nullptr || path.nodes.empty()) {
+    return Status::InvalidArgument("join path needs a root and >= 1 node");
+  }
+  const size_t k = path.nodes.size();
+  const uint64_t stride = 4 + 8 * k;  // length prefix + k rowids
+
+  // Size the partition for num_rows fixed-width records.
+  uint64_t bytes = path.root->num_rows() * stride;
+  uint64_t block_bytes =
+      static_cast<uint64_t>(allocator->geometry().page_size) *
+      allocator->geometry().pages_per_block;
+  uint32_t blocks =
+      static_cast<uint32_t>((bytes + block_bytes - 1) / block_bytes) + 1;
+  PDS_ASSIGN_OR_RETURN(flash::Partition part, allocator->Allocate(blocks));
+
+  TjoinIndex index;
+  index.log_ = logstore::RecordLog(part);
+  index.num_nodes_ = k;
+  index.record_stride_ = stride;
+
+  if (path.root->num_deleted() != 0) {
+    return Status::FailedPrecondition(
+        "build join indexes before deleting rows (rowid-stride addressing "
+        "requires a dense root table)");
+  }
+  TableHeap::Scanner scanner = path.root->NewScanner();
+  uint64_t rowid = 0;
+  Tuple tuple;
+  std::vector<uint64_t> node_rowids;
+  Bytes record;
+  while (!scanner.AtEnd()) {
+    PDS_RETURN_IF_ERROR(scanner.Next(&rowid, &tuple));
+    PDS_RETURN_IF_ERROR(path.ResolveRowids(tuple, &node_rowids));
+    record.clear();
+    for (uint64_t r : node_rowids) {
+      PutU64(&record, r);
+    }
+    PDS_ASSIGN_OR_RETURN(uint64_t offset, index.log_.Append(ByteView(record)));
+    if (offset != rowid * stride) {
+      return Status::Internal("tjoin record stride drift");
+    }
+    ++index.num_rows_;
+  }
+  return index;
+}
+
+Status TjoinIndex::Lookup(uint64_t root_rowid,
+                          std::vector<uint64_t>* node_rowids) {
+  if (root_rowid >= num_rows_) {
+    return Status::NotFound("root rowid beyond tjoin index");
+  }
+  Bytes record;
+  PDS_RETURN_IF_ERROR(log_.ReadAt(root_rowid * record_stride_, &record));
+  if (record.size() != 8 * num_nodes_) {
+    return Status::Corruption("tjoin record size mismatch");
+  }
+  node_rowids->resize(num_nodes_);
+  for (size_t i = 0; i < num_nodes_; ++i) {
+    (*node_rowids)[i] = GetU64(record.data() + 8 * i);
+  }
+  return Status::Ok();
+}
+
+Result<TselectIndex> TselectIndex::Build(const JoinPath& path, int node,
+                                         int column,
+                                         flash::PartitionAllocator* allocator,
+                                         mcu::RamGauge* gauge,
+                                         size_t sort_ram_bytes) {
+  if (path.root == nullptr) {
+    return Status::InvalidArgument("join path needs a root");
+  }
+  TableHeap* target =
+      (node < 0) ? path.root : path.nodes[static_cast<size_t>(node)].table;
+  if (column < 0 ||
+      static_cast<size_t>(column) >= target->schema().num_columns()) {
+    return Status::InvalidArgument("bad tselect column");
+  }
+
+  flash::Partition leaf_part, internal_part;
+  PDS_RETURN_IF_ERROR(AllocateTreePartitions(allocator,
+                                             path.root->num_rows(),
+                                             &leaf_part, &internal_part));
+
+  logstore::ExternalSorter::Options sort_opts;
+  sort_opts.record_size = TreeIndex::kLeafEntrySize;
+  sort_opts.ram_budget_bytes = sort_ram_bytes;
+  logstore::ExternalSorter sorter(allocator, sort_opts, gauge);
+
+  TableHeap::Scanner scanner = path.root->NewScanner();
+  uint64_t rowid = 0;
+  Tuple tuple;
+  std::vector<uint64_t> node_rowids;
+  uint8_t entry[TreeIndex::kLeafEntrySize];
+  while (!scanner.AtEnd()) {
+    Status next = scanner.Next(&rowid, &tuple);
+    if (next.code() == StatusCode::kOutOfRange) {
+      break;  // only tombstoned rows remained
+    }
+    PDS_RETURN_IF_ERROR(next);
+    const Value* v = nullptr;
+    Tuple node_tuple;
+    if (node < 0) {
+      v = &tuple[static_cast<size_t>(column)];
+    } else {
+      PDS_RETURN_IF_ERROR(path.ResolveRowids(tuple, &node_rowids));
+      PDS_ASSIGN_OR_RETURN(
+          node_tuple,
+          target->Get(node_rowids[static_cast<size_t>(node)]));
+      v = &node_tuple[static_cast<size_t>(column)];
+    }
+    v->EncodeKey(entry);
+    // Big-endian rowid so memcmp order yields ascending rowids per key.
+    EncodeU64BE(entry + Value::kKeyWidth, rowid);
+    PDS_RETURN_IF_ERROR(
+        sorter.Add(ByteView(entry, TreeIndex::kLeafEntrySize)));
+  }
+
+  TreeIndexBuilder builder(leaf_part, internal_part);
+  PDS_RETURN_IF_ERROR(sorter.Finish(
+      [&](ByteView record) { return builder.Add(record.data()); }));
+
+  TselectIndex out;
+  PDS_ASSIGN_OR_RETURN(out.tree_, builder.Finish());
+  return out;
+}
+
+Status TselectIndex::Lookup(const Value& key,
+                            std::vector<uint64_t>* root_rowids,
+                            TreeIndex::LookupStats* stats) {
+  TreeIndex::LookupStats local;
+  PDS_RETURN_IF_ERROR(tree_.Lookup(key, root_rowids, &local));
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return Status::Ok();
+}
+
+}  // namespace pds::embdb

@@ -1,0 +1,102 @@
+#ifndef PDS_EMBDB_JOIN_INDEX_H_
+#define PDS_EMBDB_JOIN_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "embdb/table_heap.h"
+#include "embdb/tree_index.h"
+#include "flash/flash.h"
+#include "logstore/sequential_log.h"
+#include "mcu/ram_gauge.h"
+
+namespace pds::embdb {
+
+/// A star/snowflake of foreign-key references rooted at one table — the
+/// "schema path" that Tselect and Tjoin indexes are defined over. In the
+/// tutorial's TPC-D example the root is LINEITEM, with
+/// ORDERS <- CUSTOMER on one branch and PARTSUPP <- SUPPLIER on the other.
+struct JoinPath {
+  struct Node {
+    TableHeap* table = nullptr;
+    /// Parent node index, or -1 when the parent is the root table.
+    int parent = -1;
+    /// Column (in the parent's schema) holding this node's rowid.
+    int fk_column = -1;
+  };
+
+  TableHeap* root = nullptr;
+  std::vector<Node> nodes;
+
+  /// Resolves the rowids of every node for one root tuple. Fetches parent
+  /// tuples as needed (counted flash IOs).
+  Status ResolveRowids(const Tuple& root_tuple,
+                       std::vector<uint64_t>* node_rowids) const;
+
+  /// Same resolution but reading parent tuples from RAM-materialized
+  /// tables (used by the naive hash-join baseline).
+  Status ResolveRowidsFromRam(
+      const Tuple& root_tuple,
+      const std::vector<std::unordered_map<uint64_t, Tuple>>& tables,
+      std::vector<uint64_t>* node_rowids) const;
+};
+
+/// Generalized join index (tutorial "Tjoin Index"): for each root-table
+/// rowid, the rowids of the tuples it refers to in the subtree. Stored as
+/// fixed-width records in a sequential log, so a lookup is one or two page
+/// reads.
+class TjoinIndex {
+ public:
+  /// Builds the index by scanning the root table once (plus the parent
+  /// fetches needed to follow multi-hop branches).
+  static Result<TjoinIndex> Build(const JoinPath& path,
+                                  flash::PartitionAllocator* allocator);
+
+  /// Returns the subtree rowids for a root rowid, in node order.
+  Status Lookup(uint64_t root_rowid, std::vector<uint64_t>* node_rowids);
+
+  size_t num_nodes() const { return num_nodes_; }
+  uint64_t num_rows() const { return num_rows_; }
+
+ private:
+  TjoinIndex() = default;
+
+  logstore::RecordLog log_;
+  size_t num_nodes_ = 0;
+  uint64_t num_rows_ = 0;
+  uint64_t record_stride_ = 0;
+};
+
+/// Tselect index (tutorial): maps a value of some attribute — on the root
+/// or any node of the path — to the *root-table* rowids whose subtree
+/// carries that value, in ascending rowid order ("sorted row ids!", which
+/// makes rowid-merge intersection a pipeline operation).
+///
+/// Materialized as a TreeIndex over (attribute value, root rowid).
+class TselectIndex {
+ public:
+  /// `node` is the path-node index carrying the attribute, or -1 for a
+  /// column of the root table itself.
+  static Result<TselectIndex> Build(const JoinPath& path, int node,
+                                    int column,
+                                    flash::PartitionAllocator* allocator,
+                                    mcu::RamGauge* gauge,
+                                    size_t sort_ram_bytes = 16 * 1024);
+
+  /// Sorted root rowids whose attribute equals `key`.
+  Status Lookup(const Value& key, std::vector<uint64_t>* root_rowids,
+                TreeIndex::LookupStats* stats);
+
+  const TreeIndex& tree() const { return tree_; }
+
+ private:
+  TselectIndex() = default;
+
+  TreeIndex tree_;
+};
+
+}  // namespace pds::embdb
+
+#endif  // PDS_EMBDB_JOIN_INDEX_H_

@@ -1,0 +1,153 @@
+#include "embdb/kv_store.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pds::embdb {
+
+KvStore::KvStore(flash::Partition value_partition,
+                 flash::Partition keys_partition,
+                 flash::Partition bloom_partition, mcu::RamGauge* gauge,
+                 const Options& options)
+    : gauge_(gauge),
+      options_(options),
+      value_partition_(value_partition),
+      keys_partition_(keys_partition),
+      bloom_partition_(bloom_partition),
+      values_(value_partition),
+      index_(std::make_unique<KeyLogIndex>(keys_partition, bloom_partition,
+                                           gauge, options.index)) {}
+
+Status KvStore::Init() { return index_->Init(); }
+
+Status KvStore::Put(const std::string& key, ByteView value) {
+  // The record embeds the full key: the index matches only a 24-byte
+  // order-preserving prefix, so Get re-checks the exact key.
+  Bytes record;
+  record.push_back(kValueTag);
+  PutLengthPrefixed(&record, ByteView(std::string_view(key)));
+  record.insert(record.end(), value.data(), value.data() + value.size());
+  PDS_ASSIGN_OR_RETURN(uint64_t address, values_.Append(ByteView(record)));
+  PDS_RETURN_IF_ERROR(index_->Insert(Value::Str(key), address));
+  ++num_versions_;
+  ++num_puts_;
+  return Status::Ok();
+}
+
+Status KvStore::Delete(const std::string& key) {
+  Bytes record;
+  record.push_back(kTombstoneTag);
+  PutLengthPrefixed(&record, ByteView(std::string_view(key)));
+  PDS_ASSIGN_OR_RETURN(uint64_t address, values_.Append(ByteView(record)));
+  PDS_RETURN_IF_ERROR(index_->Insert(Value::Str(key), address));
+  ++num_versions_;
+  ++num_deletes_;
+  return Status::Ok();
+}
+
+Result<Bytes> KvStore::Get(const std::string& key) {
+  std::vector<uint64_t> addresses;
+  KeyLogIndex::LookupStats stats;
+  PDS_RETURN_IF_ERROR(index_->Lookup(Value::Str(key), &addresses, &stats));
+  if (addresses.empty()) {
+    return Status::NotFound("key '" + key + "'");
+  }
+  // Addresses grow with the value log: scan from the newest version down,
+  // skipping records whose exact key differs (index prefix collisions).
+  std::sort(addresses.begin(), addresses.end());
+  for (size_t i = addresses.size(); i-- > 0;) {
+    Bytes record;
+    PDS_RETURN_IF_ERROR(values_.ReadAt(addresses[i], &record));
+    if (record.empty()) {
+      return Status::Corruption("empty kv record");
+    }
+    size_t pos = 1;
+    ByteView stored_key;
+    if (!GetLengthPrefixed(ByteView(record), &pos, &stored_key)) {
+      return Status::Corruption("kv record missing key");
+    }
+    if (stored_key.ToString() != key) {
+      continue;  // a different key sharing the 24-byte prefix
+    }
+    if (record[0] == kTombstoneTag) {
+      return Status::NotFound("key '" + key + "' (deleted)");
+    }
+    return Bytes(record.begin() + static_cast<long>(pos), record.end());
+  }
+  return Status::NotFound("key '" + key + "'");
+}
+
+Status KvStore::Compact(flash::PartitionAllocator* allocator) {
+  // Pass 1: latest version address per key (skipping superseded ones).
+  std::map<std::string, std::pair<uint64_t, bool>> latest;  // addr, tomb
+  {
+    logstore::RecordLog::Reader reader = values_.NewReader();
+    Bytes record;
+    while (!reader.AtEnd()) {
+      uint64_t address = reader.offset();
+      PDS_RETURN_IF_ERROR(reader.Next(&record));
+      if (record.empty()) {
+        return Status::Corruption("empty kv record");
+      }
+      size_t pos = 1;
+      ByteView key;
+      if (!GetLengthPrefixed(ByteView(record), &pos, &key)) {
+        return Status::Corruption("kv record missing key");
+      }
+      latest[key.ToString()] = {address, record[0] == kTombstoneTag};
+    }
+  }
+
+  // Fresh partitions sized like the originals.
+  PDS_ASSIGN_OR_RETURN(flash::Partition new_values,
+                       allocator->Allocate(value_partition_.num_blocks()));
+  PDS_ASSIGN_OR_RETURN(flash::Partition new_keys,
+                       allocator->Allocate(keys_partition_.num_blocks()));
+  PDS_ASSIGN_OR_RETURN(flash::Partition new_bloom,
+                       allocator->Allocate(bloom_partition_.num_blocks()));
+
+  logstore::RecordLog new_log(new_values);
+  auto new_index = std::make_unique<KeyLogIndex>(new_keys, new_bloom, gauge_,
+                                                 options_.index);
+  PDS_RETURN_IF_ERROR(new_index->Init());
+
+  // Pass 2: carry the live versions over.
+  uint64_t live = 0;
+  Bytes record;
+  for (const auto& [key, entry] : latest) {
+    if (entry.second) {
+      continue;  // tombstone: the key is gone for good after compaction
+    }
+    PDS_RETURN_IF_ERROR(values_.ReadAt(entry.first, &record));
+    PDS_ASSIGN_OR_RETURN(uint64_t address, new_log.Append(ByteView(record)));
+    PDS_RETURN_IF_ERROR(new_index->Insert(Value::Str(key), address));
+    ++live;
+  }
+
+  // Swap in, give the old blocks back.
+  PDS_RETURN_IF_ERROR(allocator->Free(value_partition_));
+  PDS_RETURN_IF_ERROR(allocator->Free(keys_partition_));
+  PDS_RETURN_IF_ERROR(allocator->Free(bloom_partition_));
+  value_partition_ = new_values;
+  keys_partition_ = new_keys;
+  bloom_partition_ = new_bloom;
+  values_ = std::move(new_log);
+  index_ = std::move(new_index);
+  num_versions_ = live;
+  num_puts_ = live;
+  num_deletes_ = 0;
+  return Status::Ok();
+}
+
+Result<bool> KvStore::Contains(const std::string& key) {
+  Result<Bytes> value = Get(key);
+  if (value.ok()) {
+    return true;
+  }
+  if (value.status().code() == StatusCode::kNotFound) {
+    return false;
+  }
+  return value.status();
+}
+
+}  // namespace pds::embdb

@@ -1,0 +1,78 @@
+#ifndef PDS_EMBDB_KV_STORE_H_
+#define PDS_EMBDB_KV_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "embdb/key_index.h"
+#include "flash/flash.h"
+#include "logstore/sequential_log.h"
+#include "mcu/ram_gauge.h"
+
+namespace pds::embdb {
+
+/// Log-only key-value store for the tutorial's "extend the principles to
+/// other data models ... NoSQL & key-value stores" challenge.
+///
+/// Layout (all append-only):
+///  - a value log (RecordLog) holding versioned values;
+///  - a PBFilter-style key index mapping key -> value-log addresses.
+///
+/// Updates append a new version; Get returns the *latest* version (the
+/// largest address among the key's postings). Deletes append a tombstone.
+/// Contrast with the RAM-hungry flash KV stores the tutorial reviews
+/// (SkimpyStash/SILT need ~1+ byte of RAM per key; here RAM is a constant
+/// few pages regardless of the key population).
+class KvStore {
+ public:
+  struct Options {
+    KeyLogIndex::Options index;
+  };
+
+  KvStore(flash::Partition value_partition, flash::Partition keys_partition,
+          flash::Partition bloom_partition, mcu::RamGauge* gauge,
+          const Options& options);
+
+  /// Charges the resident RAM (the index's page buffers).
+  Status Init();
+
+  Status Put(const std::string& key, ByteView value);
+  /// Latest value; NotFound if never written or deleted.
+  Result<Bytes> Get(const std::string& key);
+  Status Delete(const std::string& key);
+  /// False for absent and deleted keys.
+  Result<bool> Contains(const std::string& key);
+
+  /// Rewrites only the live (latest, non-deleted) versions into fresh
+  /// partitions and returns the old blocks to the allocator — the
+  /// "de-allocation on the block grain" end of the log lifecycle. The
+  /// key->latest-address map lives in RAM during the pass (documented
+  /// trade; proportional to live keys, not versions).
+  Status Compact(flash::PartitionAllocator* allocator);
+
+  /// Live versions are those returned by Get; this counts every appended
+  /// version (the log grows until compaction).
+  uint64_t num_versions() const { return num_versions_; }
+  uint64_t num_puts() const { return num_puts_; }
+  uint64_t num_deletes() const { return num_deletes_; }
+
+ private:
+  static constexpr uint8_t kValueTag = 0x01;
+  static constexpr uint8_t kTombstoneTag = 0x00;
+
+  mcu::RamGauge* gauge_;
+  Options options_;
+  flash::Partition value_partition_;
+  flash::Partition keys_partition_;
+  flash::Partition bloom_partition_;
+  logstore::RecordLog values_;
+  std::unique_ptr<KeyLogIndex> index_;
+  uint64_t num_versions_ = 0;
+  uint64_t num_puts_ = 0;
+  uint64_t num_deletes_ = 0;
+};
+
+}  // namespace pds::embdb
+
+#endif  // PDS_EMBDB_KV_STORE_H_

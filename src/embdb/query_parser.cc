@@ -1,0 +1,355 @@
+#include "embdb/query_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pds::embdb {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent, kString, kNumber, kOp, kComma, kStar, kLParen, kRParen, kEnd
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  Result<Token> Next() {
+    while (pos_ < sql_.size() &&
+           std::isspace(static_cast<unsigned char>(sql_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= sql_.size()) {
+      return Token{Token::Kind::kEnd, ""};
+    }
+    char c = sql_[pos_];
+    if (c == ',') {
+      ++pos_;
+      return Token{Token::Kind::kComma, ","};
+    }
+    if (c == '*') {
+      ++pos_;
+      return Token{Token::Kind::kStar, "*"};
+    }
+    if (c == '(') {
+      ++pos_;
+      return Token{Token::Kind::kLParen, "("};
+    }
+    if (c == ')') {
+      ++pos_;
+      return Token{Token::Kind::kRParen, ")"};
+    }
+    if (c == '\'') {
+      // Single-quoted string; '' escapes a quote.
+      ++pos_;
+      std::string out;
+      while (pos_ < sql_.size()) {
+        if (sql_[pos_] == '\'') {
+          if (pos_ + 1 < sql_.size() && sql_[pos_ + 1] == '\'') {
+            out.push_back('\'');
+            pos_ += 2;
+            continue;
+          }
+          ++pos_;
+          return Token{Token::Kind::kString, out};
+        }
+        out.push_back(sql_[pos_++]);
+      }
+      return Status::InvalidArgument("unterminated string literal");
+    }
+    if (c == '=' || c == '!' || c == '<' || c == '>') {
+      std::string op(1, c);
+      ++pos_;
+      if (pos_ < sql_.size() && sql_[pos_] == '=') {
+        op.push_back('=');
+        ++pos_;
+      }
+      if (op == "!") {
+        return Status::InvalidArgument("expected != operator");
+      }
+      return Token{Token::Kind::kOp, op};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+') {
+      std::string out(1, c);
+      ++pos_;
+      while (pos_ < sql_.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+              sql_[pos_] == '.')) {
+        out.push_back(sql_[pos_++]);
+      }
+      return Token{Token::Kind::kNumber, out};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string out;
+      while (pos_ < sql_.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+              sql_[pos_] == '_' || sql_[pos_] == '.')) {
+        out.push_back(sql_[pos_++]);
+      }
+      return Token{Token::Kind::kIdent, out};
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") +
+                                   c + "'");
+  }
+
+ private:
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool IsKeyword(const Token& t, std::string_view kw) {
+  return t.kind == Token::Kind::kIdent && Lower(t.text) == kw;
+}
+
+/// Maps an identifier to an aggregate function, if it names one.
+bool AggFuncFor(const Token& t, Aggregator::Func* func) {
+  if (t.kind != Token::Kind::kIdent) {
+    return false;
+  }
+  std::string k = Lower(t.text);
+  if (k == "count") { *func = Aggregator::Func::kCount; return true; }
+  if (k == "sum") { *func = Aggregator::Func::kSum; return true; }
+  if (k == "avg") { *func = Aggregator::Func::kAvg; return true; }
+  if (k == "min") { *func = Aggregator::Func::kMin; return true; }
+  if (k == "max") { *func = Aggregator::Func::kMax; return true; }
+  return false;
+}
+
+Result<Predicate::Op> ParseOp(const std::string& op) {
+  if (op == "=") return Predicate::Op::kEq;
+  if (op == "!=") return Predicate::Op::kNe;
+  if (op == "<") return Predicate::Op::kLt;
+  if (op == "<=") return Predicate::Op::kLe;
+  if (op == ">") return Predicate::Op::kGt;
+  if (op == ">=") return Predicate::Op::kGe;
+  return Status::InvalidArgument("unknown operator '" + op + "'");
+}
+
+}  // namespace
+
+Result<ParsedQuery> ParseSelect(std::string_view sql) {
+  Lexer lexer(sql);
+  ParsedQuery query;
+
+  PDS_ASSIGN_OR_RETURN(Token t, lexer.Next());
+  if (!IsKeyword(t, "select")) {
+    return Status::InvalidArgument("expected SELECT");
+  }
+
+  // Projection list: columns and/or one aggregate item.
+  PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+  if (t.kind == Token::Kind::kStar) {
+    PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+  } else {
+    for (;;) {
+      Aggregator::Func func;
+      if (AggFuncFor(t, &func)) {
+        // Might be AGG( ... ) — or a plain column that shares the name.
+        PDS_ASSIGN_OR_RETURN(Token peek, lexer.Next());
+        if (peek.kind == Token::Kind::kLParen) {
+          if (query.aggregate.has_value()) {
+            return Status::InvalidArgument("only one aggregate supported");
+          }
+          ParsedAggregate agg;
+          agg.func = func;
+          PDS_ASSIGN_OR_RETURN(Token arg, lexer.Next());
+          if (arg.kind == Token::Kind::kStar) {
+            if (func != Aggregator::Func::kCount) {
+              return Status::InvalidArgument("only COUNT accepts *");
+            }
+          } else if (arg.kind == Token::Kind::kIdent) {
+            agg.column = arg.text;
+          } else {
+            return Status::InvalidArgument("expected aggregate argument");
+          }
+          PDS_ASSIGN_OR_RETURN(Token close, lexer.Next());
+          if (close.kind != Token::Kind::kRParen) {
+            return Status::InvalidArgument("expected ')'");
+          }
+          query.aggregate = std::move(agg);
+          PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+        } else {
+          query.columns.push_back(t.text);
+          t = peek;
+        }
+      } else if (t.kind == Token::Kind::kIdent) {
+        query.columns.push_back(t.text);
+        PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+      } else {
+        return Status::InvalidArgument("expected column or aggregate");
+      }
+      if (t.kind != Token::Kind::kComma) {
+        break;
+      }
+      PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+    }
+  }
+
+  if (!IsKeyword(t, "from")) {
+    return Status::InvalidArgument("expected FROM");
+  }
+  PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+  if (t.kind != Token::Kind::kIdent) {
+    return Status::InvalidArgument("expected table name");
+  }
+  query.table = t.text;
+
+  PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+  if (IsKeyword(t, "where")) {
+    for (;;) {
+      ParsedPredicate pred;
+      PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+      if (t.kind != Token::Kind::kIdent) {
+        return Status::InvalidArgument("expected predicate column");
+      }
+      pred.column = t.text;
+      PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+      if (t.kind != Token::Kind::kOp) {
+        return Status::InvalidArgument("expected comparison operator");
+      }
+      PDS_ASSIGN_OR_RETURN(pred.op, ParseOp(t.text));
+      PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+      if (t.kind == Token::Kind::kString) {
+        pred.literal = t.text;
+        pred.literal_is_string = true;
+      } else if (t.kind == Token::Kind::kNumber) {
+        pred.literal = t.text;
+      } else {
+        return Status::InvalidArgument("expected literal");
+      }
+      query.where.push_back(std::move(pred));
+
+      PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+      if (!IsKeyword(t, "and")) {
+        break;
+      }
+    }
+  }
+
+  if (IsKeyword(t, "group")) {
+    PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+    if (!IsKeyword(t, "by")) {
+      return Status::InvalidArgument("expected BY after GROUP");
+    }
+    PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+    if (t.kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected GROUP BY column");
+    }
+    query.group_by = t.text;
+    PDS_ASSIGN_OR_RETURN(t, lexer.Next());
+  }
+
+  if (t.kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("unexpected trailing tokens");
+  }
+  if (!query.group_by.empty() && !query.aggregate.has_value()) {
+    return Status::InvalidArgument("GROUP BY requires an aggregate");
+  }
+  if (query.aggregate.has_value() && query.columns.size() > 1) {
+    return Status::InvalidArgument(
+        "aggregate queries allow at most the GROUP BY column alongside");
+  }
+  if (query.aggregate.has_value() && query.columns.size() == 1 &&
+      query.columns[0] != query.group_by) {
+    return Status::InvalidArgument(
+        "non-aggregated column must be the GROUP BY column");
+  }
+  return query;
+}
+
+Result<BoundQuery> Bind(const ParsedQuery& query, const Schema& schema) {
+  BoundQuery bound;
+  if (query.aggregate.has_value()) {
+    bound.has_aggregate = true;
+    bound.agg_func = query.aggregate->func;
+    if (!query.aggregate->column.empty()) {
+      int idx = schema.ColumnIndex(query.aggregate->column);
+      if (idx < 0) {
+        return Status::NotFound("aggregate column '" +
+                                query.aggregate->column + "'");
+      }
+      if (schema.columns()[static_cast<size_t>(idx)].type ==
+              ColumnType::kString &&
+          bound.agg_func != Aggregator::Func::kCount) {
+        return Status::InvalidArgument(
+            "cannot aggregate a string column numerically");
+      }
+      bound.agg_column = idx;
+    } else if (bound.agg_func != Aggregator::Func::kCount) {
+      return Status::InvalidArgument("only COUNT accepts *");
+    }
+    if (!query.group_by.empty()) {
+      int idx = schema.ColumnIndex(query.group_by);
+      if (idx < 0) {
+        return Status::NotFound("GROUP BY column '" + query.group_by + "'");
+      }
+      bound.group_column = idx;
+    }
+  }
+  for (const std::string& col : query.columns) {
+    int idx = schema.ColumnIndex(col);
+    if (idx < 0) {
+      return Status::NotFound("column '" + col + "' in table " +
+                              schema.name());
+    }
+    bound.projection.push_back(idx);
+  }
+  for (const ParsedPredicate& p : query.where) {
+    int idx = schema.ColumnIndex(p.column);
+    if (idx < 0) {
+      return Status::NotFound("column '" + p.column + "' in table " +
+                              schema.name());
+    }
+    ColumnType type = schema.columns()[static_cast<size_t>(idx)].type;
+    Predicate pred;
+    pred.column = idx;
+    pred.op = p.op;
+    if (p.literal_is_string) {
+      if (type != ColumnType::kString) {
+        return Status::InvalidArgument("string literal for non-string column '" +
+                                       p.column + "'");
+      }
+      pred.constant = Value::Str(p.literal);
+    } else {
+      switch (type) {
+        case ColumnType::kUint64: {
+          if (!p.literal.empty() && p.literal[0] == '-') {
+            return Status::InvalidArgument("negative literal for UINT64 '" +
+                                           p.column + "'");
+          }
+          pred.constant =
+              Value::U64(std::strtoull(p.literal.c_str(), nullptr, 10));
+          break;
+        }
+        case ColumnType::kInt64:
+          pred.constant =
+              Value::I64(std::strtoll(p.literal.c_str(), nullptr, 10));
+          break;
+        case ColumnType::kDouble:
+          pred.constant = Value::F64(std::strtod(p.literal.c_str(), nullptr));
+          break;
+        case ColumnType::kString:
+          return Status::InvalidArgument(
+              "numeric literal for string column '" + p.column + "'");
+      }
+    }
+    bound.predicates.push_back(std::move(pred));
+  }
+  return bound;
+}
+
+}  // namespace pds::embdb

@@ -1,0 +1,64 @@
+#ifndef PDS_EMBDB_QUERY_PARSER_H_
+#define PDS_EMBDB_QUERY_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "embdb/executor.h"
+#include "embdb/schema.h"
+
+namespace pds::embdb {
+
+/// A parsed (unbound) predicate: column by name, literal still textual.
+struct ParsedPredicate {
+  std::string column;
+  Predicate::Op op = Predicate::Op::kEq;
+  std::string literal;
+  bool literal_is_string = false;  // quoted in the source
+};
+
+/// Optional aggregate in the projection: AGG(column) or COUNT(*).
+struct ParsedAggregate {
+  Aggregator::Func func = Aggregator::Func::kCount;
+  std::string column;  // empty for COUNT(*)
+};
+
+/// A parsed single-table select.
+struct ParsedQuery {
+  std::vector<std::string> columns;  // empty = * (or the GROUP BY column)
+  std::string table;
+  std::vector<ParsedPredicate> where;
+  std::optional<ParsedAggregate> aggregate;
+  std::string group_by;  // empty = no grouping
+};
+
+/// Parses the embedded-SQL subset:
+///
+///   SELECT * | col [, col]* FROM table
+///     [WHERE col (= | != | < | <= | > | >=) literal [AND ...]]
+///   SELECT [gcol ,] COUNT(*)|SUM(c)|AVG(c)|MIN(c)|MAX(c) FROM table
+///     [WHERE ...] [GROUP BY gcol]
+///
+/// Literals: integers (42, -7), decimals (3.5), single-quoted strings
+/// ('Lyon', with '' escaping a quote). Keywords are case-insensitive;
+/// identifiers are kept verbatim.
+Result<ParsedQuery> ParseSelect(std::string_view sql);
+
+/// Binds a parsed query against a schema: resolves column indexes and
+/// coerces literals to the column types (InvalidArgument on mismatch).
+struct BoundQuery {
+  std::vector<int> projection;  // empty = all columns
+  std::vector<Predicate> predicates;
+  bool has_aggregate = false;
+  Aggregator::Func agg_func = Aggregator::Func::kCount;
+  int agg_column = -1;    // -1 for COUNT(*)
+  int group_column = -1;  // -1 = single global group
+};
+Result<BoundQuery> Bind(const ParsedQuery& query, const Schema& schema);
+
+}  // namespace pds::embdb
+
+#endif  // PDS_EMBDB_QUERY_PARSER_H_

@@ -1,0 +1,33 @@
+#include "embdb/reorganize.h"
+
+namespace pds::embdb {
+
+Result<TreeIndex> Reorganizer::Reorganize(
+    KeyLogIndex* source, flash::PartitionAllocator* allocator,
+    mcu::RamGauge* gauge, const Options& options) {
+  flash::Partition leaf_part, internal_part;
+  PDS_RETURN_IF_ERROR(AllocateTreePartitions(allocator,
+                                             source->num_entries(),
+                                             &leaf_part, &internal_part));
+
+  // Phase 1: external sort of the key log (temporary sorted-run logs).
+  logstore::ExternalSorter::Options sort_opts;
+  sort_opts.record_size = KeyLogIndex::kEntrySize;
+  sort_opts.ram_budget_bytes = options.sort_ram_bytes;
+  logstore::ExternalSorter sorter(allocator, sort_opts, gauge);
+
+  PDS_RETURN_IF_ERROR(
+      source->ScanEntries([&](const uint8_t* entry, uint64_t rowid) {
+        (void)rowid;
+        // `entry` points at the packed 32-byte (key || rowid) record.
+        return sorter.Add(ByteView(entry, KeyLogIndex::kEntrySize));
+      }));
+
+  // Phase 2: build the key hierarchy bottom-up, written sequentially.
+  TreeIndexBuilder builder(leaf_part, internal_part);
+  PDS_RETURN_IF_ERROR(sorter.Finish(
+      [&](ByteView record) { return builder.Add(record.data()); }));
+  return builder.Finish();
+}
+
+}  // namespace pds::embdb

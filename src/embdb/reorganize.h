@@ -1,0 +1,41 @@
+#ifndef PDS_EMBDB_REORGANIZE_H_
+#define PDS_EMBDB_REORGANIZE_H_
+
+#include "common/result.h"
+#include "embdb/key_index.h"
+#include "embdb/tree_index.h"
+#include "flash/flash.h"
+#include "logstore/external_sort.h"
+#include "mcu/ram_gauge.h"
+
+namespace pds::embdb {
+
+/// The tutorial's index reorganization ("Scalability => timely reorganize
+/// the index to transform it into a more efficient index"):
+///
+///  1. sort the (key, pointer) pairs of the sequential key-log index into
+///     temporary sorted-run logs (ExternalSorter — log structures only);
+///  2. build the key hierarchy bottom-up (TreeIndexBuilder — written
+///     sequentially, no temporary logs needed).
+///
+/// The process is background/interruptible in the paper's setting; here it
+/// runs to completion and reports its flash cost through the chip counters.
+class Reorganizer {
+ public:
+  struct Options {
+    /// RAM budget handed to the external sort (runs + merge pages).
+    size_t sort_ram_bytes = 16 * 1024;
+  };
+
+  /// Sorts `source` and produces a TreeIndex in freshly allocated
+  /// partitions. The source index is left untouched (in the paper the old
+  /// log remains queryable until the swap).
+  static Result<TreeIndex> Reorganize(KeyLogIndex* source,
+                                      flash::PartitionAllocator* allocator,
+                                      mcu::RamGauge* gauge,
+                                      const Options& options);
+};
+
+}  // namespace pds::embdb
+
+#endif  // PDS_EMBDB_REORGANIZE_H_

@@ -1,0 +1,40 @@
+#include "embdb/schema.h"
+
+namespace pds::embdb {
+
+int Schema::ColumnIndex(std::string_view column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<ColumnType> Schema::ColumnTypes() const {
+  std::vector<ColumnType> types;
+  types.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    types.push_back(c.type);
+  }
+  return types;
+}
+
+Status Schema::Validate(const Tuple& tuple) const {
+  if (tuple.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " != schema arity " +
+        std::to_string(columns_.size()) + " for table " + name_);
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (tuple[i].type() != columns_[i].type) {
+      return Status::InvalidArgument(
+          "column '" + columns_[i].name + "' expects " +
+          std::string(ColumnTypeName(columns_[i].type)) + " but got " +
+          std::string(ColumnTypeName(tuple[i].type())));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pds::embdb

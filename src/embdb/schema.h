@@ -1,0 +1,48 @@
+#ifndef PDS_EMBDB_SCHEMA_H_
+#define PDS_EMBDB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "embdb/value.h"
+
+namespace pds::embdb {
+
+/// One column of a table. A column may reference another table by *rowid*
+/// (a surrogate foreign key) — the form join indexes exploit.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kUint64;
+  /// Empty, or the name of the table whose rowids this kUint64 column holds.
+  std::string references;
+};
+
+/// A table schema: name plus ordered columns.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string table_name, std::vector<Column> columns)
+      : name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of a column by name, or -1.
+  int ColumnIndex(std::string_view column_name) const;
+
+  std::vector<ColumnType> ColumnTypes() const;
+
+  /// Checks that a tuple matches the schema's arity and column types.
+  Status Validate(const Tuple& tuple) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace pds::embdb
+
+#endif  // PDS_EMBDB_SCHEMA_H_

@@ -1,0 +1,113 @@
+#ifndef PDS_EMBDB_TIMESERIES_H_
+#define PDS_EMBDB_TIMESERIES_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/result.h"
+#include "flash/flash.h"
+#include "logstore/sequential_log.h"
+#include "mcu/ram_gauge.h"
+
+namespace pds::embdb {
+
+/// Log-only time-series store — the tutorial's "extend the principles to
+/// other data models ... time series" challenge, in the same two-log shape
+/// as the PBFilter index:
+///
+///  - a data log of (timestamp, value) points packed into pages
+///    (timestamps strictly increasing: sensors emit in order);
+///  - a summary log with one fixed-width entry per sealed data page
+///    (min/max timestamp, min/max/sum of values, count).
+///
+/// Range queries scan the small summary log and fetch only overlapping
+/// data pages; aggregates over a range use the per-page sums for fully
+/// covered pages and touch at most two partial edge pages — the classic
+/// "segment skipping" that summaries buy on append-only storage.
+class TimeSeriesStore {
+ public:
+  struct Point {
+    uint64_t timestamp = 0;
+    double value = 0.0;
+  };
+
+  struct RangeAggregate {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    double avg() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  struct QueryStats {
+    uint32_t summary_pages = 0;
+    uint32_t data_pages = 0;
+    uint32_t pages_skipped = 0;
+  };
+
+  TimeSeriesStore(flash::Partition data_partition,
+                  flash::Partition summary_partition, mcu::RamGauge* gauge);
+  ~TimeSeriesStore();
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Charges the resident RAM (open data page + open summary page).
+  Status Init();
+
+  /// Appends a point; timestamps must be strictly increasing.
+  Status Append(uint64_t timestamp, double value);
+
+  /// Streams points with t1 <= timestamp <= t2 in order.
+  Status Range(uint64_t t1, uint64_t t2,
+               const std::function<Status(const Point&)>& emit,
+               QueryStats* stats);
+
+  /// COUNT/SUM/MIN/MAX/AVG over [t1, t2] using page summaries.
+  Result<RangeAggregate> Aggregate(uint64_t t1, uint64_t t2,
+                                   QueryStats* stats);
+
+  uint64_t num_points() const { return num_points_; }
+  uint32_t num_data_pages() const {
+    return data_log_.num_pages() + (open_points_ == 0 ? 0 : 1);
+  }
+
+  static constexpr size_t kPointSize = 16;    // u64 ts + f64 value
+  static constexpr size_t kSummarySize = 48;  // ts range + v stats + count
+
+ private:
+  struct PageSummary {
+    uint64_t min_ts = 0;
+    uint64_t max_ts = 0;
+    double min_v = 0;
+    double max_v = 0;
+    double sum_v = 0;
+    uint64_t count = 0;
+  };
+
+  Status SealOpenPage();
+  static void EncodeSummary(const PageSummary& s, uint8_t* out);
+  static PageSummary DecodeSummary(const uint8_t* in);
+
+  logstore::SequentialLog data_log_;
+  logstore::SequentialLog summary_log_;
+  mcu::RamGauge* gauge_;
+  size_t charged_ram_ = 0;
+  bool initialized_ = false;
+
+  Bytes open_page_;          // points of the open data page
+  uint32_t open_points_ = 0;
+  PageSummary open_summary_;
+  Bytes summary_buffer_;     // sealed summaries awaiting a full page
+
+  uint64_t last_ts_ = 0;
+  bool any_point_ = false;
+  uint64_t num_points_ = 0;
+};
+
+}  // namespace pds::embdb
+
+#endif  // PDS_EMBDB_TIMESERIES_H_

@@ -1,0 +1,115 @@
+#ifndef PDS_EMBDB_TREE_INDEX_H_
+#define PDS_EMBDB_TREE_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "embdb/value.h"
+#include "flash/flash.h"
+#include "logstore/sequential_log.h"
+
+namespace pds::embdb {
+
+/// The reorganized "B-Tree like" index of the tutorial: a hierarchy of
+/// sequentially-written pages over sorted (key, rowid) entries.
+///
+/// Layout (two sequential logs, both append-only):
+///  - leaf log:     pages of sorted 32-byte entries (24-byte key + rowid);
+///    leaves are consecutive pages, so duplicate runs are scanned forward.
+///  - internal log: pages of 28-byte entries (first_key of child + child
+///    page number); level 1 children live in the leaf log, higher levels in
+///    the internal log.
+///
+/// A lookup descends height-1 internal pages and then scans the leaf run:
+/// O(height + matches/page) IOs, versus the key-log index's full summary
+/// scan. The builder (below) writes every page exactly once — the
+/// reorganization "itself must only use log structures".
+class TreeIndex {
+ public:
+  struct LookupStats {
+    uint32_t internal_pages = 0;
+    uint32_t leaf_pages = 0;
+    uint32_t matches = 0;
+  };
+
+  TreeIndex() = default;
+
+  /// Finds all rowids with key equal to `key` (ascending rowid order).
+  Status Lookup(const Value& key, std::vector<uint64_t>* rowids,
+                LookupStats* stats);
+
+  /// Streams all (encoded key, rowid) entries with lo <= key <= hi in key
+  /// order.
+  Status Range(const Value& lo, const Value& hi,
+               const std::function<Status(const uint8_t*, uint64_t)>& emit);
+
+  uint64_t num_entries() const { return num_entries_; }
+  uint32_t height() const { return height_; }
+  uint32_t num_leaf_pages() const { return leaf_log_.num_pages(); }
+  uint32_t num_internal_pages() const { return internal_log_.num_pages(); }
+
+  static constexpr size_t kLeafEntrySize = Value::kKeyWidth + 8;
+  static constexpr size_t kInternalEntrySize = Value::kKeyWidth + 4;
+  static constexpr size_t kPageHeader = 4;  // u8 level, u8 rsvd, u16 count
+
+ private:
+  friend class TreeIndexBuilder;
+
+  /// Walks internal levels down to the starting leaf page for `encoded`.
+  Status DescendToLeaf(const uint8_t* encoded, uint32_t* leaf_page,
+                       LookupStats* stats);
+
+  logstore::SequentialLog leaf_log_;
+  logstore::SequentialLog internal_log_;
+  uint32_t root_page_ = 0;   // in internal log when height > 1
+  uint32_t height_ = 0;      // 0 = empty, 1 = single leaf level
+  uint64_t num_entries_ = 0;
+};
+
+/// Allocates a leaf partition and an internal partition sized for a tree of
+/// `entries` entries on the allocator's chip.
+Status AllocateTreePartitions(flash::PartitionAllocator* allocator,
+                              uint64_t entries, flash::Partition* leaf,
+                              flash::Partition* internal);
+
+/// Builds a TreeIndex from entries supplied in ascending (key, rowid)
+/// order — typically the output of ExternalSorter. Pages cascade bottom-up:
+/// completing a page at level L appends its (first_key, page) entry to the
+/// buffer of level L+1, so builder RAM is height * page_size.
+class TreeIndexBuilder {
+ public:
+  TreeIndexBuilder(flash::Partition leaf_partition,
+                   flash::Partition internal_partition);
+
+  /// Adds one 32-byte entry (24-byte encoded key + 8-byte rowid). Entries
+  /// must arrive in ascending memcmp order.
+  Status Add(const uint8_t* entry);
+
+  /// Flushes partial pages and returns the finished index.
+  Result<TreeIndex> Finish();
+
+ private:
+  struct Level {
+    Bytes buffer;
+    uint32_t pages_flushed = 0;
+    uint32_t pending_entries = 0;
+  };
+
+  Status AddToLevel(size_t level, const uint8_t* key, uint32_t child_page);
+  Status FlushLevel(size_t level, uint32_t* page_out);
+
+  static constexpr size_t kEntrySizeForOrderCheck = TreeIndex::kLeafEntrySize;
+
+  TreeIndex index_;
+  std::vector<Level> levels_;
+  uint64_t num_entries_ = 0;
+  bool finished_ = false;
+  uint8_t last_entry_[kEntrySizeForOrderCheck] = {0};
+  bool has_last_ = false;
+};
+
+}  // namespace pds::embdb
+
+#endif  // PDS_EMBDB_TREE_INDEX_H_

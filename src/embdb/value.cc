@@ -1,0 +1,199 @@
+#include "embdb/value.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace pds::embdb {
+
+std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kUint64:
+      return "UINT64";
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+Value Value::U64(uint64_t v) {
+  Value out;
+  out.type_ = ColumnType::kUint64;
+  out.num_ = v;
+  return out;
+}
+
+Value Value::I64(int64_t v) {
+  Value out;
+  out.type_ = ColumnType::kInt64;
+  out.num_ = static_cast<uint64_t>(v);
+  return out;
+}
+
+Value Value::F64(double v) {
+  Value out;
+  out.type_ = ColumnType::kDouble;
+  out.dbl_ = v;
+  return out;
+}
+
+Value Value::Str(std::string v) {
+  Value out;
+  out.type_ = ColumnType::kString;
+  out.str_ = std::move(v);
+  return out;
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) {
+    return a.type_ < b.type_ ? -1 : 1;
+  }
+  switch (a.type_) {
+    case ColumnType::kUint64:
+      if (a.num_ != b.num_) return a.num_ < b.num_ ? -1 : 1;
+      return 0;
+    case ColumnType::kInt64: {
+      int64_t x = a.AsI64(), y = b.AsI64();
+      if (x != y) return x < y ? -1 : 1;
+      return 0;
+    }
+    case ColumnType::kDouble:
+      if (a.dbl_ != b.dbl_) return a.dbl_ < b.dbl_ ? -1 : 1;
+      return 0;
+    case ColumnType::kString:
+      return a.str_.compare(b.str_) < 0   ? -1
+             : a.str_.compare(b.str_) > 0 ? 1
+                                          : 0;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ColumnType::kUint64:
+      return std::to_string(num_);
+    case ColumnType::kInt64:
+      return std::to_string(AsI64());
+    case ColumnType::kDouble:
+      return std::to_string(dbl_);
+    case ColumnType::kString:
+      return str_;
+  }
+  return "";
+}
+
+void Value::EncodeKey(uint8_t out[kKeyWidth]) const {
+  std::memset(out, 0, kKeyWidth);
+  switch (type_) {
+    case ColumnType::kUint64: {
+      // Big-endian in the first 8 bytes.
+      for (int i = 0; i < 8; ++i) {
+        out[i] = static_cast<uint8_t>(num_ >> (56 - 8 * i));
+      }
+      break;
+    }
+    case ColumnType::kInt64: {
+      // Flip the sign bit so negative < positive under memcmp.
+      uint64_t biased = num_ ^ 0x8000000000000000ULL;
+      for (int i = 0; i < 8; ++i) {
+        out[i] = static_cast<uint8_t>(biased >> (56 - 8 * i));
+      }
+      break;
+    }
+    case ColumnType::kDouble: {
+      // IEEE-754 total-order trick: flip all bits of negatives, flip the
+      // sign bit of positives.
+      uint64_t bits;
+      std::memcpy(&bits, &dbl_, 8);
+      if (bits & 0x8000000000000000ULL) {
+        bits = ~bits;
+      } else {
+        bits |= 0x8000000000000000ULL;
+      }
+      for (int i = 0; i < 8; ++i) {
+        out[i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+      }
+      break;
+    }
+    case ColumnType::kString: {
+      size_t n = std::min(str_.size(), kKeyWidth);
+      std::memcpy(out, str_.data(), n);
+      break;
+    }
+  }
+}
+
+void EncodeTuple(const std::vector<ColumnType>& types, const Tuple& tuple,
+                 Bytes* out) {
+  for (size_t i = 0; i < types.size() && i < tuple.size(); ++i) {
+    const Value& v = tuple[i];
+    switch (types[i]) {
+      case ColumnType::kUint64:
+      case ColumnType::kInt64:
+        PutU64(out, v.AsU64());
+        break;
+      case ColumnType::kDouble: {
+        double d = v.AsF64();
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        PutU64(out, bits);
+        break;
+      }
+      case ColumnType::kString:
+        PutLengthPrefixed(out, ByteView(std::string_view(v.AsStr())));
+        break;
+    }
+  }
+}
+
+Result<Tuple> DecodeTuple(const std::vector<ColumnType>& types, ByteView in) {
+  Tuple tuple;
+  tuple.reserve(types.size());
+  size_t pos = 0;
+  for (ColumnType type : types) {
+    switch (type) {
+      case ColumnType::kUint64: {
+        if (pos + 8 > in.size()) {
+          return Status::Corruption("truncated tuple (u64)");
+        }
+        tuple.push_back(Value::U64(GetU64(in.data() + pos)));
+        pos += 8;
+        break;
+      }
+      case ColumnType::kInt64: {
+        if (pos + 8 > in.size()) {
+          return Status::Corruption("truncated tuple (i64)");
+        }
+        tuple.push_back(
+            Value::I64(static_cast<int64_t>(GetU64(in.data() + pos))));
+        pos += 8;
+        break;
+      }
+      case ColumnType::kDouble: {
+        if (pos + 8 > in.size()) {
+          return Status::Corruption("truncated tuple (f64)");
+        }
+        uint64_t bits = GetU64(in.data() + pos);
+        double d;
+        std::memcpy(&d, &bits, 8);
+        tuple.push_back(Value::F64(d));
+        pos += 8;
+        break;
+      }
+      case ColumnType::kString: {
+        ByteView s;
+        if (!GetLengthPrefixed(in, &pos, &s)) {
+          return Status::Corruption("truncated tuple (string)");
+        }
+        tuple.push_back(Value::Str(s.ToString()));
+        break;
+      }
+    }
+  }
+  return tuple;
+}
+
+}  // namespace pds::embdb

@@ -1,0 +1,81 @@
+#ifndef PDS_EMBDB_VALUE_H_
+#define PDS_EMBDB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pds::embdb {
+
+/// Column types supported by the embedded engine.
+enum class ColumnType : uint8_t {
+  kUint64 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+std::string_view ColumnTypeName(ColumnType type);
+
+/// A single cell value. Cheap to copy for numerics; strings own their data.
+class Value {
+ public:
+  Value() : type_(ColumnType::kUint64), num_(0) {}
+
+  static Value U64(uint64_t v);
+  static Value I64(int64_t v);
+  static Value F64(double v);
+  static Value Str(std::string v);
+
+  ColumnType type() const { return type_; }
+
+  uint64_t AsU64() const { return num_; }
+  int64_t AsI64() const { return static_cast<int64_t>(num_); }
+  double AsF64() const { return dbl_; }
+  const std::string& AsStr() const { return str_; }
+
+  /// Total order within one type; comparing across types orders by type tag
+  /// (callers normally compare same-typed values).
+  static int Compare(const Value& a, const Value& b);
+
+  /// Debug/CSV rendering.
+  std::string ToString() const;
+
+  /// Order-preserving fixed-width encoding (kKeyWidth bytes): memcmp order
+  /// equals Value order within a type. Strings longer than the key width are
+  /// truncated (documented index-prefix behaviour); numerics are exact.
+  static constexpr size_t kKeyWidth = 24;
+  void EncodeKey(uint8_t out[kKeyWidth]) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  }
+
+ private:
+  ColumnType type_;
+  uint64_t num_ = 0;  // kUint64 / kInt64 payload
+  double dbl_ = 0.0;  // kDouble payload
+  std::string str_;   // kString payload
+};
+
+/// A row: one Value per schema column.
+using Tuple = std::vector<Value>;
+
+/// Serializes a tuple as a byte record given the column types.
+void EncodeTuple(const std::vector<ColumnType>& types, const Tuple& tuple,
+                 Bytes* out);
+/// Decodes a record produced by EncodeTuple.
+Result<Tuple> DecodeTuple(const std::vector<ColumnType>& types, ByteView in);
+
+}  // namespace pds::embdb
+
+#endif  // PDS_EMBDB_VALUE_H_

@@ -1,0 +1,181 @@
+#ifndef PDS_FLASH_FLASH_H_
+#define PDS_FLASH_FLASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pds::flash {
+
+/// Physical layout of a NAND flash chip.
+///
+/// NAND is written by *page* and erased by *block* (a block is a contiguous
+/// group of pages). A page can be programmed only once between two erases of
+/// its block — the simulator enforces this, so data structures that rely on
+/// in-place updates fail loudly.
+struct Geometry {
+  uint32_t page_size = 2048;      // bytes per page
+  uint32_t pages_per_block = 64;  // pages per erase block
+  uint32_t block_count = 1024;    // number of erase blocks
+
+  uint32_t total_pages() const { return pages_per_block * block_count; }
+  uint64_t total_bytes() const {
+    return static_cast<uint64_t>(total_pages()) * page_size;
+  }
+};
+
+/// Latency model, defaults from typical SLC NAND datasheets.
+struct CostModel {
+  double read_page_us = 25.0;
+  double program_page_us = 250.0;
+  double erase_block_us = 1500.0;
+};
+
+/// Operation counters. `TimeUs` converts counts into simulated time under a
+/// CostModel; benchmarks report both raw counts and simulated time.
+struct Stats {
+  uint64_t page_reads = 0;
+  uint64_t page_programs = 0;
+  uint64_t block_erases = 0;
+
+  double TimeUs(const CostModel& cost) const {
+    return static_cast<double>(page_reads) * cost.read_page_us +
+           static_cast<double>(page_programs) * cost.program_page_us +
+           static_cast<double>(block_erases) * cost.erase_block_us;
+  }
+
+  Stats operator-(const Stats& other) const {
+    return Stats{page_reads - other.page_reads,
+                 page_programs - other.page_programs,
+                 block_erases - other.block_erases};
+  }
+
+  std::string ToString() const;
+};
+
+/// In-memory NAND flash chip simulator with write-once-per-erase semantics
+/// and per-block wear counters.
+class FlashChip {
+ public:
+  explicit FlashChip(const Geometry& geometry);
+
+  FlashChip(const FlashChip&) = delete;
+  FlashChip& operator=(const FlashChip&) = delete;
+
+  const Geometry& geometry() const { return geometry_; }
+
+  /// Reads one full page into `out` (resized to page_size). Reading an
+  /// erased page yields 0xFF bytes, as on real NAND.
+  Status ReadPage(uint32_t page, Bytes* out);
+
+  /// Programs a page. Fails with FailedPrecondition if the page was already
+  /// programmed since the last erase of its block (random in-place writes
+  /// are physically impossible on NAND). `data` may be shorter than the
+  /// page; the remainder stays 0xFF.
+  Status ProgramPage(uint32_t page, ByteView data);
+
+  /// Erases a whole block, resetting all its pages to 0xFF.
+  Status EraseBlock(uint32_t block);
+
+  bool IsProgrammed(uint32_t page) const;
+
+  /// Erase count of a block (wear).
+  uint32_t WearOf(uint32_t block) const { return wear_[block]; }
+  uint32_t MaxWear() const;
+
+  /// Fault injection (testing): flips one stored bit, as a retention error
+  /// or disturbed cell would. Does not touch the stats.
+  Status CorruptBit(uint32_t page, uint32_t bit_offset);
+  /// Fault injection (testing): the page fails with IoError on every
+  /// subsequent read (a worn-out or unreadable page).
+  Status MarkBadPage(uint32_t page);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  Geometry geometry_;
+  Bytes data_;                     // flat page_size * total_pages bytes
+  std::vector<uint8_t> programmed_;  // one flag per page
+  std::vector<uint8_t> bad_;       // fault-injected unreadable pages
+  std::vector<uint32_t> wear_;     // erase count per block
+  Stats stats_;
+};
+
+/// A contiguous range of blocks of a chip, exposed with block/page indices
+/// local to the partition. Every on-flash structure (table heap, index log,
+/// inverted-index buckets...) owns one partition, which makes allocation and
+/// whole-structure deallocation block-grained — exactly the "allocate and
+/// de-allocate on large grains" rule from the tutorial.
+class Partition {
+ public:
+  Partition() : chip_(nullptr), first_block_(0), num_blocks_(0) {}
+  Partition(FlashChip* chip, uint32_t first_block, uint32_t num_blocks);
+
+  FlashChip* chip() const { return chip_; }
+  uint32_t first_block() const { return first_block_; }
+  uint32_t num_blocks() const { return num_blocks_; }
+  uint32_t pages_per_block() const {
+    return chip_->geometry().pages_per_block;
+  }
+  uint32_t page_size() const { return chip_->geometry().page_size; }
+  uint32_t num_pages() const { return num_blocks_ * pages_per_block(); }
+
+  Status ReadPage(uint32_t local_page, Bytes* out);
+  Status ProgramPage(uint32_t local_page, ByteView data);
+  Status EraseBlock(uint32_t local_block);
+  /// Erases every block in the partition.
+  Status EraseAll();
+
+  bool valid() const { return chip_ != nullptr; }
+
+ private:
+  Status CheckPage(uint32_t local_page) const;
+
+  FlashChip* chip_;
+  uint32_t first_block_;
+  uint32_t num_blocks_;
+};
+
+/// Hands out disjoint partitions of a chip, front to back, with a free
+/// list for whole-partition reclamation — the tutorial's "allocation &
+/// de-allocation are made on large grains (Flash block basis)".
+class PartitionAllocator {
+ public:
+  explicit PartitionAllocator(FlashChip* chip) : chip_(chip) {}
+
+  const Geometry& geometry() const { return chip_->geometry(); }
+
+  /// Allocates `num_blocks` blocks — reusing a freed range when one is
+  /// large enough (first fit, split on surplus), else fresh blocks — and
+  /// fails with ResourceExhausted when the chip is full.
+  Result<Partition> Allocate(uint32_t num_blocks);
+
+  /// Returns a partition's blocks to the allocator (erasing them). The
+  /// caller must no longer use the partition or structures built on it.
+  Status Free(const Partition& partition);
+
+  uint32_t blocks_used() const { return next_block_ - freed_blocks_; }
+  uint32_t blocks_free() const {
+    return chip_->geometry().block_count - next_block_ + freed_blocks_;
+  }
+
+ private:
+  struct FreeRange {
+    uint32_t first_block;
+    uint32_t num_blocks;
+  };
+
+  FlashChip* chip_;
+  uint32_t next_block_ = 0;
+  uint32_t freed_blocks_ = 0;
+  std::vector<FreeRange> free_list_;
+};
+
+}  // namespace pds::flash
+
+#endif  // PDS_FLASH_FLASH_H_

@@ -1,0 +1,377 @@
+#include "global/agg_protocols.h"
+
+#include <cstring>
+#include <functional>
+#include <set>
+
+#include "common/hash.h"
+
+namespace pds::global {
+
+namespace {
+
+/// Payload carried (encrypted) with each protocol tuple:
+/// [u8 fake][f64 sum][u64 count][group bytes].
+Bytes EncodePayload(bool fake, double sum, uint64_t count,
+                    const std::string& group) {
+  Bytes out;
+  out.push_back(fake ? 1 : 0);
+  uint64_t bits;
+  std::memcpy(&bits, &sum, 8);
+  PutU64(&out, bits);
+  PutU64(&out, count);
+  out.insert(out.end(), group.begin(), group.end());
+  return out;
+}
+
+struct Payload {
+  bool fake = false;
+  double sum = 0;
+  uint64_t count = 0;
+  std::string group;
+};
+
+Result<Payload> DecodePayload(ByteView in) {
+  if (in.size() < 17) {
+    return Status::Corruption("payload too short");
+  }
+  Payload p;
+  p.fake = in[0] != 0;
+  uint64_t bits = GetU64(in.data() + 1);
+  std::memcpy(&p.sum, &bits, 8);
+  p.count = GetU64(in.data() + 9);
+  p.group = in.subview(17, in.size() - 17).ToString();
+  return p;
+}
+
+/// Sum/count accumulation per group.
+struct GroupState {
+  double sum = 0;
+  uint64_t count = 0;
+};
+
+std::map<std::string, double> Finalize(
+    const std::map<std::string, GroupState>& states, AggFunc func) {
+  std::map<std::string, double> out;
+  for (const auto& [group, s] : states) {
+    if (s.count == 0) {
+      continue;  // only fake contributions
+    }
+    switch (func) {
+      case AggFunc::kSum:
+        out[group] = s.sum;
+        break;
+      case AggFunc::kCount:
+        out[group] = static_cast<double>(s.count);
+        break;
+      case AggFunc::kAvg:
+        out[group] = s.sum / static_cast<double>(s.count);
+        break;
+    }
+  }
+  return out;
+}
+
+constexpr char kFakeGroupPrefix[] = "\x01__fake__";
+
+}  // namespace
+
+Result<AggOutput> SecureAggProtocol::Execute(
+    std::vector<Participant>& participants, AggFunc func) {
+  if (participants.empty()) {
+    return Status::InvalidArgument("no participants");
+  }
+  AggOutput out;
+  HbcObserver observer;
+
+  // Phase 1: every token non-deterministically encrypts its tuples.
+  std::vector<Bytes> items;
+  for (Participant& p : participants) {
+    for (const SourceTuple& t : p.tuples) {
+      Bytes payload = EncodePayload(false, t.value, 1, t.group);
+      PDS_ASSIGN_OR_RETURN(Bytes ct, p.token->EncryptNonDet(ByteView(payload)));
+      ++out.metrics.token_crypto_ops;
+      out.metrics.AddMessage(ct.size());
+      observer.ObserveTuple(ByteView(ct));
+      items.push_back(std::move(ct));
+    }
+  }
+  ++out.metrics.rounds;
+
+  // Phase 2: iterative partition-and-aggregate until one partition is left.
+  size_t worker = 0;
+  while (items.size() > config_.partition_capacity) {
+    std::vector<Bytes> next;
+    size_t before = items.size();
+    for (size_t start = 0; start < items.size();
+         start += config_.partition_capacity) {
+      size_t end =
+          std::min(items.size(), start + config_.partition_capacity);
+      mcu::SecureToken* token =
+          participants[worker++ % participants.size()].token;
+
+      std::map<std::string, GroupState> partial;
+      for (size_t i = start; i < end; ++i) {
+        out.metrics.AddMessage(items[i].size());  // SSI -> token
+        PDS_ASSIGN_OR_RETURN(Bytes payload,
+                             token->DecryptNonDet(ByteView(items[i])));
+        ++out.metrics.token_crypto_ops;
+        PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
+        partial[p.group].sum += p.sum;
+        partial[p.group].count += p.count;
+      }
+      for (const auto& [group, state] : partial) {
+        Bytes payload = EncodePayload(false, state.sum, state.count, group);
+        PDS_ASSIGN_OR_RETURN(Bytes ct,
+                             token->EncryptNonDet(ByteView(payload)));
+        ++out.metrics.token_crypto_ops;
+        out.metrics.AddMessage(ct.size());  // token -> SSI
+        observer.ObserveTuple(ByteView(ct));
+        next.push_back(std::move(ct));
+      }
+      ++out.metrics.ssi_ops;  // partition bookkeeping
+    }
+    ++out.metrics.rounds;
+    if (next.size() >= before) {
+      return Status::InvalidArgument(
+          "partition capacity too small for the number of distinct groups");
+    }
+    items = std::move(next);
+  }
+
+  // Phase 3: final aggregation inside one token.
+  mcu::SecureToken* token = participants[0].token;
+  std::map<std::string, GroupState> final_state;
+  for (const Bytes& ct : items) {
+    out.metrics.AddMessage(ct.size());
+    PDS_ASSIGN_OR_RETURN(Bytes payload, token->DecryptNonDet(ByteView(ct)));
+    ++out.metrics.token_crypto_ops;
+    PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
+    final_state[p.group].sum += p.sum;
+    final_state[p.group].count += p.count;
+  }
+  ++out.metrics.rounds;
+
+  out.groups = Finalize(final_state, func);
+  out.leakage = observer.Report();
+  return out;
+}
+
+namespace {
+
+/// Shared one-round evaluation used by the two noise-based protocols:
+/// tuples are (det-encrypted group, nondet-encrypted payload); the SSI
+/// groups by the deterministic ciphertext, and each class is aggregated
+/// inside one token.
+Result<AggOutput> RunDetProtocol(
+    std::vector<Participant>& participants, AggFunc func,
+    const std::function<Status(Participant&, size_t,
+                               std::vector<std::pair<std::string, double>>*)>&
+        make_fakes) {
+  AggOutput out;
+  HbcObserver observer;
+
+  struct WireTuple {
+    Bytes group_ct;
+    Bytes payload_ct;
+  };
+  std::vector<WireTuple> wire;
+
+  for (size_t pi = 0; pi < participants.size(); ++pi) {
+    Participant& p = participants[pi];
+    // Real tuples + protocol-specific fakes.
+    std::vector<std::pair<std::string, double>> to_send;
+    for (const SourceTuple& t : p.tuples) {
+      to_send.emplace_back(t.group, t.value);
+    }
+    size_t real_count = to_send.size();
+    std::vector<std::pair<std::string, double>> fakes;
+    PDS_RETURN_IF_ERROR(make_fakes(p, real_count, &fakes));
+
+    for (size_t i = 0; i < to_send.size() + fakes.size(); ++i) {
+      bool fake = i >= to_send.size();
+      const auto& [group, value] =
+          fake ? fakes[i - to_send.size()] : to_send[i];
+      WireTuple wt;
+      PDS_ASSIGN_OR_RETURN(
+          wt.group_ct, p.token->EncryptDet(ByteView(std::string_view(group))));
+      Bytes payload = EncodePayload(fake, value, fake ? 0 : 1, "");
+      PDS_ASSIGN_OR_RETURN(wt.payload_ct,
+                           p.token->EncryptNonDet(ByteView(payload)));
+      out.metrics.token_crypto_ops += 2;
+      out.metrics.AddMessage(wt.group_ct.size() + wt.payload_ct.size());
+      observer.ObserveTuple(ByteView(wt.group_ct));
+      wire.push_back(std::move(wt));
+    }
+  }
+  ++out.metrics.rounds;
+
+  // SSI: group by deterministic ciphertext.
+  std::map<std::string, std::vector<const WireTuple*>> classes;
+  for (const WireTuple& wt : wire) {
+    classes[ByteView(wt.group_ct).ToString()].push_back(&wt);
+    ++out.metrics.ssi_ops;
+  }
+
+  // Each class is handed to a token for decryption + aggregation.
+  std::map<std::string, GroupState> state;
+  size_t worker = 0;
+  for (const auto& [class_key, tuples] : classes) {
+    mcu::SecureToken* token =
+        participants[worker++ % participants.size()].token;
+    PDS_ASSIGN_OR_RETURN(
+        Bytes group_plain,
+        token->DecryptDet(ByteView(tuples.front()->group_ct)));
+    ++out.metrics.token_crypto_ops;
+    std::string group = ByteView(group_plain).ToString();
+    if (group.rfind(kFakeGroupPrefix, 0) == 0) {
+      // Whole class is white noise; discard inside the token.
+      out.metrics.token_crypto_ops += tuples.size();  // decrypt-and-drop
+      continue;
+    }
+    GroupState& gs = state[group];
+    for (const WireTuple* wt : tuples) {
+      out.metrics.AddMessage(wt->payload_ct.size());
+      PDS_ASSIGN_OR_RETURN(Bytes payload,
+                           token->DecryptNonDet(ByteView(wt->payload_ct)));
+      ++out.metrics.token_crypto_ops;
+      PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
+      if (!p.fake) {
+        gs.sum += p.sum;
+        gs.count += p.count;
+      }
+    }
+  }
+  ++out.metrics.rounds;
+
+  out.groups = Finalize(state, func);
+  out.leakage = observer.Report();
+  return out;
+}
+
+}  // namespace
+
+Result<AggOutput> WhiteNoiseProtocol::Execute(
+    std::vector<Participant>& participants, AggFunc func) {
+  if (participants.empty()) {
+    return Status::InvalidArgument("no participants");
+  }
+  Rng noise_rng(config_.noise_seed);
+  return RunDetProtocol(
+      participants, func,
+      [&](Participant& p, size_t real_count,
+          std::vector<std::pair<std::string, double>>* fakes) {
+        (void)p;
+        size_t n = static_cast<size_t>(
+            static_cast<double>(real_count) * config_.noise_ratio);
+        for (size_t i = 0; i < n; ++i) {
+          fakes->emplace_back(
+              std::string(kFakeGroupPrefix) +
+                  std::to_string(noise_rng.Next()),
+              0.0);
+        }
+        return Status::Ok();
+      });
+}
+
+Result<AggOutput> DomainNoiseProtocol::Execute(
+    std::vector<Participant>& participants, AggFunc func) {
+  if (participants.empty()) {
+    return Status::InvalidArgument("no participants");
+  }
+  if (config_.domain.empty()) {
+    return Status::InvalidArgument("domain noise requires the value domain");
+  }
+  // Real groups must belong to the announced domain.
+  std::set<std::string> domain(config_.domain.begin(), config_.domain.end());
+  for (const Participant& p : participants) {
+    for (const SourceTuple& t : p.tuples) {
+      if (domain.count(t.group) == 0) {
+        return Status::InvalidArgument("group '" + t.group +
+                                       "' outside the announced domain");
+      }
+    }
+  }
+  return RunDetProtocol(
+      participants, func,
+      [&](Participant& p, size_t real_count,
+          std::vector<std::pair<std::string, double>>* fakes) {
+        (void)p;
+        (void)real_count;
+        // Cover the complementary domain: every domain value receives
+        // fake tuples from every participant, flattening the histogram.
+        for (const std::string& v : config_.domain) {
+          for (uint32_t i = 0; i < config_.fakes_per_value; ++i) {
+            fakes->emplace_back(v, 0.0);
+          }
+        }
+        return Status::Ok();
+      });
+}
+
+Result<AggOutput> HistogramProtocol::Execute(
+    std::vector<Participant>& participants, AggFunc func) {
+  if (participants.empty()) {
+    return Status::InvalidArgument("no participants");
+  }
+  if (config_.num_buckets == 0) {
+    return Status::InvalidArgument("need >= 1 bucket");
+  }
+  AggOutput out;
+  HbcObserver observer;
+
+  struct WireTuple {
+    uint32_t bucket = 0;
+    Bytes payload_ct;
+  };
+  std::vector<WireTuple> wire;
+
+  for (Participant& p : participants) {
+    for (const SourceTuple& t : p.tuples) {
+      WireTuple wt;
+      wt.bucket = static_cast<uint32_t>(
+          Fnv1a64(std::string_view(t.group)) % config_.num_buckets);
+      Bytes payload = EncodePayload(false, t.value, 1, t.group);
+      PDS_ASSIGN_OR_RETURN(wt.payload_ct,
+                           p.token->EncryptNonDet(ByteView(payload)));
+      ++out.metrics.token_crypto_ops;
+      out.metrics.AddMessage(4 + wt.payload_ct.size());
+      uint8_t bucket_key[4];
+      EncodeU32(bucket_key, wt.bucket);
+      observer.ObserveTuple(ByteView(bucket_key, 4));
+      wire.push_back(std::move(wt));
+    }
+  }
+  ++out.metrics.rounds;
+
+  // SSI: partition by plaintext bucket id.
+  std::map<uint32_t, std::vector<const WireTuple*>> buckets;
+  for (const WireTuple& wt : wire) {
+    buckets[wt.bucket].push_back(&wt);
+    ++out.metrics.ssi_ops;
+  }
+
+  // Tokens open each bucket and aggregate the true groups inside.
+  std::map<std::string, GroupState> state;
+  size_t worker = 0;
+  for (const auto& [bucket, tuples] : buckets) {
+    mcu::SecureToken* token =
+        participants[worker++ % participants.size()].token;
+    for (const WireTuple* wt : tuples) {
+      out.metrics.AddMessage(wt->payload_ct.size());
+      PDS_ASSIGN_OR_RETURN(Bytes payload,
+                           token->DecryptNonDet(ByteView(wt->payload_ct)));
+      ++out.metrics.token_crypto_ops;
+      PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
+      state[p.group].sum += p.sum;
+      state[p.group].count += p.count;
+    }
+  }
+  ++out.metrics.rounds;
+
+  out.groups = Finalize(state, func);
+  out.leakage = observer.Report();
+  return out;
+}
+
+}  // namespace pds::global

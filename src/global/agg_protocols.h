@@ -1,0 +1,127 @@
+#ifndef PDS_GLOBAL_AGG_PROTOCOLS_H_
+#define PDS_GLOBAL_AGG_PROTOCOLS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "global/common.h"
+#include "global/observer.h"
+
+namespace pds::global {
+
+/// Result of a secure GROUP-BY aggregate over the fleet.
+struct AggOutput {
+  std::map<std::string, double> groups;
+  Metrics metrics;
+  LeakageReport leakage;
+};
+
+/// A secure "SELECT group, AGG(value) GROUP BY group" protocol over the
+/// asymmetric architecture (trusted tokens + untrusted SSI) — the [TNP14]
+/// family presented in Part III of the tutorial. Implementations differ in
+/// which encryption they use and what the SSI learns:
+///
+///  - SecureAggProtocol:   non-deterministic encryption; the SSI learns only
+///    the tuple count but the tokens pay multiple aggregation rounds.
+///  - WhiteNoiseProtocol:  deterministic encryption + random fake tuples;
+///    one round, but the SSI sees a (noisy) group-size histogram.
+///  - DomainNoiseProtocol: fake tuples drawn from the complementary domain,
+///    flattening the histogram the SSI sees at higher bandwidth cost.
+///  - HistogramProtocol:   plaintext equi-depth bucket ids (Hacigumus
+///    style); the SSI sees only bucket sizes.
+class AggregationProtocol {
+ public:
+  virtual ~AggregationProtocol() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Runs the protocol over the participants. All tokens must share the
+  /// fleet key. The observer inside records the SSI's view.
+  virtual Result<AggOutput> Execute(std::vector<Participant>& participants,
+                                    AggFunc func) = 0;
+};
+
+/// Non-deterministic encryption; SSI partitions blindly, tokens aggregate
+/// over log rounds.
+class SecureAggProtocol : public AggregationProtocol {
+ public:
+  struct Config {
+    /// Max ciphertext tuples a token can ingest per aggregation step
+    /// (bounded by token RAM). Must exceed the number of distinct groups.
+    size_t partition_capacity = 256;
+  };
+
+  explicit SecureAggProtocol(const Config& config) : config_(config) {}
+
+  std::string_view name() const override { return "secure-agg"; }
+  Result<AggOutput> Execute(std::vector<Participant>& participants,
+                            AggFunc func) override;
+
+ private:
+  Config config_;
+};
+
+/// Deterministic encryption of group values + random fake tuples.
+class WhiteNoiseProtocol : public AggregationProtocol {
+ public:
+  struct Config {
+    /// Fake tuples added per real tuple (0.2 = 20% noise).
+    double noise_ratio = 0.2;
+    uint64_t noise_seed = 7;
+  };
+
+  explicit WhiteNoiseProtocol(const Config& config) : config_(config) {}
+
+  std::string_view name() const override { return "white-noise"; }
+  Result<AggOutput> Execute(std::vector<Participant>& participants,
+                            AggFunc func) override;
+
+ private:
+  Config config_;
+};
+
+/// Deterministic encryption + fake tuples covering the complementary
+/// domain, so the SSI's histogram flattens toward uniform over the domain.
+class DomainNoiseProtocol : public AggregationProtocol {
+ public:
+  struct Config {
+    /// The full (public) domain of group values.
+    std::vector<std::string> domain;
+    /// Fake tuples each participant adds per domain value.
+    uint32_t fakes_per_value = 1;
+    uint64_t noise_seed = 7;
+  };
+
+  explicit DomainNoiseProtocol(Config config) : config_(std::move(config)) {}
+
+  std::string_view name() const override { return "domain-noise"; }
+  Result<AggOutput> Execute(std::vector<Participant>& participants,
+                            AggFunc func) override;
+
+ private:
+  Config config_;
+};
+
+/// Hacigumus-style bucketization: tokens tag tuples with a plaintext
+/// bucket id; measures stay non-deterministically encrypted.
+class HistogramProtocol : public AggregationProtocol {
+ public:
+  struct Config {
+    uint32_t num_buckets = 16;
+  };
+
+  explicit HistogramProtocol(const Config& config) : config_(config) {}
+
+  std::string_view name() const override { return "histogram"; }
+  Result<AggOutput> Execute(std::vector<Participant>& participants,
+                            AggFunc func) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace pds::global
+
+#endif  // PDS_GLOBAL_AGG_PROTOCOLS_H_

@@ -1,0 +1,60 @@
+#include "global/common.h"
+
+#include <cmath>
+
+namespace pds::global {
+
+double LeakageReport::MaxClassFraction() const {
+  if (tuples_observed == 0 || class_sizes.empty()) {
+    return 0.0;
+  }
+  uint64_t max = 0;
+  for (uint64_t s : class_sizes) {
+    max = std::max(max, s);
+  }
+  return static_cast<double>(max) / static_cast<double>(tuples_observed);
+}
+
+double LeakageReport::ClassEntropyBits() const {
+  if (tuples_observed == 0) {
+    return 0.0;
+  }
+  double h = 0.0;
+  for (uint64_t s : class_sizes) {
+    if (s == 0) {
+      continue;
+    }
+    double p = static_cast<double>(s) / static_cast<double>(tuples_observed);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::map<std::string, double> PlainAggregate(
+    const std::vector<Participant>& participants, AggFunc func) {
+  std::map<std::string, double> sums;
+  std::map<std::string, uint64_t> counts;
+  for (const Participant& p : participants) {
+    for (const SourceTuple& t : p.tuples) {
+      sums[t.group] += t.value;
+      ++counts[t.group];
+    }
+  }
+  std::map<std::string, double> out;
+  for (auto& [group, sum] : sums) {
+    switch (func) {
+      case AggFunc::kSum:
+        out[group] = sum;
+        break;
+      case AggFunc::kCount:
+        out[group] = static_cast<double>(counts[group]);
+        break;
+      case AggFunc::kAvg:
+        out[group] = sum / static_cast<double>(counts[group]);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pds::global

@@ -1,0 +1,78 @@
+#ifndef PDS_GLOBAL_COMMON_H_
+#define PDS_GLOBAL_COMMON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mcu/secure_token.h"
+
+namespace pds::global {
+
+/// A (group, value) pair contributed by one PDS — the tuples of the
+/// tutorial's "SELECT group, AGG(value) ... GROUP BY group" example.
+/// Plaintext only *inside* tokens.
+struct SourceTuple {
+  std::string group;
+  double value = 0.0;
+};
+
+/// One PDS participating in a global query: its secure token plus the
+/// tuples its owner has authorized for sharing.
+struct Participant {
+  mcu::SecureToken* token = nullptr;
+  std::vector<SourceTuple> tuples;
+};
+
+/// Cost accounting for one protocol execution. Token work is the number of
+/// cryptographic operations performed inside secure tokens (the scarce
+/// resource of the asymmetric architecture); SSI work is plaintext-side
+/// operations on the powerful-but-untrusted infrastructure.
+struct Metrics {
+  uint64_t messages = 0;        // network messages
+  uint64_t bytes = 0;           // bytes transferred
+  uint64_t rounds = 0;          // sequential protocol rounds
+  uint64_t token_crypto_ops = 0;  // enc/dec/mac inside tokens
+  uint64_t ssi_ops = 0;         // SSI-side comparisons/moves
+
+  void AddMessage(uint64_t message_bytes) {
+    ++messages;
+    bytes += message_bytes;
+  }
+};
+
+/// What the honest-but-curious SSI learned during a protocol run — the
+/// privacy side of the [TNP14] trade-off. Recorded by the HbcObserver.
+struct LeakageReport {
+  /// Total ciphertext tuples the SSI handled.
+  uint64_t tuples_observed = 0;
+  /// Distinct equality classes the SSI could form over what it saw
+  /// (deterministic encryption or bucket ids make classes collapse;
+  /// non-deterministic encryption keeps every tuple distinct).
+  uint64_t distinct_classes = 0;
+  /// Sizes of the equality classes (the group-size histogram the SSI can
+  /// reconstruct; includes noise tuples if any).
+  std::vector<uint64_t> class_sizes;
+  /// Whether any plaintext group value was visible to the SSI.
+  bool plaintext_groups_visible = false;
+
+  /// Largest class as a fraction of observed tuples — a simple linkage-risk
+  /// indicator (1/distinct_classes == uniform is the best case).
+  double MaxClassFraction() const;
+  /// Shannon entropy (bits) of the class-size distribution; higher means
+  /// the SSI learned less structure per tuple.
+  double ClassEntropyBits() const;
+};
+
+/// The aggregate requested from the fleet.
+enum class AggFunc { kSum, kCount, kAvg };
+
+/// Reference plaintext evaluation (ground truth for tests/benches).
+std::map<std::string, double> PlainAggregate(
+    const std::vector<Participant>& participants, AggFunc func);
+
+}  // namespace pds::global
+
+#endif  // PDS_GLOBAL_COMMON_H_

@@ -1,0 +1,144 @@
+#include "global/integrity.h"
+
+#include <map>
+#include <set>
+
+namespace pds::global {
+
+namespace {
+
+Bytes TupleMacInput(uint64_t participant, uint64_t sequence,
+                    const Bytes& payload_ct) {
+  Bytes msg;
+  PutU64(&msg, participant);
+  PutU64(&msg, sequence);
+  PutLengthPrefixed(&msg, ByteView(payload_ct));
+  return msg;
+}
+
+}  // namespace
+
+Result<std::vector<SealedTuple>> SealTuples(
+    mcu::SecureToken* token, uint64_t participant,
+    const std::vector<Bytes>& payload_cts) {
+  std::vector<SealedTuple> out;
+  out.reserve(payload_cts.size());
+  for (uint64_t seq = 0; seq < payload_cts.size(); ++seq) {
+    SealedTuple t;
+    t.participant = participant;
+    t.sequence = seq;
+    t.payload_ct = payload_cts[seq];
+    Bytes msg = TupleMacInput(participant, seq, t.payload_ct);
+    PDS_ASSIGN_OR_RETURN(t.mac, token->Mac(ByteView(msg)));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Result<Manifest> MakeManifest(mcu::SecureToken* token, uint64_t participant,
+                              uint64_t tuple_count) {
+  Manifest m;
+  m.participant = participant;
+  m.tuple_count = tuple_count;
+  Bytes msg;
+  msg.push_back(0x4D);  // 'M' domain separator
+  PutU64(&msg, participant);
+  PutU64(&msg, tuple_count);
+  PDS_ASSIGN_OR_RETURN(m.mac, token->Mac(ByteView(msg)));
+  return m;
+}
+
+Result<IntegrityVerdict> VerifyBatch(
+    mcu::SecureToken* token, const std::vector<SealedTuple>& tuples,
+    const std::vector<Manifest>& manifests) {
+  IntegrityVerdict verdict;
+
+  // 1. Manifest authenticity + expected counts.
+  std::map<uint64_t, uint64_t> expected;
+  for (const Manifest& m : manifests) {
+    Bytes msg;
+    msg.push_back(0x4D);
+    PutU64(&msg, m.participant);
+    PutU64(&msg, m.tuple_count);
+    PDS_ASSIGN_OR_RETURN(crypto::Sha256::Digest mac,
+                         token->Mac(ByteView(msg)));
+    if (!crypto::DigestEqual(mac, m.mac)) {
+      verdict.ok = false;
+      verdict.problem = "forged manifest for participant " +
+                        std::to_string(m.participant);
+      return verdict;
+    }
+    expected[m.participant] = m.tuple_count;
+  }
+
+  // 2. Per-tuple MACs (alteration) + duplicate sequence numbers.
+  std::map<uint64_t, std::set<uint64_t>> seen;
+  for (const SealedTuple& t : tuples) {
+    Bytes msg = TupleMacInput(t.participant, t.sequence, t.payload_ct);
+    PDS_ASSIGN_OR_RETURN(crypto::Sha256::Digest mac,
+                         token->Mac(ByteView(msg)));
+    if (!crypto::DigestEqual(mac, t.mac)) {
+      verdict.ok = false;
+      verdict.problem = "altered tuple (participant " +
+                        std::to_string(t.participant) + ", seq " +
+                        std::to_string(t.sequence) + ")";
+      return verdict;
+    }
+    if (!seen[t.participant].insert(t.sequence).second) {
+      verdict.ok = false;
+      verdict.problem = "duplicated tuple (participant " +
+                        std::to_string(t.participant) + ", seq " +
+                        std::to_string(t.sequence) + ")";
+      return verdict;
+    }
+    if (expected.count(t.participant) == 0) {
+      verdict.ok = false;
+      verdict.problem = "tuple from unknown participant " +
+                        std::to_string(t.participant);
+      return verdict;
+    }
+  }
+
+  // 3. Completeness (dropping).
+  for (const auto& [participant, count] : expected) {
+    uint64_t got = seen.count(participant) ? seen[participant].size() : 0;
+    if (got != count) {
+      verdict.ok = false;
+      verdict.problem = "participant " + std::to_string(participant) +
+                        " contributed " + std::to_string(count) +
+                        " tuples but " + std::to_string(got) + " arrived";
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+TamperingSsi::Actions TamperingSsi::Tamper(std::vector<SealedTuple>* batch) {
+  Actions actions;
+  std::vector<SealedTuple> result;
+  result.reserve(batch->size());
+  for (SealedTuple& t : *batch) {
+    if (rng_.Bernoulli(config_.drop_rate)) {
+      ++actions.dropped;
+      continue;
+    }
+    if (rng_.Bernoulli(config_.alter_rate)) {
+      ++actions.altered;
+      SealedTuple altered = t;
+      if (!altered.payload_ct.empty()) {
+        altered.payload_ct[rng_.Uniform(altered.payload_ct.size())] ^= 0x01;
+      }
+      result.push_back(std::move(altered));
+      continue;
+    }
+    result.push_back(t);
+    if (rng_.Bernoulli(config_.duplicate_rate)) {
+      ++actions.duplicated;
+      result.push_back(t);
+    }
+  }
+  *batch = std::move(result);
+  return actions;
+}
+
+}  // namespace pds::global

@@ -1,0 +1,90 @@
+#ifndef PDS_GLOBAL_INTEGRITY_H_
+#define PDS_GLOBAL_INTEGRITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/sha256.h"
+#include "global/common.h"
+
+namespace pds::global {
+
+/// Security primitives against a *weakly malicious* SSI (tutorial threat
+/// model B: "WM + Broken -> must be prevented via security primitives, see
+/// [ANP13]"). A weakly malicious (covert) adversary deviates only if the
+/// deviation cannot be detected — so making every deviation detectable is
+/// the defence.
+///
+/// Each contribution is sealed inside the token: MAC over
+/// (participant, sequence number, payload ciphertext). Each participant
+/// also emits a MAC'd manifest of how many tuples it contributed. A
+/// verifier token can then detect:
+///  - alteration  (per-tuple MAC mismatch),
+///  - duplication (repeated sequence number),
+///  - dropping    (count below the manifest).
+struct SealedTuple {
+  uint64_t participant = 0;
+  uint64_t sequence = 0;
+  Bytes payload_ct;
+  crypto::Sha256::Digest mac{};
+};
+
+struct Manifest {
+  uint64_t participant = 0;
+  uint64_t tuple_count = 0;
+  crypto::Sha256::Digest mac{};
+};
+
+/// Seals one participant's ciphertexts (call inside the producing token).
+Result<std::vector<SealedTuple>> SealTuples(
+    mcu::SecureToken* token, uint64_t participant,
+    const std::vector<Bytes>& payload_cts);
+
+Result<Manifest> MakeManifest(mcu::SecureToken* token, uint64_t participant,
+                              uint64_t tuple_count);
+
+/// Verification verdict with the first problem found.
+struct IntegrityVerdict {
+  bool ok = true;
+  std::string problem;  // empty when ok
+};
+
+/// Verifies a batch coming back from the SSI against the manifests (call
+/// inside the verifying token — it holds the fleet MAC key).
+Result<IntegrityVerdict> VerifyBatch(mcu::SecureToken* token,
+                                     const std::vector<SealedTuple>& tuples,
+                                     const std::vector<Manifest>& manifests);
+
+/// The weakly malicious SSI: tampers with a batch according to the
+/// configured action rates. Returns how many tuples were affected.
+class TamperingSsi {
+ public:
+  struct Config {
+    double drop_rate = 0.0;
+    double duplicate_rate = 0.0;
+    double alter_rate = 0.0;
+    uint64_t seed = 99;
+  };
+
+  explicit TamperingSsi(const Config& config)
+      : config_(config), rng_(config.seed) {}
+
+  struct Actions {
+    uint64_t dropped = 0;
+    uint64_t duplicated = 0;
+    uint64_t altered = 0;
+
+    uint64_t total() const { return dropped + duplicated + altered; }
+  };
+
+  Actions Tamper(std::vector<SealedTuple>* batch);
+
+ private:
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace pds::global
+
+#endif  // PDS_GLOBAL_INTEGRITY_H_

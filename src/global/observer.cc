@@ -1,0 +1,23 @@
+#include "global/observer.h"
+
+namespace pds::global {
+
+void HbcObserver::ObserveTuple(ByteView class_key, bool plaintext_group) {
+  ++tuples_;
+  ++classes_[class_key.ToString()];
+  plaintext_seen_ |= plaintext_group;
+}
+
+LeakageReport HbcObserver::Report() const {
+  LeakageReport report;
+  report.tuples_observed = tuples_;
+  report.distinct_classes = classes_.size();
+  report.class_sizes.reserve(classes_.size());
+  for (const auto& [key, count] : classes_) {
+    report.class_sizes.push_back(count);
+  }
+  report.plaintext_groups_visible = plaintext_seen_;
+  return report;
+}
+
+}  // namespace pds::global

@@ -1,0 +1,254 @@
+#include "global/toolkit.h"
+
+#include <algorithm>
+#include <map>
+
+#include "crypto/sra.h"
+
+namespace pds::global {
+
+Result<uint64_t> SecureSum(const std::vector<uint64_t>& site_values,
+                           uint64_t modulus, Rng* rng, Metrics* metrics) {
+  if (site_values.size() < 3) {
+    return Status::InvalidArgument(
+        "secure sum needs >= 3 sites (with 2, each site learns the other)");
+  }
+  if (modulus == 0) {
+    return Status::InvalidArgument("modulus must be positive");
+  }
+  for (uint64_t v : site_values) {
+    if (v >= modulus) {
+      return Status::InvalidArgument("site value exceeds the sum modulus");
+    }
+  }
+  // Initiator masks with R; the ring accumulates v_i mod modulus.
+  uint64_t r = rng->Uniform(modulus);
+  // Unsigned arithmetic mod `modulus` (modulus <= 2^63 keeps adds exact).
+  uint64_t running = (r + site_values[0]) % modulus;
+  if (metrics != nullptr) {
+    metrics->AddMessage(8);
+    ++metrics->rounds;
+  }
+  for (size_t i = 1; i < site_values.size(); ++i) {
+    running = (running + site_values[i]) % modulus;
+    if (metrics != nullptr) {
+      metrics->AddMessage(8);
+    }
+  }
+  // Back to the initiator, which removes the mask.
+  uint64_t sum = (running + modulus - r) % modulus;
+  if (metrics != nullptr) {
+    metrics->AddMessage(8);
+  }
+  return sum;
+}
+
+namespace {
+
+/// Runs the shared encrypt-around-the-ring phase of the union/intersection
+/// protocols: returns, per site, its item set encrypted by *every* site's
+/// key (as decimal strings for cheap equality), plus the ciphers (for the
+/// decryption phase).
+struct RingEncryptionResult {
+  std::vector<crypto::SraCipher> ciphers;
+  // fully_encrypted[site] = ciphertexts of that site's items.
+  std::vector<std::vector<crypto::BigInt>> fully_encrypted;
+};
+
+Result<RingEncryptionResult> RingEncrypt(
+    const std::vector<std::vector<std::string>>& site_sets, size_t prime_bits,
+    Rng* rng, Metrics* metrics) {
+  if (site_sets.size() < 2) {
+    return Status::InvalidArgument("need >= 2 sites");
+  }
+  RingEncryptionResult out;
+  crypto::BigInt p = crypto::SraCipher::GeneratePrime(prime_bits, rng);
+  for (size_t s = 0; s < site_sets.size(); ++s) {
+    PDS_ASSIGN_OR_RETURN(crypto::SraCipher cipher,
+                         crypto::SraCipher::Create(p, rng));
+    out.ciphers.push_back(std::move(cipher));
+  }
+
+  const size_t n = site_sets.size();
+  out.fully_encrypted.resize(n);
+  for (size_t s = 0; s < n; ++s) {
+    // Encode and self-encrypt.
+    std::vector<crypto::BigInt> items;
+    for (const std::string& item : site_sets[s]) {
+      PDS_ASSIGN_OR_RETURN(crypto::BigInt x,
+                           out.ciphers[s].EncodeItem(item));
+      PDS_ASSIGN_OR_RETURN(x, out.ciphers[s].Encrypt(x));
+      if (metrics != nullptr) {
+        ++metrics->token_crypto_ops;
+      }
+      items.push_back(std::move(x));
+    }
+    // Pass around the ring: every other site adds its encryption layer
+    // (and shuffles, to break positional linkage).
+    for (size_t hop = 1; hop < n; ++hop) {
+      size_t site = (s + hop) % n;
+      for (crypto::BigInt& x : items) {
+        PDS_ASSIGN_OR_RETURN(x, out.ciphers[site].Encrypt(x));
+        if (metrics != nullptr) {
+          ++metrics->token_crypto_ops;
+        }
+      }
+      rng->Shuffle(&items);
+      if (metrics != nullptr) {
+        metrics->AddMessage(items.size() * (prime_bits / 8));
+        ++metrics->rounds;
+      }
+    }
+    out.fully_encrypted[s] = std::move(items);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::set<std::string>> SecureSetUnion(
+    const std::vector<std::vector<std::string>>& site_sets, size_t prime_bits,
+    Rng* rng, Metrics* metrics) {
+  PDS_ASSIGN_OR_RETURN(RingEncryptionResult ring,
+                       RingEncrypt(site_sets, prime_bits, rng, metrics));
+
+  // Union on fully-encrypted items: equal plaintexts collide because the
+  // composition of all sites' exponents is the same for everyone.
+  std::map<std::string, crypto::BigInt> distinct;
+  for (const auto& site_items : ring.fully_encrypted) {
+    for (const crypto::BigInt& x : site_items) {
+      distinct.emplace(x.ToDecimalString(), x);
+      if (metrics != nullptr) {
+        ++metrics->ssi_ops;
+      }
+    }
+  }
+
+  // Decrypt each distinct ciphertext with every site's key.
+  std::set<std::string> result;
+  for (auto& [key, ct] : distinct) {
+    crypto::BigInt x = ct;
+    for (const crypto::SraCipher& cipher : ring.ciphers) {
+      PDS_ASSIGN_OR_RETURN(x, cipher.Decrypt(x));
+      if (metrics != nullptr) {
+        ++metrics->token_crypto_ops;
+      }
+    }
+    PDS_ASSIGN_OR_RETURN(std::string item, ring.ciphers[0].DecodeItem(x));
+    result.insert(std::move(item));
+  }
+  return result;
+}
+
+Result<uint64_t> SecureIntersectionSize(
+    const std::vector<std::vector<std::string>>& site_sets, size_t prime_bits,
+    Rng* rng, Metrics* metrics) {
+  PDS_ASSIGN_OR_RETURN(RingEncryptionResult ring,
+                       RingEncrypt(site_sets, prime_bits, rng, metrics));
+
+  // Count fully-encrypted values present at every site (no decryption).
+  std::map<std::string, uint64_t> presence;
+  for (const auto& site_items : ring.fully_encrypted) {
+    std::set<std::string> site_distinct;
+    for (const crypto::BigInt& x : site_items) {
+      site_distinct.insert(x.ToDecimalString());
+    }
+    for (const std::string& key : site_distinct) {
+      ++presence[key];
+      if (metrics != nullptr) {
+        ++metrics->ssi_ops;
+      }
+    }
+  }
+  uint64_t count = 0;
+  for (const auto& [key, sites] : presence) {
+    if (sites == site_sets.size()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Result<uint64_t> SecureScalarProduct(const std::vector<uint64_t>& a,
+                                     const std::vector<uint64_t>& b,
+                                     size_t paillier_bits, Rng* rng,
+                                     Metrics* metrics) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("vectors must have equal length");
+  }
+  PDS_ASSIGN_OR_RETURN(crypto::Paillier paillier,
+                       crypto::Paillier::Generate(paillier_bits, rng));
+
+  // Site A -> B: E(a_i).
+  std::vector<crypto::BigInt> enc_a;
+  enc_a.reserve(a.size());
+  for (uint64_t v : a) {
+    PDS_ASSIGN_OR_RETURN(crypto::BigInt ct, paillier.EncryptU64(v, rng));
+    if (metrics != nullptr) {
+      ++metrics->token_crypto_ops;
+    }
+    enc_a.push_back(std::move(ct));
+  }
+  if (metrics != nullptr) {
+    metrics->AddMessage(enc_a.size() * (paillier_bits / 4));
+    ++metrics->rounds;
+  }
+
+  // Site B: prod E(a_i)^{b_i} = E(sum a_i b_i).
+  PDS_ASSIGN_OR_RETURN(crypto::BigInt acc, paillier.EncryptU64(0, rng));
+  for (size_t i = 0; i < b.size(); ++i) {
+    crypto::BigInt term =
+        paillier.MulPlaintext(enc_a[i], crypto::BigInt(b[i]));
+    acc = paillier.AddCiphertexts(acc, term);
+    if (metrics != nullptr) {
+      ++metrics->token_crypto_ops;
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->AddMessage(paillier_bits / 4);
+    ++metrics->rounds;
+  }
+
+  // Back at A: decrypt.
+  PDS_ASSIGN_OR_RETURN(uint64_t result, paillier.DecryptU64(acc));
+  if (metrics != nullptr) {
+    ++metrics->token_crypto_ops;
+  }
+  return result;
+}
+
+Result<uint64_t> PaillierFleetSum(const std::vector<uint64_t>& site_values,
+                                  size_t paillier_bits, Rng* rng,
+                                  Metrics* metrics) {
+  PDS_ASSIGN_OR_RETURN(crypto::Paillier paillier,
+                       crypto::Paillier::Generate(paillier_bits, rng));
+  crypto::BigInt acc;
+  bool first = true;
+  for (uint64_t v : site_values) {
+    PDS_ASSIGN_OR_RETURN(crypto::BigInt ct, paillier.EncryptU64(v, rng));
+    if (metrics != nullptr) {
+      ++metrics->token_crypto_ops;
+      metrics->AddMessage(paillier_bits / 4);
+    }
+    if (first) {
+      acc = std::move(ct);
+      first = false;
+    } else {
+      acc = paillier.AddCiphertexts(acc, ct);  // SSI-side multiplication
+      if (metrics != nullptr) {
+        ++metrics->ssi_ops;
+      }
+    }
+  }
+  if (site_values.empty()) {
+    return 0;
+  }
+  PDS_ASSIGN_OR_RETURN(uint64_t sum, paillier.DecryptU64(acc));
+  if (metrics != nullptr) {
+    ++metrics->token_crypto_ops;
+    ++metrics->rounds;
+  }
+  return sum;
+}
+
+}  // namespace pds::global

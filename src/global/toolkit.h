@@ -1,0 +1,62 @@
+#ifndef PDS_GLOBAL_TOOLKIT_H_
+#define PDS_GLOBAL_TOOLKIT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/paillier.h"
+#include "global/common.h"
+
+namespace pds::global {
+
+/// The privacy-preserving data-mining toolkit of [CKV+02] (tutorial
+/// Part III, "Toolkits for Secure Computations"): four primitives from
+/// which association rules and clustering are assembled. Each function
+/// simulates the multi-party protocol in-process and accounts messages,
+/// bytes and crypto operations in `metrics`.
+
+/// Secure Sum: ring protocol. The initiator masks its value with a random
+/// R modulo `modulus`; each site adds its value; the initiator unmasks.
+/// No site learns any other site's value (the running total is uniformly
+/// distributed). Requires >= 3 sites for the privacy argument.
+Result<uint64_t> SecureSum(const std::vector<uint64_t>& site_values,
+                           uint64_t modulus, Rng* rng, Metrics* metrics);
+
+/// Secure Set Union via SRA commutative encryption: each site encrypts
+/// every item with its key (items circulate the ring), fully-encrypted
+/// items are deduplicated — equal plaintexts collide regardless of
+/// encryption order — and then decrypted layer by layer.
+Result<std::set<std::string>> SecureSetUnion(
+    const std::vector<std::vector<std::string>>& site_sets, size_t prime_bits,
+    Rng* rng, Metrics* metrics);
+
+/// Secure Size of Set Intersection: same commutative-encryption pipeline,
+/// but only the count of fully-encrypted values present at *every* site is
+/// revealed (nothing is decrypted).
+Result<uint64_t> SecureIntersectionSize(
+    const std::vector<std::vector<std::string>>& site_sets, size_t prime_bits,
+    Rng* rng, Metrics* metrics);
+
+/// Secure Scalar Product between two sites using Paillier: site A sends
+/// E(a_i); site B computes prod E(a_i)^{b_i} = E(sum a_i * b_i); A
+/// decrypts. B learns nothing; A learns only the scalar product.
+Result<uint64_t> SecureScalarProduct(const std::vector<uint64_t>& a,
+                                     const std::vector<uint64_t>& b,
+                                     size_t paillier_bits, Rng* rng,
+                                     Metrics* metrics);
+
+/// Homomorphic SUM over all participants using Paillier — the
+/// "untrusted-server-only" end of the tutorial's solution spectrum, used
+/// by bench_crypto_ladder as the expensive comparison point. The SSI adds
+/// ciphertexts without learning anything; only the querier (key owner)
+/// decrypts.
+Result<uint64_t> PaillierFleetSum(const std::vector<uint64_t>& site_values,
+                                  size_t paillier_bits, Rng* rng,
+                                  Metrics* metrics);
+
+}  // namespace pds::global
+
+#endif  // PDS_GLOBAL_TOOLKIT_H_

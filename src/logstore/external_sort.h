@@ -1,0 +1,79 @@
+#ifndef PDS_LOGSTORE_EXTERNAL_SORT_H_
+#define PDS_LOGSTORE_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "flash/flash.h"
+#include "mcu/ram_gauge.h"
+
+namespace pds::logstore {
+
+/// External sort over fixed-size records using only sequential log
+/// structures — the engine of the tutorial's index reorganization:
+/// "Sort the (key, pointer) pairs -> temp. logs (sorted runs) -> result
+/// written sequentially".
+///
+/// Records are ordered by memcmp over their full width, so callers encode
+/// keys order-preservingly (big-endian integers, padded strings).
+///
+/// RAM discipline: the in-RAM run buffer and, during merges, one page per
+/// merged run are charged to the MCU RamGauge. When the fan-in of a single
+/// merge pass would exceed the RAM budget, the sorter performs multiple
+/// passes — exactly how a smartcard-class device must behave.
+class ExternalSorter {
+ public:
+  struct Options {
+    size_t record_size = 16;
+    /// Maximum bytes of RAM the sorter may use.
+    size_t ram_budget_bytes = 16 * 1024;
+  };
+
+  ExternalSorter(flash::PartitionAllocator* allocator, const Options& options,
+                 mcu::RamGauge* gauge);
+
+  /// Buffers one record; spills a sorted run to flash when RAM is full.
+  Status Add(ByteView record);
+
+  /// Sorts everything added so far and emits records in ascending order.
+  /// May be called once.
+  Status Finish(const std::function<Status(ByteView)>& emit);
+
+  uint64_t num_records() const { return num_records_; }
+  /// Number of sorted runs spilled to flash so far (diagnostics).
+  size_t num_runs() const { return runs_.size(); }
+
+ private:
+  struct Run {
+    flash::Partition partition;
+    uint32_t num_pages = 0;
+    uint64_t num_records = 0;
+  };
+
+  Status SpillRun();
+  /// Allocates a contiguous partition sized for `record_count` packed
+  /// records and returns the run descriptor (pages pre-computed).
+  Result<Run> AllocRun(uint64_t record_count);
+  /// Merges `inputs` into a single emitted stream; if `out` is non-null the
+  /// stream is also written as a new run.
+  Status MergeRuns(const std::vector<Run*>& inputs,
+                   const std::function<Status(ByteView)>& emit, Run* out);
+
+  flash::PartitionAllocator* allocator_;
+  Options options_;
+  mcu::RamGauge* gauge_;
+
+  std::vector<uint8_t> buffer_;  // in-RAM records, record_size granularity
+  size_t buffer_capacity_records_;
+  std::vector<Run> runs_;
+  uint64_t num_records_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace pds::logstore
+
+#endif  // PDS_LOGSTORE_EXTERNAL_SORT_H_

@@ -1,0 +1,84 @@
+#include "mcu/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pds::mcu {
+
+size_t SearchQueryRam(size_t num_keywords, size_t page_size, size_t top_n,
+                      size_t index_buckets, size_t insert_buffer_bytes) {
+  size_t cursor_pages = num_keywords * page_size;
+  size_t heap = top_n * 16;  // (docid, score) entries
+  size_t index_resident = index_buckets * 4 + insert_buffer_bytes;
+  return cursor_pages + heap + index_resident;
+}
+
+size_t KeyLogIndexRam(size_t page_size, double bits_per_key,
+                      size_t entries_per_page) {
+  size_t filter_bytes = static_cast<size_t>(
+      (static_cast<double>(entries_per_page) * bits_per_key + 7) / 8);
+  return page_size /* open keys page */ + page_size /* open bloom page */ +
+         filter_bytes;
+}
+
+size_t SinglePassSortRam(uint64_t num_records, size_t record_size,
+                         size_t page_size) {
+  double total = static_cast<double>(num_records) *
+                 static_cast<double>(record_size);
+  double r = std::sqrt(total * static_cast<double>(page_size));
+  // At least one run buffer page and one merge page.
+  double floor_bytes = static_cast<double>(2 * page_size);
+  return static_cast<size_t>(std::ceil(std::max(r, floor_bytes)));
+}
+
+size_t SpjQueryRam(const std::vector<uint64_t>& selection_cardinalities,
+                   size_t row_bytes) {
+  size_t rowid_lists = 0;
+  for (uint64_t c : selection_cardinalities) {
+    rowid_lists += static_cast<size_t>(c) * sizeof(uint64_t);
+  }
+  return rowid_lists + row_bytes;
+}
+
+size_t AggregationRam(uint64_t num_groups, size_t group_state_bytes) {
+  return static_cast<size_t>(num_groups) * group_state_bytes;
+}
+
+std::vector<RamRequirement> CalibrateRam(const WorkloadProfile& p) {
+  std::vector<RamRequirement> out;
+
+  out.push_back({"search-query",
+                 SearchQueryRam(p.search_keywords, p.page_size, p.search_top_n,
+                                p.index_buckets, p.insert_buffer_bytes),
+                 "keywords*page + 16*topN + 4*buckets + insert_buffer"});
+
+  size_t entries_per_page = p.page_size / 32;
+  out.push_back({"key-log-index",
+                 KeyLogIndexRam(p.page_size, 16.0, entries_per_page),
+                 "2*page + bits_per_key*entries_per_page/8"});
+
+  out.push_back({"reorganization-sort",
+                 SinglePassSortRam(p.largest_index_entries, 32, p.page_size),
+                 "sqrt(entries*32*page)  [single merge pass]"});
+
+  std::vector<uint64_t> cards(p.spj_selections,
+                              p.spj_max_rowids_per_selection);
+  out.push_back({"spj-query", SpjQueryRam(cards, 512),
+                 "8*sum(selection cardinalities) + row"});
+
+  out.push_back({"group-by", AggregationRam(p.aggregation_groups),
+                 "80*groups"});
+
+  return out;
+}
+
+size_t RecommendedRamBudget(const WorkloadProfile& profile) {
+  size_t max_bytes = 0;
+  for (const RamRequirement& r : CalibrateRam(profile)) {
+    max_bytes = std::max(max_bytes, r.bytes);
+  }
+  // Round up to 1 KB.
+  return ((max_bytes + 1023) / 1024) * 1024;
+}
+
+}  // namespace pds::mcu

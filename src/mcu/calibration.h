@@ -1,0 +1,70 @@
+#ifndef PDS_MCU_CALIBRATION_H_
+#define PDS_MCU_CALIBRATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pds::mcu {
+
+/// Answers the tutorial's open co-design question ("How to calibrate the
+/// HW (RAM) to data oriented treatments?"): closed-form minimum-RAM
+/// formulas for each embedded treatment, derived from the pipeline
+/// algorithms implemented in this library.
+///
+/// All results are in bytes and deliberately conservative (they include
+/// the structures' resident buffers, not C++ object overhead).
+
+/// One line of the calibration report.
+struct RamRequirement {
+  std::string treatment;
+  size_t bytes = 0;
+  std::string formula;
+};
+
+/// Pipeline top-N search: one flash page per query keyword, the bounded
+/// result heap, plus the index's resident buffers.
+size_t SearchQueryRam(size_t num_keywords, size_t page_size, size_t top_n,
+                      size_t index_buckets, size_t insert_buffer_bytes);
+
+/// Key-log (PBFilter) index residency: open keys page + open bloom page +
+/// open filter.
+size_t KeyLogIndexRam(size_t page_size, double bits_per_key,
+                      size_t entries_per_page);
+
+/// External sort that completes its merge in a single pass over R bytes of
+/// run buffer: R must satisfy R/page_size >= total_bytes/R, i.e.
+/// R >= sqrt(total_bytes * page_size).
+size_t SinglePassSortRam(uint64_t num_records, size_t record_size,
+                         size_t page_size);
+
+/// Pipeline SPJ execution: the materialized sorted rowid lists plus one
+/// joined row.
+size_t SpjQueryRam(const std::vector<uint64_t>& selection_cardinalities,
+                   size_t row_bytes);
+
+/// Streaming GROUP BY: the group table.
+size_t AggregationRam(uint64_t num_groups, size_t group_state_bytes = 80);
+
+/// Full report for a workload profile on a given flash page size.
+struct WorkloadProfile {
+  size_t page_size = 2048;
+  size_t search_keywords = 5;
+  size_t search_top_n = 10;
+  size_t index_buckets = 64;
+  size_t insert_buffer_bytes = 2048;
+  uint64_t largest_index_entries = 1 << 20;
+  uint64_t spj_max_rowids_per_selection = 4096;
+  size_t spj_selections = 2;
+  uint64_t aggregation_groups = 256;
+};
+
+std::vector<RamRequirement> CalibrateRam(const WorkloadProfile& profile);
+
+/// The smallest MCU RAM budget (rounded up to a 1 KB multiple) that runs
+/// every treatment of the profile.
+size_t RecommendedRamBudget(const WorkloadProfile& profile);
+
+}  // namespace pds::mcu
+
+#endif  // PDS_MCU_CALIBRATION_H_

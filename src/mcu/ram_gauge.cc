@@ -1,0 +1,63 @@
+#include "mcu/ram_gauge.h"
+
+#include <algorithm>
+#include <string>
+
+namespace pds::mcu {
+
+Status RamGauge::Acquire(size_t bytes) {
+  if (in_use_ + bytes > budget_) {
+    return Status::ResourceExhausted(
+        "MCU RAM budget exceeded: in use " + std::to_string(in_use_) +
+        " + requested " + std::to_string(bytes) + " > budget " +
+        std::to_string(budget_));
+  }
+  in_use_ += bytes;
+  high_water_ = std::max(high_water_, in_use_);
+  return Status::Ok();
+}
+
+void RamGauge::Release(size_t bytes) {
+  in_use_ -= std::min(bytes, in_use_);
+}
+
+Result<RamCharge> RamCharge::Make(RamGauge* gauge, size_t bytes) {
+  PDS_RETURN_IF_ERROR(gauge->Acquire(bytes));
+  return RamCharge(gauge, bytes);
+}
+
+RamCharge::RamCharge(RamCharge&& other) noexcept
+    : gauge_(other.gauge_), bytes_(other.bytes_) {
+  other.gauge_ = nullptr;
+  other.bytes_ = 0;
+}
+
+RamCharge& RamCharge::operator=(RamCharge&& other) noexcept {
+  if (this != &other) {
+    if (gauge_ != nullptr) {
+      gauge_->Release(bytes_);
+    }
+    gauge_ = other.gauge_;
+    bytes_ = other.bytes_;
+    other.gauge_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+RamCharge::~RamCharge() {
+  if (gauge_ != nullptr) {
+    gauge_->Release(bytes_);
+  }
+}
+
+Status RamCharge::Grow(size_t extra) {
+  if (gauge_ == nullptr) {
+    return Status::FailedPrecondition("empty RamCharge");
+  }
+  PDS_RETURN_IF_ERROR(gauge_->Acquire(extra));
+  bytes_ += extra;
+  return Status::Ok();
+}
+
+}  // namespace pds::mcu

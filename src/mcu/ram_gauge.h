@@ -1,0 +1,73 @@
+#ifndef PDS_MCU_RAM_GAUGE_H_
+#define PDS_MCU_RAM_GAUGE_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pds::mcu {
+
+/// Models the tiny RAM of a secure microcontroller (tutorial: "<128 KB",
+/// often 64 KB). Every embedded operator charges its working memory here;
+/// exceeding the budget returns ResourceExhausted — the software equivalent
+/// of "this plan does not fit on the chip".
+///
+/// The gauge also records the high-water mark, which benchmarks report as
+/// the RAM consumption of a query plan.
+class RamGauge {
+ public:
+  explicit RamGauge(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  RamGauge(const RamGauge&) = delete;
+  RamGauge& operator=(const RamGauge&) = delete;
+
+  /// Reserves `bytes`; fails when the budget would be exceeded.
+  Status Acquire(size_t bytes);
+
+  /// Returns previously acquired bytes. Releasing more than is in use is a
+  /// programming error and clamps to zero.
+  void Release(size_t bytes);
+
+  size_t budget() const { return budget_; }
+  size_t in_use() const { return in_use_; }
+  size_t high_water() const { return high_water_; }
+  size_t available() const { return budget_ - in_use_; }
+
+  void ResetHighWater() { high_water_ = in_use_; }
+
+ private:
+  size_t budget_;
+  size_t in_use_ = 0;
+  size_t high_water_ = 0;
+};
+
+/// RAII charge against a RamGauge; releases on destruction. Move-only.
+class RamCharge {
+ public:
+  RamCharge() : gauge_(nullptr), bytes_(0) {}
+
+  /// Acquires `bytes` from `gauge`; fails if over budget.
+  static Result<RamCharge> Make(RamGauge* gauge, size_t bytes);
+
+  RamCharge(const RamCharge&) = delete;
+  RamCharge& operator=(const RamCharge&) = delete;
+  RamCharge(RamCharge&& other) noexcept;
+  RamCharge& operator=(RamCharge&& other) noexcept;
+  ~RamCharge();
+
+  /// Grows the charge by `extra` bytes.
+  Status Grow(size_t extra);
+
+  size_t bytes() const { return bytes_; }
+
+ private:
+  RamCharge(RamGauge* gauge, size_t bytes) : gauge_(gauge), bytes_(bytes) {}
+
+  RamGauge* gauge_;
+  size_t bytes_;
+};
+
+}  // namespace pds::mcu
+
+#endif  // PDS_MCU_RAM_GAUGE_H_

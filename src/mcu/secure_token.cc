@@ -1,0 +1,79 @@
+#include "mcu/secure_token.h"
+
+#include <cstring>
+
+namespace pds::mcu {
+
+SecureToken::SecureToken(const Config& config)
+    : id_(config.token_id),
+      fleet_key_(config.fleet_key),
+      mac_key_(crypto::DeriveKey(
+          ByteView(config.fleet_key.data(), config.fleet_key.size()),
+          ByteView(std::string_view("token-mac")))),
+      det_(std::make_unique<crypto::DetCipher>(config.fleet_key)),
+      nondet_(std::make_unique<crypto::NonDetCipher>(config.fleet_key)),
+      ram_(config.ram_budget_bytes),
+      // Mix id and seed so distinct tokens never share an RNG stream (and
+      // thus never reuse encryption nonces).
+      rng_(config.rng_seed ^ (config.token_id * 0x9E3779B97F4A7C15ULL)) {}
+
+Status SecureToken::CheckAlive() const {
+  if (tampered_) {
+    return Status::PermissionDenied(
+        "token " + std::to_string(id_) +
+        " was tampered with; key material zeroized");
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> SecureToken::EncryptDet(ByteView plaintext) {
+  PDS_RETURN_IF_ERROR(CheckAlive());
+  ++ops_.encryptions;
+  return det_->Encrypt(plaintext);
+}
+
+Result<Bytes> SecureToken::DecryptDet(ByteView ciphertext) {
+  PDS_RETURN_IF_ERROR(CheckAlive());
+  ++ops_.decryptions;
+  return det_->Decrypt(ciphertext);
+}
+
+Result<Bytes> SecureToken::EncryptNonDet(ByteView plaintext) {
+  PDS_RETURN_IF_ERROR(CheckAlive());
+  ++ops_.encryptions;
+  return nondet_->Encrypt(plaintext, &rng_);
+}
+
+Result<Bytes> SecureToken::DecryptNonDet(ByteView ciphertext) {
+  PDS_RETURN_IF_ERROR(CheckAlive());
+  ++ops_.decryptions;
+  return nondet_->Decrypt(ciphertext);
+}
+
+Result<crypto::Sha256::Digest> SecureToken::Mac(ByteView message) {
+  PDS_RETURN_IF_ERROR(CheckAlive());
+  ++ops_.macs;
+  return crypto::HmacSha256(ByteView(mac_key_.data(), mac_key_.size()),
+                            message);
+}
+
+Result<crypto::Sha256::Digest> SecureToken::Attest(ByteView challenge) {
+  return Mac(challenge);
+}
+
+Result<bool> SecureToken::VerifyAttestation(
+    ByteView challenge, const crypto::Sha256::Digest& proof) {
+  PDS_ASSIGN_OR_RETURN(crypto::Sha256::Digest expected, Mac(challenge));
+  return crypto::DigestEqual(expected, proof);
+}
+
+void SecureToken::Tamper() {
+  tampered_ = true;
+  // Zeroize: the tamper-resistant hardware destroys its secrets.
+  std::memset(fleet_key_.data(), 0, fleet_key_.size());
+  std::memset(mac_key_.data(), 0, mac_key_.size());
+  det_.reset();
+  nondet_.reset();
+}
+
+}  // namespace pds::mcu

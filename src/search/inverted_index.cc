@@ -1,0 +1,200 @@
+#include "search/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace pds::search {
+
+namespace {
+constexpr size_t kPageHeader = 6;  // u32 prev + u16 count
+
+void EncodePosting(uint8_t* p, const Posting& posting) {
+  EncodeU64(p, posting.term_hash);
+  EncodeU32(p + 8, posting.docid);
+  p[12] = static_cast<uint8_t>(posting.weight);
+  p[13] = static_cast<uint8_t>(posting.weight >> 8);
+}
+
+Posting DecodePosting(const uint8_t* p) {
+  Posting posting;
+  posting.term_hash = GetU64(p);
+  posting.docid = GetU32(p + 8);
+  posting.weight = GetU16(p + 12);
+  return posting;
+}
+}  // namespace
+
+InvertedIndexLog::InvertedIndexLog(flash::Partition partition,
+                                   mcu::RamGauge* gauge,
+                                   const Options& options)
+    : partition_(partition), gauge_(gauge), options_(options) {}
+
+InvertedIndexLog::~InvertedIndexLog() {
+  if (charged_ram_ > 0) {
+    gauge_->Release(charged_ram_);
+  }
+}
+
+Status InvertedIndexLog::Init() {
+  if (initialized_) {
+    return Status::FailedPrecondition("already initialized");
+  }
+  size_t ram = options_.num_buckets * sizeof(uint32_t)  // hash table
+               + options_.insert_buffer_bytes;          // insert buffer
+  PDS_RETURN_IF_ERROR(gauge_->Acquire(ram));
+  charged_ram_ = ram;
+  bucket_heads_.assign(options_.num_buckets, kNullPage);
+  buffer_.assign(options_.num_buckets, {});
+  initialized_ = true;
+  return Status::Ok();
+}
+
+uint64_t InvertedIndexLog::HashTerm(std::string_view term) {
+  return Fnv1a64(term);
+}
+
+Status InvertedIndexLog::AddDocument(
+    uint32_t docid, const std::map<std::string, uint32_t>& term_freqs) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("index not initialized");
+  }
+  if (any_document_ && docid <= last_docid_) {
+    return Status::InvalidArgument(
+        "docids must be strictly increasing (pipeline merge relies on it)");
+  }
+  for (const auto& [term, tf] : term_freqs) {
+    Posting posting;
+    posting.term_hash = HashTerm(term);
+    posting.docid = docid;
+    posting.weight =
+        static_cast<uint16_t>(std::min<uint32_t>(tf, 0xFFFF));
+    buffer_[BucketOf(posting.term_hash)].push_back(posting);
+    ++buffered_count_;
+    if (buffer_bytes_used() >= options_.insert_buffer_bytes) {
+      PDS_RETURN_IF_ERROR(FlushBuffer());
+    }
+  }
+  last_docid_ = docid;
+  any_document_ = true;
+  ++num_documents_;
+  return Status::Ok();
+}
+
+Status InvertedIndexLog::FlushBucket(uint32_t bucket) {
+  std::vector<Posting>& postings = buffer_[bucket];
+  if (postings.empty()) {
+    return Status::Ok();
+  }
+  const uint32_t ps = partition_.page_size();
+  const size_t per_page = (ps - kPageHeader) / Posting::kEncodedSize;
+
+  size_t pos = 0;
+  Bytes page;
+  while (pos < postings.size()) {
+    size_t batch = std::min(per_page, postings.size() - pos);
+    page.assign(kPageHeader + batch * Posting::kEncodedSize, 0);
+    EncodeU32(page.data(), bucket_heads_[bucket]);
+    page[4] = static_cast<uint8_t>(batch);
+    page[5] = static_cast<uint8_t>(batch >> 8);
+    for (size_t i = 0; i < batch; ++i) {
+      EncodePosting(page.data() + kPageHeader + i * Posting::kEncodedSize,
+                    postings[pos + i]);
+    }
+    if (next_page_ >= partition_.num_pages()) {
+      return Status::ResourceExhausted("inverted index partition full");
+    }
+    PDS_RETURN_IF_ERROR(partition_.ProgramPage(next_page_, ByteView(page)));
+    bucket_heads_[bucket] = next_page_;
+    ++next_page_;
+    pos += batch;
+  }
+  buffered_count_ -= postings.size();
+  postings.clear();
+  return Status::Ok();
+}
+
+Status InvertedIndexLog::FlushBuffer() {
+  for (uint32_t b = 0; b < num_buckets(); ++b) {
+    PDS_RETURN_IF_ERROR(FlushBucket(b));
+  }
+  return Status::Ok();
+}
+
+InvertedIndexLog::TermCursor::TermCursor(InvertedIndexLog* index,
+                                         uint64_t term_hash)
+    : index_(index), term_hash_(term_hash) {
+  uint32_t bucket = index_->BucketOf(term_hash);
+  for (const Posting& p : index_->buffer_[bucket]) {
+    if (p.term_hash == term_hash) {
+      ram_postings_.push_back(p);
+    }
+  }
+  ram_pos_ = ram_postings_.size();
+  next_prev_addr_ = index_->bucket_heads_[bucket];
+}
+
+Status InvertedIndexLog::TermCursor::LoadPage(uint32_t page_addr) {
+  PDS_RETURN_IF_ERROR(index_->partition_.ReadPage(page_addr, &page_));
+  next_prev_addr_ = GetU32(page_.data());
+  uint16_t count = GetU16(page_.data() + 4);
+  triple_index_ = static_cast<int>(count) - 1;
+  page_loaded_ = true;
+  return Status::Ok();
+}
+
+Status InvertedIndexLog::TermCursor::FindNextMatch() {
+  for (;;) {
+    if (!page_loaded_) {
+      if (next_prev_addr_ == kNullPage) {
+        at_end_ = true;
+        return Status::Ok();
+      }
+      PDS_RETURN_IF_ERROR(LoadPage(next_prev_addr_));
+    }
+    while (triple_index_ >= 0) {
+      Posting posting = DecodePosting(
+          page_.data() + kPageHeader +
+          static_cast<size_t>(triple_index_) * Posting::kEncodedSize);
+      --triple_index_;
+      if (posting.term_hash == term_hash_) {
+        current_ = posting;
+        at_end_ = false;
+        return Status::Ok();
+      }
+    }
+    page_loaded_ = false;  // chain to the previous (older) page
+  }
+}
+
+Status InvertedIndexLog::TermCursor::Advance() {
+  if (ram_pos_ > 0) {
+    --ram_pos_;
+    current_ = ram_postings_[ram_pos_];
+    at_end_ = false;
+    return Status::Ok();
+  }
+  return FindNextMatch();
+}
+
+Result<InvertedIndexLog::TermCursor> InvertedIndexLog::OpenTerm(
+    std::string_view term) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("index not initialized");
+  }
+  TermCursor cursor(this, HashTerm(term));
+  PDS_RETURN_IF_ERROR(cursor.Advance());
+  return cursor;
+}
+
+Result<uint32_t> InvertedIndexLog::DocumentFrequency(std::string_view term) {
+  PDS_ASSIGN_OR_RETURN(TermCursor cursor, OpenTerm(term));
+  uint32_t df = 0;
+  while (!cursor.AtEnd()) {
+    ++df;
+    PDS_RETURN_IF_ERROR(cursor.Advance());
+  }
+  return df;
+}
+
+}  // namespace pds::search

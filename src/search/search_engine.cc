@@ -1,0 +1,240 @@
+#include "search/search_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "search/tokenizer.h"
+
+namespace pds::search {
+
+namespace {
+
+/// Bounded min-heap of the N best (score, docid) pairs.
+class TopN {
+ public:
+  explicit TopN(size_t n) : n_(n) {}
+
+  void Offer(double score, uint32_t docid) {
+    if (n_ == 0) {
+      return;
+    }
+    if (heap_.size() < n_) {
+      heap_.push_back(SearchResult{docid, score});
+      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+      return;
+    }
+    if (Better(score, docid, heap_.front().score, heap_.front().docid)) {
+      std::pop_heap(heap_.begin(), heap_.end(), MinFirst);
+      heap_.back() = SearchResult{docid, score};
+      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+    }
+  }
+
+  std::vector<SearchResult> Sorted() {
+    std::vector<SearchResult> out = heap_;
+    std::sort(out.begin(), out.end(),
+              [](const SearchResult& a, const SearchResult& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.docid > b.docid;  // newer doc wins ties
+              });
+    return out;
+  }
+
+  size_t ram_bytes() const { return n_ * sizeof(SearchResult); }
+
+ private:
+  static bool Better(double score_a, uint32_t docid_a, double score_b,
+                     uint32_t docid_b) {
+    if (score_a != score_b) return score_a > score_b;
+    return docid_a > docid_b;
+  }
+  static bool MinFirst(const SearchResult& a, const SearchResult& b) {
+    return Better(a.score, a.docid, b.score, b.docid);
+  }
+
+  size_t n_;
+  std::vector<SearchResult> heap_;
+};
+
+std::vector<std::string> UniqueTerms(const std::vector<std::string>& terms) {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  for (const std::string& raw : terms) {
+    for (std::string& token : Tokenize(raw)) {
+      if (seen.insert(token).second) {
+        out.push_back(std::move(token));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EmbeddedSearchEngine::EmbeddedSearchEngine(flash::Partition partition,
+                                           mcu::RamGauge* gauge,
+                                           const Options& options)
+    : index_(partition, gauge, options.index),
+      gauge_(gauge),
+      options_(options) {}
+
+Status EmbeddedSearchEngine::Init() { return index_.Init(); }
+
+Result<uint32_t> EmbeddedSearchEngine::AddDocument(std::string_view text) {
+  uint32_t docid = next_docid_++;
+  PDS_RETURN_IF_ERROR(index_.AddDocument(docid, TermFrequencies(text)));
+  return docid;
+}
+
+Status EmbeddedSearchEngine::Flush() { return index_.FlushBuffer(); }
+
+Result<std::vector<SearchResult>> EmbeddedSearchEngine::Search(
+    const std::vector<std::string>& query_terms, size_t top_n) {
+  std::vector<std::string> terms = UniqueTerms(query_terms);
+  if (terms.empty() || index_.num_documents() == 0) {
+    return std::vector<SearchResult>{};
+  }
+
+  // Pass 1: document frequency per term (for IDF).
+  std::vector<double> idf;
+  std::vector<std::string> live_terms;
+  for (const std::string& term : terms) {
+    PDS_ASSIGN_OR_RETURN(uint32_t df, index_.DocumentFrequency(term));
+    if (df > 0) {
+      idf.push_back(std::log(static_cast<double>(index_.num_documents()) /
+                             static_cast<double>(df)));
+      live_terms.push_back(term);
+    }
+  }
+  if (live_terms.empty()) {
+    return std::vector<SearchResult>{};
+  }
+
+  // Pipeline RAM: one flash page per keyword cursor + the bounded heap.
+  TopN heap(top_n);
+  size_t ram = live_terms.size() * index_.page_size() + heap.ram_bytes();
+  PDS_RETURN_IF_ERROR(gauge_->Acquire(ram));
+
+  // Pass 2: open a cursor per keyword and merge by descending docid.
+  std::vector<InvertedIndexLog::TermCursor> cursors;
+  cursors.reserve(live_terms.size());
+  Status status = Status::Ok();
+  for (const std::string& term : live_terms) {
+    Result<InvertedIndexLog::TermCursor> cursor = index_.OpenTerm(term);
+    if (!cursor.ok()) {
+      status = cursor.status();
+      break;
+    }
+    cursors.push_back(std::move(cursor).value());
+  }
+
+  while (status.ok()) {
+    // Highest docid among live cursors.
+    bool any = false;
+    uint32_t docid = 0;
+    for (const auto& c : cursors) {
+      if (!c.AtEnd() && (!any || c.docid() > docid)) {
+        docid = c.docid();
+        any = true;
+      }
+    }
+    if (!any) {
+      break;
+    }
+    // All postings for this docid arrive simultaneously: score in pipeline.
+    double score = 0.0;
+    for (size_t i = 0; i < cursors.size(); ++i) {
+      if (!cursors[i].AtEnd() && cursors[i].docid() == docid) {
+        score += static_cast<double>(cursors[i].weight()) * idf[i];
+        status = cursors[i].Advance();
+        if (!status.ok()) {
+          break;
+        }
+      }
+    }
+    if (status.ok()) {
+      heap.Offer(score, docid);
+    }
+  }
+
+  gauge_->Release(ram);
+  if (!status.ok()) {
+    return status;
+  }
+  return heap.Sorted();
+}
+
+Result<std::vector<SearchResult>> EmbeddedSearchEngine::SearchNaive(
+    const std::vector<std::string>& query_terms, size_t top_n) {
+  std::vector<std::string> terms = UniqueTerms(query_terms);
+  if (terms.empty() || index_.num_documents() == 0) {
+    return std::vector<SearchResult>{};
+  }
+
+  // One container per retrieved docid, holding one weight per query term —
+  // the strawman's RAM grows with the number of candidate documents.
+  struct Accumulator {
+    std::vector<uint32_t> weights;
+  };
+  std::map<uint32_t, Accumulator> per_doc;
+  std::vector<uint32_t> df(terms.size(), 0);
+  size_t charged = 0;
+  Status status = Status::Ok();
+
+  for (size_t i = 0; i < terms.size() && status.ok(); ++i) {
+    Result<InvertedIndexLog::TermCursor> cursor = index_.OpenTerm(terms[i]);
+    if (!cursor.ok()) {
+      status = cursor.status();
+      break;
+    }
+    while (!cursor->AtEnd()) {
+      ++df[i];
+      auto [it, inserted] = per_doc.try_emplace(cursor->docid());
+      if (inserted) {
+        it->second.weights.assign(terms.size(), 0);
+        size_t cost =
+            options_.naive_container_bytes + terms.size() * sizeof(uint32_t);
+        status = gauge_->Acquire(cost);
+        if (!status.ok()) {
+          break;
+        }
+        charged += cost;
+      }
+      it->second.weights[i] += cursor->weight();
+      status = cursor->Advance();
+      if (!status.ok()) {
+        break;
+      }
+    }
+  }
+
+  std::vector<SearchResult> out;
+  if (status.ok()) {
+    TopN heap(top_n);
+    for (const auto& [docid, acc] : per_doc) {
+      double score = 0.0;
+      for (size_t i = 0; i < terms.size(); ++i) {
+        if (df[i] == 0 || acc.weights[i] == 0) {
+          continue;
+        }
+        double idf = std::log(static_cast<double>(index_.num_documents()) /
+                              static_cast<double>(df[i]));
+        score += static_cast<double>(acc.weights[i]) * idf;
+      }
+      if (score > 0.0) {
+        heap.Offer(score, docid);
+      }
+    }
+    out = heap.Sorted();
+  }
+
+  gauge_->Release(charged);
+  if (!status.ok()) {
+    return status;
+  }
+  return out;
+}
+
+}  // namespace pds::search

@@ -1,0 +1,77 @@
+#ifndef PDS_SEARCH_SEARCH_ENGINE_H_
+#define PDS_SEARCH_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "flash/flash.h"
+#include "mcu/ram_gauge.h"
+#include "search/inverted_index.h"
+
+namespace pds::search {
+
+/// One ranked hit.
+struct SearchResult {
+  uint32_t docid = 0;
+  double score = 0.0;
+};
+
+/// Embedded top-N TF-IDF search engine over the log-only inverted index
+/// (tutorial Part II, "First illustration: embedded search engines").
+///
+/// Two query evaluators are provided:
+///  - `Search` — the pipeline evaluator: per query keyword it holds one
+///    flash page in RAM and merges posting streams by descending docid,
+///    maintaining only a bounded top-N heap. RAM = O(#keywords + N).
+///  - `SearchNaive` — the strawman the tutorial calls out ("one container
+///    is allocated per retrieved docid ... too much!"): it aggregates into
+///    a per-docid table and fails with ResourceExhausted when the MCU RAM
+///    budget is hit.
+///
+/// Both return identical rankings when the naive evaluator fits in RAM —
+/// a property the test suite checks.
+class EmbeddedSearchEngine {
+ public:
+  struct Options {
+    InvertedIndexLog::Options index;
+    /// Bytes charged per (docid -> accumulator) container in the naive
+    /// evaluator (pointer-free lower bound of a hash-map node).
+    size_t naive_container_bytes = 32;
+  };
+
+  EmbeddedSearchEngine(flash::Partition partition, mcu::RamGauge* gauge,
+                       const Options& options);
+
+  Status Init();
+
+  /// Indexes a document and returns its docid (assigned sequentially).
+  Result<uint32_t> AddDocument(std::string_view text);
+
+  /// Flushes the insert buffer to flash.
+  Status Flush();
+
+  /// Pipeline top-N query. Two passes over the touched bucket chains:
+  /// pass 1 computes document frequencies (for IDF), pass 2 merges.
+  Result<std::vector<SearchResult>> Search(
+      const std::vector<std::string>& query_terms, size_t top_n);
+
+  /// Strawman evaluator: single pass, container per candidate docid.
+  Result<std::vector<SearchResult>> SearchNaive(
+      const std::vector<std::string>& query_terms, size_t top_n);
+
+  uint32_t num_documents() const { return index_.num_documents(); }
+  uint32_t num_index_pages() const { return index_.num_pages(); }
+
+ private:
+  InvertedIndexLog index_;
+  mcu::RamGauge* gauge_;
+  Options options_;
+  uint32_t next_docid_ = 1;
+};
+
+}  // namespace pds::search
+
+#endif  // PDS_SEARCH_SEARCH_ENGINE_H_

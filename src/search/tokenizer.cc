@@ -1,0 +1,33 @@
+#include "search/tokenizer.h"
+
+#include <cctype>
+
+namespace pds::search {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+std::map<std::string, uint32_t> TermFrequencies(std::string_view text) {
+  std::map<std::string, uint32_t> tf;
+  for (std::string& token : Tokenize(text)) {
+    ++tf[token];
+  }
+  return tf;
+}
+
+}  // namespace pds::search

@@ -1,0 +1,19 @@
+#ifndef PDS_SEARCH_TOKENIZER_H_
+#define PDS_SEARCH_TOKENIZER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pds::search {
+
+/// Splits text into lowercase alphanumeric tokens.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Tokenizes and counts term frequencies.
+std::map<std::string, uint32_t> TermFrequencies(std::string_view text);
+
+}  // namespace pds::search
+
+#endif  // PDS_SEARCH_TOKENIZER_H_

@@ -1,0 +1,175 @@
+#include "sync/folder.h"
+
+#include <algorithm>
+
+namespace pds::sync {
+
+Status ArchiveServer::Upload(uint64_t folder_id, uint64_t author,
+                             uint64_t seq, Bytes ciphertext) {
+  Key key{folder_id, author, seq};
+  auto [it, inserted] = blobs_.emplace(key, std::move(ciphertext));
+  if (inserted) {
+    ++num_blobs_;
+    bytes_stored_ += it->second.size();
+  }
+  return Status::Ok();
+}
+
+std::vector<Bytes> ArchiveServer::FetchMissing(
+    uint64_t folder_id,
+    const std::map<uint64_t, uint64_t>& version_vector) const {
+  std::vector<Bytes> out;
+  for (const auto& [key, blob] : blobs_) {
+    if (key.folder != folder_id) {
+      continue;
+    }
+    auto it = version_vector.find(key.author);
+    if (it == version_vector.end() || key.seq > it->second) {
+      out.push_back(blob);
+    }
+  }
+  return out;
+}
+
+Result<Bytes> PersonalFolder::Seal(const FolderEntry& entry) const {
+  Bytes plain;
+  PutU64(&plain, entry.author);
+  PutU64(&plain, entry.seq);
+  PutLengthPrefixed(&plain, ByteView(std::string_view(entry.category)));
+  PutLengthPrefixed(&plain, ByteView(std::string_view(entry.content)));
+  return token_->EncryptNonDet(ByteView(plain));
+}
+
+Result<FolderEntry> PersonalFolder::Open(ByteView blob) const {
+  PDS_ASSIGN_OR_RETURN(Bytes plain, token_->DecryptNonDet(blob));
+  if (plain.size() < 16) {
+    return Status::Corruption("folder blob too short");
+  }
+  FolderEntry entry;
+  entry.author = GetU64(plain.data());
+  entry.seq = GetU64(plain.data() + 8);
+  size_t pos = 16;
+  ByteView category, content;
+  if (!GetLengthPrefixed(ByteView(plain), &pos, &category) ||
+      !GetLengthPrefixed(ByteView(plain), &pos, &content)) {
+    return Status::Corruption("folder blob truncated");
+  }
+  entry.category = category.ToString();
+  entry.content = content.ToString();
+  return entry;
+}
+
+bool PersonalFolder::Has(uint64_t author, uint64_t seq) const {
+  for (const FolderEntry& e : entries_) {
+    if (e.author == author && e.seq == seq) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PersonalFolder::Insert(FolderEntry entry) {
+  if (!Has(entry.author, entry.seq)) {
+    entries_.push_back(std::move(entry));
+  }
+}
+
+Status PersonalFolder::AddEntry(const std::string& category,
+                                const std::string& content) {
+  FolderEntry entry;
+  entry.author = token_->id();
+  entry.seq = next_seq_++;
+  entry.category = category;
+  entry.content = content;
+  entries_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+std::map<uint64_t, uint64_t> PersonalFolder::VersionVector() const {
+  std::map<uint64_t, uint64_t> vv;
+  for (const FolderEntry& e : entries_) {
+    auto it = vv.find(e.author);
+    if (it == vv.end() || e.seq > it->second) {
+      vv[e.author] = e.seq;
+    }
+  }
+  return vv;
+}
+
+Status PersonalFolder::PushTo(ArchiveServer* archive,
+                              global::Metrics* metrics) {
+  for (const FolderEntry& e : entries_) {
+    auto key = std::make_pair(e.author, e.seq);
+    if (pushed_.count(key) != 0) {
+      continue;
+    }
+    PDS_ASSIGN_OR_RETURN(Bytes blob, Seal(e));
+    if (metrics != nullptr) {
+      ++metrics->token_crypto_ops;
+      metrics->AddMessage(blob.size());
+    }
+    PDS_RETURN_IF_ERROR(
+        archive->Upload(folder_id_, e.author, e.seq, std::move(blob)));
+    pushed_[key] = true;
+  }
+  return Status::Ok();
+}
+
+Status PersonalFolder::PullFrom(const ArchiveServer& archive,
+                                global::Metrics* metrics) {
+  std::vector<Bytes> blobs =
+      archive.FetchMissing(folder_id_, VersionVector());
+  for (const Bytes& blob : blobs) {
+    if (metrics != nullptr) {
+      ++metrics->token_crypto_ops;
+      metrics->AddMessage(blob.size());
+    }
+    PDS_ASSIGN_OR_RETURN(FolderEntry entry, Open(ByteView(blob)));
+    Insert(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<Bytes>> PersonalFolder::ExportDelta(
+    const std::map<uint64_t, uint64_t>& their_versions,
+    global::Metrics* metrics) const {
+  std::vector<Bytes> out;
+  for (const FolderEntry& e : entries_) {
+    auto it = their_versions.find(e.author);
+    if (it != their_versions.end() && e.seq <= it->second) {
+      continue;
+    }
+    PDS_ASSIGN_OR_RETURN(Bytes blob, Seal(e));
+    if (metrics != nullptr) {
+      ++metrics->token_crypto_ops;
+      metrics->AddMessage(blob.size());
+    }
+    out.push_back(std::move(blob));
+  }
+  return out;
+}
+
+Status PersonalFolder::ImportDelta(const std::vector<Bytes>& blobs,
+                                   global::Metrics* metrics) {
+  for (const Bytes& blob : blobs) {
+    if (metrics != nullptr) {
+      ++metrics->token_crypto_ops;
+    }
+    PDS_ASSIGN_OR_RETURN(FolderEntry entry, Open(ByteView(blob)));
+    Insert(std::move(entry));
+  }
+  return Status::Ok();
+}
+
+Status PersonalFolder::BadgeSync(PersonalFolder* a, PersonalFolder* b,
+                                 global::Metrics* metrics) {
+  PDS_ASSIGN_OR_RETURN(std::vector<Bytes> a_to_b,
+                       a->ExportDelta(b->VersionVector(), metrics));
+  PDS_ASSIGN_OR_RETURN(std::vector<Bytes> b_to_a,
+                       b->ExportDelta(a->VersionVector(), metrics));
+  PDS_RETURN_IF_ERROR(b->ImportDelta(a_to_b, metrics));
+  PDS_RETURN_IF_ERROR(a->ImportDelta(b_to_a, metrics));
+  return Status::Ok();
+}
+
+}  // namespace pds::sync

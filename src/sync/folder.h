@@ -1,0 +1,112 @@
+#ifndef PDS_SYNC_FOLDER_H_
+#define PDS_SYNC_FOLDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "global/common.h"
+#include "mcu/secure_token.h"
+
+namespace pds::sync {
+
+/// One entry of a personal (social-medical) folder. Entries are immutable
+/// and identified by (author device, per-author sequence number), which
+/// makes synchronization a conflict-free set union.
+struct FolderEntry {
+  uint64_t author = 0;
+  uint64_t seq = 0;
+  std::string category;  // "prescription", "social-report", ...
+  std::string content;
+};
+
+/// Central archive of the field experiment ("the folder is archived
+/// (encrypted) on a central server"). Untrusted: it stores only
+/// ciphertext blobs and never holds a key.
+class ArchiveServer {
+ public:
+  Status Upload(uint64_t folder_id, uint64_t author, uint64_t seq,
+                Bytes ciphertext);
+
+  /// Blobs the caller is missing, given its per-author version vector
+  /// (max seq known per author; absent author = nothing known).
+  std::vector<Bytes> FetchMissing(
+      uint64_t folder_id,
+      const std::map<uint64_t, uint64_t>& version_vector) const;
+
+  uint64_t num_blobs() const { return num_blobs_; }
+  uint64_t bytes_stored() const { return bytes_stored_; }
+
+ private:
+  struct Key {
+    uint64_t folder;
+    uint64_t author;
+    uint64_t seq;
+    bool operator<(const Key& o) const {
+      if (folder != o.folder) return folder < o.folder;
+      if (author != o.author) return author < o.author;
+      return seq < o.seq;
+    }
+  };
+  std::map<Key, Bytes> blobs_;
+  uint64_t num_blobs_ = 0;
+  uint64_t bytes_stored_ = 0;
+};
+
+/// The folder replica living on one secure device (the patient's home
+/// server, a doctor's badge-synced replica, ...). Plaintext exists only
+/// inside the token; everything exported is encrypted with the fleet key,
+/// so both the archive server and any courier see ciphertext only.
+class PersonalFolder {
+ public:
+  PersonalFolder(mcu::SecureToken* token, uint64_t folder_id)
+      : token_(token), folder_id_(folder_id) {}
+
+  uint64_t folder_id() const { return folder_id_; }
+  const std::vector<FolderEntry>& entries() const { return entries_; }
+
+  /// Authors a new entry on this device.
+  Status AddEntry(const std::string& category, const std::string& content);
+
+  /// Per-author max sequence number known locally.
+  std::map<uint64_t, uint64_t> VersionVector() const;
+
+  /// Uploads locally-known entries the archive may be missing (encrypted).
+  Status PushTo(ArchiveServer* archive, global::Metrics* metrics);
+
+  /// Downloads and decrypts entries the local replica is missing.
+  Status PullFrom(const ArchiveServer& archive, global::Metrics* metrics);
+
+  /// Disconnected sync ("Sync via Smart Badges, no network link
+  /// required"): exports the delta against `their_versions` as ciphertext
+  /// blobs a badge can carry.
+  Result<std::vector<Bytes>> ExportDelta(
+      const std::map<uint64_t, uint64_t>& their_versions,
+      global::Metrics* metrics) const;
+
+  /// Imports badge-carried blobs; duplicates are ignored.
+  Status ImportDelta(const std::vector<Bytes>& blobs,
+                     global::Metrics* metrics);
+
+  /// Two-way badge sync between two replicas.
+  static Status BadgeSync(PersonalFolder* a, PersonalFolder* b,
+                          global::Metrics* metrics);
+
+ private:
+  Result<Bytes> Seal(const FolderEntry& entry) const;
+  Result<FolderEntry> Open(ByteView blob) const;
+  bool Has(uint64_t author, uint64_t seq) const;
+  void Insert(FolderEntry entry);
+
+  mcu::SecureToken* token_;
+  uint64_t folder_id_;
+  std::vector<FolderEntry> entries_;
+  uint64_t next_seq_ = 0;
+  /// (author, seq) pairs already uploaded to the archive by this replica.
+  std::map<std::pair<uint64_t, uint64_t>, bool> pushed_;
+};
+
+}  // namespace pds::sync
+
+#endif  // PDS_SYNC_FOLDER_H_

@@ -1,0 +1,117 @@
+#include "sync/folkis.h"
+
+#include <algorithm>
+
+namespace pds::sync {
+
+FerryNetwork::FerryNetwork(const Config& config)
+    : config_(config), rng_(config.seed) {
+  ferries_.resize(config_.num_ferries);
+  for (Ferry& f : ferries_) {
+    f.position = static_cast<uint32_t>(rng_.Uniform(config_.num_villages));
+  }
+}
+
+uint64_t FerryNetwork::Post(uint32_t src, uint32_t dst, size_t bytes) {
+  Message m;
+  m.src = src % config_.num_villages;
+  m.dst = dst % config_.num_villages;
+  m.bytes = bytes;
+  m.posted_at = now_;
+  uint64_t id = messages_.size();
+  messages_.push_back(m);
+  waiting_[m.src].push_back(id);
+  return id;
+}
+
+void FerryNetwork::Step() {
+  ++now_;
+  for (size_t fi = 0; fi < ferries_.size(); ++fi) {
+    Ferry& ferry = ferries_[fi];
+    // Move: random walk on the ring.
+    if (rng_.Bernoulli(0.5)) {
+      ferry.position = (ferry.position + 1) % config_.num_villages;
+    } else {
+      ferry.position =
+          (ferry.position + config_.num_villages - 1) % config_.num_villages;
+    }
+    ++ferry_steps_;
+
+    // Deliver cargo addressed to this village; drop copies of messages a
+    // faster copy already delivered.
+    std::vector<uint64_t> keep;
+    for (uint64_t id : ferry.cargo) {
+      Message& m = messages_[id];
+      if (m.delivered) {
+        continue;  // another copy won the race
+      }
+      byte_steps_ += m.bytes;
+      if (m.dst == ferry.position) {
+        m.delivered = true;
+        m.delivered_at = now_;
+        ++delivered_count_;
+      } else {
+        keep.push_back(id);
+      }
+    }
+    ferry.cargo = std::move(keep);
+
+    // Pick up waiting messages (capacity-bounded). Under epidemic routing
+    // the message also stays posted so later ferries take copies too.
+    auto it = waiting_.find(ferry.position);
+    if (it != waiting_.end()) {
+      std::vector<uint64_t>& queue = it->second;
+      std::vector<uint64_t> remaining;
+      for (uint64_t id : queue) {
+        Message& m = messages_[id];
+        if (m.delivered) {
+          continue;  // purge delivered copies from the village
+        }
+        if (ferry.cargo.size() >= config_.ferry_capacity ||
+            m.carriers.count(static_cast<int>(fi)) != 0) {
+          remaining.push_back(id);
+          continue;
+        }
+        // Immediate delivery if the destination is here (degenerate case).
+        if (m.dst == ferry.position) {
+          m.delivered = true;
+          m.delivered_at = now_;
+          ++delivered_count_;
+          continue;
+        }
+        m.carriers.insert(static_cast<int>(fi));
+        ferry.cargo.push_back(id);
+        if (config_.epidemic) {
+          remaining.push_back(id);  // stays available for other ferries
+        }
+      }
+      queue = std::move(remaining);
+      if (queue.empty()) {
+        waiting_.erase(it);
+      }
+    }
+  }
+}
+
+uint64_t FerryNetwork::RunUntilDelivered(uint64_t max_steps) {
+  uint64_t steps = 0;
+  while (delivered_count_ < messages_.size() && steps < max_steps) {
+    Step();
+    ++steps;
+  }
+  return steps;
+}
+
+bool FerryNetwork::Delivered(uint64_t message_id) const {
+  return message_id < messages_.size() && messages_[message_id].delivered;
+}
+
+uint64_t FerryNetwork::DeliveryDelay(uint64_t message_id) const {
+  if (!Delivered(message_id)) {
+    return 0;
+  }
+  const Message& m = messages_[message_id];
+  return m.delivered_at - m.posted_at;
+}
+
+}  // namespace pds::sync

@@ -1,0 +1,93 @@
+#ifndef PDS_SYNC_FOLKIS_H_
+#define PDS_SYNC_FOLKIS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pds::sync {
+
+/// Folk-enabled Information System (tutorial Perspectives): personal data
+/// services for regions with *no* network infrastructure. Encrypted
+/// messages travel on the secure tokens of people ("ferries") who
+/// physically move between villages — a delay-tolerant network whose only
+/// deployment cost is the tokens themselves.
+///
+/// Discrete-time simulation: villages form a ring; each ferry performs a
+/// seeded random walk, picking up pending messages at its current village
+/// and delivering those addressed to it. Single-custody forwarding (a
+/// message rides exactly one ferry), which bounds token storage.
+class FerryNetwork {
+ public:
+  struct Config {
+    uint32_t num_villages = 16;
+    uint32_t num_ferries = 4;
+    /// Max messages one ferry token can carry (flash-bounded).
+    uint32_t ferry_capacity = 64;
+    /// false: single-custody forwarding (one copy rides one ferry).
+    /// true: epidemic pickup — every ferry passing the source village takes
+    /// a copy; the first to reach the destination delivers. Trades token
+    /// storage for delay, the classic DTN knob.
+    bool epidemic = false;
+    uint64_t seed = 17;
+  };
+
+  explicit FerryNetwork(const Config& config);
+
+  /// Posts an encrypted message of `bytes` at village `src` for `dst`;
+  /// returns a message id.
+  uint64_t Post(uint32_t src, uint32_t dst, size_t bytes);
+
+  /// Advances the simulation one step (ferries move, exchange messages).
+  void Step();
+
+  /// Runs until all posted messages are delivered or `max_steps` elapse;
+  /// returns the number of steps executed.
+  uint64_t RunUntilDelivered(uint64_t max_steps);
+
+  bool Delivered(uint64_t message_id) const;
+  /// Steps between post and delivery (0 if undelivered).
+  uint64_t DeliveryDelay(uint64_t message_id) const;
+
+  uint64_t now() const { return now_; }
+  uint64_t messages_delivered() const { return delivered_count_; }
+  uint64_t messages_posted() const { return messages_.size(); }
+  /// Total ferry-steps taken (the human cost of the network).
+  uint64_t ferry_steps() const { return ferry_steps_; }
+  /// Bytes carried * steps (token storage-time cost).
+  uint64_t byte_steps() const { return byte_steps_; }
+
+ private:
+  struct Message {
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    size_t bytes = 0;
+    uint64_t posted_at = 0;
+    uint64_t delivered_at = 0;
+    bool delivered = false;
+    std::set<int> carriers;  // ferries that ever took a copy
+  };
+
+  struct Ferry {
+    uint32_t position = 0;
+    std::vector<uint64_t> cargo;  // message ids
+  };
+
+  Config config_;
+  Rng rng_;
+  uint64_t now_ = 0;
+  std::vector<Message> messages_;
+  std::vector<Ferry> ferries_;
+  // Messages waiting at each village.
+  std::map<uint32_t, std::vector<uint64_t>> waiting_;
+  uint64_t delivered_count_ = 0;
+  uint64_t ferry_steps_ = 0;
+  uint64_t byte_steps_ = 0;
+};
+
+}  // namespace pds::sync
+
+#endif  // PDS_SYNC_FOLKIS_H_

@@ -1,0 +1,39 @@
+#include "workloads/census.h"
+
+#include "common/rng.h"
+
+namespace pds::workloads {
+
+std::vector<anon::Record> GenerateCensus(const CensusConfig& config) {
+  Rng rng(config.seed);
+  ZipfSampler diagnosis_sampler(config.num_diagnoses, 0.8,
+                                config.seed ^ 0xD15EA5E);
+  std::vector<anon::Record> records;
+  records.reserve(config.num_records);
+  for (uint64_t i = 0; i < config.num_records; ++i) {
+    anon::Record r;
+    // Age: sum of three uniforms in [6, 30] -> bell-ish in [18, 90].
+    uint64_t age = 6 + rng.Uniform(25) + rng.Uniform(25) + rng.Uniform(25);
+    // Zip: region prefix (2 digits) + local part (3 digits).
+    uint64_t region = rng.Uniform(config.num_regions);
+    uint64_t local = rng.Uniform(1000);
+    char zip[6];
+    std::snprintf(zip, sizeof(zip), "%02u%03u",
+                  static_cast<unsigned>(10 + region),
+                  static_cast<unsigned>(local));
+    r.quasi_identifiers = {std::to_string(age), zip};
+    r.sensitive = "diag-" + std::to_string(diagnosis_sampler.Sample());
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<std::unique_ptr<anon::Hierarchy>> CensusHierarchies() {
+  std::vector<std::unique_ptr<anon::Hierarchy>> out;
+  out.push_back(std::make_unique<anon::NumericHierarchy>(/*base_width=*/5,
+                                                         /*levels=*/4));
+  out.push_back(std::make_unique<anon::PrefixHierarchy>(/*max_suffix=*/5));
+  return out;
+}
+
+}  // namespace pds::workloads

@@ -1,0 +1,32 @@
+#ifndef PDS_WORKLOADS_CENSUS_H_
+#define PDS_WORKLOADS_CENSUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "anon/hierarchy.h"
+#include "anon/kanonymity.h"
+
+namespace pds::workloads {
+
+/// Census-like microdata for the PPDP experiments: quasi-identifiers
+/// (age, zipcode) and a sensitive attribute (diagnosis). Ages are
+/// normal-ish via summed uniforms; zipcodes cluster by region; diagnoses
+/// are Zipf-distributed.
+struct CensusConfig {
+  uint64_t num_records = 1000;
+  uint32_t num_regions = 10;
+  uint32_t num_diagnoses = 20;
+  uint64_t seed = 7;
+};
+
+std::vector<anon::Record> GenerateCensus(const CensusConfig& config);
+
+/// The matching hierarchies: age ranges (width 5 doubling, 4 levels) and
+/// zip prefix masking (5 digits).
+std::vector<std::unique_ptr<anon::Hierarchy>> CensusHierarchies();
+
+}  // namespace pds::workloads
+
+#endif  // PDS_WORKLOADS_CENSUS_H_

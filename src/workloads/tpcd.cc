@@ -1,0 +1,117 @@
+#include "workloads/tpcd.h"
+
+#include "common/rng.h"
+
+namespace pds::workloads {
+
+using embdb::Column;
+using embdb::ColumnType;
+using embdb::Schema;
+using embdb::SpjQuery;
+using embdb::Tuple;
+using embdb::Value;
+
+std::string SegmentName(uint32_t s) {
+  return s == 0 ? "HOUSEHOLD" : "SEGMENT-" + std::to_string(s);
+}
+
+std::string SupplierName(uint64_t s) {
+  return "SUPPLIER-" + std::to_string(s);
+}
+
+Result<TpcdInstance> LoadTpcd(embdb::Database* db,
+                              const TpcdConfig& config) {
+  Schema supplier("supplier", {{"suppkey", ColumnType::kUint64, ""},
+                               {"name", ColumnType::kString, ""},
+                               {"nation", ColumnType::kString, ""}});
+  Schema customer("customer", {{"custkey", ColumnType::kUint64, ""},
+                               {"name", ColumnType::kString, ""},
+                               {"mktsegment", ColumnType::kString, ""}});
+  Schema orders("orders", {{"orderkey", ColumnType::kUint64, ""},
+                           {"cust_fk", ColumnType::kUint64, "customer"},
+                           {"orderstatus", ColumnType::kString, ""}});
+  Schema partsupp("partsupp", {{"pskey", ColumnType::kUint64, ""},
+                               {"supp_fk", ColumnType::kUint64, "supplier"},
+                               {"availqty", ColumnType::kUint64, ""}});
+  Schema lineitem("lineitem", {{"linekey", ColumnType::kUint64, ""},
+                               {"order_fk", ColumnType::kUint64, "orders"},
+                               {"ps_fk", ColumnType::kUint64, "partsupp"},
+                               {"quantity", ColumnType::kUint64, ""},
+                               {"price", ColumnType::kDouble, ""}});
+
+  for (const Schema& s :
+       {supplier, customer, orders, partsupp, lineitem}) {
+    PDS_RETURN_IF_ERROR(db->CreateTable(s, config.table_options));
+  }
+
+  Rng rng(config.seed);
+
+  for (uint64_t i = 0; i < config.num_suppliers; ++i) {
+    Tuple t = {Value::U64(i), Value::Str(SupplierName(i)),
+               Value::Str("NATION-" + std::to_string(i % 7))};
+    PDS_RETURN_IF_ERROR(db->Insert("supplier", t).status());
+  }
+  for (uint64_t i = 0; i < config.num_customers; ++i) {
+    Tuple t = {Value::U64(i),
+               Value::Str("CUSTOMER-" + std::to_string(i)),
+               Value::Str(SegmentName(static_cast<uint32_t>(
+                   rng.Uniform(config.num_segments))))};
+    PDS_RETURN_IF_ERROR(db->Insert("customer", t).status());
+  }
+  for (uint64_t i = 0; i < config.num_orders; ++i) {
+    Tuple t = {Value::U64(i), Value::U64(rng.Uniform(config.num_customers)),
+               Value::Str(rng.Bernoulli(0.5) ? "OPEN" : "SHIPPED")};
+    PDS_RETURN_IF_ERROR(db->Insert("orders", t).status());
+  }
+  for (uint64_t i = 0; i < config.num_partsupps; ++i) {
+    Tuple t = {Value::U64(i), Value::U64(rng.Uniform(config.num_suppliers)),
+               Value::U64(rng.Uniform(10000))};
+    PDS_RETURN_IF_ERROR(db->Insert("partsupp", t).status());
+  }
+  for (uint64_t i = 0; i < config.num_lineitems; ++i) {
+    Tuple t = {Value::U64(i), Value::U64(rng.Uniform(config.num_orders)),
+               Value::U64(rng.Uniform(config.num_partsupps)),
+               Value::U64(1 + rng.Uniform(50)),
+               Value::F64(static_cast<double>(rng.Uniform(100000)) / 100.0)};
+    PDS_RETURN_IF_ERROR(db->Insert("lineitem", t).status());
+  }
+
+  TpcdInstance inst;
+  inst.lineitem = db->table("lineitem");
+  inst.orders = db->table("orders");
+  inst.customer = db->table("customer");
+  inst.partsupp = db->table("partsupp");
+  inst.supplier = db->table("supplier");
+
+  inst.path.root = inst.lineitem;
+  // Node order must match TpcdNode. fk columns are indices in the parent's
+  // schema: lineitem.order_fk = 1, orders.cust_fk = 1, lineitem.ps_fk = 2,
+  // partsupp.supp_fk = 1.
+  inst.path.nodes = {
+      {inst.orders, -1, 1},                 // kOrders <- lineitem.order_fk
+      {inst.customer, TpcdNode::kOrders, 1},  // kCustomer <- orders.cust_fk
+      {inst.partsupp, -1, 2},               // kPartsupp <- lineitem.ps_fk
+      {inst.supplier, TpcdNode::kPartsupp, 1},  // kSupplier <- partsupp.supp_fk
+  };
+  return inst;
+}
+
+SpjQuery TutorialQuery(uint32_t segment, uint64_t supplier) {
+  SpjQuery query;
+  // customer.mktsegment = SEGMENT, supplier.name = SUPPLIER-i.
+  query.selections = {
+      {TpcdNode::kCustomer, 2, Value::Str(SegmentName(segment))},
+      {TpcdNode::kSupplier, 1, Value::Str(SupplierName(supplier))},
+  };
+  // Project LIN.linekey, LIN.price, ORD.orderkey, CUS.name, SUP.name.
+  query.projections = {
+      {-1, 0},
+      {-1, 4},
+      {TpcdNode::kOrders, 0},
+      {TpcdNode::kCustomer, 1},
+      {TpcdNode::kSupplier, 1},
+  };
+  return query;
+}
+
+}  // namespace pds::workloads

@@ -1,0 +1,69 @@
+#ifndef PDS_WORKLOADS_TPCD_H_
+#define PDS_WORKLOADS_TPCD_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "embdb/database.h"
+#include "embdb/executor.h"
+#include "embdb/join_index.h"
+
+namespace pds::workloads {
+
+/// TPC-D-like mini schema, mirroring the tutorial's SPJ example:
+///
+///   SELECT CUS.*, ORD.*, LIN.*, PS.*
+///   FROM CUSTOMER CUS, ORDERS ORD, LINEITEM LIN, PARTSUPP PS, SUPPLIER SUP
+///   WHERE LIN -> ORD -> CUS and LIN -> PS -> SUP
+///     AND CUS.mktsegment = 'HOUSEHOLD' AND SUP.name = 'SUPPLIER-1'
+///
+/// LINEITEM is the query-root table; ORDERS/CUSTOMER and PARTSUPP/SUPPLIER
+/// are the two reference branches. Foreign keys are surrogate rowids.
+struct TpcdConfig {
+  uint64_t num_suppliers = 10;
+  uint64_t num_customers = 50;
+  uint64_t num_orders = 200;      // each referencing a customer
+  uint64_t num_partsupps = 100;   // each referencing a supplier
+  uint64_t num_lineitems = 1000;  // each referencing an order + a partsupp
+  uint64_t seed = 42;
+
+  /// Number of distinct market segments (selectivity knob).
+  uint32_t num_segments = 5;
+
+  embdb::Database::TableOptions table_options;
+};
+
+/// Node order in the JoinPath (and thus in Tjoin records).
+enum TpcdNode : int {
+  kOrders = 0,
+  kCustomer = 1,
+  kPartsupp = 2,
+  kSupplier = 3,
+};
+
+/// The loaded database plus the join path rooted at LINEITEM.
+struct TpcdInstance {
+  embdb::JoinPath path;
+
+  embdb::TableHeap* lineitem = nullptr;
+  embdb::TableHeap* orders = nullptr;
+  embdb::TableHeap* customer = nullptr;
+  embdb::TableHeap* partsupp = nullptr;
+  embdb::TableHeap* supplier = nullptr;
+};
+
+/// Creates the five tables in `db` and loads deterministic data.
+Result<TpcdInstance> LoadTpcd(embdb::Database* db, const TpcdConfig& config);
+
+/// The segment string for segment index s ("SEGMENT-s"; the tutorial's
+/// HOUSEHOLD is segment 0).
+std::string SegmentName(uint32_t s);
+std::string SupplierName(uint64_t s);
+
+/// The tutorial's query: selections on CUSTOMER.mktsegment and
+/// SUPPLIER.name, projecting order/customer/supplier identifiers + price.
+embdb::SpjQuery TutorialQuery(uint32_t segment, uint64_t supplier);
+
+}  // namespace pds::workloads
+
+#endif  // PDS_WORKLOADS_TPCD_H_

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "anon/hierarchy.h"
+#include "anon/kanonymity.h"
+#include "anon/metap.h"
+#include "workloads/census.h"
+
+namespace pds::anon {
+namespace {
+
+TEST(HierarchyTest, NumericLevels) {
+  NumericHierarchy h(/*base_width=*/5, /*levels=*/3);
+  EXPECT_EQ(h.max_level(), 4u);
+  EXPECT_EQ(h.Generalize("37", 0), "37");
+  EXPECT_EQ(h.Generalize("37", 1), "[35-39]");
+  EXPECT_EQ(h.Generalize("37", 2), "[30-39]");
+  EXPECT_EQ(h.Generalize("37", 3), "[20-39]");
+  EXPECT_EQ(h.Generalize("37", 4), "*");
+  EXPECT_EQ(h.Generalize("37", 99), "*");  // clamped
+}
+
+TEST(HierarchyTest, NumericBucketBoundaries) {
+  NumericHierarchy h(10, 2);
+  EXPECT_EQ(h.Generalize("0", 1), "[0-9]");
+  EXPECT_EQ(h.Generalize("9", 1), "[0-9]");
+  EXPECT_EQ(h.Generalize("10", 1), "[10-19]");
+  // Same bucket -> same label (the k-anonymity grouping property).
+  EXPECT_EQ(h.Generalize("13", 2), h.Generalize("6", 2));
+}
+
+TEST(HierarchyTest, PrefixLevels) {
+  PrefixHierarchy h(5);
+  EXPECT_EQ(h.Generalize("75013", 0), "75013");
+  EXPECT_EQ(h.Generalize("75013", 1), "7501*");
+  EXPECT_EQ(h.Generalize("75013", 3), "75***");
+  EXPECT_EQ(h.Generalize("75013", 5), "*****");
+}
+
+TEST(HierarchyTest, SuppressionLevels) {
+  SuppressionHierarchy h;
+  EXPECT_EQ(h.max_level(), 1u);
+  EXPECT_EQ(h.Generalize("engineer", 0), "engineer");
+  EXPECT_EQ(h.Generalize("engineer", 1), "*");
+}
+
+KAnonymizer MakeAnonymizer(uint32_t k, double suppression = 0.05) {
+  KAnonymizer::Options opts;
+  opts.k = k;
+  opts.max_suppression_rate = suppression;
+  return KAnonymizer(workloads::CensusHierarchies(), opts);
+}
+
+TEST(KAnonymizerTest, StrategiesEnumeration) {
+  KAnonymizer anon = MakeAnonymizer(2);
+  auto zero = anon.StrategiesWithTotal(0);
+  ASSERT_EQ(zero.size(), 1u);
+  EXPECT_EQ(zero[0], (LevelVector{0, 0}));
+  auto one = anon.StrategiesWithTotal(1);
+  EXPECT_EQ(one.size(), 2u);  // (0,1) and (1,0)
+  // Total beyond the lattice top yields nothing.
+  auto beyond = anon.StrategiesWithTotal(100);
+  EXPECT_TRUE(beyond.empty());
+}
+
+TEST(KAnonymizerTest, ResultIsKAnonymous) {
+  workloads::CensusConfig cfg;
+  cfg.num_records = 500;
+  auto records = workloads::GenerateCensus(cfg);
+  for (uint32_t k : {2u, 5u, 10u}) {
+    KAnonymizer anon = MakeAnonymizer(k);
+    auto result = anon.Anonymize(records);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(CheckKAnonymity(result->published, k)) << "k=" << k;
+    EXPECT_GT(result->published.size(), records.size() / 2);
+  }
+}
+
+TEST(KAnonymizerTest, LossGrowsWithK) {
+  workloads::CensusConfig cfg;
+  cfg.num_records = 400;
+  auto records = workloads::GenerateCensus(cfg);
+  auto r2 = MakeAnonymizer(2).Anonymize(records);
+  auto r25 = MakeAnonymizer(25).Anonymize(records);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r25.ok());
+  EXPECT_LE(r2->information_loss, r25->information_loss);
+}
+
+TEST(KAnonymizerTest, SuppressionBudgetRespected) {
+  workloads::CensusConfig cfg;
+  cfg.num_records = 300;
+  auto records = workloads::GenerateCensus(cfg);
+  KAnonymizer anon = MakeAnonymizer(5, /*suppression=*/0.02);
+  auto result = anon.Anonymize(records);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->suppressed,
+            static_cast<uint64_t>(0.02 * records.size()));
+  EXPECT_EQ(result->published.size() + result->suppressed, records.size());
+}
+
+TEST(KAnonymizerTest, EmptyInput) {
+  KAnonymizer anon = MakeAnonymizer(5);
+  auto result = anon.Anonymize({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->published.empty());
+}
+
+TEST(KAnonymizerTest, ArityMismatchRejected) {
+  KAnonymizer anon = MakeAnonymizer(2);
+  Record bad;
+  bad.quasi_identifiers = {"37"};  // needs 2
+  EXPECT_FALSE(anon.Anonymize({bad}).ok());
+}
+
+TEST(KAnonymizerTest, ExtremeKGeneralizesToTop) {
+  // k greater than the dataset forces heavy generalization/suppression,
+  // but must still terminate with a valid (possibly all-*) table.
+  workloads::CensusConfig cfg;
+  cfg.num_records = 50;
+  auto records = workloads::GenerateCensus(cfg);
+  KAnonymizer anon = MakeAnonymizer(50, /*suppression=*/0.0);
+  auto result = anon.Anonymize(records);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(CheckKAnonymity(result->published, 50));
+}
+
+TEST(DiversityTest, CheckLDiversity) {
+  Record a1{{"x"}, "flu"}, a2{{"x"}, "hiv"}, a3{{"x"}, "flu"};
+  Record b1{{"y"}, "flu"}, b2{{"y"}, "flu"};
+  EXPECT_TRUE(CheckLDiversity({a1, a2, a3}, 2));
+  EXPECT_FALSE(CheckLDiversity({b1, b2}, 2));        // same sensitive value
+  EXPECT_FALSE(CheckLDiversity({a1, a2, b1, b2}, 2));  // class y fails
+}
+
+class MetapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    crypto::SymmetricKey key = crypto::KeyFromString("metap-fleet");
+    workloads::CensusConfig cfg;
+    cfg.num_records = 300;
+    auto records = workloads::GenerateCensus(cfg);
+    size_t num_nodes = 30;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      mcu::SecureToken::Config tc;
+      tc.token_id = i;
+      tc.fleet_key = key;
+      tokens_.push_back(std::make_unique<mcu::SecureToken>(tc));
+      MetapParticipant p;
+      p.token = tokens_.back().get();
+      participants_.push_back(std::move(p));
+    }
+    for (size_t i = 0; i < records.size(); ++i) {
+      participants_[i % num_nodes].records.push_back(records[i]);
+    }
+  }
+
+  std::vector<std::unique_ptr<mcu::SecureToken>> tokens_;
+  std::vector<MetapParticipant> participants_;
+};
+
+TEST_F(MetapTest, DistributedMatchesCentralized) {
+  KAnonymizer::Options opts;
+  opts.k = 5;
+  opts.max_suppression_rate = 0.05;
+
+  MetapProtocol protocol(workloads::CensusHierarchies(), opts);
+  auto output = protocol.Publish(participants_);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  // Same strategy and same published size as the centralized run.
+  std::vector<Record> all;
+  for (auto& p : participants_) {
+    all.insert(all.end(), p.records.begin(), p.records.end());
+  }
+  KAnonymizer central(workloads::CensusHierarchies(), opts);
+  auto central_result = central.Anonymize(all);
+  ASSERT_TRUE(central_result.ok());
+  EXPECT_EQ(output->result.levels, central_result->levels);
+  EXPECT_EQ(output->result.published.size(),
+            central_result->published.size());
+  EXPECT_EQ(output->result.suppressed, central_result->suppressed);
+  EXPECT_TRUE(CheckKAnonymity(output->result.published, opts.k));
+}
+
+TEST_F(MetapTest, SsiNeverSeesPlaintext) {
+  KAnonymizer::Options opts;
+  opts.k = 5;
+  MetapProtocol protocol(workloads::CensusHierarchies(), opts);
+  auto output = protocol.Publish(participants_);
+  ASSERT_TRUE(output.ok());
+  EXPECT_FALSE(output->leakage.plaintext_groups_visible);
+  EXPECT_GT(output->leakage.tuples_observed, 0u);
+  EXPECT_GT(output->metrics.token_crypto_ops, 0u);
+  EXPECT_GE(output->strategies_tried, 1u);
+}
+
+TEST_F(MetapTest, HigherKTriesMoreStrategies) {
+  KAnonymizer::Options lo;
+  lo.k = 2;
+  KAnonymizer::Options hi;
+  hi.k = 25;
+  MetapProtocol p_lo(workloads::CensusHierarchies(), lo);
+  MetapProtocol p_hi(workloads::CensusHierarchies(), hi);
+  auto out_lo = p_lo.Publish(participants_);
+  auto out_hi = p_hi.Publish(participants_);
+  ASSERT_TRUE(out_lo.ok());
+  ASSERT_TRUE(out_hi.ok());
+  EXPECT_LE(out_lo->strategies_tried, out_hi->strategies_tried);
+  EXPECT_LE(out_lo->result.information_loss,
+            out_hi->result.information_loss);
+}
+
+TEST_F(MetapTest, EmptyFleetRejected) {
+  KAnonymizer::Options opts;
+  MetapProtocol protocol(workloads::CensusHierarchies(), opts);
+  std::vector<MetapParticipant> none;
+  EXPECT_FALSE(protocol.Publish(none).ok());
+}
+
+}  // namespace
+}  // namespace pds::anon

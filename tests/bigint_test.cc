@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/bigint.h"
+
+namespace pds::crypto {
+namespace {
+
+TEST(BigIntTest, ZeroAndOne) {
+  EXPECT_TRUE(BigInt::Zero().IsZero());
+  EXPECT_TRUE(BigInt::One().IsOne());
+  EXPECT_FALSE(BigInt::Zero().IsOne());
+  EXPECT_EQ(BigInt(0), BigInt::Zero());
+  EXPECT_EQ(BigInt::Zero().BitLength(), 0u);
+  EXPECT_EQ(BigInt::One().BitLength(), 1u);
+}
+
+TEST(BigIntTest, U64RoundTrip) {
+  for (uint64_t v : {0ULL, 1ULL, 0xFFFFFFFFULL, 0x100000000ULL,
+                     0xFFFFFFFFFFFFFFFFULL, 1234567890123456789ULL}) {
+    EXPECT_EQ(BigInt(v).ToU64(), v);
+  }
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  Bytes b = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  BigInt v = BigInt::FromBytes(ByteView(b));
+  EXPECT_EQ(v.ToBytes(), b);
+}
+
+TEST(BigIntTest, BytesLeadingZerosStripped) {
+  Bytes b = {0x00, 0x00, 0x01, 0x02};
+  BigInt v = BigInt::FromBytes(ByteView(b));
+  Bytes expected = {0x01, 0x02};
+  EXPECT_EQ(v.ToBytes(), expected);
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  BigInt a(5), b(7), c(5);
+  EXPECT_LT(BigInt::Compare(a, b), 0);
+  EXPECT_GT(BigInt::Compare(b, a), 0);
+  EXPECT_EQ(BigInt::Compare(a, c), 0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= c);
+  EXPECT_TRUE(a >= c);
+}
+
+TEST(BigIntTest, AddWithCarryChain) {
+  BigInt a(0xFFFFFFFFFFFFFFFFULL);
+  BigInt sum = BigInt::Add(a, BigInt::One());
+  EXPECT_EQ(sum.BitLength(), 65u);
+  EXPECT_EQ(BigInt::Sub(sum, BigInt::One()), a);
+}
+
+TEST(BigIntTest, SubBasics) {
+  EXPECT_EQ(BigInt::Sub(BigInt(100), BigInt(58)).ToU64(), 42u);
+  EXPECT_TRUE(BigInt::Sub(BigInt(5), BigInt(5)).IsZero());
+}
+
+TEST(BigIntTest, MulMatchesU64) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.Next() >> 33;  // keep products within 64 bits
+    uint64_t b = rng.Next() >> 33;
+    EXPECT_EQ(BigInt::Mul(BigInt(a), BigInt(b)).ToU64(), a * b);
+  }
+}
+
+TEST(BigIntTest, MulLargeAssociativeCommutative) {
+  Rng rng(6);
+  BigInt a = BigInt::RandomBits(200, &rng);
+  BigInt b = BigInt::RandomBits(150, &rng);
+  BigInt c = BigInt::RandomBits(100, &rng);
+  EXPECT_EQ(BigInt::Mul(a, b), BigInt::Mul(b, a));
+  EXPECT_EQ(BigInt::Mul(BigInt::Mul(a, b), c),
+            BigInt::Mul(a, BigInt::Mul(b, c)));
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  Rng rng(7);
+  BigInt a = BigInt::RandomBits(130, &rng);
+  for (size_t s : {1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(BigInt::ShiftRight(BigInt::ShiftLeft(a, s), s), a);
+  }
+}
+
+TEST(BigIntTest, DivModSmall) {
+  BigInt q, r;
+  BigInt::DivMod(BigInt(100), BigInt(7), &q, &r);
+  EXPECT_EQ(q.ToU64(), 14u);
+  EXPECT_EQ(r.ToU64(), 2u);
+}
+
+TEST(BigIntTest, DivModInvariantRandom) {
+  // Property: a = q*b + r with r < b, across sizes that exercise both the
+  // single-limb fast path and Knuth algorithm D.
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    size_t abits = 1 + rng.Uniform(300);
+    size_t bbits = 1 + rng.Uniform(200);
+    BigInt a = BigInt::RandomBits(abits, &rng);
+    BigInt b = BigInt::RandomBits(bbits, &rng);
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_LT(BigInt::Compare(r, b), 0);
+    EXPECT_EQ(BigInt::Add(BigInt::Mul(q, b), r), a);
+  }
+}
+
+TEST(BigIntTest, DivModByLargerYieldsZeroQuotient) {
+  BigInt q, r;
+  BigInt::DivMod(BigInt(5), BigInt(100), &q, &r);
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r.ToU64(), 5u);
+}
+
+TEST(BigIntTest, ModExpSmallKnownValues) {
+  // 3^4 mod 5 = 81 mod 5 = 1
+  EXPECT_EQ(BigInt::ModExp(BigInt(3), BigInt(4), BigInt(5)).ToU64(), 1u);
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(BigInt::ModExp(BigInt(2), BigInt(10), BigInt(1000)).ToU64(), 24u);
+  // a^0 = 1
+  EXPECT_EQ(BigInt::ModExp(BigInt(12345), BigInt::Zero(), BigInt(997)).ToU64(),
+            1u);
+}
+
+TEST(BigIntTest, ModExpFermat) {
+  // Fermat's little theorem: a^(p-1) = 1 mod p for prime p, gcd(a,p)=1.
+  BigInt p(1000000007ULL);
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::Add(BigInt::RandomBelow(BigInt(1000000005ULL), &rng),
+                           BigInt::One());
+    EXPECT_TRUE(
+        BigInt::ModExp(a, BigInt::Sub(p, BigInt::One()), p).IsOne());
+  }
+}
+
+TEST(BigIntTest, GcdLcm) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToU64(), 6u);
+  EXPECT_EQ(BigInt::Lcm(BigInt(4), BigInt(6)).ToU64(), 12u);
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToU64(), 1u);
+  EXPECT_TRUE(BigInt::Gcd(BigInt::Zero(), BigInt(5)).ToU64() == 5u);
+}
+
+TEST(BigIntTest, ModInverseSmall) {
+  // 3 * 4 = 12 = 1 mod 11.
+  EXPECT_EQ(BigInt::ModInverse(BigInt(3), BigInt(11)).ToU64(), 4u);
+  // Non-invertible: gcd(6, 9) = 3.
+  EXPECT_TRUE(BigInt::ModInverse(BigInt(6), BigInt(9)).IsZero());
+}
+
+TEST(BigIntTest, ModInverseRandomProperty) {
+  Rng rng(10);
+  BigInt p(1000000007ULL);  // prime modulus -> everything invertible
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt::Add(BigInt::RandomBelow(BigInt(1000000006ULL), &rng),
+                           BigInt::One());
+    BigInt inv = BigInt::ModInverse(a, p);
+    ASSERT_FALSE(inv.IsZero());
+    EXPECT_TRUE(BigInt::ModMul(a, inv, p).IsOne());
+  }
+}
+
+TEST(BigIntTest, ModInverseLarge) {
+  Rng rng(11);
+  BigInt p = BigInt::GeneratePrime(128, &rng);
+  BigInt a = BigInt::RandomBits(100, &rng);
+  BigInt inv = BigInt::ModInverse(a, p);
+  ASSERT_FALSE(inv.IsZero());
+  EXPECT_TRUE(BigInt::ModMul(a, inv, p).IsOne());
+}
+
+TEST(BigIntTest, RandomBitsExactLength) {
+  Rng rng(12);
+  for (size_t bits : {1u, 7u, 32u, 33u, 64u, 127u, 256u}) {
+    BigInt v = BigInt::RandomBits(bits, &rng);
+    EXPECT_EQ(v.BitLength(), bits);
+  }
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  Rng rng(13);
+  BigInt bound = BigInt::RandomBits(100, &rng);
+  for (int i = 0; i < 100; ++i) {
+    BigInt v = BigInt::RandomBelow(bound, &rng);
+    EXPECT_LT(BigInt::Compare(v, bound), 0);
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownPrimes) {
+  Rng rng(14);
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 97ULL, 65537ULL, 1000000007ULL}) {
+    EXPECT_TRUE(BigInt::IsProbablePrime(BigInt(p), 20, &rng)) << p;
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownComposites) {
+  Rng rng(15);
+  for (uint64_t c : {1ULL, 4ULL, 100ULL, 65536ULL, 1000000006ULL,
+                     561ULL /* Carmichael */, 41041ULL /* Carmichael */}) {
+    EXPECT_FALSE(BigInt::IsProbablePrime(BigInt(c), 20, &rng)) << c;
+  }
+}
+
+TEST(BigIntTest, GeneratePrimeHasRequestedBits) {
+  Rng rng(16);
+  BigInt p = BigInt::GeneratePrime(96, &rng);
+  EXPECT_EQ(p.BitLength(), 96u);
+  EXPECT_TRUE(BigInt::IsProbablePrime(p, 30, &rng));
+}
+
+TEST(BigIntTest, DecimalString) {
+  EXPECT_EQ(BigInt::Zero().ToDecimalString(), "0");
+  EXPECT_EQ(BigInt(1234567890123456789ULL).ToDecimalString(),
+            "1234567890123456789");
+  // 2^64 = 18446744073709551616
+  BigInt v = BigInt::Add(BigInt(0xFFFFFFFFFFFFFFFFULL), BigInt::One());
+  EXPECT_EQ(v.ToDecimalString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, ModAddSubConsistency) {
+  Rng rng(17);
+  BigInt m = BigInt::RandomBits(120, &rng);
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::RandomBelow(m, &rng);
+    BigInt b = BigInt::RandomBelow(m, &rng);
+    BigInt sum = BigInt::ModAdd(a, b, m);
+    EXPECT_EQ(BigInt::ModSub(sum, b, m), a);
+  }
+}
+
+}  // namespace
+}  // namespace pds::crypto

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace pds {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, AllFactoryCodesDistinct) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(),  Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),    Status::OutOfRange("").code(),
+      Status::ResourceExhausted("").code(), Status::IoError("").code(),
+      Status::Corruption("").code(),       Status::PermissionDenied("").code(),
+      Status::FailedPrecondition("").code(),
+      Status::IntegrityViolation("").code(),
+      Status::Unimplemented("").code(),    Status::Internal("").code(),
+  };
+  EXPECT_EQ(codes.size(), 12u);
+}
+
+Status FailsThenUnreachable(bool fail) {
+  PDS_RETURN_IF_ERROR(fail ? Status::IoError("boom") : Status::Ok());
+  return Status::NotFound("reached past the macro");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThenUnreachable(true).code(), StatusCode::kIoError);
+  EXPECT_EQ(FailsThenUnreachable(false).code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Doubled(Result<int> in) {
+  PDS_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Status::IoError("x")).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  Bytes b;
+  PutU16(&b, 0xBEEF);
+  PutU32(&b, 0xDEADBEEFu);
+  PutU64(&b, 0x0123456789ABCDEFULL);
+  ASSERT_EQ(b.size(), 14u);
+  EXPECT_EQ(GetU16(b.data()), 0xBEEF);
+  EXPECT_EQ(GetU32(b.data() + 2), 0xDEADBEEFu);
+  EXPECT_EQ(GetU64(b.data() + 6), 0x0123456789ABCDEFULL);
+}
+
+TEST(BytesTest, EncodeInPlace) {
+  uint8_t buf[12] = {0};
+  EncodeU32(buf, 0x01020304u);
+  EncodeU64(buf + 4, 0x1122334455667788ULL);
+  EXPECT_EQ(GetU32(buf), 0x01020304u);
+  EXPECT_EQ(GetU64(buf + 4), 0x1122334455667788ULL);
+}
+
+TEST(BytesTest, LengthPrefixedRoundTrip) {
+  Bytes b;
+  PutLengthPrefixed(&b, ByteView(std::string_view("hello")));
+  PutLengthPrefixed(&b, ByteView(std::string_view("")));
+  PutLengthPrefixed(&b, ByteView(std::string_view("world!")));
+
+  size_t pos = 0;
+  ByteView v;
+  ASSERT_TRUE(GetLengthPrefixed(ByteView(b), &pos, &v));
+  EXPECT_EQ(v.ToString(), "hello");
+  ASSERT_TRUE(GetLengthPrefixed(ByteView(b), &pos, &v));
+  EXPECT_EQ(v.ToString(), "");
+  ASSERT_TRUE(GetLengthPrefixed(ByteView(b), &pos, &v));
+  EXPECT_EQ(v.ToString(), "world!");
+  EXPECT_FALSE(GetLengthPrefixed(ByteView(b), &pos, &v));
+}
+
+TEST(BytesTest, LengthPrefixedRejectsTruncation) {
+  Bytes b;
+  PutLengthPrefixed(&b, ByteView(std::string_view("hello")));
+  b.pop_back();
+  size_t pos = 0;
+  ByteView v;
+  EXPECT_FALSE(GetLengthPrefixed(ByteView(b), &pos, &v));
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(ToHex(ByteView(b)), "0001abff");
+  EXPECT_EQ(FromHex("0001abff"), b);
+  EXPECT_EQ(FromHex("0001ABFF"), b);
+}
+
+TEST(ByteViewTest, Equality) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ByteView(a) == ByteView(b));
+  EXPECT_FALSE(ByteView(a) == ByteView(c));
+  EXPECT_TRUE(ByteView() == ByteView());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of Uniform(0,1) is 0.5; loose bound.
+  EXPECT_NEAR(sum / 10000, 0.5, 0.05);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, FillBytesCoversAllPositions) {
+  Rng rng(19);
+  uint8_t buf[37];
+  std::memset(buf, 0, sizeof(buf));
+  // After several fills, every position should have been nonzero at least
+  // once with overwhelming probability.
+  uint8_t seen[37] = {0};
+  for (int round = 0; round < 20; ++round) {
+    rng.FillBytes(buf, sizeof(buf));
+    for (size_t i = 0; i < sizeof(buf); ++i) {
+      seen[i] |= buf[i];
+    }
+  }
+  for (size_t i = 0; i < sizeof(buf); ++i) {
+    EXPECT_NE(seen[i], 0) << "position " << i;
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfSampler z(10, 0.0, 31);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[z.Sample()];
+  }
+  for (auto& [rank, count] : counts) {
+    EXPECT_LT(rank, 10u);
+    EXPECT_NEAR(count, 1000, 250);
+  }
+}
+
+TEST(ZipfTest, SkewedFavorsLowRanks) {
+  ZipfSampler z(1000, 0.99, 37);
+  int rank0 = 0, high_ranks = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t r = z.Sample();
+    EXPECT_LT(r, 1000u);
+    if (r == 0) ++rank0;
+    if (r >= 500) ++high_ranks;
+  }
+  EXPECT_GT(rank0, high_ranks);  // head dominates tail
+  EXPECT_GT(rank0, 500);
+}
+
+TEST(HashTest, Fnv1aKnownProperties) {
+  // Different inputs hash differently (sanity, not cryptographic).
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+  // Stable across calls.
+  EXPECT_EQ(Fnv1a64("lyon"), Fnv1a64("lyon"));
+}
+
+TEST(HashTest, Mix64Avalanches) {
+  // Flipping one input bit flips roughly half the output bits.
+  uint64_t base = Mix64(0x12345678);
+  uint64_t flipped = Mix64(0x12345679);
+  int diff_bits = __builtin_popcountll(base ^ flipped);
+  EXPECT_GT(diff_bits, 16);
+  EXPECT_LT(diff_bits, 48);
+}
+
+}  // namespace
+}  // namespace pds

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/cipher.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace pds::crypto {
+namespace {
+
+std::string DigestHex(const Sha256::Digest& d) {
+  return ToHex(ByteView(d.data(), d.size()));
+}
+
+// FIPS 180-4 test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(ByteView(std::string_view("")))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(ByteView(std::string_view("abc")))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(ByteView(std::string_view(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg(1000, 'x');
+  Sha256 h;
+  h.Update(ByteView(std::string_view(msg).substr(0, 13)));
+  h.Update(ByteView(std::string_view(msg).substr(13, 700)));
+  h.Update(ByteView(std::string_view(msg).substr(713)));
+  EXPECT_EQ(DigestHex(h.Finish()),
+            DigestHex(Sha256::Hash(ByteView(std::string_view(msg)))));
+}
+
+TEST(Sha256Test, MillionA) {
+  std::string chunk(1000, 'a');
+  Sha256 h;
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(ByteView(std::string_view(chunk)));
+  }
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// RFC 4231 test case 2.
+TEST(HmacTest, Rfc4231Case2) {
+  Sha256::Digest mac = HmacSha256(ByteView(std::string_view("Jefe")),
+                                  ByteView(std::string_view(
+                                      "what do ya want for nothing?")));
+  EXPECT_EQ(DigestHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Sha256::Digest mac =
+      HmacSha256(ByteView(key), ByteView(std::string_view("Hi There")));
+  EXPECT_EQ(DigestHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, LongKeyIsHashed) {
+  Bytes key(131, 0xaa);  // longer than the 64-byte block
+  Sha256::Digest mac = HmacSha256(
+      ByteView(key),
+      ByteView(std::string_view("Test Using Larger Than Block-Size Key - "
+                                "Hash Key First")));
+  // RFC 4231 test case 6.
+  EXPECT_EQ(DigestHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DeriveKeyVariesWithLabel) {
+  Bytes master(32, 0x42);
+  auto k1 = DeriveKey(ByteView(master), ByteView(std::string_view("a")));
+  auto k2 = DeriveKey(ByteView(master), ByteView(std::string_view("b")));
+  EXPECT_FALSE(DigestEqual(k1, k2));
+}
+
+TEST(HmacTest, DigestEqualConstantTimeSemantics) {
+  Sha256::Digest a{}, b{};
+  EXPECT_TRUE(DigestEqual(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(DigestEqual(a, b));
+}
+
+// FIPS 197 Appendix C.1 AES-128 known-answer test.
+TEST(AesTest, Fips197Vector) {
+  Aes128::Key key;
+  Bytes key_bytes = FromHex("000102030405060708090a0b0c0d0e0f");
+  std::copy(key_bytes.begin(), key_bytes.end(), key.begin());
+  Aes128 aes(key);
+
+  Bytes pt = FromHex("00112233445566778899aabbccddeeff");
+  Aes128::Block block;
+  std::copy(pt.begin(), pt.end(), block.begin());
+  aes.EncryptBlock(block.data());
+  EXPECT_EQ(ToHex(ByteView(block.data(), block.size())),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesTest, CtrRoundTrip) {
+  Aes128::Key key{};
+  key[0] = 1;
+  Aes128 aes(key);
+  Aes128::Block nonce{};
+  nonce[15] = 7;
+
+  std::string msg = "counter mode works on arbitrary-length messages";
+  Bytes data(msg.begin(), msg.end());
+  Bytes original = data;
+  AesCtrXor(aes, nonce, data.data(), data.size());
+  EXPECT_NE(data, original);
+  AesCtrXor(aes, nonce, data.data(), data.size());
+  EXPECT_EQ(data, original);
+}
+
+TEST(AesTest, CtrCounterAdvances) {
+  // Two consecutive blocks must use different keystream.
+  Aes128::Key key{};
+  Aes128 aes(key);
+  Aes128::Block nonce{};
+  Bytes zeros(32, 0);
+  AesCtrXor(aes, nonce, zeros.data(), zeros.size());
+  ByteView block1(zeros.data(), 16), block2(zeros.data() + 16, 16);
+  EXPECT_FALSE(block1 == block2);
+}
+
+TEST(CipherTest, KeyFromStringDeterministic) {
+  EXPECT_EQ(KeyFromString("secret"), KeyFromString("secret"));
+  EXPECT_NE(KeyFromString("secret"), KeyFromString("other"));
+}
+
+TEST(DetCipherTest, RoundTrip) {
+  DetCipher c(KeyFromString("fleet"));
+  std::string msg = "age=34";
+  Bytes ct = c.Encrypt(ByteView(std::string_view(msg)));
+  auto pt = c.Decrypt(ByteView(ct));
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(ByteView(*pt).ToString(), msg);
+}
+
+TEST(DetCipherTest, DeterministicProperty) {
+  // The core property the [TNP14] noise/histogram protocols rely on.
+  DetCipher c(KeyFromString("fleet"));
+  Bytes ct1 = c.Encrypt(ByteView(std::string_view("same plaintext")));
+  Bytes ct2 = c.Encrypt(ByteView(std::string_view("same plaintext")));
+  EXPECT_EQ(ct1, ct2);
+  Bytes ct3 = c.Encrypt(ByteView(std::string_view("diff plaintext")));
+  EXPECT_NE(ct1, ct3);
+}
+
+TEST(DetCipherTest, DetectsTampering) {
+  DetCipher c(KeyFromString("fleet"));
+  Bytes ct = c.Encrypt(ByteView(std::string_view("payload")));
+  ct[ct.size() - 1] ^= 1;
+  EXPECT_EQ(c.Decrypt(ByteView(ct)).status().code(),
+            StatusCode::kIntegrityViolation);
+}
+
+TEST(DetCipherTest, RejectsShortCiphertext) {
+  DetCipher c(KeyFromString("fleet"));
+  Bytes tiny(7, 0);
+  EXPECT_FALSE(c.Decrypt(ByteView(tiny)).ok());
+}
+
+TEST(DetCipherTest, KeysMatter) {
+  DetCipher c1(KeyFromString("k1"));
+  DetCipher c2(KeyFromString("k2"));
+  Bytes ct = c1.Encrypt(ByteView(std::string_view("payload")));
+  EXPECT_FALSE(c2.Decrypt(ByteView(ct)).ok());
+}
+
+TEST(NonDetCipherTest, RoundTrip) {
+  NonDetCipher c(KeyFromString("fleet"));
+  Rng rng(99);
+  std::string msg = "salary=52000";
+  Bytes ct = c.Encrypt(ByteView(std::string_view(msg)), &rng);
+  auto pt = c.Decrypt(ByteView(ct));
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(ByteView(*pt).ToString(), msg);
+}
+
+TEST(NonDetCipherTest, NonDeterministicProperty) {
+  // The core property the secure-aggregation protocol relies on: the SSI
+  // cannot even detect equal plaintexts.
+  NonDetCipher c(KeyFromString("fleet"));
+  Rng rng(99);
+  Bytes ct1 = c.Encrypt(ByteView(std::string_view("same")), &rng);
+  Bytes ct2 = c.Encrypt(ByteView(std::string_view("same")), &rng);
+  EXPECT_NE(ct1, ct2);
+}
+
+TEST(NonDetCipherTest, DetectsTampering) {
+  NonDetCipher c(KeyFromString("fleet"));
+  Rng rng(99);
+  Bytes ct = c.Encrypt(ByteView(std::string_view("payload")), &rng);
+  ct[20] ^= 1;
+  EXPECT_EQ(c.Decrypt(ByteView(ct)).status().code(),
+            StatusCode::kIntegrityViolation);
+}
+
+TEST(NonDetCipherTest, EmptyPlaintext) {
+  NonDetCipher c(KeyFromString("fleet"));
+  Rng rng(1);
+  Bytes ct = c.Encrypt(ByteView(), &rng);
+  EXPECT_EQ(ct.size(), NonDetCipher::kOverhead);
+  auto pt = c.Decrypt(ByteView(ct));
+  ASSERT_TRUE(pt.ok());
+  EXPECT_TRUE(pt->empty());
+}
+
+}  // namespace
+}  // namespace pds::crypto

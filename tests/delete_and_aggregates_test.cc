@@ -1,0 +1,226 @@
+// Tests for the two Database extensions: tombstone deletes (the owner's
+// "right to be forgotten") and SQL aggregates (COUNT/SUM/AVG/MIN/MAX with
+// GROUP BY).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "embdb/database.h"
+#include "embdb/query_parser.h"
+#include "flash/flash.h"
+#include "mcu/ram_gauge.h"
+
+namespace pds::embdb {
+namespace {
+
+flash::Geometry TestGeometry() {
+  flash::Geometry g;
+  g.page_size = 512;
+  g.pages_per_block = 8;
+  g.block_count = 1024;
+  return g;
+}
+
+Schema BillsSchema() {
+  return Schema("bills", {{"id", ColumnType::kUint64, ""},
+                          {"city", ColumnType::kString, ""},
+                          {"amount", ColumnType::kDouble, ""}});
+}
+
+class DeleteTest : public ::testing::Test {
+ protected:
+  DeleteTest() : chip_(TestGeometry()), gauge_(128 * 1024),
+                 db_(&chip_, &gauge_) {
+    EXPECT_TRUE(db_.CreateTable(BillsSchema(), {}).ok());
+    EXPECT_TRUE(db_.CreateKeyIndex("bills", "city", {}).ok());
+    const char* cities[] = {"lyon", "paris"};
+    for (uint64_t i = 0; i < 60; ++i) {
+      Tuple t = {Value::U64(i), Value::Str(cities[i % 2]),
+                 Value::F64(static_cast<double>(i))};
+      EXPECT_TRUE(db_.Insert("bills", t).ok());
+    }
+  }
+
+  flash::FlashChip chip_;
+  mcu::RamGauge gauge_;
+  Database db_;
+};
+
+TEST_F(DeleteTest, DeletedRowVanishesFromGet) {
+  TableHeap* heap = db_.table("bills");
+  ASSERT_TRUE(heap->Get(10).ok());
+  ASSERT_TRUE(db_.Delete("bills", 10).ok());
+  EXPECT_EQ(heap->Get(10).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(heap->IsDeleted(10));
+  EXPECT_EQ(heap->num_live_rows(), 59u);
+  EXPECT_EQ(heap->num_rows(), 60u);  // rowids stay dense
+}
+
+TEST_F(DeleteTest, DeleteIsIdempotent) {
+  ASSERT_TRUE(db_.Delete("bills", 5).ok());
+  ASSERT_TRUE(db_.Delete("bills", 5).ok());
+  EXPECT_EQ(db_.table("bills")->num_deleted(), 1u);
+}
+
+TEST_F(DeleteTest, DeleteBadRowidFails) {
+  EXPECT_EQ(db_.Delete("bills", 999).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db_.Delete("ghost", 0).code(), StatusCode::kNotFound);
+}
+
+TEST_F(DeleteTest, ScansSkipDeletedRows) {
+  ASSERT_TRUE(db_.Delete("bills", 0).ok());
+  ASSERT_TRUE(db_.Delete("bills", 30).ok());
+  ASSERT_TRUE(db_.Delete("bills", 59).ok());
+  int count = 0;
+  ASSERT_TRUE(db_.SelectScan("bills", {},
+                             [&](uint64_t rowid, const Tuple&) {
+                               EXPECT_NE(rowid, 0u);
+                               EXPECT_NE(rowid, 30u);
+                               EXPECT_NE(rowid, 59u);
+                               ++count;
+                               return Status::Ok();
+                             })
+                  .ok());
+  EXPECT_EQ(count, 57);
+}
+
+TEST_F(DeleteTest, IndexLookupsSkipDeletedRows) {
+  // Index entries are immutable logs: stale rowids must be filtered.
+  ASSERT_TRUE(db_.Delete("bills", 2).ok());   // a lyon row
+  std::set<uint64_t> rowids;
+  ASSERT_TRUE(db_.SelectViaIndex("bills", "city", Value::Str("lyon"),
+                                 [&](uint64_t rowid, const Tuple&) {
+                                   rowids.insert(rowid);
+                                   return Status::Ok();
+                                 })
+                  .ok());
+  EXPECT_EQ(rowids.size(), 29u);
+  EXPECT_EQ(rowids.count(2), 0u);
+}
+
+TEST_F(DeleteTest, SqlSeesPostDeleteState) {
+  for (uint64_t r = 0; r < 10; ++r) {
+    ASSERT_TRUE(db_.Delete("bills", r).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(db_.Query("SELECT * FROM bills",
+                        [&](const Tuple&) {
+                          ++count;
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_EQ(count, 50);
+}
+
+class SqlAggregateTest : public DeleteTest {};
+
+TEST_F(SqlAggregateTest, CountStar) {
+  double result = -1;
+  ASSERT_TRUE(db_.Query("SELECT COUNT(*) FROM bills",
+                        [&](const Tuple& t) {
+                          EXPECT_EQ(t.size(), 1u);
+                          result = t[0].AsF64();
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_DOUBLE_EQ(result, 60.0);
+}
+
+TEST_F(SqlAggregateTest, SumAvgMinMax) {
+  // amounts are 0..59; lyon rows are the even ids.
+  std::map<std::string, double> expect = {
+      {"SELECT SUM(amount) FROM bills WHERE city = 'lyon'", 870.0},
+      {"SELECT AVG(amount) FROM bills WHERE city = 'lyon'", 29.0},
+      {"SELECT MIN(amount) FROM bills WHERE city = 'paris'", 1.0},
+      {"SELECT MAX(amount) FROM bills WHERE city = 'paris'", 59.0},
+  };
+  for (auto& [sql, want] : expect) {
+    double got = -12345;
+    ASSERT_TRUE(db_.Query(sql,
+                          [&](const Tuple& t) {
+                            got = t.back().AsF64();
+                            return Status::Ok();
+                          })
+                    .ok())
+        << sql;
+    EXPECT_DOUBLE_EQ(got, want) << sql;
+  }
+}
+
+TEST_F(SqlAggregateTest, GroupBy) {
+  std::map<std::string, double> sums;
+  ASSERT_TRUE(db_.Query(
+                    "SELECT city, SUM(amount) FROM bills GROUP BY city",
+                    [&](const Tuple& t) {
+                      EXPECT_EQ(t.size(), 2u);
+                      sums[t[0].AsStr()] = t[1].AsF64();
+                      return Status::Ok();
+                    })
+                  .ok());
+  ASSERT_EQ(sums.size(), 2u);
+  EXPECT_DOUBLE_EQ(sums["lyon"], 870.0);   // 0+2+...+58
+  EXPECT_DOUBLE_EQ(sums["paris"], 900.0);  // 1+3+...+59
+}
+
+TEST_F(SqlAggregateTest, GroupByWithWhere) {
+  std::map<std::string, double> counts;
+  ASSERT_TRUE(db_.Query("SELECT city, COUNT(*) FROM bills WHERE "
+                        "amount >= 50.0 GROUP BY city",
+                        [&](const Tuple& t) {
+                          counts[t[0].AsStr()] = t[1].AsF64();
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_DOUBLE_EQ(counts["lyon"], 5.0);   // 50,52,54,56,58
+  EXPECT_DOUBLE_EQ(counts["paris"], 5.0);  // 51,53,55,57,59
+}
+
+TEST_F(SqlAggregateTest, AggregateRespectsDeletes) {
+  ASSERT_TRUE(db_.Delete("bills", 58).ok());  // lyon's max amount
+  double max = -1;
+  ASSERT_TRUE(db_.Query("SELECT MAX(amount) FROM bills WHERE city = 'lyon'",
+                        [&](const Tuple& t) {
+                          max = t[0].AsF64();
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_DOUBLE_EQ(max, 56.0);
+}
+
+TEST_F(SqlAggregateTest, ParserRejectsMalformedAggregates) {
+  auto noop = [](const Tuple&) { return Status::Ok(); };
+  EXPECT_FALSE(db_.Query("SELECT SUM(*) FROM bills", noop).ok());
+  EXPECT_FALSE(db_.Query("SELECT SUM(amount FROM bills", noop).ok());
+  EXPECT_FALSE(db_.Query("SELECT city, amount, SUM(amount) FROM bills "
+                         "GROUP BY city",
+                         noop)
+                   .ok());
+  EXPECT_FALSE(db_.Query("SELECT amount, SUM(amount) FROM bills "
+                         "GROUP BY city",
+                         noop)
+                   .ok());
+  EXPECT_FALSE(db_.Query("SELECT * FROM bills GROUP BY city", noop).ok());
+  EXPECT_FALSE(db_.Query("SELECT SUM(city) FROM bills", noop).ok());
+  EXPECT_FALSE(db_.Query("SELECT SUM(ghost) FROM bills", noop).ok());
+  EXPECT_FALSE(
+      db_.Query("SELECT COUNT(*) FROM bills GROUP BY ghost", noop).ok());
+}
+
+TEST_F(SqlAggregateTest, AggKeywordAsColumnNameStillWorks) {
+  // "count", "sum" etc. remain usable as plain identifiers.
+  Schema s("odd", {{"count", ColumnType::kUint64, ""}});
+  ASSERT_TRUE(db_.CreateTable(s, {}).ok());
+  ASSERT_TRUE(db_.Insert("odd", {Value::U64(9)}).ok());
+  uint64_t got = 0;
+  ASSERT_TRUE(db_.Query("SELECT count FROM odd",
+                        [&](const Tuple& t) {
+                          got = t[0].AsU64();
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_EQ(got, 9u);
+}
+
+}  // namespace
+}  // namespace pds::embdb

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "embdb/database.h"
+#include "flash/flash.h"
+#include "mcu/ram_gauge.h"
+
+namespace pds::embdb {
+namespace {
+
+flash::Geometry DbGeometry() {
+  flash::Geometry g;
+  g.page_size = 512;
+  g.pages_per_block = 8;
+  g.block_count = 2048;
+  return g;
+}
+
+Schema CitySchema() {
+  return Schema("people", {{"id", ColumnType::kUint64, ""},
+                           {"city", ColumnType::kString, ""},
+                           {"age", ColumnType::kInt64, ""}});
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() : chip_(DbGeometry()), gauge_(128 * 1024),
+                   db_(&chip_, &gauge_) {}
+
+  Tuple Row(uint64_t id, const std::string& city, int64_t age) {
+    return {Value::U64(id), Value::Str(city), Value::I64(age)};
+  }
+
+  flash::FlashChip chip_;
+  mcu::RamGauge gauge_;
+  Database db_;
+};
+
+TEST_F(DatabaseTest, CreateAndInsert) {
+  ASSERT_TRUE(db_.CreateTable(CitySchema(), {}).ok());
+  auto rowid = db_.Insert("people", Row(1, "lyon", 30));
+  ASSERT_TRUE(rowid.ok());
+  EXPECT_EQ(*rowid, 0u);
+  EXPECT_EQ(db_.table("people")->num_rows(), 1u);
+}
+
+TEST_F(DatabaseTest, DuplicateTableRejected) {
+  ASSERT_TRUE(db_.CreateTable(CitySchema(), {}).ok());
+  EXPECT_EQ(db_.CreateTable(CitySchema(), {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(DatabaseTest, InsertIntoMissingTable) {
+  EXPECT_EQ(db_.Insert("ghost", Row(1, "x", 1)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, SelectScanWithPredicates) {
+  ASSERT_TRUE(db_.CreateTable(CitySchema(), {}).ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db_.Insert("people",
+                           Row(i, i % 3 == 0 ? "lyon" : "paris",
+                               static_cast<int64_t>(20 + i % 50)))
+                    .ok());
+  }
+  Predicate city_eq{1, Predicate::Op::kEq, Value::Str("lyon")};
+  Predicate age_lt{2, Predicate::Op::kLt, Value::I64(30)};
+  int count = 0;
+  ASSERT_TRUE(db_.SelectScan("people", {city_eq, age_lt},
+                             [&](uint64_t, const Tuple& t) {
+                               EXPECT_EQ(t[1].AsStr(), "lyon");
+                               EXPECT_LT(t[2].AsI64(), 30);
+                               ++count;
+                               return Status::Ok();
+                             })
+                  .ok());
+  EXPECT_GT(count, 0);
+}
+
+TEST_F(DatabaseTest, IndexMaintainedOnInsert) {
+  ASSERT_TRUE(db_.CreateTable(CitySchema(), {}).ok());
+  ASSERT_TRUE(db_.CreateKeyIndex("people", "city", {}).ok());
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        db_.Insert("people", Row(i, "city-" + std::to_string(i % 20),
+                                 static_cast<int64_t>(i)))
+            .ok());
+  }
+  std::set<uint64_t> rowids;
+  ASSERT_TRUE(db_.SelectViaIndex("people", "city", Value::Str("city-7"),
+                                 [&](uint64_t rowid, const Tuple& t) {
+                                   EXPECT_EQ(t[1].AsStr(), "city-7");
+                                   rowids.insert(rowid);
+                                   return Status::Ok();
+                                 })
+                  .ok());
+  EXPECT_EQ(rowids.size(), 10u);
+}
+
+TEST_F(DatabaseTest, IndexCreationAfterLoadRejected) {
+  ASSERT_TRUE(db_.CreateTable(CitySchema(), {}).ok());
+  ASSERT_TRUE(db_.Insert("people", Row(1, "lyon", 25)).ok());
+  EXPECT_EQ(db_.CreateKeyIndex("people", "city", {}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DatabaseTest, IndexOnMissingColumnRejected) {
+  ASSERT_TRUE(db_.CreateTable(CitySchema(), {}).ok());
+  EXPECT_EQ(db_.CreateKeyIndex("people", "ghost", {}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, SelectViaIndexWithoutIndexFails) {
+  ASSERT_TRUE(db_.CreateTable(CitySchema(), {}).ok());
+  EXPECT_EQ(db_.SelectViaIndex("people", "city", Value::Str("x"),
+                               [](uint64_t, const Tuple&) {
+                                 return Status::Ok();
+                               })
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, ReorganizeThenQueryMergesTreeAndDelta) {
+  ASSERT_TRUE(db_.CreateTable(CitySchema(), {}).ok());
+  ASSERT_TRUE(db_.CreateKeyIndex("people", "city", {}).ok());
+  // Phase 1: 300 rows, then reorganize.
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(db_.Insert("people", Row(i, "city-" + std::to_string(i % 10),
+                                         static_cast<int64_t>(i)))
+                    .ok());
+  }
+  ASSERT_TRUE(db_.ReorganizeIndex("people", "city").ok());
+  EXPECT_NE(db_.tree_index("people", "city"), nullptr);
+
+  // Phase 2: 100 more rows into the delta.
+  for (uint64_t i = 300; i < 400; ++i) {
+    ASSERT_TRUE(db_.Insert("people", Row(i, "city-" + std::to_string(i % 10),
+                                         static_cast<int64_t>(i)))
+                    .ok());
+  }
+
+  // Query must see both old (tree) and new (delta) rows: 40 per city.
+  std::set<uint64_t> rowids;
+  ASSERT_TRUE(db_.SelectViaIndex("people", "city", Value::Str("city-3"),
+                                 [&](uint64_t rowid, const Tuple&) {
+                                   rowids.insert(rowid);
+                                   return Status::Ok();
+                                 })
+                  .ok());
+  EXPECT_EQ(rowids.size(), 40u);
+  // Rows from both phases.
+  EXPECT_TRUE(rowids.count(3) == 1);
+  EXPECT_TRUE(rowids.count(303) == 1);
+}
+
+TEST_F(DatabaseTest, DoubleReorganizeRejected) {
+  ASSERT_TRUE(db_.CreateTable(CitySchema(), {}).ok());
+  ASSERT_TRUE(db_.CreateKeyIndex("people", "city", {}).ok());
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db_.Insert("people", Row(i, "c", 1)).ok());
+  }
+  ASSERT_TRUE(db_.ReorganizeIndex("people", "city").ok());
+  EXPECT_EQ(db_.ReorganizeIndex("people", "city").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DatabaseTest, IndexedSelectCheaperThanScanOnLargeTable) {
+  Database::TableOptions big;
+  big.data_blocks = 64;
+  big.directory_blocks = 8;
+  ASSERT_TRUE(db_.CreateTable(CitySchema(), big).ok());
+  Database::IndexOptions idx;
+  idx.keys_blocks = 32;  // 2000 entries * 32 B needs > 8 default blocks
+  idx.bloom_blocks = 8;
+  ASSERT_TRUE(db_.CreateKeyIndex("people", "city", idx).ok());
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(db_.Insert("people",
+                           Row(i, "city-" + std::to_string(i % 400),
+                               static_cast<int64_t>(i)))
+                    .ok());
+  }
+  ASSERT_TRUE(db_.ReorganizeIndex("people", "city").ok());
+
+  chip_.ResetStats();
+  int via_index = 0;
+  ASSERT_TRUE(db_.SelectViaIndex("people", "city", Value::Str("city-123"),
+                                 [&](uint64_t, const Tuple&) {
+                                   ++via_index;
+                                   return Status::Ok();
+                                 })
+                  .ok());
+  uint64_t index_reads = chip_.stats().page_reads;
+
+  chip_.ResetStats();
+  Predicate p{1, Predicate::Op::kEq, Value::Str("city-123")};
+  int via_scan = 0;
+  ASSERT_TRUE(db_.SelectScan("people", {p},
+                             [&](uint64_t, const Tuple&) {
+                               ++via_scan;
+                               return Status::Ok();
+                             })
+                  .ok());
+  uint64_t scan_reads = chip_.stats().page_reads;
+
+  EXPECT_EQ(via_index, via_scan);
+  EXPECT_LT(index_reads, scan_reads / 2);
+}
+
+}  // namespace
+}  // namespace pds::embdb

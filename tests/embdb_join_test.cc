@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "embdb/database.h"
+#include "embdb/executor.h"
+#include "embdb/join_index.h"
+#include "flash/flash.h"
+#include "mcu/ram_gauge.h"
+#include "workloads/tpcd.h"
+
+namespace pds::embdb {
+namespace {
+
+using workloads::LoadTpcd;
+using workloads::TpcdConfig;
+using workloads::TpcdInstance;
+using workloads::TpcdNode;
+using workloads::TutorialQuery;
+
+flash::Geometry BigGeometry() {
+  flash::Geometry g;
+  g.page_size = 512;
+  g.pages_per_block = 8;
+  g.block_count = 4096;
+  return g;
+}
+
+class JoinTest : public ::testing::Test {
+ protected:
+  JoinTest()
+      : chip_(BigGeometry()),
+        gauge_(256 * 1024),
+        db_(&chip_, &gauge_) {
+    TpcdConfig config;
+    auto inst = LoadTpcd(&db_, config);
+    EXPECT_TRUE(inst.ok()) << inst.status().ToString();
+    inst_ = *inst;
+  }
+
+  /// Reference result computed with plain in-RAM evaluation.
+  std::set<uint64_t> ReferenceRootRowids(const SpjQuery& query) {
+    std::set<uint64_t> out;
+    auto scanner = inst_.lineitem->NewScanner();
+    uint64_t rowid = 0;
+    Tuple tuple;
+    std::vector<uint64_t> node_rowids;
+    while (!scanner.AtEnd()) {
+      EXPECT_TRUE(scanner.Next(&rowid, &tuple).ok());
+      EXPECT_TRUE(inst_.path.ResolveRowids(tuple, &node_rowids).ok());
+      bool pass = true;
+      for (const auto& sel : query.selections) {
+        Tuple t;
+        if (sel.node < 0) {
+          t = tuple;
+        } else {
+          auto fetched = inst_.path.nodes[sel.node].table->Get(
+              node_rowids[sel.node]);
+          EXPECT_TRUE(fetched.ok());
+          t = *fetched;
+        }
+        if (Value::Compare(t[sel.column], sel.constant) != 0) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        out.insert(rowid);
+      }
+    }
+    return out;
+  }
+
+  flash::FlashChip chip_;
+  mcu::RamGauge gauge_;
+  Database db_;
+  TpcdInstance inst_;
+};
+
+TEST_F(JoinTest, ResolveRowidsFollowsBothBranches) {
+  auto tuple = inst_.lineitem->Get(0);
+  ASSERT_TRUE(tuple.ok());
+  std::vector<uint64_t> node_rowids;
+  ASSERT_TRUE(inst_.path.ResolveRowids(*tuple, &node_rowids).ok());
+  ASSERT_EQ(node_rowids.size(), 4u);
+  // orders rowid must equal the fk stored in the lineitem.
+  EXPECT_EQ(node_rowids[TpcdNode::kOrders], (*tuple)[1].AsU64());
+  EXPECT_EQ(node_rowids[TpcdNode::kPartsupp], (*tuple)[2].AsU64());
+  // customer rowid must equal orders.cust_fk.
+  auto order = inst_.orders->Get(node_rowids[TpcdNode::kOrders]);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(node_rowids[TpcdNode::kCustomer], (*order)[1].AsU64());
+}
+
+TEST_F(JoinTest, TjoinLookupMatchesResolution) {
+  auto tjoin = TjoinIndex::Build(inst_.path, db_.allocator());
+  ASSERT_TRUE(tjoin.ok()) << tjoin.status().ToString();
+  EXPECT_EQ(tjoin->num_rows(), inst_.lineitem->num_rows());
+
+  for (uint64_t rowid : {0ULL, 17ULL, 999ULL}) {
+    std::vector<uint64_t> from_index, from_resolution;
+    ASSERT_TRUE(tjoin->Lookup(rowid, &from_index).ok());
+    auto tuple = inst_.lineitem->Get(rowid);
+    ASSERT_TRUE(tuple.ok());
+    ASSERT_TRUE(inst_.path.ResolveRowids(*tuple, &from_resolution).ok());
+    EXPECT_EQ(from_index, from_resolution) << "rowid " << rowid;
+  }
+}
+
+TEST_F(JoinTest, TjoinLookupIsConstantIo) {
+  auto tjoin = TjoinIndex::Build(inst_.path, db_.allocator());
+  ASSERT_TRUE(tjoin.ok());
+  chip_.ResetStats();
+  std::vector<uint64_t> rowids;
+  ASSERT_TRUE(tjoin->Lookup(500, &rowids).ok());
+  EXPECT_LE(chip_.stats().page_reads, 2u);
+}
+
+TEST_F(JoinTest, TjoinRejectsBadRowid) {
+  auto tjoin = TjoinIndex::Build(inst_.path, db_.allocator());
+  ASSERT_TRUE(tjoin.ok());
+  std::vector<uint64_t> rowids;
+  EXPECT_EQ(tjoin->Lookup(10000, &rowids).code(), StatusCode::kNotFound);
+}
+
+TEST_F(JoinTest, TselectReturnsSortedRootRowids) {
+  auto tsel = TselectIndex::Build(inst_.path, TpcdNode::kCustomer,
+                                  /*column=*/2, db_.allocator(), &gauge_);
+  ASSERT_TRUE(tsel.ok()) << tsel.status().ToString();
+
+  std::vector<uint64_t> rowids;
+  ASSERT_TRUE(
+      tsel->Lookup(Value::Str("HOUSEHOLD"), &rowids, nullptr).ok());
+  EXPECT_FALSE(rowids.empty());
+  EXPECT_TRUE(std::is_sorted(rowids.begin(), rowids.end()));
+
+  // Every returned lineitem's customer really is in HOUSEHOLD.
+  std::vector<uint64_t> node_rowids;
+  for (uint64_t r : rowids) {
+    auto tuple = inst_.lineitem->Get(r);
+    ASSERT_TRUE(tuple.ok());
+    ASSERT_TRUE(inst_.path.ResolveRowids(*tuple, &node_rowids).ok());
+    auto cust = inst_.customer->Get(node_rowids[TpcdNode::kCustomer]);
+    ASSERT_TRUE(cust.ok());
+    EXPECT_EQ((*cust)[2].AsStr(), "HOUSEHOLD");
+  }
+}
+
+TEST_F(JoinTest, TselectOnRootColumn) {
+  auto tsel = TselectIndex::Build(inst_.path, /*node=*/-1, /*column=*/3,
+                                  db_.allocator(), &gauge_);
+  ASSERT_TRUE(tsel.ok());
+  std::vector<uint64_t> rowids;
+  ASSERT_TRUE(tsel->Lookup(Value::U64(10), &rowids, nullptr).ok());
+  for (uint64_t r : rowids) {
+    auto tuple = inst_.lineitem->Get(r);
+    ASSERT_TRUE(tuple.ok());
+    EXPECT_EQ((*tuple)[3].AsU64(), 10u);
+  }
+}
+
+TEST_F(JoinTest, IntersectSorted) {
+  EXPECT_EQ(IntersectSorted({{1, 3, 5, 7}, {3, 4, 5, 8}}),
+            (std::vector<uint64_t>{3, 5}));
+  EXPECT_EQ(IntersectSorted({{1, 2}, {3, 4}}), (std::vector<uint64_t>{}));
+  EXPECT_EQ(IntersectSorted({{1, 2, 3}}), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(IntersectSorted({}).empty());
+  EXPECT_EQ(IntersectSorted({{1, 5, 9}, {1, 5, 9}, {5, 9}}),
+            (std::vector<uint64_t>{5, 9}));
+}
+
+TEST_F(JoinTest, SpjPipelineMatchesReference) {
+  SpjQuery query = TutorialQuery(/*segment=*/0, /*supplier=*/1);
+  std::set<uint64_t> expected = ReferenceRootRowids(query);
+
+  auto tjoin = TjoinIndex::Build(inst_.path, db_.allocator());
+  ASSERT_TRUE(tjoin.ok());
+  auto tsel_cust = TselectIndex::Build(inst_.path, TpcdNode::kCustomer, 2,
+                                       db_.allocator(), &gauge_);
+  auto tsel_supp = TselectIndex::Build(inst_.path, TpcdNode::kSupplier, 1,
+                                       db_.allocator(), &gauge_);
+  ASSERT_TRUE(tsel_cust.ok());
+  ASSERT_TRUE(tsel_supp.ok());
+
+  SpjExecutor executor(inst_.path, &tjoin.value(),
+                       {&tsel_cust.value(), &tsel_supp.value()}, &gauge_);
+  SpjStats stats;
+  std::vector<Tuple> rows;
+  ASSERT_TRUE(executor
+                  .Execute(query,
+                           [&](const Tuple& row) {
+                             rows.push_back(row);
+                             return Status::Ok();
+                           },
+                           &stats)
+                  .ok());
+  EXPECT_EQ(rows.size(), expected.size());
+  EXPECT_EQ(stats.result_rows, expected.size());
+  // Projections: every row names SUPPLIER-1.
+  for (const Tuple& row : rows) {
+    ASSERT_EQ(row.size(), 5u);
+    EXPECT_EQ(row[4].AsStr(), "SUPPLIER-1");
+  }
+}
+
+TEST_F(JoinTest, SpjPipelineMatchesNaiveBaseline) {
+  SpjQuery query = TutorialQuery(0, 2);
+
+  auto tjoin = TjoinIndex::Build(inst_.path, db_.allocator());
+  auto tsel_cust = TselectIndex::Build(inst_.path, TpcdNode::kCustomer, 2,
+                                       db_.allocator(), &gauge_);
+  auto tsel_supp = TselectIndex::Build(inst_.path, TpcdNode::kSupplier, 1,
+                                       db_.allocator(), &gauge_);
+  ASSERT_TRUE(tjoin.ok());
+  ASSERT_TRUE(tsel_cust.ok());
+  ASSERT_TRUE(tsel_supp.ok());
+
+  SpjExecutor pipeline(inst_.path, &tjoin.value(),
+                       {&tsel_cust.value(), &tsel_supp.value()}, &gauge_);
+  NaiveHashJoinSpj naive(inst_.path, &gauge_);
+
+  std::multiset<std::string> pipeline_rows, naive_rows;
+  auto collect = [](std::multiset<std::string>* out) {
+    return [out](const Tuple& row) {
+      std::string s;
+      for (const Value& v : row) {
+        s += v.ToString() + "|";
+      }
+      out->insert(s);
+      return Status::Ok();
+    };
+  };
+  SpjStats s1, s2;
+  ASSERT_TRUE(pipeline.Execute(query, collect(&pipeline_rows), &s1).ok());
+  ASSERT_TRUE(naive.Execute(query, collect(&naive_rows), &s2).ok());
+  EXPECT_EQ(pipeline_rows, naive_rows);
+  EXPECT_FALSE(pipeline_rows.empty());
+}
+
+TEST_F(JoinTest, PipelineRamBoundedNaiveFailsUnderTightBudget) {
+  auto tjoin = TjoinIndex::Build(inst_.path, db_.allocator());
+  auto tsel_cust = TselectIndex::Build(inst_.path, TpcdNode::kCustomer, 2,
+                                       db_.allocator(), &gauge_);
+  auto tsel_supp = TselectIndex::Build(inst_.path, TpcdNode::kSupplier, 1,
+                                       db_.allocator(), &gauge_);
+  ASSERT_TRUE(tjoin.ok());
+  ASSERT_TRUE(tsel_cust.ok());
+  ASSERT_TRUE(tsel_supp.ok());
+
+  mcu::RamGauge tight(8 * 1024);
+  SpjQuery query = TutorialQuery(0, 1);
+
+  SpjExecutor pipeline(inst_.path, &tjoin.value(),
+                       {&tsel_cust.value(), &tsel_supp.value()}, &tight);
+  SpjStats stats;
+  Status s = pipeline.Execute(
+      query, [](const Tuple&) { return Status::Ok(); }, &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+
+  NaiveHashJoinSpj naive(inst_.path, &tight);
+  Status ns = naive.Execute(
+      query, [](const Tuple&) { return Status::Ok(); }, &stats);
+  EXPECT_EQ(ns.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(tight.in_use(), 0u);  // no leak on failure
+}
+
+TEST_F(JoinTest, AggregatorFunctions) {
+  mcu::RamGauge gauge(64 * 1024);
+  {
+    Aggregator agg(Aggregator::Func::kSum, &gauge);
+    ASSERT_TRUE(agg.Add(Value::Str("a"), 1.5).ok());
+    ASSERT_TRUE(agg.Add(Value::Str("a"), 2.5).ok());
+    ASSERT_TRUE(agg.Add(Value::Str("b"), 10).ok());
+    auto groups = agg.Finish();
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].group.AsStr(), "a");
+    EXPECT_DOUBLE_EQ(groups[0].value, 4.0);
+    EXPECT_DOUBLE_EQ(groups[1].value, 10.0);
+  }
+  {
+    Aggregator agg(Aggregator::Func::kAvg, &gauge);
+    ASSERT_TRUE(agg.Add(Value::U64(1), 10).ok());
+    ASSERT_TRUE(agg.Add(Value::U64(1), 20).ok());
+    auto groups = agg.Finish();
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_DOUBLE_EQ(groups[0].value, 15.0);
+    EXPECT_EQ(groups[0].count, 2u);
+  }
+  {
+    Aggregator agg(Aggregator::Func::kMin, &gauge);
+    ASSERT_TRUE(agg.Add(Value::U64(1), 5).ok());
+    ASSERT_TRUE(agg.Add(Value::U64(1), -3).ok());
+    ASSERT_TRUE(agg.Add(Value::U64(1), 7).ok());
+    EXPECT_DOUBLE_EQ(agg.Finish()[0].value, -3.0);
+  }
+  {
+    Aggregator agg(Aggregator::Func::kMax, &gauge);
+    ASSERT_TRUE(agg.Add(Value::U64(1), 5).ok());
+    ASSERT_TRUE(agg.Add(Value::U64(1), 7).ok());
+    EXPECT_DOUBLE_EQ(agg.Finish()[0].value, 7.0);
+  }
+  {
+    Aggregator agg(Aggregator::Func::kCount, &gauge);
+    for (int i = 0; i < 9; ++i) {
+      ASSERT_TRUE(agg.Add(Value::U64(static_cast<uint64_t>(i % 3)), 0).ok());
+    }
+    auto groups = agg.Finish();
+    ASSERT_EQ(groups.size(), 3u);
+    for (auto& g : groups) {
+      EXPECT_DOUBLE_EQ(g.value, 3.0);
+    }
+  }
+  EXPECT_EQ(gauge.in_use(), 0u);
+}
+
+TEST_F(JoinTest, AggregatorRespectsRamBudget) {
+  mcu::RamGauge tiny(1024);
+  Aggregator agg(Aggregator::Func::kCount, &tiny);
+  Status status = Status::Ok();
+  int groups_added = 0;
+  for (int i = 0; i < 100 && status.ok(); ++i) {
+    status = agg.Add(Value::U64(static_cast<uint64_t>(i)), 1);
+    if (status.ok()) {
+      ++groups_added;
+    }
+  }
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(groups_added, 100);
+}
+
+TEST_F(JoinTest, PredicateOps) {
+  Tuple t = {Value::U64(5), Value::Str("lyon")};
+  auto pred = [&](int col, Predicate::Op op, Value v) {
+    Predicate p;
+    p.column = col;
+    p.op = op;
+    p.constant = std::move(v);
+    return p.Eval(t);
+  };
+  EXPECT_TRUE(pred(0, Predicate::Op::kEq, Value::U64(5)));
+  EXPECT_FALSE(pred(0, Predicate::Op::kEq, Value::U64(6)));
+  EXPECT_TRUE(pred(0, Predicate::Op::kNe, Value::U64(6)));
+  EXPECT_TRUE(pred(0, Predicate::Op::kLt, Value::U64(6)));
+  EXPECT_TRUE(pred(0, Predicate::Op::kLe, Value::U64(5)));
+  EXPECT_TRUE(pred(0, Predicate::Op::kGt, Value::U64(4)));
+  EXPECT_TRUE(pred(0, Predicate::Op::kGe, Value::U64(5)));
+  EXPECT_TRUE(pred(1, Predicate::Op::kEq, Value::Str("lyon")));
+}
+
+}  // namespace
+}  // namespace pds::embdb

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "embdb/bloom.h"
+#include "embdb/table_heap.h"
+#include "flash/flash.h"
+
+namespace pds::embdb {
+namespace {
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter filter(1024, 5);
+  for (int i = 0; i < 50; ++i) {
+    std::string key = "key-" + std::to_string(i);
+    filter.Add(ByteView(std::string_view(key)));
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::string key = "key-" + std::to_string(i);
+    EXPECT_TRUE(filter.MayContain(ByteView(std::string_view(key))));
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateReasonable) {
+  // 64 keys in a 1024-bit filter (16 bits/key, 11 probes) -> fp ~ 0.05%.
+  BloomFilter filter(1024, BloomFilter::OptimalProbes(16.0));
+  for (int i = 0; i < 64; ++i) {
+    std::string key = "present-" + std::to_string(i);
+    filter.Add(ByteView(std::string_view(key)));
+  }
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    std::string key = "absent-" + std::to_string(i);
+    fp += filter.MayContain(ByteView(std::string_view(key))) ? 1 : 0;
+  }
+  EXPECT_LT(fp, 100);  // < 1%; expected ~0
+}
+
+TEST(BloomTest, SerializeRoundTrip) {
+  BloomFilter a(256, 4);
+  a.Add(ByteView(std::string_view("alpha")));
+  a.Add(ByteView(std::string_view("beta")));
+  BloomFilter b(ByteView(a.bytes()), 4);
+  EXPECT_TRUE(b.MayContain(ByteView(std::string_view("alpha"))));
+  EXPECT_TRUE(b.MayContain(ByteView(std::string_view("beta"))));
+}
+
+TEST(BloomTest, EmptyFilterRejectsAll) {
+  BloomFilter filter(256, 4);
+  EXPECT_FALSE(filter.MayContain(ByteView(std::string_view("anything"))));
+}
+
+TEST(BloomTest, OptimalProbes) {
+  EXPECT_EQ(BloomFilter::OptimalProbes(16.0), 11u);
+  EXPECT_EQ(BloomFilter::OptimalProbes(2.0), 1u);
+  EXPECT_GE(BloomFilter::OptimalProbes(0.1), 1u);
+}
+
+flash::Geometry HeapGeometry() {
+  flash::Geometry g;
+  g.page_size = 512;
+  g.pages_per_block = 8;
+  g.block_count = 128;
+  return g;
+}
+
+Schema CustomerSchema() {
+  return Schema("customer", {{"id", ColumnType::kUint64, ""},
+                             {"name", ColumnType::kString, ""},
+                             {"city", ColumnType::kString, ""}});
+}
+
+class TableHeapTest : public ::testing::Test {
+ protected:
+  TableHeapTest() : chip_(HeapGeometry()), alloc_(&chip_) {
+    auto data = alloc_.Allocate(16);
+    auto dir = alloc_.Allocate(4);
+    heap_ = TableHeap(CustomerSchema(), *data, *dir);
+  }
+
+  Tuple Row(uint64_t id, const std::string& name, const std::string& city) {
+    return {Value::U64(id), Value::Str(name), Value::Str(city)};
+  }
+
+  flash::FlashChip chip_;
+  flash::PartitionAllocator alloc_;
+  TableHeap heap_;
+};
+
+TEST_F(TableHeapTest, InsertAssignsDenseRowids) {
+  for (uint64_t i = 0; i < 10; ++i) {
+    auto rowid = heap_.Insert(Row(i, "n" + std::to_string(i), "lyon"));
+    ASSERT_TRUE(rowid.ok());
+    EXPECT_EQ(*rowid, i);
+  }
+  EXPECT_EQ(heap_.num_rows(), 10u);
+}
+
+TEST_F(TableHeapTest, GetReturnsInsertedTuple) {
+  ASSERT_TRUE(heap_.Insert(Row(1, "ada", "london")).ok());
+  ASSERT_TRUE(heap_.Insert(Row(2, "blaise", "paris")).ok());
+  auto t = heap_.Get(1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)[0].AsU64(), 2u);
+  EXPECT_EQ((*t)[1].AsStr(), "blaise");
+  EXPECT_EQ((*t)[2].AsStr(), "paris");
+}
+
+TEST_F(TableHeapTest, GetRejectsBadRowid) {
+  ASSERT_TRUE(heap_.Insert(Row(1, "a", "b")).ok());
+  EXPECT_EQ(heap_.Get(5).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TableHeapTest, InsertValidatesSchema) {
+  Tuple bad = {Value::U64(1), Value::U64(2), Value::Str("x")};
+  EXPECT_EQ(heap_.Insert(bad).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TableHeapTest, ScannerVisitsAllInOrder) {
+  for (uint64_t i = 0; i < 25; ++i) {
+    ASSERT_TRUE(heap_.Insert(Row(i * 10, "n", "c")).ok());
+  }
+  auto scanner = heap_.NewScanner();
+  uint64_t rowid = 0;
+  Tuple tuple;
+  uint64_t expected = 0;
+  while (!scanner.AtEnd()) {
+    ASSERT_TRUE(scanner.Next(&rowid, &tuple).ok());
+    EXPECT_EQ(rowid, expected);
+    EXPECT_EQ(tuple[0].AsU64(), expected * 10);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 25u);
+}
+
+TEST_F(TableHeapTest, RandomAccessCostIsConstant) {
+  // Get() costs at most a couple of page reads regardless of table size.
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        heap_.Insert(Row(i, "name-" + std::to_string(i), "city")).ok());
+  }
+  chip_.ResetStats();
+  ASSERT_TRUE(heap_.Get(150).ok());
+  EXPECT_LE(chip_.stats().page_reads, 3u);  // directory + data (maybe 2)
+}
+
+TEST_F(TableHeapTest, VariableLengthStringsSurvive) {
+  Rng rng(3);
+  std::vector<std::string> names;
+  for (int i = 0; i < 50; ++i) {
+    names.push_back(std::string(1 + rng.Uniform(200), 'a' + i % 26));
+    ASSERT_TRUE(heap_.Insert(Row(i, names.back(), "c")).ok());
+  }
+  for (int i = 49; i >= 0; --i) {
+    auto t = heap_.Get(i);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ((*t)[1].AsStr(), names[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pds::embdb

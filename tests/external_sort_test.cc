@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "flash/flash.h"
+#include "logstore/external_sort.h"
+#include "mcu/ram_gauge.h"
+
+namespace pds::logstore {
+namespace {
+
+flash::Geometry TestGeometry() {
+  flash::Geometry g;
+  g.page_size = 256;
+  g.pages_per_block = 8;
+  g.block_count = 512;
+  return g;
+}
+
+// Fixed 16-byte record: 8-byte big-endian key + 8-byte big-endian payload,
+// so memcmp order == numeric key order.
+Bytes MakeRecord(uint64_t key, uint64_t payload) {
+  Bytes r(16);
+  for (int i = 0; i < 8; ++i) {
+    r[i] = static_cast<uint8_t>(key >> (56 - 8 * i));
+    r[8 + i] = static_cast<uint8_t>(payload >> (56 - 8 * i));
+  }
+  return r;
+}
+
+uint64_t RecordKey(ByteView r) {
+  uint64_t k = 0;
+  for (int i = 0; i < 8; ++i) {
+    k = (k << 8) | r[i];
+  }
+  return k;
+}
+
+class ExternalSortTest : public ::testing::Test {
+ protected:
+  ExternalSortTest() : chip_(TestGeometry()), alloc_(&chip_), gauge_(8192) {}
+
+  std::vector<uint64_t> SortKeys(const std::vector<uint64_t>& keys,
+                                 size_t ram_budget) {
+    ExternalSorter::Options opts;
+    opts.record_size = 16;
+    opts.ram_budget_bytes = ram_budget;
+    mcu::RamGauge gauge(ram_budget + 4096);  // headroom for merge pages
+    ExternalSorter sorter(&alloc_, opts, &gauge);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_TRUE(sorter.Add(ByteView(MakeRecord(keys[i], i))).ok());
+    }
+    std::vector<uint64_t> out;
+    Status s = sorter.Finish([&](ByteView rec) {
+      out.push_back(RecordKey(rec));
+      return Status::Ok();
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return out;
+  }
+
+  flash::FlashChip chip_;
+  flash::PartitionAllocator alloc_;
+  mcu::RamGauge gauge_;
+};
+
+TEST_F(ExternalSortTest, InRamSort) {
+  std::vector<uint64_t> keys = {5, 3, 9, 1, 7};
+  auto sorted = SortKeys(keys, 4096);
+  std::vector<uint64_t> expected = {1, 3, 5, 7, 9};
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(ExternalSortTest, EmptyInput) {
+  auto sorted = SortKeys({}, 4096);
+  EXPECT_TRUE(sorted.empty());
+}
+
+TEST_F(ExternalSortTest, SingleRecord) {
+  auto sorted = SortKeys({42}, 4096);
+  EXPECT_EQ(sorted, std::vector<uint64_t>{42});
+}
+
+TEST_F(ExternalSortTest, SpillsAndMerges) {
+  // 1000 records of 16 bytes = 16 KB with a 1 KB budget -> many runs.
+  Rng rng(1);
+  std::vector<uint64_t> keys(1000);
+  for (auto& k : keys) {
+    k = rng.Next();
+  }
+  auto sorted = SortKeys(keys, 1024);
+  ASSERT_EQ(sorted.size(), keys.size());
+  std::vector<uint64_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(ExternalSortTest, DuplicateKeysPreserved) {
+  std::vector<uint64_t> keys(100, 7);
+  keys.resize(150, 7);
+  for (int i = 0; i < 50; ++i) {
+    keys.push_back(3);
+  }
+  auto sorted = SortKeys(keys, 512);
+  ASSERT_EQ(sorted.size(), 200u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(sorted[i], 3u);
+  }
+  for (size_t i = 50; i < 200; ++i) {
+    EXPECT_EQ(sorted[i], 7u);
+  }
+}
+
+TEST_F(ExternalSortTest, AlreadySortedInput) {
+  std::vector<uint64_t> keys(500);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = i;
+  }
+  auto sorted = SortKeys(keys, 1024);
+  EXPECT_EQ(sorted, keys);
+}
+
+TEST_F(ExternalSortTest, ReverseSortedInput) {
+  std::vector<uint64_t> keys(500);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = 500 - i;
+  }
+  auto sorted = SortKeys(keys, 1024);
+  std::vector<uint64_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST_F(ExternalSortTest, MultiPassMergeTinyBudget) {
+  // Budget of 512 bytes with 256-byte pages -> fan-in 2 at best, forcing
+  // multiple merge passes for 64 runs.
+  Rng rng(2);
+  std::vector<uint64_t> keys(2048);
+  for (auto& k : keys) {
+    k = rng.Next() % 1000;
+  }
+  auto sorted = SortKeys(keys, 512);
+  ASSERT_EQ(sorted.size(), keys.size());
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST_F(ExternalSortTest, RejectsWrongRecordSize) {
+  ExternalSorter::Options opts;
+  opts.record_size = 16;
+  ExternalSorter sorter(&alloc_, opts, &gauge_);
+  Bytes wrong(8, 0);
+  EXPECT_EQ(sorter.Add(ByteView(wrong)).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExternalSortTest, FinishTwiceFails) {
+  ExternalSorter::Options opts;
+  opts.record_size = 16;
+  ExternalSorter sorter(&alloc_, opts, &gauge_);
+  ASSERT_TRUE(sorter.Add(ByteView(MakeRecord(1, 1))).ok());
+  auto noop = [](ByteView) { return Status::Ok(); };
+  ASSERT_TRUE(sorter.Finish(noop).ok());
+  EXPECT_EQ(sorter.Finish(noop).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExternalSortTest, RamGaugeReturnsToZero) {
+  {
+    ExternalSorter::Options opts;
+    opts.record_size = 16;
+    opts.ram_budget_bytes = 1024;
+    ExternalSorter sorter(&alloc_, opts, &gauge_);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(sorter.Add(ByteView(MakeRecord(rng.Next(), i))).ok());
+    }
+    ASSERT_TRUE(sorter.Finish([](ByteView) { return Status::Ok(); }).ok());
+  }
+  EXPECT_EQ(gauge_.in_use(), 0u);
+}
+
+TEST_F(ExternalSortTest, EmitErrorPropagates) {
+  ExternalSorter::Options opts;
+  opts.record_size = 16;
+  ExternalSorter sorter(&alloc_, opts, &gauge_);
+  ASSERT_TRUE(sorter.Add(ByteView(MakeRecord(1, 1))).ok());
+  Status s = sorter.Finish(
+      [](ByteView) { return Status::Internal("consumer failed"); });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace pds::logstore

@@ -1,0 +1,193 @@
+// Failure-injection tests: bit rot and unreadable pages on the simulated
+// NAND must surface as explicit errors at every layer — never as silently
+// wrong answers from the structures that can detect them.
+
+#include <gtest/gtest.h>
+
+#include "embdb/table_heap.h"
+#include "embdb/tree_index.h"
+#include "embdb/key_index.h"
+#include "embdb/reorganize.h"
+#include "flash/flash.h"
+#include "logstore/sequential_log.h"
+#include "mcu/ram_gauge.h"
+#include "mcu/secure_token.h"
+#include "sync/folder.h"
+
+namespace pds {
+namespace {
+
+flash::Geometry SmallGeometry() {
+  flash::Geometry g;
+  g.page_size = 256;
+  g.pages_per_block = 4;
+  g.block_count = 512;
+  return g;
+}
+
+TEST(FaultInjectionTest, BadPageSurfacesIoError) {
+  flash::FlashChip chip(SmallGeometry());
+  Bytes data(10, 0xAB);
+  ASSERT_TRUE(chip.ProgramPage(3, ByteView(data)).ok());
+  ASSERT_TRUE(chip.MarkBadPage(3).ok());
+  Bytes out;
+  EXPECT_EQ(chip.ReadPage(3, &out).code(), StatusCode::kIoError);
+  // Other pages unaffected.
+  ASSERT_TRUE(chip.ProgramPage(4, ByteView(data)).ok());
+  EXPECT_TRUE(chip.ReadPage(4, &out).ok());
+}
+
+TEST(FaultInjectionTest, CorruptBitFlipsExactlyOneBit) {
+  flash::FlashChip chip(SmallGeometry());
+  Bytes data(256, 0x00);
+  ASSERT_TRUE(chip.ProgramPage(0, ByteView(data)).ok());
+  ASSERT_TRUE(chip.CorruptBit(0, 8 * 100 + 3).ok());
+  Bytes out;
+  ASSERT_TRUE(chip.ReadPage(0, &out).ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i == 100 ? 0x08 : 0x00) << i;
+  }
+  EXPECT_EQ(chip.CorruptBit(99999, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FaultInjectionTest, TableHeapPropagatesBadPage) {
+  flash::FlashChip chip(SmallGeometry());
+  flash::PartitionAllocator alloc(&chip);
+  embdb::Schema schema("t", {{"v", embdb::ColumnType::kString, ""}});
+  auto data = alloc.Allocate(8);
+  auto dir = alloc.Allocate(2);
+  embdb::TableHeap heap(schema, *data, *dir);
+  // Fill enough rows that early pages are sealed to flash.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        heap.Insert({embdb::Value::Str("row-" + std::to_string(i))}).ok());
+  }
+  // Break the first data page (chip page 0 belongs to the data partition).
+  ASSERT_TRUE(chip.MarkBadPage(0).ok());
+  EXPECT_EQ(heap.Get(0).status().code(), StatusCode::kIoError);
+
+  auto scanner = heap.NewScanner();
+  uint64_t rowid;
+  embdb::Tuple tuple;
+  EXPECT_EQ(scanner.Next(&rowid, &tuple).code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, CorruptedRecordLengthDetected) {
+  flash::FlashChip chip(SmallGeometry());
+  flash::PartitionAllocator alloc(&chip);
+  auto part = alloc.Allocate(8);
+  logstore::RecordLog log(*part);
+  std::string payload(300, 'x');  // spans pages, first page sealed
+  auto addr = log.Append(ByteView(std::string_view(payload)));
+  ASSERT_TRUE(addr.ok());
+  // Corrupt the length prefix upward: the claimed record now runs past
+  // the log end.
+  for (int bit = 24; bit < 32; ++bit) {
+    ASSERT_TRUE(chip.CorruptBit(part->num_blocks() * 0 /*page 0*/, bit).ok());
+  }
+  Bytes record;
+  EXPECT_EQ(log.ReadAt(*addr, &record).code(), StatusCode::kCorruption);
+}
+
+TEST(FaultInjectionTest, TreeDetectsCorruptedLevelByte) {
+  flash::FlashChip chip(SmallGeometry());
+  flash::PartitionAllocator alloc(&chip);
+  mcu::RamGauge gauge(64 * 1024);
+  auto keys = alloc.Allocate(64);
+  auto bloom = alloc.Allocate(16);
+  embdb::KeyLogIndex source(*keys, *bloom, &gauge, {});
+  ASSERT_TRUE(source.Init().ok());
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(source.Insert(embdb::Value::U64(i), i).ok());
+  }
+  uint32_t blocks_before_tree = alloc.blocks_used();
+  auto tree = embdb::Reorganizer::Reorganize(&source, &alloc, &gauge, {});
+  ASSERT_TRUE(tree.ok());
+  ASSERT_GE(tree->height(), 2u);
+
+  // The internal log partition starts right after the leaf partition.
+  // Corrupt the level byte of the first internal page (offset 0).
+  uint32_t leaf_pages = tree->num_leaf_pages();
+  uint32_t ppb = SmallGeometry().pages_per_block;
+  uint32_t leaf_blocks = std::max(1u, (leaf_pages + ppb - 1) / ppb);
+  uint32_t internal_first_page =
+      (blocks_before_tree + leaf_blocks) * ppb;
+  ASSERT_TRUE(chip.CorruptBit(internal_first_page, 0).ok());
+
+  // Some lookup that routes through the corrupted internal page fails
+  // loudly with Corruption instead of descending wrong.
+  std::vector<uint64_t> rowids;
+  embdb::TreeIndex::LookupStats stats;
+  bool saw_corruption = false;
+  for (uint64_t probe = 0; probe < 2000; probe += 50) {
+    Status s = tree->Lookup(embdb::Value::U64(probe), &rowids, &stats);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kCorruption);
+      saw_corruption = true;
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+}
+
+TEST(FaultInjectionTest, FolderBlobCorruptionCaughtByAead) {
+  // A corrupted encrypted blob must never decrypt into a wrong entry.
+  mcu::SecureToken::Config cfg;
+  cfg.token_id = 1;
+  cfg.fleet_key = crypto::KeyFromString("fleet");
+  mcu::SecureToken token(cfg);
+  sync::PersonalFolder folder(&token, 7);
+  ASSERT_TRUE(folder.AddEntry("rx", "aspirin").ok());
+
+  auto delta = folder.ExportDelta({}, nullptr);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->size(), 1u);
+  (*delta)[0][5] ^= 0x10;
+
+  mcu::SecureToken::Config cfg2 = cfg;
+  cfg2.token_id = 2;
+  mcu::SecureToken token2(cfg2);
+  sync::PersonalFolder replica(&token2, 7);
+  Status s = replica.ImportDelta(*delta, nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kIntegrityViolation);
+  EXPECT_TRUE(replica.entries().empty());
+}
+
+TEST(FaultInjectionTest, KeyIndexBloomCorruptionOnlyCostsIo) {
+  // Corrupting a Bloom summary can only cause extra page reads (false
+  // positives) or, in the worst case, a miss of that page's keys — here we
+  // check the structure keeps answering without crashing and that flipping
+  // summary bits *on* never loses results.
+  flash::FlashChip chip(SmallGeometry());
+  flash::PartitionAllocator alloc(&chip);
+  mcu::RamGauge gauge(64 * 1024);
+  auto keys = alloc.Allocate(64);
+  auto bloom = alloc.Allocate(16);
+  embdb::KeyLogIndex index(*keys, *bloom, &gauge, {});
+  ASSERT_TRUE(index.Init().ok());
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(index.Insert(embdb::Value::U64(i), i).ok());
+  }
+  std::vector<uint64_t> before, after;
+  embdb::KeyLogIndex::LookupStats stats;
+  ASSERT_TRUE(index.Lookup(embdb::Value::U64(123), &before, &stats).ok());
+
+  // Bloom partition starts at block 64; set a few of its bits.
+  uint32_t bloom_first_page = 64 * SmallGeometry().pages_per_block;
+  if (chip.IsProgrammed(bloom_first_page)) {
+    for (uint32_t bit = 0; bit < 64; bit += 7) {
+      // Only 1->0 flips could hide keys; force 0->1-style noise by
+      // flipping and accepting either direction — the lookup below
+      // tolerates extra positives; equality check keeps the guarantee
+      // honest for this seed.
+      ASSERT_TRUE(chip.CorruptBit(bloom_first_page, bit * 8).ok());
+    }
+    ASSERT_TRUE(index.Lookup(embdb::Value::U64(123), &after, &stats).ok());
+    // The lookup completed; matches may legitimately differ only if a
+    // summary bit guarding page 0 was cleared, which this pattern avoids
+    // (we flip byte-aligned low bits of distinct filters).
+    EXPECT_EQ(before.size(), after.size());
+  }
+}
+
+}  // namespace
+}  // namespace pds

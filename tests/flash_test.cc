@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "flash/flash.h"
+
+namespace pds::flash {
+namespace {
+
+Geometry SmallGeometry() {
+  Geometry g;
+  g.page_size = 256;
+  g.pages_per_block = 4;
+  g.block_count = 8;
+  return g;
+}
+
+TEST(GeometryTest, DerivedSizes) {
+  Geometry g = SmallGeometry();
+  EXPECT_EQ(g.total_pages(), 32u);
+  EXPECT_EQ(g.total_bytes(), 32u * 256u);
+}
+
+TEST(FlashChipTest, ErasedPageReadsAllOnes) {
+  FlashChip chip(SmallGeometry());
+  Bytes page;
+  ASSERT_TRUE(chip.ReadPage(0, &page).ok());
+  ASSERT_EQ(page.size(), 256u);
+  for (uint8_t b : page) {
+    EXPECT_EQ(b, 0xFF);
+  }
+}
+
+TEST(FlashChipTest, ProgramThenRead) {
+  FlashChip chip(SmallGeometry());
+  Bytes data = {1, 2, 3, 4};
+  ASSERT_TRUE(chip.ProgramPage(5, ByteView(data)).ok());
+  Bytes page;
+  ASSERT_TRUE(chip.ReadPage(5, &page).ok());
+  EXPECT_EQ(page[0], 1);
+  EXPECT_EQ(page[3], 4);
+  EXPECT_EQ(page[4], 0xFF);  // remainder stays erased
+}
+
+TEST(FlashChipTest, RejectsInPlaceUpdate) {
+  FlashChip chip(SmallGeometry());
+  Bytes data = {1};
+  ASSERT_TRUE(chip.ProgramPage(0, ByteView(data)).ok());
+  Status s = chip.ProgramPage(0, ByteView(data));
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FlashChipTest, EraseEnablesReprogram) {
+  FlashChip chip(SmallGeometry());
+  Bytes data = {9};
+  ASSERT_TRUE(chip.ProgramPage(0, ByteView(data)).ok());
+  ASSERT_TRUE(chip.EraseBlock(0).ok());
+  EXPECT_FALSE(chip.IsProgrammed(0));
+  ASSERT_TRUE(chip.ProgramPage(0, ByteView(data)).ok());
+  EXPECT_TRUE(chip.IsProgrammed(0));
+}
+
+TEST(FlashChipTest, EraseIsBlockGrained) {
+  FlashChip chip(SmallGeometry());
+  Bytes data = {7};
+  // Program pages 0..3 (block 0) and 4 (block 1).
+  for (uint32_t p = 0; p <= 4; ++p) {
+    ASSERT_TRUE(chip.ProgramPage(p, ByteView(data)).ok());
+  }
+  ASSERT_TRUE(chip.EraseBlock(0).ok());
+  for (uint32_t p = 0; p < 4; ++p) {
+    EXPECT_FALSE(chip.IsProgrammed(p));
+  }
+  EXPECT_TRUE(chip.IsProgrammed(4));  // block 1 untouched
+}
+
+TEST(FlashChipTest, BoundsChecked) {
+  FlashChip chip(SmallGeometry());
+  Bytes page;
+  EXPECT_EQ(chip.ReadPage(32, &page).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(chip.ProgramPage(32, ByteView(page)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(chip.EraseBlock(8).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FlashChipTest, RejectsOversizedWrite) {
+  FlashChip chip(SmallGeometry());
+  Bytes data(257, 0);
+  EXPECT_EQ(chip.ProgramPage(0, ByteView(data)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlashChipTest, StatsCountOperations) {
+  FlashChip chip(SmallGeometry());
+  Bytes data = {1};
+  Bytes page;
+  ASSERT_TRUE(chip.ProgramPage(0, ByteView(data)).ok());
+  ASSERT_TRUE(chip.ReadPage(0, &page).ok());
+  ASSERT_TRUE(chip.ReadPage(1, &page).ok());
+  ASSERT_TRUE(chip.EraseBlock(0).ok());
+  EXPECT_EQ(chip.stats().page_programs, 1u);
+  EXPECT_EQ(chip.stats().page_reads, 2u);
+  EXPECT_EQ(chip.stats().block_erases, 1u);
+
+  chip.ResetStats();
+  EXPECT_EQ(chip.stats().page_reads, 0u);
+}
+
+TEST(FlashChipTest, StatsTimeModel) {
+  Stats s;
+  s.page_reads = 10;
+  s.page_programs = 4;
+  s.block_erases = 2;
+  CostModel cost;  // 25 / 250 / 1500 us
+  EXPECT_DOUBLE_EQ(s.TimeUs(cost), 10 * 25.0 + 4 * 250.0 + 2 * 1500.0);
+}
+
+TEST(FlashChipTest, StatsDifference) {
+  Stats a{10, 5, 2}, b{4, 3, 1};
+  Stats d = a - b;
+  EXPECT_EQ(d.page_reads, 6u);
+  EXPECT_EQ(d.page_programs, 2u);
+  EXPECT_EQ(d.block_erases, 1u);
+}
+
+TEST(FlashChipTest, WearTracking) {
+  FlashChip chip(SmallGeometry());
+  ASSERT_TRUE(chip.EraseBlock(3).ok());
+  ASSERT_TRUE(chip.EraseBlock(3).ok());
+  ASSERT_TRUE(chip.EraseBlock(1).ok());
+  EXPECT_EQ(chip.WearOf(3), 2u);
+  EXPECT_EQ(chip.WearOf(1), 1u);
+  EXPECT_EQ(chip.WearOf(0), 0u);
+  EXPECT_EQ(chip.MaxWear(), 2u);
+}
+
+TEST(PartitionTest, LocalAddressing) {
+  FlashChip chip(SmallGeometry());
+  Partition part(&chip, /*first_block=*/2, /*num_blocks=*/2);
+  EXPECT_EQ(part.num_pages(), 8u);
+
+  Bytes data = {42};
+  ASSERT_TRUE(part.ProgramPage(0, ByteView(data)).ok());
+  // Local page 0 is chip page 8 (block 2 * 4 pages).
+  EXPECT_TRUE(chip.IsProgrammed(8));
+  EXPECT_FALSE(chip.IsProgrammed(0));
+
+  Bytes page;
+  ASSERT_TRUE(part.ReadPage(0, &page).ok());
+  EXPECT_EQ(page[0], 42);
+}
+
+TEST(PartitionTest, BoundsWithinPartition) {
+  FlashChip chip(SmallGeometry());
+  Partition part(&chip, 2, 2);
+  Bytes data = {1};
+  EXPECT_EQ(part.ProgramPage(8, ByteView(data)).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(part.EraseBlock(2).code(), StatusCode::kOutOfRange);
+}
+
+TEST(PartitionTest, EraseAll) {
+  FlashChip chip(SmallGeometry());
+  Partition part(&chip, 1, 2);
+  Bytes data = {1};
+  for (uint32_t p = 0; p < part.num_pages(); ++p) {
+    ASSERT_TRUE(part.ProgramPage(p, ByteView(data)).ok());
+  }
+  ASSERT_TRUE(part.EraseAll().ok());
+  for (uint32_t p = 0; p < part.num_pages(); ++p) {
+    ASSERT_TRUE(part.ProgramPage(p, ByteView(data)).ok());
+  }
+}
+
+TEST(PartitionTest, DefaultInvalid) {
+  Partition part;
+  EXPECT_FALSE(part.valid());
+  Bytes page;
+  EXPECT_EQ(part.ReadPage(0, &page).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PartitionAllocatorTest, DisjointAllocations) {
+  FlashChip chip(SmallGeometry());
+  PartitionAllocator alloc(&chip);
+
+  auto p1 = alloc.Allocate(3);
+  ASSERT_TRUE(p1.ok());
+  auto p2 = alloc.Allocate(3);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(alloc.blocks_used(), 6u);
+  EXPECT_EQ(alloc.blocks_free(), 2u);
+
+  // Writing through p1 and p2 touches different chip pages.
+  Bytes data = {1};
+  ASSERT_TRUE(p1->ProgramPage(0, ByteView(data)).ok());
+  ASSERT_TRUE(p2->ProgramPage(0, ByteView(data)).ok());
+  EXPECT_TRUE(chip.IsProgrammed(0));
+  EXPECT_TRUE(chip.IsProgrammed(12));
+}
+
+TEST(PartitionAllocatorTest, ExhaustsChip) {
+  FlashChip chip(SmallGeometry());
+  PartitionAllocator alloc(&chip);
+  ASSERT_TRUE(alloc.Allocate(8).ok());
+  EXPECT_EQ(alloc.Allocate(1).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(PartitionAllocatorTest, RejectsZeroBlocks) {
+  FlashChip chip(SmallGeometry());
+  PartitionAllocator alloc(&chip);
+  EXPECT_EQ(alloc.Allocate(0).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pds::flash

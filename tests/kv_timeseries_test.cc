@@ -1,0 +1,485 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "embdb/kv_store.h"
+#include "embdb/timeseries.h"
+#include "flash/flash.h"
+#include "logstore/external_sort.h"
+#include "mcu/calibration.h"
+#include "mcu/ram_gauge.h"
+
+namespace pds::embdb {
+namespace {
+
+flash::Geometry TestGeometry() {
+  flash::Geometry g;
+  g.page_size = 512;
+  g.pages_per_block = 8;
+  g.block_count = 1024;
+  return g;
+}
+
+class KvStoreTest : public ::testing::Test {
+ protected:
+  KvStoreTest()
+      : chip_(TestGeometry()), alloc_(&chip_), gauge_(64 * 1024) {
+    auto values = alloc_.Allocate(64);
+    auto keys = alloc_.Allocate(64);
+    auto bloom = alloc_.Allocate(16);
+    kv_ = std::make_unique<KvStore>(*values, *keys, *bloom, &gauge_,
+                                    KvStore::Options{});
+    EXPECT_TRUE(kv_->Init().ok());
+  }
+
+  std::string GetStr(const std::string& key) {
+    auto v = kv_->Get(key);
+    return v.ok() ? ByteView(*v).ToString() : "<" + v.status().ToString() + ">";
+  }
+
+  flash::FlashChip chip_;
+  flash::PartitionAllocator alloc_;
+  mcu::RamGauge gauge_;
+  std::unique_ptr<KvStore> kv_;
+};
+
+TEST_F(KvStoreTest, PutGet) {
+  ASSERT_TRUE(kv_->Put("name", ByteView(std::string_view("ada"))).ok());
+  EXPECT_EQ(GetStr("name"), "ada");
+}
+
+TEST_F(KvStoreTest, MissingKey) {
+  EXPECT_EQ(kv_->Get("ghost").status().code(), StatusCode::kNotFound);
+  auto contains = kv_->Contains("ghost");
+  ASSERT_TRUE(contains.ok());
+  EXPECT_FALSE(*contains);
+}
+
+TEST_F(KvStoreTest, UpdateReturnsLatest) {
+  ASSERT_TRUE(kv_->Put("k", ByteView(std::string_view("v1"))).ok());
+  ASSERT_TRUE(kv_->Put("k", ByteView(std::string_view("v2"))).ok());
+  ASSERT_TRUE(kv_->Put("k", ByteView(std::string_view("v3"))).ok());
+  EXPECT_EQ(GetStr("k"), "v3");
+  EXPECT_EQ(kv_->num_versions(), 3u);
+}
+
+TEST_F(KvStoreTest, DeleteThenReinsert) {
+  ASSERT_TRUE(kv_->Put("k", ByteView(std::string_view("v1"))).ok());
+  ASSERT_TRUE(kv_->Delete("k").ok());
+  EXPECT_EQ(kv_->Get("k").status().code(), StatusCode::kNotFound);
+  auto contains = kv_->Contains("k");
+  ASSERT_TRUE(contains.ok());
+  EXPECT_FALSE(*contains);
+
+  ASSERT_TRUE(kv_->Put("k", ByteView(std::string_view("v2"))).ok());
+  EXPECT_EQ(GetStr("k"), "v2");
+}
+
+TEST_F(KvStoreTest, LongKeysSharingPrefixStayDistinct) {
+  // Keys identical in the first 24 bytes (the index prefix width).
+  std::string base(30, 'x');
+  std::string k1 = base + "-one";
+  std::string k2 = base + "-two";
+  ASSERT_TRUE(kv_->Put(k1, ByteView(std::string_view("first"))).ok());
+  ASSERT_TRUE(kv_->Put(k2, ByteView(std::string_view("second"))).ok());
+  EXPECT_EQ(GetStr(k1), "first");
+  EXPECT_EQ(GetStr(k2), "second");
+  ASSERT_TRUE(kv_->Delete(k1).ok());
+  EXPECT_EQ(kv_->Get(k1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(GetStr(k2), "second");
+}
+
+TEST_F(KvStoreTest, ManyKeysMatchReference) {
+  std::map<std::string, std::string> reference;
+  Rng rng(3);
+  for (int op = 0; op < 800; ++op) {
+    std::string key = "key-" + std::to_string(rng.Uniform(100));
+    if (rng.Bernoulli(0.2) && reference.count(key)) {
+      ASSERT_TRUE(kv_->Delete(key).ok());
+      reference.erase(key);
+    } else {
+      std::string value = "value-" + std::to_string(op);
+      ASSERT_TRUE(kv_->Put(key, ByteView(std::string_view(value))).ok());
+      reference[key] = value;
+    }
+  }
+  for (int k = 0; k < 100; ++k) {
+    std::string key = "key-" + std::to_string(k);
+    auto it = reference.find(key);
+    if (it == reference.end()) {
+      EXPECT_EQ(kv_->Get(key).status().code(), StatusCode::kNotFound) << key;
+    } else {
+      EXPECT_EQ(GetStr(key), it->second) << key;
+    }
+  }
+}
+
+TEST_F(KvStoreTest, BinaryValues) {
+  Bytes blob = {0x00, 0xFF, 0x7F, 0x80, 0x01};
+  ASSERT_TRUE(kv_->Put("blob", ByteView(blob)).ok());
+  auto v = kv_->Get("blob");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, blob);
+}
+
+TEST_F(KvStoreTest, EmptyValue) {
+  ASSERT_TRUE(kv_->Put("empty", ByteView()).ok());
+  auto v = kv_->Get("empty");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->empty());
+}
+
+class TimeSeriesTest : public ::testing::Test {
+ protected:
+  TimeSeriesTest()
+      : chip_(TestGeometry()), alloc_(&chip_), gauge_(64 * 1024) {
+    auto data = alloc_.Allocate(128);
+    auto summary = alloc_.Allocate(16);
+    ts_ = std::make_unique<TimeSeriesStore>(*data, *summary, &gauge_);
+    EXPECT_TRUE(ts_->Init().ok());
+  }
+
+  flash::FlashChip chip_;
+  flash::PartitionAllocator alloc_;
+  mcu::RamGauge gauge_;
+  std::unique_ptr<TimeSeriesStore> ts_;
+};
+
+TEST_F(TimeSeriesTest, AppendAndRangeSmall) {
+  for (uint64_t t = 10; t <= 50; t += 10) {
+    ASSERT_TRUE(ts_->Append(t, static_cast<double>(t) * 1.5).ok());
+  }
+  std::vector<uint64_t> seen;
+  TimeSeriesStore::QueryStats stats;
+  ASSERT_TRUE(ts_->Range(20, 40,
+                         [&](const TimeSeriesStore::Point& p) {
+                           seen.push_back(p.timestamp);
+                           return Status::Ok();
+                         },
+                         &stats)
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{20, 30, 40}));
+}
+
+TEST_F(TimeSeriesTest, RejectsNonIncreasingTimestamps) {
+  ASSERT_TRUE(ts_->Append(100, 1.0).ok());
+  EXPECT_EQ(ts_->Append(100, 2.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ts_->Append(99, 2.0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TimeSeriesTest, AggregateMatchesReference) {
+  Rng rng(5);
+  std::vector<std::pair<uint64_t, double>> points;
+  uint64_t t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += 1 + rng.Uniform(5);
+    double v = static_cast<double>(rng.Uniform(1000)) / 10.0;
+    points.emplace_back(t, v);
+    ASSERT_TRUE(ts_->Append(t, v).ok());
+  }
+
+  for (auto [lo, hi] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, t}, {t / 4, t / 2}, {100, 200}, {t, t + 100}, {0, 0}}) {
+    TimeSeriesStore::QueryStats stats;
+    auto agg = ts_->Aggregate(lo, hi, &stats);
+    ASSERT_TRUE(agg.ok());
+
+    uint64_t count = 0;
+    double sum = 0, mn = 0, mx = 0;
+    bool first = true;
+    for (auto& [pt, pv] : points) {
+      if (pt < lo || pt > hi) continue;
+      if (first) {
+        mn = mx = pv;
+        first = false;
+      }
+      mn = std::min(mn, pv);
+      mx = std::max(mx, pv);
+      sum += pv;
+      ++count;
+    }
+    EXPECT_EQ(agg->count, count) << lo << ".." << hi;
+    EXPECT_NEAR(agg->sum, sum, 1e-6);
+    if (count > 0) {
+      EXPECT_DOUBLE_EQ(agg->min, mn);
+      EXPECT_DOUBLE_EQ(agg->max, mx);
+      EXPECT_NEAR(agg->avg(), sum / static_cast<double>(count), 1e-9);
+    }
+  }
+}
+
+TEST_F(TimeSeriesTest, SummariesSkipPages) {
+  uint64_t t = 0;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    t += 1;
+    ASSERT_TRUE(ts_->Append(t, static_cast<double>(rng.Uniform(100))).ok());
+  }
+  // A narrow range touches few data pages.
+  chip_.ResetStats();
+  TimeSeriesStore::QueryStats stats;
+  uint64_t count = 0;
+  ASSERT_TRUE(ts_->Range(5000, 5050,
+                         [&](const TimeSeriesStore::Point&) {
+                           ++count;
+                           return Status::Ok();
+                         },
+                         &stats)
+                  .ok());
+  EXPECT_EQ(count, 51u);
+  EXPECT_LE(stats.data_pages, 4u);
+  EXPECT_GT(stats.pages_skipped, 100u);
+  EXPECT_LT(chip_.stats().page_reads,
+            static_cast<uint64_t>(ts_->num_data_pages()) / 4);
+}
+
+TEST_F(TimeSeriesTest, AggregateMostlyUsesSummaries) {
+  uint64_t t = 0;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(ts_->Append(++t, 1.0).ok());
+  }
+  TimeSeriesStore::QueryStats stats;
+  auto agg = ts_->Aggregate(100, 9900, &stats);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 9801u);
+  // Only the two partial edge pages are fetched.
+  EXPECT_LE(stats.data_pages, 2u);
+}
+
+TEST_F(TimeSeriesTest, EmptyRange) {
+  ASSERT_TRUE(ts_->Append(10, 1.0).ok());
+  auto agg = ts_->Aggregate(20, 30, nullptr);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 0u);
+  EXPECT_FALSE(ts_->Aggregate(30, 20, nullptr).ok());  // t1 > t2
+}
+
+TEST_F(TimeSeriesTest, RamReleasedOnDestruction) {
+  size_t in_use = gauge_.in_use();
+  EXPECT_GT(in_use, 0u);
+  ts_.reset();
+  EXPECT_EQ(gauge_.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace pds::embdb
+
+namespace pds::mcu {
+namespace {
+
+TEST(CalibrationTest, SearchQueryFormula) {
+  // 5 keywords on 2 KB pages, top-10, 64 buckets, 2 KB buffer:
+  // 5*2048 + 160 + 256 + 2048 = 12704.
+  EXPECT_EQ(SearchQueryRam(5, 2048, 10, 64, 2048), 12704u);
+}
+
+TEST(CalibrationTest, SortRamSquareRootLaw) {
+  // Doubling data multiplies the single-pass RAM by sqrt(2).
+  size_t r1 = SinglePassSortRam(1 << 20, 32, 2048);
+  size_t r2 = SinglePassSortRam(1 << 21, 32, 2048);
+  EXPECT_NEAR(static_cast<double>(r2) / static_cast<double>(r1),
+              std::sqrt(2.0), 0.01);
+}
+
+TEST(CalibrationTest, SortRamFloor) {
+  EXPECT_GE(SinglePassSortRam(1, 32, 2048), 2 * 2048u);
+}
+
+TEST(CalibrationTest, SpjAndAggregation) {
+  EXPECT_EQ(SpjQueryRam({100, 200}, 512), 300 * 8 + 512u);
+  EXPECT_EQ(AggregationRam(100), 8000u);
+}
+
+TEST(CalibrationTest, ReportCoversAllTreatments) {
+  WorkloadProfile profile;
+  auto report = CalibrateRam(profile);
+  ASSERT_EQ(report.size(), 5u);
+  for (const auto& r : report) {
+    EXPECT_GT(r.bytes, 0u) << r.treatment;
+    EXPECT_FALSE(r.formula.empty());
+  }
+}
+
+TEST(CalibrationTest, RecommendationDominatesEveryTreatment) {
+  WorkloadProfile profile;
+  size_t budget = RecommendedRamBudget(profile);
+  EXPECT_EQ(budget % 1024, 0u);
+  for (const auto& r : CalibrateRam(profile)) {
+    EXPECT_GE(budget, r.bytes) << r.treatment;
+  }
+}
+
+TEST(CalibrationTest, BiggerWorkloadNeedsMoreRam) {
+  WorkloadProfile small;
+  small.largest_index_entries = 1 << 14;
+  WorkloadProfile big;
+  big.largest_index_entries = 1 << 24;
+  EXPECT_LT(RecommendedRamBudget(small), RecommendedRamBudget(big));
+}
+
+// The calibration must be *sufficient*: a sort sized by the formula really
+// completes in a single merge pass (no intermediate runs written beyond
+// the initial spill).
+TEST(CalibrationTest, SortCalibrationIsSufficient) {
+  const uint64_t n = 20000;
+  const size_t record_size = 32;
+  pds::flash::Geometry g;
+  g.page_size = 512;
+  g.pages_per_block = 8;
+  g.block_count = 2048;
+  pds::flash::FlashChip chip(g);
+  pds::flash::PartitionAllocator alloc(&chip);
+  size_t ram = SinglePassSortRam(n, record_size, g.page_size);
+  RamGauge gauge(ram + 4 * g.page_size);  // formula + merge output page
+
+  logstore::ExternalSorter::Options opts;
+  opts.record_size = record_size;
+  opts.ram_budget_bytes = ram;
+  logstore::ExternalSorter sorter(&alloc, opts, &gauge);
+  Rng rng(11);
+  uint8_t rec[32] = {0};
+  for (uint64_t i = 0; i < n; ++i) {
+    EncodeU64BE(rec, rng.Next());
+    ASSERT_TRUE(sorter.Add(ByteView(rec, 32)).ok());
+  }
+  uint64_t emitted = 0;
+  ASSERT_TRUE(sorter
+                  .Finish([&](ByteView) {
+                    ++emitted;
+                    return Status::Ok();
+                  })
+                  .ok());
+  EXPECT_EQ(emitted, n);
+}
+
+}  // namespace
+}  // namespace pds::mcu
+
+namespace pds::embdb {
+namespace {
+
+flash::Geometry CompactGeometry() {
+  flash::Geometry g;
+  g.page_size = 512;
+  g.pages_per_block = 8;
+  g.block_count = 1024;
+  return g;
+}
+
+TEST(KvCompactionTest, CompactKeepsLiveStateAndFreesBlocks) {
+  flash::FlashChip chip(CompactGeometry());
+  flash::PartitionAllocator alloc(&chip);
+  mcu::RamGauge gauge(64 * 1024);
+  auto values = alloc.Allocate(64);
+  auto keys = alloc.Allocate(64);
+  auto bloom = alloc.Allocate(16);
+  KvStore kv(*values, *keys, *bloom, &gauge, {});
+  ASSERT_TRUE(kv.Init().ok());
+
+  // Heavy churn: 100 keys, many versions, some deleted.
+  Rng rng(8);
+  std::map<std::string, std::string> reference;
+  for (int op = 0; op < 600; ++op) {
+    std::string key = "k" + std::to_string(rng.Uniform(100));
+    if (rng.Bernoulli(0.25) && reference.count(key)) {
+      ASSERT_TRUE(kv.Delete(key).ok());
+      reference.erase(key);
+    } else {
+      std::string value = "v" + std::to_string(op);
+      ASSERT_TRUE(kv.Put(key, ByteView(std::string_view(value))).ok());
+      reference[key] = value;
+    }
+  }
+  uint64_t versions_before = kv.num_versions();
+  uint32_t used_before = alloc.blocks_used();
+
+  ASSERT_TRUE(kv.Compact(&alloc).ok());
+
+  // The log shrank to the live set and blocks were returned.
+  EXPECT_EQ(kv.num_versions(), reference.size());
+  EXPECT_LT(kv.num_versions(), versions_before);
+  EXPECT_LE(alloc.blocks_used(), used_before);
+
+  // Every key still answers exactly as before.
+  for (int k = 0; k < 100; ++k) {
+    std::string key = "k" + std::to_string(k);
+    auto it = reference.find(key);
+    auto got = kv.Get(key);
+    if (it == reference.end()) {
+      EXPECT_EQ(got.status().code(), StatusCode::kNotFound) << key;
+    } else {
+      ASSERT_TRUE(got.ok()) << key;
+      EXPECT_EQ(ByteView(*got).ToString(), it->second) << key;
+    }
+  }
+
+  // The store stays writable after the swap.
+  ASSERT_TRUE(kv.Put("post-compact", ByteView(std::string_view("x"))).ok());
+  auto post = kv.Get("post-compact");
+  ASSERT_TRUE(post.ok());
+}
+
+TEST(KvCompactionTest, CompactedBlocksAreReusable) {
+  flash::FlashChip chip(CompactGeometry());
+  flash::PartitionAllocator alloc(&chip);
+  mcu::RamGauge gauge(64 * 1024);
+  auto values = alloc.Allocate(32);
+  auto keys = alloc.Allocate(32);
+  auto bloom = alloc.Allocate(8);
+  KvStore kv(*values, *keys, *bloom, &gauge, {});
+  ASSERT_TRUE(kv.Init().ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(kv.Put("key" + std::to_string(i % 20),
+                       ByteView(std::string_view("payload"))).ok());
+  }
+  uint32_t free_before = alloc.blocks_free();
+  ASSERT_TRUE(kv.Compact(&alloc).ok());
+  EXPECT_GE(alloc.blocks_free(), free_before);
+  // A new allocation can be served from the reclaimed space.
+  auto reused = alloc.Allocate(16);
+  ASSERT_TRUE(reused.ok());
+  pds::Bytes probe(16, 0x5A);
+  EXPECT_TRUE(reused->ProgramPage(0, ByteView(probe)).ok());
+}
+
+TEST(AllocatorFreeTest, FreeListReuse) {
+  flash::FlashChip chip(CompactGeometry());
+  flash::PartitionAllocator alloc(&chip);
+  auto a = alloc.Allocate(10);
+  auto b = alloc.Allocate(10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  uint32_t used = alloc.blocks_used();
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  EXPECT_EQ(alloc.blocks_used(), used - 10);
+
+  // A smaller allocation is carved from the freed range (split).
+  auto c = alloc.Allocate(4);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->first_block(), a->first_block());
+  auto d = alloc.Allocate(6);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->first_block(), a->first_block() + 4);
+
+  // Freed blocks come back erased and writable.
+  pds::Bytes data(8, 1);
+  EXPECT_TRUE(c->ProgramPage(0, ByteView(data)).ok());
+}
+
+TEST(AllocatorFreeTest, FreeRejectsForeignPartition) {
+  flash::FlashChip chip1(CompactGeometry());
+  flash::FlashChip chip2(CompactGeometry());
+  flash::PartitionAllocator alloc1(&chip1);
+  flash::PartitionAllocator alloc2(&chip2);
+  auto p = alloc2.Allocate(4);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(alloc1.Free(*p).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(alloc1.Free(flash::Partition()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pds::embdb

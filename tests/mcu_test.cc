@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "mcu/ram_gauge.h"
+#include "mcu/secure_token.h"
+
+namespace pds::mcu {
+namespace {
+
+TEST(RamGaugeTest, AcquireRelease) {
+  RamGauge g(1000);
+  EXPECT_TRUE(g.Acquire(400).ok());
+  EXPECT_EQ(g.in_use(), 400u);
+  EXPECT_EQ(g.available(), 600u);
+  g.Release(150);
+  EXPECT_EQ(g.in_use(), 250u);
+}
+
+TEST(RamGaugeTest, RejectsOverBudget) {
+  RamGauge g(100);
+  EXPECT_TRUE(g.Acquire(100).ok());
+  Status s = g.Acquire(1);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // Failed acquire must not change accounting.
+  EXPECT_EQ(g.in_use(), 100u);
+}
+
+TEST(RamGaugeTest, HighWaterMark) {
+  RamGauge g(1000);
+  ASSERT_TRUE(g.Acquire(700).ok());
+  g.Release(600);
+  ASSERT_TRUE(g.Acquire(200).ok());
+  EXPECT_EQ(g.high_water(), 700u);
+  g.ResetHighWater();
+  EXPECT_EQ(g.high_water(), 300u);
+}
+
+TEST(RamGaugeTest, OverReleaseClamps) {
+  RamGauge g(100);
+  ASSERT_TRUE(g.Acquire(50).ok());
+  g.Release(80);
+  EXPECT_EQ(g.in_use(), 0u);
+}
+
+TEST(RamChargeTest, RaiiReleases) {
+  RamGauge g(1000);
+  {
+    auto charge = RamCharge::Make(&g, 300);
+    ASSERT_TRUE(charge.ok());
+    EXPECT_EQ(g.in_use(), 300u);
+  }
+  EXPECT_EQ(g.in_use(), 0u);
+}
+
+TEST(RamChargeTest, MoveTransfersOwnership) {
+  RamGauge g(1000);
+  auto charge = RamCharge::Make(&g, 300);
+  ASSERT_TRUE(charge.ok());
+  {
+    RamCharge moved = std::move(charge).value();
+    EXPECT_EQ(g.in_use(), 300u);
+  }
+  EXPECT_EQ(g.in_use(), 0u);
+}
+
+TEST(RamChargeTest, GrowCharges) {
+  RamGauge g(500);
+  auto charge = RamCharge::Make(&g, 100);
+  ASSERT_TRUE(charge.ok());
+  EXPECT_TRUE(charge->Grow(200).ok());
+  EXPECT_EQ(g.in_use(), 300u);
+  EXPECT_EQ(charge->bytes(), 300u);
+  EXPECT_EQ(charge->Grow(300).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RamChargeTest, FailedMakeChargesNothing) {
+  RamGauge g(100);
+  auto charge = RamCharge::Make(&g, 200);
+  EXPECT_FALSE(charge.ok());
+  EXPECT_EQ(g.in_use(), 0u);
+}
+
+SecureToken::Config TokenConfig(uint64_t id) {
+  SecureToken::Config cfg;
+  cfg.token_id = id;
+  cfg.fleet_key = crypto::KeyFromString("shared-fleet-secret");
+  cfg.rng_seed = 7;
+  return cfg;
+}
+
+TEST(SecureTokenTest, DetEncryptionInteroperatesAcrossFleet) {
+  SecureToken alice(TokenConfig(1));
+  SecureToken bob(TokenConfig(2));
+
+  auto ct = alice.EncryptDet(ByteView(std::string_view("diagnosis=flu")));
+  ASSERT_TRUE(ct.ok());
+  auto pt = bob.DecryptDet(ByteView(*ct));
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(ByteView(*pt).ToString(), "diagnosis=flu");
+
+  // Deterministic across tokens with the same fleet key.
+  auto ct2 = bob.EncryptDet(ByteView(std::string_view("diagnosis=flu")));
+  ASSERT_TRUE(ct2.ok());
+  EXPECT_EQ(*ct, *ct2);
+}
+
+TEST(SecureTokenTest, NonDetEncryptionDiffersPerCall) {
+  SecureToken token(TokenConfig(1));
+  auto c1 = token.EncryptNonDet(ByteView(std::string_view("v")));
+  auto c2 = token.EncryptNonDet(ByteView(std::string_view("v")));
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c1, *c2);
+  auto pt = token.DecryptNonDet(ByteView(*c1));
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(ByteView(*pt).ToString(), "v");
+}
+
+TEST(SecureTokenTest, AttestationVerifiesAcrossFleet) {
+  SecureToken alice(TokenConfig(1));
+  SecureToken bob(TokenConfig(2));
+  auto proof = alice.Attest(ByteView(std::string_view("challenge-123")));
+  ASSERT_TRUE(proof.ok());
+  auto verdict =
+      bob.VerifyAttestation(ByteView(std::string_view("challenge-123")),
+                            *proof);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(*verdict);
+
+  auto wrong =
+      bob.VerifyAttestation(ByteView(std::string_view("challenge-124")),
+                            *proof);
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_FALSE(*wrong);
+}
+
+TEST(SecureTokenTest, ForeignFleetFailsAttestation) {
+  SecureToken alice(TokenConfig(1));
+  SecureToken::Config foreign_cfg = TokenConfig(3);
+  foreign_cfg.fleet_key = crypto::KeyFromString("other-fleet");
+  SecureToken mallory(foreign_cfg);
+
+  auto proof = mallory.Attest(ByteView(std::string_view("challenge")));
+  ASSERT_TRUE(proof.ok());
+  auto verdict =
+      alice.VerifyAttestation(ByteView(std::string_view("challenge")), *proof);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_FALSE(*verdict);
+}
+
+TEST(SecureTokenTest, TamperZeroizes) {
+  SecureToken token(TokenConfig(1));
+  auto ct = token.EncryptDet(ByteView(std::string_view("secret")));
+  ASSERT_TRUE(ct.ok());
+
+  token.Tamper();
+  EXPECT_TRUE(token.tampered());
+  EXPECT_EQ(token.EncryptDet(ByteView(std::string_view("x"))).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(token.DecryptDet(ByteView(*ct)).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(token.Mac(ByteView(std::string_view("m"))).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(SecureTokenTest, CryptoOpsCounted) {
+  SecureToken token(TokenConfig(1));
+  ASSERT_TRUE(token.EncryptDet(ByteView(std::string_view("a"))).ok());
+  ASSERT_TRUE(token.EncryptNonDet(ByteView(std::string_view("b"))).ok());
+  ASSERT_TRUE(token.Mac(ByteView(std::string_view("c"))).ok());
+  EXPECT_EQ(token.crypto_ops().encryptions, 2u);
+  EXPECT_EQ(token.crypto_ops().macs, 1u);
+  EXPECT_EQ(token.crypto_ops().total(), 3u);
+  token.ResetCryptoOps();
+  EXPECT_EQ(token.crypto_ops().total(), 0u);
+}
+
+TEST(SecureTokenTest, RamBudgetConfigured) {
+  SecureToken::Config cfg = TokenConfig(1);
+  cfg.ram_budget_bytes = 4096;
+  SecureToken token(cfg);
+  EXPECT_EQ(token.ram().budget(), 4096u);
+  EXPECT_TRUE(token.ram().Acquire(4096).ok());
+  EXPECT_FALSE(token.ram().Acquire(1).ok());
+}
+
+}  // namespace
+}  // namespace pds::mcu

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/paillier.h"
+
+namespace pds::crypto {
+namespace {
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  // 256-bit modulus keeps tests fast; the scheme is size-agnostic.
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(42);
+    auto ph = Paillier::Generate(256, rng_.get());
+    ASSERT_TRUE(ph.ok()) << ph.status().ToString();
+    paillier_ = std::make_unique<Paillier>(std::move(ph).value());
+  }
+
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<Paillier> paillier_;
+};
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (uint64_t m : {0ULL, 1ULL, 42ULL, 1000000ULL, 0xFFFFFFFFULL}) {
+    auto ct = paillier_->EncryptU64(m, rng_.get());
+    ASSERT_TRUE(ct.ok());
+    auto pt = paillier_->DecryptU64(*ct);
+    ASSERT_TRUE(pt.ok());
+    EXPECT_EQ(*pt, m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  auto c1 = paillier_->EncryptU64(7, rng_.get());
+  auto c2 = paillier_->EncryptU64(7, rng_.get());
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_FALSE(*c1 == *c2);
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  auto c1 = paillier_->EncryptU64(1234, rng_.get());
+  auto c2 = paillier_->EncryptU64(8766, rng_.get());
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  BigInt sum_ct = paillier_->AddCiphertexts(*c1, *c2);
+  auto sum = paillier_->DecryptU64(sum_ct);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 10000u);
+}
+
+TEST_F(PaillierTest, HomomorphicSumOfMany) {
+  // The SSI-side aggregation the tutorial's Part III describes: sum 50
+  // encrypted contributions without decrypting any of them.
+  uint64_t expected = 0;
+  BigInt acc;
+  bool first = true;
+  Rng value_rng(7);
+  for (int i = 0; i < 50; ++i) {
+    uint64_t v = value_rng.Uniform(1000);
+    expected += v;
+    auto ct = paillier_->EncryptU64(v, rng_.get());
+    ASSERT_TRUE(ct.ok());
+    if (first) {
+      acc = *ct;
+      first = false;
+    } else {
+      acc = paillier_->AddCiphertexts(acc, *ct);
+    }
+  }
+  auto sum = paillier_->DecryptU64(acc);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, expected);
+}
+
+TEST_F(PaillierTest, AddPlaintext) {
+  auto ct = paillier_->EncryptU64(100, rng_.get());
+  ASSERT_TRUE(ct.ok());
+  BigInt shifted = paillier_->AddPlaintext(*ct, BigInt(23));
+  auto pt = paillier_->DecryptU64(shifted);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(*pt, 123u);
+}
+
+TEST_F(PaillierTest, MulPlaintext) {
+  auto ct = paillier_->EncryptU64(21, rng_.get());
+  ASSERT_TRUE(ct.ok());
+  BigInt doubled = paillier_->MulPlaintext(*ct, BigInt(2));
+  auto pt = paillier_->DecryptU64(doubled);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(*pt, 42u);
+}
+
+TEST_F(PaillierTest, RejectsPlaintextNotBelowModulus) {
+  BigInt too_big = paillier_->public_key().n;
+  EXPECT_FALSE(paillier_->Encrypt(too_big, rng_.get()).ok());
+}
+
+TEST_F(PaillierTest, RejectsOutOfRangeCiphertext) {
+  EXPECT_FALSE(paillier_->Decrypt(BigInt::Zero()).ok());
+  EXPECT_FALSE(paillier_->Decrypt(paillier_->public_key().n_squared).ok());
+}
+
+TEST(PaillierGenerateTest, RejectsTinyModulus) {
+  Rng rng(1);
+  EXPECT_FALSE(Paillier::Generate(32, &rng).ok());
+}
+
+TEST(PaillierGenerateTest, DeterministicGivenSeed) {
+  Rng r1(5), r2(5);
+  auto p1 = Paillier::Generate(128, &r1);
+  auto p2 = Paillier::Generate(128, &r2);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->public_key().n, p2->public_key().n);
+}
+
+TEST(PaillierGenerateTest, LargeValuesSurviveBigModulus) {
+  Rng rng(6);
+  auto ph = Paillier::Generate(512, &rng);
+  ASSERT_TRUE(ph.ok());
+  BigInt big = BigInt::RandomBits(400, &rng);
+  auto ct = ph->Encrypt(big, &rng);
+  ASSERT_TRUE(ct.ok());
+  auto pt = ph->Decrypt(*ct);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(*pt, big);
+}
+
+}  // namespace
+}  // namespace pds::crypto

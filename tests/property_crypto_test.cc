@@ -1,0 +1,195 @@
+// Property tests for the crypto substrate: cipher round trips across
+// message lengths and keys, SHA-256 incremental/one-shot agreement across
+// chunkings, and BigInt arithmetic against native 64-bit references.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/rng.h"
+#include "crypto/bigint.h"
+#include "crypto/cipher.h"
+#include "crypto/paillier.h"
+#include "crypto/sha256.h"
+#include "crypto/sra.h"
+
+namespace pds::crypto {
+namespace {
+
+// (message_length, key_seed)
+using CipherParam = std::tuple<size_t, int>;
+
+class CipherProperty : public ::testing::TestWithParam<CipherParam> {};
+
+TEST_P(CipherProperty, DetAndNonDetRoundTrip) {
+  auto [len, key_seed] = GetParam();
+  SymmetricKey key = KeyFromString("key-" + std::to_string(key_seed));
+  DetCipher det(key);
+  NonDetCipher nondet(key);
+  Rng rng(len * 131 + key_seed);
+
+  Bytes plaintext(len);
+  rng.FillBytes(plaintext.data(), plaintext.size());
+
+  // Deterministic: round trip + equality of repeated encryptions.
+  Bytes ct1 = det.Encrypt(ByteView(plaintext));
+  Bytes ct2 = det.Encrypt(ByteView(plaintext));
+  EXPECT_EQ(ct1, ct2);
+  auto back = det.Decrypt(ByteView(ct1));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, plaintext);
+
+  // Non-deterministic: round trip + inequality of repeated encryptions.
+  Bytes nct1 = nondet.Encrypt(ByteView(plaintext), &rng);
+  Bytes nct2 = nondet.Encrypt(ByteView(plaintext), &rng);
+  if (len > 0) {
+    EXPECT_NE(nct1, nct2);
+  }
+  auto nback = nondet.Decrypt(ByteView(nct1));
+  ASSERT_TRUE(nback.ok());
+  EXPECT_EQ(*nback, plaintext);
+
+  // Any single-bit flip is detected, wherever it lands.
+  for (size_t victim : {size_t{0}, ct1.size() / 2, ct1.size() - 1}) {
+    Bytes corrupted = ct1;
+    corrupted[victim] ^= 0x40;
+    EXPECT_FALSE(det.Decrypt(ByteView(corrupted)).ok())
+        << "det byte " << victim;
+  }
+  for (size_t victim : {size_t{0}, nct1.size() / 2, nct1.size() - 1}) {
+    Bytes corrupted = nct1;
+    corrupted[victim] ^= 0x40;
+    EXPECT_FALSE(nondet.Decrypt(ByteView(corrupted)).ok())
+        << "nondet byte " << victim;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthsAndKeys, CipherProperty,
+    ::testing::Combine(::testing::Values(1, 15, 16, 17, 64, 1000, 4096),
+                       ::testing::Values(1, 2)));
+
+class ShaChunkingProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ShaChunkingProperty, IncrementalEqualsOneShot) {
+  size_t chunk = GetParam();
+  Rng rng(chunk);
+  for (size_t total : {size_t{0}, size_t{55}, size_t{56}, size_t{64},
+                       size_t{65}, size_t{1000}}) {
+    Bytes message(total);
+    rng.FillBytes(message.data(), message.size());
+    Sha256 h;
+    for (size_t pos = 0; pos < total; pos += chunk) {
+      size_t take = std::min(chunk, total - pos);
+      h.Update(ByteView(message.data() + pos, take));
+    }
+    EXPECT_EQ(h.Finish(), Sha256::Hash(ByteView(message)))
+        << "total " << total << " chunk " << chunk;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, ShaChunkingProperty,
+                         ::testing::Values(1, 3, 63, 64, 65, 128, 1024));
+
+class BigIntU64Property : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntU64Property, ArithmeticMatchesNative) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    // Operands bounded so products and sums fit in 64 bits.
+    uint64_t a = rng.Next() >> 33;
+    uint64_t b = (rng.Next() >> 33) | 1;  // nonzero divisor
+    EXPECT_EQ(BigInt::Add(BigInt(a), BigInt(b)).ToU64(), a + b);
+    EXPECT_EQ(BigInt::Mul(BigInt(a), BigInt(b)).ToU64(), a * b);
+    if (a >= b) {
+      EXPECT_EQ(BigInt::Sub(BigInt(a), BigInt(b)).ToU64(), a - b);
+    }
+    BigInt q, r;
+    BigInt::DivMod(BigInt(a), BigInt(b), &q, &r);
+    EXPECT_EQ(q.ToU64(), a / b);
+    EXPECT_EQ(r.ToU64(), a % b);
+    EXPECT_EQ(BigInt::Gcd(BigInt(a), BigInt(b)).ToU64(), std::__gcd(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntU64Property,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class PaillierSizeProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PaillierSizeProperty, HomomorphismAcrossKeySizes) {
+  size_t bits = GetParam();
+  Rng rng(bits);
+  auto paillier = Paillier::Generate(bits, &rng);
+  ASSERT_TRUE(paillier.ok());
+  for (int i = 0; i < 10; ++i) {
+    uint64_t a = rng.Uniform(1 << 20);
+    uint64_t b = rng.Uniform(1 << 20);
+    uint64_t k = rng.Uniform(16);
+    auto ca = paillier->EncryptU64(a, &rng);
+    auto cb = paillier->EncryptU64(b, &rng);
+    ASSERT_TRUE(ca.ok());
+    ASSERT_TRUE(cb.ok());
+    auto sum = paillier->DecryptU64(paillier->AddCiphertexts(*ca, *cb));
+    ASSERT_TRUE(sum.ok());
+    EXPECT_EQ(*sum, a + b);
+    auto scaled = paillier->DecryptU64(
+        paillier->MulPlaintext(*ca, BigInt(k)));
+    ASSERT_TRUE(scaled.ok());
+    EXPECT_EQ(*scaled, a * k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, PaillierSizeProperty,
+                         ::testing::Values(128, 256, 512));
+
+class SraProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SraProperty, MultiPartyCommutativityAnyOrder) {
+  size_t prime_bits = GetParam();
+  Rng rng(prime_bits);
+  BigInt p = SraCipher::GeneratePrime(prime_bits, &rng);
+  std::vector<SraCipher> ciphers;
+  for (int i = 0; i < 3; ++i) {
+    auto c = SraCipher::Create(p, &rng);
+    ASSERT_TRUE(c.ok());
+    ciphers.push_back(std::move(c).value());
+  }
+  auto x = ciphers[0].EncodeItem("multi");  // short enough for 64-bit primes
+  ASSERT_TRUE(x.ok());
+
+  // Encrypt in the 6 possible orders: all agree.
+  std::vector<std::vector<int>> orders = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                          {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  std::vector<BigInt> results;
+  for (const auto& order : orders) {
+    BigInt v = *x;
+    for (int idx : order) {
+      auto e = ciphers[idx].Encrypt(v);
+      ASSERT_TRUE(e.ok());
+      v = *e;
+    }
+    results.push_back(v);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i]) << "order " << i;
+  }
+
+  // Decrypt in a different order than encryption.
+  BigInt v = results[0];
+  for (int idx : {1, 2, 0}) {
+    auto d = ciphers[idx].Decrypt(v);
+    ASSERT_TRUE(d.ok());
+    v = *d;
+  }
+  auto item = ciphers[0].DecodeItem(v);
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(*item, "multi");
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimeSizes, SraProperty,
+                         ::testing::Values(64, 128, 256));
+
+}  // namespace
+}  // namespace pds::crypto

@@ -1,0 +1,176 @@
+// Property tests for the index structures: across entry counts, key
+// distributions, and Bloom configurations, the key-log index and the
+// reorganized tree index must agree exactly with a std::multimap oracle —
+// and the tree must return rowids in ascending order.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/rng.h"
+#include "embdb/key_index.h"
+#include "embdb/reorganize.h"
+#include "flash/flash.h"
+#include "mcu/ram_gauge.h"
+
+namespace pds::embdb {
+namespace {
+
+enum class KeyKind { kU64Dense, kU64Sparse, kString, kI64Signed, kDouble };
+
+// (num_entries, distinct_keys, bits_per_key, key kind)
+using IndexParam = std::tuple<uint64_t, uint64_t, double, KeyKind>;
+
+Value MakeKey(KeyKind kind, uint64_t raw) {
+  switch (kind) {
+    case KeyKind::kU64Dense:
+      return Value::U64(raw);
+    case KeyKind::kU64Sparse:
+      return Value::U64(raw * 0x9E3779B97F4A7C15ULL);
+    case KeyKind::kString:
+      return Value::Str("key-" + std::to_string(raw));
+    case KeyKind::kI64Signed:
+      return Value::I64(static_cast<int64_t>(raw) - 500);
+    case KeyKind::kDouble:
+      return Value::F64(static_cast<double>(raw) * 0.25 - 100.0);
+  }
+  return Value::U64(raw);
+}
+
+class IndexOracleProperty : public ::testing::TestWithParam<IndexParam> {};
+
+TEST_P(IndexOracleProperty, KeyLogAndTreeMatchOracle) {
+  auto [entries, distinct, bits_per_key, kind] = GetParam();
+  flash::Geometry g;
+  g.page_size = 512;
+  g.pages_per_block = 8;
+  g.block_count = 4096;
+  flash::FlashChip chip(g);
+  flash::PartitionAllocator alloc(&chip);
+  mcu::RamGauge gauge(128 * 1024);
+
+  auto keys_part = alloc.Allocate(512);
+  auto bloom_part = alloc.Allocate(128);
+  ASSERT_TRUE(keys_part.ok());
+  ASSERT_TRUE(bloom_part.ok());
+  KeyLogIndex::Options opts;
+  opts.bits_per_key = bits_per_key;
+  KeyLogIndex index(*keys_part, *bloom_part, &gauge, opts);
+  ASSERT_TRUE(index.Init().ok());
+
+  // Oracle keyed by raw id (same MakeKey mapping).
+  std::multimap<uint64_t, uint64_t> oracle;
+  Rng rng(entries * 7 + distinct);
+  for (uint64_t rowid = 0; rowid < entries; ++rowid) {
+    uint64_t raw = rng.Uniform(distinct);
+    ASSERT_TRUE(index.Insert(MakeKey(kind, raw), rowid).ok());
+    oracle.emplace(raw, rowid);
+  }
+
+  auto tree = Reorganizer::Reorganize(&index, &alloc, &gauge, {});
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->num_entries(), entries);
+
+  // Probe every distinct raw id plus some absent ones.
+  std::vector<uint64_t> rowids;
+  KeyLogIndex::LookupStats kstats;
+  TreeIndex::LookupStats tstats;
+  for (uint64_t raw = 0; raw < distinct + 10; ++raw) {
+    std::vector<uint64_t> expected;
+    auto [lo, hi] = oracle.equal_range(raw);
+    for (auto it = lo; it != hi; ++it) {
+      expected.push_back(it->second);
+    }
+    std::sort(expected.begin(), expected.end());
+
+    Value key = MakeKey(kind, raw);
+    ASSERT_TRUE(index.Lookup(key, &rowids, &kstats).ok());
+    std::sort(rowids.begin(), rowids.end());
+    EXPECT_EQ(rowids, expected) << "key-log raw " << raw;
+
+    ASSERT_TRUE(tree->Lookup(key, &rowids, &tstats).ok());
+    // Tree returns ascending rowids without sorting.
+    EXPECT_TRUE(std::is_sorted(rowids.begin(), rowids.end()));
+    EXPECT_EQ(rowids, expected) << "tree raw " << raw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, IndexOracleProperty,
+    ::testing::Values(
+        IndexParam{100, 10, 16.0, KeyKind::kU64Dense},
+        IndexParam{1000, 100, 16.0, KeyKind::kU64Dense},
+        IndexParam{5000, 50, 16.0, KeyKind::kU64Dense},   // heavy duplicates
+        IndexParam{5000, 5000, 16.0, KeyKind::kU64Sparse},  // unique keys
+        IndexParam{2000, 200, 2.0, KeyKind::kU64Dense},   // sloppy blooms
+        IndexParam{2000, 200, 24.0, KeyKind::kU64Dense},  // rich blooms
+        IndexParam{3000, 300, 16.0, KeyKind::kString},
+        IndexParam{1000, 1000, 16.0, KeyKind::kI64Signed},
+        IndexParam{1000, 500, 16.0, KeyKind::kDouble}));
+
+// Range-scan property on the tree: must equal the oracle's sorted window.
+class TreeRangeProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(TreeRangeProperty, RangeMatchesOracle) {
+  auto [entries, distinct] = GetParam();
+  flash::Geometry g;
+  g.page_size = 512;
+  g.pages_per_block = 8;
+  g.block_count = 4096;
+  flash::FlashChip chip(g);
+  flash::PartitionAllocator alloc(&chip);
+  mcu::RamGauge gauge(128 * 1024);
+
+  auto keys_part = alloc.Allocate(256);
+  auto bloom_part = alloc.Allocate(64);
+  KeyLogIndex index(*keys_part, *bloom_part, &gauge, {});
+  ASSERT_TRUE(index.Init().ok());
+
+  std::multimap<uint64_t, uint64_t> oracle;
+  Rng rng(entries + distinct * 3);
+  for (uint64_t rowid = 0; rowid < entries; ++rowid) {
+    uint64_t key = rng.Uniform(distinct);
+    ASSERT_TRUE(index.Insert(Value::U64(key), rowid).ok());
+    oracle.emplace(key, rowid);
+  }
+  auto tree = Reorganizer::Reorganize(&index, &alloc, &gauge, {});
+  ASSERT_TRUE(tree.ok());
+
+  for (int probe = 0; probe < 20; ++probe) {
+    uint64_t lo = rng.Uniform(distinct);
+    uint64_t hi = lo + rng.Uniform(distinct / 2 + 1);
+    std::multiset<std::pair<uint64_t, uint64_t>> expected;
+    for (auto& [k, r] : oracle) {
+      if (k >= lo && k <= hi) {
+        expected.emplace(k, r);
+      }
+    }
+    std::multiset<std::pair<uint64_t, uint64_t>> got;
+    uint64_t prev_key = 0;
+    bool first = true;
+    ASSERT_TRUE(tree->Range(Value::U64(lo), Value::U64(hi),
+                            [&](const uint8_t* key_bytes, uint64_t rowid) {
+                              uint64_t k = GetU64BE(key_bytes);
+                              if (!first) {
+                                EXPECT_GE(k, prev_key);  // key order
+                              }
+                              prev_key = k;
+                              first = false;
+                              got.emplace(k, rowid);
+                              return Status::Ok();
+                            })
+                    .ok());
+    EXPECT_EQ(got, expected) << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, TreeRangeProperty,
+                         ::testing::Values(std::make_tuple(500, 50),
+                                           std::make_tuple(3000, 300),
+                                           std::make_tuple(3000, 3000),
+                                           std::make_tuple(100, 3)));
+
+}  // namespace
+}  // namespace pds::embdb

@@ -1,0 +1,134 @@
+// Property tests (parameterized sweeps) for the log-store layer: for every
+// flash geometry and record-size profile, a RecordLog must reproduce the
+// exact write sequence via both the streaming reader and random access,
+// and the external sorter must sort like std::sort.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.h"
+#include "flash/flash.h"
+#include "logstore/external_sort.h"
+#include "logstore/sequential_log.h"
+#include "mcu/ram_gauge.h"
+
+namespace pds::logstore {
+namespace {
+
+// (page_size, pages_per_block, max_record_size, num_records)
+using LogParam = std::tuple<uint32_t, uint32_t, size_t, int>;
+
+class RecordLogProperty : public ::testing::TestWithParam<LogParam> {};
+
+TEST_P(RecordLogProperty, RoundTripAllAccessPaths) {
+  auto [page_size, ppb, max_record, num_records] = GetParam();
+  flash::Geometry g;
+  g.page_size = page_size;
+  g.pages_per_block = ppb;
+  // Size the chip generously for the workload.
+  uint64_t bytes_needed =
+      static_cast<uint64_t>(num_records) * (max_record + 4) * 2;
+  g.block_count = static_cast<uint32_t>(
+      bytes_needed / (static_cast<uint64_t>(page_size) * ppb) + 4);
+  flash::FlashChip chip(g);
+  flash::PartitionAllocator alloc(&chip);
+  auto part = alloc.Allocate(g.block_count - 1);
+  ASSERT_TRUE(part.ok());
+
+  RecordLog log(*part);
+  Rng rng(page_size ^ static_cast<uint64_t>(num_records));
+  std::vector<Bytes> written;
+  std::vector<uint64_t> addresses;
+  for (int i = 0; i < num_records; ++i) {
+    Bytes record(rng.Uniform(max_record + 1));
+    rng.FillBytes(record.data(), record.size());
+    auto addr = log.Append(ByteView(record));
+    ASSERT_TRUE(addr.ok()) << "record " << i;
+    written.push_back(std::move(record));
+    addresses.push_back(*addr);
+  }
+  ASSERT_EQ(log.num_records(), static_cast<uint64_t>(num_records));
+
+  // Path 1: streaming reader reproduces the sequence.
+  auto reader = log.NewReader();
+  Bytes rec;
+  for (int i = 0; i < num_records; ++i) {
+    ASSERT_FALSE(reader.AtEnd());
+    ASSERT_TRUE(reader.Next(&rec).ok());
+    EXPECT_EQ(rec, written[i]) << "stream record " << i;
+  }
+  EXPECT_TRUE(reader.AtEnd());
+
+  // Path 2: random access at every address (shuffled order).
+  std::vector<int> order(num_records);
+  for (int i = 0; i < num_records; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  for (int i : order) {
+    ASSERT_TRUE(log.ReadAt(addresses[i], &rec).ok());
+    EXPECT_EQ(rec, written[i]) << "random record " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RecordLogProperty,
+    ::testing::Values(
+        LogParam{128, 4, 20, 200},    // tiny pages, small records
+        LogParam{128, 4, 300, 60},    // records span several pages
+        LogParam{512, 8, 100, 300},   // mixed
+        LogParam{2048, 64, 50, 500},  // realistic NAND geometry
+        LogParam{2048, 64, 5000, 40},  // large records on real pages
+        LogParam{256, 2, 0, 100}));    // all-empty records
+
+// (ram_budget, num_records) — sorter equivalence with std::sort.
+using SortParam = std::tuple<size_t, int>;
+
+class ExternalSortProperty : public ::testing::TestWithParam<SortParam> {};
+
+TEST_P(ExternalSortProperty, SortsLikeStdSort) {
+  auto [budget, n] = GetParam();
+  flash::Geometry g;
+  g.page_size = 256;
+  g.pages_per_block = 8;
+  g.block_count = 4096;
+  flash::FlashChip chip(g);
+  flash::PartitionAllocator alloc(&chip);
+  mcu::RamGauge gauge(budget + 16 * 1024);
+
+  ExternalSorter::Options opts;
+  opts.record_size = 16;
+  opts.ram_budget_bytes = budget;
+  ExternalSorter sorter(&alloc, opts, &gauge);
+
+  Rng rng(static_cast<uint64_t>(budget) * 31 + n);
+  std::vector<Bytes> records;
+  for (int i = 0; i < n; ++i) {
+    Bytes r(16);
+    rng.FillBytes(r.data(), r.size());
+    records.push_back(r);
+    ASSERT_TRUE(sorter.Add(ByteView(r)).ok());
+  }
+  std::sort(records.begin(), records.end());
+
+  size_t pos = 0;
+  ASSERT_TRUE(sorter
+                  .Finish([&](ByteView rec) {
+                    EXPECT_LT(pos, records.size());
+                    EXPECT_TRUE(ByteView(records[pos]) == rec)
+                        << "position " << pos;
+                    ++pos;
+                    return Status::Ok();
+                  })
+                  .ok());
+  EXPECT_EQ(pos, records.size());
+  EXPECT_EQ(gauge.in_use(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetsAndSizes, ExternalSortProperty,
+    ::testing::Combine(::testing::Values(512, 1024, 8192, 65536),
+                       ::testing::Values(0, 1, 100, 2000, 10000)));
+
+}  // namespace
+}  // namespace pds::logstore

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sync/folder.h"
+#include "sync/folkis.h"
+
+namespace pds::sync {
+namespace {
+
+class FolderTest : public ::testing::Test {
+ protected:
+  FolderTest() {
+    crypto::SymmetricKey key = crypto::KeyFromString("family-folder");
+    for (uint64_t i = 0; i < 3; ++i) {
+      mcu::SecureToken::Config cfg;
+      cfg.token_id = i + 1;
+      cfg.fleet_key = key;
+      tokens_.push_back(std::make_unique<mcu::SecureToken>(cfg));
+    }
+    crypto::SymmetricKey other = crypto::KeyFromString("other-fleet");
+    mcu::SecureToken::Config cfg;
+    cfg.token_id = 99;
+    cfg.fleet_key = other;
+    foreign_token_ = std::make_unique<mcu::SecureToken>(cfg);
+  }
+
+  std::vector<std::unique_ptr<mcu::SecureToken>> tokens_;
+  std::unique_ptr<mcu::SecureToken> foreign_token_;
+};
+
+TEST_F(FolderTest, AddAndVersionVector) {
+  PersonalFolder home(tokens_[0].get(), /*folder_id=*/7);
+  ASSERT_TRUE(home.AddEntry("prescription", "aspirin 100mg").ok());
+  ASSERT_TRUE(home.AddEntry("social-report", "home visit ok").ok());
+  EXPECT_EQ(home.entries().size(), 2u);
+  auto vv = home.VersionVector();
+  ASSERT_EQ(vv.size(), 1u);
+  EXPECT_EQ(vv[tokens_[0]->id()], 1u);  // seq 0 and 1
+}
+
+TEST_F(FolderTest, PushPullThroughArchive) {
+  ArchiveServer archive;
+  PersonalFolder home(tokens_[0].get(), 7);
+  PersonalFolder hospital(tokens_[1].get(), 7);
+
+  ASSERT_TRUE(home.AddEntry("prescription", "aspirin").ok());
+  ASSERT_TRUE(home.AddEntry("allergy", "penicillin").ok());
+  global::Metrics metrics;
+  ASSERT_TRUE(home.PushTo(&archive, &metrics).ok());
+  EXPECT_EQ(archive.num_blobs(), 2u);
+  EXPECT_GT(metrics.bytes, 0u);
+
+  ASSERT_TRUE(hospital.PullFrom(archive, &metrics).ok());
+  ASSERT_EQ(hospital.entries().size(), 2u);
+  EXPECT_EQ(hospital.entries()[0].content, "aspirin");
+}
+
+TEST_F(FolderTest, PushIsIncremental) {
+  ArchiveServer archive;
+  PersonalFolder home(tokens_[0].get(), 7);
+  ASSERT_TRUE(home.AddEntry("a", "1").ok());
+  ASSERT_TRUE(home.PushTo(&archive, nullptr).ok());
+  ASSERT_TRUE(home.AddEntry("b", "2").ok());
+  ASSERT_TRUE(home.PushTo(&archive, nullptr).ok());
+  EXPECT_EQ(archive.num_blobs(), 2u);
+  // Re-push without changes uploads nothing new.
+  ASSERT_TRUE(home.PushTo(&archive, nullptr).ok());
+  EXPECT_EQ(archive.num_blobs(), 2u);
+}
+
+TEST_F(FolderTest, PullIsIdempotent) {
+  ArchiveServer archive;
+  PersonalFolder home(tokens_[0].get(), 7);
+  PersonalFolder other(tokens_[1].get(), 7);
+  ASSERT_TRUE(home.AddEntry("a", "1").ok());
+  ASSERT_TRUE(home.PushTo(&archive, nullptr).ok());
+  ASSERT_TRUE(other.PullFrom(archive, nullptr).ok());
+  ASSERT_TRUE(other.PullFrom(archive, nullptr).ok());
+  EXPECT_EQ(other.entries().size(), 1u);
+}
+
+TEST_F(FolderTest, ArchiveSeesOnlyCiphertext) {
+  // A token outside the fleet cannot open archived blobs — i.e., the
+  // archive's content is useless without the fleet key.
+  ArchiveServer archive;
+  PersonalFolder home(tokens_[0].get(), 7);
+  ASSERT_TRUE(home.AddEntry("secret", "diagnosis").ok());
+  ASSERT_TRUE(home.PushTo(&archive, nullptr).ok());
+
+  PersonalFolder attacker(foreign_token_.get(), 7);
+  std::vector<Bytes> blobs = archive.FetchMissing(7, {});
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_FALSE(attacker.ImportDelta(blobs, nullptr).ok());
+}
+
+TEST_F(FolderTest, FoldersAreIsolatedById) {
+  ArchiveServer archive;
+  PersonalFolder alice(tokens_[0].get(), 1);
+  PersonalFolder bob(tokens_[1].get(), 2);
+  ASSERT_TRUE(alice.AddEntry("a", "alice-data").ok());
+  ASSERT_TRUE(alice.PushTo(&archive, nullptr).ok());
+  ASSERT_TRUE(bob.PullFrom(archive, nullptr).ok());
+  EXPECT_TRUE(bob.entries().empty());
+}
+
+TEST_F(FolderTest, BadgeSyncWithoutNetwork) {
+  // The field experiment: home server and hospital replica synchronize by
+  // physically carrying a badge, no network, no central server.
+  PersonalFolder home(tokens_[0].get(), 7);
+  PersonalFolder hospital(tokens_[1].get(), 7);
+  ASSERT_TRUE(home.AddEntry("prescription", "aspirin").ok());
+  ASSERT_TRUE(hospital.AddEntry("lab-result", "cholesterol ok").ok());
+
+  global::Metrics metrics;
+  ASSERT_TRUE(PersonalFolder::BadgeSync(&home, &hospital, &metrics).ok());
+  EXPECT_EQ(home.entries().size(), 2u);
+  EXPECT_EQ(hospital.entries().size(), 2u);
+
+  // Second sync moves nothing.
+  global::Metrics metrics2;
+  ASSERT_TRUE(PersonalFolder::BadgeSync(&home, &hospital, &metrics2).ok());
+  EXPECT_EQ(metrics2.bytes, 0u);
+}
+
+TEST_F(FolderTest, ThreeWayConvergence) {
+  PersonalFolder a(tokens_[0].get(), 7);
+  PersonalFolder b(tokens_[1].get(), 7);
+  PersonalFolder c(tokens_[2].get(), 7);
+  ASSERT_TRUE(a.AddEntry("x", "from-a").ok());
+  ASSERT_TRUE(b.AddEntry("y", "from-b").ok());
+  ASSERT_TRUE(c.AddEntry("z", "from-c").ok());
+
+  ASSERT_TRUE(PersonalFolder::BadgeSync(&a, &b, nullptr).ok());
+  ASSERT_TRUE(PersonalFolder::BadgeSync(&b, &c, nullptr).ok());
+  ASSERT_TRUE(PersonalFolder::BadgeSync(&c, &a, nullptr).ok());
+
+  EXPECT_EQ(a.entries().size(), 3u);
+  EXPECT_EQ(b.entries().size(), 3u);
+  EXPECT_EQ(c.entries().size(), 3u);
+}
+
+TEST(FolkisTest, MessageEventuallyDelivered) {
+  FerryNetwork::Config cfg;
+  cfg.num_villages = 8;
+  cfg.num_ferries = 2;
+  FerryNetwork net(cfg);
+  uint64_t id = net.Post(0, 4, 512);
+  net.RunUntilDelivered(100000);
+  EXPECT_TRUE(net.Delivered(id));
+  EXPECT_GT(net.DeliveryDelay(id), 0u);
+}
+
+TEST(FolkisTest, SameVillageDeliveryIsFast) {
+  FerryNetwork::Config cfg;
+  cfg.num_villages = 8;
+  cfg.num_ferries = 4;
+  FerryNetwork net(cfg);
+  uint64_t id = net.Post(3, 3, 100);
+  net.RunUntilDelivered(100000);
+  EXPECT_TRUE(net.Delivered(id));
+}
+
+TEST(FolkisTest, MoreFerriesLowerDelay) {
+  auto mean_delay = [](uint32_t ferries) {
+    FerryNetwork::Config cfg;
+    cfg.num_villages = 32;
+    cfg.num_ferries = ferries;
+    cfg.seed = 5;
+    FerryNetwork net(cfg);
+    Rng rng(9);
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 40; ++i) {
+      ids.push_back(net.Post(static_cast<uint32_t>(rng.Uniform(32)),
+                             static_cast<uint32_t>(rng.Uniform(32)), 256));
+    }
+    net.RunUntilDelivered(2000000);
+    double total = 0;
+    for (uint64_t id : ids) {
+      EXPECT_TRUE(net.Delivered(id));
+      total += static_cast<double>(net.DeliveryDelay(id));
+    }
+    return total / static_cast<double>(ids.size());
+  };
+  double sparse = mean_delay(1);
+  double dense = mean_delay(16);
+  EXPECT_LT(dense, sparse);
+}
+
+TEST(FolkisTest, EpidemicBeatsSingleCustody) {
+  auto mean_delay = [](bool epidemic) {
+    FerryNetwork::Config cfg;
+    cfg.num_villages = 32;
+    cfg.num_ferries = 16;
+    cfg.epidemic = epidemic;
+    cfg.ferry_capacity = 128;
+    cfg.seed = 5;
+    FerryNetwork net(cfg);
+    Rng rng(9);
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 40; ++i) {
+      ids.push_back(net.Post(static_cast<uint32_t>(rng.Uniform(32)),
+                             static_cast<uint32_t>(rng.Uniform(32)), 256));
+    }
+    net.RunUntilDelivered(2000000);
+    double total = 0;
+    for (uint64_t id : ids) {
+      EXPECT_TRUE(net.Delivered(id));
+      total += static_cast<double>(net.DeliveryDelay(id));
+    }
+    return total / static_cast<double>(ids.size());
+  };
+  // With many ferries, replication wins big: the first of 16 random walks
+  // reaches the destination far sooner than a designated one.
+  EXPECT_LT(mean_delay(true), mean_delay(false) / 2);
+}
+
+TEST(FolkisTest, EpidemicDeliversEachMessageOnce) {
+  FerryNetwork::Config cfg;
+  cfg.num_villages = 8;
+  cfg.num_ferries = 6;
+  cfg.epidemic = true;
+  FerryNetwork net(cfg);
+  for (int i = 0; i < 20; ++i) {
+    net.Post(0, 4, 64);
+  }
+  net.RunUntilDelivered(1000000);
+  EXPECT_EQ(net.messages_delivered(), 20u);  // copies never double-count
+}
+
+TEST(FolkisTest, CapacityBoundsCargo) {
+  FerryNetwork::Config cfg;
+  cfg.num_villages = 4;
+  cfg.num_ferries = 1;
+  cfg.ferry_capacity = 2;
+  FerryNetwork net(cfg);
+  for (int i = 0; i < 10; ++i) {
+    net.Post(0, 2, 64);
+  }
+  // All eventually delivered despite the tiny capacity (multiple trips).
+  net.RunUntilDelivered(1000000);
+  EXPECT_EQ(net.messages_delivered(), 10u);
+}
+
+TEST(FolkisTest, CostAccounting) {
+  FerryNetwork::Config cfg;
+  cfg.num_villages = 8;
+  cfg.num_ferries = 3;
+  FerryNetwork net(cfg);
+  net.Post(0, 5, 1000);
+  uint64_t steps = net.RunUntilDelivered(100000);
+  EXPECT_EQ(net.ferry_steps(), steps * 3);
+  EXPECT_GT(net.byte_steps(), 0u);
+}
+
+}  // namespace
+}  // namespace pds::sync
