@@ -152,6 +152,52 @@ void BM_SecureAggGroupsAblation(benchmark::State& state) {
 }
 BENCHMARK(BM_SecureAggGroupsAblation)->Arg(2)->Arg(20)->Arg(200);
 
+// Fleet-executor thread sweep at 100 PDSs: per-token protocol work fans
+// out across the pool with byte-identical output (the determinism contract
+// in global/fleet_executor.h); wall-clock scaling depends on host cores.
+void BM_SecureAggThreads(benchmark::State& state) {
+  Fleet* fleet = Cached(100, 10, 10);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  pds::global::FleetExecutor exec(threads);
+  pds::global::SecureAggProtocol::Config cfg;
+  cfg.partition_capacity = 256;
+  cfg.executor = threads > 1 ? &exec : nullptr;
+  pds::global::SecureAggProtocol protocol(cfg);
+  RunProtocol(state, &protocol, fleet);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_SecureAggThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_WhiteNoiseThreads(benchmark::State& state) {
+  Fleet* fleet = Cached(100, 10, 10);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  pds::global::FleetExecutor exec(threads);
+  pds::global::WhiteNoiseProtocol::Config cfg;
+  cfg.noise_ratio = 0.2;
+  cfg.noise_seed = 5;
+  cfg.executor = threads > 1 ? &exec : nullptr;
+  pds::global::WhiteNoiseProtocol protocol(cfg);
+  RunProtocol(state, &protocol, fleet);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_WhiteNoiseThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_HistogramThreads(benchmark::State& state) {
+  Fleet* fleet = Cached(100, 10, 10);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  pds::global::FleetExecutor exec(threads);
+  pds::global::HistogramProtocol::Config cfg;
+  cfg.num_buckets = 4;
+  cfg.executor = threads > 1 ? &exec : nullptr;
+  pds::global::HistogramProtocol protocol(cfg);
+  RunProtocol(state, &protocol, fleet);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_HistogramThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

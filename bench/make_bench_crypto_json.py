@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Distills google-benchmark JSON from bench_crypto_ladder and
+bench_agg_protocols into BENCH_crypto.json: one record per (op, key bits)
+with ns/op and the speedup of each kernel path over its scalar baseline.
+
+Usage: make_bench_crypto_json.py <ladder.json> [<agg.json>] [<out.json>]
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)["benchmarks"]
+
+
+def ns_per_op(bench):
+    t = bench["real_time"] if bench.get("time_unit") == "ns" else None
+    if t is None:
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        t = bench["real_time"] * scale
+    return t
+
+
+def index(benches):
+    """name/arg -> ns per op, e.g. 'BM_PaillierDecryptCRT/256'."""
+    out = {}
+    for b in benches:
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = ns_per_op(b)
+    return out
+
+
+def main():
+    ladder_path = sys.argv[1] if len(sys.argv) > 1 else "ladder.json"
+    agg_path = sys.argv[2] if len(sys.argv) > 2 else None
+    out_path = sys.argv[3] if len(sys.argv) > 3 else "BENCH_crypto.json"
+
+    times = index(load(ladder_path))
+    records = []
+
+    # (op, scalar-baseline benchmark, kernel benchmark) pairs.
+    pairs = [
+        ("paillier_encrypt", "BM_PaillierEncryptScalar",
+         "BM_PaillierEncryptCached"),
+        ("paillier_decrypt", "BM_PaillierDecryptScalar",
+         "BM_PaillierDecryptCRT"),
+        ("modexp", "BM_ModExpSchoolbook", "BM_ModExpMontgomery"),
+    ]
+    bit_sizes = [256, 512, 1024, 2048]
+    for op, scalar_name, kernel_name in pairs:
+        for bits in bit_sizes:
+            scalar = times.get(f"{scalar_name}/{bits}")
+            kernel = times.get(f"{kernel_name}/{bits}")
+            if scalar is None or kernel is None:
+                continue
+            records.append({
+                "op": op,
+                "key_bits": bits,
+                "scalar_ns_per_op": round(scalar, 1),
+                "kernel_ns_per_op": round(kernel, 1),
+                "speedup_vs_scalar": round(scalar / kernel, 2),
+            })
+
+    if agg_path:
+        agg = index(load(agg_path))
+        for proto, name in [("secure_agg", "BM_SecureAggThreads"),
+                            ("white_noise", "BM_WhiteNoiseThreads"),
+                            ("histogram", "BM_HistogramThreads")]:
+            base = agg.get(f"{name}/1/real_time")
+            if base is None:
+                continue
+            for threads in (1, 2, 4, 8):
+                t = agg.get(f"{name}/{threads}/real_time")
+                if t is None:
+                    continue
+                records.append({
+                    "op": f"fleet_{proto}_100pds",
+                    "threads": threads,
+                    "ns_per_op": round(t, 1),
+                    "speedup_vs_1_thread": round(base / t, 2),
+                })
+
+    with open(out_path, "w") as f:
+        json.dump({"records": records}, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(records)} records)")
+
+
+if __name__ == "__main__":
+    main()

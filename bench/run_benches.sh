@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the crypto-kernel and fleet-executor benchmarks and distills them
+# into BENCH_crypto.json at the repo root (op, key bits, ns/op, speedup of
+# each kernel path over its scalar baseline; thread sweep at 100 PDSs).
+#
+# Usage: bench/run_benches.sh [build_dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_crypto_ladder" ]]; then
+  echo "building benchmarks in $BUILD_DIR ..."
+  cmake --build "$BUILD_DIR" --target bench_crypto_ladder bench_agg_protocols
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== bench_crypto_ladder (kernel vs scalar) =="
+"$BUILD_DIR/bench/bench_crypto_ladder" \
+  --benchmark_filter='BM_(Paillier(Encrypt|Decrypt)(Scalar|Cached|CRT)|ModExp(Schoolbook|Montgomery))/' \
+  --benchmark_out="$TMP/ladder.json" --benchmark_out_format=json
+
+echo "== bench_agg_protocols (fleet-executor thread sweep) =="
+"$BUILD_DIR/bench/bench_agg_protocols" \
+  --benchmark_filter='BM_(SecureAgg|WhiteNoise|Histogram)Threads/' \
+  --benchmark_out="$TMP/agg.json" --benchmark_out_format=json
+
+if command -v python3 >/dev/null; then
+  python3 bench/make_bench_crypto_json.py "$TMP/ladder.json" "$TMP/agg.json" \
+    BENCH_crypto.json
+else
+  echo "python3 not found: keeping raw google-benchmark JSON instead" >&2
+  cp "$TMP/ladder.json" BENCH_crypto.json
+fi

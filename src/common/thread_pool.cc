@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pds {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) {
+    return;  // inline mode
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop requested and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (workers_.empty() || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // One task per worker pulling chunks off a shared counter: balances
+  // uneven per-index cost without a task allocation per index.
+  const size_t chunk = std::max<size_t>(1, n / (workers_.size() * 4));
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  size_t tasks = std::min(workers_.size(), (n + chunk - 1) / chunk);
+  for (size_t t = 0; t < tasks; ++t) {
+    Submit([n, chunk, next, &fn] {
+      for (;;) {
+        size_t start = next->fetch_add(chunk);
+        if (start >= n) {
+          return;
+        }
+        size_t end = std::min(n, start + chunk);
+        for (size_t i = start; i < end; ++i) {
+          fn(i);
+        }
+      }
+    });
+  }
+  Wait();
+}
+
+}  // namespace pds

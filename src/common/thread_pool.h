@@ -1,0 +1,57 @@
+#ifndef PDS_COMMON_THREAD_POOL_H_
+#define PDS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pds {
+
+/// Fixed-size worker pool. Tasks are plain closures; Wait() blocks until
+/// every submitted task has finished, which also establishes the
+/// happens-before edge callers rely on to read results written by tasks.
+///
+/// A pool constructed with 0 or 1 threads runs tasks inline on the calling
+/// thread at Submit time, so single-threaded users pay nothing and
+/// deterministic serial semantics are trivially preserved.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 means inline execution).
+  size_t num_threads() const { return workers_.size(); }
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  /// Runs fn(0..n-1) across the pool and waits. Work is handed out in
+  /// contiguous chunks; fn must only touch state owned by index i (the
+  /// caller gathers results by index afterwards, which is what keeps
+  /// parallel runs byte-identical to serial ones).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals Wait()
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pds
+
+#endif  // PDS_COMMON_THREAD_POOL_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "crypto/montgomery.h"
+
 namespace pds::crypto {
 
 namespace {
@@ -375,6 +377,17 @@ BigInt BigInt::ModMul(const BigInt& a, const BigInt& b, const BigInt& m) {
 }
 
 BigInt BigInt::ModExp(const BigInt& a, const BigInt& e, const BigInt& m) {
+  if (m.IsOne() || m.IsZero()) {
+    return Zero();
+  }
+  if (MontgomeryCtx::Usable(m)) {
+    return MontgomeryCtx(m).ModExp(a, e);
+  }
+  return ModExpSchoolbook(a, e, m);
+}
+
+BigInt BigInt::ModExpSchoolbook(const BigInt& a, const BigInt& e,
+                                const BigInt& m) {
   if (m.IsOne() || m.IsZero()) {
     return Zero();
   }

@@ -61,8 +61,14 @@ class BigInt {
   static BigInt ModAdd(const BigInt& a, const BigInt& b, const BigInt& m);
   static BigInt ModSub(const BigInt& a, const BigInt& b, const BigInt& m);
   static BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m);
-  /// a^e mod m by square-and-multiply.
+  /// a^e mod m. Odd moduli dispatch to the Montgomery fixed-window kernel
+  /// (crypto/montgomery.h); even moduli fall back to square-and-multiply.
   static BigInt ModExp(const BigInt& a, const BigInt& e, const BigInt& m);
+  /// Reference square-and-multiply ladder over schoolbook ModMul. Kept as
+  /// the even-modulus fallback and as the cross-check/bench baseline for
+  /// the Montgomery kernel.
+  static BigInt ModExpSchoolbook(const BigInt& a, const BigInt& e,
+                                 const BigInt& m);
   /// Multiplicative inverse mod m; returns Zero when none exists.
   static BigInt ModInverse(const BigInt& a, const BigInt& m);
 

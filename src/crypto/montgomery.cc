@@ -1,0 +1,257 @@
+#include "crypto/montgomery.h"
+
+#include <cstdlib>
+
+namespace pds::crypto {
+
+namespace {
+
+/// Inverse of odd `x` mod 2^32 by Newton iteration (5 steps double the
+/// correct low bits from 5 to >32).
+uint32_t InverseMod32(uint32_t x) {
+  uint32_t inv = x;  // correct to 5 bits for odd x
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2u - x * inv;
+  }
+  return inv;
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const BigInt& modulus) : modulus_(modulus) {
+  if (!Usable(modulus)) {
+    std::abort();  // programming error: callers must gate on Usable()
+  }
+  Bytes be = modulus.ToBytes();
+  k_ = (modulus.BitLength() + 31) / 32;
+  m_limbs_.assign(k_, 0);
+  // Big-endian bytes -> little-endian limbs.
+  size_t n = be.size();
+  for (size_t i = 0; i < n; ++i) {
+    size_t byte_index = n - 1 - i;
+    m_limbs_[byte_index / 4] |= static_cast<uint32_t>(be[i])
+                                << (8 * (byte_index % 4));
+  }
+  n0_inv_ = 0u - InverseMod32(m_limbs_[0]);
+
+  // R mod m and R^2 mod m via one-time BigInt divisions.
+  BigInt r_mod = BigInt::Mod(BigInt::ShiftLeft(BigInt::One(), 32 * k_),
+                             modulus_);
+  BigInt r2_mod = BigInt::Mod(BigInt::ShiftLeft(BigInt::One(), 64 * k_),
+                              modulus_);
+  auto to_limbs = [this](const BigInt& v) {
+    Limbs out(k_, 0);
+    Bytes b = v.ToBytes();
+    size_t len = b.size();
+    for (size_t i = 0; i < len; ++i) {
+      size_t byte_index = len - 1 - i;
+      if (byte_index / 4 < k_) {
+        out[byte_index / 4] |= static_cast<uint32_t>(b[i])
+                               << (8 * (byte_index % 4));
+      }
+    }
+    return out;
+  };
+  one_mont_ = to_limbs(r_mod);
+  r2_ = to_limbs(r2_mod);
+}
+
+void MontgomeryCtx::MontMul(const Limbs& a, const Limbs& b,
+                            Limbs* out) const {
+  const size_t k = k_;
+  // CIOS: t accumulates a*b while folding in multiples of m so the low
+  // limb stays divisible by 2^32 each round.
+  std::vector<uint32_t> t(k + 2, 0);
+  for (size_t i = 0; i < k; ++i) {
+    // t += a * b[i]
+    uint64_t carry = 0;
+    const uint64_t bi = b[i];
+    for (size_t j = 0; j < k; ++j) {
+      uint64_t cur = t[j] + static_cast<uint64_t>(a[j]) * bi + carry;
+      t[j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    uint64_t cur = t[k] + carry;
+    t[k] = static_cast<uint32_t>(cur);
+    t[k + 1] = static_cast<uint32_t>(cur >> 32);
+
+    // t = (t + mw*m) / 2^32
+    const uint64_t mw = static_cast<uint32_t>(t[0] * n0_inv_);
+    cur = t[0] + mw * m_limbs_[0];
+    carry = cur >> 32;  // low limb is now zero by construction
+    for (size_t j = 1; j < k; ++j) {
+      cur = t[j] + mw * m_limbs_[j] + carry;
+      t[j - 1] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    cur = t[k] + carry;
+    t[k - 1] = static_cast<uint32_t>(cur);
+    t[k] = t[k + 1] + static_cast<uint32_t>(cur >> 32);
+    t[k + 1] = 0;
+  }
+
+  // Result is in t[0..k], strictly below 2m: subtract m once if needed.
+  bool ge = t[k] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = k; i-- > 0;) {
+      if (t[i] != m_limbs_[i]) {
+        ge = t[i] > m_limbs_[i];
+        break;
+      }
+    }
+  }
+  out->assign(k, 0);
+  if (ge) {
+    int64_t borrow = 0;
+    for (size_t i = 0; i < k; ++i) {
+      int64_t diff = static_cast<int64_t>(t[i]) -
+                     static_cast<int64_t>(m_limbs_[i]) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(1) << 32;
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      (*out)[i] = static_cast<uint32_t>(diff);
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      (*out)[i] = t[i];
+    }
+  }
+}
+
+MontgomeryCtx::Limbs MontgomeryCtx::ToMont(const BigInt& x) const {
+  BigInt r = BigInt::Mod(x, modulus_);
+  Limbs xl(k_, 0);
+  Bytes b = r.ToBytes();
+  size_t len = b.size();
+  for (size_t i = 0; i < len; ++i) {
+    size_t byte_index = len - 1 - i;
+    if (byte_index / 4 < k_) {
+      xl[byte_index / 4] |= static_cast<uint32_t>(b[i])
+                            << (8 * (byte_index % 4));
+    }
+  }
+  Limbs out;
+  MontMul(xl, r2_, &out);
+  return out;
+}
+
+BigInt MontgomeryCtx::FromMont(const Limbs& x) const {
+  Limbs one(k_, 0);
+  one[0] = 1;
+  Limbs plain;
+  MontMul(x, one, &plain);
+  // Little-endian limbs -> big-endian bytes -> BigInt.
+  Bytes be(k_ * 4, 0);
+  for (size_t i = 0; i < k_; ++i) {
+    uint32_t v = plain[i];
+    be[k_ * 4 - 1 - 4 * i] = static_cast<uint8_t>(v);
+    be[k_ * 4 - 2 - 4 * i] = static_cast<uint8_t>(v >> 8);
+    be[k_ * 4 - 3 - 4 * i] = static_cast<uint8_t>(v >> 16);
+    be[k_ * 4 - 4 - 4 * i] = static_cast<uint8_t>(v >> 24);
+  }
+  return BigInt::FromBytes(ByteView(be));
+}
+
+BigInt MontgomeryCtx::ModMul(const BigInt& a, const BigInt& b) const {
+  Limbs am = ToMont(a);
+  Limbs bm = ToMont(b);
+  Limbs prod;
+  MontMul(am, bm, &prod);
+  return FromMont(prod);
+}
+
+BigInt MontgomeryCtx::ModExp(const BigInt& a, const BigInt& e) const {
+  if (e.IsZero()) {
+    return BigInt::Mod(BigInt::One(), modulus_);
+  }
+  Limbs base = ToMont(a);
+
+  // 4-bit fixed window: table[d] = a^d in Montgomery form.
+  Limbs table[16];
+  table[0] = one_mont_;
+  table[1] = base;
+  for (int d = 2; d < 16; ++d) {
+    MontMul(table[d - 1], base, &table[d]);
+  }
+
+  size_t bits = e.BitLength();
+  size_t windows = (bits + 3) / 4;
+  Limbs result;
+  Limbs tmp;
+  for (size_t w = windows; w-- > 0;) {
+    uint32_t digit = 0;
+    for (size_t b = 0; b < 4; ++b) {
+      if (e.Bit(4 * w + b)) {
+        digit |= 1u << b;
+      }
+    }
+    if (result.empty()) {
+      result = table[digit];
+      continue;
+    }
+    for (int s = 0; s < 4; ++s) {
+      MontMul(result, result, &tmp);
+      result.swap(tmp);
+    }
+    if (digit != 0) {
+      MontMul(result, table[digit], &tmp);
+      result.swap(tmp);
+    }
+  }
+  return FromMont(result);
+}
+
+FixedBaseTable::FixedBaseTable(const MontgomeryCtx* ctx, const BigInt& base,
+                               size_t max_exp_bits)
+    : ctx_(ctx), max_exp_bits_(max_exp_bits) {
+  size_t rows = (max_exp_bits + 3) / 4;
+  rows_.resize(rows);
+  MontgomeryCtx::Limbs row_base = ctx_->ToMont(base);
+  MontgomeryCtx::Limbs tmp;
+  for (size_t i = 0; i < rows; ++i) {
+    auto& row = rows_[i];
+    row.resize(16);
+    row[0] = ctx_->OneMont();
+    row[1] = row_base;
+    for (int d = 2; d < 16; ++d) {
+      ctx_->MontMul(row[d - 1], row_base, &row[d]);
+    }
+    if (i + 1 < rows) {
+      // next row base = row_base^16 = (row_base^8)^2
+      ctx_->MontMul(row[8], row[8], &tmp);
+      row_base = tmp;
+    }
+  }
+}
+
+MontgomeryCtx::Limbs FixedBaseTable::PowMont(const BigInt& e) const {
+  if (e.BitLength() > max_exp_bits_) {
+    std::abort();  // exponent exceeds the precomputed range
+  }
+  MontgomeryCtx::Limbs result = ctx_->OneMont();
+  MontgomeryCtx::Limbs tmp;
+  size_t windows = (e.BitLength() + 3) / 4;
+  for (size_t w = 0; w < windows; ++w) {
+    uint32_t digit = 0;
+    for (size_t b = 0; b < 4; ++b) {
+      if (e.Bit(4 * w + b)) {
+        digit |= 1u << b;
+      }
+    }
+    if (digit != 0) {
+      ctx_->MontMul(result, rows_[w][digit], &tmp);
+      result.swap(tmp);
+    }
+  }
+  return result;
+}
+
+BigInt FixedBaseTable::Pow(const BigInt& e) const {
+  return ctx_->FromMont(PowMont(e));
+}
+
+}  // namespace pds::crypto

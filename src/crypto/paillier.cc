@@ -1,31 +1,56 @@
 #include "crypto/paillier.h"
 
+#include <algorithm>
+
 namespace pds::crypto {
 
-Result<Paillier> Paillier::Generate(size_t modulus_bits, Rng* rng) {
-  if (modulus_bits < 64) {
-    return Status::InvalidArgument("Paillier modulus must be >= 64 bits");
-  }
-  size_t prime_bits = modulus_bits / 2;
-  BigInt p, q, n;
-  for (;;) {
-    p = BigInt::GeneratePrime(prime_bits, rng);
-    q = BigInt::GeneratePrime(prime_bits, rng);
-    if (p == q) {
-      continue;
-    }
-    n = BigInt::Mul(p, q);
-    // gcd(n, (p-1)(q-1)) must be 1; guaranteed for distinct primes of equal
-    // length, but check cheaply anyway.
-    BigInt p1 = BigInt::Sub(p, BigInt::One());
-    BigInt q1 = BigInt::Sub(q, BigInt::One());
-    if (BigInt::Gcd(n, BigInt::Mul(p1, q1)).IsOne()) {
-      break;
-    }
-  }
+namespace {
 
+/// L(x) = (x - 1) / d, the Paillier decryption quotient.
+BigInt LFunc(const BigInt& x, const BigInt& d) {
+  return BigInt::Div(BigInt::Sub(x, BigInt::One()), d);
+}
+
+}  // namespace
+
+Paillier::Paillier(PublicKey pub, PrivateKey priv, Rng* rng)
+    : public_key_(std::move(pub)), private_key_(std::move(priv)) {
+  ctx_n2_ = std::make_shared<const MontgomeryCtx>(public_key_.n_squared);
+  ctx_p2_ = std::make_shared<const MontgomeryCtx>(private_key_.p_squared);
+  ctx_q2_ = std::make_shared<const MontgomeryCtx>(private_key_.q_squared);
+
+  // Fixed-base cache: r = h^alpha with h fixed per keypair, so r^n =
+  // (h^n)^alpha comes from a window table over the fixed base h^n mod n^2.
+  const BigInt& n = public_key_.n;
+  BigInt h;
+  do {
+    h = BigInt::RandomBelow(n, rng);
+  } while (h.IsZero() || h.IsOne() || !BigInt::Gcd(h, n).IsOne());
+  BigInt hn = ctx_n2_->ModExp(h, n);
+  alpha_bits_ = std::max<size_t>(128, n.BitLength() / 2);
+  enc_table_ =
+      std::make_shared<const FixedBaseTable>(ctx_n2_.get(), hn, alpha_bits_);
+}
+
+Result<Paillier> Paillier::GenerateFromPrimes(const BigInt& p, const BigInt& q,
+                                              Rng* rng) {
+  if (p.IsZero() || q.IsZero() || p.IsOne() || q.IsOne()) {
+    return Status::InvalidArgument("Paillier primes must be > 1");
+  }
+  if (p == q) {
+    return Status::InvalidArgument("Paillier primes must be distinct");
+  }
+  if (!p.IsOdd() || !q.IsOdd()) {
+    return Status::InvalidArgument("Paillier primes must be odd");
+  }
+  BigInt n = BigInt::Mul(p, q);
   BigInt p1 = BigInt::Sub(p, BigInt::One());
   BigInt q1 = BigInt::Sub(q, BigInt::One());
+  if (!BigInt::Gcd(n, BigInt::Mul(p1, q1)).IsOne()) {
+    return Status::InvalidArgument(
+        "gcd(pq, (p-1)(q-1)) != 1: primes unusable for Paillier");
+  }
+
   BigInt lambda = BigInt::Lcm(p1, q1);
   BigInt n_squared = BigInt::Mul(n, n);
 
@@ -36,12 +61,67 @@ Result<Paillier> Paillier::Generate(size_t modulus_bits, Rng* rng) {
     return Status::Internal("lambda not invertible mod n");
   }
 
+  PrivateKey priv;
+  priv.lambda = lambda;
+  priv.mu = mu;
+  priv.p = p;
+  priv.q = q;
+  priv.p_squared = BigInt::Mul(p, p);
+  priv.q_squared = BigInt::Mul(q, q);
+
+  // hp = (L_p(g^(p-1) mod p^2))^-1 mod p (and symmetrically hq): the
+  // per-prime constants of CRT decryption. g = n + 1.
+  BigInt g = BigInt::Add(n, BigInt::One());
+  BigInt gp = BigInt::ModExp(BigInt::Mod(g, priv.p_squared), p1,
+                             priv.p_squared);
+  priv.hp = BigInt::ModInverse(BigInt::Mod(LFunc(gp, p), p), p);
+  BigInt gq = BigInt::ModExp(BigInt::Mod(g, priv.q_squared), q1,
+                             priv.q_squared);
+  priv.hq = BigInt::ModInverse(BigInt::Mod(LFunc(gq, q), q), q);
+  priv.q_inv_p = BigInt::ModInverse(BigInt::Mod(q, p), p);
+  if (priv.hp.IsZero() || priv.hq.IsZero() || priv.q_inv_p.IsZero()) {
+    return Status::Internal("CRT constants not invertible");
+  }
+
   PublicKey pub{n, n_squared};
-  PrivateKey priv{lambda, mu};
-  return Paillier(std::move(pub), std::move(priv));
+  return Paillier(std::move(pub), std::move(priv), rng);
+}
+
+Result<Paillier> Paillier::Generate(size_t modulus_bits, Rng* rng) {
+  if (modulus_bits < 64) {
+    return Status::InvalidArgument("Paillier modulus must be >= 64 bits");
+  }
+  size_t prime_bits = modulus_bits / 2;
+  for (;;) {
+    BigInt p = BigInt::GeneratePrime(prime_bits, rng);
+    BigInt q = BigInt::GeneratePrime(prime_bits, rng);
+    Result<Paillier> built = GenerateFromPrimes(p, q, rng);
+    if (built.ok() ||
+        built.status().code() != StatusCode::kInvalidArgument) {
+      return built;
+    }
+    // p == q or a gcd collision (vanishingly rare): redraw.
+  }
 }
 
 Result<BigInt> Paillier::Encrypt(const BigInt& m, Rng* rng) const {
+  const BigInt& n = public_key_.n;
+  const BigInt& n2 = public_key_.n_squared;
+  if (BigInt::Compare(m, n) >= 0) {
+    return Status::InvalidArgument("plaintext not less than modulus");
+  }
+  // r^n = (h^n)^alpha from the fixed-base table; alpha random.
+  BigInt alpha = BigInt::RandomBits(alpha_bits_, rng);
+  MontgomeryCtx::Limbs r_n = enc_table_->PowMont(alpha);
+  // (1 + m*n) * r^n mod n^2, composed in the Montgomery domain.
+  BigInt g_m = BigInt::Mod(BigInt::Add(BigInt::One(), BigInt::Mul(m, n)), n2);
+  MontgomeryCtx::Limbs g_m_mont = ctx_n2_->ToMont(g_m);
+  MontgomeryCtx::Limbs ct;
+  ctx_n2_->MontMul(g_m_mont, r_n, &ct);
+  return ctx_n2_->FromMont(ct);
+}
+
+Result<BigInt> Paillier::EncryptScalar(const BigInt& m, Rng* rng) const {
   const BigInt& n = public_key_.n;
   const BigInt& n2 = public_key_.n_squared;
   if (BigInt::Compare(m, n) >= 0) {
@@ -55,7 +135,7 @@ Result<BigInt> Paillier::Encrypt(const BigInt& m, Rng* rng) const {
 
   // (1 + m*n) * r^n mod n^2.
   BigInt g_m = BigInt::Mod(BigInt::Add(BigInt::One(), BigInt::Mul(m, n)), n2);
-  BigInt r_n = BigInt::ModExp(r, n, n2);
+  BigInt r_n = BigInt::ModExpSchoolbook(r, n, n2);
   return BigInt::ModMul(g_m, r_n, n2);
 }
 
@@ -64,14 +144,32 @@ Result<BigInt> Paillier::EncryptU64(uint64_t m, Rng* rng) const {
 }
 
 Result<BigInt> Paillier::Decrypt(const BigInt& c) const {
+  const BigInt& n2 = public_key_.n_squared;
+  if (c.IsZero() || BigInt::Compare(c, n2) >= 0) {
+    return Status::InvalidArgument("ciphertext out of range");
+  }
+  const PrivateKey& sk = private_key_;
+  // Half-size exponentiations mod p^2 and q^2.
+  BigInt p1 = BigInt::Sub(sk.p, BigInt::One());
+  BigInt q1 = BigInt::Sub(sk.q, BigInt::One());
+  BigInt cp = ctx_p2_->ModExp(BigInt::Mod(c, sk.p_squared), p1);
+  BigInt cq = ctx_q2_->ModExp(BigInt::Mod(c, sk.q_squared), q1);
+  BigInt mp = BigInt::ModMul(BigInt::Mod(LFunc(cp, sk.p), sk.p), sk.hp, sk.p);
+  BigInt mq = BigInt::ModMul(BigInt::Mod(LFunc(cq, sk.q), sk.q), sk.hq, sk.q);
+  // Garner: m = mq + q * ((mp - mq) * q^-1 mod p).
+  BigInt h = BigInt::ModMul(BigInt::ModSub(mp, mq, sk.p), sk.q_inv_p, sk.p);
+  return BigInt::Add(mq, BigInt::Mul(sk.q, h));
+}
+
+Result<BigInt> Paillier::DecryptScalar(const BigInt& c) const {
   const BigInt& n = public_key_.n;
   const BigInt& n2 = public_key_.n_squared;
   if (c.IsZero() || BigInt::Compare(c, n2) >= 0) {
     return Status::InvalidArgument("ciphertext out of range");
   }
-  BigInt x = BigInt::ModExp(c, private_key_.lambda, n2);
+  BigInt x = BigInt::ModExpSchoolbook(c, private_key_.lambda, n2);
   // L(x) = (x - 1) / n.
-  BigInt l = BigInt::Div(BigInt::Sub(x, BigInt::One()), n);
+  BigInt l = LFunc(x, n);
   return BigInt::ModMul(l, private_key_.mu, n);
 }
 
@@ -92,7 +190,7 @@ BigInt Paillier::AddPlaintext(const BigInt& c, const BigInt& k) const {
 }
 
 BigInt Paillier::MulPlaintext(const BigInt& c, const BigInt& k) const {
-  return BigInt::ModExp(c, k, public_key_.n_squared);
+  return ctx_n2_->ModExp(c, k);
 }
 
 }  // namespace pds::crypto

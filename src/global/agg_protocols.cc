@@ -74,6 +74,39 @@ std::map<std::string, double> Finalize(
 
 constexpr char kFakeGroupPrefix[] = "\x01__fake__";
 
+/// Message/crypto-op counters accumulated inside one parallel work unit and
+/// merged into the run's Metrics in index order afterwards. All Metrics
+/// fields are sums, so per-unit accounting plus ordered merging reproduces
+/// the serial counters exactly.
+struct UnitCost {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t token_ops = 0;
+
+  void AddMessage(uint64_t message_bytes) {
+    ++messages;
+    bytes += message_bytes;
+  }
+  void MergeInto(Metrics* m) const {
+    m->messages += messages;
+    m->bytes += bytes;
+    m->token_crypto_ops += token_ops;
+  }
+};
+
+/// Distributes `num_units` round-robin over `num_tokens` starting at
+/// `first`: unit u goes to token (first + u) % num_tokens. One fleet-executor
+/// task per token then runs its units in increasing order, so each token's
+/// RNG and op counters advance exactly as in the serial round-robin loop.
+std::vector<std::vector<size_t>> RoundRobin(size_t num_units,
+                                            size_t num_tokens, size_t first) {
+  std::vector<std::vector<size_t>> by_token(num_tokens);
+  for (size_t u = 0; u < num_units; ++u) {
+    by_token[(first + u) % num_tokens].push_back(u);
+  }
+  return by_token;
+}
+
 }  // namespace
 
 Result<AggOutput> SecureAggProtocol::Execute(
@@ -83,15 +116,32 @@ Result<AggOutput> SecureAggProtocol::Execute(
   }
   AggOutput out;
   HbcObserver observer;
+  const size_t np = participants.size();
 
   // Phase 1: every token non-deterministically encrypts its tuples.
+  // Tokens are independent, so participants fan out across the executor;
+  // gathering by participant index keeps `items` byte-identical to the
+  // serial loop.
+  std::vector<std::vector<Bytes>> enc(np);
+  std::vector<UnitCost> enc_cost(np);
+  PDS_RETURN_IF_ERROR(FleetExecutor::Run(
+      config_.executor, np, [&](size_t i) -> Status {
+        Participant& p = participants[i];
+        enc[i].reserve(p.tuples.size());
+        for (const SourceTuple& t : p.tuples) {
+          Bytes payload = EncodePayload(false, t.value, 1, t.group);
+          PDS_ASSIGN_OR_RETURN(Bytes ct,
+                               p.token->EncryptNonDet(ByteView(payload)));
+          ++enc_cost[i].token_ops;
+          enc_cost[i].AddMessage(ct.size());
+          enc[i].push_back(std::move(ct));
+        }
+        return Status::Ok();
+      }));
   std::vector<Bytes> items;
-  for (Participant& p : participants) {
-    for (const SourceTuple& t : p.tuples) {
-      Bytes payload = EncodePayload(false, t.value, 1, t.group);
-      PDS_ASSIGN_OR_RETURN(Bytes ct, p.token->EncryptNonDet(ByteView(payload)));
-      ++out.metrics.token_crypto_ops;
-      out.metrics.AddMessage(ct.size());
+  for (size_t i = 0; i < np; ++i) {
+    enc_cost[i].MergeInto(&out.metrics);
+    for (Bytes& ct : enc[i]) {
       observer.ObserveTuple(ByteView(ct));
       items.push_back(std::move(ct));
     }
@@ -99,33 +149,57 @@ Result<AggOutput> SecureAggProtocol::Execute(
   ++out.metrics.rounds;
 
   // Phase 2: iterative partition-and-aggregate until one partition is left.
+  // Partitions keep their serial round-robin token assignment; partitions
+  // sharing a token run serially inside that token's work unit (token RNG
+  // order), and outputs are gathered in partition order.
   size_t worker = 0;
   while (items.size() > config_.partition_capacity) {
-    std::vector<Bytes> next;
     size_t before = items.size();
-    for (size_t start = 0; start < items.size();
-         start += config_.partition_capacity) {
-      size_t end =
-          std::min(items.size(), start + config_.partition_capacity);
-      mcu::SecureToken* token =
-          participants[worker++ % participants.size()].token;
+    const size_t cap = config_.partition_capacity;
+    const size_t num_parts = (items.size() + cap - 1) / cap;
+    std::vector<std::vector<size_t>> parts_by_token =
+        RoundRobin(num_parts, np, worker);
+    worker += num_parts;
 
-      std::map<std::string, GroupState> partial;
-      for (size_t i = start; i < end; ++i) {
-        out.metrics.AddMessage(items[i].size());  // SSI -> token
-        PDS_ASSIGN_OR_RETURN(Bytes payload,
-                             token->DecryptNonDet(ByteView(items[i])));
-        ++out.metrics.token_crypto_ops;
-        PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
-        partial[p.group].sum += p.sum;
-        partial[p.group].count += p.count;
-      }
-      for (const auto& [group, state] : partial) {
-        Bytes payload = EncodePayload(false, state.sum, state.count, group);
-        PDS_ASSIGN_OR_RETURN(Bytes ct,
-                             token->EncryptNonDet(ByteView(payload)));
-        ++out.metrics.token_crypto_ops;
-        out.metrics.AddMessage(ct.size());  // token -> SSI
+    struct PartOut {
+      std::vector<Bytes> cts;
+      UnitCost cost;
+    };
+    std::vector<PartOut> parts(num_parts);
+    PDS_RETURN_IF_ERROR(FleetExecutor::Run(
+        config_.executor, np, [&](size_t t) -> Status {
+          mcu::SecureToken* token = participants[t].token;
+          for (size_t pi : parts_by_token[t]) {
+            PartOut& po = parts[pi];
+            size_t start = pi * cap;
+            size_t end = std::min(items.size(), start + cap);
+            std::map<std::string, GroupState> partial;
+            for (size_t i = start; i < end; ++i) {
+              po.cost.AddMessage(items[i].size());  // SSI -> token
+              PDS_ASSIGN_OR_RETURN(Bytes payload,
+                                   token->DecryptNonDet(ByteView(items[i])));
+              ++po.cost.token_ops;
+              PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
+              partial[p.group].sum += p.sum;
+              partial[p.group].count += p.count;
+            }
+            for (const auto& [group, state] : partial) {
+              Bytes payload =
+                  EncodePayload(false, state.sum, state.count, group);
+              PDS_ASSIGN_OR_RETURN(Bytes ct,
+                                   token->EncryptNonDet(ByteView(payload)));
+              ++po.cost.token_ops;
+              po.cost.AddMessage(ct.size());  // token -> SSI
+              po.cts.push_back(std::move(ct));
+            }
+          }
+          return Status::Ok();
+        }));
+
+    std::vector<Bytes> next;
+    for (size_t pi = 0; pi < num_parts; ++pi) {
+      parts[pi].cost.MergeInto(&out.metrics);
+      for (Bytes& ct : parts[pi].cts) {
         observer.ObserveTuple(ByteView(ct));
         next.push_back(std::move(ct));
       }
@@ -163,43 +237,76 @@ namespace {
 /// tuples are (det-encrypted group, nondet-encrypted payload); the SSI
 /// groups by the deterministic ciphertext, and each class is aggregated
 /// inside one token.
+///
+/// Fake-tuple generation runs in a serial pre-pass (the noise RNG is shared
+/// across participants); the token-side encrypt and decrypt work fans out
+/// over the executor with the same token assignment as the serial loops.
 Result<AggOutput> RunDetProtocol(
-    std::vector<Participant>& participants, AggFunc func,
+    std::vector<Participant>& participants, AggFunc func, FleetExecutor* exec,
     const std::function<Status(Participant&, size_t,
                                std::vector<std::pair<std::string, double>>*)>&
         make_fakes) {
   AggOutput out;
   HbcObserver observer;
+  const size_t np = participants.size();
 
   struct WireTuple {
     Bytes group_ct;
     Bytes payload_ct;
   };
-  std::vector<WireTuple> wire;
 
-  for (size_t pi = 0; pi < participants.size(); ++pi) {
+  // Serial pre-pass: real tuples + protocol-specific fakes per participant.
+  struct SendList {
+    std::vector<std::pair<std::string, double>> tuples;
+    size_t real_count = 0;
+  };
+  std::vector<SendList> sends(np);
+  for (size_t pi = 0; pi < np; ++pi) {
     Participant& p = participants[pi];
-    // Real tuples + protocol-specific fakes.
-    std::vector<std::pair<std::string, double>> to_send;
+    SendList& sl = sends[pi];
     for (const SourceTuple& t : p.tuples) {
-      to_send.emplace_back(t.group, t.value);
+      sl.tuples.emplace_back(t.group, t.value);
     }
-    size_t real_count = to_send.size();
+    sl.real_count = sl.tuples.size();
     std::vector<std::pair<std::string, double>> fakes;
-    PDS_RETURN_IF_ERROR(make_fakes(p, real_count, &fakes));
+    PDS_RETURN_IF_ERROR(make_fakes(p, sl.real_count, &fakes));
+    for (auto& f : fakes) {
+      sl.tuples.push_back(std::move(f));
+    }
+  }
 
-    for (size_t i = 0; i < to_send.size() + fakes.size(); ++i) {
-      bool fake = i >= to_send.size();
-      const auto& [group, value] =
-          fake ? fakes[i - to_send.size()] : to_send[i];
-      WireTuple wt;
-      PDS_ASSIGN_OR_RETURN(
-          wt.group_ct, p.token->EncryptDet(ByteView(std::string_view(group))));
-      Bytes payload = EncodePayload(fake, value, fake ? 0 : 1, "");
-      PDS_ASSIGN_OR_RETURN(wt.payload_ct,
-                           p.token->EncryptNonDet(ByteView(payload)));
-      out.metrics.token_crypto_ops += 2;
-      out.metrics.AddMessage(wt.group_ct.size() + wt.payload_ct.size());
+  // Parallel per-participant encryption (each token's RNG is its own).
+  struct WireOut {
+    std::vector<WireTuple> wire;
+    UnitCost cost;
+  };
+  std::vector<WireOut> wouts(np);
+  PDS_RETURN_IF_ERROR(
+      FleetExecutor::Run(exec, np, [&](size_t pi) -> Status {
+        Participant& p = participants[pi];
+        const SendList& sl = sends[pi];
+        WireOut& wo = wouts[pi];
+        wo.wire.reserve(sl.tuples.size());
+        for (size_t i = 0; i < sl.tuples.size(); ++i) {
+          bool fake = i >= sl.real_count;
+          const auto& [group, value] = sl.tuples[i];
+          WireTuple wt;
+          PDS_ASSIGN_OR_RETURN(
+              wt.group_ct,
+              p.token->EncryptDet(ByteView(std::string_view(group))));
+          Bytes payload = EncodePayload(fake, value, fake ? 0 : 1, "");
+          PDS_ASSIGN_OR_RETURN(wt.payload_ct,
+                               p.token->EncryptNonDet(ByteView(payload)));
+          wo.cost.token_ops += 2;
+          wo.cost.AddMessage(wt.group_ct.size() + wt.payload_ct.size());
+          wo.wire.push_back(std::move(wt));
+        }
+        return Status::Ok();
+      }));
+  std::vector<WireTuple> wire;
+  for (size_t pi = 0; pi < np; ++pi) {
+    wouts[pi].cost.MergeInto(&out.metrics);
+    for (WireTuple& wt : wouts[pi].wire) {
       observer.ObserveTuple(ByteView(wt.group_ct));
       wire.push_back(std::move(wt));
     }
@@ -213,34 +320,64 @@ Result<AggOutput> RunDetProtocol(
     ++out.metrics.ssi_ops;
   }
 
-  // Each class is handed to a token for decryption + aggregation.
-  std::map<std::string, GroupState> state;
-  size_t worker = 0;
+  // Each class is handed to a token for decryption + aggregation; classes
+  // sharing a token run inside one work unit. Decryption draws no token
+  // randomness, but op counters still demand one thread per token.
+  std::vector<const std::vector<const WireTuple*>*> class_tuples;
+  class_tuples.reserve(classes.size());
   for (const auto& [class_key, tuples] : classes) {
-    mcu::SecureToken* token =
-        participants[worker++ % participants.size()].token;
-    PDS_ASSIGN_OR_RETURN(
-        Bytes group_plain,
-        token->DecryptDet(ByteView(tuples.front()->group_ct)));
-    ++out.metrics.token_crypto_ops;
-    std::string group = ByteView(group_plain).ToString();
-    if (group.rfind(kFakeGroupPrefix, 0) == 0) {
-      // Whole class is white noise; discard inside the token.
-      out.metrics.token_crypto_ops += tuples.size();  // decrypt-and-drop
+    class_tuples.push_back(&tuples);
+  }
+  std::vector<std::vector<size_t>> classes_by_token =
+      RoundRobin(class_tuples.size(), np, 0);
+
+  struct ClassOut {
+    bool fake = false;
+    std::string group;
+    GroupState gs;
+    UnitCost cost;
+  };
+  std::vector<ClassOut> couts(class_tuples.size());
+  PDS_RETURN_IF_ERROR(
+      FleetExecutor::Run(exec, np, [&](size_t t) -> Status {
+        mcu::SecureToken* token = participants[t].token;
+        for (size_t ci : classes_by_token[t]) {
+          const std::vector<const WireTuple*>& tuples = *class_tuples[ci];
+          ClassOut& co = couts[ci];
+          PDS_ASSIGN_OR_RETURN(
+              Bytes group_plain,
+              token->DecryptDet(ByteView(tuples.front()->group_ct)));
+          ++co.cost.token_ops;
+          co.group = ByteView(group_plain).ToString();
+          if (co.group.rfind(kFakeGroupPrefix, 0) == 0) {
+            // Whole class is white noise; discard inside the token.
+            co.fake = true;
+            co.cost.token_ops += tuples.size();  // decrypt-and-drop
+            continue;
+          }
+          for (const WireTuple* wt : tuples) {
+            co.cost.AddMessage(wt->payload_ct.size());
+            PDS_ASSIGN_OR_RETURN(
+                Bytes payload, token->DecryptNonDet(ByteView(wt->payload_ct)));
+            ++co.cost.token_ops;
+            PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
+            if (!p.fake) {
+              co.gs.sum += p.sum;
+              co.gs.count += p.count;
+            }
+          }
+        }
+        return Status::Ok();
+      }));
+  std::map<std::string, GroupState> state;
+  for (ClassOut& co : couts) {
+    co.cost.MergeInto(&out.metrics);
+    if (co.fake) {
       continue;
     }
-    GroupState& gs = state[group];
-    for (const WireTuple* wt : tuples) {
-      out.metrics.AddMessage(wt->payload_ct.size());
-      PDS_ASSIGN_OR_RETURN(Bytes payload,
-                           token->DecryptNonDet(ByteView(wt->payload_ct)));
-      ++out.metrics.token_crypto_ops;
-      PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
-      if (!p.fake) {
-        gs.sum += p.sum;
-        gs.count += p.count;
-      }
-    }
+    GroupState& gs = state[co.group];
+    gs.sum += co.gs.sum;
+    gs.count += co.gs.count;
   }
   ++out.metrics.rounds;
 
@@ -258,7 +395,7 @@ Result<AggOutput> WhiteNoiseProtocol::Execute(
   }
   Rng noise_rng(config_.noise_seed);
   return RunDetProtocol(
-      participants, func,
+      participants, func, config_.executor,
       [&](Participant& p, size_t real_count,
           std::vector<std::pair<std::string, double>>* fakes) {
         (void)p;
@@ -293,7 +430,7 @@ Result<AggOutput> DomainNoiseProtocol::Execute(
     }
   }
   return RunDetProtocol(
-      participants, func,
+      participants, func, config_.executor,
       [&](Participant& p, size_t real_count,
           std::vector<std::pair<std::string, double>>* fakes) {
         (void)p;
@@ -319,23 +456,41 @@ Result<AggOutput> HistogramProtocol::Execute(
   }
   AggOutput out;
   HbcObserver observer;
+  const size_t np = participants.size();
 
   struct WireTuple {
     uint32_t bucket = 0;
     Bytes payload_ct;
   };
-  std::vector<WireTuple> wire;
 
-  for (Participant& p : participants) {
-    for (const SourceTuple& t : p.tuples) {
-      WireTuple wt;
-      wt.bucket = static_cast<uint32_t>(
-          Fnv1a64(std::string_view(t.group)) % config_.num_buckets);
-      Bytes payload = EncodePayload(false, t.value, 1, t.group);
-      PDS_ASSIGN_OR_RETURN(wt.payload_ct,
-                           p.token->EncryptNonDet(ByteView(payload)));
-      ++out.metrics.token_crypto_ops;
-      out.metrics.AddMessage(4 + wt.payload_ct.size());
+  // Parallel per-participant encryption, gathered by participant index.
+  struct WireOut {
+    std::vector<WireTuple> wire;
+    UnitCost cost;
+  };
+  std::vector<WireOut> wouts(np);
+  PDS_RETURN_IF_ERROR(
+      FleetExecutor::Run(config_.executor, np, [&](size_t pi) -> Status {
+        Participant& p = participants[pi];
+        WireOut& wo = wouts[pi];
+        wo.wire.reserve(p.tuples.size());
+        for (const SourceTuple& t : p.tuples) {
+          WireTuple wt;
+          wt.bucket = static_cast<uint32_t>(
+              Fnv1a64(std::string_view(t.group)) % config_.num_buckets);
+          Bytes payload = EncodePayload(false, t.value, 1, t.group);
+          PDS_ASSIGN_OR_RETURN(wt.payload_ct,
+                               p.token->EncryptNonDet(ByteView(payload)));
+          ++wo.cost.token_ops;
+          wo.cost.AddMessage(4 + wt.payload_ct.size());
+          wo.wire.push_back(std::move(wt));
+        }
+        return Status::Ok();
+      }));
+  std::vector<WireTuple> wire;
+  for (size_t pi = 0; pi < np; ++pi) {
+    wouts[pi].cost.MergeInto(&out.metrics);
+    for (WireTuple& wt : wouts[pi].wire) {
       uint8_t bucket_key[4];
       EncodeU32(bucket_key, wt.bucket);
       observer.ObserveTuple(ByteView(bucket_key, 4));
@@ -351,20 +506,44 @@ Result<AggOutput> HistogramProtocol::Execute(
     ++out.metrics.ssi_ops;
   }
 
-  // Tokens open each bucket and aggregate the true groups inside.
-  std::map<std::string, GroupState> state;
-  size_t worker = 0;
+  // Tokens open each bucket and aggregate the true groups inside; buckets
+  // sharing a token run inside one work unit, gathered in bucket order.
+  std::vector<const std::vector<const WireTuple*>*> bucket_tuples;
+  bucket_tuples.reserve(buckets.size());
   for (const auto& [bucket, tuples] : buckets) {
-    mcu::SecureToken* token =
-        participants[worker++ % participants.size()].token;
-    for (const WireTuple* wt : tuples) {
-      out.metrics.AddMessage(wt->payload_ct.size());
-      PDS_ASSIGN_OR_RETURN(Bytes payload,
-                           token->DecryptNonDet(ByteView(wt->payload_ct)));
-      ++out.metrics.token_crypto_ops;
-      PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
-      state[p.group].sum += p.sum;
-      state[p.group].count += p.count;
+    bucket_tuples.push_back(&tuples);
+  }
+  std::vector<std::vector<size_t>> buckets_by_token =
+      RoundRobin(bucket_tuples.size(), np, 0);
+
+  struct BucketOut {
+    std::map<std::string, GroupState> partial;
+    UnitCost cost;
+  };
+  std::vector<BucketOut> bouts(bucket_tuples.size());
+  PDS_RETURN_IF_ERROR(
+      FleetExecutor::Run(config_.executor, np, [&](size_t t) -> Status {
+        mcu::SecureToken* token = participants[t].token;
+        for (size_t bi : buckets_by_token[t]) {
+          BucketOut& bo = bouts[bi];
+          for (const WireTuple* wt : *bucket_tuples[bi]) {
+            bo.cost.AddMessage(wt->payload_ct.size());
+            PDS_ASSIGN_OR_RETURN(
+                Bytes payload, token->DecryptNonDet(ByteView(wt->payload_ct)));
+            ++bo.cost.token_ops;
+            PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
+            bo.partial[p.group].sum += p.sum;
+            bo.partial[p.group].count += p.count;
+          }
+        }
+        return Status::Ok();
+      }));
+  std::map<std::string, GroupState> state;
+  for (BucketOut& bo : bouts) {
+    bo.cost.MergeInto(&out.metrics);
+    for (auto& [group, gs] : bo.partial) {
+      state[group].sum += gs.sum;
+      state[group].count += gs.count;
     }
   }
   ++out.metrics.rounds;

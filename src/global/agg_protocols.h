@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "global/common.h"
+#include "global/fleet_executor.h"
 #include "global/observer.h"
 
 namespace pds::global {
@@ -51,6 +52,10 @@ class SecureAggProtocol : public AggregationProtocol {
     /// Max ciphertext tuples a token can ingest per aggregation step
     /// (bounded by token RAM). Must exceed the number of distinct groups.
     size_t partition_capacity = 256;
+    /// Optional fleet executor: per-token work (encrypt/decrypt/aggregate)
+    /// runs across worker threads with results gathered by index, so the
+    /// output is byte-identical to a serial run. Null means serial.
+    FleetExecutor* executor = nullptr;
   };
 
   explicit SecureAggProtocol(const Config& config) : config_(config) {}
@@ -70,6 +75,8 @@ class WhiteNoiseProtocol : public AggregationProtocol {
     /// Fake tuples added per real tuple (0.2 = 20% noise).
     double noise_ratio = 0.2;
     uint64_t noise_seed = 7;
+    /// See SecureAggProtocol::Config::executor.
+    FleetExecutor* executor = nullptr;
   };
 
   explicit WhiteNoiseProtocol(const Config& config) : config_(config) {}
@@ -92,6 +99,8 @@ class DomainNoiseProtocol : public AggregationProtocol {
     /// Fake tuples each participant adds per domain value.
     uint32_t fakes_per_value = 1;
     uint64_t noise_seed = 7;
+    /// See SecureAggProtocol::Config::executor.
+    FleetExecutor* executor = nullptr;
   };
 
   explicit DomainNoiseProtocol(Config config) : config_(std::move(config)) {}
@@ -110,6 +119,8 @@ class HistogramProtocol : public AggregationProtocol {
  public:
   struct Config {
     uint32_t num_buckets = 16;
+    /// See SecureAggProtocol::Config::executor.
+    FleetExecutor* executor = nullptr;
   };
 
   explicit HistogramProtocol(const Config& config) : config_(config) {}

@@ -1,0 +1,31 @@
+#include "global/fleet_executor.h"
+
+namespace pds::global {
+
+Status FleetExecutor::ParallelFor(size_t n,
+                                  const std::function<Status(size_t)>& fn) {
+  std::vector<Status> statuses(n, Status::Ok());
+  pool_->ParallelFor(n, [&](size_t i) { statuses[i] = fn(i); });
+  for (Status& s : statuses) {
+    if (!s.ok()) {
+      return std::move(s);
+    }
+  }
+  return Status::Ok();
+}
+
+Status FleetExecutor::Run(FleetExecutor* exec, size_t n,
+                          const std::function<Status(size_t)>& fn) {
+  if (exec != nullptr) {
+    return exec->ParallelFor(n, fn);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Status s = fn(i);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pds::global

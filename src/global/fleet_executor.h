@@ -1,0 +1,46 @@
+#ifndef PDS_GLOBAL_FLEET_EXECUTOR_H_
+#define PDS_GLOBAL_FLEET_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+
+namespace pds::global {
+
+/// Runs the per-token work of the global protocols across worker threads.
+///
+/// Determinism contract: callers split protocol work into index-addressed
+/// units whose only shared state is the unit's own slot (a token is never
+/// handed to two units, each token's units run in serial order inside one
+/// unit, and every unit writes results into its own index). The executor
+/// then guarantees that gathering slots 0..n-1 after ParallelFor returns
+/// yields bytes identical to a serial run — protocol outputs, LeakageReport
+/// and Metrics do not depend on the thread count.
+///
+/// A null executor (or num_threads <= 1) means serial inline execution;
+/// protocols treat that as the default.
+class FleetExecutor {
+ public:
+  explicit FleetExecutor(size_t num_threads)
+      : pool_(std::make_unique<ThreadPool>(num_threads)) {}
+
+  size_t num_threads() const { return pool_->num_threads(); }
+
+  /// Runs fn(i) for i in [0, n); returns the lowest-index non-OK status
+  /// (all units run even if one fails — failures are rare and cheap here).
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
+
+  /// Convenience for `exec` possibly being null: serial fallback.
+  static Status Run(FleetExecutor* exec, size_t n,
+                    const std::function<Status(size_t)>& fn);
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace pds::global
+
+#endif  // PDS_GLOBAL_FLEET_EXECUTOR_H_

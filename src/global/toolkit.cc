@@ -57,7 +57,7 @@ struct RingEncryptionResult {
 
 Result<RingEncryptionResult> RingEncrypt(
     const std::vector<std::vector<std::string>>& site_sets, size_t prime_bits,
-    Rng* rng, Metrics* metrics) {
+    Rng* rng, Metrics* metrics, FleetExecutor* exec) {
   if (site_sets.size() < 2) {
     return Status::InvalidArgument("need >= 2 sites");
   }
@@ -71,15 +71,26 @@ Result<RingEncryptionResult> RingEncrypt(
 
   const size_t n = site_sets.size();
   out.fully_encrypted.resize(n);
+  // Each originating site's journey around the ring is independent of the
+  // others, so the n journeys fan out across the executor. The shuffles
+  // draw from per-site sub-streams seeded serially here, which keeps the
+  // outcome deterministic for a given seed at any thread count.
+  std::vector<uint64_t> shuffle_seeds(n);
   for (size_t s = 0; s < n; ++s) {
+    shuffle_seeds[s] = rng->Next();
+  }
+  std::vector<Metrics> site_metrics(n);
+  PDS_RETURN_IF_ERROR(FleetExecutor::Run(exec, n, [&](size_t s) -> Status {
+    Metrics* m = metrics != nullptr ? &site_metrics[s] : nullptr;
+    Rng shuffle_rng(shuffle_seeds[s]);
     // Encode and self-encrypt.
     std::vector<crypto::BigInt> items;
     for (const std::string& item : site_sets[s]) {
       PDS_ASSIGN_OR_RETURN(crypto::BigInt x,
                            out.ciphers[s].EncodeItem(item));
       PDS_ASSIGN_OR_RETURN(x, out.ciphers[s].Encrypt(x));
-      if (metrics != nullptr) {
-        ++metrics->token_crypto_ops;
+      if (m != nullptr) {
+        ++m->token_crypto_ops;
       }
       items.push_back(std::move(x));
     }
@@ -89,17 +100,27 @@ Result<RingEncryptionResult> RingEncrypt(
       size_t site = (s + hop) % n;
       for (crypto::BigInt& x : items) {
         PDS_ASSIGN_OR_RETURN(x, out.ciphers[site].Encrypt(x));
-        if (metrics != nullptr) {
-          ++metrics->token_crypto_ops;
+        if (m != nullptr) {
+          ++m->token_crypto_ops;
         }
       }
-      rng->Shuffle(&items);
-      if (metrics != nullptr) {
-        metrics->AddMessage(items.size() * (prime_bits / 8));
-        ++metrics->rounds;
+      shuffle_rng.Shuffle(&items);
+      if (m != nullptr) {
+        m->AddMessage(items.size() * (prime_bits / 8));
+        ++m->rounds;
       }
     }
     out.fully_encrypted[s] = std::move(items);
+    return Status::Ok();
+  }));
+  if (metrics != nullptr) {
+    for (const Metrics& m : site_metrics) {
+      metrics->messages += m.messages;
+      metrics->bytes += m.bytes;
+      metrics->rounds += m.rounds;
+      metrics->token_crypto_ops += m.token_crypto_ops;
+      metrics->ssi_ops += m.ssi_ops;
+    }
   }
   return out;
 }
@@ -108,9 +129,9 @@ Result<RingEncryptionResult> RingEncrypt(
 
 Result<std::set<std::string>> SecureSetUnion(
     const std::vector<std::vector<std::string>>& site_sets, size_t prime_bits,
-    Rng* rng, Metrics* metrics) {
+    Rng* rng, Metrics* metrics, FleetExecutor* exec) {
   PDS_ASSIGN_OR_RETURN(RingEncryptionResult ring,
-                       RingEncrypt(site_sets, prime_bits, rng, metrics));
+                       RingEncrypt(site_sets, prime_bits, rng, metrics, exec));
 
   // Union on fully-encrypted items: equal plaintexts collide because the
   // composition of all sites' exponents is the same for everyone.
@@ -124,17 +145,28 @@ Result<std::set<std::string>> SecureSetUnion(
     }
   }
 
-  // Decrypt each distinct ciphertext with every site's key.
-  std::set<std::string> result;
+  // Decrypt each distinct ciphertext with every site's key. Each chain of
+  // layer removals is independent, so they fan out across the executor.
+  std::vector<const crypto::BigInt*> cts;
+  cts.reserve(distinct.size());
   for (auto& [key, ct] : distinct) {
-    crypto::BigInt x = ct;
-    for (const crypto::SraCipher& cipher : ring.ciphers) {
-      PDS_ASSIGN_OR_RETURN(x, cipher.Decrypt(x));
-      if (metrics != nullptr) {
-        ++metrics->token_crypto_ops;
-      }
-    }
-    PDS_ASSIGN_OR_RETURN(std::string item, ring.ciphers[0].DecodeItem(x));
+    cts.push_back(&ct);
+  }
+  std::vector<std::string> items(cts.size());
+  PDS_RETURN_IF_ERROR(
+      FleetExecutor::Run(exec, cts.size(), [&](size_t i) -> Status {
+        crypto::BigInt x = *cts[i];
+        for (const crypto::SraCipher& cipher : ring.ciphers) {
+          PDS_ASSIGN_OR_RETURN(x, cipher.Decrypt(x));
+        }
+        PDS_ASSIGN_OR_RETURN(items[i], ring.ciphers[0].DecodeItem(x));
+        return Status::Ok();
+      }));
+  if (metrics != nullptr) {
+    metrics->token_crypto_ops += cts.size() * ring.ciphers.size();
+  }
+  std::set<std::string> result;
+  for (std::string& item : items) {
     result.insert(std::move(item));
   }
   return result;
@@ -142,9 +174,9 @@ Result<std::set<std::string>> SecureSetUnion(
 
 Result<uint64_t> SecureIntersectionSize(
     const std::vector<std::vector<std::string>>& site_sets, size_t prime_bits,
-    Rng* rng, Metrics* metrics) {
+    Rng* rng, Metrics* metrics, FleetExecutor* exec) {
   PDS_ASSIGN_OR_RETURN(RingEncryptionResult ring,
-                       RingEncrypt(site_sets, prime_bits, rng, metrics));
+                       RingEncrypt(site_sets, prime_bits, rng, metrics, exec));
 
   // Count fully-encrypted values present at every site (no decryption).
   std::map<std::string, uint64_t> presence;
@@ -169,10 +201,35 @@ Result<uint64_t> SecureIntersectionSize(
   return count;
 }
 
+namespace {
+
+/// Encrypts `values[i]` under `paillier` for every i, fanning out across
+/// the executor. Each element draws its randomness from a sub-stream
+/// seeded serially off `rng`, so ciphertexts are deterministic for a given
+/// seed at any thread count.
+Result<std::vector<crypto::BigInt>> ParallelEncrypt(
+    const crypto::Paillier& paillier, const std::vector<uint64_t>& values,
+    Rng* rng, FleetExecutor* exec) {
+  std::vector<uint64_t> seeds(values.size());
+  for (uint64_t& s : seeds) {
+    s = rng->Next();
+  }
+  std::vector<crypto::BigInt> cts(values.size());
+  PDS_RETURN_IF_ERROR(
+      FleetExecutor::Run(exec, values.size(), [&](size_t i) -> Status {
+        Rng local(seeds[i]);
+        PDS_ASSIGN_OR_RETURN(cts[i], paillier.EncryptU64(values[i], &local));
+        return Status::Ok();
+      }));
+  return cts;
+}
+
+}  // namespace
+
 Result<uint64_t> SecureScalarProduct(const std::vector<uint64_t>& a,
                                      const std::vector<uint64_t>& b,
                                      size_t paillier_bits, Rng* rng,
-                                     Metrics* metrics) {
+                                     Metrics* metrics, FleetExecutor* exec) {
   if (a.size() != b.size()) {
     return Status::InvalidArgument("vectors must have equal length");
   }
@@ -180,14 +237,10 @@ Result<uint64_t> SecureScalarProduct(const std::vector<uint64_t>& a,
                        crypto::Paillier::Generate(paillier_bits, rng));
 
   // Site A -> B: E(a_i).
-  std::vector<crypto::BigInt> enc_a;
-  enc_a.reserve(a.size());
-  for (uint64_t v : a) {
-    PDS_ASSIGN_OR_RETURN(crypto::BigInt ct, paillier.EncryptU64(v, rng));
-    if (metrics != nullptr) {
-      ++metrics->token_crypto_ops;
-    }
-    enc_a.push_back(std::move(ct));
+  PDS_ASSIGN_OR_RETURN(std::vector<crypto::BigInt> enc_a,
+                       ParallelEncrypt(paillier, a, rng, exec));
+  if (metrics != nullptr) {
+    metrics->token_crypto_ops += enc_a.size();
   }
   if (metrics != nullptr) {
     metrics->AddMessage(enc_a.size() * (paillier_bits / 4));
@@ -219,29 +272,27 @@ Result<uint64_t> SecureScalarProduct(const std::vector<uint64_t>& a,
 
 Result<uint64_t> PaillierFleetSum(const std::vector<uint64_t>& site_values,
                                   size_t paillier_bits, Rng* rng,
-                                  Metrics* metrics) {
-  PDS_ASSIGN_OR_RETURN(crypto::Paillier paillier,
-                       crypto::Paillier::Generate(paillier_bits, rng));
-  crypto::BigInt acc;
-  bool first = true;
-  for (uint64_t v : site_values) {
-    PDS_ASSIGN_OR_RETURN(crypto::BigInt ct, paillier.EncryptU64(v, rng));
-    if (metrics != nullptr) {
-      ++metrics->token_crypto_ops;
-      metrics->AddMessage(paillier_bits / 4);
-    }
-    if (first) {
-      acc = std::move(ct);
-      first = false;
-    } else {
-      acc = paillier.AddCiphertexts(acc, ct);  // SSI-side multiplication
-      if (metrics != nullptr) {
-        ++metrics->ssi_ops;
-      }
-    }
-  }
+                                  Metrics* metrics, FleetExecutor* exec) {
   if (site_values.empty()) {
     return 0;
+  }
+  PDS_ASSIGN_OR_RETURN(crypto::Paillier paillier,
+                       crypto::Paillier::Generate(paillier_bits, rng));
+  // Every site encrypts independently (the fleet-parallel hot path); the
+  // SSI then folds the ciphertexts, which is cheap modular multiplication.
+  PDS_ASSIGN_OR_RETURN(std::vector<crypto::BigInt> cts,
+                       ParallelEncrypt(paillier, site_values, rng, exec));
+  crypto::BigInt acc = std::move(cts[0]);
+  for (size_t i = 1; i < cts.size(); ++i) {
+    acc = paillier.AddCiphertexts(acc, cts[i]);  // SSI-side multiplication
+    if (metrics != nullptr) {
+      ++metrics->ssi_ops;
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->token_crypto_ops += cts.size();
+    metrics->messages += cts.size();
+    metrics->bytes += cts.size() * (paillier_bits / 4);
   }
   PDS_ASSIGN_OR_RETURN(uint64_t sum, paillier.DecryptU64(acc));
   if (metrics != nullptr) {

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "crypto/paillier.h"
 #include "global/common.h"
+#include "global/fleet_executor.h"
 
 namespace pds::global {
 
@@ -29,33 +30,42 @@ Result<uint64_t> SecureSum(const std::vector<uint64_t>& site_values,
 /// every item with its key (items circulate the ring), fully-encrypted
 /// items are deduplicated — equal plaintexts collide regardless of
 /// encryption order — and then decrypted layer by layer.
+///
+/// With an executor, the per-site ring journeys and the final per-item
+/// decryption chains fan out across worker threads; each site draws its
+/// shuffle randomness from a sub-stream seeded serially off `rng`, so the
+/// result is deterministic for a given seed at any thread count.
 Result<std::set<std::string>> SecureSetUnion(
     const std::vector<std::vector<std::string>>& site_sets, size_t prime_bits,
-    Rng* rng, Metrics* metrics);
+    Rng* rng, Metrics* metrics, FleetExecutor* exec = nullptr);
 
 /// Secure Size of Set Intersection: same commutative-encryption pipeline,
 /// but only the count of fully-encrypted values present at *every* site is
 /// revealed (nothing is decrypted).
 Result<uint64_t> SecureIntersectionSize(
     const std::vector<std::vector<std::string>>& site_sets, size_t prime_bits,
-    Rng* rng, Metrics* metrics);
+    Rng* rng, Metrics* metrics, FleetExecutor* exec = nullptr);
 
 /// Secure Scalar Product between two sites using Paillier: site A sends
 /// E(a_i); site B computes prod E(a_i)^{b_i} = E(sum a_i * b_i); A
-/// decrypts. B learns nothing; A learns only the scalar product.
+/// decrypts. B learns nothing; A learns only the scalar product. Site A's
+/// encryptions fan out across the executor (per-element RNG sub-streams
+/// seeded serially, so results are thread-count independent).
 Result<uint64_t> SecureScalarProduct(const std::vector<uint64_t>& a,
                                      const std::vector<uint64_t>& b,
                                      size_t paillier_bits, Rng* rng,
-                                     Metrics* metrics);
+                                     Metrics* metrics,
+                                     FleetExecutor* exec = nullptr);
 
 /// Homomorphic SUM over all participants using Paillier — the
 /// "untrusted-server-only" end of the tutorial's solution spectrum, used
 /// by bench_crypto_ladder as the expensive comparison point. The SSI adds
 /// ciphertexts without learning anything; only the querier (key owner)
-/// decrypts.
+/// decrypts. Per-site encryptions fan out across the executor.
 Result<uint64_t> PaillierFleetSum(const std::vector<uint64_t>& site_values,
                                   size_t paillier_bits, Rng* rng,
-                                  Metrics* metrics);
+                                  Metrics* metrics,
+                                  FleetExecutor* exec = nullptr);
 
 }  // namespace pds::global
 

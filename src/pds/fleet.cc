@@ -1,0 +1,40 @@
+#include "pds/fleet.h"
+
+namespace pds::node {
+
+Fleet::Fleet(const Config& config) {
+  nodes_.reserve(config.num_nodes);
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    PdsNode::Config node_cfg;
+    node_cfg.node_id = config.base_node_id + i;
+    node_cfg.fleet_key = config.fleet_key;
+    node_cfg.ram_budget_bytes = config.ram_budget_bytes;
+    node_cfg.flash_geometry = config.flash_geometry;
+    node_cfg.rng_seed = config.base_rng_seed + i;
+    nodes_.push_back(std::make_unique<PdsNode>(node_cfg));
+  }
+}
+
+Result<std::vector<global::Participant>> Fleet::ExportParticipants(
+    const ac::Subject& subject, const std::string& table,
+    const std::string& group_column, const std::string& value_column,
+    global::FleetExecutor* exec) {
+  std::vector<global::Participant> participants(nodes_.size());
+  PDS_RETURN_IF_ERROR(global::FleetExecutor::Run(
+      exec, nodes_.size(), [&](size_t i) -> Status {
+        std::vector<std::pair<std::string, double>> exported;
+        PDS_RETURN_IF_ERROR(nodes_[i]->ExportAs(subject, table, group_column,
+                                                value_column, &exported));
+        global::Participant p;
+        p.token = &nodes_[i]->token();
+        p.tuples.reserve(exported.size());
+        for (auto& [group, value] : exported) {
+          p.tuples.push_back({std::move(group), value});
+        }
+        participants[i] = std::move(p);
+        return Status::Ok();
+      }));
+  return participants;
+}
+
+}  // namespace pds::node

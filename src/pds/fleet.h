@@ -1,0 +1,53 @@
+#ifndef PDS_PDS_FLEET_H_
+#define PDS_PDS_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "global/common.h"
+#include "global/fleet_executor.h"
+#include "pds/pds_node.h"
+
+namespace pds::node {
+
+/// A fleet of PdsNodes provisioned with one application-domain key — the
+/// tutorial's population of secure tokens over which global queries run.
+///
+/// The fleet is the bridge between the node layer (policy-checked storage)
+/// and the global layer (secure aggregation): ExportParticipants runs the
+/// policy-checked export on every node — fanning out across a
+/// FleetExecutor, since nodes are fully independent — and returns the
+/// Participant list the [TNP14] protocols consume.
+class Fleet {
+ public:
+  struct Config {
+    size_t num_nodes = 0;
+    crypto::SymmetricKey fleet_key{};
+    flash::Geometry flash_geometry;
+    size_t ram_budget_bytes = 64 * 1024;
+    /// Node i gets node_id base_node_id + i and RNG seed base_rng_seed + i.
+    uint64_t base_node_id = 1;
+    uint64_t base_rng_seed = 1;
+  };
+
+  explicit Fleet(const Config& config);
+
+  size_t size() const { return nodes_.size(); }
+  PdsNode& node(size_t i) { return *nodes_[i]; }
+
+  /// Policy-checked export of (group, value) tuples from every node,
+  /// gathered by node index. Fails with the lowest-index node's error
+  /// (e.g. PermissionDenied when the subject lacks the Share action).
+  Result<std::vector<global::Participant>> ExportParticipants(
+      const ac::Subject& subject, const std::string& table,
+      const std::string& group_column, const std::string& value_column,
+      global::FleetExecutor* exec = nullptr);
+
+ private:
+  std::vector<std::unique_ptr<PdsNode>> nodes_;
+};
+
+}  // namespace pds::node
+
+#endif  // PDS_PDS_FLEET_H_

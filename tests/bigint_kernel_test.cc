@@ -1,0 +1,180 @@
+// Edge-case and randomized cross-check tests for the Montgomery kernel
+// layer under BigInt::ModExp (crypto/montgomery.h). The schoolbook ladder
+// is the reference implementation; the kernel must agree with it bit for
+// bit on every input, including the limb-boundary carry chains that 32-bit
+// limb arithmetic is most likely to get wrong.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/bigint.h"
+#include "crypto/montgomery.h"
+
+namespace pds::crypto {
+namespace {
+
+BigInt FromDecimal(const std::string& s) {
+  BigInt x;
+  for (char c : s) {
+    x = BigInt::Add(BigInt::Mul(x, BigInt(10)),
+                    BigInt(static_cast<uint64_t>(c - '0')));
+  }
+  return x;
+}
+
+TEST(MontgomeryCtxTest, UsableGate) {
+  EXPECT_FALSE(MontgomeryCtx::Usable(BigInt::Zero()));
+  EXPECT_FALSE(MontgomeryCtx::Usable(BigInt::One()));
+  EXPECT_FALSE(MontgomeryCtx::Usable(BigInt(2)));
+  EXPECT_FALSE(MontgomeryCtx::Usable(BigInt(4)));
+  EXPECT_TRUE(MontgomeryCtx::Usable(BigInt(3)));
+  EXPECT_TRUE(MontgomeryCtx::Usable(BigInt(0xFFFFFFFFull)));
+}
+
+TEST(MontgomeryCtxTest, ZeroAndOneOperands) {
+  MontgomeryCtx ctx(BigInt(101));
+  EXPECT_EQ(ctx.ModMul(BigInt::Zero(), BigInt(57)), BigInt::Zero());
+  EXPECT_EQ(ctx.ModMul(BigInt(57), BigInt::Zero()), BigInt::Zero());
+  EXPECT_EQ(ctx.ModMul(BigInt::One(), BigInt(57)), BigInt(57));
+  EXPECT_EQ(ctx.ModMul(BigInt(57), BigInt::One()), BigInt(57));
+  // a^0 = 1, 0^e = 0, 1^e = 1, a^1 = a.
+  EXPECT_EQ(ctx.ModExp(BigInt(57), BigInt::Zero()), BigInt::One());
+  EXPECT_EQ(ctx.ModExp(BigInt::Zero(), BigInt(12)), BigInt::Zero());
+  EXPECT_EQ(ctx.ModExp(BigInt::One(), BigInt(12)), BigInt::One());
+  EXPECT_EQ(ctx.ModExp(BigInt(57), BigInt::One()), BigInt(57));
+  // 0^0 = 1 by the ladder's convention (matches schoolbook).
+  EXPECT_EQ(ctx.ModExp(BigInt::Zero(), BigInt::Zero()),
+            BigInt::ModExpSchoolbook(BigInt::Zero(), BigInt::Zero(),
+                                     BigInt(101)));
+}
+
+TEST(MontgomeryCtxTest, OperandsLargerThanModulusAreReduced) {
+  MontgomeryCtx ctx(BigInt(97));
+  BigInt big = FromDecimal("123456789123456789123456789");
+  EXPECT_EQ(ctx.ModMul(big, big),
+            BigInt::ModMul(BigInt::Mod(big, BigInt(97)),
+                           BigInt::Mod(big, BigInt(97)), BigInt(97)));
+  EXPECT_EQ(ctx.ModExp(big, BigInt(65537)),
+            BigInt::ModExpSchoolbook(big, BigInt(65537), BigInt(97)));
+}
+
+TEST(MontgomeryCtxTest, LimbBoundaryCarryChains) {
+  // Moduli and operands sitting right at 32/64/96-bit limb boundaries,
+  // where the CIOS inner-loop carries propagate across every word.
+  std::vector<BigInt> moduli = {
+      BigInt(0xFFFFFFFFull),          // 2^32 - 1
+      BigInt(0x100000001ull),         // 2^32 + 1
+      BigInt(0xFFFFFFFFFFFFFFFFull),  // 2^64 - 1
+      BigInt::Add(BigInt::ShiftLeft(BigInt::One(), 96), BigInt(0x2B)),
+      BigInt::Sub(BigInt::ShiftLeft(BigInt::One(), 127), BigInt::One()),
+  };
+  for (const BigInt& m : moduli) {
+    ASSERT_TRUE(MontgomeryCtx::Usable(m)) << m.ToDecimalString();
+    MontgomeryCtx ctx(m);
+    std::vector<BigInt> operands = {
+        BigInt::Zero(), BigInt::One(), BigInt(0xFFFFFFFFull),
+        BigInt::Sub(m, BigInt::One()),
+        BigInt::Mod(BigInt(0xDEADBEEFCAFEBABEull), m)};
+    for (const BigInt& a : operands) {
+      for (const BigInt& b : operands) {
+        EXPECT_EQ(ctx.ModMul(a, b), BigInt::ModMul(a, b, m))
+            << "m=" << m.ToDecimalString() << " a=" << a.ToDecimalString()
+            << " b=" << b.ToDecimalString();
+      }
+      EXPECT_EQ(ctx.ModExp(a, BigInt(0x10001)),
+                BigInt::ModExpSchoolbook(a, BigInt(0x10001), m))
+          << "m=" << m.ToDecimalString() << " a=" << a.ToDecimalString();
+    }
+  }
+}
+
+TEST(MontgomeryCtxTest, ToMontFromMontRoundTrip) {
+  Rng rng(11);
+  BigInt m = BigInt::GeneratePrime(160, &rng);
+  MontgomeryCtx ctx(m);
+  for (int i = 0; i < 50; ++i) {
+    BigInt x = BigInt::RandomBelow(m, &rng);
+    EXPECT_EQ(ctx.FromMont(ctx.ToMont(x)), x);
+  }
+  EXPECT_EQ(ctx.FromMont(ctx.OneMont()), BigInt::One());
+}
+
+TEST(BigIntModExpTest, EvenModulusFallsBackToSchoolbook) {
+  // Montgomery requires an odd modulus; ModExp must still be correct for
+  // even ones via the schoolbook path.
+  std::vector<BigInt> moduli = {BigInt(2), BigInt(4096),
+                                BigInt(0x100000000ull),
+                                BigInt(2 * 3 * 5 * 7 * 11 * 13)};
+  Rng rng(5);
+  for (const BigInt& m : moduli) {
+    for (int i = 0; i < 20; ++i) {
+      BigInt a = BigInt::RandomBelow(m, &rng);
+      BigInt e(rng.Uniform(1000));
+      EXPECT_EQ(BigInt::ModExp(a, e, m), BigInt::ModExpSchoolbook(a, e, m))
+          << "m=" << m.ToDecimalString();
+    }
+  }
+}
+
+TEST(BigIntModExpTest, RandomizedMontgomeryVsSchoolbookCrossCheck) {
+  // Seeded randomized sweep: 1000 (modulus, a, b, e) draws across limb
+  // counts 1..16, each checked ModMul and ModExp against the schoolbook
+  // reference. Any kernel carry bug shows up here with a reproducible seed.
+  Rng rng(20260805);
+  for (int iter = 0; iter < 1000; ++iter) {
+    size_t bits = 8 + rng.Uniform(504);  // 8..511-bit moduli
+    BigInt m = BigInt::RandomBits(bits, &rng);
+    if (!m.IsOdd()) {
+      m = BigInt::Add(m, BigInt::One());
+    }
+    if (!MontgomeryCtx::Usable(m)) {
+      continue;
+    }
+    MontgomeryCtx ctx(m);
+    BigInt a = BigInt::RandomBelow(m, &rng);
+    BigInt b = BigInt::RandomBelow(m, &rng);
+    ASSERT_EQ(ctx.ModMul(a, b), BigInt::ModMul(a, b, m))
+        << "iter=" << iter << " m=" << m.ToDecimalString();
+    BigInt e = BigInt::RandomBits(1 + rng.Uniform(96), &rng);
+    ASSERT_EQ(ctx.ModExp(a, e), BigInt::ModExpSchoolbook(a, e, m))
+        << "iter=" << iter << " m=" << m.ToDecimalString();
+  }
+}
+
+TEST(FixedBaseTableTest, MatchesModExpAcrossExponentRange) {
+  Rng rng(77);
+  BigInt m = BigInt::GeneratePrime(192, &rng);
+  MontgomeryCtx ctx(m);
+  BigInt g = BigInt::RandomBelow(m, &rng);
+  FixedBaseTable table(&ctx, g, /*max_exp_bits=*/128);
+
+  // Edge exponents: 0, 1, single-digit, digit boundaries, max width.
+  std::vector<BigInt> exps = {
+      BigInt::Zero(), BigInt::One(), BigInt(15), BigInt(16), BigInt(255),
+      BigInt(256), BigInt(0xFFFFFFFFull),
+      BigInt::Sub(BigInt::ShiftLeft(BigInt::One(), 128), BigInt::One())};
+  for (int i = 0; i < 100; ++i) {
+    exps.push_back(BigInt::RandomBits(1 + rng.Uniform(128), &rng));
+  }
+  for (const BigInt& e : exps) {
+    EXPECT_EQ(table.Pow(e), ctx.ModExp(g, e)) << "e=" << e.ToDecimalString();
+  }
+}
+
+TEST(FixedBaseTableTest, PowMontComposesWithMontMul) {
+  Rng rng(78);
+  BigInt m = BigInt::GeneratePrime(128, &rng);
+  MontgomeryCtx ctx(m);
+  BigInt g = BigInt::RandomBelow(m, &rng);
+  FixedBaseTable table(&ctx, g, 64);
+
+  // g^a * g^b computed in the Montgomery domain equals g^(a+b).
+  BigInt a(123456789), b(987654321);
+  MontgomeryCtx::Limbs prod = table.PowMont(a);
+  MontgomeryCtx::Limbs gb = table.PowMont(b);
+  ctx.MontMul(prod, gb, &prod);
+  EXPECT_EQ(ctx.FromMont(prod), ctx.ModExp(g, BigInt::Add(a, b)));
+}
+
+}  // namespace
+}  // namespace pds::crypto

@@ -1,0 +1,129 @@
+// pds::node::Fleet: provisioning a token fleet, the policy-checked export
+// fan-out (serial and across a FleetExecutor), and feeding the exported
+// participants straight into a [TNP14] protocol.
+
+#include <gtest/gtest.h>
+
+#include "global/agg_protocols.h"
+#include "pds/fleet.h"
+
+namespace pds::node {
+namespace {
+
+using ac::Action;
+using ac::Subject;
+using embdb::ColumnType;
+using embdb::Schema;
+using embdb::Tuple;
+using embdb::Value;
+
+class FleetTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNodes = 10;
+
+  void SetUp() override { fleet_ = MakeFleet(); }
+
+  std::unique_ptr<Fleet> MakeFleet() {
+    Fleet::Config cfg;
+    cfg.num_nodes = kNodes;
+    cfg.fleet_key = crypto::KeyFromString("fleet-test");
+    cfg.flash_geometry.page_size = 512;
+    cfg.flash_geometry.pages_per_block = 8;
+    cfg.flash_geometry.block_count = 256;
+    auto fleet = std::make_unique<Fleet>(cfg);
+
+    Rng rng(17);
+    const char* cities[] = {"lyon", "paris", "nice"};
+    for (size_t i = 0; i < fleet->size(); ++i) {
+      PdsNode& node = fleet->node(i);
+      Schema bills("bills", {{"id", ColumnType::kUint64, ""},
+                             {"city", ColumnType::kString, ""},
+                             {"amount", ColumnType::kDouble, ""}});
+      EXPECT_TRUE(node.DefineTable(bills).ok());
+      node.policies().AddRule(
+          {"owner", Action::kInsert, "bills", {}, std::nullopt});
+      node.policies().AddRule({"stats-agency", Action::kShare, "bills",
+                               {"city", "amount"}, std::nullopt});
+      Subject owner{"owner", "user-" + std::to_string(i)};
+      int rows = 2 + static_cast<int>(rng.Uniform(3));
+      for (int r = 0; r < rows; ++r) {
+        Tuple t = {Value::U64(static_cast<uint64_t>(r)),
+                   Value::Str(cities[rng.Uniform(3)]),
+                   Value::F64(static_cast<double>(rng.Uniform(500)))};
+        EXPECT_TRUE(node.InsertAs(owner, "bills", t).ok());
+      }
+    }
+    return fleet;
+  }
+
+  std::unique_ptr<Fleet> fleet_;
+};
+
+TEST_F(FleetTest, ProvisionsSequentialNodeIds) {
+  ASSERT_EQ(fleet_->size(), kNodes);
+  for (size_t i = 0; i < kNodes; ++i) {
+    EXPECT_EQ(fleet_->node(i).id(), 1 + i);
+  }
+}
+
+TEST_F(FleetTest, ExportsParticipantsInNodeOrder) {
+  auto participants = fleet_->ExportParticipants({"stats-agency", "insee"},
+                                                 "bills", "city", "amount");
+  ASSERT_TRUE(participants.ok()) << participants.status().ToString();
+  ASSERT_EQ(participants->size(), kNodes);
+  for (size_t i = 0; i < kNodes; ++i) {
+    EXPECT_EQ((*participants)[i].token, &fleet_->node(i).token());
+    EXPECT_FALSE((*participants)[i].tuples.empty());
+  }
+}
+
+TEST_F(FleetTest, ExportDeniesUnauthorizedSubject) {
+  auto denied = fleet_->ExportParticipants({"advertiser", "acme"}, "bills",
+                                           "city", "amount");
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(FleetTest, ParallelExportMatchesSerial) {
+  auto serial = fleet_->ExportParticipants({"stats-agency", "insee"},
+                                           "bills", "city", "amount");
+  ASSERT_TRUE(serial.ok());
+
+  auto fresh = MakeFleet();
+  global::FleetExecutor exec(8);
+  auto parallel = fresh->ExportParticipants({"stats-agency", "insee"},
+                                            "bills", "city", "amount", &exec);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    const auto& a = (*serial)[i].tuples;
+    const auto& b = (*parallel)[i].tuples;
+    ASSERT_EQ(a.size(), b.size()) << "node " << i;
+    for (size_t t = 0; t < a.size(); ++t) {
+      EXPECT_EQ(a[t].group, b[t].group);
+      EXPECT_EQ(a[t].value, b[t].value);
+    }
+  }
+}
+
+TEST_F(FleetTest, ExportFeedsSecureAggregation) {
+  auto participants = fleet_->ExportParticipants({"stats-agency", "insee"},
+                                                 "bills", "city", "amount");
+  ASSERT_TRUE(participants.ok());
+  auto expected = global::PlainAggregate(*participants, global::AggFunc::kSum);
+
+  global::FleetExecutor exec(4);
+  global::SecureAggProtocol::Config cfg;
+  cfg.partition_capacity = 64;
+  cfg.executor = &exec;
+  global::SecureAggProtocol protocol(cfg);
+  auto output = protocol.Execute(*participants, global::AggFunc::kSum);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  ASSERT_EQ(output->groups.size(), expected.size());
+  for (auto& [city, sum] : expected) {
+    EXPECT_NEAR(output->groups[city], sum, 1e-9) << city;
+  }
+  EXPECT_FALSE(output->leakage.plaintext_groups_visible);
+}
+
+}  // namespace
+}  // namespace pds::node

@@ -1,0 +1,168 @@
+// Property suite for the kernel-accelerated Paillier implementation: the
+// CRT decryption and fixed-base encryption paths must agree with the
+// schoolbook Scalar paths on every input, and the homomorphic laws must
+// hold across key sizes. Complements paillier_test.cc (functional basics).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/paillier.h"
+
+namespace pds::crypto {
+namespace {
+
+/// Checks every cross-path agreement property for one keypair.
+void CheckKernelAgreesWithScalar(const Paillier& paillier, Rng* rng,
+                                 int messages) {
+  const BigInt& n = paillier.public_key().n;
+  for (int i = 0; i < messages; ++i) {
+    BigInt m = BigInt::RandomBelow(n, rng);
+    auto cached = paillier.Encrypt(m, rng);
+    auto scalar = paillier.EncryptScalar(m, rng);
+    ASSERT_TRUE(cached.ok());
+    ASSERT_TRUE(scalar.ok());
+    // Both encryption paths produce valid ciphertexts, and both decryption
+    // paths (CRT and schoolbook) recover the plaintext from either.
+    for (const BigInt& ct : {*cached, *scalar}) {
+      auto crt = paillier.Decrypt(ct);
+      auto school = paillier.DecryptScalar(ct);
+      ASSERT_TRUE(crt.ok());
+      ASSERT_TRUE(school.ok());
+      EXPECT_EQ(*crt, m) << "CRT decrypt, m=" << m.ToDecimalString();
+      EXPECT_EQ(*crt, *school)
+          << "CRT vs schoolbook, m=" << m.ToDecimalString();
+    }
+  }
+}
+
+TEST(PaillierPropertyTest, KernelAgreesWithScalar256) {
+  Rng rng(1);
+  auto paillier = Paillier::Generate(256, &rng);
+  ASSERT_TRUE(paillier.ok());
+  CheckKernelAgreesWithScalar(*paillier, &rng, 12);
+}
+
+TEST(PaillierPropertyTest, KernelAgreesWithScalar512) {
+  Rng rng(2);
+  auto paillier = Paillier::Generate(512, &rng);
+  ASSERT_TRUE(paillier.ok());
+  CheckKernelAgreesWithScalar(*paillier, &rng, 6);
+}
+
+TEST(PaillierPropertyTest, KernelAgreesWithScalar1024) {
+  Rng rng(3);
+  auto paillier = Paillier::Generate(1024, &rng);
+  ASSERT_TRUE(paillier.ok());
+  CheckKernelAgreesWithScalar(*paillier, &rng, 3);
+}
+
+TEST(PaillierPropertyTest, HomomorphicAdditionLaw) {
+  Rng rng(4);
+  auto paillier = Paillier::Generate(256, &rng);
+  ASSERT_TRUE(paillier.ok());
+  const BigInt& n = paillier->public_key().n;
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::RandomBelow(n, &rng);
+    BigInt b = BigInt::RandomBelow(n, &rng);
+    auto ca = paillier->Encrypt(a, &rng);
+    auto cb = paillier->Encrypt(b, &rng);
+    ASSERT_TRUE(ca.ok());
+    ASSERT_TRUE(cb.ok());
+    auto sum = paillier->Decrypt(paillier->AddCiphertexts(*ca, *cb));
+    ASSERT_TRUE(sum.ok());
+    EXPECT_EQ(*sum, BigInt::ModAdd(a, b, n));
+  }
+}
+
+TEST(PaillierPropertyTest, HomomorphicScalarMultiplyLaw) {
+  Rng rng(5);
+  auto paillier = Paillier::Generate(256, &rng);
+  ASSERT_TRUE(paillier.ok());
+  const BigInt& n = paillier->public_key().n;
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::RandomBelow(n, &rng);
+    BigInt k(rng.Next());
+    auto ca = paillier->Encrypt(a, &rng);
+    ASSERT_TRUE(ca.ok());
+    auto prod = paillier->Decrypt(paillier->MulPlaintext(*ca, k));
+    ASSERT_TRUE(prod.ok());
+    EXPECT_EQ(*prod, BigInt::ModMul(a, k, n));
+    auto shifted = paillier->Decrypt(paillier->AddPlaintext(*ca, k));
+    ASSERT_TRUE(shifted.ok());
+    EXPECT_EQ(*shifted, BigInt::ModAdd(a, k, n));
+  }
+}
+
+TEST(PaillierPropertyTest, CiphertextsAreNonDeterministic) {
+  Rng rng(6);
+  auto paillier = Paillier::Generate(256, &rng);
+  ASSERT_TRUE(paillier.ok());
+  auto c1 = paillier->EncryptU64(42, &rng);
+  auto c2 = paillier->EncryptU64(42, &rng);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_FALSE(*c1 == *c2);
+}
+
+TEST(PaillierPropertyTest, GenerateFromPrimesAcceptsValidPrimes) {
+  Rng rng(7);
+  BigInt p = BigInt::GeneratePrime(128, &rng);
+  BigInt q = BigInt::GeneratePrime(128, &rng);
+  ASSERT_FALSE(p == q);
+  auto paillier = Paillier::GenerateFromPrimes(p, q, &rng);
+  ASSERT_TRUE(paillier.ok()) << paillier.status().ToString();
+  CheckKernelAgreesWithScalar(*paillier, &rng, 4);
+}
+
+TEST(PaillierPropertyTest, GenerateFromPrimesRejectsEqualPrimes) {
+  Rng rng(8);
+  BigInt p = BigInt::GeneratePrime(128, &rng);
+  auto result = Paillier::GenerateFromPrimes(p, p, &rng);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PaillierPropertyTest, GenerateFromPrimesRejectsDegeneratePrimes) {
+  Rng rng(9);
+  BigInt p = BigInt::GeneratePrime(128, &rng);
+  // 0 and 1 are not usable factors.
+  EXPECT_EQ(Paillier::GenerateFromPrimes(BigInt::Zero(), p, &rng)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      Paillier::GenerateFromPrimes(p, BigInt::One(), &rng).status().code(),
+      StatusCode::kInvalidArgument);
+  // 2 is prime but even, which the Montgomery kernel cannot serve.
+  EXPECT_EQ(
+      Paillier::GenerateFromPrimes(BigInt(2), p, &rng).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(PaillierPropertyTest, GenerateFromPrimesRejectsGcdCollision) {
+  // p = 3, q = 7: gcd(pq, (p-1)(q-1)) = gcd(21, 12) = 3 != 1, so L is not
+  // well-defined and the pair must be rejected despite both being prime.
+  Rng rng(10);
+  auto result = Paillier::GenerateFromPrimes(BigInt(3), BigInt(7), &rng);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PaillierPropertyTest, RejectsOutOfRangeInputs) {
+  Rng rng(11);
+  auto paillier = Paillier::Generate(128, &rng);
+  ASSERT_TRUE(paillier.ok());
+  const BigInt& n = paillier->public_key().n;
+  const BigInt& n2 = paillier->public_key().n_squared;
+  EXPECT_EQ(paillier->Encrypt(n, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(paillier->EncryptScalar(n, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(paillier->Decrypt(BigInt::Zero()).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(paillier->Decrypt(n2).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(paillier->DecryptScalar(BigInt::Zero()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pds::crypto
