@@ -43,7 +43,7 @@ class ByteView {
 
 inline bool operator==(ByteView a, ByteView b) {
   return a.size() == b.size() &&
-         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
 }
 
 /// Little-endian fixed-width encoders/decoders.

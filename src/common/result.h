@@ -1,6 +1,7 @@
 #ifndef PDS_COMMON_RESULT_H_
 #define PDS_COMMON_RESULT_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <utility>
@@ -14,9 +15,13 @@ namespace pds {
 ///
 /// A default-constructed Result is an Internal error; a Result constructed
 /// from a T is OK. Accessing `value()` on a non-OK Result aborts the
-/// process (this is a programming error, not a runtime condition).
+/// process (this is a programming error, not a runtime condition) after
+/// printing the stored status, so the crash names the original failure.
+///
+/// Like Status, the class is [[nodiscard]]: a Result returned by value must
+/// be consumed by the caller.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result() : status_(Status::Internal("uninitialized Result")) {}
 
@@ -34,8 +39,8 @@ class Result {
   Result(Result&&) = default;
   Result& operator=(Result&&) = default;
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     CheckOk();
@@ -56,13 +61,18 @@ class Result {
   T* operator->() { return &value(); }
 
   /// Returns the contained value or `fallback` when not OK.
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return ok() ? *value_ : std::move(fallback);
   }
 
  private:
   void CheckOk() const {
     if (!status_.ok()) {
+      // Deliberately not a throw: the library is exception-free (secure-MCU
+      // target). Print the stored status so the abort is attributable.
+      std::fprintf(stderr, "Result::value() called on non-OK Result: %s\n",
+                   status_.ToString().c_str());
+      std::fflush(stderr);
       std::abort();
     }
   }

@@ -28,7 +28,7 @@ class DetCipher {
   Bytes Encrypt(ByteView plaintext) const;
   /// Fails with IntegrityViolation when the SIV check does not match
   /// (tampered or truncated ciphertext).
-  Result<Bytes> Decrypt(ByteView ciphertext) const;
+  [[nodiscard]] Result<Bytes> Decrypt(ByteView ciphertext) const;
 
   /// Ciphertext overhead in bytes (the 16-byte SIV tag).
   static constexpr size_t kOverhead = 16;
@@ -47,7 +47,7 @@ class NonDetCipher {
   explicit NonDetCipher(const SymmetricKey& key);
 
   Bytes Encrypt(ByteView plaintext, Rng* rng) const;
-  Result<Bytes> Decrypt(ByteView ciphertext) const;
+  [[nodiscard]] Result<Bytes> Decrypt(ByteView ciphertext) const;
 
   /// Nonce (16) + truncated HMAC tag (16).
   static constexpr size_t kOverhead = 32;

@@ -51,27 +51,27 @@ class Paillier {
 
   /// Generates a keypair with an n of roughly `modulus_bits` bits.
   /// Deterministic given the RNG seed.
-  static Result<Paillier> Generate(size_t modulus_bits, Rng* rng);
+  [[nodiscard]] static Result<Paillier> Generate(size_t modulus_bits, Rng* rng);
 
   /// Builds a keypair from caller-supplied primes. Rejects p == q and
   /// gcd(pq, (p-1)(q-1)) != 1 with InvalidArgument instead of asserting;
   /// primality of p and q is the caller's responsibility.
-  static Result<Paillier> GenerateFromPrimes(const BigInt& p, const BigInt& q,
+  [[nodiscard]] static Result<Paillier> GenerateFromPrimes(const BigInt& p, const BigInt& q,
                                              Rng* rng);
 
   const PublicKey& public_key() const { return public_key_; }
 
   /// Encrypts m (requires m < n) via the fixed-base cache.
-  Result<BigInt> Encrypt(const BigInt& m, Rng* rng) const;
-  Result<BigInt> EncryptU64(uint64_t m, Rng* rng) const;
+  [[nodiscard]] Result<BigInt> Encrypt(const BigInt& m, Rng* rng) const;
+  [[nodiscard]] Result<BigInt> EncryptU64(uint64_t m, Rng* rng) const;
   /// Pre-kernel encryption: uniform r in [1,n), r^n by schoolbook ladder.
-  Result<BigInt> EncryptScalar(const BigInt& m, Rng* rng) const;
+  [[nodiscard]] Result<BigInt> EncryptScalar(const BigInt& m, Rng* rng) const;
 
   /// Decrypts a ciphertext via CRT (mod p^2 and q^2) + Montgomery.
-  Result<BigInt> Decrypt(const BigInt& c) const;
-  Result<uint64_t> DecryptU64(const BigInt& c) const;
+  [[nodiscard]] Result<BigInt> Decrypt(const BigInt& c) const;
+  [[nodiscard]] Result<uint64_t> DecryptU64(const BigInt& c) const;
   /// Pre-kernel decryption: c^lambda mod n^2 by schoolbook ladder.
-  Result<BigInt> DecryptScalar(const BigInt& c) const;
+  [[nodiscard]] Result<BigInt> DecryptScalar(const BigInt& c) const;
 
   /// Homomorphic addition: Dec(AddCiphertexts(E(a), E(b))) = a + b mod n.
   BigInt AddCiphertexts(const BigInt& c1, const BigInt& c2) const;

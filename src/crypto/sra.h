@@ -23,15 +23,15 @@ class SraCipher {
 
   /// Picks a random exponent coprime to p-1 (with its inverse for
   /// decryption).
-  static Result<SraCipher> Create(const BigInt& p, Rng* rng);
+  [[nodiscard]] static Result<SraCipher> Create(const BigInt& p, Rng* rng);
 
   /// x must be in [1, p). Encryption of 0 is rejected.
-  Result<BigInt> Encrypt(const BigInt& x) const;
-  Result<BigInt> Decrypt(const BigInt& y) const;
+  [[nodiscard]] Result<BigInt> Encrypt(const BigInt& x) const;
+  [[nodiscard]] Result<BigInt> Decrypt(const BigInt& y) const;
 
   /// Maps a string item into [1, p) (length must fit below the prime).
-  Result<BigInt> EncodeItem(const std::string& item) const;
-  Result<std::string> DecodeItem(const BigInt& x) const;
+  [[nodiscard]] Result<BigInt> EncodeItem(const std::string& item) const;
+  [[nodiscard]] Result<std::string> DecodeItem(const BigInt& x) const;
 
   const BigInt& prime() const { return p_; }
 

@@ -40,32 +40,32 @@ class Database {
   Database(flash::FlashChip* chip, mcu::RamGauge* gauge)
       : allocator_(chip), gauge_(gauge) {}
 
-  Status CreateTable(const Schema& schema, const TableOptions& options);
+  [[nodiscard]] Status CreateTable(const Schema& schema, const TableOptions& options);
   TableHeap* table(const std::string& name);
 
   /// Inserts a tuple, maintaining every index registered on the table.
-  Result<uint64_t> Insert(const std::string& table_name, const Tuple& tuple);
+  [[nodiscard]] Result<uint64_t> Insert(const std::string& table_name, const Tuple& tuple);
 
   /// Tombstones a row — the owner's "right to be forgotten". Index entries
   /// keep the stale rowid (logs are immutable); every read path filters
   /// tombstoned rows out.
-  Status Delete(const std::string& table_name, uint64_t rowid);
+  [[nodiscard]] Status Delete(const std::string& table_name, uint64_t rowid);
 
   /// Registers a key-log index on a column; future inserts maintain it.
   /// (Create indexes before loading data, as on a real PDS.)
-  Status CreateKeyIndex(const std::string& table_name,
+  [[nodiscard]] Status CreateKeyIndex(const std::string& table_name,
                         const std::string& column,
                         const IndexOptions& options);
 
   /// Reorganizes the index on (table, column) into a tree; new inserts go
   /// to a fresh delta key-log.
-  Status ReorganizeIndex(const std::string& table_name,
+  [[nodiscard]] Status ReorganizeIndex(const std::string& table_name,
                          const std::string& column,
                          size_t sort_ram_bytes = 16 * 1024);
 
   /// Equality select through the index on (table, column): tree (if
   /// reorganized) plus the delta key-log. Emits (rowid, tuple).
-  Status SelectViaIndex(
+  [[nodiscard]] Status SelectViaIndex(
       const std::string& table_name, const std::string& column,
       const Value& key,
       const std::function<Status(uint64_t, const Tuple&)>& emit);
@@ -75,11 +75,11 @@ class Database {
   /// Planner-lite: an equality predicate on an indexed column routes
   /// through the index (tree + delta) with residual predicates applied;
   /// otherwise a scan-filter runs. Emits projected tuples.
-  Status Query(const std::string& sql,
+  [[nodiscard]] Status Query(const std::string& sql,
                const std::function<Status(const Tuple&)>& emit);
 
   /// Full-scan select with arbitrary predicates.
-  Status SelectScan(
+  [[nodiscard]] Status SelectScan(
       const std::string& table_name,
       const std::vector<Predicate>& predicates,
       const std::function<Status(uint64_t, const Tuple&)>& emit);
@@ -101,7 +101,7 @@ class Database {
     std::unique_ptr<TreeIndex> tree;     // set after reorganization
   };
 
-  Result<std::unique_ptr<KeyLogIndex>> NewKeyLog(const IndexOptions& options);
+  [[nodiscard]] Result<std::unique_ptr<KeyLogIndex>> NewKeyLog(const IndexOptions& options);
 
   flash::PartitionAllocator allocator_;
   mcu::RamGauge* gauge_;

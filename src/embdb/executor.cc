@@ -74,6 +74,7 @@ Status ProjectRow(const SpjQuery& query, const Tuple& root_tuple,
                   const std::function<Result<const Tuple*>(int)>& node_tuple,
                   Tuple* out) {
   out->clear();
+  out->reserve(query.projections.size());
   for (const SpjQuery::Projection& proj : query.projections) {
     const Tuple* source = nullptr;
     if (proj.node < 0) {

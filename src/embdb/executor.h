@@ -27,7 +27,7 @@ struct Predicate {
 
 /// Streams (rowid, tuple) pairs of `table` satisfying all `predicates`
 /// (full scan + filter: the no-index baseline of E1).
-Status ScanFilter(TableHeap* table, const std::vector<Predicate>& predicates,
+[[nodiscard]] Status ScanFilter(TableHeap* table, const std::vector<Predicate>& predicates,
                   const std::function<Status(uint64_t, const Tuple&)>& emit);
 
 /// Intersection of several ascending rowid lists (the pipeline "merge on
@@ -74,7 +74,7 @@ class SpjExecutor {
         gauge_(gauge) {}
 
   /// `tselects` must align 1:1 with `query.selections`.
-  Status Execute(const SpjQuery& query,
+  [[nodiscard]] Status Execute(const SpjQuery& query,
                  const std::function<Status(const Tuple&)>& emit,
                  SpjStats* stats);
 
@@ -94,7 +94,7 @@ class NaiveHashJoinSpj {
   NaiveHashJoinSpj(const JoinPath& path, mcu::RamGauge* gauge)
       : path_(path), gauge_(gauge) {}
 
-  Status Execute(const SpjQuery& query,
+  [[nodiscard]] Status Execute(const SpjQuery& query,
                  const std::function<Status(const Tuple&)>& emit,
                  SpjStats* stats);
 
@@ -118,7 +118,7 @@ class Aggregator {
   Aggregator(Func func, mcu::RamGauge* gauge) : func_(func), gauge_(gauge) {}
   ~Aggregator();
 
-  Status Add(const Value& group, double value);
+  [[nodiscard]] Status Add(const Value& group, double value);
   /// Finalizes and returns groups in ascending group order.
   std::vector<GroupResult> Finish();
 

@@ -32,12 +32,12 @@ struct JoinPath {
 
   /// Resolves the rowids of every node for one root tuple. Fetches parent
   /// tuples as needed (counted flash IOs).
-  Status ResolveRowids(const Tuple& root_tuple,
+  [[nodiscard]] Status ResolveRowids(const Tuple& root_tuple,
                        std::vector<uint64_t>* node_rowids) const;
 
   /// Same resolution but reading parent tuples from RAM-materialized
   /// tables (used by the naive hash-join baseline).
-  Status ResolveRowidsFromRam(
+  [[nodiscard]] Status ResolveRowidsFromRam(
       const Tuple& root_tuple,
       const std::vector<std::unordered_map<uint64_t, Tuple>>& tables,
       std::vector<uint64_t>* node_rowids) const;
@@ -51,11 +51,11 @@ class TjoinIndex {
  public:
   /// Builds the index by scanning the root table once (plus the parent
   /// fetches needed to follow multi-hop branches).
-  static Result<TjoinIndex> Build(const JoinPath& path,
+  [[nodiscard]] static Result<TjoinIndex> Build(const JoinPath& path,
                                   flash::PartitionAllocator* allocator);
 
   /// Returns the subtree rowids for a root rowid, in node order.
-  Status Lookup(uint64_t root_rowid, std::vector<uint64_t>* node_rowids);
+  [[nodiscard]] Status Lookup(uint64_t root_rowid, std::vector<uint64_t>* node_rowids);
 
   size_t num_nodes() const { return num_nodes_; }
   uint64_t num_rows() const { return num_rows_; }
@@ -79,14 +79,14 @@ class TselectIndex {
  public:
   /// `node` is the path-node index carrying the attribute, or -1 for a
   /// column of the root table itself.
-  static Result<TselectIndex> Build(const JoinPath& path, int node,
+  [[nodiscard]] static Result<TselectIndex> Build(const JoinPath& path, int node,
                                     int column,
                                     flash::PartitionAllocator* allocator,
                                     mcu::RamGauge* gauge,
                                     size_t sort_ram_bytes = 16 * 1024);
 
   /// Sorted root rowids whose attribute equals `key`.
-  Status Lookup(const Value& key, std::vector<uint64_t>* root_rowids,
+  [[nodiscard]] Status Lookup(const Value& key, std::vector<uint64_t>* root_rowids,
                 TreeIndex::LookupStats* stats);
 
   const TreeIndex& tree() const { return tree_; }

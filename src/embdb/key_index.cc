@@ -101,8 +101,12 @@ Status KeyLogIndex::Lookup(const Value& key, std::vector<uint64_t>* rowids,
   key.EncodeKey(encoded);
   ByteView key_view(encoded, Value::kKeyWidth);
 
-  // Phase 1: summary scan — collect candidate keys pages.
+  // Phase 1: summary scan — collect candidate keys pages. The candidate
+  // list is data-dependent, so it is charged against the MCU gauge as it
+  // grows (a huge false-positive set must fail like any oversized plan).
   std::vector<uint32_t> candidates;
+  PDS_ASSIGN_OR_RETURN(mcu::RamCharge candidates_charge,
+                       mcu::RamCharge::Make(gauge_, 0));
   uint32_t flushed_key_pages = keys_log_.num_pages();
   uint32_t filter_index = 0;
   Bytes bloom_page;
@@ -117,6 +121,7 @@ Status KeyLogIndex::Lookup(const Value& key, std::vector<uint64_t>* rowids,
           ByteView(bloom_page.data() + f * filter_bytes_, filter_bytes_),
           num_probes_);
       if (filter.MayContain(key_view)) {
+        PDS_RETURN_IF_ERROR(candidates_charge.Grow(sizeof(uint32_t)));
         candidates.push_back(filter_index);
       }
       ++filter_index;
@@ -129,6 +134,7 @@ Status KeyLogIndex::Lookup(const Value& key, std::vector<uint64_t>* rowids,
     BloomFilter filter(ByteView(bloom_buffer_.data() + off, filter_bytes_),
                        num_probes_);
     if (filter.MayContain(key_view)) {
+      PDS_RETURN_IF_ERROR(candidates_charge.Grow(sizeof(uint32_t)));
       candidates.push_back(filter_index);
     }
     ++filter_index;

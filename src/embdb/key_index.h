@@ -50,18 +50,18 @@ class KeyLogIndex {
   KeyLogIndex& operator=(const KeyLogIndex&) = delete;
 
   /// Charges the index's resident RAM (two page buffers + one open filter).
-  Status Init();
+  [[nodiscard]] Status Init();
 
   /// Appends one (key, rowid) entry.
-  Status Insert(const Value& key, uint64_t rowid);
+  [[nodiscard]] Status Insert(const Value& key, uint64_t rowid);
 
   /// Finds all rowids whose key equals `key`.
-  Status Lookup(const Value& key, std::vector<uint64_t>* rowids,
+  [[nodiscard]] Status Lookup(const Value& key, std::vector<uint64_t>* rowids,
                 LookupStats* stats);
 
   /// Streams every entry in insertion order (used by reorganization).
   /// The callback receives the 24-byte encoded key and the rowid.
-  Status ScanEntries(
+  [[nodiscard]] Status ScanEntries(
       const std::function<Status(const uint8_t*, uint64_t)>& emit);
 
   uint64_t num_entries() const { return num_entries_; }
@@ -80,7 +80,7 @@ class KeyLogIndex {
 
   /// Programs the buffered keys page and appends its filter to the bloom
   /// buffer (programming a bloom page when that fills too).
-  Status FlushKeysPage();
+  [[nodiscard]] Status FlushKeysPage();
 
   logstore::SequentialLog keys_log_;
   logstore::SequentialLog bloom_log_;

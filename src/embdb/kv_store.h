@@ -35,21 +35,21 @@ class KvStore {
           const Options& options);
 
   /// Charges the resident RAM (the index's page buffers).
-  Status Init();
+  [[nodiscard]] Status Init();
 
-  Status Put(const std::string& key, ByteView value);
+  [[nodiscard]] Status Put(const std::string& key, ByteView value);
   /// Latest value; NotFound if never written or deleted.
-  Result<Bytes> Get(const std::string& key);
-  Status Delete(const std::string& key);
+  [[nodiscard]] Result<Bytes> Get(const std::string& key);
+  [[nodiscard]] Status Delete(const std::string& key);
   /// False for absent and deleted keys.
-  Result<bool> Contains(const std::string& key);
+  [[nodiscard]] Result<bool> Contains(const std::string& key);
 
   /// Rewrites only the live (latest, non-deleted) versions into fresh
   /// partitions and returns the old blocks to the allocator — the
   /// "de-allocation on the block grain" end of the log lifecycle. The
   /// key->latest-address map lives in RAM during the pass (documented
   /// trade; proportional to live keys, not versions).
-  Status Compact(flash::PartitionAllocator* allocator);
+  [[nodiscard]] Status Compact(flash::PartitionAllocator* allocator);
 
   /// Live versions are those returned by Get; this counts every appended
   /// version (the log grows until compaction).

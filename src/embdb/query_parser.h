@@ -45,7 +45,7 @@ struct ParsedQuery {
 /// Literals: integers (42, -7), decimals (3.5), single-quoted strings
 /// ('Lyon', with '' escaping a quote). Keywords are case-insensitive;
 /// identifiers are kept verbatim.
-Result<ParsedQuery> ParseSelect(std::string_view sql);
+[[nodiscard]] Result<ParsedQuery> ParseSelect(std::string_view sql);
 
 /// Binds a parsed query against a schema: resolves column indexes and
 /// coerces literals to the column types (InvalidArgument on mismatch).
@@ -57,7 +57,7 @@ struct BoundQuery {
   int agg_column = -1;    // -1 for COUNT(*)
   int group_column = -1;  // -1 = single global group
 };
-Result<BoundQuery> Bind(const ParsedQuery& query, const Schema& schema);
+[[nodiscard]] Result<BoundQuery> Bind(const ParsedQuery& query, const Schema& schema);
 
 }  // namespace pds::embdb
 

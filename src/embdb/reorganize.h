@@ -30,7 +30,7 @@ class Reorganizer {
   /// Sorts `source` and produces a TreeIndex in freshly allocated
   /// partitions. The source index is left untouched (in the paper the old
   /// log remains queryable until the swap).
-  static Result<TreeIndex> Reorganize(KeyLogIndex* source,
+  [[nodiscard]] static Result<TreeIndex> Reorganize(KeyLogIndex* source,
                                       flash::PartitionAllocator* allocator,
                                       mcu::RamGauge* gauge,
                                       const Options& options);

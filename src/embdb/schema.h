@@ -36,7 +36,7 @@ class Schema {
   std::vector<ColumnType> ColumnTypes() const;
 
   /// Checks that a tuple matches the schema's arity and column types.
-  Status Validate(const Tuple& tuple) const;
+  [[nodiscard]] Status Validate(const Tuple& tuple) const;
 
  private:
   std::string name_;

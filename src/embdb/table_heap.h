@@ -43,15 +43,15 @@ class TableHeap {
   uint32_t num_data_pages() const { return data_.num_pages_used(); }
 
   /// Appends a tuple; returns its rowid.
-  Result<uint64_t> Insert(const Tuple& tuple);
+  [[nodiscard]] Result<uint64_t> Insert(const Tuple& tuple);
 
   /// Tombstones a row: Get returns NotFound and scans skip it.
-  Status Delete(uint64_t rowid);
+  [[nodiscard]] Status Delete(uint64_t rowid);
   bool IsDeleted(uint64_t rowid) const { return deleted_.count(rowid) != 0; }
   uint64_t num_deleted() const { return deleted_.size(); }
 
   /// Random access by rowid.
-  Result<Tuple> Get(uint64_t rowid);
+  [[nodiscard]] Result<Tuple> Get(uint64_t rowid);
 
   /// Streams all tuples in rowid order; full scan costs one read per data
   /// page.
@@ -62,7 +62,7 @@ class TableHeap {
 
     bool AtEnd() const { return next_rowid_ >= heap_->num_rows_; }
     /// Fetches the next row. Returns OutOfRange at end.
-    Status Next(uint64_t* rowid, Tuple* tuple);
+    [[nodiscard]] Status Next(uint64_t* rowid, Tuple* tuple);
 
    private:
     TableHeap* heap_;

@@ -136,8 +136,11 @@ Status TimeSeriesStore::Range(uint64_t t1, uint64_t t2,
   if (t1 > t2) {
     return Status::InvalidArgument("t1 > t2");
   }
-  // Phase 1: summary scan to find overlapping sealed pages.
+  // Phase 1: summary scan to find overlapping sealed pages. The touched-page
+  // list is data-dependent, so charge it against the MCU gauge as it grows.
   std::vector<uint32_t> touched;
+  PDS_ASSIGN_OR_RETURN(mcu::RamCharge touched_charge,
+                       mcu::RamCharge::Make(gauge_, 0));
   uint32_t sealed_pages = data_log_.num_pages();
   uint32_t summary_index = 0;
   Bytes page;
@@ -151,6 +154,7 @@ Status TimeSeriesStore::Range(uint64_t t1, uint64_t t2,
     for (size_t f = 0; f < spp && summary_index < sealed_pages; ++f) {
       PageSummary s = DecodeSummary(page.data() + f * kSummarySize);
       if (s.max_ts >= t1 && s.min_ts <= t2) {
+        PDS_RETURN_IF_ERROR(touched_charge.Grow(sizeof(uint32_t)));
         touched.push_back(summary_index);
       } else if (stats != nullptr) {
         ++stats->pages_skipped;
@@ -164,6 +168,7 @@ Status TimeSeriesStore::Range(uint64_t t1, uint64_t t2,
        off += kSummarySize) {
     PageSummary s = DecodeSummary(summary_buffer_.data() + off);
     if (s.max_ts >= t1 && s.min_ts <= t2) {
+      PDS_RETURN_IF_ERROR(touched_charge.Grow(sizeof(uint32_t)));
       touched.push_back(summary_index);
     } else if (stats != nullptr) {
       ++stats->pages_skipped;

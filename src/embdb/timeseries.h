@@ -56,18 +56,18 @@ class TimeSeriesStore {
   TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
 
   /// Charges the resident RAM (open data page + open summary page).
-  Status Init();
+  [[nodiscard]] Status Init();
 
   /// Appends a point; timestamps must be strictly increasing.
-  Status Append(uint64_t timestamp, double value);
+  [[nodiscard]] Status Append(uint64_t timestamp, double value);
 
   /// Streams points with t1 <= timestamp <= t2 in order.
-  Status Range(uint64_t t1, uint64_t t2,
+  [[nodiscard]] Status Range(uint64_t t1, uint64_t t2,
                const std::function<Status(const Point&)>& emit,
                QueryStats* stats);
 
   /// COUNT/SUM/MIN/MAX/AVG over [t1, t2] using page summaries.
-  Result<RangeAggregate> Aggregate(uint64_t t1, uint64_t t2,
+  [[nodiscard]] Result<RangeAggregate> Aggregate(uint64_t t1, uint64_t t2,
                                    QueryStats* stats);
 
   uint64_t num_points() const { return num_points_; }
@@ -88,7 +88,7 @@ class TimeSeriesStore {
     uint64_t count = 0;
   };
 
-  Status SealOpenPage();
+  [[nodiscard]] Status SealOpenPage();
   static void EncodeSummary(const PageSummary& s, uint8_t* out);
   static PageSummary DecodeSummary(const uint8_t* in);
 

@@ -50,6 +50,8 @@ Status TreeIndex::DescendToLeaf(const uint8_t* encoded, uint32_t* leaf_page,
   return Status::Ok();
 }
 
+// pdslint: ram-exempt(callers charge the returned rowid list against their
+// gauge as soon as Lookup returns; see SpjExecutor::Execute step 1)
 Status TreeIndex::Lookup(const Value& key, std::vector<uint64_t>* rowids,
                          LookupStats* stats) {
   rowids->clear();

@@ -37,12 +37,12 @@ class TreeIndex {
   TreeIndex() = default;
 
   /// Finds all rowids with key equal to `key` (ascending rowid order).
-  Status Lookup(const Value& key, std::vector<uint64_t>* rowids,
+  [[nodiscard]] Status Lookup(const Value& key, std::vector<uint64_t>* rowids,
                 LookupStats* stats);
 
   /// Streams all (encoded key, rowid) entries with lo <= key <= hi in key
   /// order.
-  Status Range(const Value& lo, const Value& hi,
+  [[nodiscard]] Status Range(const Value& lo, const Value& hi,
                const std::function<Status(const uint8_t*, uint64_t)>& emit);
 
   uint64_t num_entries() const { return num_entries_; }
@@ -58,7 +58,7 @@ class TreeIndex {
   friend class TreeIndexBuilder;
 
   /// Walks internal levels down to the starting leaf page for `encoded`.
-  Status DescendToLeaf(const uint8_t* encoded, uint32_t* leaf_page,
+  [[nodiscard]] Status DescendToLeaf(const uint8_t* encoded, uint32_t* leaf_page,
                        LookupStats* stats);
 
   logstore::SequentialLog leaf_log_;
@@ -70,7 +70,7 @@ class TreeIndex {
 
 /// Allocates a leaf partition and an internal partition sized for a tree of
 /// `entries` entries on the allocator's chip.
-Status AllocateTreePartitions(flash::PartitionAllocator* allocator,
+[[nodiscard]] Status AllocateTreePartitions(flash::PartitionAllocator* allocator,
                               uint64_t entries, flash::Partition* leaf,
                               flash::Partition* internal);
 
@@ -85,10 +85,10 @@ class TreeIndexBuilder {
 
   /// Adds one 32-byte entry (24-byte encoded key + 8-byte rowid). Entries
   /// must arrive in ascending memcmp order.
-  Status Add(const uint8_t* entry);
+  [[nodiscard]] Status Add(const uint8_t* entry);
 
   /// Flushes partial pages and returns the finished index.
-  Result<TreeIndex> Finish();
+  [[nodiscard]] Result<TreeIndex> Finish();
 
  private:
   struct Level {
@@ -97,8 +97,8 @@ class TreeIndexBuilder {
     uint32_t pending_entries = 0;
   };
 
-  Status AddToLevel(size_t level, const uint8_t* key, uint32_t child_page);
-  Status FlushLevel(size_t level, uint32_t* page_out);
+  [[nodiscard]] Status AddToLevel(size_t level, const uint8_t* key, uint32_t child_page);
+  [[nodiscard]] Status FlushLevel(size_t level, uint32_t* page_out);
 
   static constexpr size_t kEntrySizeForOrderCheck = TreeIndex::kLeafEntrySize;
 

@@ -74,7 +74,7 @@ using Tuple = std::vector<Value>;
 void EncodeTuple(const std::vector<ColumnType>& types, const Tuple& tuple,
                  Bytes* out);
 /// Decodes a record produced by EncodeTuple.
-Result<Tuple> DecodeTuple(const std::vector<ColumnType>& types, ByteView in);
+[[nodiscard]] Result<Tuple> DecodeTuple(const std::vector<ColumnType>& types, ByteView in);
 
 }  // namespace pds::embdb
 

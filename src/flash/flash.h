@@ -70,16 +70,16 @@ class FlashChip {
 
   /// Reads one full page into `out` (resized to page_size). Reading an
   /// erased page yields 0xFF bytes, as on real NAND.
-  Status ReadPage(uint32_t page, Bytes* out);
+  [[nodiscard]] Status ReadPage(uint32_t page, Bytes* out);
 
   /// Programs a page. Fails with FailedPrecondition if the page was already
   /// programmed since the last erase of its block (random in-place writes
   /// are physically impossible on NAND). `data` may be shorter than the
   /// page; the remainder stays 0xFF.
-  Status ProgramPage(uint32_t page, ByteView data);
+  [[nodiscard]] Status ProgramPage(uint32_t page, ByteView data);
 
   /// Erases a whole block, resetting all its pages to 0xFF.
-  Status EraseBlock(uint32_t block);
+  [[nodiscard]] Status EraseBlock(uint32_t block);
 
   bool IsProgrammed(uint32_t page) const;
 
@@ -89,10 +89,10 @@ class FlashChip {
 
   /// Fault injection (testing): flips one stored bit, as a retention error
   /// or disturbed cell would. Does not touch the stats.
-  Status CorruptBit(uint32_t page, uint32_t bit_offset);
+  [[nodiscard]] Status CorruptBit(uint32_t page, uint32_t bit_offset);
   /// Fault injection (testing): the page fails with IoError on every
   /// subsequent read (a worn-out or unreadable page).
-  Status MarkBadPage(uint32_t page);
+  [[nodiscard]] Status MarkBadPage(uint32_t page);
 
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
@@ -125,16 +125,16 @@ class Partition {
   uint32_t page_size() const { return chip_->geometry().page_size; }
   uint32_t num_pages() const { return num_blocks_ * pages_per_block(); }
 
-  Status ReadPage(uint32_t local_page, Bytes* out);
-  Status ProgramPage(uint32_t local_page, ByteView data);
-  Status EraseBlock(uint32_t local_block);
+  [[nodiscard]] Status ReadPage(uint32_t local_page, Bytes* out);
+  [[nodiscard]] Status ProgramPage(uint32_t local_page, ByteView data);
+  [[nodiscard]] Status EraseBlock(uint32_t local_block);
   /// Erases every block in the partition.
-  Status EraseAll();
+  [[nodiscard]] Status EraseAll();
 
   bool valid() const { return chip_ != nullptr; }
 
  private:
-  Status CheckPage(uint32_t local_page) const;
+  [[nodiscard]] Status CheckPage(uint32_t local_page) const;
 
   FlashChip* chip_;
   uint32_t first_block_;
@@ -153,11 +153,11 @@ class PartitionAllocator {
   /// Allocates `num_blocks` blocks — reusing a freed range when one is
   /// large enough (first fit, split on surplus), else fresh blocks — and
   /// fails with ResourceExhausted when the chip is full.
-  Result<Partition> Allocate(uint32_t num_blocks);
+  [[nodiscard]] Result<Partition> Allocate(uint32_t num_blocks);
 
   /// Returns a partition's blocks to the allocator (erasing them). The
   /// caller must no longer use the partition or structures built on it.
-  Status Free(const Partition& partition);
+  [[nodiscard]] Status Free(const Partition& partition);
 
   uint32_t blocks_used() const { return next_block_ - freed_blocks_; }
   uint32_t blocks_free() const {

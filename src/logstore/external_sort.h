@@ -37,11 +37,11 @@ class ExternalSorter {
                  mcu::RamGauge* gauge);
 
   /// Buffers one record; spills a sorted run to flash when RAM is full.
-  Status Add(ByteView record);
+  [[nodiscard]] Status Add(ByteView record);
 
   /// Sorts everything added so far and emits records in ascending order.
   /// May be called once.
-  Status Finish(const std::function<Status(ByteView)>& emit);
+  [[nodiscard]] Status Finish(const std::function<Status(ByteView)>& emit);
 
   uint64_t num_records() const { return num_records_; }
   /// Number of sorted runs spilled to flash so far (diagnostics).
@@ -54,13 +54,13 @@ class ExternalSorter {
     uint64_t num_records = 0;
   };
 
-  Status SpillRun();
+  [[nodiscard]] Status SpillRun();
   /// Allocates a contiguous partition sized for `record_count` packed
   /// records and returns the run descriptor (pages pre-computed).
-  Result<Run> AllocRun(uint64_t record_count);
+  [[nodiscard]] Result<Run> AllocRun(uint64_t record_count);
   /// Merges `inputs` into a single emitted stream; if `out` is non-null the
   /// stream is also written as a new run.
-  Status MergeRuns(const std::vector<Run*>& inputs,
+  [[nodiscard]] Status MergeRuns(const std::vector<Run*>& inputs,
                    const std::function<Status(ByteView)>& emit, Run* out);
 
   flash::PartitionAllocator* allocator_;

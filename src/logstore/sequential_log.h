@@ -24,16 +24,16 @@ class SequentialLog {
       : partition_(partition) {}
 
   /// Appends one page of data; returns the page index within the log.
-  Result<uint32_t> AppendPage(ByteView data);
+  [[nodiscard]] Result<uint32_t> AppendPage(ByteView data);
 
-  Status ReadPage(uint32_t page, Bytes* out);
+  [[nodiscard]] Status ReadPage(uint32_t page, Bytes* out);
 
   uint32_t num_pages() const { return head_; }
   uint32_t capacity_pages() const { return partition_.num_pages(); }
   uint32_t page_size() const { return partition_.page_size(); }
 
   /// Erases every block and rewinds the head.
-  Status Reset();
+  [[nodiscard]] Status Reset();
 
  private:
   flash::Partition partition_;
@@ -56,10 +56,10 @@ class RecordLog {
 
   /// Appends a record; returns its address (byte offset of its length
   /// prefix). Records of length 0xFFFFFFFF are rejected (reserved).
-  Result<uint64_t> Append(ByteView record);
+  [[nodiscard]] Result<uint64_t> Append(ByteView record);
 
   /// Random access by record address.
-  Status ReadAt(uint64_t offset, Bytes* record);
+  [[nodiscard]] Status ReadAt(uint64_t offset, Bytes* record);
 
   uint64_t num_records() const { return num_records_; }
   uint64_t size_bytes() const { return size_bytes_; }
@@ -67,7 +67,7 @@ class RecordLog {
   /// Pages occupied (flushed pages plus the RAM tail if non-empty).
   uint32_t num_pages_used() const;
 
-  Status Reset();
+  [[nodiscard]] Status Reset();
 
   /// Streaming reader with a one-page cache: a full scan costs exactly
   /// `num_pages_used()` page reads.
@@ -77,12 +77,12 @@ class RecordLog {
 
     bool AtEnd() const { return offset_ >= log_->size_bytes_; }
     /// Reads the next record. Returns OutOfRange at end.
-    Status Next(Bytes* record);
+    [[nodiscard]] Status Next(Bytes* record);
     /// Address of the record that the next call to Next() will return.
     uint64_t offset() const { return offset_; }
 
    private:
-    Status FetchSpan(uint64_t offset, size_t len, uint8_t* out);
+    [[nodiscard]] Status FetchSpan(uint64_t offset, size_t len, uint8_t* out);
 
     RecordLog* log_;
     uint64_t offset_ = 0;
@@ -97,7 +97,7 @@ class RecordLog {
 
   /// Reads the byte range [offset, offset+len) of the stream into out,
   /// via whole-page reads (flushed) or the RAM tail.
-  Status ReadSpan(uint64_t offset, size_t len, uint8_t* out);
+  [[nodiscard]] Status ReadSpan(uint64_t offset, size_t len, uint8_t* out);
 
   SequentialLog log_;
   Bytes tail_;  // open page buffered in MCU RAM

@@ -23,7 +23,7 @@ class RamGauge {
   RamGauge& operator=(const RamGauge&) = delete;
 
   /// Reserves `bytes`; fails when the budget would be exceeded.
-  Status Acquire(size_t bytes);
+  [[nodiscard]] Status Acquire(size_t bytes);
 
   /// Returns previously acquired bytes. Releasing more than is in use is a
   /// programming error and clamps to zero.
@@ -48,7 +48,7 @@ class RamCharge {
   RamCharge() : gauge_(nullptr), bytes_(0) {}
 
   /// Acquires `bytes` from `gauge`; fails if over budget.
-  static Result<RamCharge> Make(RamGauge* gauge, size_t bytes);
+  [[nodiscard]] static Result<RamCharge> Make(RamGauge* gauge, size_t bytes);
 
   RamCharge(const RamCharge&) = delete;
   RamCharge& operator=(const RamCharge&) = delete;
@@ -57,7 +57,7 @@ class RamCharge {
   ~RamCharge();
 
   /// Grows the charge by `extra` bytes.
-  Status Grow(size_t extra);
+  [[nodiscard]] Status Grow(size_t extra);
 
   size_t bytes() const { return bytes_; }
 

@@ -55,22 +55,22 @@ class SecureToken {
 
   /// Deterministic encryption with the fleet key (for [TNP14] noise/histogram
   /// protocols).
-  Result<Bytes> EncryptDet(ByteView plaintext);
-  Result<Bytes> DecryptDet(ByteView ciphertext);
+  [[nodiscard]] Result<Bytes> EncryptDet(ByteView plaintext);
+  [[nodiscard]] Result<Bytes> DecryptDet(ByteView ciphertext);
 
   /// Non-deterministic encryption with the fleet key (for the secure
   /// aggregation protocol).
-  Result<Bytes> EncryptNonDet(ByteView plaintext);
-  Result<Bytes> DecryptNonDet(ByteView ciphertext);
+  [[nodiscard]] Result<Bytes> EncryptNonDet(ByteView plaintext);
+  [[nodiscard]] Result<Bytes> DecryptNonDet(ByteView ciphertext);
 
   /// MAC with a key derived from the fleet key, used for integrity evidence
   /// against a weakly-malicious SSI.
-  Result<crypto::Sha256::Digest> Mac(ByteView message);
+  [[nodiscard]] Result<crypto::Sha256::Digest> Mac(ByteView message);
 
   /// Attestation: proves knowledge of the fleet key for a challenge. Another
   /// token verifies with VerifyAttestation.
-  Result<crypto::Sha256::Digest> Attest(ByteView challenge);
-  Result<bool> VerifyAttestation(ByteView challenge,
+  [[nodiscard]] Result<crypto::Sha256::Digest> Attest(ByteView challenge);
+  [[nodiscard]] Result<bool> VerifyAttestation(ByteView challenge,
                                  const crypto::Sha256::Digest& proof);
 
   /// Simulates a physical attack: the token detects it and zeroizes.
@@ -81,7 +81,7 @@ class SecureToken {
   void ResetCryptoOps() { ops_ = CryptoOps(); }
 
  private:
-  Status CheckAlive() const;
+  [[nodiscard]] Status CheckAlive() const;
 
   uint64_t id_;
   bool tampered_ = false;

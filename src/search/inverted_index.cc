@@ -54,6 +54,8 @@ uint64_t InvertedIndexLog::HashTerm(std::string_view term) {
   return Fnv1a64(term);
 }
 
+// pdslint: ram-exempt(insert buffer RAM is charged up-front in Init;
+// FlushBuffer bounds it at options_.insert_buffer_bytes)
 Status InvertedIndexLog::AddDocument(
     uint32_t docid, const std::map<std::string, uint32_t>& term_freqs) {
   if (!initialized_) {
@@ -121,6 +123,8 @@ Status InvertedIndexLog::FlushBuffer() {
   return Status::Ok();
 }
 
+// pdslint: ram-exempt(ram_postings_ snapshots one bucket of the insert
+// buffer, whose RAM is charged in Init)
 InvertedIndexLog::TermCursor::TermCursor(InvertedIndexLog* index,
                                          uint64_t term_hash)
     : index_(index), term_hash_(term_hash) {

@@ -58,6 +58,8 @@ class TopN {
   std::vector<SearchResult> heap_;
 };
 
+// pdslint: ram-exempt(deduplicated term list is bounded by the query's term
+// count, not by indexed data)
 std::vector<std::string> UniqueTerms(const std::vector<std::string>& terms) {
   std::set<std::string> seen;
   std::vector<std::string> out;

@@ -4,6 +4,8 @@
 
 namespace pds::search {
 
+// pdslint: ram-exempt(token buffers are bounded by the caller-supplied text,
+// which the embedded pipeline stages one flash page at a time)
 std::vector<std::string> Tokenize(std::string_view text) {
   std::vector<std::string> tokens;
   std::string current;

@@ -75,6 +75,37 @@ TEST(ResultTest, AssignOrReturnMacro) {
             StatusCode::kIoError);
 }
 
+TEST(ResultTest, DefaultConstructedIsInternalError) {
+  Result<int> r;
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(r.status().message(), "uninitialized Result");
+}
+
+TEST(ResultTest, OkStatusCannotSmuggleIntoErrorCtor) {
+  Result<int> r = Status::Ok();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+using ResultDeathTest = ::testing::Test;
+
+TEST(ResultDeathTest, ValueOnErrorAbortsWithStoredMessage) {
+  Result<int> r = Status::NotFound("row 17 missing from keys log");
+  EXPECT_DEATH(r.value(), "NotFound: row 17 missing from keys log");
+}
+
+TEST(ResultDeathTest, ValueOnDefaultConstructedNamesTheBug) {
+  Result<int> r;
+  EXPECT_DEATH(r.value(), "Internal: uninitialized Result");
+}
+
+TEST(ResultDeathTest, DereferenceAndArrowAlsoNameTheFailure) {
+  Result<std::string> r = Status::PermissionDenied("token rejected query");
+  EXPECT_DEATH(*r, "PermissionDenied: token rejected query");
+  EXPECT_DEATH(r->size(), "PermissionDenied: token rejected query");
+}
+
 TEST(BytesTest, FixedWidthRoundTrip) {
   Bytes b;
   PutU16(&b, 0xBEEF);

@@ -41,6 +41,66 @@ TEST(RamGaugeTest, OverReleaseClamps) {
   EXPECT_EQ(g.in_use(), 0u);
 }
 
+TEST(RamGaugeTest, ExactBudgetAcquireSucceeds) {
+  RamGauge g(128 * 1024);  // the tutorial's "<128 KB" budget, to the byte
+  ASSERT_TRUE(g.Acquire(128 * 1024).ok());
+  EXPECT_EQ(g.available(), 0u);
+  EXPECT_EQ(g.high_water(), 128u * 1024u);
+  // Even one more byte must fail, without corrupting the accounting.
+  EXPECT_EQ(g.Acquire(1).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(g.in_use(), 128u * 1024u);
+  g.Release(128 * 1024);
+  EXPECT_EQ(g.in_use(), 0u);
+  EXPECT_EQ(g.available(), 128u * 1024u);
+}
+
+TEST(RamGaugeTest, ZeroByteAcquireIsFreeAtFullBudget) {
+  RamGauge g(64);
+  ASSERT_TRUE(g.Acquire(64).ok());
+  // A zero-sized reservation (e.g. an empty RamCharge) always fits.
+  EXPECT_TRUE(g.Acquire(0).ok());
+  EXPECT_EQ(g.in_use(), 64u);
+}
+
+TEST(RamGaugeTest, DoubleReleaseClampsAndKeepsGaugeUsable) {
+  RamGauge g(100);
+  ASSERT_TRUE(g.Acquire(60).ok());
+  g.Release(60);
+  g.Release(60);  // double release: clamps to zero, does not wrap
+  EXPECT_EQ(g.in_use(), 0u);
+  EXPECT_EQ(g.available(), 100u);
+  // Accounting still works after the programming error.
+  ASSERT_TRUE(g.Acquire(100).ok());
+  EXPECT_EQ(g.Acquire(1).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RamGaugeTest, HighWaterResetTracksCurrentUseNotZero) {
+  RamGauge g(1000);
+  ASSERT_TRUE(g.Acquire(900).ok());
+  g.Release(850);
+  g.ResetHighWater();
+  EXPECT_EQ(g.high_water(), 50u);  // resets to in_use, not to zero
+  ASSERT_TRUE(g.Acquire(10).ok());
+  EXPECT_EQ(g.high_water(), 60u);
+  g.Release(60);
+  g.ResetHighWater();
+  EXPECT_EQ(g.high_water(), 0u);
+}
+
+TEST(RamChargeTest, GrowPastBudgetFailsWithoutLeakingCharge) {
+  RamGauge g(100);
+  auto charge = RamCharge::Make(&g, 90);
+  ASSERT_TRUE(charge.ok());
+  Status s = charge.value().Grow(20);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // The failed grow must leave the original charge intact...
+  EXPECT_EQ(charge.value().bytes(), 90u);
+  EXPECT_EQ(g.in_use(), 90u);
+  // ...and the destructor must release exactly what was acquired.
+  { auto dropped = std::move(charge).value(); }
+  EXPECT_EQ(g.in_use(), 0u);
+}
+
 TEST(RamChargeTest, RaiiReleases) {
   RamGauge g(1000);
   {

@@ -1,0 +1,14 @@
+// pdslint fixture: header hygiene violations — no include guard, a
+// namespace-level using directive, and a mutable global.
+
+#include <string>
+
+using namespace std;
+
+namespace pds::anon {
+
+inline int g_request_count = 0;
+
+void Touch();
+
+}  // namespace pds::anon

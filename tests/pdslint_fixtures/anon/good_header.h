@@ -1,0 +1,22 @@
+// pdslint fixture: hygienic header. Must stay silent.
+#ifndef PDSLINT_FIXTURE_GOOD_HEADER_H_
+#define PDSLINT_FIXTURE_GOOD_HEADER_H_
+
+#include <string>
+
+namespace pds::anon {
+
+inline constexpr int kMaxRequests = 16;
+extern const char kName[];
+
+class Counter {
+ public:
+  void Touch();
+
+ private:
+  int count_ = 0;  // member, not a global
+};
+
+}  // namespace pds::anon
+
+#endif  // PDSLINT_FIXTURE_GOOD_HEADER_H_

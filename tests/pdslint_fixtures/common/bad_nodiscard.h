@@ -1,0 +1,21 @@
+// pdslint fixture: Status/Result declarations missing [[nodiscard]].
+#ifndef PDSLINT_FIXTURE_BAD_NODISCARD_H_
+#define PDSLINT_FIXTURE_BAD_NODISCARD_H_
+
+namespace pds {
+
+class Widget {
+ public:
+  Status Open();                 // missing [[nodiscard]]
+  Result<int> Compute() const;   // missing [[nodiscard]]
+  static Status Validate(int v); // missing [[nodiscard]]
+
+  const Status& last_status() const;  // reference return: exempt
+  void Close();                       // not fallible: exempt
+};
+
+Status GlobalInit();             // missing [[nodiscard]]
+
+}  // namespace pds
+
+#endif  // PDSLINT_FIXTURE_BAD_NODISCARD_H_

@@ -1,0 +1,25 @@
+// pdslint fixture: properly annotated fallible API. Must stay silent.
+#ifndef PDSLINT_FIXTURE_GOOD_NODISCARD_H_
+#define PDSLINT_FIXTURE_GOOD_NODISCARD_H_
+
+namespace pds {
+
+class Widget {
+ public:
+  [[nodiscard]] Status Open();
+  [[nodiscard]] Result<int> Compute() const;
+  [[nodiscard]] static Status Validate(int v);
+
+  // Annotation on the previous line also counts.
+  [[nodiscard]]
+  Status Flush();
+
+  const Status& last_status() const;
+  void Close();
+};
+
+[[nodiscard]] Status GlobalInit();
+
+}  // namespace pds
+
+#endif  // PDSLINT_FIXTURE_GOOD_NODISCARD_H_

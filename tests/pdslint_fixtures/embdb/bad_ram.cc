@@ -1,0 +1,28 @@
+// pdslint fixture: every allocation shape the tiny-RAM rule must flag.
+// Not compiled — scanned by pdslint_test only.
+#include <string>
+#include <vector>
+
+namespace pds::embdb {
+
+int* MakeBuffer() {
+  return new int[64];  // direct heap allocation
+}
+
+void* MakeRaw() {
+  return malloc(256);  // C allocation
+}
+
+void Collect(std::vector<int>* out) {
+  for (int i = 0; i < 1000; ++i) {
+    out->push_back(i);  // unbounded growth in a loop
+  }
+}
+
+void BuildMessage(std::string* s, int n) {
+  for (int i = 0; i < n; ++i) {
+    *s += "chunk";  // string concatenation in a loop
+  }
+}
+
+}  // namespace pds::embdb

@@ -1,0 +1,31 @@
+// pdslint fixture: the same shapes as bad_ram.cc, but RAM-disciplined —
+// gauge-accounted, reserve-bounded, or outside a loop. Must stay silent.
+#include <string>
+#include <vector>
+
+namespace pds::embdb {
+
+struct FakeCharge {
+  bool Grow(int) { return true; }
+};
+
+bool Collect(FakeCharge* charge, std::vector<int>* out) {
+  for (int i = 0; i < 1000; ++i) {
+    if (!charge->Grow(static_cast<int>(sizeof(int)))) return false;
+    out->push_back(i);  // accounted: the function charges a RamCharge
+  }
+  return true;
+}
+
+void Project(const std::vector<int>& in, std::vector<int>* out) {
+  out->reserve(in.size());  // bounded up-front
+  for (int v : in) {
+    out->push_back(v);
+  }
+}
+
+void SingleAppend(std::vector<int>* out) {
+  out->push_back(7);  // growth, but not in a loop
+}
+
+}  // namespace pds::embdb

@@ -1,0 +1,18 @@
+// pdslint fixture: allocations carrying waivers. Zero findings, two waivers.
+#include <vector>
+
+namespace pds::embdb {
+
+int* MakeScratch() {
+  return new int[16];  // pdslint: ram-exempt(fixed 64-byte scratch, freed by caller)
+}
+
+// pdslint: ram-exempt(output is bounded by the caller-supplied input list,
+// which never exceeds one flash page)
+void CopyAll(const std::vector<int>& in, std::vector<int>* out) {
+  for (int v : in) {
+    out->push_back(v);
+  }
+}
+
+}  // namespace pds::embdb

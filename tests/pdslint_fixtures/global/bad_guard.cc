@@ -1,0 +1,9 @@
+// pdslint fixture: .value() reached without any guard.
+namespace pds::global {
+
+int UnguardedUse() {
+  auto r = ComputeResult();
+  return r.value();  // no ok()/has_value() guard anywhere in this function
+}
+
+}  // namespace pds::global

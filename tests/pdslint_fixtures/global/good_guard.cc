@@ -1,0 +1,26 @@
+// pdslint fixture: guarded .value() uses. Must stay silent.
+namespace pds::global {
+
+int GuardedUse() {
+  auto r = ComputeResult();
+  if (!r.ok()) {
+    return -1;
+  }
+  return r.value();
+}
+
+int OptionalUse() {
+  auto o = MaybeValue();
+  if (!o.has_value()) {
+    return -1;
+  }
+  return o.value();
+}
+
+int MacroUse() {
+  int v = 0;
+  PDS_ASSIGN_OR_RETURN(v, ComputeResult());
+  return v;
+}
+
+}  // namespace pds::global

@@ -1,0 +1,175 @@
+// Fixture-driven tests for the pdslint analyzer (tools/pdslint). Each rule
+// must fire on a known-bad input and stay silent on a known-good one; the
+// waiver and baseline machinery must behave as documented.
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pdslint.h"
+
+namespace {
+
+using pdslint::AnalyzeFile;
+using pdslint::Finding;
+using pdslint::Options;
+using pdslint::Report;
+using pdslint::Rule;
+
+std::string FixturePath(const std::string& rel) {
+  return std::string(PDSLINT_FIXTURE_DIR) + "/" + rel;
+}
+
+Report Lint(const std::string& rel) {
+  std::string path = FixturePath(rel);
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Report report;
+  AnalyzeFile(path, buf.str(), Options(), &report);
+  return report;
+}
+
+std::vector<int> LinesFor(const Report& r, Rule rule) {
+  std::vector<int> lines;
+  for (const Finding& f : r.findings) {
+    if (f.rule == rule) lines.push_back(f.line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(PdslintModuleOf, ResolvesSrcAndFixturePaths) {
+  EXPECT_EQ(pdslint::ModuleOf("src/embdb/value.cc"), "embdb");
+  EXPECT_EQ(pdslint::ModuleOf("/root/repo/src/mcu/ram_gauge.h"), "mcu");
+  EXPECT_EQ(pdslint::ModuleOf("tests/pdslint_fixtures/search/x.cc"), "search");
+}
+
+TEST(PdslintRamRule, FlagsEveryBadShape) {
+  Report r = Lint("embdb/bad_ram.cc");
+  std::vector<int> lines = LinesFor(r, Rule::kRamAlloc);
+  ASSERT_EQ(lines.size(), 4u) << "new, malloc, loop growth, loop concat";
+  // new int[64]; malloc(256); push_back in loop; += "chunk" in loop.
+  EXPECT_EQ(lines[0], 9);
+  EXPECT_EQ(lines[1], 13);
+  EXPECT_EQ(lines[2], 18);
+  EXPECT_EQ(lines[3], 24);
+}
+
+TEST(PdslintRamRule, SilentOnAccountedReservedOrUnloopedCode) {
+  Report r = Lint("embdb/good_ram.cc");
+  EXPECT_TRUE(r.findings.empty())
+      << pdslint::FormatFinding(r.findings.front());
+}
+
+TEST(PdslintRamRule, WaiversSuppressAndAreCounted) {
+  Report r = Lint("embdb/waived_ram.cc");
+  EXPECT_TRUE(r.findings.empty())
+      << pdslint::FormatFinding(r.findings.front());
+  ASSERT_EQ(r.waivers.size(), 2u);
+  for (const auto& w : r.waivers) {
+    EXPECT_TRUE(w.used) << "waiver at line " << w.line << " unused";
+    EXPECT_EQ(w.rule, Rule::kRamAlloc);
+    EXPECT_FALSE(w.reason.empty());
+  }
+}
+
+TEST(PdslintRamRule, IgnoresNonEmbeddedModules) {
+  // Same bad content, but attributed to a non-embedded module: the tiny-RAM
+  // rule must not apply.
+  std::ifstream in(FixturePath("embdb/bad_ram.cc"), std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Report report;
+  AnalyzeFile("src/global/bad_ram.cc", buf.str(), Options(), &report);
+  EXPECT_TRUE(LinesFor(report, Rule::kRamAlloc).empty());
+}
+
+TEST(PdslintNodiscardRule, FlagsUnannotatedDeclarations) {
+  Report r = Lint("common/bad_nodiscard.h");
+  std::vector<int> lines = LinesFor(r, Rule::kResultNodiscard);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], 9);   // Status Open();
+  EXPECT_EQ(lines[1], 10);  // Result<int> Compute() const;
+  EXPECT_EQ(lines[2], 11);  // static Status Validate(int);
+  EXPECT_EQ(lines[3], 17);  // Status GlobalInit();
+}
+
+TEST(PdslintNodiscardRule, SilentOnAnnotatedDeclarations) {
+  Report r = Lint("common/good_nodiscard.h");
+  EXPECT_TRUE(r.findings.empty())
+      << pdslint::FormatFinding(r.findings.front());
+}
+
+TEST(PdslintGuardRule, FlagsUnguardedValue) {
+  Report r = Lint("global/bad_guard.cc");
+  std::vector<int> lines = LinesFor(r, Rule::kResultGuard);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 6);
+}
+
+TEST(PdslintGuardRule, SilentOnGuardedValue) {
+  Report r = Lint("global/good_guard.cc");
+  EXPECT_TRUE(r.findings.empty())
+      << pdslint::FormatFinding(r.findings.front());
+}
+
+TEST(PdslintHeaderRules, FlagHygieneViolations) {
+  Report r = Lint("anon/bad_header.h");
+  EXPECT_EQ(LinesFor(r, Rule::kHeaderGuard).size(), 1u);
+  ASSERT_EQ(LinesFor(r, Rule::kUsingNamespace).size(), 1u);
+  EXPECT_EQ(LinesFor(r, Rule::kUsingNamespace)[0], 6);
+  ASSERT_EQ(LinesFor(r, Rule::kGlobalVar).size(), 1u);
+  EXPECT_EQ(LinesFor(r, Rule::kGlobalVar)[0], 10);
+}
+
+TEST(PdslintHeaderRules, SilentOnHygienicHeader) {
+  Report r = Lint("anon/good_header.h");
+  EXPECT_TRUE(r.findings.empty())
+      << pdslint::FormatFinding(r.findings.front());
+}
+
+TEST(PdslintFingerprint, StableAcrossLineShiftsDistinctAcrossOccurrences) {
+  Report a = Lint("embdb/bad_ram.cc");
+  ASSERT_FALSE(a.findings.empty());
+
+  // Shift the file down by three blank lines: fingerprints must not change.
+  std::ifstream in(FixturePath("embdb/bad_ram.cc"), std::ios::binary);
+  std::ostringstream buf;
+  buf << "\n\n\n" << in.rdbuf();
+  Report b;
+  AnalyzeFile(FixturePath("embdb/bad_ram.cc"), buf.str(), Options(), &b);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(pdslint::Fingerprint(a.findings[i]),
+              pdslint::Fingerprint(b.findings[i]));
+    EXPECT_NE(a.findings[i].line, b.findings[i].line);
+  }
+
+  // All fingerprints are distinct, even for identical rule/snippet pairs.
+  std::set<std::string> prints;
+  for (const Finding& f : a.findings) prints.insert(pdslint::Fingerprint(f));
+  EXPECT_EQ(prints.size(), a.findings.size());
+}
+
+TEST(PdslintRuleNames, RoundTrip) {
+  for (Rule rule : {Rule::kRamAlloc, Rule::kResultNodiscard,
+                    Rule::kResultGuard, Rule::kHeaderGuard,
+                    Rule::kUsingNamespace, Rule::kGlobalVar}) {
+    Rule parsed;
+    ASSERT_TRUE(pdslint::ParseRuleName(pdslint::RuleName(rule), &parsed));
+    EXPECT_EQ(parsed, rule);
+  }
+  Rule parsed;
+  EXPECT_TRUE(pdslint::ParseRuleName("ram", &parsed));
+  EXPECT_EQ(parsed, Rule::kRamAlloc);
+  EXPECT_FALSE(pdslint::ParseRuleName("no-such-rule", &parsed));
+}
+
+}  // namespace

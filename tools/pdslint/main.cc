@@ -1,0 +1,136 @@
+// pdslint CLI — scans a tree, applies the baseline, enforces the waiver
+// budget, and exits non-zero on new findings. Wired into ctest as the
+// tier-1 `pdslint` test (see tools/pdslint/CMakeLists.txt).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pdslint.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --root <dir|file> [--root ...]\n"
+               "          [--baseline <file>] [--write-baseline <file>]\n"
+               "          [--max-waivers <n>] [--list-waivers]\n",
+               argv0);
+}
+
+// Baseline format: one fingerprint token per line; '#' starts a comment.
+std::set<std::string> LoadBaseline(const std::string& path, bool* ok) {
+  std::set<std::string> entries;
+  std::ifstream in(path);
+  *ok = in.good();
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    size_t e = line.find_last_not_of(" \t\r");
+    entries.insert(line.substr(b, e - b + 1));
+  }
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string baseline_path, write_baseline_path;
+  int max_waivers = -1;
+  bool list_waivers = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") roots.push_back(next());
+    else if (arg == "--baseline") baseline_path = next();
+    else if (arg == "--write-baseline") write_baseline_path = next();
+    else if (arg == "--max-waivers") max_waivers = std::atoi(next());
+    else if (arg == "--list-waivers") list_waivers = true;
+    else if (arg == "--help" || arg == "-h") { Usage(argv[0]); return 0; }
+    else { Usage(argv[0]); return 2; }
+  }
+  if (roots.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  pdslint::Options options;
+  options.max_waivers = max_waivers;
+  pdslint::Report report = pdslint::AnalyzeTree(roots, options);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    out << "# pdslint baseline — grandfathered findings, keyed by content\n"
+           "# fingerprint, not line number. Regenerate with:\n"
+           "#   pdslint --root src --write-baseline tools/pdslint/baseline.txt\n";
+    for (const pdslint::Finding& f : report.findings) {
+      out << pdslint::Fingerprint(f) << "  # " << pdslint::FormatFinding(f)
+          << '\n';
+    }
+    std::printf("pdslint: wrote %zu baseline entries to %s\n",
+                report.findings.size(), write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    bool ok = false;
+    baseline = LoadBaseline(baseline_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "pdslint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+  }
+
+  int fresh = 0, baselined = 0;
+  for (const pdslint::Finding& f : report.findings) {
+    if (baseline.count(pdslint::Fingerprint(f))) {
+      ++baselined;
+      continue;
+    }
+    ++fresh;
+    std::printf("%s\n", pdslint::FormatFinding(f).c_str());
+  }
+
+  bool budget_exceeded =
+      max_waivers >= 0 && static_cast<int>(report.waivers.size()) > max_waivers;
+  if (list_waivers || budget_exceeded) {
+    for (const pdslint::Waiver& w : report.waivers) {
+      std::printf("%s:%d: [waiver %s] %s%s\n", w.file.c_str(), w.line,
+                  pdslint::RuleName(w.rule), w.reason.c_str(),
+                  w.used ? "" : " (UNUSED)");
+    }
+  }
+
+  std::string budget =
+      max_waivers < 0 ? "unlimited" : std::to_string(max_waivers);
+  std::printf(
+      "pdslint: %d files, %d findings (%d new, %d baselined), "
+      "%zu waivers (budget %s)\n",
+      report.files_scanned, fresh + baselined, fresh, baselined,
+      report.waivers.size(), budget.c_str());
+
+  if (budget_exceeded) {
+    std::fprintf(stderr,
+                 "pdslint: waiver budget exceeded (%zu > %d) — remove "
+                 "exemptions or raise --max-waivers deliberately\n",
+                 report.waivers.size(), max_waivers);
+    return 1;
+  }
+  return fresh == 0 ? 0 : 1;
+}

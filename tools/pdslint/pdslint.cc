@@ -1,0 +1,688 @@
+#include "pdslint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace pdslint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool IsHeaderPath(const std::string& path) {
+  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 0: split into lines, blank out comments and string/char literals in a
+// "code" view, and keep the comment text per line for waiver parsing.
+// ---------------------------------------------------------------------------
+
+struct Scrubbed {
+  std::vector<std::string> code;      // literals/comments replaced by spaces
+  std::vector<std::string> comments;  // comment text only, per line
+};
+
+Scrubbed Scrub(const std::string& content) {
+  enum State { kCode, kLineComment, kBlockComment, kString, kChar };
+  Scrubbed out;
+  std::string code_line, comment_line;
+  State state = kCode;
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == kLineComment) state = kCode;
+      out.code.push_back(code_line);
+      out.comments.push_back(comment_line);
+      code_line.clear();
+      comment_line.clear();
+      continue;
+    }
+    switch (state) {
+      case kCode:
+        if (c == '/' && next == '/') {
+          state = kLineComment;
+          ++i;
+          code_line += "  ";
+        } else if (c == '/' && next == '*') {
+          state = kBlockComment;
+          ++i;
+          code_line += "  ";
+        } else if (c == '"') {
+          state = kString;
+          code_line += '"';
+        } else if (c == '\'') {
+          state = kChar;
+          code_line += '\'';
+        } else {
+          code_line += c;
+        }
+        break;
+      case kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case kBlockComment:
+        if (c == '*' && next == '/') {
+          state = kCode;
+          ++i;
+          code_line += "  ";
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case kString:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = kCode;
+          code_line += '"';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = kCode;
+          code_line += '\'';
+        } else {
+          code_line += ' ';
+        }
+        break;
+    }
+  }
+  out.code.push_back(code_line);
+  out.comments.push_back(comment_line);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: brace-frame structure. Classifies each `{ ... }` block as a
+// namespace, type, function, loop, control block, or initializer so rules
+// can ask "which function encloses line N?" and "is line N inside a loop?".
+// ---------------------------------------------------------------------------
+
+enum class FrameKind { kFile, kNamespace, kType, kFunction, kLoop, kControl, kInit };
+
+struct Frame {
+  FrameKind kind = FrameKind::kFile;
+  int parent = -1;
+  int open_line = 0;   // 0-based
+  int close_line = -1; // filled at the closing brace; last line if unclosed
+};
+
+struct Structure {
+  std::vector<Frame> frames;       // frames[0] is the synthetic file frame
+  std::vector<int> line_frame;     // innermost frame at the start of each line
+};
+
+const std::regex kControlHead(R"((^|[^\w])(if|switch|catch|else)\b)");
+const std::regex kLoopHead(R"((^|[^\w])(for|while|do)\b)");
+const std::regex kTypeHead(R"((^|[^\w])(class|struct|union|enum)\s)");
+
+FrameKind ClassifyHead(const std::string& head, int paren_depth) {
+  if (paren_depth > 0) return FrameKind::kInit;
+  if (head.find("namespace") != std::string::npos) return FrameKind::kNamespace;
+  if (std::regex_search(head, kLoopHead)) return FrameKind::kLoop;
+  if (std::regex_search(head, kControlHead)) return FrameKind::kControl;
+  std::string t = Trim(head);
+  if (t.empty() || t.back() == '=' || t.back() == ',' || t.back() == '(') {
+    return FrameKind::kInit;
+  }
+  if (std::regex_search(head, kTypeHead) &&
+      head.find('(') == std::string::npos) {
+    return FrameKind::kType;
+  }
+  if (head.find('(') != std::string::npos) return FrameKind::kFunction;
+  return FrameKind::kInit;
+}
+
+Structure BuildStructure(const std::vector<std::string>& code) {
+  Structure st;
+  st.frames.push_back(Frame{});  // file frame
+  st.frames[0].close_line = static_cast<int>(code.size()) - 1;
+  std::vector<int> stack{0};
+  std::string head;
+  int paren_depth = 0;
+  for (size_t ln = 0; ln < code.size(); ++ln) {
+    st.line_frame.push_back(stack.back());
+    for (char c : code[ln]) {
+      switch (c) {
+        case '(':
+          ++paren_depth;
+          head += c;
+          break;
+        case ')':
+          if (paren_depth > 0) --paren_depth;
+          head += c;
+          break;
+        case '{': {
+          Frame f;
+          f.kind = ClassifyHead(head, paren_depth);
+          f.parent = stack.back();
+          f.open_line = static_cast<int>(ln);
+          st.frames.push_back(f);
+          stack.push_back(static_cast<int>(st.frames.size()) - 1);
+          head.clear();
+          break;
+        }
+        case '}':
+          if (stack.size() > 1) {
+            st.frames[stack.back()].close_line = static_cast<int>(ln);
+            stack.pop_back();
+          }
+          head.clear();
+          break;
+        case ';':
+          if (paren_depth == 0) head.clear();
+          else head += c;
+          break;
+        default:
+          head += c;
+      }
+    }
+  }
+  for (Frame& f : st.frames) {
+    if (f.close_line < 0) f.close_line = static_cast<int>(code.size()) - 1;
+  }
+  return st;
+}
+
+// Innermost enclosing function frame for a line; -1 when at namespace scope.
+int EnclosingFunction(const Structure& st, int line) {
+  int f = st.line_frame[line];
+  while (f >= 0 && st.frames[f].kind != FrameKind::kFunction) {
+    f = st.frames[f].parent;
+  }
+  return f;
+}
+
+// True when the line sits inside a loop of its enclosing function (or inside
+// any loop when at namespace scope). Also catches the brace-less
+// `for (...) stmt;` shape by peeking at the current and two previous lines.
+bool InLoop(const Structure& st, const std::vector<std::string>& code,
+            int line) {
+  for (int f = st.line_frame[line]; f >= 0; f = st.frames[f].parent) {
+    if (st.frames[f].kind == FrameKind::kLoop) return true;
+    if (st.frames[f].kind == FrameKind::kFunction) break;
+  }
+  static const std::regex loop_start(R"(^\s*(for|while)\s*\()");
+  for (int i = line; i >= 0 && i >= line - 2; --i) {
+    if (std::regex_search(code[i], loop_start)) return true;
+  }
+  return false;
+}
+
+// True when any frame at or above `line`'s position is at namespace/file
+// scope only (no type/function frame) — i.e. the line declares at namespace
+// scope.
+bool AtNamespaceScope(const Structure& st, int line) {
+  for (int f = st.line_frame[line]; f >= 0; f = st.frames[f].parent) {
+    FrameKind k = st.frames[f].kind;
+    if (k == FrameKind::kFunction || k == FrameKind::kType ||
+        k == FrameKind::kLoop || k == FrameKind::kControl ||
+        k == FrameKind::kInit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+// `// pdslint: ram-exempt(reason)` or `// pdslint: exempt(rule, reason)`.
+// The reason runs to the last ')' so it may itself contain parentheses.
+const std::regex kWaiverShort(R"(pdslint:\s*([a-z-]+)-exempt\((.*)\))");
+const std::regex kWaiverLong(R"(pdslint:\s*exempt\(\s*([a-z-]+)\s*,\s*(.*)\))");
+
+struct WaiverSpan {
+  int first_line;  // 0-based, inclusive
+  int last_line;   // 0-based, inclusive
+  Rule rule;
+  size_t index;    // into report->waivers
+};
+
+struct FileWaivers {
+  std::vector<WaiverSpan> spans;
+};
+
+void CollectWaivers(const std::string& path, const Scrubbed& s,
+                    const Structure& st, Report* report, FileWaivers* fw) {
+  for (size_t ln = 0; ln < s.comments.size(); ++ln) {
+    if (s.comments[ln].find("pdslint:") == std::string::npos) continue;
+    // A waiver may wrap onto following comment-only lines; join them so the
+    // closing ')' is seen.
+    std::string comment = s.comments[ln];
+    for (size_t j = ln + 1;
+         j < s.comments.size() && !s.comments[j].empty() &&
+         Trim(s.code[j]).empty() &&
+         s.comments[j].find("pdslint:") == std::string::npos;
+         ++j) {
+      comment += ' ' + s.comments[j];
+    }
+    std::smatch m;
+    std::string rule_name, reason;
+    if (std::regex_search(comment, m, kWaiverShort)) {
+      rule_name = m[1];
+      reason = Trim(m[2]);
+    } else if (std::regex_search(comment, m, kWaiverLong)) {
+      rule_name = m[1];
+      reason = Trim(m[2]);
+    } else {
+      continue;
+    }
+    Rule rule;
+    if (!ParseRuleName(rule_name, &rule)) continue;
+    // A waiver on a code-bearing line covers that line. A waiver on its own
+    // line covers the next line with code — and when that line starts a
+    // function, the whole function body (so one justified exemption covers a
+    // lexer loop instead of ten line-waivers; the budget still counts it).
+    int target = static_cast<int>(ln);
+    int last = target;
+    if (Trim(s.code[ln]).empty()) {
+      for (size_t j = ln + 1; j < s.code.size(); ++j) {
+        if (!Trim(s.code[j]).empty()) {
+          target = static_cast<int>(j);
+          last = target;
+          break;
+        }
+      }
+      // Multi-line signatures put the `{` up to a few lines below the
+      // declaration start; accept a function frame opening in that window.
+      for (size_t fi = 1; fi < st.frames.size(); ++fi) {
+        const Frame& f = st.frames[fi];
+        if (f.kind == FrameKind::kFunction && f.open_line >= target &&
+            f.open_line <= target + 3) {
+          last = f.close_line;
+          break;
+        }
+      }
+    }
+    Waiver w;
+    w.file = path;
+    w.line = target + 1;
+    w.rule = rule;
+    w.reason = reason;
+    report->waivers.push_back(w);
+    fw->spans.push_back(WaiverSpan{target, last, rule,
+                                   report->waivers.size() - 1});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Finding emission (waiver-aware, occurrence-numbered)
+// ---------------------------------------------------------------------------
+
+struct Emitter {
+  const std::string& path;
+  const std::vector<std::string>& raw_lines;
+  Report* report;
+  FileWaivers* waivers;
+  std::map<std::pair<Rule, std::string>, int> occurrence;
+
+  void Emit(int line0, Rule rule, std::string message) {
+    for (const WaiverSpan& span : waivers->spans) {
+      if (span.rule == rule && line0 >= span.first_line &&
+          line0 <= span.last_line) {
+        report->waivers[span.index].used = true;
+        return;
+      }
+    }
+    Finding f;
+    f.file = path;
+    f.line = line0 + 1;
+    f.rule = rule;
+    f.message = std::move(message);
+    f.snippet = Trim(line0 < static_cast<int>(raw_lines.size())
+                         ? raw_lines[line0]
+                         : "");
+    f.occurrence = occurrence[{rule, f.snippet}]++;
+    report->findings.push_back(std::move(f));
+  }
+};
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: ram-alloc
+// ---------------------------------------------------------------------------
+
+const std::regex kAllocPrimitive(
+    R"((^|[^\w.])new\b|\b(malloc|calloc|realloc|strdup)\s*\()");
+const std::regex kGrowthCall(
+    R"((\.|->)\s*(push_back|emplace_back|emplace|insert|append)\s*\()");
+const std::regex kStringConcat(R"(\+=)");
+const std::regex kGaugeMention(
+    R"(\bRamCharge\b|\bRamGauge\b|\bgauge\b|\bgauge_\b|\bcharge\b|\bcharge_\b|ram_gauge|\bAcquire\s*\(|\bGrow\s*\()");
+
+bool FunctionMentions(const Structure& st,
+                      const std::vector<std::string>& code, int line,
+                      const std::regex& pattern) {
+  int f = EnclosingFunction(st, line);
+  if (f < 0) return false;
+  for (int i = st.frames[f].open_line; i <= st.frames[f].close_line; ++i) {
+    if (std::regex_search(code[i], pattern)) return true;
+  }
+  return false;
+}
+
+// Growth into a container the function reserved up-front is bounded: the
+// allocation happens (and should be charged) at the reservation, not in the
+// loop. Lexical, so a reserve on any container in the function suppresses
+// all growth findings there — documented in DESIGN.md.
+const std::regex kReserveMention(R"((\.|->)\s*reserve\s*\()");
+
+void CheckRamAlloc(const std::string& module, const Scrubbed& s,
+                   const Structure& st, Emitter* em) {
+  for (size_t ln = 0; ln < s.code.size(); ++ln) {
+    const std::string& line = s.code[ln];
+    bool primitive = std::regex_search(line, kAllocPrimitive);
+    bool growth = std::regex_search(line, kGrowthCall) &&
+                  InLoop(st, s.code, static_cast<int>(ln));
+    bool concat = std::regex_search(line, kStringConcat) &&
+                  line.find('"') != std::string::npos &&
+                  InLoop(st, s.code, static_cast<int>(ln));
+    if (!primitive && !growth && !concat) continue;
+    int line0 = static_cast<int>(ln);
+    if (FunctionMentions(st, s.code, line0, kGaugeMention)) continue;
+    if (!primitive && FunctionMentions(st, s.code, line0, kReserveMention)) {
+      continue;
+    }
+    const char* what = primitive ? "direct heap allocation"
+                      : growth  ? "unbounded container growth in a loop"
+                                : "string concatenation in a loop";
+    em->Emit(line0, Rule::kRamAlloc,
+             std::string(what) + " in embedded module '" + module +
+                 "' without mcu::RamGauge accounting; charge the gauge or "
+                 "add '// pdslint: ram-exempt(<reason>)'");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: result-nodiscard
+// ---------------------------------------------------------------------------
+
+const std::regex kResultDecl(
+    R"(^\s*((static|virtual|inline|explicit|constexpr)\s+)*(Status|Result<[^;={]*>)\s+[A-Za-z_]\w*\s*\()");
+const std::regex kResultTypeAlone(
+    R"(^\s*((static|virtual|inline|explicit|constexpr)\s+)*(Status|Result<[\w:<>,\s*&]*>)\s*$)");
+const std::regex kNextLineIsDecl(R"(^\s*[A-Za-z_]\w*\s*\()");
+
+void CheckResultNodiscard(const Scrubbed& s, Emitter* em) {
+  for (size_t ln = 0; ln < s.code.size(); ++ln) {
+    const std::string& line = s.code[ln];
+    std::string trimmed = Trim(line);
+    if (trimmed.rfind("return", 0) == 0 || trimmed.rfind("using", 0) == 0 ||
+        trimmed.rfind("friend", 0) == 0 || trimmed.rfind("typedef", 0) == 0) {
+      continue;
+    }
+    bool decl = std::regex_search(line, kResultDecl);
+    if (!decl && std::regex_search(line, kResultTypeAlone) &&
+        ln + 1 < s.code.size() &&
+        std::regex_search(s.code[ln + 1], kNextLineIsDecl)) {
+      decl = true;
+    }
+    if (!decl) continue;
+    if (line.find("[[nodiscard]]") != std::string::npos) continue;
+    if (ln > 0 && s.code[ln - 1].find("[[nodiscard]]") != std::string::npos) {
+      continue;
+    }
+    em->Emit(static_cast<int>(ln), Rule::kResultNodiscard,
+             "Status/Result-returning declaration without [[nodiscard]]; "
+             "dropped errors must not compile");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: result-guard
+// ---------------------------------------------------------------------------
+
+const std::regex kValueCall(R"(\.\s*value\s*\(\s*\))");
+const std::regex kGuardMention(
+    R"(\.\s*ok\s*\(|has_value\s*\(|ASSIGN_OR_RETURN|RETURN_IF_ERROR|ASSERT_|EXPECT_|CHECK|\.\s*status\s*\()");
+
+void CheckResultGuard(const Scrubbed& s, const Structure& st, Emitter* em) {
+  for (size_t ln = 0; ln < s.code.size(); ++ln) {
+    if (!std::regex_search(s.code[ln], kValueCall)) continue;
+    int f = EnclosingFunction(st, static_cast<int>(ln));
+    if (f < 0) continue;  // namespace-scope initializer; out of scope
+    bool guarded = false;
+    for (int i = st.frames[f].open_line; i <= static_cast<int>(ln); ++i) {
+      if (std::regex_search(s.code[i], kGuardMention)) {
+        guarded = true;
+        break;
+      }
+    }
+    if (guarded) continue;
+    em->Emit(static_cast<int>(ln), Rule::kResultGuard,
+             ".value() reached without a preceding ok()/has_value()/"
+             "PDS_ASSIGN_OR_RETURN guard in the same function");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Header hygiene rules
+// ---------------------------------------------------------------------------
+
+void CheckHeaderGuard(const Scrubbed& s, Emitter* em) {
+  bool pragma_once = false, ifndef = false, define = false;
+  for (const std::string& line : s.code) {
+    std::string t = Trim(line);
+    if (t.rfind("#pragma once", 0) == 0) pragma_once = true;
+    if (t.rfind("#ifndef", 0) == 0) ifndef = true;
+    if (ifndef && t.rfind("#define", 0) == 0) define = true;
+  }
+  if (pragma_once || (ifndef && define)) return;
+  em->Emit(0, Rule::kHeaderGuard,
+           "header has no include guard (#ifndef/#define pair or "
+           "#pragma once)");
+}
+
+const std::regex kUsingNamespaceRe(R"(^\s*using\s+namespace\b)");
+
+void CheckUsingNamespace(const Scrubbed& s, Emitter* em) {
+  for (size_t ln = 0; ln < s.code.size(); ++ln) {
+    if (std::regex_search(s.code[ln], kUsingNamespaceRe)) {
+      em->Emit(static_cast<int>(ln), Rule::kUsingNamespace,
+               "'using namespace' in a header leaks into every includer");
+    }
+  }
+}
+
+const std::regex kExternMutable(R"(^\s*extern\s+(?!const\b|constexpr\b)\w)");
+const std::regex kInlineOrStaticVar(
+    R"(^\s*(inline|static)\s+(inline\s+|static\s+)*(?!const\b|constexpr\b|void\b|class\b|struct\b|enum\b|union\b)[A-Za-z_][\w:<>,]*\s+[A-Za-z_]\w*\s*(=|;|\{))");
+
+void CheckGlobalVar(const Scrubbed& s, const Structure& st, Emitter* em) {
+  for (size_t ln = 0; ln < s.code.size(); ++ln) {
+    if (!AtNamespaceScope(st, static_cast<int>(ln))) continue;
+    const std::string& line = s.code[ln];
+    if (line.find('(') != std::string::npos) continue;  // function-ish
+    bool hit = std::regex_search(line, kExternMutable) ||
+               std::regex_search(line, kInlineOrStaticVar);
+    if (!hit) continue;
+    em->Emit(static_cast<int>(ln), Rule::kGlobalVar,
+             "mutable namespace-scope global in a header outside common/; "
+             "globals defeat the per-token RAM budget");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const char* RuleName(Rule rule) {
+  switch (rule) {
+    case Rule::kRamAlloc: return "ram-alloc";
+    case Rule::kResultNodiscard: return "result-nodiscard";
+    case Rule::kResultGuard: return "result-guard";
+    case Rule::kHeaderGuard: return "header-guard";
+    case Rule::kUsingNamespace: return "using-namespace";
+    case Rule::kGlobalVar: return "global-var";
+  }
+  return "unknown";
+}
+
+bool ParseRuleName(const std::string& name, Rule* out) {
+  if (name == "ram" || name == "ram-alloc") *out = Rule::kRamAlloc;
+  else if (name == "nodiscard" || name == "result-nodiscard") *out = Rule::kResultNodiscard;
+  else if (name == "guard" || name == "result-guard") *out = Rule::kResultGuard;
+  else if (name == "header-guard") *out = Rule::kHeaderGuard;
+  else if (name == "using-namespace") *out = Rule::kUsingNamespace;
+  else if (name == "global-var") *out = Rule::kGlobalVar;
+  else return false;
+  return true;
+}
+
+std::string ModuleOf(const std::string& path) {
+  std::string norm = path;
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  size_t src = norm.rfind("/src/");
+  if (norm.rfind("src/", 0) == 0) src = 0;
+  else if (src != std::string::npos) src += 1;  // skip leading '/'
+  if (src != std::string::npos) {
+    size_t start = src + 4;
+    size_t end = norm.find('/', start);
+    if (end != std::string::npos) return norm.substr(start, end - start);
+  }
+  size_t slash = norm.find_last_of('/');
+  if (slash == std::string::npos) return "";
+  size_t prev = norm.find_last_of('/', slash - 1);
+  return norm.substr(prev + 1, slash - prev - 1);
+}
+
+void AnalyzeFile(const std::string& path, const std::string& content,
+                 const Options& options, Report* report) {
+  const std::string module = ModuleOf(path);
+  const bool is_header = IsHeaderPath(path);
+  Scrubbed s = Scrub(content);
+  Structure st = BuildStructure(s.code);
+  FileWaivers fw;
+  CollectWaivers(path, s, st, report, &fw);
+  std::vector<std::string> raw = SplitLines(content);
+  Emitter em{path, raw, report, &fw, {}};
+
+  if (Contains(options.embedded_modules, module)) {
+    CheckRamAlloc(module, s, st, &em);
+  }
+  if (is_header && Contains(options.nodiscard_modules, module)) {
+    CheckResultNodiscard(s, &em);
+  }
+  CheckResultGuard(s, st, &em);
+  if (is_header) {
+    CheckHeaderGuard(s, &em);
+    CheckUsingNamespace(s, &em);
+    if (module != "common") CheckGlobalVar(s, st, &em);
+  }
+  ++report->files_scanned;
+}
+
+Report AnalyzeTree(const std::vector<std::string>& roots,
+                   const Options& options) {
+  namespace fs = std::filesystem;
+  Report report;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    fs::path p(root);
+    if (fs::is_regular_file(p)) {
+      files.push_back(p.string());
+      continue;
+    }
+    if (!fs::is_directory(p)) continue;
+    for (auto it = fs::recursive_directory_iterator(p);
+         it != fs::recursive_directory_iterator(); ++it) {
+      const fs::path& entry = it->path();
+      std::string name = entry.filename().string();
+      if (it->is_directory() &&
+          (name.rfind("build", 0) == 0 || name.rfind(".", 0) == 0)) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      std::string ext = entry.extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+        files.push_back(entry.string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    AnalyzeFile(file, buf.str(), options, &report);
+  }
+  return report;
+}
+
+std::string Fingerprint(const Finding& finding) {
+  std::ostringstream out;
+  out << RuleName(finding.rule) << '|' << ModuleOf(finding.file) << '/'
+      << Basename(finding.file) << '|' << std::hex << Fnv1a(finding.snippet)
+      << '#' << std::dec << finding.occurrence;
+  return out.str();
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file << ':' << finding.line << ": [" << RuleName(finding.rule)
+      << "] " << finding.message;
+  return out.str();
+}
+
+}  // namespace pdslint

@@ -1,0 +1,100 @@
+#ifndef PDS_TOOLS_PDSLINT_PDSLINT_H_
+#define PDS_TOOLS_PDSLINT_PDSLINT_H_
+
+#include <string>
+#include <vector>
+
+/// pdslint — repo-specific static analysis for libpds.
+///
+/// Enforces the invariants the tutorial's Part II imposes on embedded code
+/// (tiny-RAM accounting through mcu::RamGauge) and the repo-wide error
+/// discipline (every fallible call returns a [[nodiscard]] Status/Result and
+/// value() is only reached behind a guard), plus basic header hygiene.
+///
+/// The analyzer is deliberately lexical: it strips comments and string
+/// literals, tracks brace structure (namespace / type / function / loop
+/// frames), and applies line-oriented rules. That is enough to make the
+/// invariants machine-checked without a full C++ frontend, and false
+/// positives have two escape hatches: an inline waiver comment
+/// (`// pdslint: ram-exempt(<reason>)`) counted against a budget, and a
+/// baseline file for grandfathered findings.
+namespace pdslint {
+
+enum class Rule {
+  kRamAlloc,         // unaccounted allocation in an embedded module
+  kResultNodiscard,  // Status/Result-returning header API missing [[nodiscard]]
+  kResultGuard,      // .value() with no ok()/has_value()/ASSIGN_OR_RETURN guard
+  kHeaderGuard,      // header without include guard / #pragma once
+  kUsingNamespace,   // `using namespace` at header scope
+  kGlobalVar,        // mutable namespace-scope global in a header outside common/
+};
+
+/// Stable rule name used in diagnostics, waivers, and baselines.
+const char* RuleName(Rule rule);
+
+/// Parses a rule name or waiver alias ("ram" == "ram-alloc", "guard" ==
+/// "result-guard", "nodiscard" == "result-nodiscard"). Returns false when
+/// unknown.
+bool ParseRuleName(const std::string& name, Rule* out);
+
+struct Finding {
+  std::string file;     // path as passed to AnalyzeFile
+  int line = 0;         // 1-based
+  Rule rule = Rule::kRamAlloc;
+  std::string message;
+  std::string snippet;  // trimmed source line, for fingerprinting
+  int occurrence = 0;   // Nth identical (file, rule, snippet) triple
+};
+
+struct Waiver {
+  std::string file;
+  int line = 0;         // line the waiver applies to
+  Rule rule = Rule::kRamAlloc;
+  std::string reason;
+  bool used = false;    // suppressed at least one would-be finding
+};
+
+struct Options {
+  /// Modules under the tiny-RAM rule (tutorial Part II: code that must run in
+  /// the secure MCU's <128 KB of RAM).
+  std::vector<std::string> embedded_modules{"embdb", "search", "logstore",
+                                            "flash", "mcu"};
+  /// Modules whose headers must spell [[nodiscard]] on every
+  /// Status/Result-returning declaration.
+  std::vector<std::string> nodiscard_modules{"common", "crypto", "embdb",
+                                             "logstore", "mcu", "flash"};
+  /// Maximum number of inline waivers across the scanned tree; -1 = no cap.
+  int max_waivers = -1;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::vector<Waiver> waivers;
+  int files_scanned = 0;
+};
+
+/// Module a path belongs to: the first component after the last "src/"
+/// segment, else the name of the immediate parent directory ("" for none).
+/// `tests/pdslint_fixtures/embdb/x.cc` therefore lands in module "embdb".
+std::string ModuleOf(const std::string& path);
+
+/// Runs every applicable rule over one file's contents, appending findings
+/// and waivers to `report`.
+void AnalyzeFile(const std::string& path, const std::string& content,
+                 const Options& options, Report* report);
+
+/// Recursively analyzes every .h/.cc/.cpp under each root (a root may also be
+/// a single file). Skips build*/ and hidden directories.
+Report AnalyzeTree(const std::vector<std::string>& roots,
+                   const Options& options);
+
+/// Content-keyed fingerprint, stable across unrelated edits (no line
+/// numbers): "<rule>|<module>/<basename>|<hash-of-snippet>#<occurrence>".
+std::string Fingerprint(const Finding& finding);
+
+/// "file:line: [rule] message".
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace pdslint
+
+#endif  // PDS_TOOLS_PDSLINT_PDSLINT_H_
