@@ -1,0 +1,219 @@
+// obs_profile — the one documented command that exercises the whole obs
+// layer end to end and writes its two export formats:
+//
+//   build/bench/obs_profile --trace trace_obs.json --metrics BENCH_obs.json
+//
+// It (1) runs a full [TNP14] secure-aggregation round over an 8-token fleet
+// on a 4-thread executor, so the trace holds the per-phase protocol spans,
+// the per-unit worker spans, and the leakage + token<->SSI wire-byte instant
+// events; (2) runs the tutorial's SPJ query over the TPC-D-like instance
+// with a QueryProfile and verifies the per-operator page-read counts against
+// the flash::Stats delta exactly; (3) exports the Chrome trace and the flat
+// metrics JSON. Any mismatch or failed status exits non-zero, which is what
+// the CI obs job asserts.
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "global/agg_protocols.h"
+#include "obs/obs.h"
+#include "workloads/tpcd.h"
+
+namespace {
+
+using pds::embdb::Database;
+using pds::embdb::QueryProfile;
+using pds::embdb::SpjExecutor;
+using pds::embdb::SpjQuery;
+using pds::embdb::SpjStats;
+using pds::embdb::TjoinIndex;
+using pds::embdb::TselectIndex;
+using pds::embdb::Tuple;
+using pds::workloads::LoadTpcd;
+using pds::workloads::TpcdConfig;
+using pds::workloads::TpcdNode;
+using pds::workloads::TutorialQuery;
+
+int Fail(const std::string& what) {
+  std::cerr << "obs_profile: FAILED: " << what << "\n";
+  return 1;
+}
+
+int RunProtocol() {
+  pds::crypto::SymmetricKey fleet_key =
+      pds::crypto::KeyFromString("obs-profile-fleet");
+  std::vector<std::unique_ptr<pds::mcu::SecureToken>> tokens;
+  std::vector<pds::global::Participant> participants;
+  pds::Rng rng(55);
+  for (uint64_t i = 0; i < 8; ++i) {
+    pds::mcu::SecureToken::Config cfg;
+    cfg.token_id = i;
+    cfg.fleet_key = fleet_key;
+    cfg.rng_seed = 100 + i;
+    tokens.push_back(std::make_unique<pds::mcu::SecureToken>(cfg));
+    pds::global::Participant p;
+    p.token = tokens.back().get();
+    int tuples = 5 + static_cast<int>(rng.Uniform(10));
+    for (int t = 0; t < tuples; ++t) {
+      pds::global::SourceTuple st;
+      st.group = "city-" + std::to_string(rng.Uniform(5));
+      st.value = static_cast<double>(rng.Uniform(100));
+      p.tuples.push_back(std::move(st));
+    }
+    participants.push_back(std::move(p));
+  }
+
+  pds::global::FleetExecutor executor(4);
+  pds::global::SecureAggProtocol::Config cfg;
+  cfg.partition_capacity = 16;  // forces several aggregate rounds
+  cfg.executor = &executor;
+  pds::global::SecureAggProtocol protocol(cfg);
+  auto output = protocol.Execute(participants, pds::global::AggFunc::kSum);
+  if (!output.ok()) {
+    return Fail("secure-agg protocol: " + output.status().ToString());
+  }
+  auto expected =
+      pds::global::PlainAggregate(participants, pds::global::AggFunc::kSum);
+  if (output->groups.size() != expected.size()) {
+    return Fail("secure-agg group count does not match plaintext aggregation");
+  }
+  for (const auto& [group, value] : expected) {
+    auto it = output->groups.find(group);
+    if (it == output->groups.end() || std::abs(it->second - value) > 1e-9) {
+      return Fail("secure-agg result mismatch for group '" + group + "'");
+    }
+  }
+  if (output->metrics.bytes_token_to_ssi + output->metrics.bytes_ssi_to_token !=
+      output->metrics.bytes) {
+    return Fail("directional wire bytes do not sum to total bytes");
+  }
+  std::cout << "secure-agg: " << output->groups.size() << " groups, "
+            << output->metrics.rounds << " rounds, "
+            << output->metrics.bytes_token_to_ssi << " B token->SSI, "
+            << output->metrics.bytes_ssi_to_token << " B SSI->token\n";
+  return 0;
+}
+
+pds::flash::Geometry BigGeometry() {
+  pds::flash::Geometry g;
+  g.page_size = 2048;
+  g.pages_per_block = 64;
+  g.block_count = 4096;
+  return g;
+}
+
+int RunSpjProfile() {
+  auto chip = std::make_unique<pds::flash::FlashChip>(BigGeometry());
+  pds::mcu::RamGauge build_ram(16 * 1024 * 1024);
+  Database db(chip.get(), &build_ram);
+
+  TpcdConfig cfg;
+  cfg.num_suppliers = 10;
+  cfg.num_customers = 50;
+  cfg.num_orders = 200;
+  cfg.num_partsupps = 100;
+  cfg.num_lineitems = 1000;
+  cfg.table_options.data_blocks = 32;
+  cfg.table_options.directory_blocks = 8;
+  auto inst = LoadTpcd(&db, cfg);
+  if (!inst.ok()) {
+    return Fail("LoadTpcd: " + inst.status().ToString());
+  }
+
+  auto tjoin = TjoinIndex::Build(inst->path, db.allocator());
+  auto tsel_cust = TselectIndex::Build(inst->path, TpcdNode::kCustomer, 2,
+                                       db.allocator(), &build_ram);
+  auto tsel_supp = TselectIndex::Build(inst->path, TpcdNode::kSupplier, 1,
+                                       db.allocator(), &build_ram);
+  if (!tjoin.ok() || !tsel_cust.ok() || !tsel_supp.ok()) {
+    return Fail("index build failed");
+  }
+
+  SpjQuery query = TutorialQuery(0, 1);
+  pds::mcu::RamGauge token_ram(64 * 1024);
+  SpjExecutor executor(inst->path, &*tjoin, {&*tsel_cust, &*tsel_supp},
+                       &token_ram);
+  SpjStats stats;
+  QueryProfile profile;
+  pds::flash::Stats before = chip->stats();
+  pds::Status s = executor.Execute(
+      query, [](const Tuple&) { return pds::Status::Ok(); }, &stats,
+      &profile);
+  if (!s.ok()) {
+    return Fail("SPJ execute: " + s.ToString());
+  }
+  pds::flash::Stats delta = chip->stats() - before;
+
+  std::cout << "\nEXPLAIN ANALYZE (tutorial SPJ query):\n"
+            << profile.ToString() << "result rows: " << stats.result_rows
+            << "\n";
+
+  // The acceptance check: per-operator page reads must account for every
+  // chip page read during the query — no unattributed I/O.
+  if (profile.total_page_reads() != delta.page_reads) {
+    return Fail("profile page reads (" +
+                std::to_string(profile.total_page_reads()) +
+                ") != flash::Stats delta (" +
+                std::to_string(delta.page_reads) + ")");
+  }
+  std::cout << "profile page reads match flash::Stats delta ("
+            << delta.page_reads << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path = "trace_obs.json";
+  std::string metrics_path = "BENCH_obs.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::cerr << "usage: obs_profile [--trace FILE] [--metrics FILE]\n";
+      return 2;
+    }
+  }
+
+  pds::obs::Tracer& tracer = pds::obs::Tracer::Global();
+  tracer.SetCapacity(1 << 16);
+  tracer.SetEnabled(true);
+
+  int rc = RunProtocol();
+  if (rc == 0) {
+    rc = RunSpjProfile();
+  }
+  tracer.SetEnabled(false);
+  if (rc != 0) {
+    return rc;
+  }
+  if (tracer.dropped() != 0) {
+    return Fail("trace buffer overflowed; raise SetCapacity");
+  }
+
+  std::ofstream trace_out(trace_path, std::ios::binary);
+  tracer.ExportChromeTrace(trace_out);
+  trace_out.close();
+  if (!trace_out) {
+    return Fail("cannot write " + trace_path);
+  }
+  std::ofstream metrics_out(metrics_path, std::ios::binary);
+  pds::obs::Registry::Global().ExportMetricsJson(metrics_out);
+  metrics_out.close();
+  if (!metrics_out) {
+    return Fail("cannot write " + metrics_path);
+  }
+  std::cout << "\nwrote " << trace_path << " (" << tracer.num_events()
+            << " events; open in chrome://tracing or ui.perfetto.dev)\n"
+            << "wrote " << metrics_path << " ("
+            << pds::obs::Registry::Global().num_metrics() << " metrics)\n";
+  return 0;
+}

@@ -3,11 +3,35 @@
 # into BENCH_crypto.json at the repo root (op, key bits, ns/op, speedup of
 # each kernel path over its scalar baseline; thread sweep at 100 PDSs).
 #
-# Usage: bench/run_benches.sh [build_dir]   (default: build)
+# With --obs, instead runs the obs end-to-end driver (one secure-aggregation
+# round + one profiled SPJ query) and leaves BENCH_obs.json plus
+# trace_obs.json (Chrome trace_event format) at the repo root.
+#
+# Usage: bench/run_benches.sh [--obs] [build_dir]   (default: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+OBS_MODE=0
+if [[ "${1:-}" == "--obs" ]]; then
+  OBS_MODE=1
+  shift
+fi
 BUILD_DIR="${1:-build}"
+
+if [[ "$OBS_MODE" == 1 ]]; then
+  if [[ ! -x "$BUILD_DIR/bench/obs_profile" ]]; then
+    echo "building obs_profile in $BUILD_DIR ..."
+    cmake --build "$BUILD_DIR" --target obs_profile
+  fi
+  echo "== obs_profile (protocol round + SPJ query profile) =="
+  "$BUILD_DIR/bench/obs_profile" --trace trace_obs.json --metrics BENCH_obs.json
+  if command -v python3 >/dev/null; then
+    python3 bench/validate_obs_json.py BENCH_obs.json trace_obs.json \
+      bench/obs_schema.json
+  fi
+  exit 0
+fi
 
 if [[ ! -x "$BUILD_DIR/bench/bench_crypto_ladder" ]]; then
   echo "building benchmarks in $BUILD_DIR ..."

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validates the obs exports against bench/obs_schema.json.
+
+Usage: validate_obs_json.py [BENCH_obs.json] [trace_obs.json] [schema.json]
+
+Checks, stdlib-only (run by bench/run_benches.sh --obs and the CI obs job):
+  - the metrics file is {"records": [...]} where every record has the
+    per-kind required fields, a known kind, and a numeric value;
+  - every metric name the schema requires is present;
+  - the trace file is {"traceEvents": [...]} of well-formed Chrome
+    trace_event records ("X" complete spans / "i" instants, numeric ts,
+    spans carry a numeric dur);
+  - every span name and instant category the schema requires is present.
+
+Exits 0 silently-ish on success, 1 with a list of problems otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(problems):
+    for p in problems:
+        print(f"validate_obs_json: {p}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_metrics(doc, schema, problems):
+    spec = schema["metrics"]
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        problems.append("metrics: 'records' missing, not a list, or empty")
+        return
+    names = set()
+    for i, rec in enumerate(records):
+        where = f"metrics record {i}"
+        if not isinstance(rec, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in spec["required_record_fields"]:
+            if field not in rec:
+                problems.append(f"{where}: missing field '{field}'")
+        kind = rec.get("kind")
+        if kind not in spec["kinds"]:
+            problems.append(f"{where}: unknown kind {kind!r}")
+        extra = {"gauge": spec["gauge_extra_fields"],
+                 "histogram": spec["histogram_extra_fields"]}.get(kind, [])
+        for field in extra:
+            if not is_number(rec.get(field)):
+                problems.append(
+                    f"{where} ({rec.get('name')}): {kind} needs numeric "
+                    f"'{field}'")
+        if "value" in rec and not is_number(rec["value"]):
+            problems.append(f"{where}: 'value' is not numeric")
+        if isinstance(rec.get("name"), str):
+            names.add(rec["name"])
+    for name in spec["required_names"]:
+        if name not in names:
+            problems.append(f"metrics: required metric '{name}' not exported")
+
+
+def check_trace(doc, schema, problems):
+    spec = schema["trace"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        problems.append("trace: 'traceEvents' missing, not a list, or empty")
+        return
+    span_names = set()
+    instant_cats = set()
+    for i, ev in enumerate(events):
+        where = f"trace event {i}"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in spec["required_event_fields"]:
+            if field not in ev:
+                problems.append(f"{where}: missing field '{field}'")
+        ph = ev.get("ph")
+        if ph not in spec["phases"]:
+            problems.append(f"{where}: unexpected phase {ph!r}")
+        if not is_number(ev.get("ts")):
+            problems.append(f"{where}: 'ts' is not numeric")
+        if ph == "X":
+            if not is_number(ev.get("dur")):
+                problems.append(f"{where}: complete span needs numeric 'dur'")
+            span_names.add(ev.get("name"))
+        elif ph == "i":
+            instant_cats.add(ev.get("cat"))
+    for name in spec["required_span_names"]:
+        if name not in span_names:
+            problems.append(f"trace: required span '{name}' not present")
+    for cat in spec["required_instant_categories"]:
+        if cat not in instant_cats:
+            problems.append(
+                f"trace: no instant event in category '{cat}'")
+
+
+def main(argv):
+    metrics_path = argv[1] if len(argv) > 1 else "BENCH_obs.json"
+    trace_path = argv[2] if len(argv) > 2 else "trace_obs.json"
+    schema_path = argv[3] if len(argv) > 3 else "bench/obs_schema.json"
+
+    problems = []
+    with open(schema_path) as f:
+        schema = json.load(f)
+    for path, checker, key in [(metrics_path, check_metrics, "metrics"),
+                               (trace_path, check_trace, "trace")]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            problems.append(f"{key}: cannot load {path}: {e}")
+            continue
+        checker(doc, schema, problems)
+
+    if problems:
+        fail(problems)
+    print(f"validate_obs_json: OK ({metrics_path}, {trace_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

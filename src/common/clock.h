@@ -1,0 +1,18 @@
+#ifndef PDS_COMMON_CLOCK_H_
+#define PDS_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace pds {
+
+/// Monotonic wall-time in nanoseconds since an arbitrary epoch.
+///
+/// This is the *only* sanctioned wall-clock in the tree, and it is reserved
+/// for observability (span timestamps in src/obs): library logic stays
+/// deterministic (seeded RNGs, simulated flash latency from CostModel), so
+/// nothing that affects an output may read this.
+uint64_t MonotonicNanos();
+
+}  // namespace pds
+
+#endif  // PDS_COMMON_CLOCK_H_

@@ -1,9 +1,35 @@
 #include "embdb/executor.h"
 
 #include <algorithm>
+#include <iomanip>
+#include <sstream>
 #include <unordered_map>
 
+#include "obs/obs.h"
+
 namespace pds::embdb {
+
+uint64_t QueryProfile::total_page_reads() const {
+  uint64_t total = 0;
+  for (const StageProfile& stage : stages) {
+    total += stage.flash.page_reads;
+  }
+  return total;
+}
+
+std::string QueryProfile::ToString() const {
+  std::ostringstream out;
+  out << std::left << std::setw(12) << "stage" << std::right << std::setw(9)
+      << "rows_in" << std::setw(10) << "rows_out" << std::setw(12)
+      << "page_reads" << std::setw(16) << "ram_peak_bytes" << "\n";
+  for (const StageProfile& stage : stages) {
+    out << std::left << std::setw(12) << stage.op << std::right
+        << std::setw(9) << stage.rows_in << std::setw(10) << stage.rows_out
+        << std::setw(12) << stage.flash.page_reads << std::setw(16)
+        << stage.ram_peak_bytes << "\n";
+  }
+  return out.str();
+}
 
 bool Predicate::Eval(const Tuple& tuple) const {
   if (column < 0 || static_cast<size_t>(column) >= tuple.size()) {
@@ -100,41 +126,97 @@ Status ProjectRow(const SpjQuery& query, const Tuple& root_tuple,
 Status SpjExecutor::Execute(const SpjQuery& query,
                             const std::function<Status(const Tuple&)>& emit,
                             SpjStats* stats) {
+  return Execute(query, emit, stats, nullptr);
+}
+
+Status SpjExecutor::Execute(const SpjQuery& query,
+                            const std::function<Status(const Tuple&)>& emit,
+                            SpjStats* stats, QueryProfile* profile) {
+  obs::Span query_span("embdb.spj", "embdb");
   if (stats != nullptr) {
     *stats = SpjStats();
+  }
+  if (profile != nullptr) {
+    profile->stages.clear();
+    profile->stages.reserve(3);
   }
   if (tselects_.size() != query.selections.size()) {
     return Status::InvalidArgument(
         "one Tselect index required per selection");
   }
 
+  // Stage profiling: each stage snapshots the chip's cumulative stats at
+  // entry and stores the delta at exit; stages are contiguous, so the
+  // deltas sum exactly to the chip delta across the whole call.
+  flash::FlashChip* chip = path_.root->chip();
+  auto chip_stats = [&]() -> flash::Stats {
+    return chip != nullptr ? chip->stats() : flash::Stats();
+  };
+  auto begin_stage = [&](const char* op, uint64_t rows_in) -> StageProfile* {
+    if (profile == nullptr) {
+      return nullptr;
+    }
+    profile->stages.emplace_back();
+    StageProfile* stage = &profile->stages.back();
+    stage->op = op;
+    stage->rows_in = rows_in;
+    stage->flash = chip_stats();  // entry snapshot, replaced at end_stage
+    gauge_->ResetHighWater();
+    return stage;
+  };
+  auto end_stage = [&](StageProfile* stage, uint64_t rows_out) {
+    if (stage == nullptr) {
+      return;
+    }
+    stage->rows_out = rows_out;
+    stage->flash = chip_stats() - stage->flash;
+    stage->ram_peak_bytes = gauge_->high_water();
+  };
+
   // 1. Tselect lookups: sorted root rowid lists (RAM charged).
   std::vector<std::vector<uint64_t>> lists(query.selections.size());
   size_t charged = 0;
   Status status = Status::Ok();
-  for (size_t i = 0; i < query.selections.size() && status.ok(); ++i) {
-    status = tselects_[i]->Lookup(query.selections[i].constant, &lists[i],
-                                  nullptr);
-    if (status.ok()) {
-      size_t bytes = lists[i].size() * sizeof(uint64_t);
-      status = gauge_->Acquire(bytes);
+  uint64_t rowids_fetched = 0;
+  {
+    obs::Span stage_span("embdb.tselect", "embdb");
+    StageProfile* stage = begin_stage("tselect", query.selections.size());
+    for (size_t i = 0; i < query.selections.size() && status.ok(); ++i) {
+      status = tselects_[i]->Lookup(query.selections[i].constant, &lists[i],
+                                    nullptr);
       if (status.ok()) {
-        charged += bytes;
+        size_t bytes = lists[i].size() * sizeof(uint64_t);
+        status = gauge_->Acquire(bytes);
+        if (status.ok()) {
+          charged += bytes;
+        }
+      }
+      if (status.ok()) {
+        rowids_fetched += lists[i].size();
+        if (stats != nullptr) {
+          stats->rowids_from_indexes += lists[i].size();
+        }
       }
     }
-    if (status.ok() && stats != nullptr) {
-      stats->rowids_from_indexes += lists[i].size();
-    }
+    end_stage(stage, rowids_fetched);
+    stage_span.AddArg("rowids", static_cast<double>(rowids_fetched));
   }
 
   std::vector<uint64_t> survivors;
   if (status.ok()) {
     // 2. Pipeline merge on sorted rowids.
+    obs::Span stage_span("embdb.merge", "embdb");
+    StageProfile* stage = begin_stage("merge", rowids_fetched);
     survivors = IntersectSorted(lists);
+    end_stage(stage, survivors.size());
+    stage_span.AddArg("survivors", static_cast<double>(survivors.size()));
   }
 
   // 3. Tjoin traversal + tuple fetches, one root row at a time.
   if (status.ok()) {
+    obs::Span stage_span("embdb.join_fetch", "embdb");
+    StageProfile* stage = begin_stage("join-fetch", survivors.size());
+    uint64_t emitted = 0;
     std::vector<uint64_t> node_rowids;
     std::vector<Tuple> node_tuples(path_.nodes.size());
     std::vector<bool> node_loaded(path_.nodes.size(), false);
@@ -170,13 +252,18 @@ Status SpjExecutor::Execute(const SpjQuery& query,
       if (!status.ok()) {
         break;
       }
+      ++emitted;
       if (stats != nullptr) {
         ++stats->result_rows;
       }
     }
+    end_stage(stage, emitted);
+    stage_span.AddArg("rows", static_cast<double>(emitted));
   }
 
   gauge_->Release(charged);
+  query_span.AddArg("selections",
+                    static_cast<double>(query.selections.size()));
   return status;
 }
 

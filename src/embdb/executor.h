@@ -10,6 +10,7 @@
 #include "embdb/join_index.h"
 #include "embdb/table_heap.h"
 #include "embdb/value.h"
+#include "flash/flash.h"
 #include "mcu/ram_gauge.h"
 
 namespace pds::embdb {
@@ -61,6 +62,29 @@ struct SpjStats {
   uint64_t result_rows = 0;
 };
 
+/// One pipeline stage of a profiled query: row cardinalities, the
+/// flash::Stats delta attributable to the stage, and the RAM high-water
+/// reached while it ran. `op` is a static literal (no per-query heap).
+struct StageProfile {
+  const char* op = "";
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  flash::Stats flash;
+  size_t ram_peak_bytes = 0;
+};
+
+/// EXPLAIN ANALYZE surface of the embedded executor: filled by
+/// SpjExecutor::Execute when requested. Stages are contiguous — their flash
+/// deltas sum exactly to the chip's stats delta over the whole call, which
+/// the obs tests assert.
+struct QueryProfile {
+  std::vector<StageProfile> stages;
+
+  uint64_t total_page_reads() const;
+  /// Human-readable table, one line per stage.
+  std::string ToString() const;
+};
+
 /// Pipeline SPJ executor: one Tselect lookup per selection (sorted root
 /// rowids), rowid-merge intersection, then Tjoin + tuple fetches per
 /// surviving root row. RAM: the rowid lists (charged) + one row.
@@ -77,6 +101,13 @@ class SpjExecutor {
   [[nodiscard]] Status Execute(const SpjQuery& query,
                  const std::function<Status(const Tuple&)>& emit,
                  SpjStats* stats);
+
+  /// As above, additionally filling `profile` (may be null) with one
+  /// StageProfile per pipeline stage: "tselect", "merge", "join-fetch".
+  /// Requesting a profile resets the gauge's high-water mark per stage.
+  [[nodiscard]] Status Execute(const SpjQuery& query,
+                 const std::function<Status(const Tuple&)>& emit,
+                 SpjStats* stats, QueryProfile* profile);
 
  private:
   const JoinPath& path_;

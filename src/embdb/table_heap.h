@@ -38,6 +38,9 @@ class TableHeap {
         has_tombstone_log_(tombstone_partition.valid()) {}
 
   const Schema& schema() const { return schema_; }
+  /// Chip holding the table's data log; query profiling uses it to pin
+  /// per-stage flash::Stats deltas to the executor's page accesses.
+  flash::FlashChip* chip() const { return data_.chip(); }
   uint64_t num_rows() const { return num_rows_; }
   uint64_t num_live_rows() const { return num_rows_ - deleted_.size(); }
   uint32_t num_data_pages() const { return data_.num_pages_used(); }

@@ -16,7 +16,15 @@ FlashChip::FlashChip(const Geometry& geometry)
       data_(geometry.total_bytes(), 0xFF),
       programmed_(geometry.total_pages(), 0),
       bad_(geometry.total_pages(), 0),
-      wear_(geometry.block_count, 0) {}
+      wear_(geometry.block_count, 0) {
+  obs::Registry& reg = obs::Registry::Global();
+  obs_.reads = reg.GetCounter("flash.page_reads", "ops");
+  obs_.programs = reg.GetCounter("flash.page_programs", "ops");
+  obs_.erases = reg.GetCounter("flash.block_erases", "ops");
+  obs_.read_us = reg.GetHistogram("flash.read_us", "us");
+  obs_.program_us = reg.GetHistogram("flash.program_us", "us");
+  obs_.erase_us = reg.GetHistogram("flash.erase_us", "us");
+}
 
 Status FlashChip::ReadPage(uint32_t page, Bytes* out) {
   if (page >= geometry_.total_pages()) {
@@ -24,6 +32,8 @@ Status FlashChip::ReadPage(uint32_t page, Bytes* out) {
                               " beyond chip capacity");
   }
   ++stats_.page_reads;
+  obs_.reads->Add(1);
+  obs_.read_us->Record(cost_model_.read_page_us);
   if (bad_[page]) {
     return Status::IoError("page " + std::to_string(page) +
                            " is unreadable (fault injected)");
@@ -49,6 +59,8 @@ Status FlashChip::ProgramPage(uint32_t page, ByteView data) {
         "update)");
   }
   ++stats_.page_programs;
+  obs_.programs->Add(1);
+  obs_.program_us->Record(cost_model_.program_page_us);
   programmed_[page] = 1;
   uint8_t* dst =
       data_.data() + static_cast<uint64_t>(page) * geometry_.page_size;
@@ -63,6 +75,8 @@ Status FlashChip::EraseBlock(uint32_t block) {
                               " beyond chip capacity");
   }
   ++stats_.block_erases;
+  obs_.erases->Add(1);
+  obs_.erase_us->Record(cost_model_.erase_block_us);
   ++wear_[block];
   uint32_t first_page = block * geometry_.pages_per_block;
   uint8_t* dst =

@@ -8,6 +8,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/obs.h"
 
 namespace pds::flash {
 
@@ -57,6 +58,16 @@ struct Stats {
   std::string ToString() const;
 };
 
+/// Drift guard for Stats: ResetStats() (zero-init), operator-, ToString(),
+/// and the obs counter emission in flash.cc must cover every field. The
+/// flash_test field-count test destructures Stats with structured bindings
+/// of exactly this arity, so adding a field without updating every consumer
+/// fails to compile; this assert additionally catches padding/type drift.
+static_assert(sizeof(Stats) == 3 * sizeof(uint64_t),
+              "flash::Stats fields changed: update ResetStats/operator-/"
+              "ToString, the obs counters in flash.cc, and the "
+              "FlashStats.FieldCountGuard test in flash_test.cc");
+
 /// In-memory NAND flash chip simulator with write-once-per-erase semantics
 /// and per-block wear counters.
 class FlashChip {
@@ -97,13 +108,32 @@ class FlashChip {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 
+  /// Cost model used for the obs latency metrics (`flash.read_us` etc.);
+  /// simulated time stays a pure function of Stats, this only feeds the
+  /// per-op histograms.
+  void set_cost_model(const CostModel& cost) { cost_model_ = cost; }
+  const CostModel& cost_model() const { return cost_model_; }
+
  private:
+  /// Process-wide obs metrics (aggregated over all chips), resolved once at
+  /// construction so per-op emission is a single atomic add.
+  struct ObsHooks {
+    obs::Counter* reads = nullptr;
+    obs::Counter* programs = nullptr;
+    obs::Counter* erases = nullptr;
+    obs::Histogram* read_us = nullptr;
+    obs::Histogram* program_us = nullptr;
+    obs::Histogram* erase_us = nullptr;
+  };
+
   Geometry geometry_;
+  CostModel cost_model_;
   Bytes data_;                     // flat page_size * total_pages bytes
   std::vector<uint8_t> programmed_;  // one flag per page
   std::vector<uint8_t> bad_;       // fault-injected unreadable pages
   std::vector<uint32_t> wear_;     // erase count per block
   Stats stats_;
+  ObsHooks obs_;
 };
 
 /// A contiguous range of blocks of a chip, exposed with block/page indices

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/hash.h"
+#include "obs/obs.h"
 
 namespace pds::global {
 
@@ -82,15 +83,27 @@ struct UnitCost {
   uint64_t messages = 0;
   uint64_t bytes = 0;
   uint64_t token_ops = 0;
+  uint64_t bytes_token_to_ssi = 0;
+  uint64_t bytes_ssi_to_token = 0;
 
   void AddMessage(uint64_t message_bytes) {
     ++messages;
     bytes += message_bytes;
   }
+  void AddTokenToSsi(uint64_t message_bytes) {
+    AddMessage(message_bytes);
+    bytes_token_to_ssi += message_bytes;
+  }
+  void AddSsiToToken(uint64_t message_bytes) {
+    AddMessage(message_bytes);
+    bytes_ssi_to_token += message_bytes;
+  }
   void MergeInto(Metrics* m) const {
     m->messages += messages;
     m->bytes += bytes;
     m->token_crypto_ops += token_ops;
+    m->bytes_token_to_ssi += bytes_token_to_ssi;
+    m->bytes_ssi_to_token += bytes_ssi_to_token;
   }
 };
 
@@ -117,6 +130,8 @@ Result<AggOutput> SecureAggProtocol::Execute(
   AggOutput out;
   HbcObserver observer;
   const size_t np = participants.size();
+  obs::Span protocol_span("secure-agg", "protocol");
+  protocol_span.AddArg("participants", static_cast<double>(np));
 
   // Phase 1: every token non-deterministically encrypts its tuples.
   // Tokens are independent, so participants fan out across the executor;
@@ -124,20 +139,23 @@ Result<AggOutput> SecureAggProtocol::Execute(
   // serial loop.
   std::vector<std::vector<Bytes>> enc(np);
   std::vector<UnitCost> enc_cost(np);
-  PDS_RETURN_IF_ERROR(FleetExecutor::Run(
-      config_.executor, np, [&](size_t i) -> Status {
-        Participant& p = participants[i];
-        enc[i].reserve(p.tuples.size());
-        for (const SourceTuple& t : p.tuples) {
-          Bytes payload = EncodePayload(false, t.value, 1, t.group);
-          PDS_ASSIGN_OR_RETURN(Bytes ct,
-                               p.token->EncryptNonDet(ByteView(payload)));
-          ++enc_cost[i].token_ops;
-          enc_cost[i].AddMessage(ct.size());
-          enc[i].push_back(std::move(ct));
-        }
-        return Status::Ok();
-      }));
+  {
+    obs::Span phase_span("collect-encrypt", "protocol");
+    PDS_RETURN_IF_ERROR(FleetExecutor::Run(
+        config_.executor, np, [&](size_t i) -> Status {
+          Participant& p = participants[i];
+          enc[i].reserve(p.tuples.size());
+          for (const SourceTuple& t : p.tuples) {
+            Bytes payload = EncodePayload(false, t.value, 1, t.group);
+            PDS_ASSIGN_OR_RETURN(Bytes ct,
+                                 p.token->EncryptNonDet(ByteView(payload)));
+            ++enc_cost[i].token_ops;
+            enc_cost[i].AddTokenToSsi(ct.size());
+            enc[i].push_back(std::move(ct));
+          }
+          return Status::Ok();
+        }));
+  }
   std::vector<Bytes> items;
   for (size_t i = 0; i < np; ++i) {
     enc_cost[i].MergeInto(&out.metrics);
@@ -154,6 +172,8 @@ Result<AggOutput> SecureAggProtocol::Execute(
   // order), and outputs are gathered in partition order.
   size_t worker = 0;
   while (items.size() > config_.partition_capacity) {
+    obs::Span phase_span("aggregate-round", "protocol");
+    phase_span.AddArg("items", static_cast<double>(items.size()));
     size_t before = items.size();
     const size_t cap = config_.partition_capacity;
     const size_t num_parts = (items.size() + cap - 1) / cap;
@@ -175,7 +195,7 @@ Result<AggOutput> SecureAggProtocol::Execute(
             size_t end = std::min(items.size(), start + cap);
             std::map<std::string, GroupState> partial;
             for (size_t i = start; i < end; ++i) {
-              po.cost.AddMessage(items[i].size());  // SSI -> token
+              po.cost.AddSsiToToken(items[i].size());
               PDS_ASSIGN_OR_RETURN(Bytes payload,
                                    token->DecryptNonDet(ByteView(items[i])));
               ++po.cost.token_ops;
@@ -189,7 +209,7 @@ Result<AggOutput> SecureAggProtocol::Execute(
               PDS_ASSIGN_OR_RETURN(Bytes ct,
                                    token->EncryptNonDet(ByteView(payload)));
               ++po.cost.token_ops;
-              po.cost.AddMessage(ct.size());  // token -> SSI
+              po.cost.AddTokenToSsi(ct.size());
               po.cts.push_back(std::move(ct));
             }
           }
@@ -214,10 +234,12 @@ Result<AggOutput> SecureAggProtocol::Execute(
   }
 
   // Phase 3: final aggregation inside one token.
+  obs::Span final_span("final-decrypt", "protocol");
+  final_span.AddArg("items", static_cast<double>(items.size()));
   mcu::SecureToken* token = participants[0].token;
   std::map<std::string, GroupState> final_state;
   for (const Bytes& ct : items) {
-    out.metrics.AddMessage(ct.size());
+    out.metrics.AddSsiToToken(ct.size());
     PDS_ASSIGN_OR_RETURN(Bytes payload, token->DecryptNonDet(ByteView(ct)));
     ++out.metrics.token_crypto_ops;
     PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
@@ -228,6 +250,7 @@ Result<AggOutput> SecureAggProtocol::Execute(
 
   out.groups = Finalize(final_state, func);
   out.leakage = observer.Report();
+  RecordProtocolRun("secure-agg", out.metrics, out.leakage);
   return out;
 }
 
@@ -242,13 +265,16 @@ namespace {
 /// across participants); the token-side encrypt and decrypt work fans out
 /// over the executor with the same token assignment as the serial loops.
 Result<AggOutput> RunDetProtocol(
-    std::vector<Participant>& participants, AggFunc func, FleetExecutor* exec,
+    const char* protocol_name, std::vector<Participant>& participants,
+    AggFunc func, FleetExecutor* exec,
     const std::function<Status(Participant&, size_t,
                                std::vector<std::pair<std::string, double>>*)>&
         make_fakes) {
   AggOutput out;
   HbcObserver observer;
   const size_t np = participants.size();
+  obs::Span protocol_span(protocol_name, "protocol");
+  protocol_span.AddArg("participants", static_cast<double>(np));
 
   struct WireTuple {
     Bytes group_ct;
@@ -281,28 +307,31 @@ Result<AggOutput> RunDetProtocol(
     UnitCost cost;
   };
   std::vector<WireOut> wouts(np);
-  PDS_RETURN_IF_ERROR(
-      FleetExecutor::Run(exec, np, [&](size_t pi) -> Status {
-        Participant& p = participants[pi];
-        const SendList& sl = sends[pi];
-        WireOut& wo = wouts[pi];
-        wo.wire.reserve(sl.tuples.size());
-        for (size_t i = 0; i < sl.tuples.size(); ++i) {
-          bool fake = i >= sl.real_count;
-          const auto& [group, value] = sl.tuples[i];
-          WireTuple wt;
-          PDS_ASSIGN_OR_RETURN(
-              wt.group_ct,
-              p.token->EncryptDet(ByteView(std::string_view(group))));
-          Bytes payload = EncodePayload(fake, value, fake ? 0 : 1, "");
-          PDS_ASSIGN_OR_RETURN(wt.payload_ct,
-                               p.token->EncryptNonDet(ByteView(payload)));
-          wo.cost.token_ops += 2;
-          wo.cost.AddMessage(wt.group_ct.size() + wt.payload_ct.size());
-          wo.wire.push_back(std::move(wt));
-        }
-        return Status::Ok();
-      }));
+  {
+    obs::Span phase_span("collect-encrypt", "protocol");
+    PDS_RETURN_IF_ERROR(
+        FleetExecutor::Run(exec, np, [&](size_t pi) -> Status {
+          Participant& p = participants[pi];
+          const SendList& sl = sends[pi];
+          WireOut& wo = wouts[pi];
+          wo.wire.reserve(sl.tuples.size());
+          for (size_t i = 0; i < sl.tuples.size(); ++i) {
+            bool fake = i >= sl.real_count;
+            const auto& [group, value] = sl.tuples[i];
+            WireTuple wt;
+            PDS_ASSIGN_OR_RETURN(
+                wt.group_ct,
+                p.token->EncryptDet(ByteView(std::string_view(group))));
+            Bytes payload = EncodePayload(fake, value, fake ? 0 : 1, "");
+            PDS_ASSIGN_OR_RETURN(wt.payload_ct,
+                                 p.token->EncryptNonDet(ByteView(payload)));
+            wo.cost.token_ops += 2;
+            wo.cost.AddTokenToSsi(wt.group_ct.size() + wt.payload_ct.size());
+            wo.wire.push_back(std::move(wt));
+          }
+          return Status::Ok();
+        }));
+  }
   std::vector<WireTuple> wire;
   for (size_t pi = 0; pi < np; ++pi) {
     wouts[pi].cost.MergeInto(&out.metrics);
@@ -314,11 +343,13 @@ Result<AggOutput> RunDetProtocol(
   ++out.metrics.rounds;
 
   // SSI: group by deterministic ciphertext.
+  obs::Span mix_span("ssi-group-by-class", "protocol");
   std::map<std::string, std::vector<const WireTuple*>> classes;
   for (const WireTuple& wt : wire) {
     classes[ByteView(wt.group_ct).ToString()].push_back(&wt);
     ++out.metrics.ssi_ops;
   }
+  mix_span.AddArg("classes", static_cast<double>(classes.size()));
 
   // Each class is handed to a token for decryption + aggregation; classes
   // sharing a token run inside one work unit. Decryption draws no token
@@ -338,6 +369,7 @@ Result<AggOutput> RunDetProtocol(
     UnitCost cost;
   };
   std::vector<ClassOut> couts(class_tuples.size());
+  obs::Span agg_span("class-aggregate", "protocol");
   PDS_RETURN_IF_ERROR(
       FleetExecutor::Run(exec, np, [&](size_t t) -> Status {
         mcu::SecureToken* token = participants[t].token;
@@ -356,7 +388,7 @@ Result<AggOutput> RunDetProtocol(
             continue;
           }
           for (const WireTuple* wt : tuples) {
-            co.cost.AddMessage(wt->payload_ct.size());
+            co.cost.AddSsiToToken(wt->payload_ct.size());
             PDS_ASSIGN_OR_RETURN(
                 Bytes payload, token->DecryptNonDet(ByteView(wt->payload_ct)));
             ++co.cost.token_ops;
@@ -383,6 +415,7 @@ Result<AggOutput> RunDetProtocol(
 
   out.groups = Finalize(state, func);
   out.leakage = observer.Report();
+  RecordProtocolRun(protocol_name, out.metrics, out.leakage);
   return out;
 }
 
@@ -395,7 +428,7 @@ Result<AggOutput> WhiteNoiseProtocol::Execute(
   }
   Rng noise_rng(config_.noise_seed);
   return RunDetProtocol(
-      participants, func, config_.executor,
+      "white-noise", participants, func, config_.executor,
       [&](Participant& p, size_t real_count,
           std::vector<std::pair<std::string, double>>* fakes) {
         (void)p;
@@ -430,7 +463,7 @@ Result<AggOutput> DomainNoiseProtocol::Execute(
     }
   }
   return RunDetProtocol(
-      participants, func, config_.executor,
+      "domain-noise", participants, func, config_.executor,
       [&](Participant& p, size_t real_count,
           std::vector<std::pair<std::string, double>>* fakes) {
         (void)p;
@@ -457,6 +490,8 @@ Result<AggOutput> HistogramProtocol::Execute(
   AggOutput out;
   HbcObserver observer;
   const size_t np = participants.size();
+  obs::Span protocol_span("histogram", "protocol");
+  protocol_span.AddArg("participants", static_cast<double>(np));
 
   struct WireTuple {
     uint32_t bucket = 0;
@@ -482,7 +517,7 @@ Result<AggOutput> HistogramProtocol::Execute(
           PDS_ASSIGN_OR_RETURN(wt.payload_ct,
                                p.token->EncryptNonDet(ByteView(payload)));
           ++wo.cost.token_ops;
-          wo.cost.AddMessage(4 + wt.payload_ct.size());
+          wo.cost.AddTokenToSsi(4 + wt.payload_ct.size());
           wo.wire.push_back(std::move(wt));
         }
         return Status::Ok();
@@ -527,7 +562,7 @@ Result<AggOutput> HistogramProtocol::Execute(
         for (size_t bi : buckets_by_token[t]) {
           BucketOut& bo = bouts[bi];
           for (const WireTuple* wt : *bucket_tuples[bi]) {
-            bo.cost.AddMessage(wt->payload_ct.size());
+            bo.cost.AddSsiToToken(wt->payload_ct.size());
             PDS_ASSIGN_OR_RETURN(
                 Bytes payload, token->DecryptNonDet(ByteView(wt->payload_ct)));
             ++bo.cost.token_ops;
@@ -550,6 +585,7 @@ Result<AggOutput> HistogramProtocol::Execute(
 
   out.groups = Finalize(state, func);
   out.leakage = observer.Report();
+  RecordProtocolRun("histogram", out.metrics, out.leakage);
   return out;
 }
 

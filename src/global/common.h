@@ -36,10 +36,23 @@ struct Metrics {
   uint64_t rounds = 0;          // sequential protocol rounds
   uint64_t token_crypto_ops = 0;  // enc/dec/mac inside tokens
   uint64_t ssi_ops = 0;         // SSI-side comparisons/moves
+  // Directional split of `bytes` over the token <-> SSI wire (the only
+  // link in the architecture); their sum equals `bytes` when every message
+  // is recorded through the directional helpers.
+  uint64_t bytes_token_to_ssi = 0;
+  uint64_t bytes_ssi_to_token = 0;
 
   void AddMessage(uint64_t message_bytes) {
     ++messages;
     bytes += message_bytes;
+  }
+  void AddTokenToSsi(uint64_t message_bytes) {
+    AddMessage(message_bytes);
+    bytes_token_to_ssi += message_bytes;
+  }
+  void AddSsiToToken(uint64_t message_bytes) {
+    AddMessage(message_bytes);
+    bytes_ssi_to_token += message_bytes;
   }
 };
 
@@ -72,6 +85,13 @@ enum class AggFunc { kSum, kCount, kAvg };
 /// Reference plaintext evaluation (ground truth for tests/benches).
 std::map<std::string, double> PlainAggregate(
     const std::vector<Participant>& participants, AggFunc func);
+
+/// Publishes one finished protocol run to the obs layer: bumps the
+/// fleet-wide wire/round/crypto counters and, when tracing is enabled,
+/// attaches the HbcObserver's leakage summary to the trace as an instant
+/// event named after the protocol. `name` must be a static literal.
+void RecordProtocolRun(const char* name, const Metrics& metrics,
+                       const LeakageReport& leakage);
 
 }  // namespace pds::global
 

@@ -1,11 +1,22 @@
 #include "global/fleet_executor.h"
 
+#include "obs/obs.h"
+
 namespace pds::global {
 
 Status FleetExecutor::ParallelFor(size_t n,
                                   const std::function<Status(size_t)>& fn) {
+  obs::Span outer_span("fleet.parallel_for", "fleet");
+  outer_span.AddArg("units", static_cast<double>(n));
   std::vector<Status> statuses(n, Status::Ok());
-  pool_->ParallelFor(n, [&](size_t i) { statuses[i] = fn(i); });
+  pool_->ParallelFor(n, [&](size_t i) {
+    // Worker threads have their own span stacks, so each unit is a root
+    // span on its thread — the concurrency test leans on these being
+    // recorded loss-free from many threads at once.
+    obs::Span unit_span("fleet.unit", "fleet");
+    unit_span.AddArg("unit", static_cast<double>(i));
+    statuses[i] = fn(i);
+  });
   for (Status& s : statuses) {
     if (!s.ok()) {
       return std::move(s);

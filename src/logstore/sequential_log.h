@@ -31,6 +31,9 @@ class SequentialLog {
   uint32_t num_pages() const { return head_; }
   uint32_t capacity_pages() const { return partition_.num_pages(); }
   uint32_t page_size() const { return partition_.page_size(); }
+  /// Chip backing the log's partition (null for a default-constructed log).
+  /// Lets layered structures attribute flash::Stats deltas to themselves.
+  flash::FlashChip* chip() const { return partition_.chip(); }
 
   /// Erases every block and rewinds the head.
   [[nodiscard]] Status Reset();
@@ -64,6 +67,7 @@ class RecordLog {
   uint64_t num_records() const { return num_records_; }
   uint64_t size_bytes() const { return size_bytes_; }
   uint32_t page_size() const { return log_.page_size(); }
+  flash::FlashChip* chip() const { return log_.chip(); }
   /// Pages occupied (flushed pages plus the RAM tail if non-empty).
   uint32_t num_pages_used() const;
 

@@ -2,7 +2,33 @@
 
 #include <cstring>
 
+#include "obs/obs.h"
+
 namespace pds::mcu {
+
+namespace {
+
+/// Fleet-wide token metrics, resolved once (function-local static) so every
+/// crypto op pays exactly one atomic add per metric.
+struct TokenObs {
+  obs::Counter* encryptions;
+  obs::Counter* decryptions;
+  obs::Counter* macs;
+  obs::Gauge* ram_high_water;
+
+  static const TokenObs& Get() {
+    static const TokenObs hooks = [] {
+      obs::Registry& reg = obs::Registry::Global();
+      return TokenObs{reg.GetCounter("token.encryptions", "ops"),
+                      reg.GetCounter("token.decryptions", "ops"),
+                      reg.GetCounter("token.macs", "ops"),
+                      reg.GetGauge("token.ram_high_water_bytes", "bytes")};
+    }();
+    return hooks;
+  }
+};
+
+}  // namespace
 
 SecureToken::SecureToken(const Config& config)
     : id_(config.token_id),
@@ -29,30 +55,45 @@ Status SecureToken::CheckAlive() const {
 Result<Bytes> SecureToken::EncryptDet(ByteView plaintext) {
   PDS_RETURN_IF_ERROR(CheckAlive());
   ++ops_.encryptions;
+  const TokenObs& hooks = TokenObs::Get();
+  hooks.encryptions->Add(1);
+  hooks.ram_high_water->Set(static_cast<double>(ram_.high_water()));
   return det_->Encrypt(plaintext);
 }
 
 Result<Bytes> SecureToken::DecryptDet(ByteView ciphertext) {
   PDS_RETURN_IF_ERROR(CheckAlive());
   ++ops_.decryptions;
+  const TokenObs& hooks = TokenObs::Get();
+  hooks.decryptions->Add(1);
+  hooks.ram_high_water->Set(static_cast<double>(ram_.high_water()));
   return det_->Decrypt(ciphertext);
 }
 
 Result<Bytes> SecureToken::EncryptNonDet(ByteView plaintext) {
   PDS_RETURN_IF_ERROR(CheckAlive());
   ++ops_.encryptions;
+  const TokenObs& hooks = TokenObs::Get();
+  hooks.encryptions->Add(1);
+  hooks.ram_high_water->Set(static_cast<double>(ram_.high_water()));
   return nondet_->Encrypt(plaintext, &rng_);
 }
 
 Result<Bytes> SecureToken::DecryptNonDet(ByteView ciphertext) {
   PDS_RETURN_IF_ERROR(CheckAlive());
   ++ops_.decryptions;
+  const TokenObs& hooks = TokenObs::Get();
+  hooks.decryptions->Add(1);
+  hooks.ram_high_water->Set(static_cast<double>(ram_.high_water()));
   return nondet_->Decrypt(ciphertext);
 }
 
 Result<crypto::Sha256::Digest> SecureToken::Mac(ByteView message) {
   PDS_RETURN_IF_ERROR(CheckAlive());
   ++ops_.macs;
+  const TokenObs& hooks = TokenObs::Get();
+  hooks.macs->Add(1);
+  hooks.ram_high_water->Set(static_cast<double>(ram_.high_water()));
   return crypto::HmacSha256(ByteView(mac_key_.data(), mac_key_.size()),
                             message);
 }

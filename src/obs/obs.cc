@@ -1,0 +1,474 @@
+#include "obs/obs.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "common/clock.h"
+
+namespace pds::obs {
+
+namespace {
+
+uint64_t BitsOf(double d) {
+  uint64_t b;
+  std::memcpy(&b, &d, 8);
+  return b;
+}
+
+double DoubleOf(uint64_t b) {
+  double d;
+  std::memcpy(&d, &b, 8);
+  return d;
+}
+
+/// Escapes the handful of JSON-hostile characters span names could contain.
+void JsonEscape(std::ostream& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out << c;
+    }
+  }
+}
+
+void JsonNumber(std::ostream& out, double v) {
+  if (std::isfinite(v) && v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    out << static_cast<int64_t>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", std::isfinite(v) ? v : 0.0);
+  out << buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AtomicF64
+// ---------------------------------------------------------------------------
+
+void AtomicF64::Add(double delta) {
+  uint64_t cur = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(cur, BitsOf(DoubleOf(cur) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicF64::StoreMax(double v) {
+  uint64_t cur = bits_.load(std::memory_order_relaxed);
+  while (DoubleOf(cur) < v &&
+         !bits_.compare_exchange_weak(cur, BitsOf(v),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicF64::Store(double v) {
+  bits_.store(BitsOf(v), std::memory_order_relaxed);
+}
+
+double AtomicF64::Load() const {
+  return DoubleOf(bits_.load(std::memory_order_relaxed));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+void Histogram::Record(double v) {
+#if PDS_OBS_ENABLED
+  count_.Add(1);
+  sum_.Add(v);
+  min_.StoreMax(-v);  // negated: the max of -v is the min of v
+  max_.StoreMax(v);
+  int exp = 0;
+  if (v > 0) {
+    std::frexp(v, &exp);
+    if (exp < 0) exp = 0;
+    if (exp >= static_cast<int>(kBuckets)) exp = kBuckets - 1;
+  }
+  buckets_[exp].Add(1);
+#else
+  (void)v;
+#endif
+}
+
+double Histogram::min() const { return count() == 0 ? 0.0 : -min_.Load(); }
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::Reset() {
+  count_.Reset();
+  sum_.Store(0);
+  min_.Store(-std::numeric_limits<double>::infinity());
+  max_.Store(0);
+  for (Counter& b : buckets_) b.Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+enum class MetricKind { kCounter, kGauge, kHistogram };
+}  // namespace
+
+struct Registry::Impl {
+  struct Entry {
+    std::string name;
+    std::string unit;
+    MetricKind kind = MetricKind::kCounter;
+    Counter counter;
+    Gauge gauge;
+    Histogram hist;
+  };
+
+  mutable std::mutex mu;
+  std::deque<Entry> entries;  // deque: pointers stay stable forever
+  std::map<std::string, Entry*, std::less<>> by_name;
+
+  Entry* FindOrCreate(std::string_view name, std::string_view unit,
+                      MetricKind kind) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = by_name.find(name);
+    if (it != by_name.end()) return it->second;
+    entries.emplace_back();
+    Entry* e = &entries.back();
+    e->name = std::string(name);
+    e->unit = std::string(unit);
+    e->kind = kind;
+    by_name.emplace(e->name, e);
+    return e;
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::Global() {
+  // Leaked on purpose: metric pointers handed out at setup must stay valid
+  // through static destruction.
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view unit) {
+  return &impl_->FindOrCreate(name, unit, MetricKind::kCounter)->counter;
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view unit) {
+  return &impl_->FindOrCreate(name, unit, MetricKind::kGauge)->gauge;
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::string_view unit) {
+  return &impl_->FindOrCreate(name, unit, MetricKind::kHistogram)->hist;
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (Impl::Entry& e : impl_->entries) {
+    e.counter.Reset();
+    e.gauge.Reset();
+    e.hist.Reset();
+  }
+}
+
+size_t Registry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->entries.size();
+}
+
+void Registry::ExportMetricsJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  out << "{\n  \"records\": [";
+  bool first = true;
+  for (const Impl::Entry& e : impl_->entries) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n    {\"name\": \"";
+    JsonEscape(out, e.name);
+    out << "\", \"kind\": \"";
+    switch (e.kind) {
+      case MetricKind::kCounter: out << "counter"; break;
+      case MetricKind::kGauge: out << "gauge"; break;
+      case MetricKind::kHistogram: out << "histogram"; break;
+    }
+    out << "\", \"value\": ";
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out << e.counter.Value();
+        break;
+      case MetricKind::kGauge:
+        JsonNumber(out, e.gauge.Value());
+        out << ", \"max\": ";
+        JsonNumber(out, e.gauge.max());
+        break;
+      case MetricKind::kHistogram:
+        out << e.hist.count();
+        out << ", \"sum\": ";
+        JsonNumber(out, e.hist.sum());
+        out << ", \"min\": ";
+        JsonNumber(out, e.hist.min());
+        out << ", \"max\": ";
+        JsonNumber(out, e.hist.max());
+        out << ", \"mean\": ";
+        JsonNumber(out, e.hist.mean());
+        break;
+    }
+    out << ", \"unit\": \"";
+    JsonEscape(out, e.unit);
+    out << "\"}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string Registry::MetricsJson() const {
+  std::ostringstream out;
+  ExportMetricsJson(out);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+struct Tracer::Impl {
+  mutable std::mutex mu;
+  std::vector<SpanEvent> events;
+  size_t capacity = 1 << 16;
+  std::deque<std::string> interned;
+  std::atomic<uint32_t> next_tid{1};
+};
+
+namespace {
+
+/// Per-thread span bookkeeping for Tracer::Global(). `suppressed` counts
+/// open spans skipped by the sampler/capacity so their children skip too.
+struct ThreadState {
+  uint32_t tid = 0;
+  std::vector<uint64_t> stack;
+  uint32_t suppressed = 0;
+};
+
+ThreadState& Tls() {
+  static thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace
+
+Tracer::Tracer() : impl_(new Impl) { impl_->events.reserve(impl_->capacity); }
+Tracer::~Tracer() { delete impl_; }
+
+Tracer& Tracer::Global() {
+  static Tracer* global = new Tracer();  // leaked, like the Registry
+  return *global;
+}
+
+void Tracer::SetEnabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::SetSampleEveryN(uint32_t n) {
+  sample_n_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+void Tracer::SetCapacity(size_t events) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->capacity = events;
+  impl_->events.clear();
+  impl_->events.reserve(events);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->events.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  root_seq_.store(0, std::memory_order_relaxed);
+}
+
+size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->events.size();
+}
+
+uint64_t Tracer::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->events;
+}
+
+void Tracer::Append(const SpanEvent& event) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->events.size() >= impl_->capacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  impl_->events.push_back(event);
+}
+
+void Tracer::Instant(const char* name, const char* category, const char* key0,
+                     double val0, const char* key1, double val1) {
+  if (!enabled()) return;
+  ThreadState& ts = Tls();
+  if (ts.tid == 0) ts.tid = impl_->next_tid.fetch_add(1);
+  SpanEvent e;
+  e.name = name;
+  e.category = category;
+  e.start_ns = MonotonicNanos();
+  e.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  e.parent = ts.stack.empty() ? 0 : ts.stack.back();
+  e.tid = ts.tid;
+  e.instant = true;
+  if (key0 != nullptr) {
+    e.arg_key[e.num_args] = key0;
+    e.arg_val[e.num_args] = val0;
+    ++e.num_args;
+  }
+  if (key1 != nullptr) {
+    e.arg_key[e.num_args] = key1;
+    e.arg_val[e.num_args] = val1;
+    ++e.num_args;
+  }
+  Append(e);
+}
+
+const char* Tracer::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const std::string& s : impl_->interned) {
+    if (s == name) return s.c_str();
+  }
+  impl_->interned.emplace_back(name);
+  return impl_->interned.back().c_str();
+}
+
+void Tracer::ExportChromeTrace(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  uint64_t base = 0;
+  for (const SpanEvent& e : impl_->events) {
+    if (base == 0 || e.start_ns < base) base = e.start_ns;
+  }
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const SpanEvent& e : impl_->events) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n{\"name\": \"";
+    JsonEscape(out, e.name);
+    out << "\", \"cat\": \"";
+    JsonEscape(out, e.category);
+    out << "\", \"ph\": \"" << (e.instant ? 'i' : 'X') << "\", \"ts\": ";
+    JsonNumber(out, static_cast<double>(e.start_ns - base) / 1000.0);
+    if (!e.instant) {
+      out << ", \"dur\": ";
+      JsonNumber(out, static_cast<double>(e.dur_ns) / 1000.0);
+    } else {
+      out << ", \"s\": \"t\"";
+    }
+    out << ", \"pid\": 1, \"tid\": " << e.tid;
+    out << ", \"args\": {\"span_id\": " << e.id << ", \"parent\": "
+        << e.parent;
+    for (uint8_t a = 0; a < e.num_args; ++a) {
+      out << ", \"";
+      JsonEscape(out, e.arg_key[a]);
+      out << "\": ";
+      JsonNumber(out, e.arg_val[a]);
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::ostringstream out;
+  ExportChromeTrace(out);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+#if PDS_OBS_ENABLED
+
+void Span::Begin(const char* name, const char* category) {
+  name_ = name;
+  category_ = category;
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  ThreadState& ts = Tls();
+  if (ts.suppressed > 0) {
+    suppressing_ = true;
+    ++ts.suppressed;
+    return;
+  }
+  if (ts.stack.empty()) {
+    uint32_t n = tracer.sample_n_.load(std::memory_order_relaxed);
+    if (n > 1 &&
+        tracer.root_seq_.fetch_add(1, std::memory_order_relaxed) % n != 0) {
+      suppressing_ = true;
+      ++ts.suppressed;
+      return;
+    }
+  }
+  if (ts.tid == 0) ts.tid = tracer.impl_->next_tid.fetch_add(1);
+  recorded_ = true;
+  id_ = tracer.next_id_.fetch_add(1, std::memory_order_relaxed);
+  parent_ = ts.stack.empty() ? 0 : ts.stack.back();
+  ts.stack.push_back(id_);
+  start_ns_ = MonotonicNanos();
+}
+
+void Span::End() {
+  if (suppressing_) {
+    --Tls().suppressed;
+    return;
+  }
+  if (!recorded_) return;
+  ThreadState& ts = Tls();
+  ts.stack.pop_back();
+  SpanEvent e;
+  e.name = name_;
+  e.category = category_;
+  e.start_ns = start_ns_;
+  e.dur_ns = MonotonicNanos() - start_ns_;
+  e.id = id_;
+  e.parent = parent_;
+  e.tid = ts.tid;
+  e.num_args = num_args_;
+  for (uint8_t a = 0; a < num_args_; ++a) {
+    e.arg_key[a] = arg_key_[a];
+    e.arg_val[a] = arg_val_[a];
+  }
+  Tracer::Global().Append(e);
+}
+
+void Span::AddArg(const char* key, double value) {
+  if (!recorded_ || num_args_ >= 2) return;
+  arg_key_[num_args_] = key;
+  arg_val_[num_args_] = value;
+  ++num_args_;
+}
+
+#endif  // PDS_OBS_ENABLED
+
+}  // namespace pds::obs

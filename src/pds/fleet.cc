@@ -1,5 +1,7 @@
 #include "pds/fleet.h"
 
+#include "obs/obs.h"
+
 namespace pds::node {
 
 Fleet::Fleet(const Config& config) {
@@ -19,6 +21,11 @@ Result<std::vector<global::Participant>> Fleet::ExportParticipants(
     const ac::Subject& subject, const std::string& table,
     const std::string& group_column, const std::string& value_column,
     global::FleetExecutor* exec) {
+  obs::Span span("fleet.export", "fleet");
+  span.AddArg("nodes", static_cast<double>(nodes_.size()));
+  static obs::Gauge* nodes_gauge =
+      obs::Registry::Global().GetGauge("fleet.nodes_exported", "count");
+  nodes_gauge->Set(static_cast<double>(nodes_.size()));
   std::vector<global::Participant> participants(nodes_.size());
   PDS_RETURN_IF_ERROR(global::FleetExecutor::Run(
       exec, nodes_.size(), [&](size_t i) -> Status {

@@ -5,11 +5,30 @@
 #include <map>
 #include <set>
 
+#include "obs/obs.h"
 #include "search/tokenizer.h"
 
 namespace pds::search {
 
 namespace {
+
+/// Search metrics, resolved once so the per-query cost is a handful of
+/// atomic adds — never a registry lookup on the query path.
+struct SearchObs {
+  obs::Counter* queries;
+  obs::Counter* terms_scanned;
+  obs::Counter* postings_merged;
+
+  static const SearchObs& Get() {
+    static const SearchObs hooks = [] {
+      obs::Registry& reg = obs::Registry::Global();
+      return SearchObs{reg.GetCounter("search.queries", "ops"),
+                       reg.GetCounter("search.terms_scanned", "ops"),
+                       reg.GetCounter("search.postings_merged", "ops")};
+    }();
+    return hooks;
+  }
+};
 
 /// Bounded min-heap of the N best (score, docid) pairs.
 class TopN {
@@ -94,6 +113,9 @@ Status EmbeddedSearchEngine::Flush() { return index_.FlushBuffer(); }
 
 Result<std::vector<SearchResult>> EmbeddedSearchEngine::Search(
     const std::vector<std::string>& query_terms, size_t top_n) {
+  obs::Span query_span("search.query", "search");
+  const SearchObs& hooks = SearchObs::Get();
+  hooks.queries->Add(1);
   std::vector<std::string> terms = UniqueTerms(query_terms);
   if (terms.empty() || index_.num_documents() == 0) {
     return std::vector<SearchResult>{};
@@ -102,13 +124,18 @@ Result<std::vector<SearchResult>> EmbeddedSearchEngine::Search(
   // Pass 1: document frequency per term (for IDF).
   std::vector<double> idf;
   std::vector<std::string> live_terms;
-  for (const std::string& term : terms) {
-    PDS_ASSIGN_OR_RETURN(uint32_t df, index_.DocumentFrequency(term));
-    if (df > 0) {
-      idf.push_back(std::log(static_cast<double>(index_.num_documents()) /
-                             static_cast<double>(df)));
-      live_terms.push_back(term);
+  {
+    obs::Span df_span("search.df_pass", "search");
+    for (const std::string& term : terms) {
+      PDS_ASSIGN_OR_RETURN(uint32_t df, index_.DocumentFrequency(term));
+      if (df > 0) {
+        idf.push_back(std::log(static_cast<double>(index_.num_documents()) /
+                               static_cast<double>(df)));
+        live_terms.push_back(term);
+      }
     }
+    hooks.terms_scanned->Add(terms.size());
+    df_span.AddArg("terms", static_cast<double>(terms.size()));
   }
   if (live_terms.empty()) {
     return std::vector<SearchResult>{};
@@ -120,6 +147,8 @@ Result<std::vector<SearchResult>> EmbeddedSearchEngine::Search(
   PDS_RETURN_IF_ERROR(gauge_->Acquire(ram));
 
   // Pass 2: open a cursor per keyword and merge by descending docid.
+  obs::Span merge_span("search.merge_pass", "search");
+  uint64_t postings = 0;
   std::vector<InvertedIndexLog::TermCursor> cursors;
   cursors.reserve(live_terms.size());
   Status status = Status::Ok();
@@ -150,6 +179,7 @@ Result<std::vector<SearchResult>> EmbeddedSearchEngine::Search(
     for (size_t i = 0; i < cursors.size(); ++i) {
       if (!cursors[i].AtEnd() && cursors[i].docid() == docid) {
         score += static_cast<double>(cursors[i].weight()) * idf[i];
+        ++postings;
         status = cursors[i].Advance();
         if (!status.ok()) {
           break;
@@ -162,6 +192,8 @@ Result<std::vector<SearchResult>> EmbeddedSearchEngine::Search(
   }
 
   gauge_->Release(ram);
+  hooks.postings_merged->Add(postings);
+  merge_span.AddArg("postings", static_cast<double>(postings));
   if (!status.ok()) {
     return status;
   }

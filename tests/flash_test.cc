@@ -121,6 +121,31 @@ TEST(FlashChipTest, StatsDifference) {
   EXPECT_EQ(d.block_erases, 1u);
 }
 
+TEST(FlashStats, FieldCountGuard) {
+  // Structured bindings of exactly this arity fail to compile when a field
+  // is added to Stats — forcing whoever adds one to also update ResetStats,
+  // operator-, ToString, the obs counters in flash.cc, and this test (the
+  // static_assert in flash.h backs this up against padding/type drift).
+  Stats s{7, 5, 3};
+  auto& [reads, programs, erases] = s;
+  EXPECT_EQ(reads, 7u);
+  EXPECT_EQ(programs, 5u);
+  EXPECT_EQ(erases, 3u);
+
+  // operator- must cover every field.
+  Stats d = Stats{10, 8, 6} - s;
+  auto& [dr, dp, de] = d;
+  EXPECT_EQ(dr, 3u);
+  EXPECT_EQ(dp, 3u);
+  EXPECT_EQ(de, 3u);
+
+  // ToString must mention every field's value.
+  std::string str = s.ToString();
+  EXPECT_NE(str.find('7'), std::string::npos);
+  EXPECT_NE(str.find('5'), std::string::npos);
+  EXPECT_NE(str.find('3'), std::string::npos);
+}
+
 TEST(FlashChipTest, WearTracking) {
   FlashChip chip(SmallGeometry());
   ASSERT_TRUE(chip.EraseBlock(3).ok());

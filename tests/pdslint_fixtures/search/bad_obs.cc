@@ -1,0 +1,26 @@
+// pdslint fixture: every obs misuse the obs-in-embedded rule must flag.
+// Not compiled — scanned by pdslint_test only.
+#include <string>
+#include <vector>
+
+namespace pds::search {
+
+void ScanPostings(const std::vector<int>& postings) {
+  for (int p : postings) {
+    obs::Registry::Global().GetCounter("search.postings")->Add(1);  // lookup per event
+    (void)p;
+  }
+}
+
+void ScoreDocs(int n) {
+  for (int i = 0; i < n; ++i) {
+    obs::Tracer::Global().Intern("doc");  // interning inside the hot loop
+  }
+}
+
+void TraceQuery(int qid) {
+  obs::Span span(std::to_string(qid).c_str(), "search");  // dynamic span name
+  (void)qid;
+}
+
+}  // namespace pds::search

@@ -1,0 +1,26 @@
+// pdslint fixture: the same instrumentation shapes as bad_obs.cc, but
+// preallocated — pointers resolved at setup, literal span names, single
+// atomic adds on the hot path. Must stay silent.
+#include <string>
+#include <vector>
+
+namespace pds::search {
+
+void ScanPostings(const std::vector<int>& postings) {
+  static auto* counter =
+      obs::Registry::Global().GetCounter("search.postings");  // setup, once
+  for (int p : postings) {
+    counter->Add(1);
+    (void)p;
+  }
+}
+
+void TraceQuery(const std::vector<int>& postings) {
+  obs::Span span("search.query", "search");  // literal name
+  for (int p : postings) {
+    obs::Span inner("search.posting", "search");  // spans in loops are fine
+    (void)p;
+  }
+}
+
+}  // namespace pds::search

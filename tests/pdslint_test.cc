@@ -91,6 +91,31 @@ TEST(PdslintRamRule, IgnoresNonEmbeddedModules) {
   EXPECT_TRUE(LinesFor(report, Rule::kRamAlloc).empty());
 }
 
+TEST(PdslintObsRule, FlagsLookupsInLoopsAndDynamicSpanNames) {
+  Report r = Lint("search/bad_obs.cc");
+  std::vector<int> lines = LinesFor(r, Rule::kObsInEmbedded);
+  ASSERT_EQ(lines.size(), 3u)
+      << "registry lookup in loop, Intern in loop, dynamic span name";
+  EXPECT_EQ(lines[0], 10);
+  EXPECT_EQ(lines[1], 17);
+  EXPECT_EQ(lines[2], 22);
+}
+
+TEST(PdslintObsRule, SilentOnPreallocatedInstrumentation) {
+  Report r = Lint("search/good_obs.cc");
+  EXPECT_TRUE(r.findings.empty())
+      << pdslint::FormatFinding(r.findings.front());
+}
+
+TEST(PdslintObsRule, IgnoresNonEmbeddedModules) {
+  std::ifstream in(FixturePath("search/bad_obs.cc"), std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Report report;
+  AnalyzeFile("src/global/bad_obs.cc", buf.str(), Options(), &report);
+  EXPECT_TRUE(LinesFor(report, Rule::kObsInEmbedded).empty());
+}
+
 TEST(PdslintNodiscardRule, FlagsUnannotatedDeclarations) {
   Report r = Lint("common/bad_nodiscard.h");
   std::vector<int> lines = LinesFor(r, Rule::kResultNodiscard);
@@ -161,7 +186,8 @@ TEST(PdslintFingerprint, StableAcrossLineShiftsDistinctAcrossOccurrences) {
 TEST(PdslintRuleNames, RoundTrip) {
   for (Rule rule : {Rule::kRamAlloc, Rule::kResultNodiscard,
                     Rule::kResultGuard, Rule::kHeaderGuard,
-                    Rule::kUsingNamespace, Rule::kGlobalVar}) {
+                    Rule::kUsingNamespace, Rule::kGlobalVar,
+                    Rule::kObsInEmbedded}) {
     Rule parsed;
     ASSERT_TRUE(pdslint::ParseRuleName(pdslint::RuleName(rule), &parsed));
     EXPECT_EQ(parsed, rule);
@@ -169,6 +195,8 @@ TEST(PdslintRuleNames, RoundTrip) {
   Rule parsed;
   EXPECT_TRUE(pdslint::ParseRuleName("ram", &parsed));
   EXPECT_EQ(parsed, Rule::kRamAlloc);
+  EXPECT_TRUE(pdslint::ParseRuleName("obs", &parsed));
+  EXPECT_EQ(parsed, Rule::kObsInEmbedded);
   EXPECT_FALSE(pdslint::ParseRuleName("no-such-rule", &parsed));
 }
 

@@ -452,6 +452,45 @@ void CheckRamAlloc(const std::string& module, const Scrubbed& s,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: obs-in-embedded
+// ---------------------------------------------------------------------------
+
+// Registry lookups and name interning take a mutex and may allocate; on an
+// embedded hot path they must be hoisted to setup (a constructor or a
+// function-local static) and the returned pointer reused per event.
+const std::regex kObsRegistryLookup(
+    R"((\.|->|::)\s*(GetCounter|GetGauge|GetHistogram|Intern)\s*\()");
+// A span whose name is composed per construction heap-allocates per event;
+// span names in embedded modules must be string literals (or interned once
+// at setup, outside any loop).
+const std::regex kObsSpanDecl(R"(\bobs\s*::\s*Span\s+\w+\s*\()");
+const std::regex kObsDynamicName(
+    R"(std\s*::\s*to_string\s*\(|std\s*::\s*string\s*\(|\.\s*c_str\s*\(\s*\))");
+
+void CheckObsInEmbedded(const std::string& module, const Scrubbed& s,
+                        const Structure& st, Emitter* em) {
+  for (size_t ln = 0; ln < s.code.size(); ++ln) {
+    const std::string& line = s.code[ln];
+    int line0 = static_cast<int>(ln);
+    if (std::regex_search(line, kObsRegistryLookup) &&
+        InLoop(st, s.code, line0)) {
+      em->Emit(line0, Rule::kObsInEmbedded,
+               "obs registry lookup / Intern inside a loop in embedded "
+               "module '" + module +
+                   "'; resolve the metric pointer once at setup and reuse "
+                   "it on the hot path");
+      continue;
+    }
+    if (std::regex_search(line, kObsSpanDecl) &&
+        std::regex_search(line, kObsDynamicName)) {
+      em->Emit(line0, Rule::kObsInEmbedded,
+               "span name composed per event in embedded module '" + module +
+                   "'; use a string literal (or Tracer::Intern at setup)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: result-nodiscard
 // ---------------------------------------------------------------------------
 
@@ -574,6 +613,7 @@ const char* RuleName(Rule rule) {
     case Rule::kHeaderGuard: return "header-guard";
     case Rule::kUsingNamespace: return "using-namespace";
     case Rule::kGlobalVar: return "global-var";
+    case Rule::kObsInEmbedded: return "obs-in-embedded";
   }
   return "unknown";
 }
@@ -585,6 +625,7 @@ bool ParseRuleName(const std::string& name, Rule* out) {
   else if (name == "header-guard") *out = Rule::kHeaderGuard;
   else if (name == "using-namespace") *out = Rule::kUsingNamespace;
   else if (name == "global-var") *out = Rule::kGlobalVar;
+  else if (name == "obs" || name == "obs-in-embedded") *out = Rule::kObsInEmbedded;
   else return false;
   return true;
 }
@@ -619,6 +660,7 @@ void AnalyzeFile(const std::string& path, const std::string& content,
 
   if (Contains(options.embedded_modules, module)) {
     CheckRamAlloc(module, s, st, &em);
+    CheckObsInEmbedded(module, s, st, &em);
   }
   if (is_header && Contains(options.nodiscard_modules, module)) {
     CheckResultNodiscard(s, &em);

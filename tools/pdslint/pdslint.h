@@ -27,14 +27,16 @@ enum class Rule {
   kHeaderGuard,      // header without include guard / #pragma once
   kUsingNamespace,   // `using namespace` at header scope
   kGlobalVar,        // mutable namespace-scope global in a header outside common/
+  kObsInEmbedded,    // obs registry lookup in a loop / dynamic span name in an
+                     // embedded module (instrumentation must be preallocated)
 };
 
 /// Stable rule name used in diagnostics, waivers, and baselines.
 const char* RuleName(Rule rule);
 
 /// Parses a rule name or waiver alias ("ram" == "ram-alloc", "guard" ==
-/// "result-guard", "nodiscard" == "result-nodiscard"). Returns false when
-/// unknown.
+/// "result-guard", "nodiscard" == "result-nodiscard", "obs" ==
+/// "obs-in-embedded"). Returns false when unknown.
 bool ParseRuleName(const std::string& name, Rule* out);
 
 struct Finding {
