@@ -1,0 +1,313 @@
+// net_bench — the documented driver for the real-wire numbers:
+//
+//   build/bench/net_bench --out BENCH_net.json
+//
+// It sweeps [TNP14] secure aggregation over the framed token<->SSI wire for
+// fleet sizes 4/16/64 on both transports (deterministic in-process queue
+// pairs and Unix-domain sockets), recording measured frame bytes, round
+// counts and loopback throughput/latency per run. It then runs the quorum
+// scenarios with one deliberately-dropped token: under quorum=1.0 the run
+// must fail with a quorum shortfall, under quorum=0.9 it must complete at
+// N-1 responders with the shortfall recorded. Any unexpected outcome exits
+// non-zero, which is what the CI schema check builds on.
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/cipher.h"
+#include "global/fleet_executor.h"
+#include "net/ssi_server.h"
+#include "net/token_client.h"
+#include "net/transport.h"
+
+namespace {
+
+using pds::Rng;
+using pds::global::AggFunc;
+using pds::global::FleetExecutor;
+using pds::global::SourceTuple;
+using pds::mcu::SecureToken;
+using pds::net::InProcessTransport;
+using pds::net::SocketTransport;
+using pds::net::SsiServer;
+using pds::net::TokenClient;
+using pds::net::Transport;
+
+constexpr uint32_t kDropForever = 1u << 20;
+
+struct BenchFleet {
+  std::vector<std::unique_ptr<SecureToken>> tokens;
+  std::vector<std::vector<SourceTuple>> tuples;
+  std::unique_ptr<SecureToken> verifier;
+  size_t total_tuples = 0;
+};
+
+BenchFleet MakeFleet(size_t n) {
+  BenchFleet fleet;
+  pds::crypto::SymmetricKey key = pds::crypto::KeyFromString("net-bench");
+  Rng rng(55);
+  for (size_t i = 0; i < n; ++i) {
+    SecureToken::Config cfg;
+    cfg.token_id = 100 + i;
+    cfg.fleet_key = key;
+    cfg.rng_seed = 100 + i;
+    fleet.tokens.push_back(std::make_unique<SecureToken>(cfg));
+    std::vector<SourceTuple> tuples;
+    for (int t = 0; t < 4; ++t) {
+      SourceTuple st;
+      st.group = "city-" + std::to_string(rng.Uniform(5));
+      st.value = static_cast<double>(rng.Uniform(100));
+      tuples.push_back(std::move(st));
+    }
+    fleet.total_tuples += tuples.size();
+    fleet.tuples.push_back(std::move(tuples));
+  }
+  SecureToken::Config vcfg;
+  vcfg.token_id = 9000;
+  vcfg.fleet_key = key;
+  vcfg.rng_seed = 9000;
+  fleet.verifier = std::make_unique<SecureToken>(vcfg);
+  return fleet;
+}
+
+struct RunRecord {
+  std::string section;
+  std::string transport;
+  size_t fleet_size = 0;
+  double quorum = 1.0;
+  size_t dropped_tokens = 0;
+  bool ok = false;
+  size_t groups = 0;
+  size_t responders = 0;
+  uint64_t missing_tokens = 0;
+  uint64_t rounds = 0;
+  uint64_t retries = 0;
+  uint64_t deadline_hits = 0;
+  uint64_t bytes = 0;
+  uint64_t bytes_token_to_ssi = 0;
+  uint64_t bytes_ssi_to_token = 0;
+  uint64_t frames = 0;
+  uint64_t tuples = 0;
+  double wall_ms = 0;
+  double tuples_per_sec = 0;
+};
+
+struct Scenario {
+  std::string section;
+  std::string transport;  // "inproc" or "socket"
+  size_t fleet_size = 0;
+  double quorum = 1.0;
+  size_t drop_first = 0;  // clients [0, drop_first) never answer rounds
+  uint32_t deadline_ms = 2000;
+  uint32_t max_retries = 2;
+};
+
+int Fail(const std::string& what) {
+  std::cerr << "net_bench: FAILED: " << what << "\n";
+  return 1;
+}
+
+/// One full wire run: handshake every client, execute the protocol, tear
+/// down, and distill the measured traffic into a RunRecord.
+int RunScenario(const Scenario& sc, RunRecord* rec) {
+  BenchFleet fleet = MakeFleet(sc.fleet_size);
+  FleetExecutor exec(4);
+
+  SsiServer::Config cfg;
+  cfg.partition_capacity = 32;  // forces aggregate rounds at fleet size 16+
+  cfg.deadline_ms = sc.deadline_ms;
+  cfg.max_retries = sc.max_retries;
+  cfg.backoff_ms = 5;
+  cfg.quorum = sc.quorum;
+  cfg.executor = &exec;
+  cfg.verifier = fleet.verifier.get();
+  SsiServer server(cfg);
+
+  std::vector<std::unique_ptr<TokenClient>> clients;
+  for (size_t i = 0; i < sc.fleet_size; ++i) {
+    std::unique_ptr<Transport> client_side;
+    std::unique_ptr<Transport> server_side;
+    if (sc.transport == "inproc") {
+      auto [a, b] = InProcessTransport::CreatePair();
+      client_side = std::move(a);
+      server_side = std::move(b);
+    } else {
+      auto pair = SocketTransport::CreateUnixPair();
+      if (!pair.ok()) {
+        return Fail("CreateUnixPair: " + pair.status().ToString());
+      }
+      client_side = std::move(pair->first);
+      server_side = std::move(pair->second);
+    }
+    TokenClient::Config ccfg;
+    ccfg.token = fleet.tokens[i].get();
+    ccfg.tuples = fleet.tuples[i];
+    if (i < sc.drop_first) {
+      ccfg.fail_first_requests = kDropForever;
+    }
+    clients.push_back(
+        std::make_unique<TokenClient>(std::move(client_side), ccfg));
+    clients.back()->Start();
+    auto accepted = server.AcceptSession(std::move(server_side));
+    if (!accepted.ok()) {
+      return Fail("AcceptSession: " + accepted.status().ToString());
+    }
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto output = server.RunSecureAggregation(AggFunc::kSum);
+  auto t1 = std::chrono::steady_clock::now();
+
+  server.Shutdown();
+  for (auto& c : clients) {
+    c->Stop();
+    (void)c->Join();  // dropped clients exit via transport close; fine here
+  }
+
+  rec->section = sc.section;
+  rec->transport = sc.transport;
+  rec->fleet_size = sc.fleet_size;
+  rec->quorum = sc.quorum;
+  rec->dropped_tokens = sc.drop_first;
+  rec->ok = output.ok();
+  rec->tuples = fleet.total_tuples;
+  rec->wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const SsiServer::RoundReport& report = server.last_report();
+  rec->responders = report.responders;
+  rec->missing_tokens = report.missing_tokens;
+  rec->deadline_hits = report.deadline_hits;
+  rec->retries = report.retries;
+  for (const auto& c : clients) {
+    rec->frames += c->transport().frames_sent();
+    rec->frames += c->transport().frames_received();
+  }
+  if (output.ok()) {
+    rec->groups = output->groups.size();
+    rec->rounds = output->metrics.rounds;
+    rec->bytes = output->metrics.bytes;
+    rec->bytes_token_to_ssi = output->metrics.bytes_token_to_ssi;
+    rec->bytes_ssi_to_token = output->metrics.bytes_ssi_to_token;
+    if (rec->bytes !=
+        rec->bytes_token_to_ssi + rec->bytes_ssi_to_token) {
+      return Fail("directional wire bytes do not sum to total bytes");
+    }
+    double secs = rec->wall_ms / 1000.0;
+    if (secs > 0) {
+      rec->tuples_per_sec = static_cast<double>(rec->tuples) / secs;
+    }
+  }
+  return 0;
+}
+
+void WriteRecord(std::ostream& out, const RunRecord& r, bool last) {
+  out << "    {\"section\": \"" << r.section << "\""
+      << ", \"transport\": \"" << r.transport << "\""
+      << ", \"fleet_size\": " << r.fleet_size
+      << ", \"quorum\": " << r.quorum
+      << ", \"dropped_tokens\": " << r.dropped_tokens
+      << ", \"ok\": " << (r.ok ? "true" : "false")
+      << ", \"groups\": " << r.groups
+      << ", \"responders\": " << r.responders
+      << ", \"missing_tokens\": " << r.missing_tokens
+      << ", \"rounds\": " << r.rounds
+      << ", \"retries\": " << r.retries
+      << ", \"deadline_hits\": " << r.deadline_hits
+      << ", \"bytes\": " << r.bytes
+      << ", \"bytes_token_to_ssi\": " << r.bytes_token_to_ssi
+      << ", \"bytes_ssi_to_token\": " << r.bytes_ssi_to_token
+      << ", \"frames\": " << r.frames
+      << ", \"tuples\": " << r.tuples
+      << ", \"wall_ms\": " << r.wall_ms
+      << ", \"tuples_per_sec\": " << r.tuples_per_sec << "}"
+      << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: net_bench [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  std::vector<Scenario> scenarios;
+  for (const char* transport : {"inproc", "socket"}) {
+    for (size_t n : {4u, 16u, 64u}) {
+      Scenario sc;
+      sc.section = "sweep";
+      sc.transport = transport;
+      sc.fleet_size = n;
+      scenarios.push_back(sc);
+    }
+  }
+  {
+    // One token of ten swallows every request. Full quorum must fail the
+    // run; quorum 0.9 (need = ceil(9.0) = 9 = N-1) must complete.
+    Scenario all;
+    all.section = "quorum";
+    all.transport = "inproc";
+    all.fleet_size = 10;
+    all.quorum = 1.0;
+    all.drop_first = 1;
+    all.deadline_ms = 150;
+    all.max_retries = 0;
+    scenarios.push_back(all);
+    Scenario nine = all;
+    nine.quorum = 0.9;
+    nine.max_retries = 1;
+    scenarios.push_back(nine);
+  }
+
+  std::vector<RunRecord> records(scenarios.size());
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    if (RunScenario(sc, &records[i]) != 0) {
+      return 1;
+    }
+    const RunRecord& r = records[i];
+    std::cout << sc.section << " " << sc.transport << " n=" << sc.fleet_size
+              << " quorum=" << sc.quorum << ": "
+              << (r.ok ? "ok" : "failed (expected for full quorum + drop)")
+              << ", " << r.responders << " responders, " << r.bytes
+              << " B measured, " << r.frames << " frames, " << r.wall_ms
+              << " ms\n";
+    if (sc.section == "sweep" && !r.ok) {
+      return Fail("sweep run unexpectedly failed");
+    }
+    if (sc.section == "quorum" && sc.quorum == 1.0 && r.ok) {
+      return Fail("full-quorum run with a dropped token unexpectedly passed");
+    }
+    if (sc.section == "quorum" && sc.quorum < 1.0 &&
+        (!r.ok || r.missing_tokens != 1 ||
+         r.responders != sc.fleet_size - 1)) {
+      return Fail("quorum=0.9 run did not complete at N-1 responders");
+    }
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  out << "{\n  \"meta\": {\"generated_by\": \"bench/net_bench\", "
+         "\"protocol\": \"net-secure-agg\"},\n  \"records\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    WriteRecord(out, records[i], i + 1 == records.size());
+  }
+  out << "  ]\n}\n";
+  out.close();
+  if (!out) {
+    return Fail("cannot write " + out_path);
+  }
+  std::cout << "wrote " << out_path << " (" << records.size()
+            << " records)\n";
+  return 0;
+}

@@ -7,17 +7,39 @@
 # round + one profiled SPJ query) and leaves BENCH_obs.json plus
 # trace_obs.json (Chrome trace_event format) at the repo root.
 #
-# Usage: bench/run_benches.sh [--obs] [build_dir]   (default: build)
+# With --net, instead runs the real-wire driver (secure aggregation over
+# framed transports: fleet-size sweep on in-process and Unix-socket
+# loopback, plus the dropped-token quorum scenarios) and leaves
+# BENCH_net.json at the repo root.
+#
+# Usage: bench/run_benches.sh [--obs|--net] [build_dir]   (default: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 OBS_MODE=0
+NET_MODE=0
 if [[ "${1:-}" == "--obs" ]]; then
   OBS_MODE=1
   shift
+elif [[ "${1:-}" == "--net" ]]; then
+  NET_MODE=1
+  shift
 fi
 BUILD_DIR="${1:-build}"
+
+if [[ "$NET_MODE" == 1 ]]; then
+  if [[ ! -x "$BUILD_DIR/bench/net_bench" ]]; then
+    echo "building net_bench in $BUILD_DIR ..."
+    cmake --build "$BUILD_DIR" --target net_bench
+  fi
+  echo "== net_bench (wire sweep + quorum scenarios) =="
+  "$BUILD_DIR/bench/net_bench" --out BENCH_net.json
+  if command -v python3 >/dev/null; then
+    python3 bench/validate_net_json.py BENCH_net.json bench/net_schema.json
+  fi
+  exit 0
+fi
 
 if [[ "$OBS_MODE" == 1 ]]; then
   if [[ ! -x "$BUILD_DIR/bench/obs_profile" ]]; then

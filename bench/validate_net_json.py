@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validates BENCH_net.json against bench/net_schema.json.
+
+Usage: validate_net_json.py [BENCH_net.json] [schema.json]
+
+Checks, stdlib-only (run by bench/run_benches.sh --net and the CI net job):
+  - the file is {"records": [...]} with a non-empty record list where every
+    record carries the schema's required fields with numeric values;
+  - every record names a known section and the sweep covers both
+    transports (in-process and socket);
+  - wire accounting is consistent: every successful record satisfies
+    bytes == bytes_token_to_ssi + bytes_ssi_to_token with bytes > 0 and
+    rounds > 0;
+  - the quorum section demonstrates both sides of the contract: a dropped
+    token fails the run under quorum 1.0 and completes with a recorded
+    shortfall under a sub-1.0 quorum.
+
+Exits 0 on success, 1 with a list of problems otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(problems):
+    for p in problems:
+        print(f"validate_net_json: {p}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_records(doc, schema, problems):
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        problems.append("'records' missing, not a list, or empty")
+        return
+    sweep_transports = set()
+    quorum_failed_full = False
+    quorum_passed_short = False
+    for i, rec in enumerate(records):
+        where = f"record {i}"
+        if not isinstance(rec, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in schema["required_record_fields"]:
+            if field not in rec:
+                problems.append(f"{where}: missing field '{field}'")
+        for field in schema["numeric_record_fields"]:
+            if field in rec and not is_number(rec[field]):
+                problems.append(f"{where}: '{field}' is not numeric")
+        section = rec.get("section")
+        if section not in schema["sections"]:
+            problems.append(f"{where}: unknown section {section!r}")
+        if not isinstance(rec.get("ok"), bool):
+            problems.append(f"{where}: 'ok' is not a bool")
+            continue
+        if rec["ok"]:
+            total = rec.get("bytes", 0)
+            t2s = rec.get("bytes_token_to_ssi", 0)
+            s2t = rec.get("bytes_ssi_to_token", 0)
+            if total != t2s + s2t:
+                problems.append(
+                    f"{where}: bytes ({total}) != token->ssi ({t2s}) + "
+                    f"ssi->token ({s2t})")
+            if total <= 0:
+                problems.append(f"{where}: successful run measured 0 bytes")
+            if rec.get("rounds", 0) <= 0:
+                problems.append(f"{where}: successful run reports 0 rounds")
+        if section == "sweep":
+            sweep_transports.add(rec.get("transport"))
+            if not rec["ok"]:
+                problems.append(f"{where}: sweep run failed")
+        elif section == "quorum":
+            if rec.get("quorum") == 1.0 and rec.get("dropped_tokens", 0) >= 1:
+                quorum_failed_full = quorum_failed_full or not rec["ok"]
+            if (rec.get("quorum", 1.0) < 1.0
+                    and rec.get("dropped_tokens", 0) >= 1):
+                quorum_passed_short = quorum_passed_short or (
+                    rec["ok"] and rec.get("missing_tokens", 0) >= 1)
+    for transport in schema["sweep_transports"]:
+        if transport not in sweep_transports:
+            problems.append(f"sweep: no records for transport '{transport}'")
+    if not quorum_failed_full:
+        problems.append(
+            "quorum: no failed record for a dropped token at quorum 1.0")
+    if not quorum_passed_short:
+        problems.append(
+            "quorum: no successful record with a reported shortfall at "
+            "quorum < 1.0")
+
+
+def main(argv):
+    bench_path = argv[1] if len(argv) > 1 else "BENCH_net.json"
+    schema_path = argv[2] if len(argv) > 2 else "bench/net_schema.json"
+
+    problems = []
+    with open(schema_path) as f:
+        schema = json.load(f)
+    try:
+        with open(bench_path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problems.append(f"cannot load {bench_path}: {e}")
+        fail(problems)
+    check_records(doc, schema, problems)
+
+    if problems:
+        fail(problems)
+    print(f"validate_net_json: OK ({bench_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

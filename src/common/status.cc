@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kIntegrityViolation:
       return "IntegrityViolation";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
     case StatusCode::kInternal:

@@ -21,6 +21,7 @@ enum class StatusCode {
   kPermissionDenied,    // access-control rejection inside the token
   kFailedPrecondition,
   kIntegrityViolation,  // tampering detected in a global protocol
+  kDeadlineExceeded,    // wire operation missed its deadline (src/net)
   kUnimplemented,
   kInternal,
 };
@@ -78,6 +79,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status IntegrityViolation(std::string msg) {
     return Status(StatusCode::kIntegrityViolation, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));

@@ -11,39 +11,9 @@ namespace pds::global {
 
 namespace {
 
-/// Payload carried (encrypted) with each protocol tuple:
-/// [u8 fake][f64 sum][u64 count][group bytes].
-Bytes EncodePayload(bool fake, double sum, uint64_t count,
-                    const std::string& group) {
-  Bytes out;
-  out.push_back(fake ? 1 : 0);
-  uint64_t bits;
-  std::memcpy(&bits, &sum, 8);
-  PutU64(&out, bits);
-  PutU64(&out, count);
-  out.insert(out.end(), group.begin(), group.end());
-  return out;
-}
-
-struct Payload {
-  bool fake = false;
-  double sum = 0;
-  uint64_t count = 0;
-  std::string group;
-};
-
-Result<Payload> DecodePayload(ByteView in) {
-  if (in.size() < 17) {
-    return Status::Corruption("payload too short");
-  }
-  Payload p;
-  p.fake = in[0] != 0;
-  uint64_t bits = GetU64(in.data() + 1);
-  std::memcpy(&p.sum, &bits, 8);
-  p.count = GetU64(in.data() + 9);
-  p.group = in.subview(17, in.size() - 17).ToString();
-  return p;
-}
+// The per-tuple payload layout ([u8 fake][f64 sum][u64 count][group]) is
+// shared with the wire runtime: EncodeAggPayload/DecodeAggPayload in
+// global/common.h.
 
 /// Sum/count accumulation per group.
 struct GroupState {
@@ -146,7 +116,7 @@ Result<AggOutput> SecureAggProtocol::Execute(
           Participant& p = participants[i];
           enc[i].reserve(p.tuples.size());
           for (const SourceTuple& t : p.tuples) {
-            Bytes payload = EncodePayload(false, t.value, 1, t.group);
+            Bytes payload = EncodeAggPayload(false, t.value, 1, t.group);
             PDS_ASSIGN_OR_RETURN(Bytes ct,
                                  p.token->EncryptNonDet(ByteView(payload)));
             ++enc_cost[i].token_ops;
@@ -199,13 +169,13 @@ Result<AggOutput> SecureAggProtocol::Execute(
               PDS_ASSIGN_OR_RETURN(Bytes payload,
                                    token->DecryptNonDet(ByteView(items[i])));
               ++po.cost.token_ops;
-              PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
+              PDS_ASSIGN_OR_RETURN(AggPayload p, DecodeAggPayload(ByteView(payload)));
               partial[p.group].sum += p.sum;
               partial[p.group].count += p.count;
             }
             for (const auto& [group, state] : partial) {
               Bytes payload =
-                  EncodePayload(false, state.sum, state.count, group);
+                  EncodeAggPayload(false, state.sum, state.count, group);
               PDS_ASSIGN_OR_RETURN(Bytes ct,
                                    token->EncryptNonDet(ByteView(payload)));
               ++po.cost.token_ops;
@@ -242,7 +212,7 @@ Result<AggOutput> SecureAggProtocol::Execute(
     out.metrics.AddSsiToToken(ct.size());
     PDS_ASSIGN_OR_RETURN(Bytes payload, token->DecryptNonDet(ByteView(ct)));
     ++out.metrics.token_crypto_ops;
-    PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
+    PDS_ASSIGN_OR_RETURN(AggPayload p, DecodeAggPayload(ByteView(payload)));
     final_state[p.group].sum += p.sum;
     final_state[p.group].count += p.count;
   }
@@ -322,7 +292,7 @@ Result<AggOutput> RunDetProtocol(
             PDS_ASSIGN_OR_RETURN(
                 wt.group_ct,
                 p.token->EncryptDet(ByteView(std::string_view(group))));
-            Bytes payload = EncodePayload(fake, value, fake ? 0 : 1, "");
+            Bytes payload = EncodeAggPayload(fake, value, fake ? 0 : 1, "");
             PDS_ASSIGN_OR_RETURN(wt.payload_ct,
                                  p.token->EncryptNonDet(ByteView(payload)));
             wo.cost.token_ops += 2;
@@ -392,7 +362,7 @@ Result<AggOutput> RunDetProtocol(
             PDS_ASSIGN_OR_RETURN(
                 Bytes payload, token->DecryptNonDet(ByteView(wt->payload_ct)));
             ++co.cost.token_ops;
-            PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
+            PDS_ASSIGN_OR_RETURN(AggPayload p, DecodeAggPayload(ByteView(payload)));
             if (!p.fake) {
               co.gs.sum += p.sum;
               co.gs.count += p.count;
@@ -513,7 +483,7 @@ Result<AggOutput> HistogramProtocol::Execute(
           WireTuple wt;
           wt.bucket = static_cast<uint32_t>(
               Fnv1a64(std::string_view(t.group)) % config_.num_buckets);
-          Bytes payload = EncodePayload(false, t.value, 1, t.group);
+          Bytes payload = EncodeAggPayload(false, t.value, 1, t.group);
           PDS_ASSIGN_OR_RETURN(wt.payload_ct,
                                p.token->EncryptNonDet(ByteView(payload)));
           ++wo.cost.token_ops;
@@ -566,7 +536,7 @@ Result<AggOutput> HistogramProtocol::Execute(
             PDS_ASSIGN_OR_RETURN(
                 Bytes payload, token->DecryptNonDet(ByteView(wt->payload_ct)));
             ++bo.cost.token_ops;
-            PDS_ASSIGN_OR_RETURN(Payload p, DecodePayload(ByteView(payload)));
+            PDS_ASSIGN_OR_RETURN(AggPayload p, DecodeAggPayload(ByteView(payload)));
             bo.partial[p.group].sum += p.sum;
             bo.partial[p.group].count += p.count;
           }

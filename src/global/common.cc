@@ -1,10 +1,37 @@
 #include "global/common.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "obs/obs.h"
 
 namespace pds::global {
+
+Bytes EncodeAggPayload(bool fake, double sum, uint64_t count,
+                       const std::string& group) {
+  Bytes out;
+  out.reserve(17 + group.size());
+  out.push_back(fake ? 1 : 0);
+  uint64_t bits;
+  std::memcpy(&bits, &sum, 8);
+  PutU64(&out, bits);
+  PutU64(&out, count);
+  out.insert(out.end(), group.begin(), group.end());
+  return out;
+}
+
+Result<AggPayload> DecodeAggPayload(ByteView in) {
+  if (in.size() < 17) {
+    return Status::Corruption("agg payload too short");
+  }
+  AggPayload p;
+  p.fake = in[0] != 0;
+  uint64_t bits = GetU64(in.data() + 1);
+  std::memcpy(&p.sum, &bits, 8);
+  p.count = GetU64(in.data() + 9);
+  p.group = in.subview(17, in.size() - 17).ToString();
+  return p;
+}
 
 double LeakageReport::MaxClassFraction() const {
   if (tuples_observed == 0 || class_sizes.empty()) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "mcu/secure_token.h"
 
@@ -41,6 +42,10 @@ struct Metrics {
   // is recorded through the directional helpers.
   uint64_t bytes_token_to_ssi = 0;
   uint64_t bytes_ssi_to_token = 0;
+  // Tokens that never answered a wire round within its deadline and retry
+  // budget (the quorum shortfall). Only the src/net runtime sets this; the
+  // in-process protocols model always-connected tokens.
+  uint64_t tokens_missing = 0;
 
   void AddMessage(uint64_t message_bytes) {
     ++messages;
@@ -81,6 +86,21 @@ struct LeakageReport {
 
 /// The aggregate requested from the fleet.
 enum class AggFunc { kSum, kCount, kAvg };
+
+/// Payload carried (encrypted) with each [TNP14] protocol tuple:
+/// [u8 fake][f64 sum][u64 count][group bytes]. The in-process protocols
+/// (agg_protocols.cc) and the wire runtime (src/net) must agree on this
+/// layout bit-for-bit, so it lives here rather than in either module.
+struct AggPayload {
+  bool fake = false;
+  double sum = 0;
+  uint64_t count = 0;
+  std::string group;
+};
+
+[[nodiscard]] Bytes EncodeAggPayload(bool fake, double sum, uint64_t count,
+                                     const std::string& group);
+[[nodiscard]] Result<AggPayload> DecodeAggPayload(ByteView in);
 
 /// Reference plaintext evaluation (ground truth for tests/benches).
 std::map<std::string, double> PlainAggregate(

@@ -1,0 +1,199 @@
+#ifndef PDS_NET_CODEC_H_
+#define PDS_NET_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/sha256.h"
+#include "global/common.h"
+
+/// pds::net codec — the versioned, length-prefixed binary wire format of the
+/// token <-> SSI link.
+///
+/// Every frame is
+///
+///   [magic u16][version u8][type u8][payload_len u32][payload bytes]
+///
+/// (little endian, 8-byte header). Deserialization is total: any truncated,
+/// oversized or corrupt input returns a Status — never UB, never a partial
+/// message. Every declared length is checked against a compile-time maximum
+/// (kMax*) *before* any allocation, so a hostile peer cannot make the SSI or
+/// a token allocate from a lying length field.
+namespace pds::net {
+
+inline constexpr uint16_t kMagic = 0x50D5;
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 8;
+
+/// Compile-time bounds a decoder must check declared lengths against before
+/// allocating (the pdslint `net-bounded-frame` rule enforces the pattern).
+inline constexpr size_t kMaxFramePayload = 1u << 20;  // 1 MiB per frame
+inline constexpr size_t kMaxBatchTuples = 1u << 16;   // cts per batch
+inline constexpr size_t kMaxTupleBytes = 1u << 16;    // one ciphertext
+inline constexpr size_t kMaxGroupBytes = 1u << 10;    // one group label
+inline constexpr size_t kMaxPartitions = 1u << 16;    // partition map rows
+inline constexpr size_t kMaxNonceBytes = 64;          // handshake nonce
+
+enum class MsgType : uint8_t {
+  kChallenge = 1,     // SSI -> token: prove fleet membership for this nonce
+  kHello = 2,         // token -> SSI: token id + attestation proof
+  kHelloAck = 3,      // SSI -> token: session accepted or refused
+  kRoundRequest = 4,  // SSI -> token: protocol round header (+ batch)
+  kPartitionMap = 5,  // SSI -> token: partition layout of this round
+  kTupleBatch = 6,    // token -> SSI: encrypted tuple/partial-agg batch
+  kAggResult = 7,     // token -> SSI: plaintext final aggregate
+  kError = 8,         // either direction
+  kBye = 9,           // SSI -> token: session over
+};
+
+enum class RoundKind : uint8_t {
+  kCollect = 1,    // encrypt and send your authorized tuples
+  kAggregate = 2,  // decrypt batch, aggregate by group, re-encrypt partials
+  kFinalize = 3,   // decrypt batch, return the plaintext aggregate
+};
+
+struct ChallengeMsg {
+  Bytes nonce;
+  bool operator==(const ChallengeMsg&) const = default;
+};
+
+struct HelloMsg {
+  uint64_t token_id = 0;
+  crypto::Sha256::Digest proof{};
+  bool operator==(const HelloMsg&) const = default;
+};
+
+struct HelloAckMsg {
+  bool accepted = false;
+  bool operator==(const HelloAckMsg&) const = default;
+};
+
+/// Protocol round header: identifies one logical request. Retries of the
+/// same request reuse the round id, so a late duplicate reply is detectable.
+struct RoundHeader {
+  uint32_t round_id = 0;
+  RoundKind kind = RoundKind::kCollect;
+  global::AggFunc func = global::AggFunc::kSum;
+  bool operator==(const RoundHeader&) const = default;
+};
+
+struct RoundRequestMsg {
+  RoundHeader header;
+  std::vector<Bytes> batch;  // empty for kCollect
+  bool operator==(const RoundRequestMsg&) const = default;
+};
+
+struct PartitionAssignment {
+  uint32_t partition = 0;  // partition index within the round
+  uint32_t session = 0;    // session index that aggregates it
+  uint32_t num_items = 0;  // ciphertexts in the partition
+  bool operator==(const PartitionAssignment&) const = default;
+};
+
+struct PartitionMapMsg {
+  uint32_t round_id = 0;
+  std::vector<PartitionAssignment> parts;
+  bool operator==(const PartitionMapMsg&) const = default;
+};
+
+struct TupleBatchMsg {
+  uint32_t round_id = 0;
+  uint64_t token_ops = 0;  // crypto ops spent producing this batch
+  std::vector<Bytes> batch;
+  bool operator==(const TupleBatchMsg&) const = default;
+};
+
+struct AggResultEntry {
+  std::string group;
+  double sum = 0;
+  uint64_t count = 0;
+  bool operator==(const AggResultEntry&) const = default;
+};
+
+struct AggResultMsg {
+  uint32_t round_id = 0;
+  uint64_t token_ops = 0;
+  std::vector<AggResultEntry> entries;
+  bool operator==(const AggResultMsg&) const = default;
+};
+
+struct ErrorMsg {
+  uint8_t code = 0;
+  std::string message;
+  bool operator==(const ErrorMsg&) const = default;
+};
+
+struct ByeMsg {
+  bool operator==(const ByeMsg&) const = default;
+};
+
+/// Decoded frame: the variant order matches the MsgType values.
+using MessageBody =
+    std::variant<ChallengeMsg, HelloMsg, HelloAckMsg, RoundRequestMsg,
+                 PartitionMapMsg, TupleBatchMsg, AggResultMsg, ErrorMsg,
+                 ByeMsg>;
+
+struct Message {
+  MessageBody body;
+  [[nodiscard]] MsgType type() const {
+    return static_cast<MsgType>(body.index() + 1);
+  }
+  bool operator==(const Message&) const = default;
+};
+
+/// Parsed frame header (magic already verified).
+struct FrameHeader {
+  uint8_t version = 0;
+  MsgType type = MsgType::kError;
+  uint32_t payload_len = 0;
+};
+
+/// Serializes one message into a complete frame (header + payload).
+[[nodiscard]] Bytes EncodeChallenge(const ChallengeMsg& m);
+[[nodiscard]] Bytes EncodeHello(const HelloMsg& m);
+[[nodiscard]] Bytes EncodeHelloAck(const HelloAckMsg& m);
+[[nodiscard]] Bytes EncodeRoundRequest(const RoundRequestMsg& m);
+[[nodiscard]] Bytes EncodePartitionMap(const PartitionMapMsg& m);
+[[nodiscard]] Bytes EncodeTupleBatch(const TupleBatchMsg& m);
+[[nodiscard]] Bytes EncodeAggResult(const AggResultMsg& m);
+[[nodiscard]] Bytes EncodeError(const ErrorMsg& m);
+[[nodiscard]] Bytes EncodeBye();
+[[nodiscard]] Bytes EncodeMessage(const Message& m);
+
+/// Validates magic/version/type and that the declared payload length is
+/// within kMaxFramePayload. `bytes` must hold at least kFrameHeaderSize
+/// bytes; the declared length may exceed what follows (streaming callers use
+/// the header to know how much more to read).
+[[nodiscard]] Result<FrameHeader> DecodeFrameHeader(ByteView bytes);
+
+/// Decodes one complete frame. The payload must be exactly the declared
+/// length and every contained field must be in bounds; trailing bytes are a
+/// Corruption error.
+[[nodiscard]] Result<Message> DecodeMessage(ByteView frame);
+
+/// Decodes a frame and requires it to be the given message type, otherwise
+/// FailedPrecondition (or the peer's ErrorMsg turned into a Status).
+template <typename T>
+[[nodiscard]] Result<T> DecodeAs(ByteView frame) {
+  PDS_ASSIGN_OR_RETURN(Message m, DecodeMessage(frame));
+  if (const ErrorMsg* err = std::get_if<ErrorMsg>(&m.body);
+      err != nullptr && !std::is_same_v<T, ErrorMsg>) {
+    return Status::FailedPrecondition("peer error: " + err->message);
+  }
+  T* got = std::get_if<T>(&m.body);
+  if (got == nullptr) {
+    return Status::FailedPrecondition(
+        "unexpected message type " +
+        std::to_string(static_cast<int>(m.type())));
+  }
+  return std::move(*got);
+}
+
+}  // namespace pds::net
+
+#endif  // PDS_NET_CODEC_H_

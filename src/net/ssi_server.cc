@@ -1,0 +1,449 @@
+#include "net/ssi_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <thread>
+
+#include "common/rng.h"
+#include "global/observer.h"
+#include "obs/obs.h"
+
+namespace pds::net {
+
+namespace {
+
+using global::AggFunc;
+using global::AggOutput;
+using global::Metrics;
+
+/// Sum/count accumulation per group (mirrors agg_protocols.cc).
+struct GroupState {
+  double sum = 0;
+  uint64_t count = 0;
+};
+
+std::map<std::string, double> Finalize(
+    const std::map<std::string, GroupState>& states, AggFunc func) {
+  std::map<std::string, double> out;
+  for (const auto& [group, s] : states) {
+    if (s.count == 0) {
+      continue;
+    }
+    switch (func) {
+      case AggFunc::kSum:
+        out[group] = s.sum;
+        break;
+      case AggFunc::kCount:
+        out[group] = static_cast<double>(s.count);
+        break;
+      case AggFunc::kAvg:
+        out[group] = s.sum / static_cast<double>(s.count);
+        break;
+    }
+  }
+  return out;
+}
+
+/// Round-robin unit assignment, identical to the in-process protocol's:
+/// unit u goes to token (first + u) % num_tokens, and each token runs its
+/// units in increasing order.
+std::vector<std::vector<size_t>> RoundRobin(size_t num_units,
+                                            size_t num_tokens, size_t first) {
+  std::vector<std::vector<size_t>> by_token(num_tokens);
+  for (auto& units : by_token) {
+    units.reserve(num_units / num_tokens + 1);
+  }
+  for (size_t u = 0; u < num_units; ++u) {
+    by_token[(first + u) % num_tokens].push_back(u);
+  }
+  return by_token;
+}
+
+/// Fleet-wide wire counters; resolved once, then plain atomic adds
+/// (registry lookups must stay out of protocol loops).
+struct NetObs {
+  obs::Counter* frames_sent;
+  obs::Counter* frames_received;
+  obs::Counter* deadline_hits;
+  obs::Counter* retries;
+  obs::Counter* quorum_shortfalls;
+  obs::Counter* missing_tokens;
+};
+
+const NetObs& NetHooks() {
+  static const NetObs hooks = [] {
+    obs::Registry& reg = obs::Registry::Global();
+    return NetObs{reg.GetCounter("net.frames_sent", "ops"),
+                  reg.GetCounter("net.frames_received", "ops"),
+                  reg.GetCounter("net.deadline_hits", "ops"),
+                  reg.GetCounter("net.retries", "ops"),
+                  reg.GetCounter("net.quorum_shortfalls", "ops"),
+                  reg.GetCounter("net.missing_tokens", "ops")};
+  }();
+  return hooks;
+}
+
+/// The round id a reply message answers, or nullptr for non-reply types.
+const uint32_t* ReplyRoundId(const Message& m) {
+  if (const TupleBatchMsg* tb = std::get_if<TupleBatchMsg>(&m.body)) {
+    return &tb->round_id;
+  }
+  if (const AggResultMsg* ar = std::get_if<AggResultMsg>(&m.body)) {
+    return &ar->round_id;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+/// Per-work-unit wire accounting, merged into the run's Metrics in index
+/// order afterwards (every field is a sum, so ordered merging reproduces
+/// serial counters exactly).
+struct SsiServer::WireCost {
+  Metrics wire;
+  uint64_t deadline_hits = 0;
+  uint64_t retries = 0;
+
+  void MergeInto(Metrics* m, RoundReport* r) const {
+    m->messages += wire.messages;
+    m->bytes += wire.bytes;
+    m->token_crypto_ops += wire.token_crypto_ops;
+    m->bytes_token_to_ssi += wire.bytes_token_to_ssi;
+    m->bytes_ssi_to_token += wire.bytes_ssi_to_token;
+    r->deadline_hits += deadline_hits;
+    r->retries += retries;
+  }
+};
+
+SsiServer::SsiServer(const Config& config) : config_(config) {}
+
+Result<size_t> SsiServer::AcceptSession(std::unique_ptr<Transport> transport) {
+  if (config_.verifier == nullptr) {
+    return Status::FailedPrecondition("SsiServer has no verifier token");
+  }
+  obs::Span span("net.accept-session", "net");
+  // Deterministic per-session nonce stream (tests); entropy is not the
+  // point here — the challenge only needs to be fresh per session.
+  Rng nonce_rng(config_.nonce_seed + sessions_.size());
+  ChallengeMsg challenge;
+  challenge.nonce.resize(16);
+  nonce_rng.FillBytes(challenge.nonce.data(), challenge.nonce.size());
+
+  Bytes frame = EncodeChallenge(challenge);
+  PDS_RETURN_IF_ERROR(transport->Send(frame));
+  PDS_ASSIGN_OR_RETURN(Bytes reply,
+                       transport->Recv(config_.deadline_ms));
+  PDS_ASSIGN_OR_RETURN(HelloMsg hello, DecodeAs<HelloMsg>(reply));
+
+  PDS_ASSIGN_OR_RETURN(
+      bool ok_proof,
+      config_.verifier->VerifyAttestation(ByteView(challenge.nonce),
+                                          hello.proof));
+  HelloAckMsg ack{ok_proof};
+  PDS_RETURN_IF_ERROR(transport->Send(EncodeHelloAck(ack)));
+  if (!ok_proof) {
+    transport->Close();
+    return Status::PermissionDenied(
+        "token failed fleet attestation; session refused");
+  }
+
+  auto session = std::make_unique<Session>();
+  session->transport = std::move(transport);
+  session->token_id = hello.token_id;
+  session->alive = true;
+  sessions_.push_back(std::move(session));
+  return sessions_.size() - 1;
+}
+
+Result<Message> SsiServer::RoundTrip(Session* s, const Bytes& frame,
+                                     uint32_t round_id, WireCost* cost) {
+  const NetObs& hooks = NetHooks();
+  for (uint32_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++cost->retries;
+      hooks.retries->Add(1);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.backoff_ms * attempt));
+    }
+    PDS_RETURN_IF_ERROR(s->transport->Send(frame));
+    cost->wire.AddSsiToToken(frame.size());
+    hooks.frames_sent->Add(1);
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(config_.deadline_ms);
+    bool timed_out = false;
+    while (!timed_out) {
+      int64_t left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         deadline - std::chrono::steady_clock::now())
+                         .count();
+      if (left <= 0) {
+        timed_out = true;
+        break;
+      }
+      auto recv =
+          s->transport->Recv(static_cast<uint32_t>(left));
+      if (!recv.ok()) {
+        if (recv.status().code() == StatusCode::kDeadlineExceeded) {
+          timed_out = true;
+          break;
+        }
+        return recv.status();
+      }
+      Bytes reply = std::move(recv).value();
+      cost->wire.AddTokenToSsi(reply.size());
+      hooks.frames_received->Add(1);
+      PDS_ASSIGN_OR_RETURN(Message m, DecodeMessage(reply));
+      const uint32_t* got = ReplyRoundId(m);
+      if (got == nullptr) {
+        return Status::FailedPrecondition("unexpected reply message type");
+      }
+      if (*got < round_id) {
+        continue;  // stale answer to an earlier attempt/round; discard
+      }
+      if (*got > round_id) {
+        return Status::Corruption("reply from a future round");
+      }
+      return m;
+    }
+    ++cost->deadline_hits;
+    hooks.deadline_hits->Add(1);
+  }
+  return Status::DeadlineExceeded("token did not answer round " +
+                                  std::to_string(round_id) + " after " +
+                                  std::to_string(config_.max_retries + 1) +
+                                  " attempts");
+}
+
+Result<AggOutput> SsiServer::RunSecureAggregation(AggFunc func) {
+  std::vector<size_t> live;
+  live.reserve(sessions_.size());
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i]->alive) {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) {
+    return Status::InvalidArgument("no live sessions");
+  }
+  report_ = RoundReport{};
+  report_.sessions = live.size();
+
+  AggOutput out;
+  global::HbcObserver observer;
+  const size_t nl = live.size();
+  obs::Span protocol_span("net.secure-agg", "net");
+  protocol_span.AddArg("sessions", static_cast<double>(nl));
+
+  // Phase 1: collect — every live token encrypts and sends its authorized
+  // tuples. Sessions fan out over the executor; stragglers past the retry
+  // budget are tolerated down to the quorum.
+  std::vector<std::vector<Bytes>> enc(nl);
+  std::vector<WireCost> enc_cost(nl);
+  std::vector<uint8_t> responded(nl, 0);
+  {
+    obs::Span phase_span("net.collect", "net");
+    PDS_RETURN_IF_ERROR(global::FleetExecutor::Run(
+        config_.executor, nl, [&](size_t li) -> Status {
+          Session* s = sessions_[live[li]].get();
+          RoundRequestMsg req;
+          req.header.round_id = s->next_round_id++;
+          req.header.kind = RoundKind::kCollect;
+          req.header.func = func;
+          Bytes frame = EncodeRoundRequest(req);
+          auto reply = RoundTrip(s, frame, req.header.round_id, &enc_cost[li]);
+          if (!reply.ok()) {
+            if (reply.status().code() == StatusCode::kDeadlineExceeded) {
+              s->alive = false;  // straggler: drop for the whole run
+              return Status::Ok();
+            }
+            return reply.status();
+          }
+          TupleBatchMsg* batch = std::get_if<TupleBatchMsg>(&reply.value().body);
+          if (batch == nullptr) {
+            return Status::FailedPrecondition(
+                "collect round expected a tuple batch");
+          }
+          enc_cost[li].wire.token_crypto_ops += batch->token_ops;
+          enc[li] = std::move(batch->batch);
+          responded[li] = 1;
+          return Status::Ok();
+        }));
+  }
+
+  size_t responders = 0;
+  std::vector<size_t> active;  // sessions that stay in the protocol
+  active.reserve(nl);
+  std::vector<Bytes> items;
+  for (size_t li = 0; li < nl; ++li) {
+    enc_cost[li].MergeInto(&out.metrics, &report_);
+    if (responded[li] == 0) {
+      continue;
+    }
+    ++responders;
+    active.push_back(live[li]);
+    for (Bytes& ct : enc[li]) {
+      observer.ObserveTuple(ByteView(ct));
+      items.push_back(std::move(ct));
+    }
+  }
+  ++out.metrics.rounds;
+
+  report_.responders = responders;
+  report_.missing_tokens = nl - responders;
+  out.metrics.tokens_missing = report_.missing_tokens;
+  const NetObs& hooks = NetHooks();
+  size_t need = static_cast<size_t>(
+      std::ceil(config_.quorum * static_cast<double>(nl)));
+  need = std::max<size_t>(need, 1);
+  if (report_.missing_tokens > 0) {
+    hooks.missing_tokens->Add(report_.missing_tokens);
+  }
+  if (responders < need) {
+    hooks.quorum_shortfalls->Add(1);
+    return Status::FailedPrecondition(
+        "quorum not reached: " + std::to_string(responders) + "/" +
+        std::to_string(nl) + " tokens answered, need " +
+        std::to_string(need));
+  }
+
+  // Phase 2: iterative partition-and-aggregate over the responding tokens,
+  // partitions round-robin in session order exactly as the in-process
+  // protocol assigns them to participants. A token that vanishes now takes
+  // its partition's data with it, so this phase has no quorum: retry, then
+  // fail the run.
+  const size_t na = active.size();
+  size_t worker = 0;
+  while (items.size() > config_.partition_capacity) {
+    obs::Span phase_span("net.aggregate-round", "net");
+    phase_span.AddArg("items", static_cast<double>(items.size()));
+    size_t before = items.size();
+    const size_t cap = config_.partition_capacity;
+    const size_t num_parts = (items.size() + cap - 1) / cap;
+    std::vector<std::vector<size_t>> parts_by_session =
+        RoundRobin(num_parts, na, worker);
+    worker += num_parts;
+
+    struct PartOut {
+      std::vector<Bytes> cts;
+      WireCost cost;
+    };
+    std::vector<PartOut> parts(num_parts);
+    std::vector<WireCost> map_cost(na);
+    PDS_RETURN_IF_ERROR(global::FleetExecutor::Run(
+        config_.executor, na, [&](size_t ai) -> Status {
+          if (parts_by_session[ai].empty()) {
+            return Status::Ok();
+          }
+          Session* s = sessions_[active[ai]].get();
+          // Announce this session's slice of the layout, then stream its
+          // partitions in increasing order (token RNG order).
+          PartitionMapMsg pm;
+          pm.round_id = s->next_round_id;
+          pm.parts.reserve(parts_by_session[ai].size());
+          for (size_t pi : parts_by_session[ai]) {
+            size_t start = pi * cap;
+            size_t end = std::min(items.size(), start + cap);
+            pm.parts.push_back(
+                {static_cast<uint32_t>(pi), static_cast<uint32_t>(ai),
+                 static_cast<uint32_t>(end - start)});
+          }
+          Bytes pm_frame = EncodePartitionMap(pm);
+          PDS_RETURN_IF_ERROR(s->transport->Send(pm_frame));
+          map_cost[ai].wire.AddSsiToToken(pm_frame.size());
+          NetHooks().frames_sent->Add(1);
+
+          for (size_t pi : parts_by_session[ai]) {
+            PartOut& po = parts[pi];
+            size_t start = pi * cap;
+            size_t end = std::min(items.size(), start + cap);
+            RoundRequestMsg req;
+            req.header.round_id = s->next_round_id++;
+            req.header.kind = RoundKind::kAggregate;
+            req.header.func = func;
+            req.batch.reserve(end - start);
+            for (size_t i = start; i < end; ++i) {
+              req.batch.push_back(items[i]);
+            }
+            Bytes frame = EncodeRoundRequest(req);
+            PDS_ASSIGN_OR_RETURN(
+                Message reply,
+                RoundTrip(s, frame, req.header.round_id, &po.cost));
+            TupleBatchMsg* batch = std::get_if<TupleBatchMsg>(&reply.body);
+            if (batch == nullptr) {
+              return Status::FailedPrecondition(
+                  "aggregate round expected a tuple batch");
+            }
+            po.cost.wire.token_crypto_ops += batch->token_ops;
+            po.cts = std::move(batch->batch);
+          }
+          return Status::Ok();
+        }));
+
+    std::vector<Bytes> next;
+    next.reserve(items.size());
+    for (size_t ai = 0; ai < na; ++ai) {
+      map_cost[ai].MergeInto(&out.metrics, &report_);
+    }
+    for (size_t pi = 0; pi < num_parts; ++pi) {
+      parts[pi].cost.MergeInto(&out.metrics, &report_);
+      for (Bytes& ct : parts[pi].cts) {
+        observer.ObserveTuple(ByteView(ct));
+        next.push_back(std::move(ct));
+      }
+      ++out.metrics.ssi_ops;  // partition bookkeeping
+    }
+    ++out.metrics.rounds;
+    if (next.size() >= before) {
+      return Status::InvalidArgument(
+          "partition capacity too small for the number of distinct groups");
+    }
+    items = std::move(next);
+  }
+
+  // Phase 3: final aggregation inside the first responding token.
+  obs::Span final_span("net.finalize", "net");
+  final_span.AddArg("items", static_cast<double>(items.size()));
+  Session* s0 = sessions_[active[0]].get();
+  WireCost final_cost;
+  RoundRequestMsg fin;
+  fin.header.round_id = s0->next_round_id++;
+  fin.header.kind = RoundKind::kFinalize;
+  fin.header.func = func;
+  fin.batch = std::move(items);
+  Bytes fin_frame = EncodeRoundRequest(fin);
+  PDS_ASSIGN_OR_RETURN(
+      Message reply, RoundTrip(s0, fin_frame, fin.header.round_id,
+                               &final_cost));
+  AggResultMsg* result = std::get_if<AggResultMsg>(&reply.body);
+  if (result == nullptr) {
+    return Status::FailedPrecondition("finalize round expected an agg result");
+  }
+  final_cost.wire.token_crypto_ops += result->token_ops;
+  final_cost.MergeInto(&out.metrics, &report_);
+  ++out.metrics.rounds;
+
+  std::map<std::string, GroupState> final_state;
+  for (const AggResultEntry& e : result->entries) {
+    final_state[e.group].sum += e.sum;
+    final_state[e.group].count += e.count;
+  }
+  out.groups = Finalize(final_state, func);
+  out.leakage = observer.Report();
+  global::RecordProtocolRun("net-secure-agg", out.metrics, out.leakage);
+  return out;
+}
+
+void SsiServer::Shutdown() {
+  for (auto& s : sessions_) {
+    if (s->alive && !s->transport->closed()) {
+      // Best-effort farewell; the transport may already be gone.
+      (void)s->transport->Send(EncodeBye());
+    }
+    s->transport->Close();
+    s->alive = false;
+  }
+}
+
+}  // namespace pds::net

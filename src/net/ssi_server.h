@@ -1,0 +1,103 @@
+#ifndef PDS_NET_SSI_SERVER_H_
+#define PDS_NET_SSI_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "global/agg_protocols.h"
+#include "global/common.h"
+#include "global/fleet_executor.h"
+#include "mcu/secure_token.h"
+#include "net/codec.h"
+#include "net/transport.h"
+
+/// The SSI side of the real wire: hosts one protocol session per connected
+/// token and runs the [TNP14] secure-aggregation rounds over framed
+/// messages instead of in-process calls.
+///
+/// The server mirrors global::SecureAggProtocol exactly — same item order,
+/// same partition layout, same map-ordered partials — so a loopback run
+/// over identically-seeded tokens produces byte-identical group results.
+/// What changes is the accounting: Metrics wire counters are measured from
+/// the actual frames sent and received (headers included), and rounds gain
+/// deadlines, bounded retry with backoff, and a configurable quorum.
+namespace pds::net {
+
+class SsiServer {
+ public:
+  struct Config {
+    /// Max ciphertext tuples per aggregation partition (token RAM bound).
+    size_t partition_capacity = 256;
+    /// Per-request deadline for one token round trip.
+    uint32_t deadline_ms = 2000;
+    /// Additional attempts after the first request times out.
+    uint32_t max_retries = 2;
+    /// Backoff before retry k is backoff_ms * k.
+    uint32_t backoff_ms = 5;
+    /// Fraction of live tokens that must answer the collect round for the
+    /// protocol to proceed (1.0 = everyone; 0.9 tolerates stragglers).
+    double quorum = 1.0;
+    /// Optional fan-out of per-session wire work; null means serial.
+    global::FleetExecutor* executor = nullptr;
+    /// Fleet-provisioned token the SSI hands challenge/proof pairs to for
+    /// membership verification (the SSI itself never holds the fleet key).
+    mcu::SecureToken* verifier = nullptr;
+    /// Seed for handshake challenge nonces (deterministic tests).
+    uint64_t nonce_seed = 42;
+  };
+
+  /// What happened on the wire during the last protocol run.
+  struct RoundReport {
+    size_t sessions = 0;          // live sessions when the run started
+    size_t responders = 0;        // sessions that answered the collect round
+    uint64_t deadline_hits = 0;   // individual request timeouts
+    uint64_t retries = 0;         // re-sent requests
+    uint64_t missing_tokens = 0;  // sessions dropped for the whole run
+  };
+
+  explicit SsiServer(const Config& config);
+
+  /// Runs the challenge/hello/ack handshake over `transport` and, on
+  /// success, registers the session. Returns the session index.
+  [[nodiscard]] Result<size_t> AcceptSession(
+      std::unique_ptr<Transport> transport);
+
+  [[nodiscard]] size_t num_sessions() const { return sessions_.size(); }
+
+  /// Executes the secure-aggregation protocol over all live sessions.
+  /// Collect-round stragglers are tolerated down to the configured quorum;
+  /// a token that vanishes mid-aggregation fails the run (its partition's
+  /// data cannot be recovered).
+  [[nodiscard]] Result<global::AggOutput> RunSecureAggregation(
+      global::AggFunc func);
+
+  [[nodiscard]] const RoundReport& last_report() const { return report_; }
+
+  /// Sends Bye on every live session and closes the transports.
+  void Shutdown();
+
+ private:
+  struct Session {
+    std::unique_ptr<Transport> transport;
+    uint64_t token_id = 0;
+    bool alive = false;
+    uint32_t next_round_id = 1;
+  };
+  struct WireCost;  // per-work-unit wire accounting (defined in the .cc)
+
+  /// Sends `frame` on the session and waits for the reply carrying
+  /// `round_id`, retrying per config on timeouts. Stale replies (a lower
+  /// round id, e.g. a late answer to an earlier retry) are discarded.
+  /// `cost` accumulates the measured frame bytes both ways.
+  [[nodiscard]] Result<Message> RoundTrip(Session* s, const Bytes& frame,
+                                          uint32_t round_id, WireCost* cost);
+
+  Config config_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  RoundReport report_;
+};
+
+}  // namespace pds::net
+
+#endif  // PDS_NET_SSI_SERVER_H_

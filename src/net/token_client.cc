@@ -1,0 +1,201 @@
+#include "net/token_client.h"
+
+#include <map>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace pds::net {
+
+namespace {
+
+/// Sum/count accumulation per group (mirrors agg_protocols.cc).
+struct GroupState {
+  double sum = 0;
+  uint64_t count = 0;
+};
+
+/// Decrypts a ciphertext batch into per-group partial aggregates, counting
+/// one token op per decryption — the identical inner loop of the in-process
+/// aggregate phase.
+Result<std::map<std::string, GroupState>> DecryptAndAggregate(
+    mcu::SecureToken* token, const std::vector<Bytes>& batch,
+    uint64_t* token_ops) {
+  std::map<std::string, GroupState> partial;
+  for (const Bytes& ct : batch) {
+    PDS_ASSIGN_OR_RETURN(Bytes payload, token->DecryptNonDet(ByteView(ct)));
+    ++*token_ops;
+    PDS_ASSIGN_OR_RETURN(global::AggPayload p,
+                         global::DecodeAggPayload(ByteView(payload)));
+    partial[p.group].sum += p.sum;
+    partial[p.group].count += p.count;
+  }
+  return partial;
+}
+
+}  // namespace
+
+TokenClient::TokenClient(std::unique_ptr<Transport> transport, Config config)
+    : transport_(std::move(transport)),
+      config_(std::move(config)),
+      fail_budget_(config_.fail_first_requests) {}
+
+TokenClient::~TokenClient() {
+  Stop();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+mcu::SecureToken* TokenClient::token() const {
+  if (config_.pds_node != nullptr) {
+    return &config_.pds_node->token();
+  }
+  return config_.token;
+}
+
+Status TokenClient::Connect() {
+  mcu::SecureToken* tok = token();
+  if (tok == nullptr) {
+    return Status::InvalidArgument("TokenClient needs a token or a PdsNode");
+  }
+  if (config_.pds_node != nullptr) {
+    // Policy-checked export: only tuples the owner authorized for sharing
+    // ever reach the runtime, and they stay inside the token until
+    // encrypted.
+    std::vector<std::pair<std::string, double>> exported;
+    PDS_RETURN_IF_ERROR(config_.pds_node->ExportAs(
+        config_.subject, config_.table, config_.group_column,
+        config_.value_column, &exported));
+    tuples_.clear();
+    tuples_.reserve(exported.size());
+    for (auto& [group, value] : exported) {
+      tuples_.push_back({std::move(group), value});
+    }
+  } else {
+    tuples_ = config_.tuples;
+  }
+
+  obs::Span span("net.token-connect", "net");
+  PDS_ASSIGN_OR_RETURN(Bytes frame, transport_->Recv(config_.deadline_ms));
+  PDS_ASSIGN_OR_RETURN(ChallengeMsg challenge, DecodeAs<ChallengeMsg>(frame));
+  HelloMsg hello;
+  hello.token_id = tok->id();
+  PDS_ASSIGN_OR_RETURN(hello.proof,
+                       tok->Attest(ByteView(challenge.nonce)));
+  PDS_RETURN_IF_ERROR(transport_->Send(EncodeHello(hello)));
+  PDS_ASSIGN_OR_RETURN(Bytes ack_frame, transport_->Recv(config_.deadline_ms));
+  PDS_ASSIGN_OR_RETURN(HelloAckMsg ack, DecodeAs<HelloAckMsg>(ack_frame));
+  if (!ack.accepted) {
+    return Status::PermissionDenied("SSI refused the session");
+  }
+  return Status::Ok();
+}
+
+Status TokenClient::HandleCollect(const RoundRequestMsg& req) {
+  mcu::SecureToken* tok = token();
+  TupleBatchMsg reply;
+  reply.round_id = req.header.round_id;
+  reply.batch.reserve(tuples_.size());
+  for (const global::SourceTuple& t : tuples_) {
+    Bytes payload = global::EncodeAggPayload(false, t.value, 1, t.group);
+    PDS_ASSIGN_OR_RETURN(Bytes ct, tok->EncryptNonDet(ByteView(payload)));
+    ++reply.token_ops;
+    reply.batch.push_back(std::move(ct));
+  }
+  return transport_->Send(EncodeTupleBatch(reply));
+}
+
+Status TokenClient::HandleAggregate(const RoundRequestMsg& req) {
+  mcu::SecureToken* tok = token();
+  TupleBatchMsg reply;
+  reply.round_id = req.header.round_id;
+  PDS_ASSIGN_OR_RETURN(
+      auto partial, DecryptAndAggregate(tok, req.batch, &reply.token_ops));
+  reply.batch.reserve(partial.size());
+  for (const auto& [group, state] : partial) {
+    Bytes payload =
+        global::EncodeAggPayload(false, state.sum, state.count, group);
+    PDS_ASSIGN_OR_RETURN(Bytes ct, tok->EncryptNonDet(ByteView(payload)));
+    ++reply.token_ops;
+    reply.batch.push_back(std::move(ct));
+  }
+  return transport_->Send(EncodeTupleBatch(reply));
+}
+
+Status TokenClient::HandleFinalize(const RoundRequestMsg& req) {
+  mcu::SecureToken* tok = token();
+  AggResultMsg reply;
+  reply.round_id = req.header.round_id;
+  PDS_ASSIGN_OR_RETURN(
+      auto final_state, DecryptAndAggregate(tok, req.batch, &reply.token_ops));
+  reply.entries.reserve(final_state.size());
+  for (const auto& [group, state] : final_state) {
+    reply.entries.push_back({group, state.sum, state.count});
+  }
+  return transport_->Send(EncodeAggResult(reply));
+}
+
+Status TokenClient::ServeLoop() {
+  while (!stop_.load()) {
+    auto frame = transport_->Recv(config_.poll_ms);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // nothing pending; poll again unless stopped
+      }
+      // Peer closed (or the link died): a closed transport after rounds is
+      // the socket-level equivalent of Bye.
+      return Status::Ok();
+    }
+    PDS_ASSIGN_OR_RETURN(Message m, DecodeMessage(frame.value()));
+    if (std::get_if<ByeMsg>(&m.body) != nullptr) {
+      return Status::Ok();
+    }
+    if (std::get_if<PartitionMapMsg>(&m.body) != nullptr) {
+      continue;  // layout announcement; the requests themselves follow
+    }
+    const RoundRequestMsg* req = std::get_if<RoundRequestMsg>(&m.body);
+    if (req == nullptr) {
+      ErrorMsg err{1, "unexpected message type"};
+      PDS_RETURN_IF_ERROR(transport_->Send(EncodeError(err)));
+      continue;
+    }
+    if (fail_budget_ > 0) {
+      --fail_budget_;  // fault injection: swallow the request silently
+      continue;
+    }
+    switch (req->header.kind) {
+      case RoundKind::kCollect:
+        PDS_RETURN_IF_ERROR(HandleCollect(*req));
+        break;
+      case RoundKind::kAggregate:
+        PDS_RETURN_IF_ERROR(HandleAggregate(*req));
+        break;
+      case RoundKind::kFinalize:
+        PDS_RETURN_IF_ERROR(HandleFinalize(*req));
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+void TokenClient::Start() {
+  thread_ = std::thread([this] {
+    Status st = Connect();
+    if (st.ok()) {
+      st = ServeLoop();
+    }
+    loop_status_ = std::move(st);
+  });
+}
+
+void TokenClient::Stop() { stop_.store(true); }
+
+Status TokenClient::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  return loop_status_;
+}
+
+}  // namespace pds::net

@@ -1,0 +1,87 @@
+#ifndef PDS_NET_TOKEN_CLIENT_H_
+#define PDS_NET_TOKEN_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ac/policy.h"
+#include "global/common.h"
+#include "net/codec.h"
+#include "net/transport.h"
+#include "pds/pds_node.h"
+
+/// The token side of the real wire: wraps a SecureToken (or a full PdsNode)
+/// in a runtime that connects to the SSI, proves fleet membership, and
+/// answers protocol rounds until told to stop.
+///
+/// All plaintext handling happens here — "inside" the token, exactly as in
+/// the in-process protocols; only ciphertext and final (authorized)
+/// aggregates cross the transport.
+namespace pds::net {
+
+class TokenClient {
+ public:
+  struct Config {
+    /// Either a bare token with pre-exported tuples...
+    mcu::SecureToken* token = nullptr;
+    std::vector<global::SourceTuple> tuples;
+    /// ...or a full PdsNode whose tuples are policy-exported on Connect().
+    node::PdsNode* pds_node = nullptr;
+    ac::Subject subject;
+    std::string table;
+    std::string group_column;
+    std::string value_column;
+    /// Handshake receive deadline.
+    uint32_t deadline_ms = 2000;
+    /// Poll granularity of the serve loop (Stop() latency bound).
+    uint32_t poll_ms = 50;
+    /// Fault injection: silently swallow the first N round requests (the
+    /// request is consumed but never answered), simulating a flaky link or
+    /// a busy token. The SSI's retry of the same round is then served.
+    uint32_t fail_first_requests = 0;
+  };
+
+  TokenClient(std::unique_ptr<Transport> transport, Config config);
+  ~TokenClient();
+
+  TokenClient(const TokenClient&) = delete;
+  TokenClient& operator=(const TokenClient&) = delete;
+
+  /// Runs the challenge/hello/ack handshake (and, with a PdsNode, the
+  /// policy-checked export of the authorized tuples).
+  [[nodiscard]] Status Connect();
+
+  /// Answers rounds until Bye, transport close, or Stop(). Returns Ok on a
+  /// clean shutdown.
+  [[nodiscard]] Status ServeLoop();
+
+  /// Connect() + ServeLoop() on a background thread.
+  void Start();
+  void Stop();
+  /// Joins the background thread and returns its final status.
+  [[nodiscard]] Status Join();
+
+  [[nodiscard]] const Transport& transport() const { return *transport_; }
+
+ private:
+  [[nodiscard]] mcu::SecureToken* token() const;
+  [[nodiscard]] Status HandleCollect(const RoundRequestMsg& req);
+  [[nodiscard]] Status HandleAggregate(const RoundRequestMsg& req);
+  [[nodiscard]] Status HandleFinalize(const RoundRequestMsg& req);
+
+  std::unique_ptr<Transport> transport_;
+  Config config_;
+  std::vector<global::SourceTuple> tuples_;
+  uint32_t fail_budget_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  Status loop_status_;
+};
+
+}  // namespace pds::net
+
+#endif  // PDS_NET_TOKEN_CLIENT_H_

@@ -1,0 +1,154 @@
+#ifndef PDS_NET_TRANSPORT_H_
+#define PDS_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+/// pds::net transports — the byte pipes the codec's frames travel over.
+///
+/// Two implementations share one interface: InProcessTransport (a pair of
+/// bounded queues, fully deterministic, used by tests and benchmarks) and
+/// SocketTransport (non-blocking TCP or Unix-domain sockets driven by
+/// poll()). Both count the frames and bytes they move so the protocol layer
+/// can report *measured* wire traffic instead of synthetic estimates.
+namespace pds::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one complete frame (header + payload as produced by the codec).
+  [[nodiscard]] virtual Status Send(ByteView frame) = 0;
+
+  /// Receives the next complete frame, waiting at most `deadline_ms`.
+  /// Returns DeadlineExceeded on timeout and IoError once the peer closed.
+  [[nodiscard]] virtual Result<Bytes> Recv(uint32_t deadline_ms) = 0;
+
+  virtual void Close() = 0;
+  [[nodiscard]] virtual bool closed() const = 0;
+
+  /// Measured traffic through this endpoint (frames include their headers).
+  [[nodiscard]] uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] uint64_t bytes_received() const { return bytes_received_; }
+  [[nodiscard]] uint64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] uint64_t frames_received() const { return frames_received_; }
+
+ protected:
+  void CountSent(uint64_t n) {
+    bytes_sent_ += n;
+    ++frames_sent_;
+  }
+  void CountReceived(uint64_t n) {
+    bytes_received_ += n;
+    ++frames_received_;
+  }
+
+ private:
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> frames_received_{0};
+};
+
+/// Deterministic in-process transport: CreatePair() returns two connected
+/// endpoints backed by a shared pair of frame queues. Closing either end
+/// wakes all waiters on both.
+class InProcessTransport : public Transport {
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Bytes> queues[2];  // queues[i] holds frames *for* endpoint i
+    bool closed = false;
+    size_t max_queued = 1024;
+  };
+  /// Passkey: only CreatePair can name this, so the public constructor is
+  /// effectively private while staying reachable for std::make_unique.
+  struct Private {
+    explicit Private() = default;
+  };
+
+ public:
+  /// Two connected endpoints; each holds at most `max_queued` undelivered
+  /// frames before Send returns ResourceExhausted.
+  static std::pair<std::unique_ptr<InProcessTransport>,
+                   std::unique_ptr<InProcessTransport>>
+  CreatePair(size_t max_queued = 1024);
+
+  InProcessTransport(Private, std::shared_ptr<Shared> shared, int side)
+      : shared_(std::move(shared)), side_(side) {}
+
+  [[nodiscard]] Status Send(ByteView frame) override;
+  [[nodiscard]] Result<Bytes> Recv(uint32_t deadline_ms) override;
+  void Close() override;
+  [[nodiscard]] bool closed() const override;
+
+ private:
+  std::shared_ptr<Shared> shared_;
+  int side_;  // 0 or 1; we receive from queues[side_], send to the other
+};
+
+/// Socket-backed transport over a non-blocking fd (TCP or Unix-domain
+/// stream). Recv() accumulates bytes until a complete frame is buffered,
+/// validating the header — magic, version, declared length bound — as soon
+/// as 8 bytes arrive so a garbage peer is rejected before any allocation.
+class SocketTransport : public Transport {
+ public:
+  /// Takes ownership of a connected stream socket fd (sets O_NONBLOCK).
+  explicit SocketTransport(int fd);
+  ~SocketTransport() override;
+
+  /// Two connected endpoints over a Unix socketpair (loopback tests).
+  [[nodiscard]] static Result<std::pair<std::unique_ptr<SocketTransport>,
+                                        std::unique_ptr<SocketTransport>>>
+  CreateUnixPair();
+
+  /// Connects to a TCP listener on `host`:`port`.
+  [[nodiscard]] static Result<std::unique_ptr<SocketTransport>> ConnectTcp(
+      const std::string& host, uint16_t port, uint32_t deadline_ms);
+
+  [[nodiscard]] Status Send(ByteView frame) override;
+  [[nodiscard]] Result<Bytes> Recv(uint32_t deadline_ms) override;
+  void Close() override;
+  [[nodiscard]] bool closed() const override;
+
+ private:
+  int fd_;
+  std::atomic<bool> closed_{false};
+  Bytes rxbuf_;  // partial-frame accumulation between Recv calls
+};
+
+/// Accepting side of a TCP endpoint.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and listens.
+  [[nodiscard]] Status Listen(uint16_t port);
+  /// The bound port (after Listen; useful with port 0).
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  [[nodiscard]] Result<std::unique_ptr<SocketTransport>> Accept(
+      uint32_t deadline_ms);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace pds::net
+
+#endif  // PDS_NET_TRANSPORT_H_

@@ -27,11 +27,19 @@ Result<std::vector<global::Participant>> Fleet::ExportParticipants(
       obs::Registry::Global().GetGauge("fleet.nodes_exported", "count");
   nodes_gauge->Set(static_cast<double>(nodes_.size()));
   std::vector<global::Participant> participants(nodes_.size());
+  // Each unit parks its node's status in its own slot so a partial outage
+  // reports every failing node, not just the lowest-index one (the executor
+  // itself only surfaces the first error).
+  std::vector<Status> node_status(nodes_.size());
   PDS_RETURN_IF_ERROR(global::FleetExecutor::Run(
       exec, nodes_.size(), [&](size_t i) -> Status {
         std::vector<std::pair<std::string, double>> exported;
-        PDS_RETURN_IF_ERROR(nodes_[i]->ExportAs(subject, table, group_column,
-                                                value_column, &exported));
+        Status st = nodes_[i]->ExportAs(subject, table, group_column,
+                                        value_column, &exported);
+        if (!st.ok()) {
+          node_status[i] = std::move(st);
+          return Status::Ok();
+        }
         global::Participant p;
         p.token = &nodes_[i]->token();
         p.tuples.reserve(exported.size());
@@ -41,6 +49,36 @@ Result<std::vector<global::Participant>> Fleet::ExportParticipants(
         participants[i] = std::move(p);
         return Status::Ok();
       }));
+  size_t failed = 0;
+  std::string detail;
+  StatusCode first_code = StatusCode::kOk;
+  constexpr size_t kMaxListedFailures = 8;
+  for (size_t i = 0; i < node_status.size(); ++i) {
+    if (node_status[i].ok()) {
+      continue;
+    }
+    if (failed == 0) {
+      first_code = node_status[i].code();
+    }
+    ++failed;
+    if (failed <= kMaxListedFailures) {
+      if (failed > 1) {
+        detail += "; ";
+      }
+      detail += "node " + std::to_string(i) + ": " +
+                node_status[i].message();
+    }
+  }
+  if (failed > 0) {
+    if (failed > kMaxListedFailures) {
+      detail += "; ... (" + std::to_string(failed - kMaxListedFailures) +
+                " more)";
+    }
+    return Status(first_code,
+                  std::to_string(failed) + "/" +
+                      std::to_string(nodes_.size()) +
+                      " nodes failed export: " + detail);
+  }
   return participants;
 }
 

@@ -37,8 +37,9 @@ class Fleet {
   PdsNode& node(size_t i) { return *nodes_[i]; }
 
   /// Policy-checked export of (group, value) tuples from every node,
-  /// gathered by node index. Fails with the lowest-index node's error
-  /// (e.g. PermissionDenied when the subject lacks the Share action).
+  /// gathered by node index. On failure the returned status carries the
+  /// first failing node's code and lists every failing node index with its
+  /// message (capped), so a partial outage is diagnosable in one shot.
   Result<std::vector<global::Participant>> ExportParticipants(
       const ac::Subject& subject, const std::string& table,
       const std::string& group_column, const std::string& value_column,

@@ -210,6 +210,34 @@ TEST_F(AggProtocolTest, ParticipantWithNoTuples) {
   CheckMatchesPlain(&protocol, AggFunc::kSum);
 }
 
+TEST_F(AggProtocolTest, MetricsInvariantsHoldForEveryProtocol) {
+  // Every message the [TNP14] protocols account crosses the single
+  // token <-> SSI link in exactly one direction, so the directional split
+  // must always re-sum to the total — and any run has at least one round.
+  SecureAggProtocol secure({16});
+  WhiteNoiseProtocol white({0.3, 3});
+  DomainNoiseProtocol::Config dn_cfg;
+  for (int i = 0; i < 5; ++i) {
+    dn_cfg.domain.push_back("city-" + std::to_string(i));
+  }
+  DomainNoiseProtocol domain(dn_cfg);
+  HistogramProtocol histogram({4});
+  AggregationProtocol* protocols[] = {&secure, &white, &domain, &histogram};
+  for (AggregationProtocol* protocol : protocols) {
+    auto output = protocol->Execute(participants_, AggFunc::kSum);
+    ASSERT_TRUE(output.ok()) << protocol->name() << ": "
+                             << output.status().ToString();
+    const Metrics& m = output->metrics;
+    EXPECT_EQ(m.bytes, m.bytes_token_to_ssi + m.bytes_ssi_to_token)
+        << protocol->name();
+    EXPECT_GT(m.rounds, 0u) << protocol->name();
+    EXPECT_GT(m.bytes_token_to_ssi, 0u) << protocol->name();
+    EXPECT_GT(m.messages, 0u) << protocol->name();
+    // In-process protocols model always-connected tokens.
+    EXPECT_EQ(m.tokens_missing, 0u) << protocol->name();
+  }
+}
+
 class IntegrityTest : public ::testing::Test {
  protected:
   IntegrityTest() {

@@ -83,6 +83,36 @@ TEST_F(FleetTest, ExportDeniesUnauthorizedSubject) {
   EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
 }
 
+TEST_F(FleetTest, ExportReportsEveryFailingNode) {
+  // Revoke the Share rule on a scattered subset: the error must name every
+  // failing node index, not just the lowest one.
+  const size_t revoked[] = {2, 5, 7};
+  for (size_t i : revoked) {
+    fleet_->node(i).policies() = ac::PolicySet();
+    fleet_->node(i).policies().AddRule(
+        {"owner", Action::kInsert, "bills", {}, std::nullopt});
+  }
+  auto denied = fleet_->ExportParticipants({"stats-agency", "insee"}, "bills",
+                                           "city", "amount");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+  const std::string& msg = denied.status().message();
+  EXPECT_NE(msg.find("3/10 nodes failed export"), std::string::npos) << msg;
+  for (size_t i : revoked) {
+    EXPECT_NE(msg.find("node " + std::to_string(i)), std::string::npos)
+        << msg;
+  }
+  EXPECT_EQ(msg.find("node 0"), std::string::npos) << msg;
+  // Same aggregation across a parallel export.
+  global::FleetExecutor exec(4);
+  auto denied_par = fleet_->ExportParticipants({"stats-agency", "insee"},
+                                               "bills", "city", "amount",
+                                               &exec);
+  ASSERT_FALSE(denied_par.ok());
+  EXPECT_NE(denied_par.status().message().find("3/10 nodes failed export"),
+            std::string::npos);
+}
+
 TEST_F(FleetTest, ParallelExportMatchesSerial) {
   auto serial = fleet_->ExportParticipants({"stats-agency", "insee"},
                                            "bills", "city", "amount");

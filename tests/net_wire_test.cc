@@ -1,0 +1,524 @@
+// pds::net end-to-end: transports (in-process, Unix socketpair, TCP
+// loopback), the SsiServer/TokenClient handshake, and the secure
+// aggregation protocol over the real wire — byte-identical results to the
+// in-process protocol, measured framed-byte accounting, and quorum /
+// timeout / retry behaviour with dropped or flaky tokens.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "common/rng.h"
+#include "global/agg_protocols.h"
+#include "net/ssi_server.h"
+#include "net/token_client.h"
+#include "pds/pds_node.h"
+
+namespace pds::net {
+namespace {
+
+using global::AggFunc;
+using global::Participant;
+using global::SourceTuple;
+
+// ---------------------------------------------------------------------------
+// Transports
+
+TEST(NetTransportTest, InProcessPairDelivers) {
+  auto [a, b] = InProcessTransport::CreatePair();
+  Bytes frame = EncodeBye();
+  ASSERT_TRUE(a->Send(frame).ok());
+  auto got = b->Recv(1000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ByteView(*got), ByteView(frame));
+  EXPECT_EQ(a->bytes_sent(), frame.size());
+  EXPECT_EQ(b->bytes_received(), frame.size());
+  EXPECT_EQ(a->frames_sent(), 1u);
+}
+
+TEST(NetTransportTest, InProcessRecvTimesOut) {
+  auto [a, b] = InProcessTransport::CreatePair();
+  (void)a;
+  auto got = b->Recv(20);
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(NetTransportTest, InProcessCloseUnblocksAndFailsSends) {
+  auto [a, b] = InProcessTransport::CreatePair();
+  a->Close();
+  EXPECT_EQ(b->Recv(1000).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(b->Send(EncodeBye()).code(), StatusCode::kIoError);
+}
+
+TEST(NetTransportTest, InProcessQueueBackpressure) {
+  auto [a, b] = InProcessTransport::CreatePair(/*max_queued=*/2);
+  Bytes frame = EncodeBye();
+  ASSERT_TRUE(a->Send(frame).ok());
+  ASSERT_TRUE(a->Send(frame).ok());
+  EXPECT_EQ(a->Send(frame).code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(b->Recv(100).ok());
+  EXPECT_TRUE(a->Send(frame).ok());
+}
+
+TEST(NetTransportTest, UnixPairReassemblesFrames) {
+  auto pair = SocketTransport::CreateUnixPair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  auto& [a, b] = *pair;
+  // A large frame (crosses many 4 KiB reads) followed by a small one.
+  TupleBatchMsg big;
+  big.round_id = 1;
+  big.batch.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    big.batch.push_back(Bytes(1000, static_cast<uint8_t>(i)));
+  }
+  Bytes big_frame = EncodeTupleBatch(big);
+  ASSERT_GT(big_frame.size(), 64u * 1024);
+  Bytes small_frame = EncodeBye();
+  ASSERT_TRUE(a->Send(big_frame).ok());
+  ASSERT_TRUE(a->Send(small_frame).ok());
+
+  auto got_big = b->Recv(2000);
+  ASSERT_TRUE(got_big.ok()) << got_big.status().ToString();
+  EXPECT_EQ(ByteView(*got_big), ByteView(big_frame));
+  auto got_small = b->Recv(2000);
+  ASSERT_TRUE(got_small.ok());
+  EXPECT_EQ(ByteView(*got_small), ByteView(small_frame));
+  EXPECT_EQ(b->bytes_received(), big_frame.size() + small_frame.size());
+}
+
+TEST(NetTransportTest, SocketRejectsGarbageHeader) {
+  auto pair = SocketTransport::CreateUnixPair();
+  ASSERT_TRUE(pair.ok());
+  auto& [a, b] = *pair;
+  Bytes garbage(16, 0x5A);
+  ASSERT_TRUE(a->Send(garbage).ok());
+  EXPECT_EQ(b->Recv(1000).status().code(), StatusCode::kCorruption);
+}
+
+TEST(NetTransportTest, TcpLoopbackConnectAndExchange) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+  ASSERT_NE(listener.port(), 0);
+
+  auto client = SocketTransport::ConnectTcp("127.0.0.1", listener.port(), 2000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto server = listener.Accept(2000);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  Bytes frame = EncodeHelloAck(HelloAckMsg{true});
+  ASSERT_TRUE((*client)->Send(frame).ok());
+  auto got = (*server)->Recv(2000);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ByteView(*got), ByteView(frame));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol over the wire
+
+/// Deterministic token fleet + tuples, seeded exactly like AggProtocolTest
+/// so in-process and wire runs can be compared byte for byte.
+struct TestFleet {
+  std::vector<std::unique_ptr<mcu::SecureToken>> tokens;
+  std::vector<Participant> participants;
+  std::unique_ptr<mcu::SecureToken> verifier;
+};
+
+TestFleet MakeTestFleet(size_t n, const char* key = "fleet-test") {
+  TestFleet f;
+  crypto::SymmetricKey fleet_key = crypto::KeyFromString(key);
+  for (uint64_t i = 0; i < n; ++i) {
+    mcu::SecureToken::Config cfg;
+    cfg.token_id = i;
+    cfg.fleet_key = fleet_key;
+    cfg.rng_seed = 100 + i;
+    f.tokens.push_back(std::make_unique<mcu::SecureToken>(cfg));
+  }
+  Rng rng(55);
+  for (uint64_t i = 0; i < n; ++i) {
+    Participant p;
+    p.token = f.tokens[i].get();
+    int tuples = 5 + static_cast<int>(rng.Uniform(10));
+    for (int t = 0; t < tuples; ++t) {
+      SourceTuple st;
+      st.group = "city-" + std::to_string(rng.Uniform(5));
+      st.value = static_cast<double>(rng.Uniform(100));
+      p.tuples.push_back(std::move(st));
+    }
+    f.participants.push_back(std::move(p));
+  }
+  mcu::SecureToken::Config vcfg;
+  vcfg.token_id = 9000;
+  vcfg.fleet_key = fleet_key;
+  f.verifier = std::make_unique<mcu::SecureToken>(vcfg);
+  return f;
+}
+
+/// Connects `fleet` to a server over in-process transports; returns the
+/// running clients (caller joins them after Shutdown).
+std::vector<std::unique_ptr<TokenClient>> ConnectClients(
+    SsiServer* server, TestFleet* fleet,
+    uint32_t fail_first_for_token0 = 0) {
+  std::vector<std::unique_ptr<TokenClient>> clients;
+  clients.reserve(fleet->participants.size());
+  for (size_t i = 0; i < fleet->participants.size(); ++i) {
+    auto [server_end, client_end] = InProcessTransport::CreatePair();
+    TokenClient::Config cfg;
+    cfg.token = fleet->tokens[i].get();
+    cfg.tuples = fleet->participants[i].tuples;
+    if (i == 0) {
+      cfg.fail_first_requests = fail_first_for_token0;
+    }
+    auto client =
+        std::make_unique<TokenClient>(std::move(client_end), std::move(cfg));
+    client->Start();
+    auto idx = server->AcceptSession(std::move(server_end));
+    EXPECT_TRUE(idx.ok()) << idx.status().ToString();
+    clients.push_back(std::move(client));
+  }
+  return clients;
+}
+
+void JoinAll(SsiServer* server,
+             std::vector<std::unique_ptr<TokenClient>>* clients) {
+  server->Shutdown();
+  for (auto& c : *clients) {
+    c->Stop();
+    EXPECT_TRUE(c->Join().ok());
+  }
+}
+
+TEST(NetSecureAggTest, LoopbackMatchesInProcessByteIdentical) {
+  // Two identically-seeded fleets: one runs the in-process protocol, the
+  // other the wire protocol. Same item order, same partitions, same token
+  // RNG streams => exactly equal results, leakage and token work.
+  TestFleet inproc = MakeTestFleet(6);
+  global::SecureAggProtocol::Config pcfg;
+  pcfg.partition_capacity = 16;
+  global::SecureAggProtocol protocol(pcfg);
+  auto expected = protocol.Execute(inproc.participants, AggFunc::kSum);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  TestFleet wired = MakeTestFleet(6);
+  SsiServer::Config scfg;
+  scfg.partition_capacity = 16;
+  scfg.verifier = wired.verifier.get();
+  SsiServer server(scfg);
+  auto clients = ConnectClients(&server, &wired);
+  auto output = server.RunSecureAggregation(AggFunc::kSum);
+  JoinAll(&server, &clients);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  // Bit-exact group results (doubles compared with ==).
+  ASSERT_EQ(output->groups.size(), expected->groups.size());
+  for (const auto& [group, value] : expected->groups) {
+    ASSERT_TRUE(output->groups.count(group)) << group;
+    EXPECT_EQ(output->groups[group], value) << group;
+  }
+  // Same SSI view and same token work as in-process.
+  EXPECT_EQ(output->leakage.tuples_observed,
+            expected->leakage.tuples_observed);
+  EXPECT_EQ(output->leakage.distinct_classes,
+            expected->leakage.distinct_classes);
+  EXPECT_EQ(output->metrics.token_crypto_ops,
+            expected->metrics.token_crypto_ops);
+  EXPECT_EQ(output->metrics.rounds, expected->metrics.rounds);
+  EXPECT_EQ(output->metrics.tokens_missing, 0u);
+  EXPECT_EQ(server.last_report().responders, 6u);
+}
+
+TEST(NetSecureAggTest, FramedBytesExceedSyntheticAccounting) {
+  TestFleet inproc = MakeTestFleet(6);
+  global::SecureAggProtocol::Config pcfg;
+  pcfg.partition_capacity = 16;
+  global::SecureAggProtocol protocol(pcfg);
+  auto synthetic = protocol.Execute(inproc.participants, AggFunc::kSum);
+  ASSERT_TRUE(synthetic.ok());
+
+  TestFleet wired = MakeTestFleet(6);
+  SsiServer::Config scfg;
+  scfg.partition_capacity = 16;
+  scfg.verifier = wired.verifier.get();
+  SsiServer server(scfg);
+  auto clients = ConnectClients(&server, &wired);
+  auto output = server.RunSecureAggregation(AggFunc::kSum);
+  JoinAll(&server, &clients);
+  ASSERT_TRUE(output.ok());
+
+  // The wire pays for frame headers, length prefixes and round metadata on
+  // top of the ciphertexts the in-process model counts.
+  EXPECT_GT(output->metrics.bytes, synthetic->metrics.bytes);
+  EXPECT_GT(output->metrics.bytes_token_to_ssi,
+            synthetic->metrics.bytes_token_to_ssi);
+  EXPECT_GT(output->metrics.bytes_ssi_to_token,
+            synthetic->metrics.bytes_ssi_to_token);
+  // Directional sum invariant over measured frames.
+  EXPECT_EQ(output->metrics.bytes, output->metrics.bytes_token_to_ssi +
+                                       output->metrics.bytes_ssi_to_token);
+}
+
+TEST(NetSecureAggTest, SocketLoopbackMatchesInProcess) {
+  TestFleet inproc = MakeTestFleet(4);
+  global::SecureAggProtocol::Config pcfg;
+  pcfg.partition_capacity = 16;
+  global::SecureAggProtocol protocol(pcfg);
+  auto expected = protocol.Execute(inproc.participants, AggFunc::kSum);
+  ASSERT_TRUE(expected.ok());
+
+  TestFleet wired = MakeTestFleet(4);
+  SsiServer::Config scfg;
+  scfg.partition_capacity = 16;
+  scfg.verifier = wired.verifier.get();
+  SsiServer server(scfg);
+  std::vector<std::unique_ptr<TokenClient>> clients;
+  for (size_t i = 0; i < wired.participants.size(); ++i) {
+    auto pair = SocketTransport::CreateUnixPair();
+    ASSERT_TRUE(pair.ok());
+    TokenClient::Config ccfg;
+    ccfg.token = wired.tokens[i].get();
+    ccfg.tuples = wired.participants[i].tuples;
+    auto client = std::make_unique<TokenClient>(std::move(pair->second),
+                                                std::move(ccfg));
+    client->Start();
+    auto idx = server.AcceptSession(std::move(pair->first));
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    clients.push_back(std::move(client));
+  }
+  auto output = server.RunSecureAggregation(AggFunc::kSum);
+  JoinAll(&server, &clients);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  ASSERT_EQ(output->groups.size(), expected->groups.size());
+  for (const auto& [group, value] : expected->groups) {
+    EXPECT_EQ(output->groups[group], value) << group;
+  }
+}
+
+TEST(NetSecureAggTest, PdsNodesExportAndAggregateOverWire) {
+  // Full stack: PdsNode-backed clients run the policy-checked export at
+  // Connect() and only then answer wire rounds.
+  using embdb::ColumnType;
+  using embdb::Schema;
+  using embdb::Tuple;
+  using embdb::Value;
+  crypto::SymmetricKey fleet_key = crypto::KeyFromString("fleet-test");
+  const char* cities[] = {"lyon", "paris", "nice"};
+  Rng rng(17);
+  std::vector<std::unique_ptr<node::PdsNode>> nodes;
+  std::map<std::string, double> plain;
+  for (uint64_t i = 0; i < 4; ++i) {
+    node::PdsNode::Config cfg;
+    cfg.node_id = 1 + i;
+    cfg.fleet_key = fleet_key;
+    cfg.flash_geometry.page_size = 512;
+    cfg.flash_geometry.pages_per_block = 8;
+    cfg.flash_geometry.block_count = 256;
+    cfg.rng_seed = 1 + i;
+    auto pds_node = std::make_unique<node::PdsNode>(cfg);
+    Schema bills("bills", {{"id", ColumnType::kUint64, ""},
+                           {"city", ColumnType::kString, ""},
+                           {"amount", ColumnType::kDouble, ""}});
+    ASSERT_TRUE(pds_node->DefineTable(bills).ok());
+    pds_node->policies().AddRule(
+        {"owner", ac::Action::kInsert, "bills", {}, std::nullopt});
+    pds_node->policies().AddRule({"stats-agency", ac::Action::kShare, "bills",
+                                  {"city", "amount"}, std::nullopt});
+    ac::Subject owner{"owner", "user-" + std::to_string(i)};
+    int rows = 2 + static_cast<int>(rng.Uniform(3));
+    for (int r = 0; r < rows; ++r) {
+      const char* city = cities[rng.Uniform(3)];
+      double amount = static_cast<double>(rng.Uniform(500));
+      Tuple t = {Value::U64(static_cast<uint64_t>(r)), Value::Str(city),
+                 Value::F64(amount)};
+      ASSERT_TRUE(pds_node->InsertAs(owner, "bills", t).ok());
+      plain[city] += amount;
+    }
+    nodes.push_back(std::move(pds_node));
+  }
+
+  mcu::SecureToken::Config vcfg;
+  vcfg.token_id = 9000;
+  vcfg.fleet_key = fleet_key;
+  mcu::SecureToken verifier(vcfg);
+  SsiServer::Config scfg;
+  scfg.partition_capacity = 8;
+  scfg.verifier = &verifier;
+  SsiServer server(scfg);
+
+  std::vector<std::unique_ptr<TokenClient>> clients;
+  for (auto& pds_node : nodes) {
+    auto [server_end, client_end] = InProcessTransport::CreatePair();
+    TokenClient::Config ccfg;
+    ccfg.pds_node = pds_node.get();
+    ccfg.subject = {"stats-agency", "insee"};
+    ccfg.table = "bills";
+    ccfg.group_column = "city";
+    ccfg.value_column = "amount";
+    auto client =
+        std::make_unique<TokenClient>(std::move(client_end), std::move(ccfg));
+    client->Start();
+    auto idx = server.AcceptSession(std::move(server_end));
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    clients.push_back(std::move(client));
+  }
+  auto output = server.RunSecureAggregation(AggFunc::kSum);
+  JoinAll(&server, &clients);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  ASSERT_EQ(output->groups.size(), plain.size());
+  for (const auto& [city, sum] : plain) {
+    EXPECT_NEAR(output->groups[city], sum, 1e-9) << city;
+  }
+  EXPECT_FALSE(output->leakage.plaintext_groups_visible);
+}
+
+TEST(NetSecureAggTest, ConcurrentSessionsOverExecutor) {
+  // Wire work fanned over a FleetExecutor while every client runs its own
+  // thread: the TSan CI job races this test.
+  TestFleet serial_fleet = MakeTestFleet(6);
+  SsiServer::Config ref_cfg;
+  ref_cfg.partition_capacity = 16;
+  ref_cfg.verifier = serial_fleet.verifier.get();
+  SsiServer ref_server(ref_cfg);
+  auto ref_clients = ConnectClients(&ref_server, &serial_fleet);
+  auto ref = ref_server.RunSecureAggregation(AggFunc::kAvg);
+  JoinAll(&ref_server, &ref_clients);
+  ASSERT_TRUE(ref.ok());
+
+  TestFleet fleet = MakeTestFleet(6);
+  global::FleetExecutor exec(4);
+  SsiServer::Config scfg;
+  scfg.partition_capacity = 16;
+  scfg.verifier = fleet.verifier.get();
+  scfg.executor = &exec;
+  SsiServer server(scfg);
+  auto clients = ConnectClients(&server, &fleet);
+  auto output = server.RunSecureAggregation(AggFunc::kAvg);
+  JoinAll(&server, &clients);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  // Executor fan-out must not change results or accounting.
+  ASSERT_EQ(output->groups.size(), ref->groups.size());
+  for (const auto& [group, value] : ref->groups) {
+    EXPECT_EQ(output->groups[group], value) << group;
+  }
+  EXPECT_EQ(output->metrics.bytes, ref->metrics.bytes);
+  EXPECT_EQ(output->metrics.token_crypto_ops,
+            ref->metrics.token_crypto_ops);
+}
+
+// ---------------------------------------------------------------------------
+// Quorum, timeout, retry
+
+TEST(NetQuorumTest, DroppedTokenCompletesAtQuorum) {
+  TestFleet fleet = MakeTestFleet(5);
+  SsiServer::Config scfg;
+  scfg.partition_capacity = 16;
+  scfg.verifier = fleet.verifier.get();
+  scfg.deadline_ms = 150;
+  scfg.max_retries = 1;
+  scfg.backoff_ms = 5;
+  scfg.quorum = 0.8;  // 4 of 5 suffice
+  SsiServer server(scfg);
+  // Token 0 swallows every request it will ever see.
+  auto clients = ConnectClients(&server, &fleet, /*fail_first_for_token0=*/100);
+  auto output = server.RunSecureAggregation(AggFunc::kSum);
+  JoinAll(&server, &clients);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  // The result covers exactly the four responders.
+  std::vector<Participant> responders(fleet.participants.begin() + 1,
+                                      fleet.participants.end());
+  auto expected = global::PlainAggregate(responders, AggFunc::kSum);
+  ASSERT_EQ(output->groups.size(), expected.size());
+  for (const auto& [group, value] : expected) {
+    EXPECT_NEAR(output->groups[group], value, 1e-9) << group;
+  }
+  // The shortfall is visible in Metrics and the round report.
+  EXPECT_EQ(output->metrics.tokens_missing, 1u);
+  EXPECT_EQ(server.last_report().responders, 4u);
+  EXPECT_EQ(server.last_report().missing_tokens, 1u);
+  EXPECT_GT(server.last_report().deadline_hits, 0u);
+  EXPECT_GT(server.last_report().retries, 0u);
+}
+
+TEST(NetQuorumTest, FullQuorumFailsWhenTokenDrops) {
+  TestFleet fleet = MakeTestFleet(4);
+  SsiServer::Config scfg;
+  scfg.partition_capacity = 16;
+  scfg.verifier = fleet.verifier.get();
+  scfg.deadline_ms = 150;
+  scfg.max_retries = 0;
+  scfg.quorum = 1.0;
+  SsiServer server(scfg);
+  auto clients = ConnectClients(&server, &fleet, /*fail_first_for_token0=*/100);
+  auto output = server.RunSecureAggregation(AggFunc::kSum);
+  JoinAll(&server, &clients);
+  EXPECT_EQ(output.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(output.status().message().find("quorum"), std::string::npos);
+}
+
+TEST(NetQuorumTest, RetryRecoversFlakyToken) {
+  TestFleet fleet = MakeTestFleet(4);
+  SsiServer::Config scfg;
+  scfg.partition_capacity = 16;
+  scfg.verifier = fleet.verifier.get();
+  scfg.deadline_ms = 150;
+  scfg.max_retries = 2;
+  scfg.backoff_ms = 5;
+  scfg.quorum = 1.0;
+  SsiServer server(scfg);
+  // Token 0 drops exactly one request; the retry of the same round lands.
+  auto clients = ConnectClients(&server, &fleet, /*fail_first_for_token0=*/1);
+  auto output = server.RunSecureAggregation(AggFunc::kSum);
+  JoinAll(&server, &clients);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  auto expected = global::PlainAggregate(fleet.participants, AggFunc::kSum);
+  for (const auto& [group, value] : expected) {
+    EXPECT_NEAR(output->groups[group], value, 1e-9) << group;
+  }
+  EXPECT_EQ(output->metrics.tokens_missing, 0u);
+  EXPECT_EQ(server.last_report().responders, 4u);
+  EXPECT_GE(server.last_report().retries, 1u);
+  EXPECT_GE(server.last_report().deadline_hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+
+TEST(NetHandshakeTest, AcceptsFleetMember) {
+  TestFleet fleet = MakeTestFleet(1);
+  SsiServer::Config scfg;
+  scfg.verifier = fleet.verifier.get();
+  SsiServer server(scfg);
+  auto clients = ConnectClients(&server, &fleet);
+  EXPECT_EQ(server.num_sessions(), 1u);
+  JoinAll(&server, &clients);
+}
+
+TEST(NetHandshakeTest, RejectsTokenOutsideFleet) {
+  // Client token provisioned with a different application-domain key: its
+  // attestation proof fails and the session is refused on both sides.
+  TestFleet fleet = MakeTestFleet(1);
+  mcu::SecureToken::Config foreign_cfg;
+  foreign_cfg.token_id = 666;
+  foreign_cfg.fleet_key = crypto::KeyFromString("some-other-fleet");
+  mcu::SecureToken foreign(foreign_cfg);
+
+  auto [server_end, client_end] = InProcessTransport::CreatePair();
+  TokenClient::Config ccfg;
+  ccfg.token = &foreign;
+  TokenClient client(std::move(client_end), std::move(ccfg));
+  client.Start();
+
+  SsiServer::Config scfg;
+  scfg.verifier = fleet.verifier.get();
+  SsiServer server(scfg);
+  auto idx = server.AcceptSession(std::move(server_end));
+  EXPECT_EQ(idx.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(server.num_sessions(), 0u);
+  client.Stop();
+  EXPECT_EQ(client.Join().code(), StatusCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace pds::net

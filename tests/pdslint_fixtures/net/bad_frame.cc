@@ -1,0 +1,29 @@
+// net-bounded-frame: decoders that size containers from wire-declared
+// lengths without checking a compile-time kMax* bound first. Every
+// allocation below is driven by a length the peer controls.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct Reader {
+  uint32_t U32();
+  std::string Str();
+};
+
+std::vector<std::string> DecodeNames(Reader* r) {
+  uint32_t n = r->U32();
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    names.push_back(r->Str());
+  }
+  return names;
+}
+
+std::vector<uint8_t> ParsePayload(Reader* r) {
+  uint32_t len = r->U32();
+  std::vector<uint8_t> out;
+  out.resize(len);
+  return out;
+}

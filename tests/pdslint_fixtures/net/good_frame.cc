@@ -1,0 +1,35 @@
+// net-bounded-frame: the compliant shape — every declared count is checked
+// against a compile-time kMax* bound before any allocation happens.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+inline constexpr uint32_t kMaxNames = 1u << 10;
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 16;
+
+struct Reader {
+  uint32_t U32();
+  std::string Str();
+};
+
+bool DecodeNames(Reader* r, std::vector<std::string>* out) {
+  uint32_t n = r->U32();
+  if (n > kMaxNames) {
+    return false;
+  }
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out->push_back(r->Str());
+  }
+  return true;
+}
+
+bool ParsePayload(Reader* r, std::vector<uint8_t>* out) {
+  uint32_t len = r->U32();
+  if (len > kMaxPayloadBytes) {
+    return false;
+  }
+  out->resize(len);
+  return true;
+}

@@ -116,6 +116,32 @@ TEST(PdslintObsRule, IgnoresNonEmbeddedModules) {
   EXPECT_TRUE(LinesFor(report, Rule::kObsInEmbedded).empty());
 }
 
+TEST(PdslintFrameRule, FlagsUnboundedDecoderAllocations) {
+  Report r = Lint("net/bad_frame.cc");
+  std::vector<int> lines = LinesFor(r, Rule::kNetBoundedFrame);
+  ASSERT_EQ(lines.size(), 3u) << "reserve, push_back, resize";
+  EXPECT_EQ(lines[0], 17);  // names.reserve(n) from a wire count
+  EXPECT_EQ(lines[1], 19);  // push_back loop driven by the same count
+  EXPECT_EQ(lines[2], 27);  // out.resize(len) from a wire length
+}
+
+TEST(PdslintFrameRule, SilentOnBoundCheckedDecoders) {
+  Report r = Lint("net/good_frame.cc");
+  EXPECT_TRUE(r.findings.empty())
+      << pdslint::FormatFinding(r.findings.front());
+}
+
+TEST(PdslintFrameRule, IgnoresModulesOutsideNet) {
+  // Same unbounded decoders, but attributed to a non-wire module: only net
+  // parses untrusted peer bytes, so the rule must not apply.
+  std::ifstream in(FixturePath("net/bad_frame.cc"), std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Report report;
+  AnalyzeFile("src/global/bad_frame.cc", buf.str(), Options(), &report);
+  EXPECT_TRUE(LinesFor(report, Rule::kNetBoundedFrame).empty());
+}
+
 TEST(PdslintNodiscardRule, FlagsUnannotatedDeclarations) {
   Report r = Lint("common/bad_nodiscard.h");
   std::vector<int> lines = LinesFor(r, Rule::kResultNodiscard);
@@ -187,7 +213,7 @@ TEST(PdslintRuleNames, RoundTrip) {
   for (Rule rule : {Rule::kRamAlloc, Rule::kResultNodiscard,
                     Rule::kResultGuard, Rule::kHeaderGuard,
                     Rule::kUsingNamespace, Rule::kGlobalVar,
-                    Rule::kObsInEmbedded}) {
+                    Rule::kObsInEmbedded, Rule::kNetBoundedFrame}) {
     Rule parsed;
     ASSERT_TRUE(pdslint::ParseRuleName(pdslint::RuleName(rule), &parsed));
     EXPECT_EQ(parsed, rule);
@@ -197,6 +223,8 @@ TEST(PdslintRuleNames, RoundTrip) {
   EXPECT_EQ(parsed, Rule::kRamAlloc);
   EXPECT_TRUE(pdslint::ParseRuleName("obs", &parsed));
   EXPECT_EQ(parsed, Rule::kObsInEmbedded);
+  EXPECT_TRUE(pdslint::ParseRuleName("frame", &parsed));
+  EXPECT_EQ(parsed, Rule::kNetBoundedFrame);
   EXPECT_FALSE(pdslint::ParseRuleName("no-such-rule", &parsed));
 }
 

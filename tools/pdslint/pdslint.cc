@@ -491,6 +491,54 @@ void CheckObsInEmbedded(const std::string& module, const Scrubbed& s,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: net-bounded-frame
+// ---------------------------------------------------------------------------
+
+// A function whose name says it turns wire bytes into structures. The name
+// sits on the line opening the function's brace frame or (multi-line
+// signatures) up to two lines above it; statement lines — ending in ';' —
+// are skipped so a call to DecodeFoo() just above an unrelated brace does
+// not make that block a decoder.
+const std::regex kDecoderName(R"(\b(Decode|Deserialize|Parse)\w*\s*\()");
+// Anything that sizes or grows a container — the allocations a lying
+// length field would drive.
+const std::regex kFrameAlloc(
+    R"((\.|->)\s*(reserve|resize|push_back|emplace_back|emplace|insert|append)\s*\(|(^|[^\w.])new\b|\b(malloc|calloc|realloc)\s*\()");
+// The compile-time bounds the codec declares (kMaxFramePayload,
+// kMaxBatchTuples, ...). Mentioning one before the allocation is the
+// machine-checkable shape of "declared length checked against a bound".
+const std::regex kBoundMention(R"(\bkMax\w+)");
+
+void CheckNetBoundedFrame(const std::string& module, const Scrubbed& s,
+                          const Structure& st, Emitter* em) {
+  for (size_t fi = 1; fi < st.frames.size(); ++fi) {
+    const Frame& f = st.frames[fi];
+    if (f.kind != FrameKind::kFunction) continue;
+    bool is_decoder = false;
+    for (int i = f.open_line; i >= 0 && i >= f.open_line - 2; --i) {
+      std::string t = Trim(s.code[i]);
+      if (!t.empty() && t.back() == ';') continue;
+      if (std::regex_search(s.code[i], kDecoderName)) {
+        is_decoder = true;
+        break;
+      }
+    }
+    if (!is_decoder) continue;
+    bool bounded = false;
+    for (int i = f.open_line; i <= f.close_line; ++i) {
+      if (std::regex_search(s.code[i], kBoundMention)) bounded = true;
+      if (!bounded && std::regex_search(s.code[i], kFrameAlloc)) {
+        em->Emit(i, Rule::kNetBoundedFrame,
+                 "decoder in module '" + module +
+                     "' allocates before checking the declared length "
+                     "against a compile-time kMax* bound; a hostile peer "
+                     "controls that length");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: result-nodiscard
 // ---------------------------------------------------------------------------
 
@@ -614,6 +662,7 @@ const char* RuleName(Rule rule) {
     case Rule::kUsingNamespace: return "using-namespace";
     case Rule::kGlobalVar: return "global-var";
     case Rule::kObsInEmbedded: return "obs-in-embedded";
+    case Rule::kNetBoundedFrame: return "net-bounded-frame";
   }
   return "unknown";
 }
@@ -626,6 +675,7 @@ bool ParseRuleName(const std::string& name, Rule* out) {
   else if (name == "using-namespace") *out = Rule::kUsingNamespace;
   else if (name == "global-var") *out = Rule::kGlobalVar;
   else if (name == "obs" || name == "obs-in-embedded") *out = Rule::kObsInEmbedded;
+  else if (name == "frame" || name == "net-bounded-frame") *out = Rule::kNetBoundedFrame;
   else return false;
   return true;
 }
@@ -661,6 +711,9 @@ void AnalyzeFile(const std::string& path, const std::string& content,
   if (Contains(options.embedded_modules, module)) {
     CheckRamAlloc(module, s, st, &em);
     CheckObsInEmbedded(module, s, st, &em);
+  }
+  if (Contains(options.framed_modules, module)) {
+    CheckNetBoundedFrame(module, s, st, &em);
   }
   if (is_header && Contains(options.nodiscard_modules, module)) {
     CheckResultNodiscard(s, &em);

@@ -29,6 +29,8 @@ enum class Rule {
   kGlobalVar,        // mutable namespace-scope global in a header outside common/
   kObsInEmbedded,    // obs registry lookup in a loop / dynamic span name in an
                      // embedded module (instrumentation must be preallocated)
+  kNetBoundedFrame,  // wire decoder allocates from a declared length without
+                     // checking it against a compile-time kMax* bound first
 };
 
 /// Stable rule name used in diagnostics, waivers, and baselines.
@@ -36,7 +38,8 @@ const char* RuleName(Rule rule);
 
 /// Parses a rule name or waiver alias ("ram" == "ram-alloc", "guard" ==
 /// "result-guard", "nodiscard" == "result-nodiscard", "obs" ==
-/// "obs-in-embedded"). Returns false when unknown.
+/// "obs-in-embedded", "frame" == "net-bounded-frame"). Returns false when
+/// unknown.
 bool ParseRuleName(const std::string& name, Rule* out);
 
 struct Finding {
@@ -57,14 +60,20 @@ struct Waiver {
 };
 
 struct Options {
-  /// Modules under the tiny-RAM rule (tutorial Part II: code that must run in
-  /// the secure MCU's <128 KB of RAM).
+  /// Modules under the tiny-RAM rule (tutorial Part II: code that must run
+  /// in the secure MCU's <128 KB of RAM; "net" includes the token-side wire
+  /// runtime, which shares that budget).
   std::vector<std::string> embedded_modules{"embdb", "search", "logstore",
-                                            "flash", "mcu"};
+                                            "flash", "mcu", "net"};
   /// Modules whose headers must spell [[nodiscard]] on every
   /// Status/Result-returning declaration.
   std::vector<std::string> nodiscard_modules{"common", "crypto", "embdb",
-                                             "logstore", "mcu", "flash"};
+                                             "logstore", "mcu", "flash",
+                                             "net"};
+  /// Modules whose Decode*/Deserialize*/Parse* functions handle untrusted
+  /// wire input and must check declared lengths against a compile-time kMax*
+  /// bound before any allocation (the net-bounded-frame rule).
+  std::vector<std::string> framed_modules{"net"};
   /// Maximum number of inline waivers across the scanned tree; -1 = no cap.
   int max_waivers = -1;
 };
