@@ -133,6 +133,9 @@ BENCHMARK(BM_OnePaillierEncryption)->Arg(256)->Arg(512)->Arg(1024);
 
 // --- Kernel-layer speedups: scalar (schoolbook) vs Montgomery/CRT/cache.
 // run_benches.sh pairs these up into BENCH_crypto.json speedup entries.
+// Each rung warms up before measuring and runs N repetitions; the JSON
+// distiller reads the _median aggregate so one noisy rep cannot skew a
+// reported speedup.
 
 const pds::crypto::Paillier& CachedPaillier(size_t bits) {
   static std::map<size_t, pds::crypto::Paillier> cache;
@@ -155,7 +158,12 @@ void BM_PaillierEncryptScalar(benchmark::State& state) {
   }
   state.counters["modulus_bits"] = static_cast<double>(bits);
 }
-BENCHMARK(BM_PaillierEncryptScalar)->Arg(256)->Arg(512)->Arg(1024);
+BENCHMARK(BM_PaillierEncryptScalar)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->MinWarmUpTime(0.05)
+    ->Repetitions(5);
 
 void BM_PaillierEncryptCached(benchmark::State& state) {
   const size_t bits = static_cast<size_t>(state.range(0));
@@ -167,7 +175,12 @@ void BM_PaillierEncryptCached(benchmark::State& state) {
   }
   state.counters["modulus_bits"] = static_cast<double>(bits);
 }
-BENCHMARK(BM_PaillierEncryptCached)->Arg(256)->Arg(512)->Arg(1024);
+BENCHMARK(BM_PaillierEncryptCached)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->MinWarmUpTime(0.05)
+    ->Repetitions(5);
 
 void BM_PaillierDecryptScalar(benchmark::State& state) {
   const size_t bits = static_cast<size_t>(state.range(0));
@@ -179,7 +192,12 @@ void BM_PaillierDecryptScalar(benchmark::State& state) {
   }
   state.counters["modulus_bits"] = static_cast<double>(bits);
 }
-BENCHMARK(BM_PaillierDecryptScalar)->Arg(256)->Arg(512)->Arg(1024);
+BENCHMARK(BM_PaillierDecryptScalar)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->MinWarmUpTime(0.05)
+    ->Repetitions(5);
 
 void BM_PaillierDecryptCRT(benchmark::State& state) {
   const size_t bits = static_cast<size_t>(state.range(0));
@@ -191,7 +209,12 @@ void BM_PaillierDecryptCRT(benchmark::State& state) {
   }
   state.counters["modulus_bits"] = static_cast<double>(bits);
 }
-BENCHMARK(BM_PaillierDecryptCRT)->Arg(256)->Arg(512)->Arg(1024);
+BENCHMARK(BM_PaillierDecryptCRT)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->MinWarmUpTime(0.05)
+    ->Repetitions(5);
 
 // ModExp micro: full-width exponent over a modulus of `bits` bits, the
 // primitive under every Paillier operation.
@@ -216,7 +239,13 @@ void BM_ModExpSchoolbook(benchmark::State& state) {
   }
   state.counters["modulus_bits"] = static_cast<double>(state.range(0));
 }
-BENCHMARK(BM_ModExpSchoolbook)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+BENCHMARK(BM_ModExpSchoolbook)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->MinWarmUpTime(0.05)
+    ->Repetitions(3);
 
 void BM_ModExpMontgomery(benchmark::State& state) {
   auto in = MakeModExpInputs(static_cast<size_t>(state.range(0)));
@@ -226,7 +255,13 @@ void BM_ModExpMontgomery(benchmark::State& state) {
   }
   state.counters["modulus_bits"] = static_cast<double>(state.range(0));
 }
-BENCHMARK(BM_ModExpMontgomery)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048);
+BENCHMARK(BM_ModExpMontgomery)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->MinWarmUpTime(0.05)
+    ->Repetitions(3);
 
 }  // namespace
 

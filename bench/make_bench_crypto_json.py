@@ -2,8 +2,14 @@
 """Distills google-benchmark JSON from bench_crypto_ladder and
 bench_agg_protocols into BENCH_crypto.json: one record per (op, key bits)
 with ns/op and the speedup of each kernel path over its scalar baseline.
+Benchmarks that ran with repetitions contribute their _median aggregate;
+other aggregates (mean/stddev/cv) are skipped.
 
 Usage: make_bench_crypto_json.py <ladder.json> [<agg.json>] [<out.json>]
+                                 [--rounds <rounds.json>]
+
+--rounds merges the per-round records emitted by crypto_round_bench
+(fleet-size-64 per-op vs slot-packed Paillier rounds) verbatim.
 """
 
 import json
@@ -24,20 +30,50 @@ def ns_per_op(bench):
     return t
 
 
+def canonical_name(name):
+    """Strips run decorations: 'BM_X/256/min_warmup_time:0.050/repeats:5'
+    and trailing '_median' etc. collapse to 'BM_X/256'."""
+    for suffix in ("_mean", "_median", "_stddev", "_cv"):
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+    parts = [p for p in name.split("/")
+             if not p.startswith(("min_warmup_time:", "min_time:",
+                                  "repeats:"))]
+    return "/".join(parts)
+
+
 def index(benches):
-    """name/arg -> ns per op, e.g. 'BM_PaillierDecryptCRT/256'."""
+    """name/arg -> ns per op, e.g. 'BM_PaillierDecryptCRT/256'.
+
+    A benchmark run with repetitions reports per-rep iteration rows plus
+    mean/median/stddev/cv aggregates; the median wins over any iteration
+    row of the same name, and non-median aggregates are dropped.
+    """
     out = {}
+    medians = {}
     for b in benches:
+        name = canonical_name(b["name"])
         if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[name] = ns_per_op(b)
             continue
-        out[b["name"]] = ns_per_op(b)
+        out.setdefault(name, ns_per_op(b))
+    out.update(medians)
     return out
 
 
 def main():
-    ladder_path = sys.argv[1] if len(sys.argv) > 1 else "ladder.json"
-    agg_path = sys.argv[2] if len(sys.argv) > 2 else None
-    out_path = sys.argv[3] if len(sys.argv) > 3 else "BENCH_crypto.json"
+    argv = list(sys.argv[1:])
+    rounds_path = None
+    if "--rounds" in argv:
+        i = argv.index("--rounds")
+        rounds_path = argv[i + 1]
+        del argv[i:i + 2]
+    ladder_path = argv[0] if len(argv) > 0 else "ladder.json"
+    agg_path = argv[1] if len(argv) > 1 else None
+    if agg_path == "-":  # placeholder: no fleet thread sweep this run
+        agg_path = None
+    out_path = argv[2] if len(argv) > 2 else "BENCH_crypto.json"
 
     times = index(load(ladder_path))
     records = []
@@ -83,6 +119,10 @@ def main():
                     "ns_per_op": round(t, 1),
                     "speedup_vs_1_thread": round(base / t, 2),
                 })
+
+    if rounds_path:
+        with open(rounds_path) as f:
+            records.extend(json.load(f)["records"])
 
     with open(out_path, "w") as f:
         json.dump({"records": records}, f, indent=2)

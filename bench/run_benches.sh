@@ -12,18 +12,31 @@
 # loopback, plus the dropped-token quorum scenarios) and leaves
 # BENCH_net.json at the repo root.
 #
-# Usage: bench/run_benches.sh [--obs|--net] [build_dir]   (default: build)
+# With --crypto, runs only the crypto hot path: the kernel-vs-scalar
+# ladder rungs (median of N repetitions after warmup) plus the
+# crypto_round_bench driver (per-op vs slot-packed Paillier fleet round at
+# fleet size 64, plaintext- and scalar-fallback-verified), merges both
+# into BENCH_crypto.json and validates it against bench/crypto_schema.json.
+# The default (flagless) run produces the same file plus the fleet-executor
+# thread sweep.
+#
+# Usage: bench/run_benches.sh [--obs|--net|--crypto] [build_dir]
+#                             (default build_dir: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 OBS_MODE=0
 NET_MODE=0
+CRYPTO_MODE=0
 if [[ "${1:-}" == "--obs" ]]; then
   OBS_MODE=1
   shift
 elif [[ "${1:-}" == "--net" ]]; then
   NET_MODE=1
+  shift
+elif [[ "${1:-}" == "--crypto" ]]; then
+  CRYPTO_MODE=1
   shift
 fi
 BUILD_DIR="${1:-build}"
@@ -55,27 +68,38 @@ if [[ "$OBS_MODE" == 1 ]]; then
   exit 0
 fi
 
-if [[ ! -x "$BUILD_DIR/bench/bench_crypto_ladder" ]]; then
+if [[ ! -x "$BUILD_DIR/bench/bench_crypto_ladder" || \
+      ! -x "$BUILD_DIR/bench/crypto_round_bench" ]]; then
   echo "building benchmarks in $BUILD_DIR ..."
-  cmake --build "$BUILD_DIR" --target bench_crypto_ladder bench_agg_protocols
+  cmake --build "$BUILD_DIR" \
+    --target bench_crypto_ladder bench_agg_protocols crypto_round_bench
 fi
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-echo "== bench_crypto_ladder (kernel vs scalar) =="
+echo "== bench_crypto_ladder (kernel vs scalar, median of N reps) =="
 "$BUILD_DIR/bench/bench_crypto_ladder" \
   --benchmark_filter='BM_(Paillier(Encrypt|Decrypt)(Scalar|Cached|CRT)|ModExp(Schoolbook|Montgomery))/' \
   --benchmark_out="$TMP/ladder.json" --benchmark_out_format=json
 
-echo "== bench_agg_protocols (fleet-executor thread sweep) =="
-"$BUILD_DIR/bench/bench_agg_protocols" \
-  --benchmark_filter='BM_(SecureAgg|WhiteNoise|Histogram)Threads/' \
-  --benchmark_out="$TMP/agg.json" --benchmark_out_format=json
+echo "== crypto_round_bench (per-op vs slot-packed fleet round) =="
+"$BUILD_DIR/bench/crypto_round_bench" --out "$TMP/rounds.json"
+
+AGG_JSON="-"
+if [[ "$CRYPTO_MODE" == 0 ]]; then
+  echo "== bench_agg_protocols (fleet-executor thread sweep) =="
+  "$BUILD_DIR/bench/bench_agg_protocols" \
+    --benchmark_filter='BM_(SecureAgg|WhiteNoise|Histogram)Threads/' \
+    --benchmark_out="$TMP/agg.json" --benchmark_out_format=json
+  AGG_JSON="$TMP/agg.json"
+fi
 
 if command -v python3 >/dev/null; then
-  python3 bench/make_bench_crypto_json.py "$TMP/ladder.json" "$TMP/agg.json" \
-    BENCH_crypto.json
+  python3 bench/make_bench_crypto_json.py "$TMP/ladder.json" "$AGG_JSON" \
+    BENCH_crypto.json --rounds "$TMP/rounds.json"
+  python3 bench/validate_crypto_json.py BENCH_crypto.json \
+    bench/crypto_schema.json
 else
   echo "python3 not found: keeping raw google-benchmark JSON instead" >&2
   cp "$TMP/ladder.json" BENCH_crypto.json

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validates BENCH_crypto.json against bench/crypto_schema.json.
+
+Usage: validate_crypto_json.py [BENCH_crypto.json] [schema.json]
+
+Checks, stdlib-only (run by bench/run_benches.sh --crypto and the CI
+crypto job):
+  - the file is {"records": [...]} with a non-empty record list where
+    every record's "op" is one of the schema's known kinds (kernel
+    speedup, fleet thread sweep, or packed-round comparison) and carries
+    that kind's required fields with numeric values;
+  - every kernel record reports a positive speedup over its scalar
+    baseline;
+  - the round section is complete: both fleet_round_per_op and
+    fleet_round_packed are present at the schema's fleet size, both
+    verified against plaintext sums, and the packed record reports a
+    byte-identical scalar fallback and a speedup at or above the
+    schema's acceptance floor (3x).
+
+Exits 0 on success, 1 with a list of problems otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(problems):
+    for p in problems:
+        print(f"validate_crypto_json: {p}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_fields(rec, required, where, problems):
+    for field in required:
+        if field not in rec:
+            problems.append(f"{where}: missing field '{field}'")
+        elif field not in ("op", "simd_kernel") and not isinstance(
+                rec[field], bool) and not is_number(rec[field]):
+            problems.append(f"{where}: '{field}' is not numeric")
+
+
+def check_records(doc, schema, problems):
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        problems.append("'records' missing, not a list, or empty")
+        return
+    round_seen = {}
+    for i, rec in enumerate(records):
+        where = f"record {i}"
+        if not isinstance(rec, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        op = rec.get("op")
+        where = f"record {i} ({op})"
+        if op in schema["kernel_ops"]:
+            check_fields(rec, schema["kernel_required"], where, problems)
+            speedup = rec.get("speedup_vs_scalar")
+            if is_number(speedup) and speedup <= 0:
+                problems.append(f"{where}: non-positive speedup_vs_scalar")
+        elif op in schema["thread_ops"]:
+            check_fields(rec, schema["thread_required"], where, problems)
+        elif op in schema["round_ops"]:
+            check_fields(rec, schema["round_required"], where, problems)
+            if rec.get("fleet_size") != schema["round_fleet_size"]:
+                problems.append(
+                    f"{where}: fleet_size != {schema['round_fleet_size']}")
+            if rec.get("verified") is not True:
+                problems.append(f"{where}: totals not verified")
+            if op == "fleet_round_packed":
+                check_fields(rec, schema["packed_required_extra"], where,
+                             problems)
+                if rec.get("scalar_fallback_identical") is not True:
+                    problems.append(
+                        f"{where}: scalar fallback not byte-identical")
+                speedup = rec.get("speedup_vs_per_op")
+                floor = schema["packed_min_speedup"]
+                if not is_number(speedup) or speedup < floor:
+                    problems.append(
+                        f"{where}: speedup_vs_per_op {speedup!r} below the "
+                        f"{floor}x acceptance floor")
+            round_seen[op] = True
+        else:
+            problems.append(f"{where}: unknown op {op!r}")
+    for op in schema["round_ops"]:
+        if op not in round_seen:
+            problems.append(f"round record '{op}' is missing")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_crypto.json"
+    schema_path = (sys.argv[2] if len(sys.argv) > 2
+                   else "bench/crypto_schema.json")
+    problems = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail([f"cannot load {path}: {e}"])
+    with open(schema_path) as f:
+        schema = json.load(f)
+    for field in schema["required_top_level"]:
+        if field not in doc:
+            problems.append(f"missing top-level field '{field}'")
+    check_records(doc, schema, problems)
+    if problems:
+        fail(problems)
+    print(f"validate_crypto_json: {path} OK "
+          f"({len(doc['records'])} records)")
+
+
+if __name__ == "__main__":
+    main()

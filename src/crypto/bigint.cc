@@ -386,6 +386,21 @@ BigInt BigInt::ModExp(const BigInt& a, const BigInt& e, const BigInt& m) {
   return ModExpSchoolbook(a, e, m);
 }
 
+std::vector<BigInt> BigInt::ModExpMany(const std::vector<BigInt>& bases,
+                                       const BigInt& e, const BigInt& m) {
+  if (m.IsOne() || m.IsZero()) {
+    return std::vector<BigInt>(bases.size());
+  }
+  if (MontgomeryCtx::Usable(m)) {
+    return MontgomeryCtx(m).ModExpMany(bases, e);
+  }
+  std::vector<BigInt> out(bases.size());
+  for (size_t i = 0; i < bases.size(); ++i) {
+    out[i] = ModExpSchoolbook(bases[i], e, m);
+  }
+  return out;
+}
+
 BigInt BigInt::ModExpSchoolbook(const BigInt& a, const BigInt& e,
                                 const BigInt& m) {
   if (m.IsOne() || m.IsZero()) {

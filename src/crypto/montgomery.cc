@@ -1,10 +1,53 @@
 #include "crypto/montgomery.h"
 
+#include <algorithm>
 #include <cstdlib>
+
+#include "crypto/montgomery_simd.h"
 
 namespace pds::crypto {
 
 namespace {
+
+/// Lane-interleaved residue quartet for the multi-lane kernel: element
+/// [4*j + l] is limb j of lane l (value < 2^32 in a 64-bit slot).
+using Quad = std::vector<uint64_t>;
+
+Quad PackQuad(size_t k, const MontgomeryCtx::Limbs* lanes[4]) {
+  Quad q(4 * k, 0);
+  for (size_t l = 0; l < 4; ++l) {
+    const MontgomeryCtx::Limbs& src = *lanes[l];
+    for (size_t j = 0; j < k; ++j) {
+      q[4 * j + l] = src[j];
+    }
+  }
+  return q;
+}
+
+void UnpackLane(const Quad& q, size_t k, size_t lane,
+                MontgomeryCtx::Limbs* out) {
+  out->assign(k, 0);
+  for (size_t j = 0; j < k; ++j) {
+    (*out)[j] = static_cast<uint32_t>(q[4 * j + lane]);
+  }
+}
+
+/// 4-bit window digits of `e`, least-significant window first. Window w
+/// holds bits [4w, 4w+4).
+std::vector<uint8_t> WindowDigits(const BigInt& e) {
+  size_t windows = (e.BitLength() + 3) / 4;
+  std::vector<uint8_t> digits(windows, 0);
+  for (size_t w = 0; w < windows; ++w) {
+    uint8_t digit = 0;
+    for (size_t b = 0; b < 4; ++b) {
+      if (e.Bit(4 * w + b)) {
+        digit |= static_cast<uint8_t>(1u << b);
+      }
+    }
+    digits[w] = digit;
+  }
+  return digits;
+}
 
 /// Inverse of odd `x` mod 2^32 by Newton iteration (5 steps double the
 /// correct low bits from 5 to >32).
@@ -205,6 +248,88 @@ BigInt MontgomeryCtx::ModExp(const BigInt& a, const BigInt& e) const {
   return FromMont(result);
 }
 
+void MontgomeryCtx::MontMulQuad(const Limbs a[4], const Limbs b[4],
+                                Limbs out[4]) const {
+  const Limbs* alanes[4] = {&a[0], &a[1], &a[2], &a[3]};
+  const Limbs* blanes[4] = {&b[0], &b[1], &b[2], &b[3]};
+  Quad qa = PackQuad(k_, alanes);
+  Quad qb = PackQuad(k_, blanes);
+  Quad qo(4 * k_, 0);
+  simd::MontMul4(k_, m_limbs_.data(), n0_inv_, qa.data(), qb.data(),
+                 qo.data());
+  for (size_t l = 0; l < 4; ++l) {
+    UnpackLane(qo, k_, l, &out[l]);
+  }
+}
+
+std::vector<BigInt> MontgomeryCtx::ModExpMany(const std::vector<BigInt>& bases,
+                                              const BigInt& e) const {
+  const size_t n = bases.size();
+  std::vector<BigInt> out(n);
+  if (n == 0) {
+    return out;
+  }
+  if (e.IsZero()) {
+    BigInt one = BigInt::Mod(BigInt::One(), modulus_);
+    std::fill(out.begin(), out.end(), one);
+    return out;
+  }
+  const std::vector<uint8_t> digits = WindowDigits(e);  // decoded once
+
+  const size_t k = k_;
+  for (size_t g = 0; g < n; g += 4) {
+    const size_t lanes = std::min<size_t>(4, n - g);
+    // Idle lanes ladder over base 1; their results are discarded.
+    Limbs mont_bases[4];
+    for (size_t l = 0; l < 4; ++l) {
+      mont_bases[l] = l < lanes ? ToMont(bases[g + l]) : one_mont_;
+    }
+    const Limbs* base_lanes[4] = {&mont_bases[0], &mont_bases[1],
+                                  &mont_bases[2], &mont_bases[3]};
+    const Limbs* one_lanes[4] = {&one_mont_, &one_mont_, &one_mont_,
+                                 &one_mont_};
+
+    // Shared-digit window table: table[d] holds base_l^d in lane l, built
+    // with one lockstep kernel call per entry.
+    Quad table[16];
+    table[0] = PackQuad(k, one_lanes);
+    table[1] = PackQuad(k, base_lanes);
+    for (int d = 2; d < 16; ++d) {
+      table[d].assign(4 * k, 0);
+      simd::MontMul4(k, m_limbs_.data(), n0_inv_, table[d - 1].data(),
+                     table[1].data(), table[d].data());
+    }
+
+    // One ladder drives all four lanes: the digit index is shared because
+    // the exponent is, so squarings and table multiplies stay in lockstep.
+    Quad result;
+    Quad tmp(4 * k, 0);
+    for (size_t w = digits.size(); w-- > 0;) {
+      const uint8_t digit = digits[w];
+      if (result.empty()) {
+        result = table[digit];
+        continue;
+      }
+      for (int s = 0; s < 4; ++s) {
+        simd::MontMul4(k, m_limbs_.data(), n0_inv_, result.data(),
+                       result.data(), tmp.data());
+        result.swap(tmp);
+      }
+      if (digit != 0) {
+        simd::MontMul4(k, m_limbs_.data(), n0_inv_, result.data(),
+                       table[digit].data(), tmp.data());
+        result.swap(tmp);
+      }
+    }
+    Limbs lane_out;
+    for (size_t l = 0; l < lanes; ++l) {
+      UnpackLane(result, k, l, &lane_out);
+      out[g + l] = FromMont(lane_out);
+    }
+  }
+  return out;
+}
+
 FixedBaseTable::FixedBaseTable(const MontgomeryCtx* ctx, const BigInt& base,
                                size_t max_exp_bits)
     : ctx_(ctx), max_exp_bits_(max_exp_bits) {
@@ -252,6 +377,64 @@ MontgomeryCtx::Limbs FixedBaseTable::PowMont(const BigInt& e) const {
 
 BigInt FixedBaseTable::Pow(const BigInt& e) const {
   return ctx_->FromMont(PowMont(e));
+}
+
+std::vector<MontgomeryCtx::Limbs> FixedBaseTable::PowMontMany(
+    const std::vector<BigInt>& es) const {
+  const size_t n = es.size();
+  std::vector<MontgomeryCtx::Limbs> out(n);
+  if (n == 0) {
+    return out;
+  }
+  for (const BigInt& e : es) {
+    if (e.BitLength() > max_exp_bits_) {
+      std::abort();  // exponent exceeds the precomputed range
+    }
+  }
+  const size_t k = ctx_->limbs();
+  const MontgomeryCtx::Limbs& one = ctx_->OneMont();
+  for (size_t g = 0; g < n; g += 4) {
+    const size_t lanes = std::min<size_t>(4, n - g);
+    // Per-lane digits over the shared table rows; idle lanes ride along
+    // with exponent 0 (every digit 0 -> identity multiplies only).
+    size_t windows = 0;
+    for (size_t l = 0; l < lanes; ++l) {
+      windows = std::max(windows, (es[g + l].BitLength() + 3) / 4);
+    }
+    const MontgomeryCtx::Limbs* one_lanes[4] = {&one, &one, &one, &one};
+    Quad result = PackQuad(k, one_lanes);
+    Quad tmp(4 * k, 0);
+    for (size_t w = 0; w < windows; ++w) {
+      uint8_t digits[4] = {0, 0, 0, 0};
+      bool any = false;
+      for (size_t l = 0; l < lanes; ++l) {
+        uint8_t digit = 0;
+        for (size_t b = 0; b < 4; ++b) {
+          if (es[g + l].Bit(4 * w + b)) {
+            digit |= static_cast<uint8_t>(1u << b);
+          }
+        }
+        digits[l] = digit;
+        any = any || digit != 0;
+      }
+      if (!any) {
+        continue;
+      }
+      // Gather this row's table entry per lane (digit 0 -> identity).
+      const MontgomeryCtx::Limbs* row_lanes[4];
+      for (size_t l = 0; l < 4; ++l) {
+        row_lanes[l] = &rows_[w][digits[l]];
+      }
+      Quad operand = PackQuad(k, row_lanes);
+      simd::MontMul4(k, ctx_->mod_limbs().data(), ctx_->n0_inv(),
+                     result.data(), operand.data(), tmp.data());
+      result.swap(tmp);
+    }
+    for (size_t l = 0; l < lanes; ++l) {
+      UnpackLane(result, k, l, &out[g + l]);
+    }
+  }
+  return out;
 }
 
 }  // namespace pds::crypto

@@ -39,6 +39,14 @@ class MontgomeryCtx {
   /// a^e mod m with a 4-bit fixed-window ladder (e == 0 yields 1 mod m).
   BigInt ModExp(const BigInt& a, const BigInt& e) const;
 
+  /// Batch-window exponentiation: bases[i]^e mod m for every base. The
+  /// exponent's window digits are decoded once and shared, and the ladders
+  /// of four bases advance in lockstep so every multiply step is one
+  /// 4-lane kernel call (crypto/montgomery_simd.h; scalar fallback when
+  /// AVX2 is unavailable). Results equal per-base ModExp bit for bit.
+  std::vector<BigInt> ModExpMany(const std::vector<BigInt>& bases,
+                                 const BigInt& e) const;
+
   // --- Montgomery-domain plumbing (used by FixedBaseTable and tests) ---
 
   /// x -> x*R mod m. Reduces x mod m first.
@@ -47,8 +55,17 @@ class MontgomeryCtx {
   BigInt FromMont(const Limbs& x) const;
   /// out = a * b * R^-1 mod m (CIOS). `out` may alias a or b.
   void MontMul(const Limbs& a, const Limbs& b, Limbs* out) const;
+  /// Four independent MontMuls over the shared modulus through one
+  /// lockstep multi-lane kernel call. Lane l computes a[l]*b[l]*R^-1 mod m;
+  /// out[l] may alias its inputs. Used by the batch ladders and by the
+  /// SIMD/scalar cross-check tests.
+  void MontMulQuad(const Limbs a[4], const Limbs b[4], Limbs out[4]) const;
   /// 1 in the Montgomery domain (R mod m).
   const Limbs& OneMont() const { return one_mont_; }
+
+  /// Raw kernel parameters, consumed by the 4-lane SIMD path.
+  const std::vector<uint32_t>& mod_limbs() const { return m_limbs_; }
+  uint32_t n0_inv() const { return n0_inv_; }
 
  private:
   BigInt modulus_;
@@ -73,6 +90,11 @@ class FixedBaseTable {
   BigInt Pow(const BigInt& e) const;
   /// Montgomery-domain variant for callers that keep composing products.
   MontgomeryCtx::Limbs PowMont(const BigInt& e) const;
+  /// Batch variant: base^es[i] for every exponent, four ladders advanced
+  /// in lockstep over the shared window table (one multi-lane kernel call
+  /// per window row). Results equal per-exponent PowMont bit for bit.
+  std::vector<MontgomeryCtx::Limbs> PowMontMany(
+      const std::vector<BigInt>& es) const;
 
   size_t max_exp_bits() const { return max_exp_bits_; }
 

@@ -1,0 +1,212 @@
+#include "crypto/montgomery_simd.h"
+
+#include <atomic>
+#include <vector>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define PDS_SIMD_HAVE_AVX2_BUILD 1
+#include <immintrin.h>
+#else
+#define PDS_SIMD_HAVE_AVX2_BUILD 0
+#endif
+
+namespace pds::crypto::simd {
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+/// Scratch for the (k+2)-limb CIOS accumulator, reused across calls on the
+/// same thread so the hot loop never allocates after warm-up.
+std::vector<uint64_t>& Scratch() {
+  thread_local std::vector<uint64_t> buf;
+  return buf;
+}
+
+/// Per-lane final step shared by both kernels: the CIOS accumulator `t`
+/// (lane-interleaved, k+1 limbs live) is < 2m; subtract m once iff t >= m.
+/// Identical comparison and borrow chain as the scalar MontgomeryCtx
+/// kernel, so results agree bit for bit.
+void ConditionalSubtract(size_t k, const uint32_t* m_limbs,
+                         const uint64_t* t, uint64_t* out) {
+  for (size_t lane = 0; lane < 4; ++lane) {
+    bool ge = t[4 * k + lane] != 0;
+    if (!ge) {
+      ge = true;
+      for (size_t i = k; i-- > 0;) {
+        uint64_t ti = t[4 * i + lane];
+        if (ti != m_limbs[i]) {
+          ge = ti > m_limbs[i];
+          break;
+        }
+      }
+    }
+    if (ge) {
+      int64_t borrow = 0;
+      for (size_t i = 0; i < k; ++i) {
+        int64_t diff = static_cast<int64_t>(t[4 * i + lane]) -
+                       static_cast<int64_t>(m_limbs[i]) - borrow;
+        if (diff < 0) {
+          diff += static_cast<int64_t>(1) << 32;
+          borrow = 1;
+        } else {
+          borrow = 0;
+        }
+        out[4 * i + lane] = static_cast<uint64_t>(diff);
+      }
+    } else {
+      for (size_t i = 0; i < k; ++i) {
+        out[4 * i + lane] = t[4 * i + lane];
+      }
+    }
+  }
+}
+
+/// Portable 4-lane CIOS: the same recurrence as MontgomeryCtx::MontMul,
+/// with the lane index innermost. Compilers vectorize some of it, but its
+/// real job is to be the bit-exact reference the AVX2 path must match.
+void MontMul4Scalar(size_t k, const uint32_t* m_limbs, uint32_t n0_inv,
+                    const uint64_t* a, const uint64_t* b, uint64_t* out) {
+  std::vector<uint64_t>& t = Scratch();
+  t.assign(4 * (k + 2), 0);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t lane = 0; lane < 4; ++lane) {
+      const uint64_t bi = b[4 * i + lane];
+      uint64_t carry = 0;
+      for (size_t j = 0; j < k; ++j) {
+        uint64_t cur = t[4 * j + lane] + a[4 * j + lane] * bi + carry;
+        t[4 * j + lane] = cur & 0xFFFFFFFFu;
+        carry = cur >> 32;
+      }
+      uint64_t cur = t[4 * k + lane] + carry;
+      t[4 * k + lane] = cur & 0xFFFFFFFFu;
+      t[4 * (k + 1) + lane] = cur >> 32;
+
+      const uint64_t mw = (t[lane] * n0_inv) & 0xFFFFFFFFu;
+      cur = t[lane] + mw * m_limbs[0];
+      carry = cur >> 32;
+      for (size_t j = 1; j < k; ++j) {
+        cur = t[4 * j + lane] + mw * m_limbs[j] + carry;
+        t[4 * (j - 1) + lane] = cur & 0xFFFFFFFFu;
+        carry = cur >> 32;
+      }
+      cur = t[4 * k + lane] + carry;
+      t[4 * (k - 1) + lane] = cur & 0xFFFFFFFFu;
+      t[4 * k + lane] = t[4 * (k + 1) + lane] + (cur >> 32);
+      t[4 * (k + 1) + lane] = 0;
+    }
+  }
+  ConditionalSubtract(k, m_limbs, t.data(), out);
+}
+
+#if PDS_SIMD_HAVE_AVX2_BUILD
+
+/// AVX2 4-lane CIOS: one vpmuludq per limb step multiplies all four lanes.
+/// Accumulator limbs live in 64-bit lanes (payload < 2^32), so
+/// t[j] + a[j]*b[i] + carry <= (2^32-1)^2 + 2*(2^32-1) < 2^64 never wraps.
+__attribute__((target("avx2"))) void MontMul4Avx2(
+    size_t k, const uint32_t* m_limbs, uint32_t n0_inv, const uint64_t* a,
+    const uint64_t* b, uint64_t* out) {
+  std::vector<uint64_t>& tbuf = Scratch();
+  tbuf.assign(4 * (k + 2), 0);
+  uint64_t* t = tbuf.data();
+
+  const __m256i mask = _mm256_set1_epi64x(0xFFFFFFFFll);
+  const __m256i vninv =
+      _mm256_set1_epi64x(static_cast<long long>(n0_inv));
+  for (size_t i = 0; i < k; ++i) {
+    const __m256i bi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 4 * i));
+    __m256i carry = _mm256_setzero_si256();
+    for (size_t j = 0; j < k; ++j) {
+      __m256i aj =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * j));
+      __m256i tj =
+          _mm256_loadu_si256(reinterpret_cast<__m256i*>(t + 4 * j));
+      __m256i cur = _mm256_add_epi64(
+          _mm256_add_epi64(tj, _mm256_mul_epu32(aj, bi)), carry);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 4 * j),
+                          _mm256_and_si256(cur, mask));
+      carry = _mm256_srli_epi64(cur, 32);
+    }
+    __m256i tk =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(t + 4 * k));
+    __m256i cur = _mm256_add_epi64(tk, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 4 * k),
+                        _mm256_and_si256(cur, mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 4 * (k + 1)),
+                        _mm256_srli_epi64(cur, 32));
+
+    __m256i t0 = _mm256_loadu_si256(reinterpret_cast<__m256i*>(t));
+    const __m256i mw =
+        _mm256_and_si256(_mm256_mul_epu32(t0, vninv), mask);
+    cur = _mm256_add_epi64(
+        t0, _mm256_mul_epu32(
+                mw, _mm256_set1_epi64x(
+                        static_cast<long long>(m_limbs[0]))));
+    carry = _mm256_srli_epi64(cur, 32);
+    for (size_t j = 1; j < k; ++j) {
+      __m256i mj =
+          _mm256_set1_epi64x(static_cast<long long>(m_limbs[j]));
+      __m256i tj =
+          _mm256_loadu_si256(reinterpret_cast<__m256i*>(t + 4 * j));
+      cur = _mm256_add_epi64(
+          _mm256_add_epi64(tj, _mm256_mul_epu32(mw, mj)), carry);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 4 * (j - 1)),
+                          _mm256_and_si256(cur, mask));
+      carry = _mm256_srli_epi64(cur, 32);
+    }
+    tk = _mm256_loadu_si256(reinterpret_cast<__m256i*>(t + 4 * k));
+    cur = _mm256_add_epi64(tk, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 4 * (k - 1)),
+                        _mm256_and_si256(cur, mask));
+    __m256i tk1 =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(t + 4 * (k + 1)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(t + 4 * k),
+        _mm256_add_epi64(tk1, _mm256_srli_epi64(cur, 32)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 4 * (k + 1)),
+                        _mm256_setzero_si256());
+  }
+  ConditionalSubtract(k, m_limbs, t, out);
+}
+
+bool DetectAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#else
+
+bool DetectAvx2() { return false; }
+
+#endif  // PDS_SIMD_HAVE_AVX2_BUILD
+
+}  // namespace
+
+bool Avx2Supported() {
+  static const bool supported = DetectAvx2();
+  return supported;
+}
+
+void SetForceScalar(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+bool force_scalar() {
+  return g_force_scalar.load(std::memory_order_relaxed);
+}
+
+bool Active() { return Avx2Supported() && !force_scalar(); }
+
+const char* KernelName() { return Active() ? "avx2" : "scalar"; }
+
+void MontMul4(size_t k, const uint32_t* m_limbs, uint32_t n0_inv,
+              const uint64_t* a, const uint64_t* b, uint64_t* out) {
+#if PDS_SIMD_HAVE_AVX2_BUILD
+  if (Active()) {
+    MontMul4Avx2(k, m_limbs, n0_inv, a, b, out);
+    return;
+  }
+#endif
+  MontMul4Scalar(k, m_limbs, n0_inv, a, b, out);
+}
+
+}  // namespace pds::crypto::simd

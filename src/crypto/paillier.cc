@@ -11,6 +11,26 @@ BigInt LFunc(const BigInt& x, const BigInt& d) {
   return BigInt::Div(BigInt::Sub(x, BigInt::One()), d);
 }
 
+/// Garner CRT recombination shared by Decrypt and DecryptBatch:
+/// cp = c^(p-1) mod p^2 and cq = c^(q-1) mod q^2 -> plaintext.
+BigInt CrtCombine(const Paillier::PrivateKey& sk, const BigInt& cp,
+                  const BigInt& cq) {
+  BigInt mp = BigInt::ModMul(BigInt::Mod(LFunc(cp, sk.p), sk.p), sk.hp, sk.p);
+  BigInt mq = BigInt::ModMul(BigInt::Mod(LFunc(cq, sk.q), sk.q), sk.hq, sk.q);
+  BigInt h = BigInt::ModMul(BigInt::ModSub(mp, mq, sk.p), sk.q_inv_p, sk.p);
+  return BigInt::Add(mq, BigInt::Mul(sk.q, h));
+}
+
+/// Bits needed to represent v (bit_width); 0 for v == 0.
+uint32_t BitWidthU64(uint64_t v) {
+  uint32_t w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
 }  // namespace
 
 Paillier::Paillier(PublicKey pub, PrivateKey priv, Rng* rng)
@@ -143,22 +163,72 @@ Result<BigInt> Paillier::EncryptU64(uint64_t m, Rng* rng) const {
   return Encrypt(BigInt(m), rng);
 }
 
+Result<std::vector<BigInt>> Paillier::EncryptBatch(
+    const std::vector<BigInt>& ms, Rng* rng) const {
+  const BigInt& n = public_key_.n;
+  const BigInt& n2 = public_key_.n_squared;
+  for (const BigInt& m : ms) {
+    if (BigInt::Compare(m, n) >= 0) {
+      return Status::InvalidArgument("plaintext not less than modulus");
+    }
+  }
+  // Alphas are drawn in argument order, exactly as a serial Encrypt loop
+  // would, so batch and serial ciphertexts match bit for bit.
+  std::vector<BigInt> alphas(ms.size());
+  for (size_t i = 0; i < ms.size(); ++i) {
+    alphas[i] = BigInt::RandomBits(alpha_bits_, rng);
+  }
+  std::vector<MontgomeryCtx::Limbs> r_ns = enc_table_->PowMontMany(alphas);
+  std::vector<BigInt> out(ms.size());
+  for (size_t i = 0; i < ms.size(); ++i) {
+    BigInt g_m =
+        BigInt::Mod(BigInt::Add(BigInt::One(), BigInt::Mul(ms[i], n)), n2);
+    MontgomeryCtx::Limbs g_m_mont = ctx_n2_->ToMont(g_m);
+    MontgomeryCtx::Limbs ct;
+    ctx_n2_->MontMul(g_m_mont, r_ns[i], &ct);
+    out[i] = ctx_n2_->FromMont(ct);
+  }
+  return out;
+}
+
 Result<BigInt> Paillier::Decrypt(const BigInt& c) const {
   const BigInt& n2 = public_key_.n_squared;
   if (c.IsZero() || BigInt::Compare(c, n2) >= 0) {
     return Status::InvalidArgument("ciphertext out of range");
   }
   const PrivateKey& sk = private_key_;
-  // Half-size exponentiations mod p^2 and q^2.
+  // Half-size exponentiations mod p^2 and q^2, then Garner recombination.
   BigInt p1 = BigInt::Sub(sk.p, BigInt::One());
   BigInt q1 = BigInt::Sub(sk.q, BigInt::One());
   BigInt cp = ctx_p2_->ModExp(BigInt::Mod(c, sk.p_squared), p1);
   BigInt cq = ctx_q2_->ModExp(BigInt::Mod(c, sk.q_squared), q1);
-  BigInt mp = BigInt::ModMul(BigInt::Mod(LFunc(cp, sk.p), sk.p), sk.hp, sk.p);
-  BigInt mq = BigInt::ModMul(BigInt::Mod(LFunc(cq, sk.q), sk.q), sk.hq, sk.q);
-  // Garner: m = mq + q * ((mp - mq) * q^-1 mod p).
-  BigInt h = BigInt::ModMul(BigInt::ModSub(mp, mq, sk.p), sk.q_inv_p, sk.p);
-  return BigInt::Add(mq, BigInt::Mul(sk.q, h));
+  return CrtCombine(sk, cp, cq);
+}
+
+Result<std::vector<BigInt>> Paillier::DecryptBatch(
+    const std::vector<BigInt>& cs) const {
+  const BigInt& n2 = public_key_.n_squared;
+  const PrivateKey& sk = private_key_;
+  std::vector<BigInt> cps_in(cs.size()), cqs_in(cs.size());
+  for (size_t i = 0; i < cs.size(); ++i) {
+    if (cs[i].IsZero() || BigInt::Compare(cs[i], n2) >= 0) {
+      return Status::InvalidArgument("ciphertext out of range");
+    }
+    cps_in[i] = BigInt::Mod(cs[i], sk.p_squared);
+    cqs_in[i] = BigInt::Mod(cs[i], sk.q_squared);
+  }
+  // The two CRT exponents are shared by every ciphertext of the round, so
+  // the batch ladder decodes each window sequence once and runs four
+  // reductions per step through the multi-lane kernel.
+  BigInt p1 = BigInt::Sub(sk.p, BigInt::One());
+  BigInt q1 = BigInt::Sub(sk.q, BigInt::One());
+  std::vector<BigInt> cps = ctx_p2_->ModExpMany(cps_in, p1);
+  std::vector<BigInt> cqs = ctx_q2_->ModExpMany(cqs_in, q1);
+  std::vector<BigInt> out(cs.size());
+  for (size_t i = 0; i < cs.size(); ++i) {
+    out[i] = CrtCombine(sk, cps[i], cqs[i]);
+  }
+  return out;
 }
 
 Result<BigInt> Paillier::DecryptScalar(const BigInt& c) const {
@@ -191,6 +261,114 @@ BigInt Paillier::AddPlaintext(const BigInt& c, const BigInt& k) const {
 
 BigInt Paillier::MulPlaintext(const BigInt& c, const BigInt& k) const {
   return ctx_n2_->ModExp(c, k);
+}
+
+Result<SlotLayout> SlotLayout::ForFleet(size_t fleet_size, uint64_t max_value,
+                                        size_t num_counters,
+                                        size_t plaintext_bits) {
+  if (fleet_size == 0) {
+    return Status::InvalidArgument("slot layout needs a nonzero fleet");
+  }
+  if (num_counters == 0) {
+    return Status::InvalidArgument("slot layout needs at least one counter");
+  }
+  uint32_t value_bits = BitWidthU64(max_value == 0 ? 1 : max_value);
+  uint32_t guard_bits = BitWidthU64(fleet_size);
+  uint32_t slot_bits = value_bits + guard_bits;
+  // slot_bits <= 63 keeps every aggregated slot total inside a uint64 and
+  // the unpack mask constructible as 1 << slot_bits.
+  if (slot_bits > 63) {
+    return Status::InvalidArgument("slot width exceeds 63 bits");
+  }
+  // The packed value is < 2^(num_slots * slot_bits); keeping that at most
+  // 2^(plaintext_bits - 1) <= n (n has its top bit set) guarantees every
+  // aggregate stays below the plaintext modulus.
+  if (plaintext_bits < 2 ||
+      num_counters * static_cast<size_t>(slot_bits) > plaintext_bits - 1) {
+    return Status::InvalidArgument(
+        "packed slots do not fit below the plaintext modulus");
+  }
+  SlotLayout layout;
+  layout.num_slots = static_cast<uint32_t>(num_counters);
+  layout.slot_bits = slot_bits;
+  layout.guard_bits = guard_bits;
+  layout.max_slot_value = max_value;
+  return layout;
+}
+
+Result<BigInt> PackSlots(const SlotLayout& layout,
+                         const std::vector<uint64_t>& values) {
+  if (values.size() != layout.num_slots) {
+    return Status::InvalidArgument("value count does not match slot layout");
+  }
+  for (uint64_t v : values) {
+    if (v > layout.max_slot_value) {
+      return Status::InvalidArgument("counter exceeds slot capacity");
+    }
+  }
+  // Compose from the top slot down so each value lands at i * slot_bits.
+  BigInt packed;
+  for (size_t i = values.size(); i-- > 0;) {
+    packed = BigInt::Add(BigInt::ShiftLeft(packed, layout.slot_bits),
+                         BigInt(values[i]));
+  }
+  return packed;
+}
+
+Result<std::vector<uint64_t>> UnpackSlots(const SlotLayout& layout,
+                                          const BigInt& packed) {
+  if (packed.BitLength() > layout.total_bits()) {
+    return Status::InvalidArgument(
+        "packed value wider than slot layout (overflow or foreign value)");
+  }
+  const BigInt mask(uint64_t{1} << layout.slot_bits);
+  std::vector<uint64_t> values(layout.num_slots);
+  BigInt rest = packed;
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = BigInt::Mod(rest, mask).ToU64();
+    rest = BigInt::ShiftRight(rest, layout.slot_bits);
+  }
+  return values;
+}
+
+Result<PackedAggregate> PackedAggregate::Create(const Paillier& paillier,
+                                                size_t fleet_size,
+                                                uint64_t max_value,
+                                                size_t num_counters) {
+  PDS_ASSIGN_OR_RETURN(
+      SlotLayout layout,
+      SlotLayout::ForFleet(fleet_size, max_value, num_counters,
+                           paillier.public_key().n.BitLength()));
+  return PackedAggregate(paillier, layout);
+}
+
+Result<BigInt> PackedAggregate::EncryptPacked(
+    const std::vector<uint64_t>& values, Rng* rng) const {
+  PDS_ASSIGN_OR_RETURN(BigInt packed, PackSlots(layout_, values));
+  return paillier_.Encrypt(packed, rng);
+}
+
+Result<std::vector<BigInt>> PackedAggregate::EncryptPackedBatch(
+    const std::vector<std::vector<uint64_t>>& rows, Rng* rng) const {
+  std::vector<BigInt> packed(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PDS_ASSIGN_OR_RETURN(packed[i], PackSlots(layout_, rows[i]));
+  }
+  return paillier_.EncryptBatch(packed, rng);
+}
+
+Status PackedAggregate::CheckAddBudget(size_t addends) const {
+  if (addends > layout_.max_addends()) {
+    return Status::InvalidArgument(
+        "homomorphic addend count exceeds the slot guard budget");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint64_t>> PackedAggregate::DecryptUnpack(
+    const BigInt& c) const {
+  PDS_ASSIGN_OR_RETURN(BigInt packed, paillier_.Decrypt(c));
+  return UnpackSlots(layout_, packed);
 }
 
 }  // namespace pds::crypto

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
@@ -67,9 +68,22 @@ class Paillier {
   /// Pre-kernel encryption: uniform r in [1,n), r^n by schoolbook ladder.
   [[nodiscard]] Result<BigInt> EncryptScalar(const BigInt& m, Rng* rng) const;
 
+  /// Round-oriented encryption: all of a round's plaintexts at once. The
+  /// random exponents are drawn from `rng` in argument order and the r^n
+  /// ladders of four ciphertexts advance in lockstep through the
+  /// multi-lane Montgomery kernel, so ciphertexts equal a serial Encrypt
+  /// loop over the same rng bit for bit.
+  [[nodiscard]] Result<std::vector<BigInt>> EncryptBatch(
+      const std::vector<BigInt>& ms, Rng* rng) const;
+
   /// Decrypts a ciphertext via CRT (mod p^2 and q^2) + Montgomery.
   [[nodiscard]] Result<BigInt> Decrypt(const BigInt& c) const;
   [[nodiscard]] Result<uint64_t> DecryptU64(const BigInt& c) const;
+  /// Round-oriented decryption: the shared CRT exponents (p-1, q-1) are
+  /// window-decoded once and four ciphertexts reduce in lockstep.
+  /// Plaintexts equal per-ciphertext Decrypt bit for bit.
+  [[nodiscard]] Result<std::vector<BigInt>> DecryptBatch(
+      const std::vector<BigInt>& cs) const;
   /// Pre-kernel decryption: c^lambda mod n^2 by schoolbook ladder.
   [[nodiscard]] Result<BigInt> DecryptScalar(const BigInt& c) const;
 
@@ -92,6 +106,103 @@ class Paillier {
   std::shared_ptr<const MontgomeryCtx> ctx_q2_;
   std::shared_ptr<const FixedBaseTable> enc_table_;  // base h^n mod n^2
   size_t alpha_bits_ = 0;  // random-exponent length for Encrypt
+};
+
+/// Layout of k small counters packed into one Paillier plaintext.
+///
+/// Each counter lives in a fixed-width slot of `slot_bits` =
+/// value_bits + guard_bits. The guard bits absorb the carries of summing
+/// up to 2^guard_bits ciphertexts homomorphically, so a whole fleet's
+/// counters aggregate slot-wise inside ONE ciphertext — one encryption
+/// per token and one decryption per round instead of one per counter.
+/// ForFleet sizes the guard bits from the fleet size and rejects layouts
+/// whose total width could reach the plaintext modulus.
+struct SlotLayout {
+  uint32_t num_slots = 0;   // counters per plaintext
+  uint32_t slot_bits = 0;   // value_bits + guard_bits
+  uint32_t guard_bits = 0;  // headroom for homomorphic addends
+  uint64_t max_slot_value = 0;  // largest single counter value allowed
+
+  /// Builds a layout for `num_counters` counters of at most `max_value`
+  /// each, summed across at most `fleet_size` participants, packed into a
+  /// plaintext of `plaintext_bits` (the Paillier n bit length). Fails with
+  /// InvalidArgument when the slots cannot fit below n.
+  [[nodiscard]] static Result<SlotLayout> ForFleet(size_t fleet_size,
+                                                   uint64_t max_value,
+                                                   size_t num_counters,
+                                                   size_t plaintext_bits);
+
+  /// Largest number of packed plaintexts that may be summed without any
+  /// slot overflowing into its neighbour: 2^guard_bits.
+  uint64_t max_addends() const { return uint64_t{1} << guard_bits; }
+  /// Total bits occupied by the packed value.
+  size_t total_bits() const {
+    return static_cast<size_t>(num_slots) * slot_bits;
+  }
+
+  friend bool operator==(const SlotLayout& a, const SlotLayout& b) {
+    return a.num_slots == b.num_slots && a.slot_bits == b.slot_bits &&
+           a.guard_bits == b.guard_bits && a.max_slot_value == b.max_slot_value;
+  }
+};
+
+/// Packs values[i] into slot i: sum_i values[i] << (i * slot_bits).
+/// Fails when values.size() != num_slots or any value exceeds
+/// max_slot_value.
+[[nodiscard]] Result<BigInt> PackSlots(const SlotLayout& layout,
+                                       const std::vector<uint64_t>& values);
+
+/// Splits a packed integer back into per-slot values. Fails when `packed`
+/// is wider than the layout (a sign of slot overflow or a foreign value).
+[[nodiscard]] Result<std::vector<uint64_t>> UnpackSlots(
+    const SlotLayout& layout, const BigInt& packed);
+
+/// Slot-packed aggregate counters over a Paillier keypair.
+///
+/// This is the packed hot path the [TNP14] aggregation protocols ride:
+/// every participant encrypts ONE plaintext carrying all of its counters,
+/// the untrusted SSI folds ciphertexts pairwise with AddCiphertexts, and
+/// the querier decrypts ONE ciphertext and unpacks per-counter totals.
+/// Crypto work per round drops from fleet*k operations to fleet + 1.
+class PackedAggregate {
+ public:
+  /// Validates the layout against the keypair and the fleet bound.
+  [[nodiscard]] static Result<PackedAggregate> Create(const Paillier& paillier,
+                                                      size_t fleet_size,
+                                                      uint64_t max_value,
+                                                      size_t num_counters);
+
+  const SlotLayout& layout() const { return layout_; }
+  const Paillier& paillier() const { return paillier_; }
+
+  /// Packs and encrypts one participant's counters.
+  [[nodiscard]] Result<BigInt> EncryptPacked(const std::vector<uint64_t>& values,
+                                             Rng* rng) const;
+  /// Packs and encrypts many participants' counters with the batched
+  /// (lockstep-ladder) Paillier path. rows[i] must each hold num_slots
+  /// counters. Ciphertexts equal a serial EncryptPacked loop bit for bit.
+  [[nodiscard]] Result<std::vector<BigInt>> EncryptPackedBatch(
+      const std::vector<std::vector<uint64_t>>& rows, Rng* rng) const;
+
+  /// Homomorphic slot-wise addition of two packed ciphertexts.
+  BigInt Add(const BigInt& c1, const BigInt& c2) const {
+    return paillier_.AddCiphertexts(c1, c2);
+  }
+
+  /// Guards the homomorphic sum: fails when folding `addends` packed
+  /// ciphertexts could overflow a slot into its neighbour.
+  [[nodiscard]] Status CheckAddBudget(size_t addends) const;
+
+  /// Decrypts an aggregated ciphertext and unpacks the per-slot totals.
+  [[nodiscard]] Result<std::vector<uint64_t>> DecryptUnpack(
+      const BigInt& c) const;
+
+ private:
+  PackedAggregate(Paillier paillier, SlotLayout layout)
+      : paillier_(std::move(paillier)), layout_(layout) {}
+
+  Paillier paillier_;  // copy shares the immutable kernel caches
+  SlotLayout layout_;
 };
 
 }  // namespace pds::crypto

@@ -449,6 +449,112 @@ Result<AggOutput> DomainNoiseProtocol::Execute(
       });
 }
 
+Result<AggOutput> PackedPaillierProtocol::Execute(
+    std::vector<Participant>& participants, AggFunc func) {
+  if (participants.empty()) {
+    return Status::InvalidArgument("no participants");
+  }
+  if (config_.domain.empty()) {
+    return Status::InvalidArgument("packed protocol requires the value domain");
+  }
+  const size_t np = participants.size();
+  const size_t k = config_.domain.size();
+  AggOutput out;
+  HbcObserver observer;
+  obs::Span protocol_span("packed-paillier", "protocol");
+  protocol_span.AddArg("participants", static_cast<double>(np));
+  protocol_span.AddArg("domain", static_cast<double>(k));
+
+  std::map<std::string, size_t> slot_of;
+  for (size_t i = 0; i < k; ++i) {
+    slot_of[config_.domain[i]] = i;
+  }
+
+  // The querier owns the keypair; tokens only hold the public packing
+  // context. Two slots per domain value: 2i = sum, 2i + 1 = count.
+  Rng key_rng(config_.key_seed);
+  PDS_ASSIGN_OR_RETURN(
+      crypto::Paillier paillier,
+      crypto::Paillier::Generate(config_.paillier_bits, &key_rng));
+  PDS_ASSIGN_OR_RETURN(crypto::PackedAggregate agg,
+                       crypto::PackedAggregate::Create(
+                           paillier, np, config_.max_slot_value, 2 * k));
+  PDS_RETURN_IF_ERROR(agg.CheckAddBudget(np));
+
+  // Serial pre-pass: fold each participant's tuples into per-slot counters
+  // (integer-valued tuples only — the packed path carries counters).
+  std::vector<std::vector<uint64_t>> counters(np,
+                                              std::vector<uint64_t>(2 * k, 0));
+  for (size_t pi = 0; pi < np; ++pi) {
+    for (const SourceTuple& t : participants[pi].tuples) {
+      auto it = slot_of.find(t.group);
+      if (it == slot_of.end()) {
+        return Status::InvalidArgument("group '" + t.group +
+                                       "' outside the announced domain");
+      }
+      if (t.value < 0 ||
+          t.value != static_cast<double>(static_cast<uint64_t>(t.value))) {
+        return Status::InvalidArgument(
+            "packed protocol requires non-negative integer values");
+      }
+      counters[pi][2 * it->second] += static_cast<uint64_t>(t.value);
+      counters[pi][2 * it->second + 1] += 1;
+    }
+    for (uint64_t c : counters[pi]) {
+      if (c > config_.max_slot_value) {
+        return Status::InvalidArgument(
+            "participant contribution exceeds max_slot_value");
+      }
+    }
+  }
+
+  // Round 1 (the only round): every token packs and encrypts ONE
+  // ciphertext. Tokens are independent, so participants fan out across the
+  // executor; gathering by index keeps ciphertext order deterministic.
+  std::vector<crypto::BigInt> cts(np);
+  std::vector<UnitCost> costs(np);
+  {
+    obs::Span phase_span("packed-encrypt", "protocol");
+    PDS_RETURN_IF_ERROR(
+        FleetExecutor::Run(config_.executor, np, [&](size_t pi) -> Status {
+          PDS_ASSIGN_OR_RETURN(
+              cts[pi], participants[pi].token->EncryptPacked(agg, counters[pi]));
+          ++costs[pi].token_ops;
+          costs[pi].AddTokenToSsi(cts[pi].ToBytes().size());
+          return Status::Ok();
+        }));
+  }
+  for (size_t pi = 0; pi < np; ++pi) {
+    costs[pi].MergeInto(&out.metrics);
+    observer.ObserveTuple(ByteView(cts[pi].ToBytes()));
+  }
+
+  // SSI: blind homomorphic fold (cheap modular multiplications).
+  obs::Span fold_span("ssi-fold", "protocol");
+  crypto::BigInt acc = cts[0];
+  for (size_t pi = 1; pi < np; ++pi) {
+    acc = agg.Add(acc, cts[pi]);
+    ++out.metrics.ssi_ops;
+  }
+
+  // Querier: one decrypt-unpack for the whole fleet.
+  out.metrics.AddSsiToToken(acc.ToBytes().size());
+  PDS_ASSIGN_OR_RETURN(std::vector<uint64_t> totals, agg.DecryptUnpack(acc));
+  ++out.metrics.token_crypto_ops;
+  ++out.metrics.rounds;
+
+  std::map<std::string, GroupState> state;
+  for (size_t i = 0; i < k; ++i) {
+    GroupState& gs = state[config_.domain[i]];
+    gs.sum = static_cast<double>(totals[2 * i]);
+    gs.count = totals[2 * i + 1];
+  }
+  out.groups = Finalize(state, func);
+  out.leakage = observer.Report();
+  RecordProtocolRun("packed-paillier", out.metrics, out.leakage);
+  return out;
+}
+
 Result<AggOutput> HistogramProtocol::Execute(
     std::vector<Participant>& participants, AggFunc func) {
   if (participants.empty()) {

@@ -32,6 +32,10 @@ struct AggOutput {
 ///    flattening the histogram the SSI sees at higher bandwidth cost.
 ///  - HistogramProtocol:   plaintext equi-depth bucket ids (Hacigumus
 ///    style); the SSI sees only bucket sizes.
+///  - PackedPaillierProtocol: slot-packed Paillier; every token ships ONE
+///    homomorphic ciphertext carrying all of its per-group counters, the
+///    SSI folds blindly, the querier decrypts once. Minimum leakage (the
+///    SSI sees only the fleet size) at asymmetric-crypto cost.
 class AggregationProtocol {
  public:
   virtual ~AggregationProtocol() = default;
@@ -126,6 +130,45 @@ class HistogramProtocol : public AggregationProtocol {
   explicit HistogramProtocol(const Config& config) : config_(config) {}
 
   std::string_view name() const override { return "histogram"; }
+  Result<AggOutput> Execute(std::vector<Participant>& participants,
+                            AggFunc func) override;
+
+ private:
+  Config config_;
+};
+
+/// Slot-packed Paillier aggregation over a public group domain — the
+/// "untrusted-server-only" point of the spectrum run through the packed
+/// crypto hot path (crypto::PackedAggregate).
+///
+/// Every participant folds its tuples into per-domain-value (sum, count)
+/// counters, packs them into ONE Paillier plaintext (two slots per domain
+/// value) and encrypts it inside its token. The SSI multiplies the fleet's
+/// ciphertexts — learning nothing but the fleet size — and the querier
+/// performs a single decrypt-unpack. One round; fleet + 1 asymmetric
+/// operations total instead of fleet * |domain| + |domain|.
+///
+/// Tuple values must be non-negative integers (counters); each
+/// participant's per-group sum must stay within `max_slot_value`.
+class PackedPaillierProtocol : public AggregationProtocol {
+ public:
+  struct Config {
+    /// The full (public) domain of group values; defines the slot order.
+    std::vector<std::string> domain;
+    /// Cap on one participant's per-group contribution (sum of values and
+    /// tuple count). Sizes the slot width together with the fleet size.
+    uint64_t max_slot_value = 255;
+    /// Querier keypair size.
+    size_t paillier_bits = 512;
+    /// Seed for the querier's keypair generation.
+    uint64_t key_seed = 42;
+    /// See SecureAggProtocol::Config::executor.
+    FleetExecutor* executor = nullptr;
+  };
+
+  explicit PackedPaillierProtocol(Config config) : config_(std::move(config)) {}
+
+  std::string_view name() const override { return "packed-paillier"; }
   Result<AggOutput> Execute(std::vector<Participant>& participants,
                             AggFunc func) override;
 

@@ -14,6 +14,8 @@ struct TokenObs {
   obs::Counter* encryptions;
   obs::Counter* decryptions;
   obs::Counter* macs;
+  obs::Counter* packed_encryptions;
+  obs::Counter* packed_slots;
   obs::Gauge* ram_high_water;
 
   static const TokenObs& Get() {
@@ -22,6 +24,8 @@ struct TokenObs {
       return TokenObs{reg.GetCounter("token.encryptions", "ops"),
                       reg.GetCounter("token.decryptions", "ops"),
                       reg.GetCounter("token.macs", "ops"),
+                      reg.GetCounter("token.packed_encryptions", "ops"),
+                      reg.GetCounter("token.packed_slots", "slots"),
                       reg.GetGauge("token.ram_high_water_bytes", "bytes")};
     }();
     return hooks;
@@ -86,6 +90,19 @@ Result<Bytes> SecureToken::DecryptNonDet(ByteView ciphertext) {
   hooks.decryptions->Add(1);
   hooks.ram_high_water->Set(static_cast<double>(ram_.high_water()));
   return nondet_->Decrypt(ciphertext);
+}
+
+Result<crypto::BigInt> SecureToken::EncryptPacked(
+    const crypto::PackedAggregate& agg, const std::vector<uint64_t>& values) {
+  PDS_RETURN_IF_ERROR(CheckAlive());
+  ++ops_.encryptions;
+  ops_.packed_slots += values.size();
+  const TokenObs& hooks = TokenObs::Get();
+  hooks.encryptions->Add(1);
+  hooks.packed_encryptions->Add(1);
+  hooks.packed_slots->Add(values.size());
+  hooks.ram_high_water->Set(static_cast<double>(ram_.high_water()));
+  return agg.EncryptPacked(values, &rng_);
 }
 
 Result<crypto::Sha256::Digest> SecureToken::Mac(ByteView message) {

@@ -4,12 +4,15 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "crypto/bigint.h"
 #include "crypto/cipher.h"
 #include "crypto/hmac.h"
+#include "crypto/paillier.h"
 #include "mcu/ram_gauge.h"
 
 namespace pds::mcu {
@@ -20,6 +23,9 @@ struct CryptoOps {
   uint64_t encryptions = 0;
   uint64_t decryptions = 0;
   uint64_t macs = 0;
+  // Counters carried inside packed Paillier plaintexts: one encryption may
+  // ship many slots, so the per-op and per-counter costs diverge.
+  uint64_t packed_slots = 0;
 
   uint64_t total() const { return encryptions + decryptions + macs; }
 };
@@ -62,6 +68,12 @@ class SecureToken {
   /// aggregation protocol).
   [[nodiscard]] Result<Bytes> EncryptNonDet(ByteView plaintext);
   [[nodiscard]] Result<Bytes> DecryptNonDet(ByteView ciphertext);
+
+  /// Packs this token's aggregate counters into ONE Paillier plaintext and
+  /// encrypts it with the token's internal RNG ([TNP14] packed hot path:
+  /// one asymmetric encryption per round instead of one per counter).
+  [[nodiscard]] Result<crypto::BigInt> EncryptPacked(
+      const crypto::PackedAggregate& agg, const std::vector<uint64_t>& values);
 
   /// MAC with a key derived from the fleet key, used for integrity evidence
   /// against a weakly-malicious SSI.

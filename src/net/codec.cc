@@ -139,7 +139,7 @@ class Reader {
   RoundHeader h;
   PDS_ASSIGN_OR_RETURN(h.round_id, r->U32());
   PDS_ASSIGN_OR_RETURN(uint8_t kind, r->U8());
-  if (kind < 1 || kind > 3) {
+  if (kind < 1 || kind > 4) {
     return Status::Corruption("bad round kind");
   }
   h.kind = static_cast<RoundKind>(kind);

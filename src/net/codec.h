@@ -55,6 +55,11 @@ enum class RoundKind : uint8_t {
   kCollect = 1,    // encrypt and send your authorized tuples
   kAggregate = 2,  // decrypt batch, aggregate by group, re-encrypt partials
   kFinalize = 3,   // decrypt batch, return the plaintext aggregate
+  // Slot-packed Paillier round: the request's batch carries the public
+  // group domain (one label per entry, slot order); the token folds its
+  // tuples into per-domain (sum, count) counters, packs them into ONE
+  // Paillier plaintext and replies with a single-ciphertext TupleBatch.
+  kPackedCollect = 4,
 };
 
 struct ChallengeMsg {

@@ -435,6 +435,126 @@ Result<AggOutput> SsiServer::RunSecureAggregation(AggFunc func) {
   return out;
 }
 
+Result<AggOutput> SsiServer::RunPackedAggregation(
+    AggFunc func, const crypto::PackedAggregate& agg,
+    const std::vector<std::string>& domain) {
+  if (domain.empty()) {
+    return Status::InvalidArgument("packed round requires the value domain");
+  }
+  if (agg.layout().num_slots != 2 * domain.size()) {
+    return Status::InvalidArgument(
+        "packed layout does not match the domain (need 2 slots per value)");
+  }
+  std::vector<size_t> live;
+  live.reserve(sessions_.size());
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i]->alive) {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) {
+    return Status::InvalidArgument("no live sessions");
+  }
+  report_ = RoundReport{};
+  report_.sessions = live.size();
+
+  AggOutput out;
+  global::HbcObserver observer;
+  const size_t nl = live.size();
+  obs::Span protocol_span("net.packed-paillier", "net");
+  protocol_span.AddArg("sessions", static_cast<double>(nl));
+  protocol_span.AddArg("domain", static_cast<double>(domain.size()));
+
+  // The single round: every token packs its counters into one ciphertext.
+  // The request batch carries the domain labels in slot order.
+  std::vector<crypto::BigInt> cts(nl);
+  std::vector<WireCost> costs(nl);
+  std::vector<uint8_t> responded(nl, 0);
+  {
+    obs::Span phase_span("net.packed-collect", "net");
+    PDS_RETURN_IF_ERROR(global::FleetExecutor::Run(
+        config_.executor, nl, [&](size_t li) -> Status {
+          Session* s = sessions_[live[li]].get();
+          RoundRequestMsg req;
+          req.header.round_id = s->next_round_id++;
+          req.header.kind = RoundKind::kPackedCollect;
+          req.header.func = func;
+          req.batch.reserve(domain.size());
+          for (const std::string& g : domain) {
+            req.batch.push_back(ByteView(std::string_view(g)).ToBytes());
+          }
+          Bytes frame = EncodeRoundRequest(req);
+          auto reply = RoundTrip(s, frame, req.header.round_id, &costs[li]);
+          if (!reply.ok()) {
+            if (reply.status().code() == StatusCode::kDeadlineExceeded) {
+              s->alive = false;  // straggler: drop for the whole run
+              return Status::Ok();
+            }
+            return reply.status();
+          }
+          TupleBatchMsg* batch =
+              std::get_if<TupleBatchMsg>(&reply.value().body);
+          if (batch == nullptr || batch->batch.size() != 1) {
+            return Status::FailedPrecondition(
+                "packed round expected exactly one ciphertext");
+          }
+          costs[li].wire.token_crypto_ops += batch->token_ops;
+          cts[li] = crypto::BigInt::FromBytes(ByteView(batch->batch[0]));
+          responded[li] = 1;
+          return Status::Ok();
+        }));
+  }
+
+  size_t responders = 0;
+  crypto::BigInt acc;
+  for (size_t li = 0; li < nl; ++li) {
+    costs[li].MergeInto(&out.metrics, &report_);
+    if (responded[li] == 0) {
+      continue;
+    }
+    observer.ObserveTuple(ByteView(cts[li].ToBytes()));
+    acc = responders == 0 ? cts[li] : agg.Add(acc, cts[li]);
+    if (responders > 0) {
+      ++out.metrics.ssi_ops;
+    }
+    ++responders;
+  }
+  ++out.metrics.rounds;
+
+  report_.responders = responders;
+  report_.missing_tokens = nl - responders;
+  out.metrics.tokens_missing = report_.missing_tokens;
+  const NetObs& hooks = NetHooks();
+  size_t need = static_cast<size_t>(
+      std::ceil(config_.quorum * static_cast<double>(nl)));
+  need = std::max<size_t>(need, 1);
+  if (report_.missing_tokens > 0) {
+    hooks.missing_tokens->Add(report_.missing_tokens);
+  }
+  if (responders < need) {
+    hooks.quorum_shortfalls->Add(1);
+    return Status::FailedPrecondition(
+        "quorum not reached: " + std::to_string(responders) + "/" +
+        std::to_string(nl) + " tokens answered, need " + std::to_string(need));
+  }
+  PDS_RETURN_IF_ERROR(agg.CheckAddBudget(responders));
+
+  // Querier: one decrypt-unpack yields every (sum, count) total.
+  PDS_ASSIGN_OR_RETURN(std::vector<uint64_t> totals, agg.DecryptUnpack(acc));
+  ++out.metrics.token_crypto_ops;
+
+  std::map<std::string, GroupState> state;
+  for (size_t i = 0; i < domain.size(); ++i) {
+    GroupState& gs = state[domain[i]];
+    gs.sum = static_cast<double>(totals[2 * i]);
+    gs.count = totals[2 * i + 1];
+  }
+  out.groups = Finalize(state, func);
+  out.leakage = observer.Report();
+  global::RecordProtocolRun("net-packed-paillier", out.metrics, out.leakage);
+  return out;
+}
+
 void SsiServer::Shutdown() {
   for (auto& s : sessions_) {
     if (s->alive && !s->transport->closed()) {

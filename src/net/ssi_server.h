@@ -72,6 +72,16 @@ class SsiServer {
   [[nodiscard]] Result<global::AggOutput> RunSecureAggregation(
       global::AggFunc func);
 
+  /// Executes the slot-packed Paillier round over all live sessions: ONE
+  /// kPackedCollect request per token (carrying the public domain), one
+  /// ciphertext back per token, a blind homomorphic fold on the SSI, and a
+  /// single decrypt-unpack by the querier's `agg`. Stragglers are tolerated
+  /// down to the quorum — slot-packed ciphertexts are independent, so a
+  /// missing token merely shrinks the aggregate.
+  [[nodiscard]] Result<global::AggOutput> RunPackedAggregation(
+      global::AggFunc func, const crypto::PackedAggregate& agg,
+      const std::vector<std::string>& domain);
+
   [[nodiscard]] const RoundReport& last_report() const { return report_; }
 
   /// Sends Bye on every live session and closes the transports.

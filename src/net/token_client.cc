@@ -106,6 +106,38 @@ Status TokenClient::HandleCollect(const RoundRequestMsg& req) {
   return transport_->Send(EncodeTupleBatch(reply));
 }
 
+Status TokenClient::HandlePackedCollect(const RoundRequestMsg& req) {
+  mcu::SecureToken* tok = token();
+  // The request's batch is the public group domain in slot order; fold
+  // this token's tuples into per-domain (sum, count) counters — exactly
+  // the in-process PackedPaillierProtocol pre-pass.
+  std::map<std::string, size_t> slot_of;
+  for (size_t i = 0; i < req.batch.size(); ++i) {
+    slot_of[ByteView(req.batch[i]).ToString()] = i;
+  }
+  std::vector<uint64_t> counters(2 * req.batch.size(), 0);
+  for (const global::SourceTuple& t : tuples_) {
+    auto it = slot_of.find(t.group);
+    if (it == slot_of.end()) {
+      return Status::InvalidArgument("tuple group outside the packed domain");
+    }
+    if (t.value < 0 ||
+        t.value != static_cast<double>(static_cast<uint64_t>(t.value))) {
+      return Status::InvalidArgument(
+          "packed round requires non-negative integer values");
+    }
+    counters[2 * it->second] += static_cast<uint64_t>(t.value);
+    counters[2 * it->second + 1] += 1;
+  }
+  PDS_ASSIGN_OR_RETURN(crypto::BigInt ct,
+                       tok->EncryptPacked(*config_.packed, counters));
+  TupleBatchMsg reply;
+  reply.round_id = req.header.round_id;
+  reply.token_ops = 1;  // one packed encryption, whatever the domain size
+  reply.batch.push_back(ct.ToBytes());
+  return transport_->Send(EncodeTupleBatch(reply));
+}
+
 Status TokenClient::HandleAggregate(const RoundRequestMsg& req) {
   mcu::SecureToken* tok = token();
   TupleBatchMsg reply;
@@ -173,6 +205,14 @@ Status TokenClient::ServeLoop() {
         break;
       case RoundKind::kFinalize:
         PDS_RETURN_IF_ERROR(HandleFinalize(*req));
+        break;
+      case RoundKind::kPackedCollect:
+        if (config_.packed == nullptr) {
+          ErrorMsg err{2, "token has no packed-Paillier context"};
+          PDS_RETURN_IF_ERROR(transport_->Send(EncodeError(err)));
+          break;
+        }
+        PDS_RETURN_IF_ERROR(HandlePackedCollect(*req));
         break;
     }
   }

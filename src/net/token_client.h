@@ -43,6 +43,10 @@ class TokenClient {
     /// request is consumed but never answered), simulating a flaky link or
     /// a busy token. The SSI's retry of the same round is then served.
     uint32_t fail_first_requests = 0;
+    /// Packed-Paillier context (the querier's public packing parameters,
+    /// distributed out of band before the round). Required to answer
+    /// kPackedCollect rounds; null tokens refuse them with an ErrorMsg.
+    const crypto::PackedAggregate* packed = nullptr;
   };
 
   TokenClient(std::unique_ptr<Transport> transport, Config config);
@@ -72,6 +76,7 @@ class TokenClient {
   [[nodiscard]] Status HandleCollect(const RoundRequestMsg& req);
   [[nodiscard]] Status HandleAggregate(const RoundRequestMsg& req);
   [[nodiscard]] Status HandleFinalize(const RoundRequestMsg& req);
+  [[nodiscard]] Status HandlePackedCollect(const RoundRequestMsg& req);
 
   std::unique_ptr<Transport> transport_;
   Config config_;

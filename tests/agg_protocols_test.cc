@@ -194,6 +194,61 @@ TEST_F(AggProtocolTest, BucketCountTradesLeakageForTokenWork) {
             coarse_out->leakage.distinct_classes);
 }
 
+PackedPaillierProtocol::Config PackedCfg() {
+  PackedPaillierProtocol::Config cfg;
+  for (int i = 0; i < 5; ++i) {
+    cfg.domain.push_back("city-" + std::to_string(i));
+  }
+  // Up to ~14 tuples of value <= 99 per participant per group.
+  cfg.max_slot_value = 4096;
+  cfg.paillier_bits = 256;  // fast test keypair; the scheme is size-agnostic
+  return cfg;
+}
+
+TEST_F(AggProtocolTest, PackedPaillierSumCountAvg) {
+  PackedPaillierProtocol protocol(PackedCfg());
+  CheckMatchesPlain(&protocol, AggFunc::kSum);
+  CheckMatchesPlain(&protocol, AggFunc::kCount);
+  CheckMatchesPlain(&protocol, AggFunc::kAvg);
+}
+
+TEST_F(AggProtocolTest, PackedPaillierLeaksOnlyFleetSize) {
+  PackedPaillierProtocol protocol(PackedCfg());
+  auto output = protocol.Execute(participants_, AggFunc::kSum);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  // One non-deterministic ciphertext per participant: the SSI sees the
+  // fleet size and nothing else.
+  EXPECT_EQ(output->leakage.tuples_observed, participants_.size());
+  EXPECT_EQ(output->leakage.distinct_classes, participants_.size());
+  EXPECT_FALSE(output->leakage.plaintext_groups_visible);
+}
+
+TEST_F(AggProtocolTest, PackedPaillierSingleRoundFleetPlusOneOps) {
+  PackedPaillierProtocol protocol(PackedCfg());
+  auto output = protocol.Execute(participants_, AggFunc::kSum);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->metrics.rounds, 1u);
+  // One packed encryption per token + one querier decrypt-unpack, however
+  // many groups the domain has.
+  EXPECT_EQ(output->metrics.token_crypto_ops, participants_.size() + 1);
+  EXPECT_EQ(output->metrics.ssi_ops, participants_.size() - 1);
+}
+
+TEST_F(AggProtocolTest, PackedPaillierRejectsOutOfDomainGroup) {
+  PackedPaillierProtocol::Config cfg = PackedCfg();
+  cfg.domain = {"not-a-city"};
+  PackedPaillierProtocol protocol(cfg);
+  auto output = protocol.Execute(participants_, AggFunc::kSum);
+  EXPECT_EQ(output.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AggProtocolTest, PackedPaillierRejectsNonIntegerValues) {
+  participants_[2].tuples[0].value = 1.5;
+  PackedPaillierProtocol protocol(PackedCfg());
+  auto output = protocol.Execute(participants_, AggFunc::kSum);
+  EXPECT_EQ(output.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(AggProtocolTest, EmptyParticipantsRejected) {
   std::vector<Participant> none;
   SecureAggProtocol p1({16});
@@ -222,7 +277,9 @@ TEST_F(AggProtocolTest, MetricsInvariantsHoldForEveryProtocol) {
   }
   DomainNoiseProtocol domain(dn_cfg);
   HistogramProtocol histogram({4});
-  AggregationProtocol* protocols[] = {&secure, &white, &domain, &histogram};
+  PackedPaillierProtocol packed(PackedCfg());
+  AggregationProtocol* protocols[] = {&secure, &white, &domain, &histogram,
+                                      &packed};
   for (AggregationProtocol* protocol : protocols) {
     auto output = protocol->Execute(participants_, AggFunc::kSum);
     ASSERT_TRUE(output.ok()) << protocol->name() << ": "

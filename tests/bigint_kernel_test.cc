@@ -9,9 +9,23 @@
 #include "common/rng.h"
 #include "crypto/bigint.h"
 #include "crypto/montgomery.h"
+#include "crypto/montgomery_simd.h"
 
 namespace pds::crypto {
 namespace {
+
+/// Runs `fn` once on the active kernel and once with the scalar fallback
+/// forced, restoring the dispatch state afterwards. Cross-check tests use
+/// it so every assertion covers both the AVX2 and the scalar path.
+template <typename Fn>
+void ForEachKernel(Fn fn) {
+  const bool was_forced = simd::force_scalar();
+  simd::SetForceScalar(false);
+  fn(simd::KernelName());
+  simd::SetForceScalar(true);
+  fn("forced-scalar");
+  simd::SetForceScalar(was_forced);
+}
 
 BigInt FromDecimal(const std::string& s) {
   BigInt x;
@@ -139,6 +153,161 @@ TEST(BigIntModExpTest, RandomizedMontgomeryVsSchoolbookCrossCheck) {
     ASSERT_EQ(ctx.ModExp(a, e), BigInt::ModExpSchoolbook(a, e, m))
         << "iter=" << iter << " m=" << m.ToDecimalString();
   }
+}
+
+TEST(MontgomerySimdTest, ForceScalarFlipsDispatch) {
+  // The dispatch test the packing/batching paths rely on: forcing the
+  // fallback must actually change the selected kernel when AVX2 exists,
+  // and must be a no-op (already scalar) when it does not.
+  const bool was_forced = simd::force_scalar();
+  simd::SetForceScalar(false);
+  if (simd::Avx2Supported()) {
+    EXPECT_TRUE(simd::Active());
+    EXPECT_STREQ(simd::KernelName(), "avx2");
+  } else {
+    EXPECT_FALSE(simd::Active());
+    EXPECT_STREQ(simd::KernelName(), "scalar");
+  }
+  simd::SetForceScalar(true);
+  EXPECT_FALSE(simd::Active());
+  EXPECT_STREQ(simd::KernelName(), "scalar");
+  simd::SetForceScalar(was_forced);
+}
+
+TEST(MontgomerySimdTest, MontMulQuadMatchesScalarKernel) {
+  // Four independent lanes through the lockstep kernel must equal four
+  // scalar MontMuls bit for bit, on both dispatch paths, across limb
+  // counts that exercise partial registers and long carry chains.
+  Rng rng(424243);
+  for (size_t bits : {32u, 64u, 96u, 160u, 256u, 521u, 1024u}) {
+    BigInt m = BigInt::RandomBits(bits, &rng);
+    if (!m.IsOdd()) {
+      m = BigInt::Add(m, BigInt::One());
+    }
+    ASSERT_TRUE(MontgomeryCtx::Usable(m));
+    MontgomeryCtx ctx(m);
+    MontgomeryCtx::Limbs a[4], b[4], expected[4], got[4];
+    for (size_t l = 0; l < 4; ++l) {
+      a[l] = ctx.ToMont(BigInt::RandomBelow(m, &rng));
+      b[l] = ctx.ToMont(BigInt::RandomBelow(m, &rng));
+      ctx.MontMul(a[l], b[l], &expected[l]);
+    }
+    ForEachKernel([&](const char* kernel) {
+      ctx.MontMulQuad(a, b, got);
+      for (size_t l = 0; l < 4; ++l) {
+        EXPECT_EQ(got[l], expected[l])
+            << "kernel=" << kernel << " bits=" << bits << " lane=" << l;
+      }
+    });
+  }
+}
+
+TEST(MontgomerySimdTest, MontMulQuadEdgeOperands) {
+  // Zero, one, and m-1 lanes mixed in one quartet: the conditional
+  // subtract must be decided independently per lane.
+  BigInt m = BigInt::Sub(BigInt::ShiftLeft(BigInt::One(), 127), BigInt::One());
+  MontgomeryCtx ctx(m);
+  MontgomeryCtx::Limbs a[4] = {
+      ctx.ToMont(BigInt::Zero()), ctx.ToMont(BigInt::One()),
+      ctx.ToMont(BigInt::Sub(m, BigInt::One())),
+      ctx.ToMont(BigInt(0xDEADBEEFu))};
+  MontgomeryCtx::Limbs b[4] = {
+      ctx.ToMont(BigInt::Sub(m, BigInt::One())), ctx.ToMont(BigInt::Zero()),
+      ctx.ToMont(BigInt::Sub(m, BigInt::One())), ctx.ToMont(BigInt::One())};
+  MontgomeryCtx::Limbs expected[4], got[4];
+  for (size_t l = 0; l < 4; ++l) {
+    ctx.MontMul(a[l], b[l], &expected[l]);
+  }
+  ForEachKernel([&](const char* kernel) {
+    ctx.MontMulQuad(a, b, got);
+    for (size_t l = 0; l < 4; ++l) {
+      EXPECT_EQ(got[l], expected[l]) << "kernel=" << kernel << " lane=" << l;
+    }
+  });
+}
+
+TEST(MontgomeryBatchTest, ModExpManyMatchesPerBaseModExp) {
+  // Batch sizes around the 4-lane group boundary, including the padded
+  // remainder group, against per-base ModExp on both kernels.
+  Rng rng(889901);
+  BigInt m = BigInt::GeneratePrime(192, &rng);
+  MontgomeryCtx ctx(m);
+  BigInt e = BigInt::RandomBits(160, &rng);
+  for (size_t count : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 13u}) {
+    std::vector<BigInt> bases(count);
+    for (BigInt& base : bases) {
+      base = BigInt::RandomBelow(m, &rng);
+    }
+    ForEachKernel([&](const char* kernel) {
+      std::vector<BigInt> got = ctx.ModExpMany(bases, e);
+      ASSERT_EQ(got.size(), count);
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(got[i], ctx.ModExp(bases[i], e))
+            << "kernel=" << kernel << " count=" << count << " i=" << i;
+      }
+    });
+  }
+}
+
+TEST(MontgomeryBatchTest, ModExpManyEdgeExponentsAndBases) {
+  Rng rng(31337);
+  BigInt m = BigInt::GeneratePrime(160, &rng);
+  MontgomeryCtx ctx(m);
+  std::vector<BigInt> bases = {BigInt::Zero(), BigInt::One(),
+                               BigInt::Sub(m, BigInt::One()),
+                               BigInt::RandomBelow(m, &rng),
+                               BigInt::Mul(m, BigInt(3))};  // reduced first
+  for (const BigInt& e :
+       {BigInt::Zero(), BigInt::One(), BigInt(16), BigInt(0x10001),
+        BigInt::RandomBits(128, &rng)}) {
+    std::vector<BigInt> got = ctx.ModExpMany(bases, e);
+    for (size_t i = 0; i < bases.size(); ++i) {
+      EXPECT_EQ(got[i], ctx.ModExp(bases[i], e))
+          << "e=" << e.ToDecimalString() << " i=" << i;
+    }
+  }
+}
+
+TEST(MontgomeryBatchTest, BigIntModExpManyDispatchesBothModulusParities) {
+  Rng rng(777);
+  std::vector<BigInt> bases;
+  for (int i = 0; i < 6; ++i) {
+    bases.push_back(BigInt::RandomBits(64, &rng));
+  }
+  BigInt e(65537);
+  for (const BigInt& m : {BigInt::GeneratePrime(96, &rng),  // odd: kernel
+                          BigInt(4096), BigInt::One()}) {   // even/one: fallback
+    std::vector<BigInt> got = BigInt::ModExpMany(bases, e, m);
+    for (size_t i = 0; i < bases.size(); ++i) {
+      EXPECT_EQ(got[i], BigInt::ModExp(bases[i], e, m))
+          << "m=" << m.ToDecimalString() << " i=" << i;
+    }
+  }
+}
+
+TEST(FixedBaseTableTest, PowMontManyMatchesPerExponentPowMont) {
+  Rng rng(5150);
+  BigInt m = BigInt::GeneratePrime(192, &rng);
+  MontgomeryCtx ctx(m);
+  BigInt g = BigInt::RandomBelow(m, &rng);
+  FixedBaseTable table(&ctx, g, /*max_exp_bits=*/128);
+  // Mixed widths in one batch: zero, tiny, and full-width exponents land
+  // in the same 4-lane group so idle-lane identity multiplies are hit.
+  std::vector<BigInt> es = {
+      BigInt::Zero(), BigInt::One(), BigInt(15), BigInt(16),
+      BigInt::RandomBits(128, &rng), BigInt::RandomBits(7, &rng),
+      BigInt::RandomBits(128, &rng)};
+  for (int i = 0; i < 20; ++i) {
+    es.push_back(BigInt::RandomBits(1 + rng.Uniform(128), &rng));
+  }
+  ForEachKernel([&](const char* kernel) {
+    std::vector<MontgomeryCtx::Limbs> got = table.PowMontMany(es);
+    ASSERT_EQ(got.size(), es.size());
+    for (size_t i = 0; i < es.size(); ++i) {
+      EXPECT_EQ(got[i], table.PowMont(es[i]))
+          << "kernel=" << kernel << " i=" << i;
+    }
+  });
 }
 
 TEST(FixedBaseTableTest, MatchesModExpAcrossExponentRange) {

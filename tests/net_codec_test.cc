@@ -66,6 +66,22 @@ TEST(NetCodecTest, RoundTripEveryMessageType) {
   }
 }
 
+TEST(NetCodecTest, PackedCollectRoundKindRoundTrips) {
+  RoundRequestMsg req;
+  req.header = {11, RoundKind::kPackedCollect, global::AggFunc::kSum};
+  // The batch carries the public domain labels in slot order.
+  req.batch = {SomeCiphertext(5, 6), SomeCiphertext(6, 6)};
+  Bytes frame = EncodeRoundRequest(req);
+  auto decoded = DecodeAs<RoundRequestMsg>(ByteView(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(*decoded == req);
+
+  // The kind byte sits after the header and the u32 round id; values past
+  // kPackedCollect are still corruption.
+  frame[kFrameHeaderSize + 4] = 5;
+  EXPECT_FALSE(DecodeMessage(ByteView(frame)).ok());
+}
+
 TEST(NetCodecTest, HeaderRejectsBadMagic) {
   Bytes frame = EncodeBye();
   frame[0] ^= 0xFF;

@@ -293,6 +293,134 @@ TEST(NetSecureAggTest, SocketLoopbackMatchesInProcess) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Slot-packed Paillier round over the wire
+
+/// The querier-side packed context, built exactly as the in-process
+/// PackedPaillierProtocol builds it so both runs share keypair and layout.
+struct PackedContext {
+  std::vector<std::string> domain;
+  std::unique_ptr<crypto::PackedAggregate> agg;
+};
+
+PackedContext MakePackedContext(size_t fleet_size) {
+  PackedContext ctx;
+  for (int i = 0; i < 5; ++i) {
+    ctx.domain.push_back("city-" + std::to_string(i));
+  }
+  Rng key_rng(42);
+  auto paillier = crypto::Paillier::Generate(256, &key_rng);
+  EXPECT_TRUE(paillier.ok());
+  auto agg = crypto::PackedAggregate::Create(*paillier, fleet_size,
+                                             /*max_value=*/4096,
+                                             2 * ctx.domain.size());
+  EXPECT_TRUE(agg.ok());
+  ctx.agg = std::make_unique<crypto::PackedAggregate>(std::move(agg).value());
+  return ctx;
+}
+
+TEST(NetPackedAggTest, PackedLoopbackMatchesInProcessByteIdentical) {
+  // In-process packed protocol vs the same fleet over the wire: identical
+  // keypair, layout and token RNG streams => identical groups, leakage and
+  // token work.
+  TestFleet inproc = MakeTestFleet(6);
+  global::PackedPaillierProtocol::Config pcfg;
+  for (int i = 0; i < 5; ++i) {
+    pcfg.domain.push_back("city-" + std::to_string(i));
+  }
+  pcfg.max_slot_value = 4096;
+  pcfg.paillier_bits = 256;
+  pcfg.key_seed = 42;
+  global::PackedPaillierProtocol protocol(pcfg);
+  auto expected = protocol.Execute(inproc.participants, AggFunc::kSum);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  TestFleet wired = MakeTestFleet(6);
+  PackedContext ctx = MakePackedContext(6);
+  SsiServer::Config scfg;
+  scfg.verifier = wired.verifier.get();
+  SsiServer server(scfg);
+  std::vector<std::unique_ptr<TokenClient>> clients;
+  for (size_t i = 0; i < wired.participants.size(); ++i) {
+    auto [server_end, client_end] = InProcessTransport::CreatePair();
+    TokenClient::Config ccfg;
+    ccfg.token = wired.tokens[i].get();
+    ccfg.tuples = wired.participants[i].tuples;
+    ccfg.packed = ctx.agg.get();
+    auto client =
+        std::make_unique<TokenClient>(std::move(client_end), std::move(ccfg));
+    client->Start();
+    auto idx = server.AcceptSession(std::move(server_end));
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    clients.push_back(std::move(client));
+  }
+  auto output = server.RunPackedAggregation(AggFunc::kSum, *ctx.agg,
+                                            ctx.domain);
+  JoinAll(&server, &clients);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  ASSERT_EQ(output->groups.size(), expected->groups.size());
+  for (const auto& [group, value] : expected->groups) {
+    ASSERT_TRUE(output->groups.count(group)) << group;
+    EXPECT_EQ(output->groups[group], value) << group;
+  }
+  EXPECT_EQ(output->metrics.rounds, 1u);
+  EXPECT_EQ(output->metrics.token_crypto_ops,
+            expected->metrics.token_crypto_ops);
+  EXPECT_EQ(output->leakage.tuples_observed,
+            expected->leakage.tuples_observed);
+  EXPECT_EQ(output->leakage.distinct_classes,
+            expected->leakage.distinct_classes);
+  EXPECT_EQ(output->metrics.tokens_missing, 0u);
+  // Directional sum invariant over measured frames.
+  EXPECT_EQ(output->metrics.bytes, output->metrics.bytes_token_to_ssi +
+                                       output->metrics.bytes_ssi_to_token);
+}
+
+TEST(NetPackedAggTest, PackedRoundToleratesStragglersUnderQuorum) {
+  // Packed ciphertexts are independent, so a missing token only shrinks
+  // the aggregate: the run proceeds at quorum with the responders' totals.
+  TestFleet wired = MakeTestFleet(4);
+  PackedContext ctx = MakePackedContext(4);
+  std::vector<Participant> responders(wired.participants.begin() + 1,
+                                      wired.participants.end());
+  auto expected = global::PlainAggregate(responders, AggFunc::kSum);
+
+  SsiServer::Config scfg;
+  scfg.verifier = wired.verifier.get();
+  scfg.deadline_ms = 100;
+  scfg.max_retries = 0;
+  scfg.quorum = 0.5;
+  SsiServer server(scfg);
+  std::vector<std::unique_ptr<TokenClient>> clients;
+  for (size_t i = 0; i < wired.participants.size(); ++i) {
+    auto [server_end, client_end] = InProcessTransport::CreatePair();
+    TokenClient::Config ccfg;
+    ccfg.token = wired.tokens[i].get();
+    ccfg.tuples = wired.participants[i].tuples;
+    ccfg.packed = ctx.agg.get();
+    if (i == 0) {
+      ccfg.fail_first_requests = 10;  // token 0 never answers
+    }
+    auto client =
+        std::make_unique<TokenClient>(std::move(client_end), std::move(ccfg));
+    client->Start();
+    auto idx = server.AcceptSession(std::move(server_end));
+    ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+    clients.push_back(std::move(client));
+  }
+  auto output = server.RunPackedAggregation(AggFunc::kSum, *ctx.agg,
+                                            ctx.domain);
+  JoinAll(&server, &clients);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  EXPECT_EQ(output->metrics.tokens_missing, 1u);
+  EXPECT_EQ(server.last_report().responders, 3u);
+  ASSERT_EQ(output->groups.size(), expected.size());
+  for (const auto& [group, value] : expected) {
+    EXPECT_EQ(output->groups[group], value) << group;
+  }
+}
+
 TEST(NetSecureAggTest, PdsNodesExportAndAggregateOverWire) {
   // Full stack: PdsNode-backed clients run the policy-checked export at
   // Connect() and only then answer wire rounds.
