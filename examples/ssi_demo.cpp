@@ -37,7 +37,7 @@ int main() {
   for (uint64_t i = 0; i < 6; ++i) {
     pds::node::PdsNode::Config cfg;
     cfg.node_id = 1 + i;
-    cfg.fleet_key = fleet_key;
+    cfg.fleet_key = fleet_key;  // pdslint: declassify(demo plays the fleet owner provisioning its own tokens)
     cfg.rng_seed = 1 + i;
     auto node = std::make_unique<pds::node::PdsNode>(cfg);
     Schema bills("bills", {{"id", ColumnType::kUint64, ""},
@@ -69,7 +69,7 @@ int main() {
   //    fleet-provisioned verifier token checks membership proofs for it.
   pds::mcu::SecureToken::Config vcfg;
   vcfg.token_id = 9000;
-  vcfg.fleet_key = fleet_key;
+  vcfg.fleet_key = fleet_key;  // pdslint: declassify(fleet owner provisions the SSI's verifier token at setup)
   pds::mcu::SecureToken verifier(vcfg);
   SsiServer::Config scfg;
   scfg.partition_capacity = 8;

@@ -25,39 +25,28 @@ std::vector<uint64_t>& Scratch() {
 
 /// Per-lane final step shared by both kernels: the CIOS accumulator `t`
 /// (lane-interleaved, k+1 limbs live) is < 2m; subtract m once iff t >= m.
-/// Identical comparison and borrow chain as the scalar MontgomeryCtx
-/// kernel, so results agree bit for bit.
+/// Branchless like the scalar MontgomeryCtx kernel — compute t - m
+/// unconditionally, then mask-select t or t - m — so no lane's control flow
+/// or early exit depends on the secret-derived accumulator, and results
+/// agree with the scalar path bit for bit.
+// pdslint: secret(t)
 void ConditionalSubtract(size_t k, const uint32_t* m_limbs,
                          const uint64_t* t, uint64_t* out) {
   for (size_t lane = 0; lane < 4; ++lane) {
-    bool ge = t[4 * k + lane] != 0;
-    if (!ge) {
-      ge = true;
-      for (size_t i = k; i-- > 0;) {
-        uint64_t ti = t[4 * i + lane];
-        if (ti != m_limbs[i]) {
-          ge = ti > m_limbs[i];
-          break;
-        }
-      }
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < k; ++i) {
+      uint64_t diff = t[4 * i + lane] - m_limbs[i] - borrow;
+      out[4 * i + lane] = diff & 0xFFFFFFFFu;
+      borrow = (diff >> 63) & 1;
     }
-    if (ge) {
-      int64_t borrow = 0;
-      for (size_t i = 0; i < k; ++i) {
-        int64_t diff = static_cast<int64_t>(t[4 * i + lane]) -
-                       static_cast<int64_t>(m_limbs[i]) - borrow;
-        if (diff < 0) {
-          diff += static_cast<int64_t>(1) << 32;
-          borrow = 1;
-        } else {
-          borrow = 0;
-        }
-        out[4 * i + lane] = static_cast<uint64_t>(diff);
-      }
-    } else {
-      for (size_t i = 0; i < k; ++i) {
-        out[4 * i + lane] = t[4 * i + lane];
-      }
+    // t >= m iff the carry limb (which may hold >32 live bits) is nonzero
+    // or the subtraction did not borrow.
+    const uint64_t tk = t[4 * k + lane];
+    const uint64_t ge = ((tk | (0 - tk)) >> 63) | (borrow ^ 1);
+    const uint64_t mask = 0 - ge;  // all-ones when t >= m
+    for (size_t i = 0; i < k; ++i) {
+      out[4 * i + lane] =
+          (out[4 * i + lane] & mask) | (t[4 * i + lane] & ~mask);
     }
   }
 }
@@ -65,6 +54,7 @@ void ConditionalSubtract(size_t k, const uint32_t* m_limbs,
 /// Portable 4-lane CIOS: the same recurrence as MontgomeryCtx::MontMul,
 /// with the lane index innermost. Compilers vectorize some of it, but its
 /// real job is to be the bit-exact reference the AVX2 path must match.
+// pdslint: secret(a, b)
 void MontMul4Scalar(size_t k, const uint32_t* m_limbs, uint32_t n0_inv,
                     const uint64_t* a, const uint64_t* b, uint64_t* out) {
   std::vector<uint64_t>& t = Scratch();
@@ -104,6 +94,7 @@ void MontMul4Scalar(size_t k, const uint32_t* m_limbs, uint32_t n0_inv,
 /// AVX2 4-lane CIOS: one vpmuludq per limb step multiplies all four lanes.
 /// Accumulator limbs live in 64-bit lanes (payload < 2^32), so
 /// t[j] + a[j]*b[i] + carry <= (2^32-1)^2 + 2*(2^32-1) < 2^64 never wraps.
+// pdslint: secret(a, b)
 __attribute__((target("avx2"))) void MontMul4Avx2(
     size_t k, const uint32_t* m_limbs, uint32_t n0_inv, const uint64_t* a,
     const uint64_t* b, uint64_t* out) {
@@ -198,6 +189,7 @@ bool Active() { return Avx2Supported() && !force_scalar(); }
 
 const char* KernelName() { return Active() ? "avx2" : "scalar"; }
 
+// pdslint: secret(a, b)
 void MontMul4(size_t k, const uint32_t* m_limbs, uint32_t n0_inv,
               const uint64_t* a, const uint64_t* b, uint64_t* out) {
 #if PDS_SIMD_HAVE_AVX2_BUILD

@@ -40,8 +40,8 @@ class Paillier {
     BigInt n_squared;
   };
   struct PrivateKey {
-    BigInt lambda;  // lcm(p-1, q-1)
-    BigInt mu;      // (L(g^lambda mod n^2))^-1 mod n
+    BigInt lambda;  // lcm(p-1, q-1)  // pdslint: secret
+    BigInt mu;      // (L(g^lambda mod n^2))^-1 mod n  // pdslint: secret
     // CRT decryption state.
     BigInt p, q;
     BigInt p_squared, q_squared;

@@ -163,7 +163,9 @@ Result<AggOutput> SecureAggProtocol::Execute(
             PartOut& po = parts[pi];
             size_t start = pi * cap;
             size_t end = std::min(items.size(), start + cap);
-            std::map<std::string, GroupState> partial;
+            // Decrypted per-tuple plaintext folds into this map: it only
+            // ever leaves the token re-encrypted (EncryptNonDet below).
+            std::map<std::string, GroupState> partial;  // pdslint: secret
             for (size_t i = start; i < end; ++i) {
               po.cost.AddSsiToToken(items[i].size());
               PDS_ASSIGN_OR_RETURN(Bytes payload,

@@ -45,7 +45,7 @@ class SecureToken {
  public:
   struct Config {
     uint64_t token_id = 0;
-    crypto::SymmetricKey fleet_key{};
+    crypto::SymmetricKey fleet_key{};  // pdslint: secret
     size_t ram_budget_bytes = 64 * 1024;  // typical secure MCU
     uint64_t rng_seed = 1;
   };

@@ -165,10 +165,31 @@ class Reader {
   return batch;
 }
 
+/// Packed-collect requests carry the slot domain labels, one per slot pair,
+/// not ciphertexts: a much tighter count bound applies (kMaxPackedSlots vs
+/// kMaxBatchTuples) and each entry is a group label, not a tuple blob.
+[[nodiscard]] Result<std::vector<Bytes>> DecodePackedDomain(Reader* r) {
+  PDS_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  if (n > kMaxPackedSlots) {
+    return Status::Corruption("packed domain exceeds kMaxPackedSlots");
+  }
+  std::vector<Bytes> domain;
+  domain.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PDS_ASSIGN_OR_RETURN(Bytes label, r->Blob(kMaxGroupBytes));
+    domain.push_back(std::move(label));
+  }
+  return domain;
+}
+
 [[nodiscard]] Result<RoundRequestMsg> DecodeRoundRequest(Reader* r) {
   RoundRequestMsg m;
   PDS_ASSIGN_OR_RETURN(m.header, DecodeRoundHeader(r));
-  PDS_ASSIGN_OR_RETURN(m.batch, DecodeBatch(r));
+  if (m.header.kind == RoundKind::kPackedCollect) {
+    PDS_ASSIGN_OR_RETURN(m.batch, DecodePackedDomain(r));
+  } else {
+    PDS_ASSIGN_OR_RETURN(m.batch, DecodeBatch(r));
+  }
   return m;
 }
 

@@ -38,6 +38,8 @@ inline constexpr size_t kMaxTupleBytes = 1u << 16;    // one ciphertext
 inline constexpr size_t kMaxGroupBytes = 1u << 10;    // one group label
 inline constexpr size_t kMaxPartitions = 1u << 16;    // partition map rows
 inline constexpr size_t kMaxNonceBytes = 64;          // handshake nonce
+inline constexpr size_t kMaxPackedSlots = 256;        // packed-round domain labels
+inline constexpr size_t kMaxPackedCiphertextBytes = 2048;  // one packed ct (n^2)
 
 enum class MsgType : uint8_t {
   kChallenge = 1,     // SSI -> token: prove fleet membership for this nonce
@@ -159,6 +161,13 @@ struct FrameHeader {
 };
 
 /// Serializes one message into a complete frame (header + payload).
+///
+/// Every encoder is a secret-flow sink: bytes handed to them cross the
+/// token/SSI trust boundary onto the wire, so anything secret-tagged must
+/// pass through Encrypt*/Hmac first or carry an explicit declassify.
+// pdslint: sink(EncodeChallenge, EncodeHello, EncodeHelloAck,
+//               EncodeRoundRequest, EncodePartitionMap, EncodeTupleBatch,
+//               EncodeAggResult, EncodeError, EncodeBye, EncodeMessage)
 [[nodiscard]] Bytes EncodeChallenge(const ChallengeMsg& m);
 [[nodiscard]] Bytes EncodeHello(const HelloMsg& m);
 [[nodiscard]] Bytes EncodeHelloAck(const HelloAckMsg& m);

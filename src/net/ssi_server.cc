@@ -441,6 +441,9 @@ Result<AggOutput> SsiServer::RunPackedAggregation(
   if (domain.empty()) {
     return Status::InvalidArgument("packed round requires the value domain");
   }
+  if (domain.size() > kMaxPackedSlots) {
+    return Status::InvalidArgument("packed domain exceeds kMaxPackedSlots");
+  }
   if (agg.layout().num_slots != 2 * domain.size()) {
     return Status::InvalidArgument(
         "packed layout does not match the domain (need 2 slots per value)");
@@ -499,6 +502,10 @@ Result<AggOutput> SsiServer::RunPackedAggregation(
                 "packed round expected exactly one ciphertext");
           }
           costs[li].wire.token_crypto_ops += batch->token_ops;
+          if (batch->batch[0].size() > kMaxPackedCiphertextBytes) {
+            return Status::Corruption(
+                "packed ciphertext exceeds kMaxPackedCiphertextBytes");
+          }
           cts[li] = crypto::BigInt::FromBytes(ByteView(batch->batch[0]));
           responded[li] = 1;
           return Status::Ok();
@@ -540,6 +547,9 @@ Result<AggOutput> SsiServer::RunPackedAggregation(
   PDS_RETURN_IF_ERROR(agg.CheckAddBudget(responders));
 
   // Querier: one decrypt-unpack yields every (sum, count) total.
+  // pdslint: declassify(the querier role decrypts only the aggregate sum
+  // and count per slot -- the protocol's intended output, never a per-token
+  // value; [TNP14] section 4's HbC guarantee is exactly this boundary)
   PDS_ASSIGN_OR_RETURN(std::vector<uint64_t> totals, agg.DecryptUnpack(acc));
   ++out.metrics.token_crypto_ops;
 

@@ -165,7 +165,10 @@ Status TokenClient::HandleFinalize(const RoundRequestMsg& req) {
   for (const auto& [group, state] : final_state) {
     reply.entries.push_back({group, state.sum, state.count});
   }
-  return transport_->Send(EncodeAggResult(reply));
+  // Finalize returns the decrypted per-group aggregate to the querier by
+  // design -- the [TNP14] protocols' output step; only sums and counts
+  // leave the token, never the tuples they were folded from.
+  return transport_->Send(EncodeAggResult(reply));  // pdslint: declassify([TNP14] aggregate output step)
 }
 
 Status TokenClient::ServeLoop() {

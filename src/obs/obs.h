@@ -126,6 +126,9 @@ class Registry {
  public:
   static Registry& Global();
 
+  // Metric names and span labels surface in exported traces/JSON, outside
+  // the token's trust boundary — secret-flow sinks, like the wire encoders.
+  // pdslint: sink(GetCounter, GetGauge, GetHistogram, Intern, Span)
   Counter* GetCounter(std::string_view name, std::string_view unit = "count");
   Gauge* GetGauge(std::string_view name, std::string_view unit = "value");
   Histogram* GetHistogram(std::string_view name,

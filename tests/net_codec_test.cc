@@ -82,6 +82,25 @@ TEST(NetCodecTest, PackedCollectRoundKindRoundTrips) {
   EXPECT_FALSE(DecodeMessage(ByteView(frame)).ok());
 }
 
+TEST(NetCodecTest, PackedDomainRejectsOversizedSlotCount) {
+  // The packed round's label list is sized by a wire-declared count; the
+  // decoder must reject counts past kMaxPackedSlots before sizing anything.
+  RoundRequestMsg req;
+  req.header = {12, RoundKind::kPackedCollect, global::AggFunc::kSum};
+  for (size_t i = 0; i <= kMaxPackedSlots; ++i) {
+    req.batch.push_back(SomeCiphertext(static_cast<uint8_t>(i), 4));
+  }
+  Bytes frame = EncodeRoundRequest(req);
+  EXPECT_EQ(DecodeMessage(frame).status().code(), StatusCode::kCorruption);
+
+  // The same count is fine on the ordinary aggregate path, which is bounded
+  // by kMaxBatchTuples rather than the packed slot layout.
+  req.header.kind = RoundKind::kAggregate;
+  Bytes ok_frame = EncodeRoundRequest(req);
+  auto decoded = DecodeMessage(ok_frame);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+}
+
 TEST(NetCodecTest, HeaderRejectsBadMagic) {
   Bytes frame = EncodeBye();
   frame[0] ^= 0xFF;

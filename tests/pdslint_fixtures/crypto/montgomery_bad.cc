@@ -1,0 +1,117 @@
+// const-time: secret-dependent control flow and table indexing in a crypto
+// kernel file (basename matches the montgomery*/bigint* scope). Every
+// marked line must be flagged.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Limbs = std::vector<uint32_t>;
+
+uint32_t table_lookup(const Limbs& t, size_t i);
+
+// Case 1: plain branch on a secret limb.
+// pdslint: secret(a)
+uint32_t BranchOnSecret(const Limbs& a) {
+  uint32_t r = 0;
+  if (a[0] != 0) {  // FLAG
+    r = 1;
+  }
+  return r;
+}
+
+// Case 2: early-exit comparison loop (the classic leaky >= test).
+// pdslint: secret(t)
+bool EarlyExitCompare(const Limbs& t, const Limbs& m, size_t n) {
+  for (size_t i = n; i-- > 0;) {
+    uint32_t ti = t[i];
+    if (ti != m[i]) {  // FLAG
+      return ti > m[i];
+    }
+  }
+  return false;
+}
+
+// Case 3: while-loop bound by secret material.
+// pdslint: secret(e)
+uint32_t WhileOnSecret(uint32_t e) {
+  uint32_t count = 0;
+  while (e != 0) {  // FLAG
+    e >>= 1;
+    ++count;
+  }
+  return count;
+}
+
+// Case 4: for-loop condition involving the secret.
+// pdslint: secret(e)
+uint32_t ForOnSecret(uint32_t e) {
+  uint32_t acc = 0;
+  for (uint32_t i = 0; i < e; ++i) {  // FLAG
+    acc += i;
+  }
+  return acc;
+}
+
+// Case 5: switch over a secret digit.
+// pdslint: secret(digit)
+uint32_t SwitchOnSecret(uint32_t digit) {
+  switch (digit & 3) {  // FLAG
+    case 0: return 1;
+    default: return 2;
+  }
+}
+
+// Case 6: secret-dependent select (?:) — both arms must be masked instead.
+// pdslint: secret(flag)
+uint32_t TernaryOnSecret(uint32_t flag, uint32_t x, uint32_t y) {
+  uint32_t picked = flag != 0 ? x : y;  // FLAG
+  return picked;
+}
+
+// Case 7: secret-indexed table load (cache-timing leak).
+// pdslint: secret(digit)
+uint32_t TableLoad(const Limbs& rows, uint32_t digit) {
+  uint32_t entry = rows[digit];  // FLAG
+  return entry;
+}
+
+// Case 8: the branch hides behind propagation through a local.
+// pdslint: secret(e)
+uint32_t PropagatedBranch(uint32_t e) {
+  uint32_t window = e & 0xF;
+  if (window != 0) {  // FLAG
+    return 2;
+  }
+  return 1;
+}
+
+// Case 9: propagated secret used as an index.
+// pdslint: secret(e)
+uint32_t PropagatedIndex(const Limbs& rows, uint32_t e) {
+  uint32_t d = e & 0xF;
+  uint32_t entry = rows[d];  // FLAG
+  return entry;
+}
+
+// Case 10: early return driven by a secret comparison.
+// pdslint: secret(x)
+bool EarlyReturn(uint32_t x, uint32_t y) {
+  if (x == y) {  // FLAG
+    return true;
+  }
+  return false;
+}
+
+// Case 11: loop whose continue-skip depends on a secret digit.
+// pdslint: secret(digits)
+uint32_t SkipZeroDigits(const Limbs& digits) {
+  uint32_t acc = 0;
+  for (size_t w = 0; w < digits.size(); ++w) {  // FLAG
+    if (digits[w] == 0) {  // FLAG
+      continue;
+    }
+    acc += table_lookup(digits, w);
+  }
+  return acc;
+}

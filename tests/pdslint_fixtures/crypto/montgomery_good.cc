@@ -1,0 +1,101 @@
+// const-time: compliant kernel shapes — branchless mask selection, public
+// loop bounds, and one reasoned waiver. Nothing here may be flagged.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Limbs = std::vector<uint32_t>;
+
+// Case 1: branchless conditional subtract — borrow chain plus mask select.
+// pdslint: secret(t)
+void MaskSelectSubtract(const Limbs& t, const Limbs& m, Limbs* out) {
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    uint64_t diff = static_cast<uint64_t>(t[i]) - m[i] - borrow;
+    (*out)[i] = static_cast<uint32_t>(diff);
+    borrow = (diff >> 63) & 1;
+  }
+  const uint32_t mask = 0u - static_cast<uint32_t>(borrow ^ 1);
+  for (size_t i = 0; i < m.size(); ++i) {
+    (*out)[i] = ((*out)[i] & mask) | (t[i] & ~mask);
+  }
+}
+
+// Case 2: loop bounds come from the public limb count, not the secret.
+// pdslint: secret(a, b)
+void PublicBoundLoop(const Limbs& a, const Limbs& b, size_t k, Limbs* out) {
+  for (size_t i = 0; i < k; ++i) {
+    (*out)[i] = a[i] ^ b[i];
+  }
+}
+
+// Case 3: secret arithmetic without control flow.
+// pdslint: secret(e)
+uint32_t BranchlessFold(uint32_t e) {
+  uint32_t d = 0;
+  d |= (e & 1) << 0;
+  d |= ((e >> 1) & 1) << 1;
+  return d;
+}
+
+// Case 4: branch on a public flag while secrets are live.
+// pdslint: secret(a)
+uint32_t PublicBranch(const Limbs& a, bool use_simd) {
+  uint32_t folded = a[0] ^ a[1];
+  if (use_simd) {
+    return folded ^ 1u;
+  }
+  return folded;
+}
+
+// Case 5: public index into a table while a secret is in scope.
+// pdslint: secret(e)
+uint32_t PublicIndex(const Limbs& rows, size_t w, uint32_t e) {
+  uint32_t entry = rows[w];
+  return entry + (e & 1);
+}
+
+// Case 6: unannotated helper — no seeds, no findings, by design.
+uint32_t UnannotatedHelper(const Limbs& a) {
+  if (a[0] != 0) {
+    return 1;
+  }
+  return 0;
+}
+
+// Case 7: constant-trip-count bit extraction.
+// pdslint: secret(e)
+uint32_t FixedTripExtraction(uint32_t e) {
+  uint32_t digit = 0;
+  for (size_t b = 0; b < 4; ++b) {
+    digit |= ((e >> b) & 1u) << b;
+  }
+  return digit;
+}
+
+// Case 8: a reasoned waiver covers a deliberate data-dependent skip.
+// pdslint: secret(digit)
+// pdslint: const-time-exempt(digit-0 skip leaks only the window Hamming
+// pattern; accepted for throughput, mirrors src/crypto/montgomery.cc)
+uint32_t WaivedSkip(const Limbs& rows, uint32_t digit) {
+  if (digit != 0) {
+    return rows[digit];
+  }
+  return 1;
+}
+
+// Case 9: mask-merged accumulator instead of a tainted ternary.
+// pdslint: secret(flag)
+uint32_t MaskedSelect(uint32_t flag, uint32_t x, uint32_t y) {
+  const uint32_t nonzero = static_cast<uint32_t>(
+      (static_cast<uint64_t>(flag) | (0ull - flag)) >> 63);
+  const uint32_t mask = 0u - nonzero;
+  return (x & mask) | (y & ~mask);
+}
+
+// Case 10: secret passed through to another kernel without branching.
+// pdslint: secret(a, b)
+void PassThrough(const Limbs& a, const Limbs& b, Limbs* out) {
+  MaskSelectSubtract(a, b, out);
+}

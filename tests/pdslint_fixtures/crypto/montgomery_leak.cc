@@ -1,0 +1,26 @@
+// Planted leak: a realistic square-and-multiply ladder whose multiply step
+// is guarded by a secret exponent bit — the textbook timing side channel
+// the const-time rule exists to catch. ctest asserts this is flagged.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Limbs = std::vector<uint32_t>;
+
+void MontSquare(Limbs* acc, const Limbs& m);
+void MontMulInto(Limbs* acc, const Limbs& base, const Limbs& m);
+
+// pdslint: secret(e)
+void LeakyLadder(const Limbs& base, const Limbs& e, const Limbs& m,
+                 size_t limbs, Limbs* acc) {
+  for (size_t w = limbs; w-- > 0;) {
+    for (int b = 31; b >= 0; --b) {
+      MontSquare(acc, m);
+      uint32_t bit = (e[w] >> b) & 1u;
+      if (bit != 0) {  // FLAG: multiply only when the secret bit is set
+        MontMulInto(acc, base, m);
+      }
+    }
+  }
+}

@@ -1,0 +1,49 @@
+// net-bounded-frame, packed path: code special-casing the packed-aggregate
+// round (RoundKind::kPackedCollect) must bound the peer-controlled slot
+// count and ciphertext length with the kMaxPacked* constants before
+// allocating. Every marked line must be flagged.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<uint8_t>;
+
+enum class RoundKind { kCollect, kPackedCollect };
+
+constexpr size_t kMaxBatchTuples = 1u << 16;
+constexpr size_t kMaxPackedSlots = 256;
+
+struct BigInt {
+  static BigInt FromBytes(const Bytes& b);
+};
+
+struct Reader {
+  uint32_t U32();
+  Bytes Blob(size_t cap);
+};
+
+struct PackedDomain {
+  std::vector<std::string> labels;
+};
+
+// Case 1: packed handler materializes the wire ciphertext into a BigInt
+// before any kMaxPacked* length check — the peer controls that blob size.
+BigInt HandlePackedRound(RoundKind kind, const Bytes& ct_bytes) {
+  if (kind == RoundKind::kPackedCollect) {
+    return BigInt::FromBytes(ct_bytes);  // FLAG
+  }
+  return BigInt();
+}
+
+// Case 2: packed decoder sizes the label list from the declared slot count
+// with only the generic tuple bound checked — 2^16 tuples is far past any
+// packed slot layout, so the packed-specific constant must gate it.
+bool DecodePackedDomain(Reader* r, RoundKind kind, PackedDomain* out) {
+  if (kind != RoundKind::kPackedCollect) return false;
+  uint32_t count = r->U32();
+  if (count > kMaxBatchTuples) return false;
+  out->labels.resize(count);  // FLAG
+  return true;
+}

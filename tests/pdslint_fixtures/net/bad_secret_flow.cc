@@ -1,0 +1,104 @@
+// secret-flow: every case below moves secret-tagged material into a sink
+// (wire encoder, obs label, print) without Encrypt*/Hmac/Mac/Attest or a
+// declassify — each marked line must be flagged.
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<uint8_t>;
+
+// pdslint: sink(EncodeFrame, SendLabel)
+Bytes EncodeFrame(const Bytes& payload);
+void SendLabel(const std::string& label);
+
+Bytes DecryptRecord(const Bytes& ct);
+
+struct Msg {
+  Bytes body;
+};
+
+Bytes master_key;  // pdslint: secret
+
+// Case 1: secret straight into a wire encoder.
+Bytes LeakDirect() {
+  return EncodeFrame(master_key);  // FLAG
+}
+
+// Case 2: propagation through a plain assignment.
+Bytes LeakViaAssign() {
+  Bytes staged = master_key;
+  return EncodeFrame(staged);  // FLAG
+}
+
+// Case 3: propagation through a member write.
+Bytes LeakViaMember() {
+  Msg m;
+  m.body = master_key;
+  return EncodeFrame(m.body);  // FLAG
+}
+
+// Case 4: decrypt output (built-in seed) reaches the encoder.
+Bytes LeakDecryptOutput(const Bytes& ct) {
+  Bytes plain = DecryptRecord(ct);
+  return EncodeFrame(plain);  // FLAG
+}
+
+// Case 5: propagation through a container append.
+Bytes LeakViaContainer() {
+  Bytes staging;
+  staging.insert(staging.end(), master_key.begin(), master_key.end());
+  return EncodeFrame(staging);  // FLAG
+}
+
+// Case 6: propagation through a range-for binding.
+Bytes LeakViaRangeFor(const std::vector<Bytes>& batches) {
+  Bytes joined = master_key;
+  for (const auto& chunk : joined) {
+    Bytes one = Bytes(1, chunk);
+    return EncodeFrame(one);  // FLAG
+  }
+  return Bytes();
+}
+
+// Case 7: a function annotated secret-returning taints its call site.
+// pdslint: secret
+Bytes DeriveSessionKey();
+
+Bytes LeakViaReturn() {
+  Bytes session = DeriveSessionKey();
+  return EncodeFrame(session);  // FLAG
+}
+
+// Case 8: printf leak.
+void LeakViaPrintf() {
+  std::printf("key byte %u\n", master_key[0]);  // FLAG
+}
+
+// Case 9: stream leak.
+void LeakViaStream() {
+  std::cout << master_key.size() << master_key[0];  // FLAG
+}
+
+// Case 10: annotated secret parameter reaches a sink.
+// pdslint: secret(fleet_key)
+void LeakParam(const Bytes& fleet_key) {
+  SendLabel(std::string(fleet_key.begin(), fleet_key.end()));  // FLAG
+}
+
+// Case 11: compound assignment still propagates.
+Bytes LeakViaCompound() {
+  uint8_t acc = 0;
+  acc |= master_key[0];
+  Bytes one = Bytes(1, acc);
+  return EncodeFrame(one);  // FLAG
+}
+
+// Case 12: PDS_ASSIGN_OR_RETURN-style macro binds a decrypt output.
+#define ASSIGN_OR_RETURN(decl, expr) decl = (expr)
+Bytes LeakViaMacro(const Bytes& ct) {
+  ASSIGN_OR_RETURN(Bytes plain, DecryptRecord(ct));
+  return EncodeFrame(plain);  // FLAG
+}

@@ -1,0 +1,60 @@
+// net-bounded-frame, packed path: compliant shapes — the kMaxPacked* bound
+// is checked before the slot-count allocation and before the ciphertext is
+// materialized. Nothing in this file may be flagged.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<uint8_t>;
+
+enum class RoundKind { kCollect, kPackedCollect };
+
+constexpr size_t kMaxBatchTuples = 1u << 16;
+constexpr size_t kMaxPackedSlots = 256;
+constexpr size_t kMaxPackedCiphertextBytes = 2048;
+
+struct BigInt {
+  static BigInt FromBytes(const Bytes& b);
+};
+
+struct Reader {
+  uint32_t U32();
+  Bytes Blob(size_t cap);
+};
+
+struct PackedDomain {
+  std::vector<std::string> labels;
+};
+
+// Case 1: ciphertext length checked against the packed bound before the
+// BigInt materialization.
+BigInt OkPackedHandler(RoundKind kind, const Bytes& ct_bytes) {
+  if (kind == RoundKind::kPackedCollect) {
+    if (ct_bytes.size() > kMaxPackedCiphertextBytes) return BigInt();
+    return BigInt::FromBytes(ct_bytes);
+  }
+  return BigInt();
+}
+
+// Case 2: slot count gated by kMaxPackedSlots before the resize.
+bool DecodePackedDomain(Reader* r, RoundKind kind, PackedDomain* out) {
+  if (kind != RoundKind::kPackedCollect) return false;
+  uint32_t count = r->U32();
+  if (count > kMaxPackedSlots) return false;
+  out->labels.resize(count);
+  return true;
+}
+
+// Case 3: a non-packed decoder still only needs the generic bound (sized
+// once up front — no unaccounted growth inside the loop).
+bool DecodeBatchSizes(Reader* r, std::vector<uint32_t>* out) {
+  uint32_t count = r->U32();
+  if (count > kMaxBatchTuples) return false;
+  out->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    (*out)[i] = r->U32();
+  }
+  return true;
+}

@@ -1,0 +1,88 @@
+// secret-flow: compliant shapes — secrets sanitized before a sink, kept
+// away from sinks, or deliberately declassified with a reason. Nothing in
+// this file may be flagged.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<uint8_t>;
+
+// pdslint: sink(EncodeFrame, SendLabel)
+Bytes EncodeFrame(const Bytes& payload);
+void SendLabel(const std::string& label);
+
+Bytes EncryptRecord(const Bytes& key, const Bytes& plain);
+Bytes HmacTag(const Bytes& key, const Bytes& msg);
+Bytes Mac(const Bytes& key, const Bytes& msg);
+Bytes DecryptRecord(const Bytes& ct);
+
+Bytes master_key;  // pdslint: secret
+
+// Case 1: encrypt before the wire — the canonical sanitized path.
+Bytes OkEncryptThenSend(const Bytes& plain) {
+  Bytes ct = EncryptRecord(master_key, plain);
+  return EncodeFrame(ct);
+}
+
+// Case 2: HMAC over the secret is a sanitizer too.
+Bytes OkHmacThenSend(const Bytes& msg) {
+  Bytes tag = HmacTag(master_key, msg);
+  return EncodeFrame(tag);
+}
+
+// Case 3: Mac sanitizer inline in the sink's own argument list.
+Bytes OkMacInline(const Bytes& msg) {
+  return EncodeFrame(Mac(master_key, msg));
+}
+
+// Case 4: untainted data through the encoder.
+Bytes OkPlainTraffic(const Bytes& request) {
+  return EncodeFrame(request);
+}
+
+// Case 5: secret used internally, never near a sink.
+uint8_t OkInternalUse() {
+  uint8_t acc = 0;
+  acc |= master_key.empty() ? 0 : master_key[0];
+  return acc;
+}
+
+// Case 6: decrypt output consumed locally and discarded.
+uint64_t OkDecryptLocal(const Bytes& ct) {
+  Bytes plain = DecryptRecord(ct);
+  return plain.size();
+}
+
+// Case 7: a sink call whose arguments are clean while a secret lives
+// elsewhere in the same function.
+Bytes OkCleanArgsBesideSecret(const Bytes& request) {
+  Bytes staged = master_key;
+  (void)staged;
+  return EncodeFrame(request);
+}
+
+// Case 8: deliberate, reasoned declassify.
+Bytes OkDeclassified() {
+  Bytes fingerprint = master_key;
+  return EncodeFrame(fingerprint);  // pdslint: declassify(public key fingerprint, reviewed)
+}
+
+// Case 9: annotated secret parameter that only feeds arithmetic.
+// pdslint: secret(fleet_key)
+uint8_t OkParamArithmetic(const Bytes& fleet_key) {
+  return fleet_key.empty() ? 0 : fleet_key[0];
+}
+
+// Case 10: label derived from public metadata only.
+void OkPublicLabel(size_t round) {
+  SendLabel("round-" + std::to_string(round));
+}
+
+// Case 11: re-encryption round-trip — decrypt, fold, encrypt, send.
+Bytes OkReEncrypt(const Bytes& ct) {
+  Bytes plain = DecryptRecord(ct);
+  Bytes out = EncryptRecord(master_key, plain);
+  return EncodeFrame(out);
+}

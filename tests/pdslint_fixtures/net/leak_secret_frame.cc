@@ -1,0 +1,26 @@
+// Planted leak: a SecureToken-shaped handler that serializes its fleet key
+// (a built-in SymmetricKey seed — no annotation needed) into a wire frame
+// encoder. ctest asserts the secret-flow rule catches this.
+
+#include <cstdint>
+#include <vector>
+
+using Bytes = std::vector<uint8_t>;
+
+struct SymmetricKey {
+  Bytes bytes;
+};
+
+// pdslint: sink(EncodeHello)
+Bytes EncodeHello(const Bytes& payload);
+
+struct TokenConfig {
+  SymmetricKey fleet_key;
+};
+
+Bytes LeakFleetKeyInHello(const TokenConfig& cfg) {
+  Bytes hello;
+  hello.insert(hello.end(), cfg.fleet_key.bytes.begin(),
+               cfg.fleet_key.bytes.end());
+  return EncodeHello(hello);  // FLAG: raw fleet key on the wire
+}

@@ -1,0 +1,40 @@
+// secret-flow, SSI scope: this basename matches the ssi_server* pattern, so
+// ANY statement touching secret material is a finding — the SSI runs on
+// untrusted infrastructure and must only ever see ciphertext and bounded
+// metadata. Every marked line must be flagged.
+
+#include <cstdint>
+#include <vector>
+
+using Bytes = std::vector<uint8_t>;
+
+struct SymmetricKey {
+  Bytes bytes;
+};
+
+Bytes DecryptRecord(const Bytes& ct);
+Bytes HmacTag(const SymmetricKey& key, const Bytes& msg);
+
+SymmetricKey fleet_key;
+
+// Case 1: the SSI decrypting per-token data — the core violation. The head
+// is flagged too: the function is inferred secret-returning, so its very
+// signature is secret material compiled into the SSI.
+Bytes SsiDecryptsTuple(const Bytes& ct) {  // FLAG (inferred secret-returning)
+  Bytes plain = DecryptRecord(ct);  // FLAG
+  return plain;  // FLAG (plaintext still live in SSI code)
+}
+
+// Case 2: the fleet key compiled into the server at all.
+Bytes SsiHoldsKey(const Bytes& msg) {  // FLAG (inferred secret-returning)
+  Bytes staged = fleet_key.bytes;  // FLAG
+  return staged;  // FLAG
+}
+
+// Case 3: even a sanitizer call means the SSI possesses the key.
+// pdslint: secret(session_key)
+Bytes SsiMacsWithKey(const SymmetricKey& session_key,
+                     const Bytes& msg) {
+  Bytes tag = HmacTag(session_key, msg);  // FLAG
+  return tag;
+}

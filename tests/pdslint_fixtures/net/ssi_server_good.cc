@@ -1,0 +1,44 @@
+// secret-flow, SSI scope: compliant SSI-side code — ciphertext passthrough,
+// homomorphic combination, bounded metadata, and one reasoned declassify at
+// the protocol's intended output boundary. Nothing here may be flagged.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+using Bytes = std::vector<uint8_t>;
+
+Bytes DecryptAggregate(const Bytes& ct);
+Bytes CombineCiphertexts(const Bytes& a, const Bytes& b);
+
+// Case 1: ciphertext blobs pass through untouched.
+Bytes SsiForwardsCiphertext(const Bytes& ct) {
+  Bytes staged = ct;
+  return staged;
+}
+
+// Case 2: homomorphic aggregation never sees a plaintext.
+Bytes SsiAggregates(const std::vector<Bytes>& cts) {
+  Bytes acc;
+  for (const auto& ct : cts) {
+    acc = CombineCiphertexts(acc, ct);
+  }
+  return acc;
+}
+
+// Case 3: bounded metadata (counts, sizes) is fine.
+size_t SsiCountsSlots(const std::vector<Bytes>& cts) {
+  size_t total = 0;
+  for (const auto& ct : cts) {
+    total += ct.size();
+  }
+  return total;
+}
+
+// Case 4: the one sanctioned decrypt — the aggregate result — behind a
+// reasoned declassify (the protocol's intended output, never a per-token
+// value).
+Bytes SsiOpensAggregate(const Bytes& agg_ct) {
+  Bytes total = DecryptAggregate(agg_ct);  // pdslint: declassify(aggregate sum only, the protocol output)
+  return total;
+}

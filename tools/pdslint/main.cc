@@ -17,7 +17,8 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --root <dir|file> [--root ...]\n"
                "          [--baseline <file>] [--write-baseline <file>]\n"
-               "          [--max-waivers <n>] [--list-waivers]\n",
+               "          [--max-waivers <n>] [--list-waivers]\n"
+               "          [--rule <name>]... [--format text|json]\n",
                argv0);
 }
 
@@ -38,6 +39,29 @@ std::set<std::string> LoadBaseline(const std::string& path, bool* ok) {
   return entries;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -45,6 +69,8 @@ int main(int argc, char** argv) {
   std::string baseline_path, write_baseline_path;
   int max_waivers = -1;
   bool list_waivers = false;
+  bool json = false;
+  std::set<std::string> rule_filter;  // names; empty = all rules
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -60,6 +86,20 @@ int main(int argc, char** argv) {
     else if (arg == "--write-baseline") write_baseline_path = next();
     else if (arg == "--max-waivers") max_waivers = std::atoi(next());
     else if (arg == "--list-waivers") list_waivers = true;
+    else if (arg == "--rule") {
+      std::string name = next();
+      pdslint::Rule rule;
+      if (!pdslint::ParseRuleName(name, &rule)) {
+        std::fprintf(stderr, "pdslint: unknown rule '%s'\n", name.c_str());
+        return 2;
+      }
+      rule_filter.insert(pdslint::RuleName(rule));
+    } else if (arg == "--format") {
+      std::string fmt = next();
+      if (fmt == "json") json = true;
+      else if (fmt == "text") json = false;
+      else { Usage(argv[0]); return 2; }
+    }
     else if (arg == "--help" || arg == "-h") { Usage(argv[0]); return 0; }
     else { Usage(argv[0]); return 2; }
   }
@@ -71,6 +111,26 @@ int main(int argc, char** argv) {
   pdslint::Options options;
   options.max_waivers = max_waivers;
   pdslint::Report report = pdslint::AnalyzeTree(roots, options);
+
+  // --rule narrows both findings and the waiver budget to the named rules,
+  // so "pdslint --rule secret-flow --rule const-time" audits exactly the
+  // secret-handling exemptions.
+  if (!rule_filter.empty()) {
+    std::vector<pdslint::Finding> kept;
+    for (pdslint::Finding& f : report.findings) {
+      if (rule_filter.count(pdslint::RuleName(f.rule))) {
+        kept.push_back(std::move(f));
+      }
+    }
+    report.findings = std::move(kept);
+    std::vector<pdslint::Waiver> kept_w;
+    for (pdslint::Waiver& w : report.waivers) {
+      if (rule_filter.count(pdslint::RuleName(w.rule))) {
+        kept_w.push_back(std::move(w));
+      }
+    }
+    report.waivers = std::move(kept_w);
+  }
 
   if (!write_baseline_path.empty()) {
     std::ofstream out(write_baseline_path);
@@ -98,32 +158,67 @@ int main(int argc, char** argv) {
   }
 
   int fresh = 0, baselined = 0;
+  std::vector<const pdslint::Finding*> fresh_findings;
   for (const pdslint::Finding& f : report.findings) {
     if (baseline.count(pdslint::Fingerprint(f))) {
       ++baselined;
       continue;
     }
     ++fresh;
-    std::printf("%s\n", pdslint::FormatFinding(f).c_str());
+    fresh_findings.push_back(&f);
+    if (!json) std::printf("%s\n", pdslint::FormatFinding(f).c_str());
   }
 
   bool budget_exceeded =
       max_waivers >= 0 && static_cast<int>(report.waivers.size()) > max_waivers;
-  if (list_waivers || budget_exceeded) {
-    for (const pdslint::Waiver& w : report.waivers) {
-      std::printf("%s:%d: [waiver %s] %s%s\n", w.file.c_str(), w.line,
-                  pdslint::RuleName(w.rule), w.reason.c_str(),
-                  w.used ? "" : " (UNUSED)");
-    }
-  }
 
-  std::string budget =
-      max_waivers < 0 ? "unlimited" : std::to_string(max_waivers);
-  std::printf(
-      "pdslint: %d files, %d findings (%d new, %d baselined), "
-      "%zu waivers (budget %s)\n",
-      report.files_scanned, fresh + baselined, fresh, baselined,
-      report.waivers.size(), budget.c_str());
+  if (json) {
+    // Machine-readable findings + waiver accounting, one object per run.
+    // snippet_hash is the content fingerprint CI diffs against, stable
+    // across unrelated edits (no line numbers inside).
+    std::printf("{\n  \"findings\": [");
+    const char* sep = "";
+    for (const pdslint::Finding* f : fresh_findings) {
+      std::printf(
+          "%s\n    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+          "\"message\": \"%s\", \"snippet_hash\": \"%s\"}",
+          sep, JsonEscape(f->file).c_str(), f->line,
+          pdslint::RuleName(f->rule), JsonEscape(f->message).c_str(),
+          JsonEscape(pdslint::Fingerprint(*f)).c_str());
+      sep = ",";
+    }
+    std::printf("\n  ],\n  \"waivers\": [");
+    sep = "";
+    for (const pdslint::Waiver& w : report.waivers) {
+      std::printf(
+          "%s\n    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+          "\"reason\": \"%s\", \"used\": %s}",
+          sep, JsonEscape(w.file).c_str(), w.line, pdslint::RuleName(w.rule),
+          JsonEscape(w.reason).c_str(), w.used ? "true" : "false");
+      sep = ",";
+    }
+    std::printf(
+        "\n  ],\n  \"files_scanned\": %d,\n  \"new\": %d,\n"
+        "  \"baselined\": %d,\n  \"waiver_count\": %zu,\n"
+        "  \"waiver_budget\": %d,\n  \"budget_exceeded\": %s\n}\n",
+        report.files_scanned, fresh, baselined, report.waivers.size(),
+        max_waivers, budget_exceeded ? "true" : "false");
+  } else {
+    if (list_waivers || budget_exceeded) {
+      for (const pdslint::Waiver& w : report.waivers) {
+        std::printf("%s:%d: [waiver %s] %s%s\n", w.file.c_str(), w.line,
+                    pdslint::RuleName(w.rule), w.reason.c_str(),
+                    w.used ? "" : " (UNUSED)");
+      }
+    }
+    std::string budget =
+        max_waivers < 0 ? "unlimited" : std::to_string(max_waivers);
+    std::printf(
+        "pdslint: %d files, %d findings (%d new, %d baselined), "
+        "%zu waivers (budget %s)\n",
+        report.files_scanned, fresh + baselined, fresh, baselined,
+        report.waivers.size(), budget.c_str());
+  }
 
   if (budget_exceeded) {
     std::fprintf(stderr,

@@ -272,8 +272,12 @@ bool AtNamespaceScope(const Structure& st, int line) {
 
 // `// pdslint: ram-exempt(reason)` or `// pdslint: exempt(rule, reason)`.
 // The reason runs to the last ')' so it may itself contain parentheses.
+// `// pdslint: declassify(reason)` is the secret-flow rule's waiver form: it
+// both suppresses findings on the covered lines and stops taint propagation
+// through them (the value is deliberately made public).
 const std::regex kWaiverShort(R"(pdslint:\s*([a-z-]+)-exempt\((.*)\))");
 const std::regex kWaiverLong(R"(pdslint:\s*exempt\(\s*([a-z-]+)\s*,\s*(.*)\))");
+const std::regex kDeclassify(R"(pdslint:\s*declassify\((.*)\))");
 
 struct WaiverSpan {
   int first_line;  // 0-based, inclusive
@@ -308,6 +312,9 @@ void CollectWaivers(const std::string& path, const Scrubbed& s,
     } else if (std::regex_search(comment, m, kWaiverLong)) {
       rule_name = m[1];
       reason = Trim(m[2]);
+    } else if (std::regex_search(comment, m, kDeclassify)) {
+      rule_name = "secret-flow";
+      reason = Trim(m[1]);
     } else {
       continue;
     }
@@ -508,6 +515,16 @@ const std::regex kFrameAlloc(
 // kMaxBatchTuples, ...). Mentioning one before the allocation is the
 // machine-checkable shape of "declared length checked against a bound".
 const std::regex kBoundMention(R"(\bkMax\w+)");
+// Packed-aggregate frames (RoundKind::kPackedCollect) carry a slot-count-
+// sized label list one way and a single large ciphertext the other; both
+// lengths are peer-controlled, so code on the packed path needs the packed-
+// specific bounds (kMaxPackedSlots / kMaxPackedCiphertextBytes), not just
+// the generic tuple bounds.
+const std::regex kPackedMention(R"(\bkPackedCollect\b)");
+const std::regex kPackedBound(R"(\bkMaxPacked\w+)");
+// Materializing a BigInt from wire bytes allocates proportionally to the
+// blob; on the packed path it is the ciphertext-length allocation.
+const std::regex kWireMaterialize(R"(\bFromBytes\s*\()");
 
 void CheckNetBoundedFrame(const std::string& module, const Scrubbed& s,
                           const Structure& st, Emitter* em) {
@@ -523,16 +540,49 @@ void CheckNetBoundedFrame(const std::string& module, const Scrubbed& s,
         break;
       }
     }
+    bool packed = false;
+    for (int i = f.open_line; i <= f.close_line; ++i) {
+      if (std::regex_search(s.code[i], kPackedMention)) {
+        packed = true;
+        break;
+      }
+    }
+    // Packed path, any function: FromBytes on a frame blob must sit behind a
+    // kMaxPacked* length check (the ciphertext-length bound).
+    if (packed) {
+      bool packed_bounded = false;
+      for (int i = f.open_line; i <= f.close_line; ++i) {
+        if (std::regex_search(s.code[i], kPackedBound)) packed_bounded = true;
+        if (!packed_bounded && std::regex_search(s.code[i], kWireMaterialize)) {
+          em->Emit(i, Rule::kNetBoundedFrame,
+                   "packed-aggregate path in module '" + module +
+                       "' materializes a wire blob before checking it "
+                       "against a kMaxPacked* bound; the peer controls the "
+                       "ciphertext length");
+        }
+      }
+    }
     if (!is_decoder) continue;
     bool bounded = false;
+    bool packed_bounded = false;
     for (int i = f.open_line; i <= f.close_line; ++i) {
       if (std::regex_search(s.code[i], kBoundMention)) bounded = true;
-      if (!bounded && std::regex_search(s.code[i], kFrameAlloc)) {
+      if (std::regex_search(s.code[i], kPackedBound)) packed_bounded = true;
+      bool alloc = std::regex_search(s.code[i], kFrameAlloc);
+      if (!bounded && alloc) {
         em->Emit(i, Rule::kNetBoundedFrame,
                  "decoder in module '" + module +
                      "' allocates before checking the declared length "
                      "against a compile-time kMax* bound; a hostile peer "
                      "controls that length");
+      } else if (packed && !packed_bounded && alloc) {
+        // Decoders special-casing the packed round must bound the slot
+        // count with the packed-specific constant, not just kMaxBatchTuples
+        // (2^16 tuples is far past any packed slot layout).
+        em->Emit(i, Rule::kNetBoundedFrame,
+                 "packed-round decoder in module '" + module +
+                     "' allocates before checking the slot count against "
+                     "kMaxPackedSlots");
       }
     }
   }
@@ -647,6 +697,567 @@ void CheckGlobalVar(const Scrubbed& s, const Structure& st, Emitter* em) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rules: secret-flow and const-time (shared taint engine)
+//
+// The annotation vocabulary (all in comments, so the compiler never sees it):
+//   // pdslint: secret              on a declaration: that identifier holds
+//                                   secret material (module-scoped); on a
+//                                   function definition: its return value is
+//                                   secret everywhere
+//   // pdslint: secret(a, b)        on a function definition: the named
+//                                   parameters are secret inside it
+//   // pdslint: sink                on a function declaration — calls with a
+//                                   tainted argument are findings
+//   // pdslint: sink(F, G, ...)     same, naming the sink functions directly
+//   // pdslint: declassify(reason)  waiver form of the secret-flow rule:
+//                                   suppresses findings on the covered lines
+//                                   AND stops taint through them
+//
+// Built-in seeds (no annotation needed): declarations of SymmetricKey /
+// PrivateKey values, and any call to a function named Decrypt* (decrypt
+// outputs in crypto::/mcu:: are secret by construction). Sanitizers — calls
+// that legitimately consume a secret — are Encrypt*/Hmac*/Mac/Attest.
+// ---------------------------------------------------------------------------
+
+const std::regex kAnnSecretParams(R"(pdslint:\s*secret\(([^)]*)\))");
+const std::regex kAnnSecretBare(R"(pdslint:\s*secret\b)");
+const std::regex kAnnSinkList(R"(pdslint:\s*sink\(([^)]*)\))");
+const std::regex kAnnSinkBare(R"(pdslint:\s*sink\b)");
+const std::regex kSecretTypeDecl(R"(\b(SymmetricKey|PrivateKey)\b)");
+const std::regex kIdent(R"([A-Za-z_]\w*)");
+const std::regex kCallName(R"(([A-Za-z_]\w*)\s*\()");
+const std::regex kSanitizerCall(R"(\b(Encrypt\w*|Hmac\w*|Mac|Attest)\s*\()");
+const std::regex kPrintCall(
+    R"(\b(printf|fprintf|snprintf|puts|fputs)\s*\(|\b(std\s*::\s*)?(cout|cerr|clog)\b\s*<<)");
+// Assignment target: the identifier opening the lvalue chain directly before
+// (an optional member/subscript chain and) an assignment operator.
+const std::regex kAssign(
+    R"(([A-Za-z_]\w*)((?:\.[A-Za-z_]\w*|->[A-Za-z_]\w*|\[[^\][]*\])*)\s*(?:[-+*/|&^]|<<|>>)?=(?!=))");
+const std::regex kAssignMacro(R"((?:PDS_)?ASSIGN_OR_RETURN\s*\(\s*([^,]*),)");
+// Growth into a container taints the container.
+const std::regex kContainerPut(
+    R"(([A-Za-z_]\w*)((?:\.[A-Za-z_]\w*|->[A-Za-z_]\w*|\[[^\][]*\])*)\s*(?:\.|->)\s*(push_back|emplace_back|emplace|insert|append|assign|push|push_front)\s*\()");
+const std::regex kCtBranchHead(
+    R"(^\s*(?:\}\s*)?(?:else\s+)?(if|while|for|switch)\s*\()");
+const std::regex kSubscript(R"(\[([^\][]+)\])");
+const std::regex kReturnStmt(R"(^\s*(?:co_)?return\b)");
+
+bool IsKeywordIdent(const std::string& id) {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",  "switch",  "return", "sizeof", "catch",
+      "const",  "auto",   "static", "else",    "case",   "do",     "new",
+      "delete", "struct", "class",  "enum",    "union",  "using",  "typedef",
+      "void",   "int",    "bool",   "char",    "double", "float",  "long",
+      "short",  "signed", "unsigned"};
+  return kw.count(id) != 0;
+}
+
+bool PrefixMatches(const std::vector<std::string>& prefixes,
+                   const std::string& basename) {
+  for (const std::string& p : prefixes) {
+    if (basename.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+// Statements: body lines joined until one ends in ';', '{', '}' or ':' at
+// the top level, so multi-line calls and conditions are matched as one text.
+struct Statement {
+  int line0 = 0;
+  std::string text;
+};
+
+std::vector<Statement> JoinStatements(const Scrubbed& s, int begin, int end) {
+  std::vector<Statement> out;
+  std::string cur;
+  int start = -1;
+  for (int i = begin; i <= end && i < static_cast<int>(s.code.size()); ++i) {
+    std::string t = Trim(s.code[i]);
+    if (t.empty()) continue;
+    if (cur.empty()) start = i;
+    cur += t;
+    cur += ' ';
+    char last = t.back();
+    if (last == ';' || last == '{' || last == '}' || last == ':' ||
+        static_cast<int>(cur.size()) > 2000) {
+      out.push_back(Statement{start, cur});
+      cur.clear();
+    }
+  }
+  if (!Trim(cur).empty()) out.push_back(Statement{start, cur});
+  return out;
+}
+
+// First identifier followed by '(' that is not a control keyword — the
+// function name on a signature line (qualifiers like SsiServer:: precede
+// their own '(' only at the call, so the first hit is the right one).
+std::string FirstCalleeName(const std::string& text) {
+  auto begin = std::sregex_iterator(text.begin(), text.end(), kCallName);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::string name = (*it)[1];
+    if (!IsKeywordIdent(name)) return name;
+  }
+  return "";
+}
+
+// Name of the function whose frame is `fi`: scan the signature from up to
+// two lines above the opening brace, skipping complete statements.
+std::string FunctionNameOf(const Scrubbed& s, const Structure& st, int fi) {
+  const Frame& f = st.frames[fi];
+  for (int i = f.open_line; i >= 0 && i >= f.open_line - 2; --i) {
+    std::string t = Trim(s.code[i]);
+    if (!t.empty() && t.back() == ';' && i != f.open_line) continue;
+    std::string name = FirstCalleeName(s.code[i]);
+    if (!name.empty()) return name;
+  }
+  return "";
+}
+
+// Identifier declared on a line: for a function-ish line the callee name,
+// otherwise the identifier directly before ';', '=', '{' or '['.
+std::string DeclaredNameOn(const std::string& code) {
+  std::string t = Trim(code);
+  if (t.rfind("using", 0) == 0 || t.rfind("typedef", 0) == 0) return "";
+  if (code.find('(') != std::string::npos) return FirstCalleeName(code);
+  static const std::regex decl(R"(([A-Za-z_]\w*)\s*(?:[;={\[]))");
+  std::smatch m;
+  if (std::regex_search(code, m, decl)) return m[1];
+  return "";
+}
+
+void SplitNames(const std::string& list, std::set<std::string>* out) {
+  auto begin = std::sregex_iterator(list.begin(), list.end(), kIdent);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    out->insert(it->str());
+  }
+}
+
+struct FileAnnotations {
+  std::map<int, std::set<std::string>> fn_secret_params;  // frame -> names
+  std::set<std::string> secret_names;  // module-scoped secret identifiers
+  std::set<std::string> secret_fns;    // functions returning secrets
+  std::set<std::string> sink_fns;
+};
+
+// Function frame opening at (or within three lines below) a target line —
+// the same window the waiver spans use for multi-line signatures.
+int FunctionFrameAt(const Structure& st, int target) {
+  for (size_t fi = 1; fi < st.frames.size(); ++fi) {
+    const Frame& f = st.frames[fi];
+    if (f.kind == FrameKind::kFunction && f.open_line >= target &&
+        f.open_line <= target + 3) {
+      return static_cast<int>(fi);
+    }
+  }
+  return -1;
+}
+
+FileAnnotations CollectAnnotations(const Scrubbed& s, const Structure& st) {
+  FileAnnotations ann;
+  for (size_t ln = 0; ln < s.comments.size(); ++ln) {
+    if (s.comments[ln].find("pdslint:") == std::string::npos) continue;
+    // An annotation may wrap onto following comment-only lines (long sink
+    // lists); join them so the closing ')' is seen.
+    std::string comment = s.comments[ln];
+    for (size_t j = ln + 1;
+         j < s.comments.size() && !s.comments[j].empty() &&
+         Trim(s.code[j]).empty() &&
+         s.comments[j].find("pdslint:") == std::string::npos;
+         ++j) {
+      comment += ' ' + s.comments[j];
+    }
+    // Target line: the annotated code line itself, or the next code-bearing
+    // line when the annotation sits on its own line.
+    int target = static_cast<int>(ln);
+    if (Trim(s.code[ln]).empty()) {
+      for (size_t j = ln + 1; j < s.code.size(); ++j) {
+        if (!Trim(s.code[j]).empty()) {
+          target = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+    std::smatch m;
+    if (std::regex_search(comment, m, kAnnSinkList)) {
+      SplitNames(m[1], &ann.sink_fns);
+    } else if (std::regex_search(comment, m, kAnnSinkBare)) {
+      std::string name = DeclaredNameOn(s.code[target]);
+      if (!name.empty()) ann.sink_fns.insert(name);
+    } else if (std::regex_search(comment, m, kAnnSecretParams)) {
+      int fi = FunctionFrameAt(st, target);
+      if (fi >= 0) SplitNames(m[1], &ann.fn_secret_params[fi]);
+    } else if (std::regex_search(comment, m, kAnnSecretBare)) {
+      std::string tcode = Trim(s.code[target]);
+      if (!tcode.empty() && tcode.back() == ';') {
+        // A ';'-terminated target is a declaration, never a definition
+        // head — a function that happens to open a few lines below must
+        // not claim the annotation. A prototype marks the function's
+        // return value secret; a variable becomes a module secret.
+        std::string name = DeclaredNameOn(s.code[target]);
+        if (name.empty()) {
+        } else if (tcode.find('(') != std::string::npos) {
+          ann.secret_fns.insert(name);
+        } else {
+          ann.secret_names.insert(name);
+        }
+      } else {
+        int fi = FunctionFrameAt(st, target);
+        if (fi >= 0) {
+          std::string name = FunctionNameOf(s, st, fi);
+          if (!name.empty()) ann.secret_fns.insert(name);
+        } else {
+          std::string name = DeclaredNameOn(s.code[target]);
+          if (!name.empty()) ann.secret_names.insert(name);
+        }
+      }
+    }
+  }
+  // Built-in seed: a SymmetricKey / PrivateKey declaration names a secret.
+  for (size_t ln = 0; ln < s.code.size(); ++ln) {
+    const std::string& code = s.code[ln];
+    std::string t = Trim(code);
+    if (t.rfind("using", 0) == 0 || t.rfind("typedef", 0) == 0 ||
+        t.rfind("struct", 0) == 0 || t.rfind("class", 0) == 0) {
+      continue;
+    }
+    std::smatch m;
+    if (!std::regex_search(code, m, kSecretTypeDecl)) continue;
+    std::string rest = m.suffix();
+    std::smatch id;
+    if (std::regex_search(rest, id, kIdent)) {
+      ann.secret_names.insert(id.str());
+    }
+  }
+  return ann;
+}
+
+// A parsed file plus everything the taint passes need.
+struct TaintFile {
+  std::string path;
+  std::string module;
+  std::string basename;
+  Scrubbed s;
+  Structure st;
+  FileAnnotations ann;
+  bool const_time = false;
+  bool ssi = false;
+};
+
+bool NameMatchesSecretFn(const SourceIndex& index, const std::string& module,
+                         const std::string& name) {
+  if (name.rfind("Decrypt", 0) == 0) return true;
+  if (index.secret_functions.count({"*", name})) return true;
+  return index.secret_functions.count({module, name}) != 0;
+}
+
+// Extract the parenthesized argument zone of the first call to `name`.
+std::string CallArgsZone(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || (!isalnum(static_cast<unsigned char>(
+                                    text[pos - 1])) &&
+                                text[pos - 1] != '_');
+    size_t after = pos + name.size();
+    while (after < text.size() && isspace(static_cast<unsigned char>(
+                                      text[after]))) {
+      ++after;
+    }
+    if (!left_ok || after >= text.size() || text[after] != '(') {
+      pos += name.size();
+      continue;
+    }
+    int depth = 0;
+    size_t start = after + 1;
+    for (size_t i = after; i < text.size(); ++i) {
+      if (text[i] == '(') ++depth;
+      if (text[i] == ')') {
+        --depth;
+        if (depth == 0) return text.substr(start, i - start);
+      }
+    }
+    return text.substr(start);
+  }
+  return "";
+}
+
+// The per-function taint state: tainted identifier -> short provenance
+// chain for the diagnostic ("fleet_key -> cfg (line 12) -> node (line 19)").
+using TaintMap = std::map<std::string, std::string>;
+
+// First tainted identifier (or secret call) in `text`; empty if clean.
+std::string FirstTaintIn(const std::string& text, const TaintMap& tainted,
+                         const std::set<std::string>& module_secrets,
+                         const SourceIndex& index, const std::string& module,
+                         std::string* why) {
+  auto begin = std::sregex_iterator(text.begin(), text.end(), kIdent);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::string id = it->str();
+    auto t = tainted.find(id);
+    if (t != tainted.end()) {
+      if (why) *why = t->second;
+      return id;
+    }
+    if (module_secrets.count(id)) {
+      if (why) *why = "secret '" + id + "'";
+      return id;
+    }
+  }
+  auto cbegin = std::sregex_iterator(text.begin(), text.end(), kCallName);
+  for (auto it = cbegin; it != std::sregex_iterator(); ++it) {
+    std::string name = (*it)[1];
+    if (IsKeywordIdent(name)) continue;
+    if (NameMatchesSecretFn(index, module, name)) {
+      if (why) *why = "decrypt/secret output of '" + name + "()'";
+      return name;
+    }
+  }
+  return "";
+}
+
+void TaintName(TaintMap* tainted, const std::string& name,
+               const std::string& from, int line1) {
+  if (name.empty() || IsKeywordIdent(name)) return;
+  std::string chain = from + " -> " + name + " (line " +
+                      std::to_string(line1) + ")";
+  if (chain.size() > 300) chain = "..." + chain.substr(chain.size() - 297);
+  auto it = tainted->find(name);
+  if (it == tainted->end()) (*tainted)[name] = chain;
+}
+
+// Range-for over a tainted container taints the loop bindings:
+// `for (const auto& [g, st] : partial)`. Identifiers starting uppercase are
+// type names under the repo's style and are skipped.
+void TaintRangeForBindings(TaintMap* tainted, const std::string& text,
+                           const std::string& why, int line1) {
+  static const std::regex range_for(R"(for\s*\(([^:;]*?):([^;]*)\))");
+  std::smatch m;
+  if (!std::regex_search(text, m, range_for)) return;
+  std::string decls = m[1];
+  auto begin = std::sregex_iterator(decls.begin(), decls.end(), kIdent);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::string id = it->str();
+    if (IsKeywordIdent(id) || isupper(static_cast<unsigned char>(id[0]))) {
+      continue;
+    }
+    TaintName(tainted, id, why, line1);
+  }
+}
+
+bool InSpanOfRule(const FileWaivers& fw, int line0, Rule rule,
+                  Report* report, bool mark_used) {
+  for (const WaiverSpan& span : fw.spans) {
+    if (span.rule == rule && line0 >= span.first_line &&
+        line0 <= span.last_line) {
+      if (mark_used) report->waivers[span.index].used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+// One propagation-plus-detection pass over a top-level function (nested
+// lambda frames are folded in: captures share the enclosing taint state).
+// With a null emitter it only answers "does this function return a secret?"
+// — the fixpoint pass BuildIndex iterates.
+bool PropagateFunction(const TaintFile& tf, int fi, const SourceIndex& index,
+                       const FileWaivers& fw, Report* report, Emitter* em) {
+  const Frame& f = tf.st.frames[fi];
+  auto mit = index.module_secrets.find(tf.module);
+  static const std::set<std::string> kEmpty;
+  const std::set<std::string>& msecrets =
+      mit == index.module_secrets.end() ? kEmpty : mit->second;
+
+  TaintMap tainted;
+  // Parameter seeds drive detection only, not secret-return inference
+  // (em == nullptr): a caller passing a secret argument already taints its
+  // own statement, so inferring "returns secret" from a secret *parameter*
+  // would double-count and cascade taint through every call site.
+  if (em != nullptr) {
+    auto pit = tf.ann.fn_secret_params.find(fi);
+    if (pit != tf.ann.fn_secret_params.end()) {
+      for (const std::string& p : pit->second) {
+        tainted[p] = "secret parameter '" + p + "'";
+      }
+    }
+  }
+
+  std::vector<Statement> stmts =
+      JoinStatements(tf.s, f.open_line, f.close_line);
+  bool returns_secret = false;
+  std::set<int> flow_flagged, ct_flagged;
+
+  // Two rounds so taint carried backwards by loops still lands.
+  for (int round = 0; round < 2; ++round) {
+    for (const Statement& stmt : stmts) {
+      std::string why;
+      std::string hit = FirstTaintIn(stmt.text, tainted, msecrets, index,
+                                     tf.module, &why);
+      bool is_tainted = !hit.empty();
+
+      // Declassified lines sanitize: no findings, no propagation.
+      if (InSpanOfRule(fw, stmt.line0, Rule::kSecretFlow, report,
+                       /*mark_used=*/is_tainted)) {
+        continue;
+      }
+      bool sanitized = std::regex_search(stmt.text, kSanitizerCall);
+
+      if (is_tainted && !sanitized) {
+        int line1 = stmt.line0 + 1;
+        std::smatch m;
+        if (std::regex_search(stmt.text, m, kAssignMacro)) {
+          std::string decl = m[1];
+          std::string last;
+          auto b = std::sregex_iterator(decl.begin(), decl.end(), kIdent);
+          for (auto it = b; it != std::sregex_iterator(); ++it) {
+            if (!IsKeywordIdent(it->str())) last = it->str();
+          }
+          TaintName(&tainted, last, why, line1);
+        }
+        if (std::regex_search(stmt.text, m, kAssign)) {
+          TaintName(&tainted, m[1], why, line1);
+        }
+        if (std::regex_search(stmt.text, m, kContainerPut)) {
+          TaintName(&tainted, m[1], why, line1);
+        }
+        TaintRangeForBindings(&tainted, stmt.text, why, line1);
+        if (std::regex_search(stmt.text, kReturnStmt)) {
+          returns_secret = true;
+        }
+      }
+
+      if (em == nullptr || round == 0) continue;  // detect on final round
+
+      // ---- secret-flow sinks ----
+      if (!flow_flagged.count(stmt.line0)) {
+        std::string sink_name;
+        auto cb = std::sregex_iterator(stmt.text.begin(), stmt.text.end(),
+                                       kCallName);
+        for (auto it = cb; it != std::sregex_iterator(); ++it) {
+          std::string name = (*it)[1];
+          if (index.sink_functions.count(name) == 0) continue;
+          std::string zone = CallArgsZone(stmt.text, name);
+          if (std::regex_search(zone, kSanitizerCall)) continue;
+          std::string zwhy;
+          if (!FirstTaintIn(zone, tainted, msecrets, index, tf.module, &zwhy)
+                   .empty()) {
+            sink_name = name;
+            why = zwhy;
+            break;
+          }
+        }
+        if (!sink_name.empty()) {
+          flow_flagged.insert(stmt.line0);
+          em->Emit(stmt.line0, Rule::kSecretFlow,
+                   "secret reaches sink '" + sink_name +
+                       "' without Encrypt*/Hmac/Mac/Attest or a "
+                       "declassify waiver; path: " + why);
+        } else if (is_tainted && !sanitized &&
+                   std::regex_search(stmt.text, kPrintCall)) {
+          flow_flagged.insert(stmt.line0);
+          em->Emit(stmt.line0, Rule::kSecretFlow,
+                   "secret reaches a log/print call; path: " + why);
+        } else if (tf.ssi && is_tainted) {
+          flow_flagged.insert(stmt.line0);
+          em->Emit(stmt.line0, Rule::kSecretFlow,
+                   "secret material inside SSI-compiled code (the SSI must "
+                   "see ciphertext and bounded metadata only); path: " + why);
+        }
+      }
+
+      // ---- const-time ----
+      if (tf.const_time && !ct_flagged.count(stmt.line0)) {
+        std::smatch bm;
+        std::string ct_why;
+        if (std::regex_search(stmt.text, bm, kCtBranchHead)) {
+          std::string cond = CallArgsZone(stmt.text, bm[1]);
+          std::string twhy;
+          std::string tid = FirstTaintIn(cond, tainted, msecrets, index,
+                                         tf.module, &twhy);
+          if (!tid.empty()) {
+            bool early_exit =
+                stmt.text.find("break") != std::string::npos ||
+                stmt.text.find("return") != std::string::npos ||
+                stmt.text.find("continue") != std::string::npos;
+            ct_flagged.insert(stmt.line0);
+            em->Emit(stmt.line0, Rule::kConstTime,
+                     std::string("secret-dependent ") +
+                         (early_exit ? "early exit" : "branch") +
+                         " (timing leak): '" + bm[1].str() +
+                         "' condition depends on " + twhy);
+          }
+        } else {
+          size_t q = stmt.text.find('?');
+          if (q != std::string::npos &&
+              stmt.text.find(':', q) != std::string::npos) {
+            std::string cond = stmt.text.substr(0, q);
+            std::string twhy;
+            if (!FirstTaintIn(cond, tainted, msecrets, index, tf.module,
+                              &twhy)
+                     .empty()) {
+              ct_flagged.insert(stmt.line0);
+              em->Emit(stmt.line0, Rule::kConstTime,
+                       "secret-dependent select (?:) — both arms must be "
+                       "computed and masked; condition depends on " + twhy);
+            }
+          }
+        }
+        if (!ct_flagged.count(stmt.line0)) {
+          auto sb = std::sregex_iterator(stmt.text.begin(), stmt.text.end(),
+                                         kSubscript);
+          for (auto it = sb; it != std::sregex_iterator(); ++it) {
+            std::string idx = (*it)[1];
+            std::string twhy;
+            if (!FirstTaintIn(idx, tainted, msecrets, index, tf.module,
+                              &twhy)
+                     .empty()) {
+              ct_flagged.insert(stmt.line0);
+              em->Emit(stmt.line0, Rule::kConstTime,
+                       "secret-indexed table load (cache-timing leak): "
+                       "index depends on " + twhy);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return returns_secret;
+}
+
+// Top-level function frames: a kFunction frame with no kFunction ancestor
+// (lambda bodies are analyzed as part of their enclosing function, sharing
+// its taint state through captures).
+bool IsTopLevelFunction(const Structure& st, int fi) {
+  if (st.frames[fi].kind != FrameKind::kFunction) return false;
+  for (int p = st.frames[fi].parent; p >= 0; p = st.frames[p].parent) {
+    if (st.frames[p].kind == FrameKind::kFunction) return false;
+  }
+  return true;
+}
+
+TaintFile ParseTaintFile(const std::string& path, const std::string& content,
+                         const Options& options) {
+  TaintFile tf;
+  tf.path = path;
+  tf.module = ModuleOf(path);
+  tf.basename = Basename(path);
+  tf.s = Scrub(content);
+  tf.st = BuildStructure(tf.s.code);
+  tf.ann = CollectAnnotations(tf.s, tf.st);
+  tf.const_time = PrefixMatches(options.const_time_files, tf.basename);
+  tf.ssi = PrefixMatches(options.ssi_files, tf.basename);
+  return tf;
+}
+
+void CheckSecretFlow(const TaintFile& tf, const SourceIndex& index,
+                     const FileWaivers& fw, Report* report, Emitter* em) {
+  for (size_t fi = 1; fi < tf.st.frames.size(); ++fi) {
+    if (!IsTopLevelFunction(tf.st, static_cast<int>(fi))) continue;
+    PropagateFunction(tf, static_cast<int>(fi), index, fw, report, em);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -663,6 +1274,8 @@ const char* RuleName(Rule rule) {
     case Rule::kGlobalVar: return "global-var";
     case Rule::kObsInEmbedded: return "obs-in-embedded";
     case Rule::kNetBoundedFrame: return "net-bounded-frame";
+    case Rule::kSecretFlow: return "secret-flow";
+    case Rule::kConstTime: return "const-time";
   }
   return "unknown";
 }
@@ -676,6 +1289,8 @@ bool ParseRuleName(const std::string& name, Rule* out) {
   else if (name == "global-var") *out = Rule::kGlobalVar;
   else if (name == "obs" || name == "obs-in-embedded") *out = Rule::kObsInEmbedded;
   else if (name == "frame" || name == "net-bounded-frame") *out = Rule::kNetBoundedFrame;
+  else if (name == "secret" || name == "secret-flow") *out = Rule::kSecretFlow;
+  else if (name == "ct" || name == "const-time") *out = Rule::kConstTime;
   else return false;
   return true;
 }
@@ -697,8 +1312,70 @@ std::string ModuleOf(const std::string& path) {
   return norm.substr(prev + 1, slash - prev - 1);
 }
 
+SourceIndex BuildIndex(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const Options& options) {
+  SourceIndex index;
+  std::vector<TaintFile> parsed;
+  parsed.reserve(files.size());
+  // Pass one: annotations and built-in type seeds.
+  for (const auto& [path, content] : files) {
+    parsed.push_back(ParseTaintFile(path, content, options));
+    const TaintFile& tf = parsed.back();
+    for (const std::string& n : tf.ann.secret_fns) {
+      index.secret_functions.insert({"*", n});
+    }
+    for (const std::string& n : tf.ann.secret_names) {
+      index.module_secrets[tf.module].insert(n);
+    }
+    for (const std::string& n : tf.ann.sink_fns) {
+      index.sink_functions.insert(n);
+    }
+  }
+  // Pass two: iterate "does this function return a secret?" to a fixpoint,
+  // so a secret flowing out through a helper taints the helper's call sites
+  // in other files. Sanitizer-named functions are the boundary by definition
+  // and never inferred secret-returning. Declassify spans already cut
+  // propagation inside PropagateFunction, so they cut inference too.
+  static const std::regex kSanitizerName(R"(^(Encrypt\w*|Hmac\w*|Mac|Attest)$)");
+  Report scratch;
+  std::vector<FileWaivers> fws(parsed.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    CollectWaivers(parsed[i].path, parsed[i].s, parsed[i].st, &scratch,
+                   &fws[i]);
+  }
+  for (int round = 0; round < 4; ++round) {
+    bool changed = false;
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      const TaintFile& tf = parsed[i];
+      for (size_t fi = 1; fi < tf.st.frames.size(); ++fi) {
+        if (!IsTopLevelFunction(tf.st, static_cast<int>(fi))) continue;
+        if (!PropagateFunction(tf, static_cast<int>(fi), index, fws[i],
+                               &scratch, nullptr)) {
+          continue;
+        }
+        std::string name =
+            FunctionNameOf(tf.s, tf.st, static_cast<int>(fi));
+        if (name.empty() || std::regex_match(name, kSanitizerName)) continue;
+        if (index.secret_functions.insert({tf.module, name}).second) {
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return index;
+}
+
 void AnalyzeFile(const std::string& path, const std::string& content,
                  const Options& options, Report* report) {
+  SourceIndex index = BuildIndex({{path, content}}, options);
+  AnalyzeFile(path, content, options, index, report);
+}
+
+void AnalyzeFile(const std::string& path, const std::string& content,
+                 const Options& options, const SourceIndex& index,
+                 Report* report) {
   const std::string module = ModuleOf(path);
   const bool is_header = IsHeaderPath(path);
   Scrubbed s = Scrub(content);
@@ -724,6 +1401,8 @@ void AnalyzeFile(const std::string& path, const std::string& content,
     CheckUsingNamespace(s, &em);
     if (module != "common") CheckGlobalVar(s, st, &em);
   }
+  TaintFile tf = ParseTaintFile(path, content, options);
+  CheckSecretFlow(tf, index, fw, report, &em);
   ++report->files_scanned;
 }
 
@@ -756,11 +1435,17 @@ Report AnalyzeTree(const std::vector<std::string>& roots,
     }
   }
   std::sort(files.begin(), files.end());
+  std::vector<std::pair<std::string, std::string>> contents;
+  contents.reserve(files.size());
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     std::ostringstream buf;
     buf << in.rdbuf();
-    AnalyzeFile(file, buf.str(), options, &report);
+    contents.emplace_back(file, buf.str());
+  }
+  SourceIndex index = BuildIndex(contents, options);
+  for (const auto& [file, content] : contents) {
+    AnalyzeFile(file, content, options, index, &report);
   }
   return report;
 }

@@ -1,7 +1,10 @@
 #ifndef PDS_TOOLS_PDSLINT_PDSLINT_H_
 #define PDS_TOOLS_PDSLINT_PDSLINT_H_
 
+#include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 /// pdslint — repo-specific static analysis for libpds.
@@ -31,6 +34,11 @@ enum class Rule {
                      // embedded module (instrumentation must be preallocated)
   kNetBoundedFrame,  // wire decoder allocates from a declared length without
                      // checking it against a compile-time kMax* bound first
+  kSecretFlow,       // secret-tagged value reaches a sink (net frame encoder,
+                     // obs name/label, SSI-compiled code, print) without a
+                     // sanitizer (Encrypt*/Hmac/Mac/Attest) or declassify
+  kConstTime,        // secret-dependent branch / secret-indexed table load in
+                     // a crypto kernel file (montgomery*/bigint*)
 };
 
 /// Stable rule name used in diagnostics, waivers, and baselines.
@@ -38,8 +46,8 @@ const char* RuleName(Rule rule);
 
 /// Parses a rule name or waiver alias ("ram" == "ram-alloc", "guard" ==
 /// "result-guard", "nodiscard" == "result-nodiscard", "obs" ==
-/// "obs-in-embedded", "frame" == "net-bounded-frame"). Returns false when
-/// unknown.
+/// "obs-in-embedded", "frame" == "net-bounded-frame", "secret" ==
+/// "secret-flow", "ct" == "const-time"). Returns false when unknown.
 bool ParseRuleName(const std::string& name, Rule* out);
 
 struct Finding {
@@ -74,9 +82,39 @@ struct Options {
   /// wire input and must check declared lengths against a compile-time kMax*
   /// bound before any allocation (the net-bounded-frame rule).
   std::vector<std::string> framed_modules{"net"};
+  /// Basename prefixes of the crypto kernel files under the const-time rule
+  /// (secret-dependent branches and secret-indexed loads are findings).
+  std::vector<std::string> const_time_files{"montgomery", "bigint"};
+  /// Basename prefixes of files compiled into the SSI: any secret-tagged
+  /// value or decrypt output appearing there is a secret-flow finding (the
+  /// SSI must see ciphertext only).
+  std::vector<std::string> ssi_files{"ssi_server"};
   /// Maximum number of inline waivers across the scanned tree; -1 = no cap.
   int max_waivers = -1;
 };
+
+/// Cross-file symbol table for the secret-flow rule, built in two passes:
+/// pass one collects `// pdslint: secret` / `// pdslint: sink` annotations
+/// and the built-in seeds (SymmetricKey/PrivateKey declarations, Decrypt*
+/// functions), pass two iterates per-function taint propagation to a
+/// fixpoint so functions *returning* secrets taint their call sites across
+/// files.
+struct SourceIndex {
+  /// Functions whose return value is secret, keyed (module, name).
+  /// Annotated functions use module "*" (match in any module); inferred
+  /// ones are module-scoped so unrelated same-name helpers don't collide.
+  std::set<std::pair<std::string, std::string>> secret_functions;
+  /// Module -> identifiers holding secret material in that module.
+  std::map<std::string, std::set<std::string>> module_secrets;
+  /// Functions that are sinks (`// pdslint: sink`): net frame encoders,
+  /// obs registry lookups / span constructors.
+  std::set<std::string> sink_functions;
+};
+
+/// Builds the secret-flow symbol table over (path, content) pairs.
+SourceIndex BuildIndex(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    const Options& options);
 
 struct Report {
   std::vector<Finding> findings;
@@ -90,9 +128,15 @@ struct Report {
 std::string ModuleOf(const std::string& path);
 
 /// Runs every applicable rule over one file's contents, appending findings
-/// and waivers to `report`.
+/// and waivers to `report`. Builds a single-file SourceIndex, so
+/// cross-file secret propagation needs AnalyzeTree (or the overload below).
 void AnalyzeFile(const std::string& path, const std::string& content,
                  const Options& options, Report* report);
+
+/// Same, but resolves secret/sink symbols against a pre-built index.
+void AnalyzeFile(const std::string& path, const std::string& content,
+                 const Options& options, const SourceIndex& index,
+                 Report* report);
 
 /// Recursively analyzes every .h/.cc/.cpp under each root (a root may also be
 /// a single file). Skips build*/ and hidden directories.
