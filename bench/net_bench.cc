@@ -5,11 +5,15 @@
 // It sweeps [TNP14] secure aggregation over the framed token<->SSI wire for
 // fleet sizes 4/16/64 on both transports (deterministic in-process queue
 // pairs and Unix-domain sockets), recording measured frame bytes, round
-// counts and loopback throughput/latency per run. It then runs the quorum
-// scenarios with one deliberately-dropped token: under quorum=1.0 the run
-// must fail with a quorum shortfall, under quorum=0.9 it must complete at
-// N-1 responders with the shortfall recorded. Any unexpected outcome exits
-// non-zero, which is what the CI schema check builds on.
+// counts, loopback throughput/latency and round-trip latency percentiles
+// (p50/p90/p99/p999 from the SSI's per-session HDR histograms) per run. It
+// then runs the quorum scenarios with one deliberately-dropped token: under
+// quorum=1.0 the run must fail with a quorum shortfall, under quorum=0.9 it
+// must complete at N-1 responders with the shortfall recorded. Any
+// unexpected outcome exits non-zero, which is what the CI schema check
+// builds on. The tracer stays on for the whole sweep and the merged
+// cross-process trace (SSI round-trip spans with token handler spans as
+// children) is exported as Chrome trace_event JSON (--trace).
 
 #include <chrono>
 #include <cstring>
@@ -25,6 +29,7 @@
 #include "net/ssi_server.h"
 #include "net/token_client.h"
 #include "net/transport.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -96,6 +101,12 @@ struct RunRecord {
   uint64_t tuples = 0;
   double wall_ms = 0;
   double tuples_per_sec = 0;
+  // Round-trip latency percentiles (µs) over every answered attempt in the
+  // run, from the SSI's log-bucketed histogram.
+  double rtt_p50_us = 0;
+  double rtt_p90_us = 0;
+  double rtt_p99_us = 0;
+  double rtt_p999_us = 0;
 };
 
 struct Scenario {
@@ -184,6 +195,11 @@ int RunScenario(const Scenario& sc, RunRecord* rec) {
   rec->missing_tokens = report.missing_tokens;
   rec->deadline_hits = report.deadline_hits;
   rec->retries = report.retries;
+  const pds::obs::Histogram& rtt = server.rtt_histogram();
+  rec->rtt_p50_us = rtt.Percentile(50);
+  rec->rtt_p90_us = rtt.Percentile(90);
+  rec->rtt_p99_us = rtt.Percentile(99);
+  rec->rtt_p999_us = rtt.Percentile(99.9);
   for (const auto& c : clients) {
     rec->frames += c->transport().frames_sent();
     rec->frames += c->transport().frames_received();
@@ -225,7 +241,11 @@ void WriteRecord(std::ostream& out, const RunRecord& r, bool last) {
       << ", \"frames\": " << r.frames
       << ", \"tuples\": " << r.tuples
       << ", \"wall_ms\": " << r.wall_ms
-      << ", \"tuples_per_sec\": " << r.tuples_per_sec << "}"
+      << ", \"tuples_per_sec\": " << r.tuples_per_sec
+      << ", \"rtt_p50_us\": " << r.rtt_p50_us
+      << ", \"rtt_p90_us\": " << r.rtt_p90_us
+      << ", \"rtt_p99_us\": " << r.rtt_p99_us
+      << ", \"rtt_p999_us\": " << r.rtt_p999_us << "}"
       << (last ? "\n" : ",\n");
 }
 
@@ -233,14 +253,24 @@ void WriteRecord(std::ostream& out, const RunRecord& r, bool last) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_net.json";
+  std::string trace_path = "trace_net.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::cerr << "usage: net_bench [--out FILE]\n";
+      std::cerr << "usage: net_bench [--out FILE] [--trace FILE]\n";
       return 2;
     }
   }
+
+  // Record every span from every scenario: the SSI's round-trip spans and
+  // the token threads' remote-parented handler spans land in one buffer, so
+  // the export below is already the merged cross-process trace.
+  pds::obs::Tracer& tracer = pds::obs::Tracer::Global();
+  tracer.SetCapacity(1 << 17);
+  tracer.SetEnabled(true);
 
   std::vector<Scenario> scenarios;
   for (const char* transport : {"inproc", "socket"}) {
@@ -286,6 +316,11 @@ int main(int argc, char** argv) {
     if (sc.section == "sweep" && !r.ok) {
       return Fail("sweep run unexpectedly failed");
     }
+    if (sc.section == "sweep" &&
+        (r.rtt_p50_us <= 0 || r.rtt_p50_us > r.rtt_p99_us ||
+         r.rtt_p99_us > r.rtt_p999_us)) {
+      return Fail("round-trip percentiles missing or non-monotonic");
+    }
     if (sc.section == "quorum" && sc.quorum == 1.0 && r.ok) {
       return Fail("full-quorum run with a dropped token unexpectedly passed");
     }
@@ -294,6 +329,11 @@ int main(int argc, char** argv) {
          r.responders != sc.fleet_size - 1)) {
       return Fail("quorum=0.9 run did not complete at N-1 responders");
     }
+  }
+
+  tracer.SetEnabled(false);
+  if (tracer.dropped() != 0) {
+    return Fail("trace buffer overflowed; raise SetCapacity");
   }
 
   std::ofstream out(out_path, std::ios::binary);
@@ -307,7 +347,15 @@ int main(int argc, char** argv) {
   if (!out) {
     return Fail("cannot write " + out_path);
   }
+  std::ofstream trace_out(trace_path, std::ios::binary);
+  tracer.ExportChromeTrace(trace_out);
+  trace_out.close();
+  if (!trace_out) {
+    return Fail("cannot write " + trace_path);
+  }
   std::cout << "wrote " << out_path << " (" << records.size()
-            << " records)\n";
+            << " records)\n"
+            << "wrote " << trace_path << " (" << tracer.num_events()
+            << " events; token round spans parent under SSI round-trips)\n";
   return 0;
 }

@@ -10,7 +10,9 @@
 # With --net, instead runs the real-wire driver (secure aggregation over
 # framed transports: fleet-size sweep on in-process and Unix-socket
 # loopback, plus the dropped-token quorum scenarios) and leaves
-# BENCH_net.json at the repo root.
+# BENCH_net.json — now with per-sweep round-trip latency percentiles —
+# plus trace_net.json (the merged cross-process Chrome trace: token round
+# spans parented under SSI round-trip spans) at the repo root.
 #
 # With --crypto, runs only the crypto hot path: the kernel-vs-scalar
 # ladder rungs (median of N repetitions after warmup) plus the
@@ -46,8 +48,8 @@ if [[ "$NET_MODE" == 1 ]]; then
     echo "building net_bench in $BUILD_DIR ..."
     cmake --build "$BUILD_DIR" --target net_bench
   fi
-  echo "== net_bench (wire sweep + quorum scenarios) =="
-  "$BUILD_DIR/bench/net_bench" --out BENCH_net.json
+  echo "== net_bench (wire sweep + quorum scenarios + merged trace) =="
+  "$BUILD_DIR/bench/net_bench" --out BENCH_net.json --trace trace_net.json
   if command -v python3 >/dev/null; then
     python3 bench/validate_net_json.py BENCH_net.json bench/net_schema.json
   fi

@@ -11,6 +11,9 @@ Checks, stdlib-only (run by bench/run_benches.sh --net and the CI net job):
   - wire accounting is consistent: every successful record satisfies
     bytes == bytes_token_to_ssi + bytes_ssi_to_token with bytes > 0 and
     rounds > 0;
+  - round-trip latency percentiles are present on every record and, on
+    successful sweep runs, positive and monotonic (p50 <= p90 <= p99 <=
+    p999);
   - the quorum section demonstrates both sides of the contract: a dropped
     token fails the run under quorum 1.0 and completes with a recorded
     shortfall under a sub-1.0 quorum.
@@ -73,6 +76,17 @@ def check_records(doc, schema, problems):
             sweep_transports.add(rec.get("transport"))
             if not rec["ok"]:
                 problems.append(f"{where}: sweep run failed")
+            pct_fields = schema.get("percentile_record_fields", [])
+            pcts = [rec.get(f) for f in pct_fields]
+            if all(is_number(p) for p in pcts) and pcts:
+                if pcts[0] <= 0:
+                    problems.append(
+                        f"{where}: sweep run reports no round-trip latency "
+                        f"({pct_fields[0]} = {pcts[0]})")
+                if any(a > b for a, b in zip(pcts, pcts[1:])):
+                    problems.append(
+                        f"{where}: round-trip percentiles not monotonic: "
+                        f"{pcts}")
         elif section == "quorum":
             if rec.get("quorum") == 1.0 and rec.get("dropped_tokens", 0) >= 1:
                 quorum_failed_full = quorum_failed_full or not rec["ok"]

@@ -6,7 +6,10 @@ Usage: validate_obs_json.py [BENCH_obs.json] [trace_obs.json] [schema.json]
 Checks, stdlib-only (run by bench/run_benches.sh --obs and the CI obs job):
   - the metrics file is {"records": [...]} where every record has the
     per-kind required fields, a known kind, and a numeric value;
-  - every metric name the schema requires is present;
+  - every metric name the schema requires is present, and every name the
+    schema lists in nonzero_names reports a value > 0 (the regression
+    guard for token.ram_high_water_bytes, which once exported 0 because
+    crypto ops never charged the RamGauge);
   - the trace file is {"traceEvents": [...]} of well-formed Chrome
     trace_event records ("X" complete spans / "i" instants, numeric ts,
     spans carry a numeric dur);
@@ -61,6 +64,13 @@ def check_metrics(doc, schema, problems):
     for name in spec["required_names"]:
         if name not in names:
             problems.append(f"metrics: required metric '{name}' not exported")
+    values = {rec.get("name"): rec.get("value")
+              for rec in records if isinstance(rec, dict)}
+    for name in spec.get("nonzero_names", []):
+        value = values.get(name)
+        if is_number(value) and value <= 0:
+            problems.append(
+                f"metrics: '{name}' must be > 0, exported {value}")
 
 
 def check_trace(doc, schema, problems):

@@ -245,6 +245,26 @@ class Reader {
   return m;
 }
 
+[[nodiscard]] Result<StatsReplyMsg> DecodeStatsReply(Reader* r) {
+  StatsReplyMsg m;
+  PDS_ASSIGN_OR_RETURN(m.json, r->Str(kMaxStatsJsonBytes));
+  return m;
+}
+
+/// Fixed-size trace block at the head of a version-2 payload. No
+/// allocation; the flags byte must only carry defined bits.
+[[nodiscard]] Result<TraceContext> DecodeTraceContext(Reader* r) {
+  TraceContext ctx;
+  PDS_ASSIGN_OR_RETURN(ctx.trace_id, r->U64());
+  PDS_ASSIGN_OR_RETURN(ctx.parent_span_id, r->U64());
+  PDS_ASSIGN_OR_RETURN(uint8_t flags, r->U8());
+  if ((flags & ~uint8_t{1}) != 0) {
+    return Status::Corruption("undefined trace-context flag bits");
+  }
+  ctx.sampled = (flags & 1) != 0;
+  return ctx;
+}
+
 void PutBatch(Writer* w, const std::vector<Bytes>& batch) {
   w->U32(static_cast<uint32_t>(batch.size()));
   for (const Bytes& ct : batch) {
@@ -324,6 +344,31 @@ Bytes EncodeError(const ErrorMsg& m) {
 
 Bytes EncodeBye() { return std::move(Writer(MsgType::kBye)).Seal(); }
 
+Bytes EncodeStatsRequest() {
+  return std::move(Writer(MsgType::kStatsRequest)).Seal();
+}
+
+Bytes EncodeStatsReply(const StatsReplyMsg& m) {
+  Writer w(MsgType::kStatsReply);
+  w.Blob(ByteView(std::string_view(m.json)));
+  return std::move(w).Seal();
+}
+
+Bytes AttachTraceContext(const Bytes& v1_frame, const TraceContext& ctx) {
+  Bytes out;
+  out.reserve(v1_frame.size() + kTraceContextSize);
+  out.insert(out.end(), v1_frame.begin(),
+             v1_frame.begin() + kFrameHeaderSize);
+  out[2] = kWireVersionTraced;
+  PutU64(&out, ctx.trace_id);
+  PutU64(&out, ctx.parent_span_id);
+  out.push_back(ctx.sampled ? uint8_t{1} : uint8_t{0});
+  out.insert(out.end(), v1_frame.begin() + kFrameHeaderSize, v1_frame.end());
+  EncodeU32(out.data() + 4,
+            static_cast<uint32_t>(out.size() - kFrameHeaderSize));
+  return out;
+}
+
 Bytes EncodeMessage(const Message& m) {
   return std::visit(
       [](const auto& body) -> Bytes {
@@ -344,6 +389,10 @@ Bytes EncodeMessage(const Message& m) {
           return EncodeAggResult(body);
         } else if constexpr (std::is_same_v<T, ErrorMsg>) {
           return EncodeError(body);
+        } else if constexpr (std::is_same_v<T, StatsRequestMsg>) {
+          return EncodeStatsRequest();
+        } else if constexpr (std::is_same_v<T, StatsReplyMsg>) {
+          return EncodeStatsReply(body);
         } else {
           return EncodeBye();
         }
@@ -360,12 +409,12 @@ Result<FrameHeader> DecodeFrameHeader(ByteView bytes) {
   }
   FrameHeader h;
   h.version = bytes[2];
-  if (h.version != kWireVersion) {
+  if (h.version != kWireVersion && h.version != kWireVersionTraced) {
     return Status::Corruption("unsupported wire version " +
                               std::to_string(h.version));
   }
   uint8_t type = bytes[3];
-  if (type < 1 || type > static_cast<uint8_t>(MsgType::kBye)) {
+  if (type < 1 || type > static_cast<uint8_t>(MsgType::kStatsReply)) {
     return Status::Corruption("unknown message type " + std::to_string(type));
   }
   h.type = static_cast<MsgType>(type);
@@ -374,6 +423,12 @@ Result<FrameHeader> DecodeFrameHeader(ByteView bytes) {
     return Status::Corruption("declared payload length " +
                               std::to_string(h.payload_len) +
                               " exceeds kMaxFramePayload");
+  }
+  // A traced frame must declare room for the fixed trace block; rejecting
+  // here means a truncated trace header never reaches payload allocation.
+  if (h.version == kWireVersionTraced && h.payload_len < kTraceContextSize) {
+    return Status::Corruption(
+        "traced frame declares payload shorter than the trace context");
   }
   return h;
 }
@@ -385,6 +440,10 @@ Result<Message> DecodeMessage(ByteView frame) {
   }
   Reader r(frame.subview(kFrameHeaderSize, h.payload_len));
   Message m;
+  if (h.version == kWireVersionTraced) {
+    PDS_ASSIGN_OR_RETURN(TraceContext ctx, DecodeTraceContext(&r));
+    m.trace = ctx;
+  }
   switch (h.type) {
     case MsgType::kChallenge: {
       PDS_ASSIGN_OR_RETURN(m.body, DecodeChallenge(&r));
@@ -421,6 +480,13 @@ Result<Message> DecodeMessage(ByteView frame) {
     case MsgType::kBye:
       m.body = ByeMsg{};
       break;
+    case MsgType::kStatsRequest:
+      m.body = StatsRequestMsg{};
+      break;
+    case MsgType::kStatsReply: {
+      PDS_ASSIGN_OR_RETURN(m.body, DecodeStatsReply(&r));
+      break;
+    }
   }
   PDS_RETURN_IF_ERROR(r.AtEnd());
   return m;

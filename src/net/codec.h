@@ -2,6 +2,7 @@
 #define PDS_NET_CODEC_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <variant>
@@ -28,7 +29,14 @@ namespace pds::net {
 
 inline constexpr uint16_t kMagic = 0x50D5;
 inline constexpr uint8_t kWireVersion = 1;
+/// Version-2 frame: identical header, but the payload opens with a
+/// fixed-size trace-context block (see TraceContext below) ahead of the
+/// message body. v1 frames stay byte-identical — a peer that never calls
+/// AttachTraceContext emits exactly the old wire format.
+inline constexpr uint8_t kWireVersionTraced = 2;
 inline constexpr size_t kFrameHeaderSize = 8;
+/// trace_id u64 + parent_span_id u64 + flags u8 (bit0 = sampled).
+inline constexpr size_t kTraceContextSize = 17;
 
 /// Compile-time bounds a decoder must check declared lengths against before
 /// allocating (the pdslint `net-bounded-frame` rule enforces the pattern).
@@ -40,6 +48,7 @@ inline constexpr size_t kMaxPartitions = 1u << 16;    // partition map rows
 inline constexpr size_t kMaxNonceBytes = 64;          // handshake nonce
 inline constexpr size_t kMaxPackedSlots = 256;        // packed-round domain labels
 inline constexpr size_t kMaxPackedCiphertextBytes = 2048;  // one packed ct (n^2)
+inline constexpr size_t kMaxStatsJsonBytes = 1u << 16;     // kStats reply JSON
 
 enum class MsgType : uint8_t {
   kChallenge = 1,     // SSI -> token: prove fleet membership for this nonce
@@ -51,6 +60,8 @@ enum class MsgType : uint8_t {
   kAggResult = 7,     // token -> SSI: plaintext final aggregate
   kError = 8,         // either direction
   kBye = 9,           // SSI -> token: session over
+  kStatsRequest = 10, // admin -> SSI: ask for the live stats snapshot
+  kStatsReply = 11,   // SSI -> admin: registry + telemetry JSON
 };
 
 enum class RoundKind : uint8_t {
@@ -139,14 +150,40 @@ struct ByeMsg {
   bool operator==(const ByeMsg&) const = default;
 };
 
+/// Admin frame: ask the SSI for its live stats snapshot. Carries nothing —
+/// the reply is gated on which transport it arrives over, not on payload.
+struct StatsRequestMsg {
+  bool operator==(const StatsRequestMsg&) const = default;
+};
+
+/// Live stats snapshot: a JSON document (registry metrics, per-session
+/// telemetry, delta-snapshot ring). Bounded by kMaxStatsJsonBytes on decode.
+struct StatsReplyMsg {
+  std::string json;
+  bool operator==(const StatsReplyMsg&) const = default;
+};
+
+/// Distributed-trace context carried by version-2 frames: the sender's
+/// span id that receiver-side spans should parent under, plus the root
+/// sampling decision. Trace ids must come from the *non-secret* RNG — the
+/// block travels in cleartext and is a secret-flow sink like the encoders.
+struct TraceContext {
+  uint64_t trace_id = 0;        // one id per distributed operation
+  uint64_t parent_span_id = 0;  // sender-side span to parent under
+  bool sampled = false;         // root keep/drop, followed by the receiver
+  bool operator==(const TraceContext&) const = default;
+};
+
 /// Decoded frame: the variant order matches the MsgType values.
 using MessageBody =
     std::variant<ChallengeMsg, HelloMsg, HelloAckMsg, RoundRequestMsg,
                  PartitionMapMsg, TupleBatchMsg, AggResultMsg, ErrorMsg,
-                 ByeMsg>;
+                 ByeMsg, StatsRequestMsg, StatsReplyMsg>;
 
 struct Message {
   MessageBody body;
+  /// Present iff the frame arrived with version-2 trace context.
+  std::optional<TraceContext> trace;
   [[nodiscard]] MsgType type() const {
     return static_cast<MsgType>(body.index() + 1);
   }
@@ -167,7 +204,8 @@ struct FrameHeader {
 /// pass through Encrypt*/Hmac first or carry an explicit declassify.
 // pdslint: sink(EncodeChallenge, EncodeHello, EncodeHelloAck,
 //               EncodeRoundRequest, EncodePartitionMap, EncodeTupleBatch,
-//               EncodeAggResult, EncodeError, EncodeBye, EncodeMessage)
+//               EncodeAggResult, EncodeError, EncodeBye, EncodeMessage,
+//               EncodeStatsRequest, EncodeStatsReply, AttachTraceContext)
 [[nodiscard]] Bytes EncodeChallenge(const ChallengeMsg& m);
 [[nodiscard]] Bytes EncodeHello(const HelloMsg& m);
 [[nodiscard]] Bytes EncodeHelloAck(const HelloAckMsg& m);
@@ -177,7 +215,16 @@ struct FrameHeader {
 [[nodiscard]] Bytes EncodeAggResult(const AggResultMsg& m);
 [[nodiscard]] Bytes EncodeError(const ErrorMsg& m);
 [[nodiscard]] Bytes EncodeBye();
+[[nodiscard]] Bytes EncodeStatsRequest();
+[[nodiscard]] Bytes EncodeStatsReply(const StatsReplyMsg& m);
 [[nodiscard]] Bytes EncodeMessage(const Message& m);
+
+/// Rewrites a sealed v1 frame into its version-2 equivalent carrying `ctx`
+/// ahead of the message body (payload_len grows by kTraceContextSize, so
+/// streaming receivers need no change). The trace block is cleartext on the
+/// wire: ctx must never be derived from secret material.
+[[nodiscard]] Bytes AttachTraceContext(const Bytes& v1_frame,
+                                       const TraceContext& ctx);
 
 /// Validates magic/version/type and that the declared payload length is
 /// within kMaxFramePayload. `bytes` must hold at least kFrameHeaderSize

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <map>
+#include <sstream>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/rng.h"
 #include "global/observer.h"
 #include "obs/obs.h"
@@ -70,6 +73,7 @@ struct NetObs {
   obs::Counter* retries;
   obs::Counter* quorum_shortfalls;
   obs::Counter* missing_tokens;
+  obs::Histogram* round_trip_us;
 };
 
 const NetObs& NetHooks() {
@@ -80,7 +84,8 @@ const NetObs& NetHooks() {
                   reg.GetCounter("net.deadline_hits", "ops"),
                   reg.GetCounter("net.retries", "ops"),
                   reg.GetCounter("net.quorum_shortfalls", "ops"),
-                  reg.GetCounter("net.missing_tokens", "ops")};
+                  reg.GetCounter("net.missing_tokens", "ops"),
+                  reg.GetHistogram("net.round_trip_us", "us")};
   }();
   return hooks;
 }
@@ -117,7 +122,8 @@ struct SsiServer::WireCost {
   }
 };
 
-SsiServer::SsiServer(const Config& config) : config_(config) {}
+SsiServer::SsiServer(const Config& config)
+    : config_(config), trace_rng_(config.nonce_seed ^ 0x7472616365ULL) {}
 
 Result<size_t> SsiServer::AcceptSession(std::unique_ptr<Transport> transport) {
   if (config_.verifier == nullptr) {
@@ -160,15 +166,33 @@ Result<size_t> SsiServer::AcceptSession(std::unique_ptr<Transport> transport) {
 Result<Message> SsiServer::RoundTrip(Session* s, const Bytes& frame,
                                      uint32_t round_id, WireCost* cost) {
   const NetObs& hooks = NetHooks();
+  // One span per logical round trip (retries included). When recorded, its
+  // id rides the wire as the trace-context parent so the token's handler
+  // span hangs under it in the merged cross-process trace.
+  obs::Span rt_span("net.round-trip", "net");
+  Bytes traced;
+  const Bytes* wire_frame = &frame;
+  if (rt_span.id() != 0) {
+    TraceContext ctx;
+    ctx.trace_id = run_trace_id_;
+    ctx.parent_span_id = rt_span.id();
+    ctx.sampled = true;
+    traced = AttachTraceContext(frame, ctx);
+    wire_frame = &traced;
+  }
+  // Admission-control gauge: bytes of this session's in-flight request.
+  s->stats.buffer_bytes.Set(static_cast<double>(wire_frame->size()));
   for (uint32_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
     if (attempt > 0) {
       ++cost->retries;
       hooks.retries->Add(1);
+      s->stats.retries.Add(1);
       std::this_thread::sleep_for(
           std::chrono::milliseconds(config_.backoff_ms * attempt));
     }
-    PDS_RETURN_IF_ERROR(s->transport->Send(frame));
-    cost->wire.AddSsiToToken(frame.size());
+    uint64_t attempt_start_ns = MonotonicNanos();
+    PDS_RETURN_IF_ERROR(s->transport->Send(*wire_frame));
+    cost->wire.AddSsiToToken(wire_frame->size());
     hooks.frames_sent->Add(1);
 
     auto deadline = std::chrono::steady_clock::now() +
@@ -189,27 +213,44 @@ Result<Message> SsiServer::RoundTrip(Session* s, const Bytes& frame,
           timed_out = true;
           break;
         }
+        s->stats.buffer_bytes.Set(0);
         return recv.status();
       }
       Bytes reply = std::move(recv).value();
       cost->wire.AddTokenToSsi(reply.size());
       hooks.frames_received->Add(1);
-      PDS_ASSIGN_OR_RETURN(Message m, DecodeMessage(reply));
+      auto decoded = DecodeMessage(reply);
+      if (!decoded.ok()) {
+        s->stats.buffer_bytes.Set(0);
+        return decoded.status();
+      }
+      Message m = std::move(decoded).value();
       const uint32_t* got = ReplyRoundId(m);
       if (got == nullptr) {
+        s->stats.buffer_bytes.Set(0);
         return Status::FailedPrecondition("unexpected reply message type");
       }
       if (*got < round_id) {
         continue;  // stale answer to an earlier attempt/round; discard
       }
       if (*got > round_id) {
+        s->stats.buffer_bytes.Set(0);
         return Status::Corruption("reply from a future round");
       }
+      double rtt_us =
+          static_cast<double>(MonotonicNanos() - attempt_start_ns) / 1000.0;
+      s->stats.rtt_us.Record(rtt_us);
+      s->stats.round_trips.Add(1);
+      rtt_us_.Record(rtt_us);
+      hooks.round_trip_us->Record(rtt_us);
+      s->stats.buffer_bytes.Set(0);
       return m;
     }
     ++cost->deadline_hits;
     hooks.deadline_hits->Add(1);
+    s->stats.deadline_hits.Add(1);
   }
+  s->stats.buffer_bytes.Set(0);
   return Status::DeadlineExceeded("token did not answer round " +
                                   std::to_string(round_id) + " after " +
                                   std::to_string(config_.max_retries + 1) +
@@ -229,6 +270,7 @@ Result<AggOutput> SsiServer::RunSecureAggregation(AggFunc func) {
   }
   report_ = RoundReport{};
   report_.sessions = live.size();
+  run_trace_id_ = trace_rng_.Next();
 
   AggOutput out;
   global::HbcObserver observer;
@@ -256,6 +298,7 @@ Result<AggOutput> SsiServer::RunSecureAggregation(AggFunc func) {
           if (!reply.ok()) {
             if (reply.status().code() == StatusCode::kDeadlineExceeded) {
               s->alive = false;  // straggler: drop for the whole run
+              s->stats.stragglers.Add(1);
               return Status::Ok();
             }
             return reply.status();
@@ -432,6 +475,7 @@ Result<AggOutput> SsiServer::RunSecureAggregation(AggFunc func) {
   out.groups = Finalize(final_state, func);
   out.leakage = observer.Report();
   global::RecordProtocolRun("net-secure-agg", out.metrics, out.leakage);
+  stats_ring_.Capture(obs::Registry::Global());
   return out;
 }
 
@@ -460,6 +504,7 @@ Result<AggOutput> SsiServer::RunPackedAggregation(
   }
   report_ = RoundReport{};
   report_.sessions = live.size();
+  run_trace_id_ = trace_rng_.Next();
 
   AggOutput out;
   global::HbcObserver observer;
@@ -491,6 +536,7 @@ Result<AggOutput> SsiServer::RunPackedAggregation(
           if (!reply.ok()) {
             if (reply.status().code() == StatusCode::kDeadlineExceeded) {
               s->alive = false;  // straggler: drop for the whole run
+              s->stats.stragglers.Add(1);
               return Status::Ok();
             }
             return reply.status();
@@ -562,7 +608,100 @@ Result<AggOutput> SsiServer::RunPackedAggregation(
   out.groups = Finalize(state, func);
   out.leakage = observer.Report();
   global::RecordProtocolRun("net-packed-paillier", out.metrics, out.leakage);
+  stats_ring_.Capture(obs::Registry::Global());
   return out;
+}
+
+std::vector<SsiServer::SessionTelemetry> SsiServer::Telemetry() const {
+  std::vector<SessionTelemetry> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) {
+    SessionTelemetry t;
+    t.token_id = s->token_id;
+    t.alive = s->alive;
+    t.round_trips = s->stats.round_trips.Value();
+    t.retries = s->stats.retries.Value();
+    t.deadline_hits = s->stats.deadline_hits.Value();
+    t.stragglers = s->stats.stragglers.Value();
+    t.rtt_p50_us = s->stats.rtt_us.Percentile(50.0);
+    t.rtt_p90_us = s->stats.rtt_us.Percentile(90.0);
+    t.rtt_p99_us = s->stats.rtt_us.Percentile(99.0);
+    t.rtt_p999_us = s->stats.rtt_us.Percentile(99.9);
+    t.buffer_bytes = s->stats.buffer_bytes.Value();
+    t.buffer_high_water = s->stats.buffer_bytes.max();
+    out.push_back(t);
+  }
+  return out;
+}
+
+namespace {
+
+void JsonF64(std::ostream& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", std::isfinite(v) ? v : 0.0);
+  out << buf;
+}
+
+}  // namespace
+
+std::string SsiServer::StatsJson() const {
+  std::ostringstream out;
+  out << "{\n\"sessions\": [";
+  bool first = true;
+  for (const SessionTelemetry& t : Telemetry()) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n  {\"token_id\": " << t.token_id
+        << ", \"alive\": " << (t.alive ? "true" : "false")
+        << ", \"round_trips\": " << t.round_trips
+        << ", \"retries\": " << t.retries
+        << ", \"deadline_hits\": " << t.deadline_hits
+        << ", \"stragglers\": " << t.stragglers << ", \"rtt_p50_us\": ";
+    JsonF64(out, t.rtt_p50_us);
+    out << ", \"rtt_p90_us\": ";
+    JsonF64(out, t.rtt_p90_us);
+    out << ", \"rtt_p99_us\": ";
+    JsonF64(out, t.rtt_p99_us);
+    out << ", \"rtt_p999_us\": ";
+    JsonF64(out, t.rtt_p999_us);
+    out << ", \"buffer_bytes\": ";
+    JsonF64(out, t.buffer_bytes);
+    out << ", \"buffer_high_water\": ";
+    JsonF64(out, t.buffer_high_water);
+    out << '}';
+  }
+  out << "\n],\n\"fleet\": {\"round_trips\": " << rtt_us_.count()
+      << ", \"rtt_p50_us\": ";
+  JsonF64(out, rtt_us_.Percentile(50.0));
+  out << ", \"rtt_p90_us\": ";
+  JsonF64(out, rtt_us_.Percentile(90.0));
+  out << ", \"rtt_p99_us\": ";
+  JsonF64(out, rtt_us_.Percentile(99.0));
+  out << ", \"rtt_p999_us\": ";
+  JsonF64(out, rtt_us_.Percentile(99.9));
+  out << "},\n\"registry\": " << obs::Registry::Global().MetricsJson();
+  out << ",\n\"ring\": " << stats_ring_.Json();
+  out << "}\n";
+  return out.str();
+}
+
+Status SsiServer::ServeStats(Transport* transport) {
+  PDS_ASSIGN_OR_RETURN(Bytes frame, transport->Recv(config_.deadline_ms));
+  PDS_ASSIGN_OR_RETURN(Message m, DecodeMessage(frame));
+  if (!std::holds_alternative<StatsRequestMsg>(m.body)) {
+    (void)transport->Send(
+        EncodeError(ErrorMsg{1, "stats channel accepts only kStatsRequest"}));
+    return Status::FailedPrecondition(
+        "stats channel received a non-stats message");
+  }
+  std::string json = StatsJson();
+  if (json.size() > kMaxStatsJsonBytes) {
+    // The reply must stay decodable by a bounds-checking peer; a registry
+    // large enough to overflow the bound is a deployment error worth
+    // surfacing over silently truncated JSON.
+    json = "{\"error\": \"stats snapshot exceeds kMaxStatsJsonBytes\"}";
+  }
+  return transport->Send(EncodeStatsReply(StatsReplyMsg{std::move(json)}));
 }
 
 void SsiServer::Shutdown() {

@@ -3,14 +3,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "global/agg_protocols.h"
 #include "global/common.h"
 #include "global/fleet_executor.h"
 #include "mcu/secure_token.h"
 #include "net/codec.h"
 #include "net/transport.h"
+#include "obs/obs.h"
 
 /// The SSI side of the real wire: hosts one protocol session per connected
 /// token and runs the [TNP14] secure-aggregation rounds over framed
@@ -84,15 +87,60 @@ class SsiServer {
 
   [[nodiscard]] const RoundReport& last_report() const { return report_; }
 
+  /// Point-in-time per-session telemetry: round-trip tail latencies from
+  /// the session's log-bucketed histogram plus retry/deadline/straggler
+  /// accounting and the request-buffer gauge (admission-control groundwork
+  /// for the event-loop SSI).
+  struct SessionTelemetry {
+    uint64_t token_id = 0;
+    bool alive = false;
+    uint64_t round_trips = 0;
+    uint64_t retries = 0;
+    uint64_t deadline_hits = 0;
+    uint64_t stragglers = 0;  // runs this session was dropped from
+    double rtt_p50_us = 0;
+    double rtt_p90_us = 0;
+    double rtt_p99_us = 0;
+    double rtt_p999_us = 0;
+    double buffer_bytes = 0;       // request bytes currently in flight
+    double buffer_high_water = 0;  // max ever in flight on this session
+  };
+  [[nodiscard]] std::vector<SessionTelemetry> Telemetry() const;
+
+  /// Fleet-wide round-trip latency distribution (microseconds), across all
+  /// sessions and every attempt that got an answer.
+  [[nodiscard]] const obs::Histogram& rtt_histogram() const { return rtt_us_; }
+
+  /// The live stats document served by the kStats admin frame: per-session
+  /// telemetry, fleet round-trip percentiles, the full metrics registry,
+  /// and the recent delta-snapshot ring (one capture per protocol run).
+  [[nodiscard]] std::string StatsJson() const;
+
+  /// Answers one kStatsRequest arriving on `transport` with a kStatsReply.
+  /// The stats channel is read-only and carries no token data, so it does
+  /// not require the attestation handshake.
+  [[nodiscard]] Status ServeStats(Transport* transport);
+
   /// Sends Bye on every live session and closes the transports.
   void Shutdown();
 
  private:
+  /// Per-session accounting, bumped on the round-trip hot path with plain
+  /// atomic ops (no registry lookups).
+  struct SessionStats {
+    obs::Histogram rtt_us;  // one sample per answered attempt, µs
+    obs::Counter round_trips;
+    obs::Counter retries;
+    obs::Counter deadline_hits;
+    obs::Counter stragglers;
+    obs::Gauge buffer_bytes;  // bytes of the in-flight request frame
+  };
   struct Session {
     std::unique_ptr<Transport> transport;
     uint64_t token_id = 0;
     bool alive = false;
     uint32_t next_round_id = 1;
+    SessionStats stats;
   };
   struct WireCost;  // per-work-unit wire accounting (defined in the .cc)
 
@@ -106,6 +154,13 @@ class SsiServer {
   Config config_;
   std::vector<std::unique_ptr<Session>> sessions_;
   RoundReport report_;
+  obs::Histogram rtt_us_;  // fleet-wide round-trip latency, µs
+  obs::SnapshotRing stats_ring_{8};
+  /// Trace ids for outgoing trace-context blocks. Seeded from the public
+  /// nonce seed — deliberately the *non-secret* RNG: trace ids travel in
+  /// cleartext (the codec treats AttachTraceContext as a secret-flow sink).
+  Rng trace_rng_;
+  uint64_t run_trace_id_ = 0;
 };
 
 }  // namespace pds::net

@@ -199,24 +199,40 @@ Status TokenClient::ServeLoop() {
       --fail_budget_;  // fault injection: swallow the request silently
       continue;
     }
+    // Parent this round's handler span under the SSI's round-trip span
+    // when the frame carried trace context; the merged Chrome trace then
+    // shows one cross-process timeline per round.
+    obs::RemoteParent remote;
+    if (m.trace.has_value()) {
+      remote.span_id = m.trace->parent_span_id;
+      remote.sampled = m.trace->sampled;
+    }
     switch (req->header.kind) {
-      case RoundKind::kCollect:
+      case RoundKind::kCollect: {
+        obs::Span span("net.round.collect", "net", remote);
         PDS_RETURN_IF_ERROR(HandleCollect(*req));
         break;
-      case RoundKind::kAggregate:
+      }
+      case RoundKind::kAggregate: {
+        obs::Span span("net.round.aggregate", "net", remote);
         PDS_RETURN_IF_ERROR(HandleAggregate(*req));
         break;
-      case RoundKind::kFinalize:
+      }
+      case RoundKind::kFinalize: {
+        obs::Span span("net.round.finalize", "net", remote);
         PDS_RETURN_IF_ERROR(HandleFinalize(*req));
         break;
-      case RoundKind::kPackedCollect:
+      }
+      case RoundKind::kPackedCollect: {
         if (config_.packed == nullptr) {
           ErrorMsg err{2, "token has no packed-Paillier context"};
           PDS_RETURN_IF_ERROR(transport_->Send(EncodeError(err)));
           break;
         }
+        obs::Span span("net.round.packed-collect", "net", remote);
         PDS_RETURN_IF_ERROR(HandlePackedCollect(*req));
         break;
+      }
     }
   }
   return Status::Ok();

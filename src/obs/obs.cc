@@ -86,22 +86,74 @@ double AtomicF64::Load() const {
 // Histogram
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Midpoint of sub-bucket `sub` of exponent range `exp`: the range
+/// [2^(exp-1), 2^exp) is split into kSubBuckets equal linear slices.
+double SubBucketMidpoint(size_t exp, size_t sub) {
+  return std::ldexp(
+      1.0 + (static_cast<double>(sub) + 0.5) / Histogram::kSubBuckets,
+      static_cast<int>(exp) - 1);
+}
+
+}  // namespace
+
 void Histogram::Record(double v) {
 #if PDS_OBS_ENABLED
   count_.Add(1);
   sum_.Add(v);
   min_.StoreMax(-v);  // negated: the max of -v is the min of v
   max_.StoreMax(v);
-  int exp = 0;
+  size_t slot = 0;  // v <= 0 and subnormal tails land in the lowest slot
   if (v > 0) {
-    std::frexp(v, &exp);
-    if (exp < 0) exp = 0;
-    if (exp >= static_cast<int>(kBuckets)) exp = kBuckets - 1;
+    int exp = 0;
+    double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+    if (exp >= static_cast<int>(kBuckets)) {
+      slot = kBuckets * kSubBuckets - 1;
+    } else if (exp >= 0) {
+      int sub = static_cast<int>((m * 2.0 - 1.0) *
+                                 static_cast<double>(kSubBuckets));
+      if (sub < 0) sub = 0;
+      if (sub >= static_cast<int>(kSubBuckets)) sub = kSubBuckets - 1;
+      slot = static_cast<size_t>(exp) * kSubBuckets +
+             static_cast<size_t>(sub);
+    }
   }
-  buckets_[exp].Add(1);
+  sub_[slot].Add(1);
 #else
   (void)v;
 #endif
+}
+
+uint64_t Histogram::bucket(size_t i) const {
+  uint64_t n = 0;
+  for (size_t s = 0; s < kSubBuckets; ++s) {
+    n += sub_[i * kSubBuckets + s].Value();
+  }
+  return n;
+}
+
+double Histogram::Percentile(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max();
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                                  static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets * kSubBuckets; ++i) {
+    seen += sub_[i].Value();
+    if (seen >= rank) {
+      double rep = SubBucketMidpoint(i / kSubBuckets, i % kSubBuckets);
+      // Clamp into the observed range: the extreme buckets cover values the
+      // histogram never saw, and min/max are tracked exactly.
+      if (rep < min()) rep = min();
+      if (rep > max()) rep = max();
+      return rep;
+    }
+  }
+  return max();
 }
 
 double Histogram::min() const { return count() == 0 ? 0.0 : -min_.Load(); }
@@ -116,7 +168,7 @@ void Histogram::Reset() {
   sum_.Store(0);
   min_.Store(-std::numeric_limits<double>::infinity());
   max_.Store(0);
-  for (Counter& b : buckets_) b.Reset();
+  for (Counter& b : sub_) b.Reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -240,6 +292,98 @@ void Registry::ExportMetricsJson(std::ostream& out) const {
 std::string Registry::MetricsJson() const {
   std::ostringstream out;
   ExportMetricsJson(out);
+  return out.str();
+}
+
+std::vector<Registry::MetricValue> Registry::SnapshotValues() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<MetricValue> values;
+  values.reserve(impl_->entries.size());
+  for (const Impl::Entry& e : impl_->entries) {
+    double v = 0;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        v = static_cast<double>(e.counter.Value());
+        break;
+      case MetricKind::kGauge:
+        v = e.gauge.Value();
+        break;
+      case MetricKind::kHistogram:
+        v = static_cast<double>(e.hist.count());
+        break;
+    }
+    values.push_back({e.name, v});
+  }
+  return values;
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotRing
+// ---------------------------------------------------------------------------
+
+SnapshotRing::SnapshotRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SnapshotRing::Capture(const Registry& reg) {
+  std::vector<Registry::MetricValue> values = reg.SnapshotValues();
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.seq = ++captures_;
+  for (const Registry::MetricValue& mv : values) {
+    auto it = last_.find(mv.name);
+    double prev = it == last_.end() ? 0.0 : it->second;
+    if (mv.value != prev) {
+      snap.deltas.push_back({mv.name, mv.value, mv.value - prev});
+    }
+    last_[mv.name] = mv.value;
+  }
+  if (ring_.size() == capacity_) ring_.erase(ring_.begin());
+  ring_.push_back(std::move(snap));
+}
+
+size_t SnapshotRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t SnapshotRing::captures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return captures_;
+}
+
+std::vector<SnapshotRing::Snapshot> SnapshotRing::Snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+void SnapshotRing::ExportJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"captures\": " << captures_ << ", \"snapshots\": [";
+  bool first_snap = true;
+  for (const Snapshot& snap : ring_) {
+    if (!first_snap) out << ',';
+    first_snap = false;
+    out << "\n  {\"seq\": " << snap.seq << ", \"deltas\": [";
+    bool first_delta = true;
+    for (const Delta& d : snap.deltas) {
+      if (!first_delta) out << ',';
+      first_delta = false;
+      out << "\n    {\"name\": \"";
+      JsonEscape(out, d.name);
+      out << "\", \"value\": ";
+      JsonNumber(out, d.value);
+      out << ", \"delta\": ";
+      JsonNumber(out, d.delta);
+      out << '}';
+    }
+    out << "]}";
+  }
+  out << "\n]}\n";
+}
+
+std::string SnapshotRing::Json() const {
+  std::ostringstream out;
+  ExportJson(out);
   return out.str();
 }
 
@@ -410,7 +554,8 @@ std::string Tracer::ChromeTraceJson() const {
 
 #if PDS_OBS_ENABLED
 
-void Span::Begin(const char* name, const char* category) {
+void Span::Begin(const char* name, const char* category, bool has_remote,
+                 RemoteParent remote) {
   name_ = name;
   category_ = category;
   Tracer& tracer = Tracer::Global();
@@ -421,19 +566,31 @@ void Span::Begin(const char* name, const char* category) {
     ++ts.suppressed;
     return;
   }
+  bool remote_root = has_remote && remote.span_id != 0 && ts.stack.empty();
   if (ts.stack.empty()) {
-    uint32_t n = tracer.sample_n_.load(std::memory_order_relaxed);
-    if (n > 1 &&
-        tracer.root_seq_.fetch_add(1, std::memory_order_relaxed) % n != 0) {
-      suppressing_ = true;
-      ++ts.suppressed;
-      return;
+    if (remote_root) {
+      // The remote root already made the keep/drop call for the whole
+      // distributed trace; follow it instead of the local root sampler.
+      if (!remote.sampled) {
+        suppressing_ = true;
+        ++ts.suppressed;
+        return;
+      }
+    } else {
+      uint32_t n = tracer.sample_n_.load(std::memory_order_relaxed);
+      if (n > 1 &&
+          tracer.root_seq_.fetch_add(1, std::memory_order_relaxed) % n != 0) {
+        suppressing_ = true;
+        ++ts.suppressed;
+        return;
+      }
     }
   }
   if (ts.tid == 0) ts.tid = tracer.impl_->next_tid.fetch_add(1);
   recorded_ = true;
   id_ = tracer.next_id_.fetch_add(1, std::memory_order_relaxed);
-  parent_ = ts.stack.empty() ? 0 : ts.stack.back();
+  parent_ = !ts.stack.empty() ? ts.stack.back()
+                              : (remote_root ? remote.span_id : 0);
   ts.stack.push_back(id_);
   start_ns_ = MonotonicNanos();
 }

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -94,11 +96,22 @@ class Gauge {
   AtomicF64 max_;
 };
 
-/// Count/sum/min/max plus power-of-two buckets — enough for latency
-/// distributions without per-record allocation.
+/// Count/sum/min/max plus an HDR-style log-linear bucket grid — enough for
+/// tail-latency distributions without per-record allocation.
+///
+/// Layout: 32 power-of-two exponent ranges, each split into kSubBuckets
+/// linear sub-buckets. A positive sample v with frexp(v) = m·2^e lands in
+/// exponent e, sub-bucket floor((2m−1)·kSubBuckets). `Percentile` answers
+/// with the midpoint of the selected sub-bucket, so the relative error of a
+/// reported percentile for positive samples is bounded by
+/// 1/(2·kSubBuckets) = 6.25% (then clamped into [min, max], which can only
+/// shrink the error). tests/obs_test.cc asserts this bound over a sweep.
 class Histogram {
  public:
   static constexpr size_t kBuckets = 32;
+  static constexpr size_t kSubBuckets = 8;
+  /// Documented worst-case relative error of Percentile() for samples > 0.
+  static constexpr double kMaxRelativeError = 1.0 / (2.0 * kSubBuckets);
 
   Histogram() { Reset(); }  // arms the min sentinel
 
@@ -108,7 +121,11 @@ class Histogram {
   double min() const;
   double max() const { return max_.Load(); }
   double mean() const;
-  uint64_t bucket(size_t i) const { return buckets_[i].Value(); }
+  /// Total count of exponent range `i` (sums its linear sub-buckets).
+  uint64_t bucket(size_t i) const;
+  /// Value at percentile `p` in [0, 100] (e.g. 50, 90, 99, 99.9); returns 0
+  /// on an empty histogram. Error bound: kMaxRelativeError, see above.
+  double Percentile(double p) const;
   void Reset();
 
  private:
@@ -116,7 +133,7 @@ class Histogram {
   AtomicF64 sum_;
   AtomicF64 min_;  // stored negated so StoreMax tracks the minimum
   AtomicF64 max_;
-  Counter buckets_[kBuckets];
+  Counter sub_[kBuckets * kSubBuckets];
 };
 
 /// Find-or-create registry of named metrics. Lookups take a mutex — do them
@@ -143,6 +160,14 @@ class Registry {
   void ExportMetricsJson(std::ostream& out) const;
   std::string MetricsJson() const;
 
+  /// One scalar per registered metric (counter value, gauge value, histogram
+  /// count), in registration order — the raw material for delta snapshots.
+  struct MetricValue {
+    std::string name;
+    double value = 0;
+  };
+  std::vector<MetricValue> SnapshotValues() const;
+
   size_t num_metrics() const;
 
  private:
@@ -150,6 +175,47 @@ class Registry {
   ~Registry();
   struct Impl;
   Impl* impl_;
+};
+
+/// Fixed-capacity ring of registry *delta* snapshots: each Capture records
+/// which metrics changed since the previous capture (name, absolute value,
+/// delta). The ring backs the live `kStats` admin frame — a peer polling the
+/// SSI sees both the current registry and the recent per-round movement
+/// without the SSI retaining unbounded history.
+class SnapshotRing {
+ public:
+  struct Delta {
+    std::string name;
+    double value = 0;  // absolute value at capture time
+    double delta = 0;  // change since the previous capture
+  };
+  struct Snapshot {
+    uint64_t seq = 0;  // 1-based capture sequence number
+    std::vector<Delta> deltas;
+  };
+
+  explicit SnapshotRing(size_t capacity = 8);
+
+  /// Diffs `reg` against the last captured values; stores only metrics whose
+  /// value moved (first capture: every nonzero metric). Oldest snapshot is
+  /// evicted once the ring is full.
+  void Capture(const Registry& reg);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t captures() const;
+  std::vector<Snapshot> Snapshots() const;
+
+  /// {"captures": N, "snapshots": [{"seq", "deltas": [...]}, ...]}
+  void ExportJson(std::ostream& out) const;
+  std::string Json() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t captures_ = 0;
+  std::map<std::string, double> last_;
+  std::vector<Snapshot> ring_;  // ring_[0] oldest
 };
 
 /// One completed (or instant) span in the trace buffer. Names and categories
@@ -225,6 +291,16 @@ class Tracer {
   std::atomic<uint64_t> dropped_{0};
 };
 
+/// Parent carried across a process/transport boundary by the wire
+/// trace-context header: the remote span id a local root span should hang
+/// under, plus the remote root's sampling decision (which replaces the
+/// local root sampler — the remote side already chose keep/drop for the
+/// whole distributed trace).
+struct RemoteParent {
+  uint64_t span_id = 0;
+  bool sampled = false;
+};
+
 /// RAII span: times a scope and records it into Tracer::Global() with the
 /// enclosing span (same thread) as parent. Name/category must outlive the
 /// tracer (string literals, or Tracer::Intern at setup).
@@ -232,15 +308,26 @@ class Span {
  public:
 #if PDS_OBS_ENABLED
   explicit Span(const char* name, const char* category = "app") {
-    Begin(name, category);
+    Begin(name, category, false, RemoteParent{});
+  }
+  /// Span whose parent arrived over the wire. With an empty local span
+  /// stack, `remote.span_id` becomes the parent and `remote.sampled` decides
+  /// recording; nested under a local span, behaves like the plain ctor.
+  Span(const char* name, const char* category, RemoteParent remote) {
+    Begin(name, category, true, remote);
   }
   ~Span() { End(); }
 
   /// Attaches up to two numeric args, shown in the trace viewer.
   void AddArg(const char* key, double value);
 
+  /// Span id for trace-context propagation; 0 when not recorded (tracer
+  /// off, sampled out, or suppressed).
+  uint64_t id() const { return recorded_ ? id_ : 0; }
+
  private:
-  void Begin(const char* name, const char* category);
+  void Begin(const char* name, const char* category, bool has_remote,
+             RemoteParent remote);
   void End();
 
   const char* name_ = "";
@@ -255,7 +342,9 @@ class Span {
   double arg_val_[2] = {0, 0};
 #else
   explicit Span(const char*, const char* = "app") {}
+  Span(const char*, const char*, RemoteParent) {}
   void AddArg(const char*, double) {}
+  uint64_t id() const { return 0; }
 #endif
 
  public:

@@ -48,6 +48,8 @@ std::vector<Message> AllMessageTypes() {
   msgs.push_back({ar});
   msgs.push_back({ErrorMsg{3, "boom"}});
   msgs.push_back({ByeMsg{}});
+  msgs.push_back({StatsRequestMsg{}});
+  msgs.push_back({StatsReplyMsg{"{\"sessions\": []}"}});
   return msgs;
 }
 
@@ -109,8 +111,83 @@ TEST(NetCodecTest, HeaderRejectsBadMagic) {
 
 TEST(NetCodecTest, HeaderRejectsWrongVersion) {
   Bytes frame = EncodeBye();
-  frame[2] = kWireVersion + 1;
+  frame[2] = kWireVersionTraced + 1;
   EXPECT_EQ(DecodeMessage(frame).status().code(), StatusCode::kCorruption);
+}
+
+TEST(NetCodecTest, UntracedFramesStillDecodeWithoutTraceContext) {
+  // Back-compat: every v1 frame decodes exactly as before, with no trace
+  // context attached.
+  for (const Message& m : AllMessageTypes()) {
+    Bytes frame = EncodeMessage(m);
+    EXPECT_EQ(frame[2], kWireVersion);
+    auto decoded = DecodeMessage(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_FALSE(decoded->trace.has_value());
+  }
+}
+
+TEST(NetCodecTest, TraceContextRoundTripsOnEveryMessageType) {
+  const TraceContext ctx{0x1122334455667788ULL, 0xAABBCCDDEEFF0011ULL, true};
+  for (const Message& m : AllMessageTypes()) {
+    Bytes traced = AttachTraceContext(EncodeMessage(m), ctx);
+    auto header = DecodeFrameHeader(traced);
+    ASSERT_TRUE(header.ok()) << header.status().ToString();
+    EXPECT_EQ(header->version, kWireVersionTraced);
+    auto decoded = DecodeMessage(traced);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_TRUE(decoded->trace.has_value());
+    EXPECT_EQ(*decoded->trace, ctx);
+    EXPECT_TRUE(decoded->body == m.body)
+        << "type " << static_cast<int>(m.type());
+  }
+}
+
+TEST(NetCodecTest, TracedHeaderRejectsTruncatedTraceBlock) {
+  // A v2 frame whose declared payload cannot even hold the trace block is
+  // rejected from the header alone, before any allocation.
+  Bytes frame = EncodeBye();  // payload_len = 0
+  frame[2] = kWireVersionTraced;
+  EXPECT_EQ(DecodeFrameHeader(frame).status().code(),
+            StatusCode::kCorruption);
+
+  // One byte short of a full trace block: still a header-level reject.
+  Bytes traced = AttachTraceContext(EncodeBye(), TraceContext{1, 2, true});
+  traced.pop_back();
+  EncodeU32(traced.data() + 4,
+            static_cast<uint32_t>(traced.size() - kFrameHeaderSize));
+  EXPECT_EQ(DecodeFrameHeader(traced).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(NetCodecTest, TraceContextRejectsUndefinedFlagBits) {
+  Bytes traced = AttachTraceContext(EncodeBye(), TraceContext{1, 2, false});
+  // The flags byte is the last byte of the 17-byte trace block.
+  traced[kFrameHeaderSize + kTraceContextSize - 1] = 0x02;
+  EXPECT_EQ(DecodeMessage(traced).status().code(), StatusCode::kCorruption);
+}
+
+TEST(NetCodecTest, TraceContextTruncationSweepNeverSucceeds) {
+  Bytes traced = AttachTraceContext(
+      EncodeStatsReply(StatsReplyMsg{"{\"fleet\": {}}"}),
+      TraceContext{3, 4, true});
+  for (size_t len = 0; len < traced.size(); ++len) {
+    EXPECT_FALSE(DecodeMessage(ByteView(traced.data(), len)).ok())
+        << "prefix " << len;
+  }
+}
+
+TEST(NetCodecTest, StatsReplyRejectsOversizedDeclaredJson) {
+  // A lying JSON length past kMaxStatsJsonBytes must be rejected before the
+  // decoder sizes the string.
+  Bytes frame;
+  PutU16(&frame, kMagic);
+  frame.push_back(kWireVersion);
+  frame.push_back(static_cast<uint8_t>(MsgType::kStatsReply));
+  PutU32(&frame, 4);  // payload: just the string length
+  PutU32(&frame, static_cast<uint32_t>(kMaxStatsJsonBytes + 1));
+  auto decoded = DecodeMessage(frame);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
 }
 
 TEST(NetCodecTest, HeaderRejectsUnknownType) {

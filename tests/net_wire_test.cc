@@ -7,12 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
+#include <sstream>
+#include <string>
 #include <thread>
 
 #include "common/rng.h"
 #include "global/agg_protocols.h"
 #include "net/ssi_server.h"
 #include "net/token_client.h"
+#include "obs/obs.h"
 #include "pds/pds_node.h"
 
 namespace pds::net {
@@ -646,6 +650,149 @@ TEST(NetHandshakeTest, RejectsTokenOutsideFleet) {
   EXPECT_EQ(server.num_sessions(), 0u);
   client.Stop();
   EXPECT_EQ(client.Join().code(), StatusCode::kPermissionDenied);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing and the live stats surface
+
+#if PDS_OBS_ENABLED
+TEST(NetTracingTest, TokenRoundSpansParentUnderSsiRoundTrips) {
+  // The acceptance walk for the merged cross-process trace: after a
+  // loopback run with tracing on, every token-side round handler span must
+  // be a child of one of the SSI's round-trip spans — one timeline per
+  // round, stitched across the process boundary by the wire trace context.
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.SetEnabled(false);
+  tracer.SetSampleEveryN(1);
+  tracer.SetCapacity(1 << 14);
+  tracer.SetEnabled(true);
+
+  TestFleet fleet = MakeTestFleet(6);
+  SsiServer::Config scfg;
+  scfg.partition_capacity = 16;  // forces aggregate + finalize rounds
+  scfg.verifier = fleet.verifier.get();
+  SsiServer server(scfg);
+  auto clients = ConnectClients(&server, &fleet);
+  auto output = server.RunSecureAggregation(AggFunc::kSum);
+  JoinAll(&server, &clients);
+  tracer.SetEnabled(false);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  ASSERT_EQ(tracer.dropped(), 0u);
+
+  std::set<uint64_t> round_trip_ids;
+  for (const obs::SpanEvent& e : tracer.Events()) {
+    if (std::string_view(e.name) == "net.round-trip") {
+      round_trip_ids.insert(e.id);
+    }
+  }
+  EXPECT_FALSE(round_trip_ids.empty());
+  size_t token_spans = 0;
+  std::set<std::string> token_span_names;
+  for (const obs::SpanEvent& e : tracer.Events()) {
+    std::string_view name(e.name);
+    if (name == "net.round.collect" || name == "net.round.aggregate" ||
+        name == "net.round.finalize") {
+      ++token_spans;
+      token_span_names.insert(std::string(name));
+      EXPECT_NE(e.parent, 0u) << name;
+      EXPECT_TRUE(round_trip_ids.count(e.parent))
+          << name << " parent " << e.parent
+          << " is not an SSI round-trip span";
+    }
+  }
+  // Every phase of the protocol crossed the boundary: one collect per
+  // token, aggregate rounds (partition_capacity forces them at this fleet
+  // size), and the finalize.
+  EXPECT_GE(token_spans, fleet.tokens.size());
+  EXPECT_TRUE(token_span_names.count("net.round.collect"));
+  EXPECT_TRUE(token_span_names.count("net.round.aggregate"));
+  EXPECT_TRUE(token_span_names.count("net.round.finalize"));
+
+  // And the merged view survives export: both sides' spans land in the one
+  // Chrome trace document.
+  std::ostringstream trace_out;
+  tracer.ExportChromeTrace(trace_out);
+  std::string trace = trace_out.str();
+  EXPECT_NE(trace.find("net.round-trip"), std::string::npos);
+  EXPECT_NE(trace.find("net.round.collect"), std::string::npos);
+}
+#endif  // PDS_OBS_ENABLED
+
+TEST(NetStatsTest, TelemetryCountsRoundTripsPerSession) {
+  TestFleet fleet = MakeTestFleet(4);
+  SsiServer::Config scfg;
+  scfg.partition_capacity = 16;
+  scfg.verifier = fleet.verifier.get();
+  SsiServer server(scfg);
+  auto clients = ConnectClients(&server, &fleet);
+  auto output = server.RunSecureAggregation(AggFunc::kSum);
+  JoinAll(&server, &clients);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  std::vector<SsiServer::SessionTelemetry> telemetry = server.Telemetry();
+  ASSERT_EQ(telemetry.size(), 4u);
+  for (const auto& t : telemetry) {
+    EXPECT_GT(t.round_trips, 0u) << "token " << t.token_id;
+    EXPECT_GT(t.rtt_p50_us, 0.0) << "token " << t.token_id;
+    EXPECT_LE(t.rtt_p50_us, t.rtt_p99_us) << "token " << t.token_id;
+    EXPECT_LE(t.rtt_p99_us, t.rtt_p999_us) << "token " << t.token_id;
+    EXPECT_DOUBLE_EQ(t.buffer_bytes, 0.0);  // nothing in flight at rest
+    EXPECT_GT(t.buffer_high_water, 0.0);
+  }
+  EXPECT_GT(server.rtt_histogram().count(), 0u);
+}
+
+TEST(NetStatsTest, StatsRequestReturnsLiveJsonSnapshot) {
+  TestFleet fleet = MakeTestFleet(3);
+  SsiServer::Config scfg;
+  scfg.partition_capacity = 16;
+  scfg.verifier = fleet.verifier.get();
+  SsiServer server(scfg);
+  auto clients = ConnectClients(&server, &fleet);
+  auto output = server.RunSecureAggregation(AggFunc::kSum);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  // The stats channel is its own connection — no handshake, one
+  // request/reply exchange.
+  auto [admin_end, stats_end] = InProcessTransport::CreatePair();
+  std::thread serving([&server, transport = stats_end.get()] {
+    EXPECT_TRUE(server.ServeStats(transport).ok());
+  });
+  ASSERT_TRUE(admin_end->Send(EncodeStatsRequest()).ok());
+  auto reply_frame = admin_end->Recv(2000);
+  ASSERT_TRUE(reply_frame.ok()) << reply_frame.status().ToString();
+  auto reply = DecodeAs<StatsReplyMsg>(*reply_frame);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  serving.join();
+
+  // The snapshot carries all four surfaces: per-session telemetry, fleet
+  // percentiles, the metrics registry, and the delta-snapshot ring.
+  EXPECT_NE(reply->json.find("\"sessions\""), std::string::npos);
+  EXPECT_NE(reply->json.find("\"fleet\""), std::string::npos);
+  EXPECT_NE(reply->json.find("\"registry\""), std::string::npos);
+  EXPECT_NE(reply->json.find("\"ring\""), std::string::npos);
+  EXPECT_NE(reply->json.find("\"rtt_p50_us\""), std::string::npos);
+  EXPECT_NE(reply->json.find("\"net.round_trip_us\""), std::string::npos);
+
+  JoinAll(&server, &clients);
+}
+
+TEST(NetStatsTest, StatsChannelRejectsNonStatsFrames) {
+  TestFleet fleet = MakeTestFleet(1);
+  SsiServer::Config scfg;
+  scfg.verifier = fleet.verifier.get();
+  SsiServer server(scfg);
+
+  auto [admin_end, stats_end] = InProcessTransport::CreatePair();
+  ASSERT_TRUE(admin_end->Send(EncodeBye()).ok());
+  EXPECT_EQ(server.ServeStats(stats_end.get()).code(),
+            StatusCode::kFailedPrecondition);
+  // The peer gets a protocol error frame rather than silence.
+  auto reply = admin_end->Recv(2000);
+  ASSERT_TRUE(reply.ok());
+  auto decoded = DecodeMessage(*reply);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(std::holds_alternative<ErrorMsg>(decoded->body));
 }
 
 }  // namespace

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "global/fleet_executor.h"
 #include "obs/obs.h"
@@ -94,6 +96,91 @@ TEST(ObsHistogram, PowerOfTwoBuckets) {
   EXPECT_EQ(h.bucket(7), 1u);
 }
 
+TEST(ObsHistogram, PercentileWithinDocumentedRelativeError) {
+  SKIP_IF_OBS_DISABLED();
+  // Deterministic sweep: 1..1000, each exactly once. The exact percentile-p
+  // value under the nearest-rank definition is then ceil(10 * p).
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) {
+    h.Record(static_cast<double>(v));
+  }
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    double exact = std::ceil(10.0 * p);
+    double got = h.Percentile(p);
+    double rel_err = std::abs(got - exact) / exact;
+    EXPECT_LE(rel_err, Histogram::kMaxRelativeError)
+        << "p" << p << ": got " << got << ", exact " << exact;
+  }
+  // Percentiles are monotone in p and clamped to the observed range.
+  double prev = 0;
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    double got = h.Percentile(p);
+    EXPECT_GE(got, prev) << "p" << p;
+    prev = got;
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1000.0);
+}
+
+TEST(ObsHistogram, PercentileEdgeCases) {
+  SKIP_IF_OBS_DISABLED();
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);  // empty histogram reads as 0
+  h.Record(7.0);
+  // One sample: every percentile clamps to the single observed value.
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.9), 7.0);
+}
+
+TEST(ObsSnapshotRing, CapturesDeltasAndEvictsOldest) {
+  SKIP_IF_OBS_DISABLED();
+  Registry& reg = Registry::Global();
+  Counter* c = reg.GetCounter("obs_test.ring.rounds", "ops");
+  SnapshotRing ring(2);
+  EXPECT_EQ(ring.capacity(), 2u);
+
+  c->Add(5);
+  ring.Capture(reg);
+  c->Add(2);
+  ring.Capture(reg);
+
+  auto delta_for = [](const SnapshotRing::Snapshot& snap,
+                      std::string_view name) -> const SnapshotRing::Delta* {
+    for (const SnapshotRing::Delta& d : snap.deltas) {
+      if (d.name == name) {
+        return &d;
+      }
+    }
+    return nullptr;
+  };
+  std::vector<SnapshotRing::Snapshot> snaps = ring.Snapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  const SnapshotRing::Delta* first = delta_for(snaps[0], "obs_test.ring.rounds");
+  ASSERT_NE(first, nullptr);
+  EXPECT_DOUBLE_EQ(first->value, 5.0);
+  EXPECT_DOUBLE_EQ(first->delta, 5.0);
+  const SnapshotRing::Delta* second =
+      delta_for(snaps[1], "obs_test.ring.rounds");
+  ASSERT_NE(second, nullptr);
+  EXPECT_DOUBLE_EQ(second->value, 7.0);
+  EXPECT_DOUBLE_EQ(second->delta, 2.0);
+
+  // An idle capture stores no delta for the unchanged counter; a third
+  // capture evicts the oldest snapshot but the total capture count keeps
+  // climbing.
+  ring.Capture(reg);
+  snaps = ring.Snapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(ring.captures(), 3u);
+  EXPECT_EQ(snaps[1].seq, 3u);
+  EXPECT_EQ(delta_for(snaps[1], "obs_test.ring.rounds"), nullptr);
+
+  std::string json = ring.Json();
+  EXPECT_NE(json.find("\"captures\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.ring.rounds\""), std::string::npos);
+}
+
 TEST(ObsRegistry, FindOrCreateIsStable) {
   Registry& reg = Registry::Global();
   Counter* a = reg.GetCounter("obs_test.stable", "ops");
@@ -146,6 +233,45 @@ TEST(ObsSpan, NestingRecordsParentLinkage) {
   ASSERT_EQ(outer.num_args, 1u);
   EXPECT_STREQ(outer.arg_key[0], "k");
   EXPECT_DOUBLE_EQ(outer.arg_val[0], 1.0);
+}
+
+TEST(ObsSpan, RemoteParentAdoptsCrossProcessSpanId) {
+  SKIP_IF_OBS_DISABLED();
+  FreshTracer();
+  const uint64_t remote_id = 0xC0FFEE;
+  {
+    Span span("remote-child", "test", RemoteParent{remote_id, true});
+    EXPECT_NE(span.id(), 0u);
+    {
+      Span nested("remote-grandchild", "test");
+    }
+  }
+  Tracer::Global().SetEnabled(false);
+
+  auto events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  const SpanEvent& nested = events[0];
+  const SpanEvent& child = events[1];
+  EXPECT_STREQ(child.name, "remote-child");
+  EXPECT_EQ(child.parent, remote_id);  // parented across the process gap
+  EXPECT_EQ(nested.parent, child.id);  // locals nest under it as usual
+}
+
+TEST(ObsSpan, UnsampledRemoteParentSuppressesSubtree) {
+  SKIP_IF_OBS_DISABLED();
+  FreshTracer();
+  {
+    // The remote root decided not to sample; the local subtree follows that
+    // decision instead of consulting the local sampler.
+    Span span("unsampled-child", "test", RemoteParent{77, false});
+    EXPECT_EQ(span.id(), 0u);
+    {
+      Span nested("unsampled-grandchild", "test");
+    }
+  }
+  Tracer::Global().SetEnabled(false);
+  EXPECT_EQ(Tracer::Global().num_events(), 0u);
+  EXPECT_EQ(Tracer::Global().dropped(), 0u);
 }
 
 TEST(ObsSpan, DisabledTracerRecordsNothing) {

@@ -270,6 +270,19 @@ TEST(PdslintSecretFlow, CatchesPlantedFleetKeyFrameLeak) {
   EXPECT_NE(r.findings[0].message.find("EncodeHello"), std::string::npos);
 }
 
+TEST(PdslintSecretFlow, CatchesKeyMaterialFoldedIntoTraceId) {
+  // The distributed-tracing leak: fleet-key bytes folded into a trace_id
+  // that flows into the trace-context attacher. Trace ids travel cleartext
+  // on every traced frame, so AttachTraceContext is a sink like the payload
+  // encoders — the real codepath seeds trace ids from the non-secret RNG.
+  Report r = Lint("net/leak_trace_id.cc");
+  std::vector<int> lines = LinesFor(r, Rule::kSecretFlow);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 38);
+  EXPECT_NE(r.findings[0].message.find("AttachTraceContext"),
+            std::string::npos);
+}
+
 TEST(PdslintSecretFlow, FlagsAnySecretInSsiCompiledCode) {
   Report r = Lint("net/ssi_server_bad.cc");
   std::vector<int> lines = LinesFor(r, Rule::kSecretFlow);
