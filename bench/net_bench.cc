@@ -25,7 +25,9 @@
 
 #include "common/rng.h"
 #include "crypto/cipher.h"
+#include "crypto/paillier.h"
 #include "global/fleet_executor.h"
+#include "net/scenario.h"
 #include "net/ssi_server.h"
 #include "net/token_client.h"
 #include "net/transport.h"
@@ -160,7 +162,8 @@ int RunScenario(const Scenario& sc, RunRecord* rec) {
     ccfg.token = fleet.tokens[i].get();
     ccfg.tuples = fleet.tuples[i];
     if (i < sc.drop_first) {
-      ccfg.fail_first_requests = kDropForever;
+      ccfg.faults.seed = 7 + i;
+      ccfg.faults.swallow_first = kDropForever;
     }
     clients.push_back(
         std::make_unique<TokenClient>(std::move(client_side), ccfg));
@@ -247,6 +250,65 @@ void WriteRecord(std::ostream& out, const RunRecord& r, bool last) {
       << ", \"rtt_p99_us\": " << r.rtt_p99_us
       << ", \"rtt_p999_us\": " << r.rtt_p999_us << "}"
       << (last ? "\n" : ",\n");
+}
+
+/// Runs the adversarial-wire scenario matrix (benign + link faults ×
+/// protocols, sealed tampering, hostile-frame probes, churn) and distills
+/// it into the `fault_scenarios` record the schema check validates:
+/// detection_rate over expects_detection cells must be 1.0 and every benign
+/// cell must be byte-identical to the in-process reference.
+int RunFaultScenarios(std::string* json) {
+  BenchFleet fleet = MakeFleet(4);
+  std::vector<pds::global::Participant> participants;
+  for (size_t i = 0; i < fleet.tokens.size(); ++i) {
+    pds::global::Participant p;
+    p.token = fleet.tokens[i].get();
+    p.tuples = fleet.tuples[i];
+    participants.push_back(std::move(p));
+  }
+  std::vector<std::string> domain;
+  for (int i = 0; i < 5; ++i) domain.push_back("city-" + std::to_string(i));
+  Rng key_rng(42);
+  auto paillier = pds::crypto::Paillier::Generate(256, &key_rng);
+  if (!paillier.ok()) return Fail("Paillier::Generate");
+  auto packed = pds::crypto::PackedAggregate::Create(
+      *paillier, fleet.tokens.size(), /*max_value=*/4096, 2 * domain.size());
+  if (!packed.ok()) return Fail("PackedAggregate::Create");
+  pds::global::PackedPaillierProtocol::Config packed_cfg;
+  packed_cfg.domain = domain;
+  packed_cfg.max_slot_value = 4096;
+  packed_cfg.paillier_bits = 256;
+  packed_cfg.key_seed = 42;
+
+  std::vector<pds::net::ScenarioResult> results;
+  for (pds::net::ScenarioSpec& spec :
+       pds::net::DefaultMatrix(/*seed=*/7, /*use_socket=*/false)) {
+    spec.participants = participants;
+    spec.verifier = fleet.verifier.get();
+    spec.domain = domain;
+    spec.packed = &packed.value();
+    spec.packed_cfg = packed_cfg;
+    auto cell = pds::net::RunScenarioCell(spec);
+    if (!cell.ok()) {
+      return Fail("scenario " + spec.name + ": " + cell.status().ToString());
+    }
+    const pds::net::ScenarioResult& r = cell.value();
+    std::cout << "scenario " << r.name << ": "
+              << (r.ran_ok ? "ran" : "failed") << ", byte_identical="
+              << r.byte_identical << ", detected=" << r.detected
+              << (r.error.empty() ? "" : " [" + r.error + "]") << "\n";
+    if (r.benign && (!r.ran_ok || !r.byte_identical)) {
+      return Fail("benign scenario " + r.name +
+                  " diverged from the in-process reference: " + r.error);
+    }
+    if (r.expects_detection && !r.detected) {
+      return Fail("scenario " + r.name + " evaded detection\n" +
+                  r.injection_log);
+    }
+    results.push_back(std::move(cell).value());
+  }
+  *json = pds::net::MatrixJson(results);
+  return 0;
 }
 
 }  // namespace
@@ -336,13 +398,20 @@ int main(int argc, char** argv) {
     return Fail("trace buffer overflowed; raise SetCapacity");
   }
 
+  // The scenario matrix runs untraced — its spans would swamp the sweep's
+  // trace and the fault cells are exercised for verdicts, not latency.
+  std::string fault_scenarios;
+  if (RunFaultScenarios(&fault_scenarios) != 0) {
+    return 1;
+  }
+
   std::ofstream out(out_path, std::ios::binary);
   out << "{\n  \"meta\": {\"generated_by\": \"bench/net_bench\", "
          "\"protocol\": \"net-secure-agg\"},\n  \"records\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     WriteRecord(out, records[i], i + 1 == records.size());
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"fault_scenarios\": " << fault_scenarios << "\n}\n";
   out.close();
   if (!out) {
     return Fail("cannot write " + out_path);

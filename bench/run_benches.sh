@@ -48,7 +48,7 @@ if [[ "$NET_MODE" == 1 ]]; then
     echo "building net_bench in $BUILD_DIR ..."
     cmake --build "$BUILD_DIR" --target net_bench
   fi
-  echo "== net_bench (wire sweep + quorum scenarios + merged trace) =="
+  echo "== net_bench (wire sweep + quorum + adversarial scenario matrix) =="
   "$BUILD_DIR/bench/net_bench" --out BENCH_net.json --trace trace_net.json
   if command -v python3 >/dev/null; then
     python3 bench/validate_net_json.py BENCH_net.json bench/net_schema.json

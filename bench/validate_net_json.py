@@ -16,7 +16,11 @@ Checks, stdlib-only (run by bench/run_benches.sh --net and the CI net job):
     p999);
   - the quorum section demonstrates both sides of the contract: a dropped
     token fails the run under quorum 1.0 and completes with a recorded
-    shortfall under a sub-1.0 quorum.
+    shortfall under a sub-1.0 quorum;
+  - the fault_scenarios record holds the adversarial-wire guarantees: a
+    non-empty cell list with the schema's fields, detection_rate exactly
+    1.0 over the cells that expect detection, and the benign-cell
+    byte-equality flag true.
 
 Exits 0 on success, 1 with a list of problems otherwise.
 """
@@ -106,6 +110,57 @@ def check_records(doc, schema, problems):
             "quorum < 1.0")
 
 
+def check_fault_scenarios(doc, schema, problems):
+    fs = doc.get("fault_scenarios")
+    if not isinstance(fs, dict):
+        problems.append("'fault_scenarios' missing or not an object")
+        return
+    for field in schema.get("required_fault_scenario_fields", []):
+        if field not in fs:
+            problems.append(f"fault_scenarios: missing field '{field}'")
+    cells = fs.get("cells")
+    if not isinstance(cells, list) or not cells:
+        problems.append("fault_scenarios: 'cells' missing, not a list, or "
+                        "empty")
+        return
+    expected = 0
+    caught = 0
+    benign_broken = []
+    for i, cell in enumerate(cells):
+        where = f"fault cell {i}"
+        if not isinstance(cell, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in schema.get("required_fault_cell_fields", []):
+            if field not in cell:
+                problems.append(f"{where}: missing field '{field}'")
+        if cell.get("expects_detection"):
+            expected += 1
+            if cell.get("detected"):
+                caught += 1
+            else:
+                problems.append(
+                    f"{where} ({cell.get('name')}): adversary evaded "
+                    f"detection")
+        if cell.get("benign") and not (cell.get("ran_ok")
+                                       and cell.get("byte_identical")):
+            benign_broken.append(cell.get("name"))
+    for name in benign_broken:
+        problems.append(
+            f"fault_scenarios: benign cell {name!r} not byte-identical to "
+            f"the in-process protocol")
+    if expected == 0:
+        problems.append("fault_scenarios: no cell expects detection")
+    rate = fs.get("detection_rate")
+    if not is_number(rate) or rate != 1.0:
+        problems.append(
+            f"fault_scenarios: detection_rate must be exactly 1.0, got "
+            f"{rate!r} ({caught}/{expected} caught)")
+    if fs.get("benign_byte_identical") is not True:
+        problems.append(
+            "fault_scenarios: benign_byte_identical flag is not true")
+
+
 def main(argv):
     bench_path = argv[1] if len(argv) > 1 else "BENCH_net.json"
     schema_path = argv[2] if len(argv) > 2 else "bench/net_schema.json"
@@ -120,6 +175,7 @@ def main(argv):
         problems.append(f"cannot load {bench_path}: {e}")
         fail(problems)
     check_records(doc, schema, problems)
+    check_fault_scenarios(doc, schema, problems)
 
     if problems:
         fail(problems)

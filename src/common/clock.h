@@ -13,6 +13,19 @@ namespace pds {
 /// nothing that affects an output may read this.
 uint64_t MonotonicNanos();
 
+/// Scenario clock scale factor for wall-clock budgets (deadlines, retry
+/// backoff, poll windows) — NOT for anything that affects an output. Wire
+/// tests derive their timing assumptions from this so sanitizer builds
+/// (ASan/TSan easily run 4-20x slower) don't race fixed sleeps. Resolution
+/// order: the PDS_TIME_SCALE environment variable if set (clamped to
+/// [1, 64]), else 4 when compiled under ASan/TSan, else 1. Read once and
+/// cached; constant for the whole process.
+uint32_t TimeScale();
+
+/// `ms` scaled by TimeScale(), saturating at uint32 max. Use for every
+/// deadline/backoff a test passes to the wire runtime.
+uint32_t ScaledMs(uint32_t ms);
+
 }  // namespace pds
 
 #endif  // PDS_COMMON_CLOCK_H_

@@ -43,8 +43,6 @@ std::map<std::string, double> Finalize(
   return out;
 }
 
-constexpr char kFakeGroupPrefix[] = "\x01__fake__";
-
 /// Message/crypto-op counters accumulated inside one parallel work unit and
 /// merged into the run's Metrics in index order afterwards. All Metrics
 /// fields are sums, so per-unit accounting plus ordered merging reproduces

@@ -87,6 +87,12 @@ struct LeakageReport {
 /// The aggregate requested from the fleet.
 enum class AggFunc { kSum, kCount, kAvg };
 
+/// Group-label prefix marking [TNP14] noise tuples. The prefix starts with
+/// a non-printable byte so it cannot collide with a real user-visible group.
+/// Both the in-process det/noise protocols (agg_protocols.cc) and the wire
+/// runtime's kDetCollect handlers must agree on it, so it lives here.
+inline constexpr char kFakeGroupPrefix[] = "\x01__fake__";
+
 /// Payload carried (encrypted) with each [TNP14] protocol tuple:
 /// [u8 fake][f64 sum][u64 count][group bytes]. The in-process protocols
 /// (agg_protocols.cc) and the wire runtime (src/net) must agree on this

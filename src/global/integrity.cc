@@ -1,5 +1,6 @@
 #include "global/integrity.h"
 
+#include <cstring>
 #include <map>
 #include <set>
 
@@ -17,6 +18,57 @@ Bytes TupleMacInput(uint64_t participant, uint64_t sequence,
 }
 
 }  // namespace
+
+Bytes EncodeSealedTuple(const SealedTuple& t) {
+  Bytes out;
+  out.reserve(8 + 8 + 4 + t.payload_ct.size() + t.mac.size());
+  PutU64(&out, t.participant);
+  PutU64(&out, t.sequence);
+  PutLengthPrefixed(&out, ByteView(t.payload_ct));
+  out.insert(out.end(), t.mac.begin(), t.mac.end());
+  return out;
+}
+
+Result<SealedTuple> DecodeSealedTuple(ByteView in) {
+  constexpr size_t kFixed = 8 + 8 + 4 + crypto::Sha256::kDigestSize;
+  if (in.size() < kFixed) {
+    return Status::Corruption("sealed tuple truncated");
+  }
+  SealedTuple t;
+  t.participant = GetU64(in.data());
+  t.sequence = GetU64(in.data() + 8);
+  uint32_t len = GetU32(in.data() + 16);
+  if (len > kMaxSealedPayloadBytes) {
+    return Status::Corruption("sealed payload length " + std::to_string(len) +
+                              " exceeds kMaxSealedPayloadBytes");
+  }
+  if (in.size() != kFixed + len) {
+    return Status::Corruption("sealed tuple length mismatch");
+  }
+  t.payload_ct.assign(in.data() + 20, in.data() + 20 + len);
+  std::memcpy(t.mac.data(), in.data() + 20 + len, t.mac.size());
+  return t;
+}
+
+Bytes EncodeManifest(const Manifest& m) {
+  Bytes out;
+  out.reserve(8 + 8 + m.mac.size());
+  PutU64(&out, m.participant);
+  PutU64(&out, m.tuple_count);
+  out.insert(out.end(), m.mac.begin(), m.mac.end());
+  return out;
+}
+
+Result<Manifest> DecodeManifest(ByteView in) {
+  if (in.size() != 8 + 8 + crypto::Sha256::kDigestSize) {
+    return Status::Corruption("manifest blob has wrong size");
+  }
+  Manifest m;
+  m.participant = GetU64(in.data());
+  m.tuple_count = GetU64(in.data() + 8);
+  std::memcpy(m.mac.data(), in.data() + 16, m.mac.size());
+  return m;
+}
 
 Result<std::vector<SealedTuple>> SealTuples(
     mcu::SecureToken* token, uint64_t participant,
@@ -111,6 +163,49 @@ Result<IntegrityVerdict> VerifyBatch(
     }
   }
   return verdict;
+}
+
+Result<SealedAudit> AuditSealedBatch(mcu::SecureToken* querier,
+                                     const std::vector<SealedTuple>& tuples,
+                                     const std::vector<Manifest>& manifests,
+                                     AggFunc func) {
+  SealedAudit out;
+  PDS_ASSIGN_OR_RETURN(out.verdict, VerifyBatch(querier, tuples, manifests));
+  out.token_ops = manifests.size() + tuples.size();  // MACs spent verifying
+  if (!out.verdict.ok) {
+    return out;
+  }
+  struct Acc {
+    double sum = 0;
+    uint64_t count = 0;
+  };
+  std::map<std::string, Acc> state;
+  for (const SealedTuple& t : tuples) {
+    PDS_ASSIGN_OR_RETURN(Bytes plain,
+                         querier->DecryptNonDet(ByteView(t.payload_ct)));
+    ++out.token_ops;
+    PDS_ASSIGN_OR_RETURN(AggPayload p, DecodeAggPayload(ByteView(plain)));
+    if (p.fake) {
+      continue;
+    }
+    Acc& a = state[p.group];
+    a.sum += p.sum;
+    a.count += p.count;
+  }
+  for (const auto& [group, acc] : state) {
+    switch (func) {
+      case AggFunc::kSum:
+        out.groups[group] = acc.sum;
+        break;
+      case AggFunc::kCount:
+        out.groups[group] = static_cast<double>(acc.count);
+        break;
+      case AggFunc::kAvg:
+        out.groups[group] = acc.sum / static_cast<double>(acc.count);
+        break;
+    }
+  }
+  return out;
 }
 
 TamperingSsi::Actions TamperingSsi::Tamper(std::vector<SealedTuple>* batch) {

@@ -1,6 +1,8 @@
 #ifndef PDS_GLOBAL_INTEGRITY_H_
 #define PDS_GLOBAL_INTEGRITY_H_
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -36,6 +38,21 @@ struct Manifest {
   crypto::Sha256::Digest mac{};
 };
 
+/// Bound on a sealed payload ciphertext, checked on decode before any
+/// allocation. Matches the wire's per-tuple bound without depending on
+/// src/net (global is a lower layer).
+inline constexpr size_t kMaxSealedPayloadBytes = 1u << 16;
+
+/// Flat wire encodings so sealed tuples and manifests can travel inside a
+/// TupleBatch frame: the MAC'd fields are byte-exact on both ends, so a
+/// re-encode after transport verifies against the original MAC.
+///   sealed tuple: [u64 participant][u64 sequence][u32 len|payload][32B mac]
+///   manifest:     [u64 participant][u64 tuple_count][32B mac]
+[[nodiscard]] Bytes EncodeSealedTuple(const SealedTuple& t);
+[[nodiscard]] Result<SealedTuple> DecodeSealedTuple(ByteView in);
+[[nodiscard]] Bytes EncodeManifest(const Manifest& m);
+[[nodiscard]] Result<Manifest> DecodeManifest(ByteView in);
+
 /// Seals one participant's ciphertexts (call inside the producing token).
 Result<std::vector<SealedTuple>> SealTuples(
     mcu::SecureToken* token, uint64_t participant,
@@ -55,6 +72,26 @@ struct IntegrityVerdict {
 Result<IntegrityVerdict> VerifyBatch(mcu::SecureToken* token,
                                      const std::vector<SealedTuple>& tuples,
                                      const std::vector<Manifest>& manifests);
+
+/// Result of a querier-side audit of a sealed collection round: the
+/// integrity verdict plus — only when the batch verified — the plaintext
+/// aggregate over the sealed payloads, computed inside the querier token.
+struct SealedAudit {
+  IntegrityVerdict verdict;
+  std::map<std::string, double> groups;  // empty unless verdict.ok
+  uint64_t token_ops = 0;                // MACs verified + payloads decrypted
+};
+
+/// Verifies and (if clean) aggregates a sealed batch inside the querier
+/// token. This is the detection point for every weakly-malicious SSI action
+/// on a sealed round: substitution/alteration, replay/duplication, omission
+/// and manifest forgery all surface in `verdict.problem`; a forged
+/// *aggregate* is caught by comparing the SSI's claimed result against
+/// `groups`.
+Result<SealedAudit> AuditSealedBatch(mcu::SecureToken* querier,
+                                     const std::vector<SealedTuple>& tuples,
+                                     const std::vector<Manifest>& manifests,
+                                     AggFunc func);
 
 /// The weakly malicious SSI: tampers with a batch according to the
 /// configured action rates. Returns how many tuples were affected.

@@ -1,0 +1,117 @@
+#include "net/adversary.h"
+
+#include <cmath>
+#include <utility>
+
+namespace pds::net {
+
+const char* AdversaryActionName(AdversaryAction action) {
+  switch (action) {
+    case AdversaryAction::kNone:
+      return "none";
+    case AdversaryAction::kSubstituteCiphertext:
+      return "substitute-ciphertext";
+    case AdversaryAction::kReplayCiphertext:
+      return "replay-ciphertext";
+    case AdversaryAction::kOmitCiphertext:
+      return "omit-ciphertext";
+    case AdversaryAction::kForgeManifest:
+      return "forge-manifest";
+    case AdversaryAction::kForgeAggregate:
+      return "forge-aggregate";
+    case AdversaryAction::kReplayStaleRound:
+      return "replay-stale-round";
+    case AdversaryAction::kOversizedFrame:
+      return "oversized-frame";
+    case AdversaryAction::kMalformedFrame:
+      return "malformed-frame";
+  }
+  return "unknown";
+}
+
+std::string ApplySealedTampering(const AdversaryPlan& plan,
+                                 std::vector<global::SealedTuple>* tuples,
+                                 std::vector<global::Manifest>* manifests) {
+  Rng rng(plan.seed);
+  switch (plan.action) {
+    case AdversaryAction::kSubstituteCiphertext: {
+      if (tuples->empty()) return "";
+      global::SealedTuple& t = (*tuples)[rng.Uniform(tuples->size())];
+      if (t.payload_ct.empty()) return "";
+      size_t byte = static_cast<size_t>(rng.Uniform(t.payload_ct.size()));
+      t.payload_ct[byte] ^= 0x01;
+      return "substituted ciphertext byte of (participant " +
+             std::to_string(t.participant) + ", seq " +
+             std::to_string(t.sequence) + ")";
+    }
+    case AdversaryAction::kReplayCiphertext: {
+      if (tuples->empty()) return "";
+      global::SealedTuple copy = (*tuples)[rng.Uniform(tuples->size())];
+      std::string what = "replayed (participant " +
+                         std::to_string(copy.participant) + ", seq " +
+                         std::to_string(copy.sequence) + ")";
+      tuples->push_back(std::move(copy));
+      return what;
+    }
+    case AdversaryAction::kOmitCiphertext: {
+      if (tuples->empty()) return "";
+      size_t victim = static_cast<size_t>(rng.Uniform(tuples->size()));
+      std::string what = "omitted (participant " +
+                         std::to_string((*tuples)[victim].participant) +
+                         ", seq " +
+                         std::to_string((*tuples)[victim].sequence) + ")";
+      tuples->erase(tuples->begin() + static_cast<ptrdiff_t>(victim));
+      return what;
+    }
+    case AdversaryAction::kForgeManifest: {
+      if (manifests->empty()) return "";
+      global::Manifest& m = (*manifests)[rng.Uniform(manifests->size())];
+      // The SSI holds no MAC key, so the best it can do is lie about the
+      // count and keep the stale MAC — exactly what VerifyBatch catches.
+      m.tuple_count += 1;
+      return "forged manifest count for participant " +
+             std::to_string(m.participant);
+    }
+    case AdversaryAction::kNone:
+    case AdversaryAction::kForgeAggregate:
+    case AdversaryAction::kReplayStaleRound:
+    case AdversaryAction::kOversizedFrame:
+    case AdversaryAction::kMalformedFrame:
+      return "";
+  }
+  return "";
+}
+
+global::IntegrityVerdict CompareAggregates(
+    const std::map<std::string, double>& claimed,
+    const std::map<std::string, double>& audited) {
+  global::IntegrityVerdict verdict;
+  for (const auto& [group, value] : audited) {
+    auto it = claimed.find(group);
+    if (it == claimed.end()) {
+      verdict.ok = false;
+      verdict.problem = "claimed aggregate is missing group \"" + group + "\"";
+      return verdict;
+    }
+    // Bit-exact comparison: honest wire and in-process runs sum in the same
+    // order, so even the doubles must match.
+    if (it->second != value) {
+      verdict.ok = false;
+      verdict.problem = "claimed aggregate for group \"" + group +
+                        "\" diverges from the audited value";
+      return verdict;
+    }
+  }
+  for (const auto& [group, value] : claimed) {
+    (void)value;
+    if (audited.count(group) == 0) {
+      verdict.ok = false;
+      verdict.problem =
+          "claimed aggregate has unexpected group \"" + group + "\"";
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace pds::net

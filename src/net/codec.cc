@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/hash.h"
+
 namespace pds::net {
 
 namespace {
@@ -139,7 +141,7 @@ class Reader {
   RoundHeader h;
   PDS_ASSIGN_OR_RETURN(h.round_id, r->U32());
   PDS_ASSIGN_OR_RETURN(uint8_t kind, r->U8());
-  if (kind < 1 || kind > 4) {
+  if (kind < 1 || kind > static_cast<uint8_t>(RoundKind::kClassAggregate)) {
     return Status::Corruption("bad round kind");
   }
   h.kind = static_cast<RoundKind>(kind);
@@ -354,6 +356,53 @@ Bytes EncodeStatsReply(const StatsReplyMsg& m) {
   return std::move(w).Seal();
 }
 
+Bytes AppendFrameChecksum(const Bytes& v1_frame) {
+  Bytes out;
+  out.reserve(v1_frame.size() + kFrameChecksumSize);
+  out = v1_frame;
+  out[2] = kWireVersionChecksummed;
+  EncodeU32(out.data() + 4,
+            static_cast<uint32_t>(out.size() - kFrameHeaderSize +
+                                  kFrameChecksumSize));
+  // Checksum covers the patched header too, so a flipped version or length
+  // byte is also caught.
+  uint64_t sum = Fnv1a64(ByteView(out.data(), out.size()));
+  PutU64(&out, sum);
+  return out;
+}
+
+Bytes EncodeDetParams(const DetParams& p) {
+  Bytes out;
+  out.reserve(kDetParamsSize);
+  out.push_back(static_cast<uint8_t>(p.variant));
+  uint64_t bits;
+  std::memcpy(&bits, &p.noise_ratio, 8);
+  PutU64(&out, bits);
+  PutU64(&out, p.noise_seed);
+  PutU32(&out, p.fakes_per_value);
+  PutU32(&out, p.num_buckets);
+  return out;
+}
+
+Result<DetParams> DecodeDetParams(ByteView blob) {
+  if (blob.size() != kDetParamsSize) {
+    return Status::Corruption("det-params blob is not " +
+                              std::to_string(kDetParamsSize) + " bytes");
+  }
+  DetParams p;
+  uint8_t variant = blob[0];
+  if (variant < 1 || variant > static_cast<uint8_t>(DetVariant::kHistogram)) {
+    return Status::Corruption("bad det variant");
+  }
+  p.variant = static_cast<DetVariant>(variant);
+  uint64_t bits = GetU64(blob.data() + 1);
+  std::memcpy(&p.noise_ratio, &bits, 8);
+  p.noise_seed = GetU64(blob.data() + 9);
+  p.fakes_per_value = GetU32(blob.data() + 17);
+  p.num_buckets = GetU32(blob.data() + 21);
+  return p;
+}
+
 Bytes AttachTraceContext(const Bytes& v1_frame, const TraceContext& ctx) {
   Bytes out;
   out.reserve(v1_frame.size() + kTraceContextSize);
@@ -409,7 +458,8 @@ Result<FrameHeader> DecodeFrameHeader(ByteView bytes) {
   }
   FrameHeader h;
   h.version = bytes[2];
-  if (h.version != kWireVersion && h.version != kWireVersionTraced) {
+  if (h.version != kWireVersion && h.version != kWireVersionTraced &&
+      h.version != kWireVersionChecksummed) {
     return Status::Corruption("unsupported wire version " +
                               std::to_string(h.version));
   }
@@ -430,6 +480,12 @@ Result<FrameHeader> DecodeFrameHeader(ByteView bytes) {
     return Status::Corruption(
         "traced frame declares payload shorter than the trace context");
   }
+  // Likewise a checksummed frame must declare room for its trailer.
+  if (h.version == kWireVersionChecksummed &&
+      h.payload_len < kFrameChecksumSize) {
+    return Status::Corruption(
+        "checksummed frame declares payload shorter than the checksum");
+  }
   return h;
 }
 
@@ -438,8 +494,19 @@ Result<Message> DecodeMessage(ByteView frame) {
   if (frame.size() - kFrameHeaderSize != h.payload_len) {
     return Status::Corruption("frame length does not match declared payload");
   }
-  Reader r(frame.subview(kFrameHeaderSize, h.payload_len));
+  size_t body_len = h.payload_len;
   Message m;
+  if (h.version == kWireVersionChecksummed) {
+    body_len -= kFrameChecksumSize;
+    uint64_t claimed = GetU64(frame.data() + kFrameHeaderSize + body_len);
+    uint64_t actual =
+        Fnv1a64(ByteView(frame.data(), kFrameHeaderSize + body_len));
+    if (claimed != actual) {
+      return Status::Corruption("frame checksum mismatch");
+    }
+    m.checksummed = true;
+  }
+  Reader r(frame.subview(kFrameHeaderSize, body_len));
   if (h.version == kWireVersionTraced) {
     PDS_ASSIGN_OR_RETURN(TraceContext ctx, DecodeTraceContext(&r));
     m.trace = ctx;

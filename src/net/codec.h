@@ -34,9 +34,18 @@ inline constexpr uint8_t kWireVersion = 1;
 /// message body. v1 frames stay byte-identical — a peer that never calls
 /// AttachTraceContext emits exactly the old wire format.
 inline constexpr uint8_t kWireVersionTraced = 2;
+/// Version-3 frame: a v1 body followed by an 8-byte FNV-1a64 checksum over
+/// everything before it (header + body), counted inside payload_len so
+/// transports are untouched. The checksum is an *accident* detector for the
+/// fault-injection harness — it is not a MAC and detects no adversary; the
+/// integrity layer (global::IntegrityVerdict) owns tamper detection. v3
+/// frames never carry trace context.
+inline constexpr uint8_t kWireVersionChecksummed = 3;
 inline constexpr size_t kFrameHeaderSize = 8;
 /// trace_id u64 + parent_span_id u64 + flags u8 (bit0 = sampled).
 inline constexpr size_t kTraceContextSize = 17;
+/// FNV-1a64 trailer of a version-3 frame.
+inline constexpr size_t kFrameChecksumSize = 8;
 
 /// Compile-time bounds a decoder must check declared lengths against before
 /// allocating (the pdslint `net-bounded-frame` rule enforces the pattern).
@@ -73,7 +82,42 @@ enum class RoundKind : uint8_t {
   // tuples into per-domain (sum, count) counters, packs them into ONE
   // Paillier plaintext and replies with a single-ciphertext TupleBatch.
   kPackedCollect = 4,
+  // Sealed collect: like kCollect, but every ciphertext is wrapped in a
+  // MAC'd global::SealedTuple and the reply batch opens with the token's
+  // signed contribution manifest, so the querier can audit a weakly-
+  // malicious SSI (substitution/replay/omission all fail verification).
+  kSealedCollect = 5,
+  // Deterministic-encryption collect for the [TNP14] white-noise /
+  // domain-noise / histogram protocols: batch entry 0 is an encoded
+  // DetParams blob, entries 1.. are domain labels (domain-noise only).
+  kDetCollect = 6,
+  // Class aggregation: decrypt the batch (entry 0 = deterministic group
+  // ciphertext, entries 1.. = payloads), aggregate, return the plaintext
+  // class aggregate — fake classes return an empty result.
+  kClassAggregate = 7,
 };
+
+/// Which deterministic-encryption [TNP14] protocol a kDetCollect round runs.
+enum class DetVariant : uint8_t {
+  kWhiteNoise = 1,   // noise_ratio fake tuples per real tuple, random labels
+  kDomainNoise = 2,  // fakes_per_value fakes per public domain value
+  kHistogram = 3,    // plaintext FNV bucket of the group, num_buckets wide
+};
+
+/// Public per-round parameters of a kDetCollect request, carried as batch
+/// entry 0 (a fixed 25-byte blob, no allocation on decode). Nothing in here
+/// is secret: noise seeds only make *fake-tuple labels* reproducible.
+struct DetParams {
+  DetVariant variant = DetVariant::kWhiteNoise;
+  double noise_ratio = 0.2;      // white noise: fakes per real tuple
+  uint64_t noise_seed = 7;       // white noise: per-token label stream seed
+  uint32_t fakes_per_value = 1;  // domain noise: fakes per domain value
+  uint32_t num_buckets = 16;     // histogram: bucket count
+  bool operator==(const DetParams&) const = default;
+};
+
+/// Fixed encoded size of a DetParams blob.
+inline constexpr size_t kDetParamsSize = 25;
 
 struct ChallengeMsg {
   Bytes nonce;
@@ -184,6 +228,10 @@ struct Message {
   MessageBody body;
   /// Present iff the frame arrived with version-2 trace context.
   std::optional<TraceContext> trace;
+  /// True iff the frame arrived as version 3 with a valid checksum trailer.
+  /// A peer seeing this knows checksummed frames are in effect and mirrors
+  /// them on its own sends.
+  bool checksummed = false;
   [[nodiscard]] MsgType type() const {
     return static_cast<MsgType>(body.index() + 1);
   }
@@ -225,6 +273,21 @@ struct FrameHeader {
 /// wire: ctx must never be derived from secret material.
 [[nodiscard]] Bytes AttachTraceContext(const Bytes& v1_frame,
                                        const TraceContext& ctx);
+
+/// Rewrites a sealed v1 frame into its version-3 equivalent: the FNV-1a64
+/// of the header+body is appended as an 8-byte little-endian trailer and
+/// payload_len grows by kFrameChecksumSize. DecodeMessage verifies the
+/// trailer (Corruption on mismatch) and strips it before body decode.
+/// Checksummed frames cannot also carry trace context.
+[[nodiscard]] Bytes AppendFrameChecksum(const Bytes& v1_frame);
+
+/// Encodes DetParams into its fixed 25-byte blob (batch entry 0 of a
+/// kDetCollect request) — not a frame, carries no header.
+[[nodiscard]] Bytes EncodeDetParams(const DetParams& p);
+
+/// Decodes a DetParams blob; the blob must be exactly kDetParamsSize bytes
+/// with a known variant.
+[[nodiscard]] Result<DetParams> DecodeDetParams(ByteView blob);
 
 /// Validates magic/version/type and that the declared payload length is
 /// within kMaxFramePayload. `bytes` must hold at least kFrameHeaderSize

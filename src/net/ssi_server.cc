@@ -73,6 +73,7 @@ struct NetObs {
   obs::Counter* retries;
   obs::Counter* quorum_shortfalls;
   obs::Counter* missing_tokens;
+  obs::Counter* frame_rejects;
   obs::Histogram* round_trip_us;
 };
 
@@ -85,10 +86,25 @@ const NetObs& NetHooks() {
                   reg.GetCounter("net.retries", "ops"),
                   reg.GetCounter("net.quorum_shortfalls", "ops"),
                   reg.GetCounter("net.missing_tokens", "ops"),
+                  reg.GetCounter("net.frame_rejects", "ops"),
                   reg.GetHistogram("net.round_trip_us", "us")};
   }();
   return hooks;
 }
+
+/// RAII flag for "a protocol run is in flight" (readmission refused).
+class RunGuard {
+ public:
+  explicit RunGuard(std::atomic<bool>* flag) : flag_(flag) {
+    flag_->store(true);
+  }
+  ~RunGuard() { flag_->store(false); }
+  RunGuard(const RunGuard&) = delete;
+  RunGuard& operator=(const RunGuard&) = delete;
+
+ private:
+  std::atomic<bool>* flag_;
+};
 
 /// The round id a reply message answers, or nullptr for non-reply types.
 const uint32_t* ReplyRoundId(const Message& m) {
@@ -110,6 +126,7 @@ struct SsiServer::WireCost {
   Metrics wire;
   uint64_t deadline_hits = 0;
   uint64_t retries = 0;
+  uint64_t frame_rejects = 0;
 
   void MergeInto(Metrics* m, RoundReport* r) const {
     m->messages += wire.messages;
@@ -119,25 +136,45 @@ struct SsiServer::WireCost {
     m->bytes_ssi_to_token += wire.bytes_ssi_to_token;
     r->deadline_hits += deadline_hits;
     r->retries += retries;
+    r->frame_rejects += frame_rejects;
   }
 };
 
 SsiServer::SsiServer(const Config& config)
     : config_(config), trace_rng_(config.nonce_seed ^ 0x7472616365ULL) {}
 
-Result<size_t> SsiServer::AcceptSession(std::unique_ptr<Transport> transport) {
+Bytes SsiServer::MaybeChecksum(Bytes frame) const {
+  if (!config_.checksum_frames) {
+    return frame;
+  }
+  return AppendFrameChecksum(frame);
+}
+
+bool SsiServer::IsStragglerFailure(const Status& s) {
+  // A token that timed out, whose transport died, or whose byte stream
+  // desynchronized (a truncating/bit-flipping link breaks socket framing)
+  // is gone for the run; quorum decides whether the protocol proceeds.
+  return s.code() == StatusCode::kDeadlineExceeded ||
+         s.code() == StatusCode::kIoError ||
+         s.code() == StatusCode::kCorruption;
+}
+
+Result<size_t> SsiServer::Handshake(std::unique_ptr<Transport> transport,
+                                    bool readmit) {
   if (config_.verifier == nullptr) {
     return Status::FailedPrecondition("SsiServer has no verifier token");
   }
-  obs::Span span("net.accept-session", "net");
-  // Deterministic per-session nonce stream (tests); entropy is not the
-  // point here — the challenge only needs to be fresh per session.
-  Rng nonce_rng(config_.nonce_seed + sessions_.size());
+  obs::Span span(readmit ? "net.readmit-session" : "net.accept-session",
+                 "net");
+  // Deterministic nonce stream (tests); entropy is not the point here — the
+  // challenge only needs to be fresh per handshake, which the monotonic
+  // counter guarantees across readmissions too.
+  Rng nonce_rng(config_.nonce_seed + nonce_counter_++);
   ChallengeMsg challenge;
   challenge.nonce.resize(16);
   nonce_rng.FillBytes(challenge.nonce.data(), challenge.nonce.size());
 
-  Bytes frame = EncodeChallenge(challenge);
+  Bytes frame = MaybeChecksum(EncodeChallenge(challenge));
   PDS_RETURN_IF_ERROR(transport->Send(frame));
   PDS_ASSIGN_OR_RETURN(Bytes reply,
                        transport->Recv(config_.deadline_ms));
@@ -148,19 +185,48 @@ Result<size_t> SsiServer::AcceptSession(std::unique_ptr<Transport> transport) {
       config_.verifier->VerifyAttestation(ByteView(challenge.nonce),
                                           hello.proof));
   HelloAckMsg ack{ok_proof};
-  PDS_RETURN_IF_ERROR(transport->Send(EncodeHelloAck(ack)));
+  PDS_RETURN_IF_ERROR(transport->Send(MaybeChecksum(EncodeHelloAck(ack))));
   if (!ok_proof) {
     transport->Close();
     return Status::PermissionDenied(
         "token failed fleet attestation; session refused");
   }
 
+  if (readmit) {
+    for (size_t i = 0; i < sessions_.size(); ++i) {
+      Session* s = sessions_[i].get();
+      if (s->token_id != hello.token_id) {
+        continue;
+      }
+      // The returning token picks up its old round sequence: the next
+      // request it sees continues where the session left off, so stale
+      // replies from before the churn stay detectable.
+      s->transport->Close();
+      s->transport = std::move(transport);
+      s->alive = true;
+      return i;
+    }
+  }
   auto session = std::make_unique<Session>();
   session->transport = std::move(transport);
   session->token_id = hello.token_id;
   session->alive = true;
   sessions_.push_back(std::move(session));
   return sessions_.size() - 1;
+}
+
+Result<size_t> SsiServer::AcceptSession(std::unique_ptr<Transport> transport) {
+  return Handshake(std::move(transport), /*readmit=*/false);
+}
+
+Result<size_t> SsiServer::ReadmitSession(
+    std::unique_ptr<Transport> transport) {
+  if (run_active_) {
+    return Status::FailedPrecondition(
+        "cannot readmit a token while a protocol run is in flight; the "
+        "abandoned round degrades to quorum instead");
+  }
+  return Handshake(std::move(transport), /*readmit=*/true);
 }
 
 Result<Message> SsiServer::RoundTrip(Session* s, const Bytes& frame,
@@ -170,15 +236,20 @@ Result<Message> SsiServer::RoundTrip(Session* s, const Bytes& frame,
   // id rides the wire as the trace-context parent so the token's handler
   // span hangs under it in the merged cross-process trace.
   obs::Span rt_span("net.round-trip", "net");
-  Bytes traced;
+  Bytes rewritten;
   const Bytes* wire_frame = &frame;
-  if (rt_span.id() != 0) {
+  if (config_.checksum_frames) {
+    // v3 frames carry the checksum trailer instead of trace context (the
+    // two header rewrites are mutually exclusive by design).
+    rewritten = AppendFrameChecksum(frame);
+    wire_frame = &rewritten;
+  } else if (rt_span.id() != 0) {
     TraceContext ctx;
     ctx.trace_id = run_trace_id_;
     ctx.parent_span_id = rt_span.id();
     ctx.sampled = true;
-    traced = AttachTraceContext(frame, ctx);
-    wire_frame = &traced;
+    rewritten = AttachTraceContext(frame, ctx);
+    wire_frame = &rewritten;
   }
   // Admission-control gauge: bytes of this session's in-flight request.
   s->stats.buffer_bytes.Set(static_cast<double>(wire_frame->size()));
@@ -221,10 +292,26 @@ Result<Message> SsiServer::RoundTrip(Session* s, const Bytes& frame,
       hooks.frames_received->Add(1);
       auto decoded = DecodeMessage(reply);
       if (!decoded.ok()) {
-        s->stats.buffer_bytes.Set(0);
-        return decoded.status();
+        // A frame the link corrupted in-payload (the stream itself is still
+        // framed, or Recv would have failed): discard it and keep waiting —
+        // the retry budget, not one flipped bit, decides this session's
+        // fate.
+        ++cost->frame_rejects;
+        hooks.frame_rejects->Add(1);
+        continue;
       }
       Message m = std::move(decoded).value();
+      if (const ErrorMsg* err = std::get_if<ErrorMsg>(&m.body)) {
+        if (err->code == 3) {
+          // The token rejected a frame it could not decode (our request was
+          // mangled in flight). Transient: let the deadline drive a retry.
+          ++cost->frame_rejects;
+          hooks.frame_rejects->Add(1);
+          continue;
+        }
+        s->stats.buffer_bytes.Set(0);
+        return Status::FailedPrecondition("peer error: " + err->message);
+      }
       const uint32_t* got = ReplyRoundId(m);
       if (got == nullptr) {
         s->stats.buffer_bytes.Set(0);
@@ -268,6 +355,7 @@ Result<AggOutput> SsiServer::RunSecureAggregation(AggFunc func) {
   if (live.empty()) {
     return Status::InvalidArgument("no live sessions");
   }
+  RunGuard run_guard(&run_active_);
   report_ = RoundReport{};
   report_.sessions = live.size();
   run_trace_id_ = trace_rng_.Next();
@@ -296,7 +384,7 @@ Result<AggOutput> SsiServer::RunSecureAggregation(AggFunc func) {
           Bytes frame = EncodeRoundRequest(req);
           auto reply = RoundTrip(s, frame, req.header.round_id, &enc_cost[li]);
           if (!reply.ok()) {
-            if (reply.status().code() == StatusCode::kDeadlineExceeded) {
+            if (IsStragglerFailure(reply.status())) {
               s->alive = false;  // straggler: drop for the whole run
               s->stats.stragglers.Add(1);
               return Status::Ok();
@@ -392,7 +480,7 @@ Result<AggOutput> SsiServer::RunSecureAggregation(AggFunc func) {
                 {static_cast<uint32_t>(pi), static_cast<uint32_t>(ai),
                  static_cast<uint32_t>(end - start)});
           }
-          Bytes pm_frame = EncodePartitionMap(pm);
+          Bytes pm_frame = MaybeChecksum(EncodePartitionMap(pm));
           PDS_RETURN_IF_ERROR(s->transport->Send(pm_frame));
           map_cost[ai].wire.AddSsiToToken(pm_frame.size());
           NetHooks().frames_sent->Add(1);
@@ -473,6 +561,13 @@ Result<AggOutput> SsiServer::RunSecureAggregation(AggFunc func) {
     final_state[e.group].count += e.count;
   }
   out.groups = Finalize(final_state, func);
+  if (config_.adversary.action == AdversaryAction::kForgeAggregate &&
+      !out.groups.empty()) {
+    // The weakly-malicious SSI shaves the first group's value. Without a
+    // sealed round to audit against, the querier catches this by
+    // re-running the aggregate through AuditSealedBatch and comparing.
+    out.groups.begin()->second += 1.0;
+  }
   out.leakage = observer.Report();
   global::RecordProtocolRun("net-secure-agg", out.metrics, out.leakage);
   stats_ring_.Capture(obs::Registry::Global());
@@ -502,6 +597,7 @@ Result<AggOutput> SsiServer::RunPackedAggregation(
   if (live.empty()) {
     return Status::InvalidArgument("no live sessions");
   }
+  RunGuard run_guard(&run_active_);
   report_ = RoundReport{};
   report_.sessions = live.size();
   run_trace_id_ = trace_rng_.Next();
@@ -534,7 +630,7 @@ Result<AggOutput> SsiServer::RunPackedAggregation(
           Bytes frame = EncodeRoundRequest(req);
           auto reply = RoundTrip(s, frame, req.header.round_id, &costs[li]);
           if (!reply.ok()) {
-            if (reply.status().code() == StatusCode::kDeadlineExceeded) {
+            if (IsStragglerFailure(reply.status())) {
               s->alive = false;  // straggler: drop for the whole run
               s->stats.stragglers.Add(1);
               return Status::Ok();
@@ -610,6 +706,466 @@ Result<AggOutput> SsiServer::RunPackedAggregation(
   global::RecordProtocolRun("net-packed-paillier", out.metrics, out.leakage);
   stats_ring_.Capture(obs::Registry::Global());
   return out;
+}
+
+Result<AggOutput> SsiServer::RunDetAggregation(AggFunc func,
+                                               const DetRunConfig& det) {
+  if (det.variant == DetVariant::kDomainNoise && det.domain.empty()) {
+    return Status::InvalidArgument("domain-noise run requires the domain");
+  }
+  if (det.variant == DetVariant::kHistogram && det.num_buckets == 0) {
+    return Status::InvalidArgument("histogram run requires num_buckets >= 1");
+  }
+  std::vector<size_t> live;
+  live.reserve(sessions_.size());
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i]->alive) {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) {
+    return Status::InvalidArgument("no live sessions");
+  }
+  RunGuard run_guard(&run_active_);
+  report_ = RoundReport{};
+  report_.sessions = live.size();
+  run_trace_id_ = trace_rng_.Next();
+
+  AggOutput out;
+  global::HbcObserver observer;
+  const size_t nl = live.size();
+  obs::Span protocol_span("net.det-agg", "net");
+  protocol_span.AddArg("sessions", static_cast<double>(nl));
+  protocol_span.AddArg("variant", static_cast<double>(det.variant));
+
+  // Phase 1: kDetCollect fan-out. Batch entry 0 carries the public round
+  // parameters; domain-noise rounds append the domain labels.
+  DetParams params;
+  params.variant = det.variant;
+  params.noise_ratio = det.noise_ratio;
+  params.noise_seed = det.noise_seed;
+  params.fakes_per_value = det.fakes_per_value;
+  params.num_buckets = det.num_buckets;
+
+  std::vector<std::vector<Bytes>> enc(nl);
+  std::vector<WireCost> enc_cost(nl);
+  std::vector<uint8_t> responded(nl, 0);
+  {
+    obs::Span phase_span("net.det-collect", "net");
+    PDS_RETURN_IF_ERROR(global::FleetExecutor::Run(
+        config_.executor, nl, [&](size_t li) -> Status {
+          Session* s = sessions_[live[li]].get();
+          RoundRequestMsg req;
+          req.header.round_id = s->next_round_id++;
+          req.header.kind = RoundKind::kDetCollect;
+          req.header.func = func;
+          req.batch.push_back(EncodeDetParams(params));
+          if (det.variant == DetVariant::kDomainNoise) {
+            for (const std::string& g : det.domain) {
+              req.batch.push_back(ByteView(std::string_view(g)).ToBytes());
+            }
+          }
+          Bytes frame = EncodeRoundRequest(req);
+          auto reply = RoundTrip(s, frame, req.header.round_id, &enc_cost[li]);
+          if (!reply.ok()) {
+            if (IsStragglerFailure(reply.status())) {
+              s->alive = false;  // straggler: drop for the whole run
+              s->stats.stragglers.Add(1);
+              return Status::Ok();
+            }
+            return reply.status();
+          }
+          TupleBatchMsg* batch =
+              std::get_if<TupleBatchMsg>(&reply.value().body);
+          if (batch == nullptr) {
+            return Status::FailedPrecondition(
+                "det collect round expected a tuple batch");
+          }
+          if (batch->batch.size() % 2 != 0) {
+            return Status::Corruption(
+                "det collect batch must hold (key, payload) pairs");
+          }
+          enc_cost[li].wire.token_crypto_ops += batch->token_ops;
+          enc[li] = std::move(batch->batch);
+          responded[li] = 1;
+          return Status::Ok();
+        }));
+  }
+
+  size_t responders = 0;
+  std::vector<size_t> active;
+  active.reserve(nl);
+  // Equality classes in deterministic-ciphertext order (mirrors the
+  // in-process protocol's std::map over ct bytes); histogram rounds key by
+  // the plaintext bucket id instead.
+  std::map<Bytes, std::vector<Bytes>> classes;
+  std::map<uint32_t, std::vector<Bytes>> buckets;
+  const bool histogram = det.variant == DetVariant::kHistogram;
+  for (size_t li = 0; li < nl; ++li) {
+    enc_cost[li].MergeInto(&out.metrics, &report_);
+    if (responded[li] == 0) {
+      continue;
+    }
+    ++responders;
+    active.push_back(live[li]);
+    for (size_t i = 0; i + 1 < enc[li].size(); i += 2) {
+      Bytes& key = enc[li][i];
+      Bytes& payload = enc[li][i + 1];
+      observer.ObserveTuple(ByteView(key));
+      ++out.metrics.ssi_ops;
+      if (histogram) {
+        if (key.size() != 4) {
+          return Status::Corruption("histogram bucket key must be 4 bytes");
+        }
+        buckets[GetU32(key.data())].push_back(std::move(payload));
+      } else {
+        classes[key].push_back(std::move(payload));
+      }
+    }
+  }
+  ++out.metrics.rounds;
+
+  report_.responders = responders;
+  report_.missing_tokens = nl - responders;
+  out.metrics.tokens_missing = report_.missing_tokens;
+  const NetObs& hooks = NetHooks();
+  size_t need = static_cast<size_t>(
+      std::ceil(config_.quorum * static_cast<double>(nl)));
+  need = std::max<size_t>(need, 1);
+  if (report_.missing_tokens > 0) {
+    hooks.missing_tokens->Add(report_.missing_tokens);
+  }
+  if (responders < need) {
+    hooks.quorum_shortfalls->Add(1);
+    return Status::FailedPrecondition(
+        "quorum not reached: " + std::to_string(responders) + "/" +
+        std::to_string(nl) + " tokens answered, need " + std::to_string(need));
+  }
+
+  // Phase 2: one class/bucket aggregation request per equality class,
+  // distributed round-robin over the responding sessions in class order —
+  // identical to the in-process protocol's unit assignment. A session that
+  // vanishes mid-phase fails over: its unfinished classes go to the next
+  // live responder.
+  struct ClassUnit {
+    RoundKind kind = RoundKind::kClassAggregate;
+    std::vector<Bytes> batch;  // [key, payloads...] or [payloads...]
+  };
+  std::vector<ClassUnit> units;
+  units.reserve(histogram ? buckets.size() : classes.size());
+  if (histogram) {
+    for (auto& [bucket, payloads] : buckets) {
+      ClassUnit u;
+      u.kind = RoundKind::kFinalize;
+      u.batch = std::move(payloads);
+      units.push_back(std::move(u));
+    }
+  } else {
+    for (auto& [key, payloads] : classes) {
+      ClassUnit u;
+      u.kind = RoundKind::kClassAggregate;
+      u.batch.reserve(payloads.size() + 1);
+      u.batch.push_back(key);
+      for (Bytes& p : payloads) {
+        u.batch.push_back(std::move(p));
+      }
+      units.push_back(std::move(u));
+    }
+  }
+
+  const size_t na = active.size();
+  const size_t num_units = units.size();
+  std::vector<AggResultMsg> results(num_units);
+  std::vector<uint8_t> done(num_units, 0);
+  std::vector<WireCost> unit_cost(num_units);
+  std::vector<std::vector<size_t>> by_session = RoundRobin(num_units, na, 0);
+
+  auto run_unit = [&](Session* s, size_t ui) -> Status {
+    RoundRequestMsg req;
+    req.header.round_id = s->next_round_id++;
+    req.header.kind = units[ui].kind;
+    req.header.func = func;
+    req.batch = units[ui].batch;
+    Bytes frame = EncodeRoundRequest(req);
+    PDS_ASSIGN_OR_RETURN(
+        Message reply, RoundTrip(s, frame, req.header.round_id,
+                                 &unit_cost[ui]));
+    AggResultMsg* result = std::get_if<AggResultMsg>(&reply.body);
+    if (result == nullptr) {
+      return Status::FailedPrecondition(
+          "class aggregation expected an agg result");
+    }
+    unit_cost[ui].wire.token_crypto_ops += result->token_ops;
+    results[ui] = std::move(*result);
+    done[ui] = 1;
+    return Status::Ok();
+  };
+
+  {
+    obs::Span phase_span("net.class-aggregate", "net");
+    phase_span.AddArg("classes", static_cast<double>(num_units));
+    PDS_RETURN_IF_ERROR(global::FleetExecutor::Run(
+        config_.executor, na, [&](size_t ai) -> Status {
+          Session* s = sessions_[active[ai]].get();
+          for (size_t ui : by_session[ai]) {
+            Status st = run_unit(s, ui);
+            if (!st.ok()) {
+              if (IsStragglerFailure(st)) {
+                s->alive = false;  // failover picks up this session's rest
+                s->stats.stragglers.Add(1);
+                return Status::Ok();
+              }
+              return st;
+            }
+          }
+          return Status::Ok();
+        }));
+    // Failover pass (serial): reassign unfinished classes to any session
+    // that is still alive, in active order.
+    for (size_t ui = 0; ui < num_units; ++ui) {
+      if (done[ui] != 0) {
+        continue;
+      }
+      bool recovered = false;
+      for (size_t ai = 0; ai < na && !recovered; ++ai) {
+        Session* s = sessions_[active[ai]].get();
+        if (!s->alive) {
+          continue;
+        }
+        Status st = run_unit(s, ui);
+        if (st.ok()) {
+          recovered = true;
+        } else if (IsStragglerFailure(st)) {
+          s->alive = false;
+          s->stats.stragglers.Add(1);
+        } else {
+          return st;
+        }
+      }
+      if (!recovered) {
+        return Status::FailedPrecondition(
+            "every responding token vanished before class " +
+            std::to_string(ui) + " could be aggregated");
+      }
+    }
+  }
+
+  // Merge in class order (map order), exactly like the in-process merge.
+  std::map<std::string, GroupState> state;
+  for (size_t ui = 0; ui < num_units; ++ui) {
+    unit_cost[ui].MergeInto(&out.metrics, &report_);
+    for (const AggResultEntry& e : results[ui].entries) {
+      state[e.group].sum += e.sum;
+      state[e.group].count += e.count;
+    }
+  }
+  ++out.metrics.rounds;
+
+  out.groups = Finalize(state, func);
+  if (config_.adversary.action == AdversaryAction::kForgeAggregate &&
+      !out.groups.empty()) {
+    out.groups.begin()->second += 1.0;
+  }
+  out.leakage = observer.Report();
+  switch (det.variant) {
+    case DetVariant::kWhiteNoise:
+      global::RecordProtocolRun("net-white-noise", out.metrics, out.leakage);
+      break;
+    case DetVariant::kDomainNoise:
+      global::RecordProtocolRun("net-domain-noise", out.metrics, out.leakage);
+      break;
+    case DetVariant::kHistogram:
+      global::RecordProtocolRun("net-histogram", out.metrics, out.leakage);
+      break;
+  }
+  stats_ring_.Capture(obs::Registry::Global());
+  return out;
+}
+
+Result<SsiServer::SealedCollect> SsiServer::RunSealedCollect() {
+  std::vector<size_t> live;
+  live.reserve(sessions_.size());
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i]->alive) {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) {
+    return Status::InvalidArgument("no live sessions");
+  }
+  RunGuard run_guard(&run_active_);
+  report_ = RoundReport{};
+  report_.sessions = live.size();
+  run_trace_id_ = trace_rng_.Next();
+
+  SealedCollect out;
+  global::HbcObserver observer;
+  const size_t nl = live.size();
+  obs::Span protocol_span("net.sealed-collect", "net");
+  protocol_span.AddArg("sessions", static_cast<double>(nl));
+
+  std::vector<std::vector<Bytes>> enc(nl);
+  std::vector<WireCost> costs(nl);
+  std::vector<uint8_t> responded(nl, 0);
+  PDS_RETURN_IF_ERROR(global::FleetExecutor::Run(
+      config_.executor, nl, [&](size_t li) -> Status {
+        Session* s = sessions_[live[li]].get();
+        RoundRequestMsg req;
+        req.header.round_id = s->next_round_id++;
+        req.header.kind = RoundKind::kSealedCollect;
+        req.header.func = global::AggFunc::kSum;
+        Bytes frame = EncodeRoundRequest(req);
+        auto reply = RoundTrip(s, frame, req.header.round_id, &costs[li]);
+        if (!reply.ok()) {
+          if (IsStragglerFailure(reply.status())) {
+            s->alive = false;
+            s->stats.stragglers.Add(1);
+            return Status::Ok();
+          }
+          return reply.status();
+        }
+        TupleBatchMsg* batch = std::get_if<TupleBatchMsg>(&reply.value().body);
+        if (batch == nullptr || batch->batch.empty()) {
+          return Status::FailedPrecondition(
+              "sealed collect expected [manifest, sealed tuples...]");
+        }
+        costs[li].wire.token_crypto_ops += batch->token_ops;
+        enc[li] = std::move(batch->batch);
+        responded[li] = 1;
+        return Status::Ok();
+      }));
+
+  size_t responders = 0;
+  for (size_t li = 0; li < nl; ++li) {
+    costs[li].MergeInto(&out.metrics, &report_);
+    if (responded[li] == 0) {
+      continue;
+    }
+    ++responders;
+    PDS_ASSIGN_OR_RETURN(global::Manifest manifest,
+                         global::DecodeManifest(ByteView(enc[li][0])));
+    out.manifests.push_back(manifest);
+    for (size_t i = 1; i < enc[li].size(); ++i) {
+      PDS_ASSIGN_OR_RETURN(global::SealedTuple t,
+                           global::DecodeSealedTuple(ByteView(enc[li][i])));
+      observer.ObserveTuple(ByteView(t.payload_ct));
+      ++out.metrics.ssi_ops;
+      out.tuples.push_back(std::move(t));
+    }
+  }
+  ++out.metrics.rounds;
+
+  report_.responders = responders;
+  report_.missing_tokens = nl - responders;
+  out.metrics.tokens_missing = report_.missing_tokens;
+  const NetObs& hooks = NetHooks();
+  size_t need = static_cast<size_t>(
+      std::ceil(config_.quorum * static_cast<double>(nl)));
+  need = std::max<size_t>(need, 1);
+  if (report_.missing_tokens > 0) {
+    hooks.missing_tokens->Add(report_.missing_tokens);
+  }
+  if (responders < need) {
+    hooks.quorum_shortfalls->Add(1);
+    return Status::FailedPrecondition(
+        "quorum not reached: " + std::to_string(responders) + "/" +
+        std::to_string(nl) + " tokens answered, need " + std::to_string(need));
+  }
+
+  // The weakly-malicious SSI acts here, after honest tokens sealed their
+  // contributions and before the pool reaches the querier.
+  out.adversary_note =
+      ApplySealedTampering(config_.adversary, &out.tuples, &out.manifests);
+
+  out.leakage = observer.Report();
+  global::RecordProtocolRun("net-sealed-collect", out.metrics, out.leakage);
+  stats_ring_.Capture(obs::Registry::Global());
+  return out;
+}
+
+Result<std::string> SsiServer::InjectStaleRound(size_t idx) {
+  if (idx >= sessions_.size() || !sessions_[idx]->alive) {
+    return Status::InvalidArgument("no live session at this index");
+  }
+  Session* s = sessions_[idx].get();
+  if (s->next_round_id < 2) {
+    return Status::FailedPrecondition(
+        "session has no completed round to replay");
+  }
+  RoundRequestMsg req;
+  req.header.round_id = s->next_round_id - 2;  // strictly below the latest
+  req.header.kind = RoundKind::kCollect;
+  req.header.func = global::AggFunc::kSum;
+  PDS_RETURN_IF_ERROR(
+      s->transport->Send(MaybeChecksum(EncodeRoundRequest(req))));
+  PDS_ASSIGN_OR_RETURN(Bytes reply, s->transport->Recv(config_.deadline_ms));
+  PDS_ASSIGN_OR_RETURN(Message m, DecodeMessage(reply));
+  const ErrorMsg* err = std::get_if<ErrorMsg>(&m.body);
+  if (err == nullptr || err->code != 4) {
+    return Status::IntegrityViolation(
+        "token ANSWERED a replayed stale round instead of rejecting it");
+  }
+  return "stale round " + std::to_string(req.header.round_id) +
+         " rejected: " + err->message;
+}
+
+Result<std::string> SsiServer::InjectOversizedFrame(size_t idx) {
+  if (idx >= sessions_.size() || !sessions_[idx]->alive) {
+    return Status::InvalidArgument("no live session at this index");
+  }
+  Session* s = sessions_[idx].get();
+  // A bare header declaring an impossible payload. Depending on the
+  // transport the token either sees the header-only frame (in-process) and
+  // rejects it, or its socket layer refuses the header before allocation
+  // and the session dies cleanly — both are the defence working.
+  Bytes frame(kFrameHeaderSize, 0);
+  frame[0] = static_cast<uint8_t>(kMagic & 0xff);
+  frame[1] = static_cast<uint8_t>(kMagic >> 8);
+  frame[2] = kWireVersion;
+  frame[3] = static_cast<uint8_t>(MsgType::kRoundRequest);
+  EncodeU32(frame.data() + 4, static_cast<uint32_t>(kMaxFramePayload) + 1);
+  PDS_RETURN_IF_ERROR(s->transport->Send(frame));
+  auto reply = s->transport->Recv(config_.deadline_ms);
+  if (!reply.ok()) {
+    if (IsStragglerFailure(reply.status())) {
+      s->alive = false;
+      return std::string(
+          "token refused the oversized frame; session closed cleanly");
+    }
+    return reply.status();
+  }
+  PDS_ASSIGN_OR_RETURN(Message m, DecodeMessage(reply.value()));
+  const ErrorMsg* err = std::get_if<ErrorMsg>(&m.body);
+  if (err == nullptr || err->code != 3) {
+    return Status::IntegrityViolation(
+        "token accepted a frame declaring an oversized payload");
+  }
+  return "oversized frame rejected before allocation: " + err->message;
+}
+
+Result<std::string> SsiServer::InjectMalformedFrame(size_t idx) {
+  if (idx >= sessions_.size() || !sessions_[idx]->alive) {
+    return Status::InvalidArgument("no live session at this index");
+  }
+  Session* s = sessions_[idx].get();
+  // Valid header, garbage payload: must fail structured decode on the
+  // token without killing its serve loop.
+  constexpr size_t kGarbage = 16;
+  Bytes frame(kFrameHeaderSize + kGarbage, 0xFF);
+  frame[0] = static_cast<uint8_t>(kMagic & 0xff);
+  frame[1] = static_cast<uint8_t>(kMagic >> 8);
+  frame[2] = kWireVersion;
+  frame[3] = static_cast<uint8_t>(MsgType::kRoundRequest);
+  EncodeU32(frame.data() + 4, kGarbage);
+  PDS_RETURN_IF_ERROR(s->transport->Send(frame));
+  PDS_ASSIGN_OR_RETURN(Bytes reply, s->transport->Recv(config_.deadline_ms));
+  PDS_ASSIGN_OR_RETURN(Message m, DecodeMessage(reply));
+  const ErrorMsg* err = std::get_if<ErrorMsg>(&m.body);
+  if (err == nullptr || err->code != 3) {
+    return Status::IntegrityViolation(
+        "token did not reject a malformed round request");
+  }
+  return "malformed frame rejected: " + err->message;
 }
 
 std::vector<SsiServer::SessionTelemetry> SsiServer::Telemetry() const {
@@ -708,7 +1264,7 @@ void SsiServer::Shutdown() {
   for (auto& s : sessions_) {
     if (s->alive && !s->transport->closed()) {
       // Best-effort farewell; the transport may already be gone.
-      (void)s->transport->Send(EncodeBye());
+      (void)s->transport->Send(MaybeChecksum(EncodeBye()));
     }
     s->transport->Close();
     s->alive = false;

@@ -1,6 +1,7 @@
 #ifndef PDS_NET_SSI_SERVER_H_
 #define PDS_NET_SSI_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -10,7 +11,9 @@
 #include "global/agg_protocols.h"
 #include "global/common.h"
 #include "global/fleet_executor.h"
+#include "global/integrity.h"
 #include "mcu/secure_token.h"
+#include "net/adversary.h"
 #include "net/codec.h"
 #include "net/transport.h"
 #include "obs/obs.h"
@@ -48,6 +51,14 @@ class SsiServer {
     mcu::SecureToken* verifier = nullptr;
     /// Seed for handshake challenge nonces (deterministic tests).
     uint64_t nonce_seed = 42;
+    /// Append an FNV-1a64 checksum trailer to every outgoing frame (wire
+    /// version 3); tokens mirror it once they see a checksummed frame.
+    /// Detects *accidental* corruption early — adversarial detection stays
+    /// with the integrity layer. Mutually exclusive with trace context.
+    bool checksum_frames = false;
+    /// Weakly-malicious misbehaviour this server performs during runs (the
+    /// scenario harness turns this on to prove querier-side detection).
+    AdversaryPlan adversary;
   };
 
   /// What happened on the wire during the last protocol run.
@@ -57,6 +68,7 @@ class SsiServer {
     uint64_t deadline_hits = 0;   // individual request timeouts
     uint64_t retries = 0;         // re-sent requests
     uint64_t missing_tokens = 0;  // sessions dropped for the whole run
+    uint64_t frame_rejects = 0;   // undecodable frames discarded in-place
   };
 
   explicit SsiServer(const Config& config);
@@ -64,6 +76,16 @@ class SsiServer {
   /// Runs the challenge/hello/ack handshake over `transport` and, on
   /// success, registers the session. Returns the session index.
   [[nodiscard]] Result<size_t> AcceptSession(
+      std::unique_ptr<Transport> transport);
+
+  /// Re-admits a returning (churned) token: runs the full handshake with a
+  /// FRESH challenge — a stale proof replayed from the original handshake
+  /// must fail attestation — and, if the token id matches an existing
+  /// session, swaps in the new transport while keeping that session's round
+  /// counter and telemetry, so the token re-enters the same round sequence.
+  /// Refused while a protocol run is in flight (the round a churned token
+  /// abandoned cannot be rejoined; quorum handles that degradation).
+  [[nodiscard]] Result<size_t> ReadmitSession(
       std::unique_ptr<Transport> transport);
 
   [[nodiscard]] size_t num_sessions() const { return sessions_.size(); }
@@ -84,6 +106,51 @@ class SsiServer {
   [[nodiscard]] Result<global::AggOutput> RunPackedAggregation(
       global::AggFunc func, const crypto::PackedAggregate& agg,
       const std::vector<std::string>& domain);
+
+  /// Parameters of one deterministic-encryption protocol run (the [TNP14]
+  /// white-noise / domain-noise / histogram family) over the wire.
+  struct DetRunConfig {
+    DetVariant variant = DetVariant::kWhiteNoise;
+    double noise_ratio = 0.2;      // white noise: fakes per real tuple
+    uint64_t noise_seed = 7;       // white noise: fake-label stream seed
+    uint32_t fakes_per_value = 1;  // domain noise: fakes per domain value
+    std::vector<std::string> domain;  // domain noise: the public domain
+    uint32_t num_buckets = 16;     // histogram: bucket count
+  };
+
+  /// Executes one det-encryption protocol over all live sessions: a
+  /// kDetCollect fan-out (stragglers tolerated down to quorum), SSI-side
+  /// grouping by deterministic ciphertext (or plaintext bucket id), then
+  /// per-class kClassAggregate / per-bucket kFinalize rounds distributed
+  /// round-robin over the responding tokens, with failover to the next
+  /// live token when a class's assignee vanishes mid-round.
+  [[nodiscard]] Result<global::AggOutput> RunDetAggregation(
+      global::AggFunc func, const DetRunConfig& det);
+
+  /// One sealed collection round: every live token MAC-seals its
+  /// ciphertexts and signs a contribution manifest. The returned pool is
+  /// what the *SSI* claims arrived — when Config::adversary configures a
+  /// sealed tampering action it has already been applied, and
+  /// `adversary_note` says what the SSI did (empty for an honest run).
+  /// Feed the pool to global::AuditSealedBatch inside the querier token;
+  /// detection of every tampering action is the test's assertion.
+  struct SealedCollect {
+    std::vector<global::SealedTuple> tuples;
+    std::vector<global::Manifest> manifests;
+    global::Metrics metrics;
+    global::LeakageReport leakage;
+    std::string adversary_note;
+  };
+  [[nodiscard]] Result<SealedCollect> RunSealedCollect();
+
+  /// Adversarial probes (AdversaryPlan actions that attack the session
+  /// protocol itself rather than a sealed batch). Each sends one hostile
+  /// frame on session `idx` and reports the observed token-side defence —
+  /// an error reply, or the clean death of the session. A Status return
+  /// means the probe could not run, not that the token survived.
+  [[nodiscard]] Result<std::string> InjectStaleRound(size_t idx);
+  [[nodiscard]] Result<std::string> InjectOversizedFrame(size_t idx);
+  [[nodiscard]] Result<std::string> InjectMalformedFrame(size_t idx);
 
   [[nodiscard]] const RoundReport& last_report() const { return report_; }
 
@@ -146,14 +213,34 @@ class SsiServer {
 
   /// Sends `frame` on the session and waits for the reply carrying
   /// `round_id`, retrying per config on timeouts. Stale replies (a lower
-  /// round id, e.g. a late answer to an earlier retry) are discarded.
+  /// round id, e.g. a late answer to an earlier retry) and undecodable
+  /// frames are discarded in place — a lossy or bit-flipping link must not
+  /// kill the session while the stream itself stays framed.
   /// `cost` accumulates the measured frame bytes both ways.
   [[nodiscard]] Result<Message> RoundTrip(Session* s, const Bytes& frame,
                                           uint32_t round_id, WireCost* cost);
 
+  /// Shared handshake body of AcceptSession/ReadmitSession.
+  [[nodiscard]] Result<size_t> Handshake(std::unique_ptr<Transport> transport,
+                                         bool readmit);
+
+  /// Applies Config::checksum_frames to an outgoing sealed v1 frame.
+  [[nodiscard]] Bytes MaybeChecksum(Bytes frame) const;
+
+  /// True when `s` should be dropped from the run as a straggler for this
+  /// failure (timeout, dead transport, or a desynchronized byte stream).
+  [[nodiscard]] static bool IsStragglerFailure(const Status& s);
+
   Config config_;
   std::vector<std::unique_ptr<Session>> sessions_;
   RoundReport report_;
+  /// Monotonic handshake-challenge counter: a re-handshake must never see
+  /// a repeated nonce, or a recorded proof could be replayed.
+  uint64_t nonce_counter_ = 0;
+  /// A protocol run is in flight (readmission is refused meanwhile).
+  /// Atomic: set by the protocol thread, read by whichever thread drives
+  /// ReadmitSession.
+  std::atomic<bool> run_active_{false};
   obs::Histogram rtt_us_;  // fleet-wide round-trip latency, µs
   obs::SnapshotRing stats_ring_{8};
   /// Trace ids for outgoing trace-context blocks. Seeded from the public

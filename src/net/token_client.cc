@@ -1,8 +1,12 @@
 #include "net/token_client.h"
 
+#include <chrono>
 #include <map>
+#include <thread>
 #include <utility>
 
+#include "common/hash.h"
+#include "global/integrity.h"
 #include "obs/obs.h"
 
 namespace pds::net {
@@ -14,6 +18,10 @@ struct GroupState {
   double sum = 0;
   uint64_t count = 0;
 };
+
+/// Bound on malformed frames tolerated per session before the client gives
+/// up on the stream — a hostile or broken SSI must not spin us forever.
+constexpr uint32_t kMaxMalformedFrames = 8;
 
 /// Decrypts a ciphertext batch into per-group partial aggregates, counting
 /// one token op per decryption — the identical inner loop of the in-process
@@ -33,12 +41,21 @@ Result<std::map<std::string, GroupState>> DecryptAndAggregate(
   return partial;
 }
 
+/// A handler failure that indicts the REQUEST, not the session: answered
+/// with ErrorMsg{3} so the serve loop survives a malformed round.
+bool IsRequestFault(const Status& s) {
+  return s.code() == StatusCode::kInvalidArgument ||
+         s.code() == StatusCode::kCorruption ||
+         s.code() == StatusCode::kOutOfRange;
+}
+
 }  // namespace
 
 TokenClient::TokenClient(std::unique_ptr<Transport> transport, Config config)
     : transport_(std::move(transport)),
       config_(std::move(config)),
-      fail_budget_(config_.fail_first_requests) {}
+      rng_(config_.faults.seed),
+      swallow_budget_(config_.faults.swallow_first) {}
 
 TokenClient::~TokenClient() {
   Stop();
@@ -75,21 +92,76 @@ Status TokenClient::Connect() {
   } else {
     tuples_ = config_.tuples;
   }
+  return Handshake();
+}
 
+Status TokenClient::Handshake() {
+  mcu::SecureToken* tok = token();
   obs::Span span("net.token-connect", "net");
   PDS_ASSIGN_OR_RETURN(Bytes frame, transport_->Recv(config_.deadline_ms));
-  PDS_ASSIGN_OR_RETURN(ChallengeMsg challenge, DecodeAs<ChallengeMsg>(frame));
+  PDS_ASSIGN_OR_RETURN(Message cm, DecodeMessage(frame));
+  if (cm.checksummed) {
+    peer_checksummed_ = true;
+  }
+  const ChallengeMsg* challenge = std::get_if<ChallengeMsg>(&cm.body);
+  if (challenge == nullptr) {
+    return Status::FailedPrecondition("handshake expected a challenge");
+  }
   HelloMsg hello;
   hello.token_id = tok->id();
-  PDS_ASSIGN_OR_RETURN(hello.proof,
-                       tok->Attest(ByteView(challenge.nonce)));
-  PDS_RETURN_IF_ERROR(transport_->Send(EncodeHello(hello)));
+  PDS_ASSIGN_OR_RETURN(hello.proof, tok->Attest(ByteView(challenge->nonce)));
+  PDS_RETURN_IF_ERROR(SendFrame(EncodeHello(hello)));
   PDS_ASSIGN_OR_RETURN(Bytes ack_frame, transport_->Recv(config_.deadline_ms));
   PDS_ASSIGN_OR_RETURN(HelloAckMsg ack, DecodeAs<HelloAckMsg>(ack_frame));
   if (!ack.accepted) {
     return Status::PermissionDenied("SSI refused the session");
   }
   return Status::Ok();
+}
+
+Status TokenClient::SendFrame(const Bytes& frame) {
+  if (peer_checksummed_) {
+    return transport_->Send(AppendFrameChecksum(frame));
+  }
+  return transport_->Send(frame);
+}
+
+// pdslint: secret(reply)
+Status TokenClient::SendAggResult(const AggResultMsg& reply) {
+  // Finalize/class rounds return the decrypted per-group aggregate to the
+  // querier by design -- the [TNP14] protocols' output step; only sums and
+  // counts leave the token, never the tuples they were folded from.
+  return SendFrame(EncodeAggResult(reply));  // pdslint: declassify([TNP14] aggregate output step)
+}
+
+Status TokenClient::MaybeChurn() {
+  const FaultPlan& fp = config_.faults;
+  if (fp.disconnect_after_replies == 0 ||
+      replies_since_connect_ < fp.disconnect_after_replies ||
+      reconnects_done_ >= config_.max_reconnects) {
+    return Status::Ok();
+  }
+  ++reconnects_done_;
+  transport_->Close();
+  log_.Add({frame_index_, FaultKind::kChurn, "token",
+            "disconnected after " + std::to_string(replies_since_connect_) +
+                " replies; reconnect attempt " +
+                std::to_string(reconnects_done_)});
+  if (config_.reconnect == nullptr) {
+    // Nobody to dial: stay gone and let the SSI degrade to quorum.
+    return Status::Ok();
+  }
+  uint32_t backoff =
+      config_.reconnect_backoff_ms * reconnects_done_ +
+      static_cast<uint32_t>(rng_.Uniform(config_.reconnect_backoff_ms + 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  PDS_ASSIGN_OR_RETURN(std::unique_ptr<Transport> fresh, config_.reconnect());
+  transport_ = std::move(fresh);
+  replies_since_connect_ = 0;
+  peer_checksummed_ = false;
+  // Fresh challenge, fresh proof: membership is re-verified, a recorded
+  // proof from the first handshake would be rejected.
+  return Handshake();
 }
 
 Status TokenClient::HandleCollect(const RoundRequestMsg& req) {
@@ -103,7 +175,7 @@ Status TokenClient::HandleCollect(const RoundRequestMsg& req) {
     ++reply.token_ops;
     reply.batch.push_back(std::move(ct));
   }
-  return transport_->Send(EncodeTupleBatch(reply));
+  return SendFrame(EncodeTupleBatch(reply));
 }
 
 Status TokenClient::HandlePackedCollect(const RoundRequestMsg& req) {
@@ -135,7 +207,7 @@ Status TokenClient::HandlePackedCollect(const RoundRequestMsg& req) {
   reply.round_id = req.header.round_id;
   reply.token_ops = 1;  // one packed encryption, whatever the domain size
   reply.batch.push_back(ct.ToBytes());
-  return transport_->Send(EncodeTupleBatch(reply));
+  return SendFrame(EncodeTupleBatch(reply));
 }
 
 Status TokenClient::HandleAggregate(const RoundRequestMsg& req) {
@@ -152,7 +224,7 @@ Status TokenClient::HandleAggregate(const RoundRequestMsg& req) {
     ++reply.token_ops;
     reply.batch.push_back(std::move(ct));
   }
-  return transport_->Send(EncodeTupleBatch(reply));
+  return SendFrame(EncodeTupleBatch(reply));
 }
 
 Status TokenClient::HandleFinalize(const RoundRequestMsg& req) {
@@ -165,10 +237,156 @@ Status TokenClient::HandleFinalize(const RoundRequestMsg& req) {
   for (const auto& [group, state] : final_state) {
     reply.entries.push_back({group, state.sum, state.count});
   }
-  // Finalize returns the decrypted per-group aggregate to the querier by
-  // design -- the [TNP14] protocols' output step; only sums and counts
-  // leave the token, never the tuples they were folded from.
-  return transport_->Send(EncodeAggResult(reply));  // pdslint: declassify([TNP14] aggregate output step)
+  return SendAggResult(reply);
+}
+
+Status TokenClient::HandleDetCollect(const RoundRequestMsg& req) {
+  mcu::SecureToken* tok = token();
+  if (req.batch.empty()) {
+    return Status::InvalidArgument("det collect carries no parameter blob");
+  }
+  PDS_ASSIGN_OR_RETURN(DetParams params,
+                       DecodeDetParams(ByteView(req.batch[0])));
+  TupleBatchMsg reply;
+  reply.round_id = req.header.round_id;
+
+  if (params.variant == DetVariant::kHistogram) {
+    // Bucket id travels in plaintext (that IS the histogram leakage); the
+    // payload keeps the true group inside the non-deterministic ciphertext.
+    if (params.num_buckets == 0) {
+      return Status::InvalidArgument("histogram needs >= 1 bucket");
+    }
+    reply.batch.reserve(2 * tuples_.size());
+    for (const global::SourceTuple& t : tuples_) {
+      uint32_t bucket = static_cast<uint32_t>(
+          Fnv1a64(std::string_view(t.group)) % params.num_buckets);
+      Bytes key(4);
+      EncodeU32(key.data(), bucket);
+      Bytes payload = global::EncodeAggPayload(false, t.value, 1, t.group);
+      PDS_ASSIGN_OR_RETURN(Bytes ct, tok->EncryptNonDet(ByteView(payload)));
+      ++reply.token_ops;
+      reply.batch.push_back(std::move(key));
+      reply.batch.push_back(std::move(ct));
+    }
+    return SendFrame(EncodeTupleBatch(reply));
+  }
+
+  // White/domain noise: real tuples first, then this token's fakes —
+  // identical send-list order to the in-process RunDetProtocol.
+  std::vector<std::pair<std::string, double>> send_list;
+  for (const global::SourceTuple& t : tuples_) {
+    send_list.emplace_back(t.group, t.value);
+  }
+  const size_t real_count = send_list.size();
+  if (params.variant == DetVariant::kWhiteNoise) {
+    // The in-process protocol draws fake labels from one shared stream; on
+    // the wire each token seeds its own from (noise_seed, token id) and
+    // prefixes the id, so labels stay distinct across the fleet without
+    // any cross-token coordination.
+    Rng noise_rng(params.noise_seed + tok->id());
+    size_t n = static_cast<size_t>(static_cast<double>(real_count) *
+                                   params.noise_ratio);
+    for (size_t i = 0; i < n; ++i) {
+      send_list.emplace_back(std::string(global::kFakeGroupPrefix) +
+                                 std::to_string(tok->id()) + "-" +
+                                 std::to_string(noise_rng.Next()),
+                             0.0);
+    }
+  } else {  // kDomainNoise
+    if (req.batch.size() < 2) {
+      return Status::InvalidArgument("domain noise carries no domain");
+    }
+    // Real groups must belong to the announced domain.
+    for (size_t i = 0; i < real_count; ++i) {
+      bool in_domain = false;
+      for (size_t d = 1; d < req.batch.size() && !in_domain; ++d) {
+        in_domain = ByteView(req.batch[d]).ToString() == send_list[i].first;
+      }
+      if (!in_domain) {
+        return Status::InvalidArgument("group outside the announced domain");
+      }
+    }
+    for (size_t d = 1; d < req.batch.size(); ++d) {
+      for (uint32_t i = 0; i < params.fakes_per_value; ++i) {
+        send_list.emplace_back(ByteView(req.batch[d]).ToString(), 0.0);
+      }
+    }
+  }
+
+  reply.batch.reserve(2 * send_list.size());
+  for (size_t i = 0; i < send_list.size(); ++i) {
+    bool fake = i >= real_count;
+    const auto& [group, value] = send_list[i];
+    PDS_ASSIGN_OR_RETURN(Bytes key,
+                         tok->EncryptDet(ByteView(std::string_view(group))));
+    Bytes payload = global::EncodeAggPayload(fake, value, fake ? 0 : 1, "");
+    PDS_ASSIGN_OR_RETURN(Bytes ct, tok->EncryptNonDet(ByteView(payload)));
+    reply.token_ops += 2;
+    reply.batch.push_back(std::move(key));
+    reply.batch.push_back(std::move(ct));
+  }
+  return SendFrame(EncodeTupleBatch(reply));
+}
+
+Status TokenClient::HandleClassAggregate(const RoundRequestMsg& req) {
+  mcu::SecureToken* tok = token();
+  if (req.batch.empty()) {
+    return Status::InvalidArgument("class aggregate carries no class key");
+  }
+  AggResultMsg reply;
+  reply.round_id = req.header.round_id;
+  PDS_ASSIGN_OR_RETURN(Bytes group_plain,
+                       tok->DecryptDet(ByteView(req.batch[0])));
+  ++reply.token_ops;
+  std::string group = ByteView(group_plain).ToString();
+  const size_t n = req.batch.size() - 1;
+  if (group.rfind(global::kFakeGroupPrefix, 0) == 0) {
+    // Whole class is noise; discard inside the token (decrypt-and-drop op
+    // accounting mirrors the in-process class phase).
+    reply.token_ops += n;
+    return SendAggResult(reply);
+  }
+  GroupState gs;
+  for (size_t i = 1; i < req.batch.size(); ++i) {
+    PDS_ASSIGN_OR_RETURN(Bytes payload,
+                         tok->DecryptNonDet(ByteView(req.batch[i])));
+    ++reply.token_ops;
+    PDS_ASSIGN_OR_RETURN(global::AggPayload p,
+                         global::DecodeAggPayload(ByteView(payload)));
+    if (!p.fake) {
+      gs.sum += p.sum;
+      gs.count += p.count;
+    }
+  }
+  reply.entries.push_back({group, gs.sum, gs.count});
+  return SendAggResult(reply);
+}
+
+Status TokenClient::HandleSealedCollect(const RoundRequestMsg& req) {
+  mcu::SecureToken* tok = token();
+  TupleBatchMsg reply;
+  reply.round_id = req.header.round_id;
+  std::vector<Bytes> cts;
+  cts.reserve(tuples_.size());
+  for (const global::SourceTuple& t : tuples_) {
+    Bytes payload = global::EncodeAggPayload(false, t.value, 1, t.group);
+    PDS_ASSIGN_OR_RETURN(Bytes ct, tok->EncryptNonDet(ByteView(payload)));
+    ++reply.token_ops;
+    cts.push_back(std::move(ct));
+  }
+  PDS_ASSIGN_OR_RETURN(std::vector<global::SealedTuple> sealed,
+                       global::SealTuples(tok, tok->id(), cts));
+  reply.token_ops += sealed.size();  // one MAC per sealed tuple
+  PDS_ASSIGN_OR_RETURN(
+      global::Manifest manifest,
+      global::MakeManifest(tok, tok->id(), sealed.size()));
+  ++reply.token_ops;  // manifest MAC
+  reply.batch.reserve(1 + sealed.size());
+  reply.batch.push_back(global::EncodeManifest(manifest));
+  for (const global::SealedTuple& t : sealed) {
+    reply.batch.push_back(global::EncodeSealedTuple(t));
+  }
+  return SendFrame(EncodeTupleBatch(reply));
 }
 
 Status TokenClient::ServeLoop() {
@@ -182,7 +400,23 @@ Status TokenClient::ServeLoop() {
       // the socket-level equivalent of Bye.
       return Status::Ok();
     }
-    PDS_ASSIGN_OR_RETURN(Message m, DecodeMessage(frame.value()));
+    ++frame_index_;
+    auto decoded = DecodeMessage(frame.value());
+    if (!decoded.ok()) {
+      // A garbled frame indicts the frame, not the session — answer with a
+      // transient error so the SSI can retry, but give up on a stream that
+      // keeps producing garbage.
+      if (++malformed_seen_ > kMaxMalformedFrames) {
+        return Status::Corruption("too many malformed frames from the SSI");
+      }
+      ErrorMsg err{3, "malformed frame"};
+      PDS_RETURN_IF_ERROR(SendFrame(EncodeError(err)));
+      continue;
+    }
+    Message m = std::move(decoded.value());
+    if (m.checksummed) {
+      peer_checksummed_ = true;  // mirror the trailer from now on
+    }
     if (std::get_if<ByeMsg>(&m.body) != nullptr) {
       return Status::Ok();
     }
@@ -192,11 +426,22 @@ Status TokenClient::ServeLoop() {
     const RoundRequestMsg* req = std::get_if<RoundRequestMsg>(&m.body);
     if (req == nullptr) {
       ErrorMsg err{1, "unexpected message type"};
-      PDS_RETURN_IF_ERROR(transport_->Send(EncodeError(err)));
+      PDS_RETURN_IF_ERROR(SendFrame(EncodeError(err)));
       continue;
     }
-    if (fail_budget_ > 0) {
-      --fail_budget_;  // fault injection: swallow the request silently
+    if (req->header.round_id < highest_round_) {
+      // Replay of an already-answered round (an equal id is the SSI's
+      // legitimate retry of a request we never answered).
+      ErrorMsg err{4, "stale round replay rejected"};
+      PDS_RETURN_IF_ERROR(SendFrame(EncodeError(err)));
+      continue;
+    }
+    highest_round_ = req->header.round_id;
+    if (swallow_budget_ > 0) {
+      --swallow_budget_;  // fault plan: swallow the request silently
+      log_.Add({frame_index_, FaultKind::kSwallowRequest, "token",
+                "round " + std::to_string(req->header.round_id) +
+                    " swallowed"});
       continue;
     }
     // Parent this round's handler span under the SSI's round-trip span
@@ -207,33 +452,62 @@ Status TokenClient::ServeLoop() {
       remote.span_id = m.trace->parent_span_id;
       remote.sampled = m.trace->sampled;
     }
+    Status handled = Status::Ok();
     switch (req->header.kind) {
       case RoundKind::kCollect: {
         obs::Span span("net.round.collect", "net", remote);
-        PDS_RETURN_IF_ERROR(HandleCollect(*req));
+        handled = HandleCollect(*req);
         break;
       }
       case RoundKind::kAggregate: {
         obs::Span span("net.round.aggregate", "net", remote);
-        PDS_RETURN_IF_ERROR(HandleAggregate(*req));
+        handled = HandleAggregate(*req);
         break;
       }
       case RoundKind::kFinalize: {
         obs::Span span("net.round.finalize", "net", remote);
-        PDS_RETURN_IF_ERROR(HandleFinalize(*req));
+        handled = HandleFinalize(*req);
         break;
       }
       case RoundKind::kPackedCollect: {
         if (config_.packed == nullptr) {
           ErrorMsg err{2, "token has no packed-Paillier context"};
-          PDS_RETURN_IF_ERROR(transport_->Send(EncodeError(err)));
+          PDS_RETURN_IF_ERROR(SendFrame(EncodeError(err)));
           break;
         }
         obs::Span span("net.round.packed-collect", "net", remote);
-        PDS_RETURN_IF_ERROR(HandlePackedCollect(*req));
+        handled = HandlePackedCollect(*req);
+        break;
+      }
+      case RoundKind::kSealedCollect: {
+        obs::Span span("net.round.sealed-collect", "net", remote);
+        handled = HandleSealedCollect(*req);
+        break;
+      }
+      case RoundKind::kDetCollect: {
+        obs::Span span("net.round.det-collect", "net", remote);
+        handled = HandleDetCollect(*req);
+        break;
+      }
+      case RoundKind::kClassAggregate: {
+        obs::Span span("net.round.class-aggregate", "net", remote);
+        handled = HandleClassAggregate(*req);
         break;
       }
     }
+    if (!handled.ok()) {
+      if (!IsRequestFault(handled)) {
+        return handled;
+      }
+      if (++malformed_seen_ > kMaxMalformedFrames) {
+        return Status::Corruption("too many malformed rounds from the SSI");
+      }
+      ErrorMsg err{3, "malformed round request"};
+      PDS_RETURN_IF_ERROR(SendFrame(EncodeError(err)));
+      continue;
+    }
+    ++replies_since_connect_;
+    PDS_RETURN_IF_ERROR(MaybeChurn());
   }
   return Status::Ok();
 }

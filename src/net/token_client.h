@@ -3,14 +3,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "ac/policy.h"
+#include "common/rng.h"
 #include "global/common.h"
 #include "net/codec.h"
+#include "net/fault_injection.h"
 #include "net/transport.h"
 #include "pds/pds_node.h"
 
@@ -39,10 +42,22 @@ class TokenClient {
     uint32_t deadline_ms = 2000;
     /// Poll granularity of the serve loop (Stop() latency bound).
     uint32_t poll_ms = 50;
-    /// Fault injection: silently swallow the first N round requests (the
-    /// request is consumed but never answered), simulating a flaky link or
-    /// a busy token. The SSI's retry of the same round is then served.
-    uint32_t fail_first_requests = 0;
+    /// Seed-driven token-level fault plan. `swallow_first` and
+    /// `disconnect_after_replies` are consumed here; the link-level rates
+    /// belong on a FaultInjectingTransport wrapping the transport instead.
+    /// Every realized fault lands in injection_log() — print it on test
+    /// failure and the scenario reproduces from the seed alone.
+    FaultPlan faults;
+    /// Reconnect factory for churn: returns a fresh transport whose peer
+    /// end the harness has handed to SsiServer::ReadmitSession. Null means
+    /// a churned client simply stays gone (the SSI degrades to quorum).
+    std::function<Result<std::unique_ptr<Transport>>()> reconnect;
+    /// Reconnect attempt k sleeps backoff*k plus a seeded jitter in
+    /// [0, backoff] before dialing — a thundering herd of churned tokens
+    /// must not re-arrive in lockstep.
+    uint32_t reconnect_backoff_ms = 5;
+    /// Bound on reconnect attempts across the client's lifetime.
+    uint32_t max_reconnects = 2;
     /// Packed-Paillier context (the querier's public packing parameters,
     /// distributed out of band before the round). Required to answer
     /// kPackedCollect rounds; null tokens refuse them with an ErrorMsg.
@@ -60,7 +75,9 @@ class TokenClient {
   [[nodiscard]] Status Connect();
 
   /// Answers rounds until Bye, transport close, or Stop(). Returns Ok on a
-  /// clean shutdown.
+  /// clean shutdown. A transport that closes mid-session triggers the
+  /// reconnect/backoff loop when the fault plan churned us and a reconnect
+  /// factory is configured; otherwise close is a clean goodbye.
   [[nodiscard]] Status ServeLoop();
 
   /// Connect() + ServeLoop() on a background thread.
@@ -71,17 +88,47 @@ class TokenClient {
 
   [[nodiscard]] const Transport& transport() const { return *transport_; }
 
+  /// Token-level realized faults (swallows, churns) for scenario repro.
+  [[nodiscard]] const InjectionLog& injection_log() const { return log_; }
+
  private:
   [[nodiscard]] mcu::SecureToken* token() const;
+  /// The handshake half of Connect(), reused on reconnect: a returning
+  /// token must re-prove fleet membership against a FRESH challenge.
+  [[nodiscard]] Status Handshake();
+  /// All frames leave through here: mirrors the SSI's checksum trailer once
+  /// one has been seen on the inbound side.
+  [[nodiscard]] Status SendFrame(const Bytes& frame);
+  /// Single egress point for decrypted per-group aggregates.
+  [[nodiscard]] Status SendAggResult(const AggResultMsg& reply);
+  /// Fault-plan churn: after enough replies, close the transport, back off
+  /// with seeded jitter, and re-handshake over a fresh connection.
+  [[nodiscard]] Status MaybeChurn();
   [[nodiscard]] Status HandleCollect(const RoundRequestMsg& req);
   [[nodiscard]] Status HandleAggregate(const RoundRequestMsg& req);
   [[nodiscard]] Status HandleFinalize(const RoundRequestMsg& req);
   [[nodiscard]] Status HandlePackedCollect(const RoundRequestMsg& req);
+  [[nodiscard]] Status HandleDetCollect(const RoundRequestMsg& req);
+  [[nodiscard]] Status HandleClassAggregate(const RoundRequestMsg& req);
+  [[nodiscard]] Status HandleSealedCollect(const RoundRequestMsg& req);
 
   std::unique_ptr<Transport> transport_;
   Config config_;
   std::vector<global::SourceTuple> tuples_;
-  uint32_t fail_budget_ = 0;
+  InjectionLog log_;
+  Rng rng_;  // jitter + fault draws, seeded from the fault plan
+  uint32_t swallow_budget_ = 0;
+  uint64_t frame_index_ = 0;          // frames received this session
+  uint64_t replies_since_connect_ = 0;
+  uint32_t reconnects_done_ = 0;
+  /// Highest round id answered so far: a request below it is a replay of an
+  /// already-answered round and gets refused (an equal id is the SSI's
+  /// legitimate retry of an unanswered request).
+  uint32_t highest_round_ = 0;
+  /// Set once an inbound frame carried a checksum trailer; all frames we
+  /// send afterwards mirror it.
+  bool peer_checksummed_ = false;
+  uint32_t malformed_seen_ = 0;
   std::atomic<bool> stop_{false};
   std::thread thread_;
   Status loop_status_;

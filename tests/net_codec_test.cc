@@ -79,8 +79,8 @@ TEST(NetCodecTest, PackedCollectRoundKindRoundTrips) {
   EXPECT_TRUE(*decoded == req);
 
   // The kind byte sits after the header and the u32 round id; values past
-  // kPackedCollect are still corruption.
-  frame[kFrameHeaderSize + 4] = 5;
+  // kClassAggregate are still corruption.
+  frame[kFrameHeaderSize + 4] = 8;
   EXPECT_FALSE(DecodeMessage(ByteView(frame)).ok());
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/rng.h"
 #include "global/agg_protocols.h"
 #include "net/ssi_server.h"
@@ -159,10 +160,11 @@ TestFleet MakeTestFleet(size_t n, const char* key = "fleet-test") {
 }
 
 /// Connects `fleet` to a server over in-process transports; returns the
-/// running clients (caller joins them after Shutdown).
+/// running clients (caller joins them after Shutdown). Token 0's faults are
+/// seed-driven: on failure, print `clients[0]->injection_log().ToString()`
+/// and rerun with the same seed to reproduce the exact fault sequence.
 std::vector<std::unique_ptr<TokenClient>> ConnectClients(
-    SsiServer* server, TestFleet* fleet,
-    uint32_t fail_first_for_token0 = 0) {
+    SsiServer* server, TestFleet* fleet, FaultPlan faults_for_token0 = {}) {
   std::vector<std::unique_ptr<TokenClient>> clients;
   clients.reserve(fleet->participants.size());
   for (size_t i = 0; i < fleet->participants.size(); ++i) {
@@ -171,7 +173,7 @@ std::vector<std::unique_ptr<TokenClient>> ConnectClients(
     cfg.token = fleet->tokens[i].get();
     cfg.tuples = fleet->participants[i].tuples;
     if (i == 0) {
-      cfg.fail_first_requests = fail_first_for_token0;
+      cfg.faults = faults_for_token0;
     }
     auto client =
         std::make_unique<TokenClient>(std::move(client_end), std::move(cfg));
@@ -392,7 +394,7 @@ TEST(NetPackedAggTest, PackedRoundToleratesStragglersUnderQuorum) {
 
   SsiServer::Config scfg;
   scfg.verifier = wired.verifier.get();
-  scfg.deadline_ms = 100;
+  scfg.deadline_ms = ScaledMs(100);
   scfg.max_retries = 0;
   scfg.quorum = 0.5;
   SsiServer server(scfg);
@@ -404,7 +406,7 @@ TEST(NetPackedAggTest, PackedRoundToleratesStragglersUnderQuorum) {
     ccfg.tuples = wired.participants[i].tuples;
     ccfg.packed = ctx.agg.get();
     if (i == 0) {
-      ccfg.fail_first_requests = 10;  // token 0 never answers
+      ccfg.faults.swallow_first = 10;  // token 0 never answers
     }
     auto client =
         std::make_unique<TokenClient>(std::move(client_end), std::move(ccfg));
@@ -545,16 +547,21 @@ TEST(NetQuorumTest, DroppedTokenCompletesAtQuorum) {
   SsiServer::Config scfg;
   scfg.partition_capacity = 16;
   scfg.verifier = fleet.verifier.get();
-  scfg.deadline_ms = 150;
+  scfg.deadline_ms = ScaledMs(150);
   scfg.max_retries = 1;
-  scfg.backoff_ms = 5;
+  scfg.backoff_ms = ScaledMs(5);
   scfg.quorum = 0.8;  // 4 of 5 suffice
   SsiServer server(scfg);
   // Token 0 swallows every request it will ever see.
-  auto clients = ConnectClients(&server, &fleet, /*fail_first_for_token0=*/100);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.swallow_first = 100;
+  auto clients = ConnectClients(&server, &fleet, plan);
   auto output = server.RunSecureAggregation(AggFunc::kSum);
   JoinAll(&server, &clients);
-  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  ASSERT_TRUE(output.ok()) << output.status().ToString() << "\nfaults (seed "
+                           << plan.seed << "):\n"
+                           << clients[0]->injection_log().ToString();
 
   // The result covers exactly the four responders.
   std::vector<Participant> responders(fleet.participants.begin() + 1,
@@ -577,11 +584,14 @@ TEST(NetQuorumTest, FullQuorumFailsWhenTokenDrops) {
   SsiServer::Config scfg;
   scfg.partition_capacity = 16;
   scfg.verifier = fleet.verifier.get();
-  scfg.deadline_ms = 150;
+  scfg.deadline_ms = ScaledMs(150);
   scfg.max_retries = 0;
   scfg.quorum = 1.0;
   SsiServer server(scfg);
-  auto clients = ConnectClients(&server, &fleet, /*fail_first_for_token0=*/100);
+  FaultPlan plan;
+  plan.seed = 12;
+  plan.swallow_first = 100;
+  auto clients = ConnectClients(&server, &fleet, plan);
   auto output = server.RunSecureAggregation(AggFunc::kSum);
   JoinAll(&server, &clients);
   EXPECT_EQ(output.status().code(), StatusCode::kFailedPrecondition);
@@ -593,16 +603,22 @@ TEST(NetQuorumTest, RetryRecoversFlakyToken) {
   SsiServer::Config scfg;
   scfg.partition_capacity = 16;
   scfg.verifier = fleet.verifier.get();
-  scfg.deadline_ms = 150;
+  scfg.deadline_ms = ScaledMs(150);
   scfg.max_retries = 2;
-  scfg.backoff_ms = 5;
+  scfg.backoff_ms = ScaledMs(5);
   scfg.quorum = 1.0;
   SsiServer server(scfg);
   // Token 0 drops exactly one request; the retry of the same round lands.
-  auto clients = ConnectClients(&server, &fleet, /*fail_first_for_token0=*/1);
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.swallow_first = 1;
+  auto clients = ConnectClients(&server, &fleet, plan);
   auto output = server.RunSecureAggregation(AggFunc::kSum);
   JoinAll(&server, &clients);
-  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  ASSERT_TRUE(output.ok()) << output.status().ToString() << "\nfaults (seed "
+                           << plan.seed << "):\n"
+                           << clients[0]->injection_log().ToString();
+  EXPECT_EQ(clients[0]->injection_log().Count(FaultKind::kSwallowRequest), 1u);
 
   auto expected = global::PlainAggregate(fleet.participants, AggFunc::kSum);
   for (const auto& [group, value] : expected) {

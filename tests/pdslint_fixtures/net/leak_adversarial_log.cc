@@ -1,0 +1,30 @@
+// Planted leak for the adversarial reply path: a tampering-diagnosis
+// helper copies a secret-annotated ciphertext (the sealed payload under
+// audit, annotated because its MAC'd bytes identify the participant's
+// records) into the human-readable diagnostic string it prints when a
+// verdict fails. ctest asserts the secret-flow rule catches the print.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<uint8_t>;
+
+struct Verdict {
+  bool ok = true;
+  std::string problem;
+};
+
+// pdslint: secret(payload_ct)
+Verdict AuditTamperedReply(const Bytes& payload_ct, uint64_t participant) {
+  Verdict v;
+  v.ok = false;
+  std::string diag = "participant " + std::to_string(participant) + ": ";
+  for (uint8_t b : payload_ct) {
+    diag += static_cast<char>('a' + (b & 0x0f));
+  }
+  v.problem = diag;
+  std::printf("tampered reply: %s\n", diag.c_str());  // FLAG: ct in the log
+  return v;
+}

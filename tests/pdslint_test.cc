@@ -270,6 +270,23 @@ TEST(PdslintSecretFlow, CatchesPlantedFleetKeyFrameLeak) {
   EXPECT_NE(r.findings[0].message.find("EncodeHello"), std::string::npos);
 }
 
+TEST(PdslintSecretFlow, CatchesCiphertextCopiedIntoDiagnosticLog) {
+  // The adversarial-reply leak: a tampering-diagnosis helper folds a
+  // secret-annotated ciphertext into the diagnostic string it prints.
+  // Detection tooling must not become the exfiltration path.
+  Report r = Lint("net/leak_adversarial_log.cc");
+  std::vector<int> lines = LinesFor(r, Rule::kSecretFlow);
+  ASSERT_GE(lines.size(), 1u);
+  bool print_flagged = false;
+  for (size_t i = 0; i < r.findings.size(); ++i) {
+    if (r.findings[i].rule == Rule::kSecretFlow &&
+        r.findings[i].message.find("log/print") != std::string::npos) {
+      print_flagged = true;
+    }
+  }
+  EXPECT_TRUE(print_flagged) << pdslint::FormatFinding(r.findings.front());
+}
+
 TEST(PdslintSecretFlow, CatchesKeyMaterialFoldedIntoTraceId) {
   // The distributed-tracing leak: fleet-key bytes folded into a trace_id
   // that flows into the trace-context attacher. Trace ids travel cleartext
