@@ -109,6 +109,11 @@ struct RunRecord {
   double rtt_p90_us = 0;
   double rtt_p99_us = 0;
   double rtt_p999_us = 0;
+  // Samples behind the percentiles: loopback runs at small fleet sizes
+  // answer few round trips, and percentile tails from a handful of samples
+  // collapse onto each other. The validator only demands distinct tails
+  // above a sample-count threshold.
+  uint64_t rtt_samples = 0;
 };
 
 struct Scenario {
@@ -203,6 +208,7 @@ int RunScenario(const Scenario& sc, RunRecord* rec) {
   rec->rtt_p90_us = rtt.Percentile(90);
   rec->rtt_p99_us = rtt.Percentile(99);
   rec->rtt_p999_us = rtt.Percentile(99.9);
+  rec->rtt_samples = rtt.count();
   for (const auto& c : clients) {
     rec->frames += c->transport().frames_sent();
     rec->frames += c->transport().frames_received();
@@ -248,7 +254,8 @@ void WriteRecord(std::ostream& out, const RunRecord& r, bool last) {
       << ", \"rtt_p50_us\": " << r.rtt_p50_us
       << ", \"rtt_p90_us\": " << r.rtt_p90_us
       << ", \"rtt_p99_us\": " << r.rtt_p99_us
-      << ", \"rtt_p999_us\": " << r.rtt_p999_us << "}"
+      << ", \"rtt_p999_us\": " << r.rtt_p999_us
+      << ", \"rtt_samples\": " << r.rtt_samples << "}"
       << (last ? "\n" : ",\n");
 }
 

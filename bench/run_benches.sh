@@ -14,6 +14,11 @@
 # plus trace_net.json (the merged cross-process Chrome trace: token round
 # spans parented under SSI round-trip spans) at the repo root.
 #
+# With --sim, instead runs the simulated-fleet driver (secure aggregation
+# over SimTransport links on virtual time: the fleet-size sweep 1k -> 1M in
+# one process, quorum-sensitivity and churn-tolerance scenarios, and the
+# seed-determinism probe) and leaves BENCH_sim.json at the repo root.
+#
 # With --crypto, runs only the crypto hot path: the kernel-vs-scalar
 # ladder rungs (median of N repetitions after warmup) plus the
 # crypto_round_bench driver (per-op vs slot-packed Paillier fleet round at
@@ -22,7 +27,7 @@
 # The default (flagless) run produces the same file plus the fleet-executor
 # thread sweep.
 #
-# Usage: bench/run_benches.sh [--obs|--net|--crypto] [build_dir]
+# Usage: bench/run_benches.sh [--obs|--net|--sim|--crypto] [build_dir]
 #                             (default build_dir: build)
 set -euo pipefail
 
@@ -30,6 +35,7 @@ cd "$(dirname "$0")/.."
 
 OBS_MODE=0
 NET_MODE=0
+SIM_MODE=0
 CRYPTO_MODE=0
 if [[ "${1:-}" == "--obs" ]]; then
   OBS_MODE=1
@@ -37,11 +43,27 @@ if [[ "${1:-}" == "--obs" ]]; then
 elif [[ "${1:-}" == "--net" ]]; then
   NET_MODE=1
   shift
+elif [[ "${1:-}" == "--sim" ]]; then
+  SIM_MODE=1
+  shift
 elif [[ "${1:-}" == "--crypto" ]]; then
   CRYPTO_MODE=1
   shift
 fi
 BUILD_DIR="${1:-build}"
+
+if [[ "$SIM_MODE" == 1 ]]; then
+  if [[ ! -x "$BUILD_DIR/bench/sim_bench" ]]; then
+    echo "building sim_bench in $BUILD_DIR ..."
+    cmake --build "$BUILD_DIR" --target sim_bench
+  fi
+  echo "== sim_bench (simulated fleet sweep 1k -> 1M + quorum/churn/determinism) =="
+  "$BUILD_DIR/bench/sim_bench" --out BENCH_sim.json
+  if command -v python3 >/dev/null; then
+    python3 bench/validate_sim_json.py BENCH_sim.json bench/sim_schema.json
+  fi
+  exit 0
+fi
 
 if [[ "$NET_MODE" == 1 ]]; then
   if [[ ! -x "$BUILD_DIR/bench/net_bench" ]]; then

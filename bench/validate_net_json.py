@@ -13,7 +13,10 @@ Checks, stdlib-only (run by bench/run_benches.sh --net and the CI net job):
     rounds > 0;
   - round-trip latency percentiles are present on every record and, on
     successful sweep runs, positive and monotonic (p50 <= p90 <= p99 <=
-    p999);
+    p999); sweep records with at least `rtt_distinct_tail_min_samples`
+    round trips behind the histogram must additionally show genuinely
+    distinct tails (p50 < p999) — small-sample runs are exempt, since a
+    handful of answered attempts can legitimately land in one bucket;
   - the quorum section demonstrates both sides of the contract: a dropped
     token fails the run under quorum 1.0 and completes with a recorded
     shortfall under a sub-1.0 quorum;
@@ -47,6 +50,7 @@ def check_records(doc, schema, problems):
     sweep_transports = set()
     quorum_failed_full = False
     quorum_passed_short = False
+    tail_min = schema.get("rtt_distinct_tail_min_samples", 200)
     for i, rec in enumerate(records):
         where = f"record {i}"
         if not isinstance(rec, dict):
@@ -91,6 +95,14 @@ def check_records(doc, schema, problems):
                     problems.append(
                         f"{where}: round-trip percentiles not monotonic: "
                         f"{pcts}")
+                # Distinct tails are only a meaningful demand with enough
+                # samples behind the histogram; tiny runs get a pass.
+                if (rec.get("rtt_samples", 0) >= tail_min
+                        and pcts[0] >= pcts[-1]):
+                    problems.append(
+                        f"{where}: {rec.get('rtt_samples')} samples but the "
+                        f"latency tail is flat (p50 {pcts[0]} >= p999 "
+                        f"{pcts[-1]})")
         elif section == "quorum":
             if rec.get("quorum") == 1.0 and rec.get("dropped_tokens", 0) >= 1:
                 quorum_failed_full = quorum_failed_full or not rec["ok"]

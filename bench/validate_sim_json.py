@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validates BENCH_sim.json against bench/sim_schema.json.
+
+Usage: validate_sim_json.py [BENCH_sim.json] [schema.json]
+
+Checks, stdlib-only (run by bench/run_benches.sh --sim and the CI sim job):
+  - the file is {"records": [...], "determinism": {...}} with a non-empty
+    record list where every record carries the schema's required fields
+    with numeric values;
+  - the sweep covers at least `min_sweep_sizes` distinct fleet sizes, every
+    sweep run succeeded at full strength (responders == fleet_size) on
+    virtual time (sim_ms > 0), and wire accounting is consistent
+    (bytes == token->ssi + ssi->token, rounds > 0, frames > 0);
+  - round-trip percentiles are monotonic (p50 <= p90 <= p99 <= p999) and,
+    on records with at least `rtt_distinct_tail_min_samples` samples,
+    positive with genuinely distinct tails (p50 < p999) — small-sample
+    runs are exempt, mirroring validate_net_json.py;
+  - per-token memory accounting is present and the estimate scales
+    linearly (bytes_per_token * fleet_size == bytes_estimate);
+  - the quorum section demonstrates both sides of the contract: the
+    dropout population fails the run under quorum 1.0 and completes with
+    the shortfall recorded under a sub-1.0 quorum;
+  - the churn section holds a successful record with churned tokens
+    re-admitted and a full-strength responder count;
+  - the determinism record reports identical == true for its repeated
+    seeded runs.
+
+Exits 0 on success, 1 with a list of problems otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(problems):
+    for p in problems:
+        print(f"validate_sim_json: {p}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_records(doc, schema, problems):
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        problems.append("'records' missing, not a list, or empty")
+        return
+    sweep_sizes = set()
+    quorum_failed_full = False
+    quorum_passed_short = False
+    churn_ok = False
+    tail_min = schema.get("rtt_distinct_tail_min_samples", 200)
+    for i, rec in enumerate(records):
+        where = f"record {i}"
+        if not isinstance(rec, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in schema["required_record_fields"]:
+            if field not in rec:
+                problems.append(f"{where}: missing field '{field}'")
+        for field in schema["numeric_record_fields"]:
+            if field in rec and not is_number(rec[field]):
+                problems.append(f"{where}: '{field}' is not numeric")
+        section = rec.get("section")
+        if section not in schema["sections"]:
+            problems.append(f"{where}: unknown section {section!r}")
+        if not isinstance(rec.get("ok"), bool):
+            problems.append(f"{where}: 'ok' is not a bool")
+            continue
+        if rec["ok"]:
+            total = rec.get("bytes", 0)
+            t2s = rec.get("bytes_token_to_ssi", 0)
+            s2t = rec.get("bytes_ssi_to_token", 0)
+            if total != t2s + s2t:
+                problems.append(
+                    f"{where}: bytes ({total}) != token->ssi ({t2s}) + "
+                    f"ssi->token ({s2t})")
+            if total <= 0:
+                problems.append(f"{where}: successful run measured 0 bytes")
+            if rec.get("rounds", 0) <= 0:
+                problems.append(f"{where}: successful run reports 0 rounds")
+            if rec.get("frames", 0) <= 0:
+                problems.append(f"{where}: successful run delivered 0 frames")
+        pct_fields = schema.get("percentile_record_fields", [])
+        pcts = [rec.get(f) for f in pct_fields]
+        if all(is_number(p) for p in pcts) and pcts:
+            if any(a > b for a, b in zip(pcts, pcts[1:])):
+                problems.append(
+                    f"{where}: round-trip percentiles not monotonic: {pcts}")
+            # Distinct tails are only a meaningful demand with enough
+            # samples behind the histogram; tiny runs get a pass.
+            if rec.get("rtt_samples", 0) >= tail_min and rec["ok"]:
+                if pcts[0] <= 0:
+                    problems.append(
+                        f"{where}: {rec.get('rtt_samples')} samples but "
+                        f"{pct_fields[0]} = {pcts[0]}")
+                if pcts[0] >= pcts[-1]:
+                    problems.append(
+                        f"{where}: {rec.get('rtt_samples')} samples but the "
+                        f"latency tail is flat (p50 {pcts[0]} >= p999 "
+                        f"{pcts[-1]})")
+        if section == "sweep":
+            sweep_sizes.add(rec.get("fleet_size"))
+            if not rec["ok"]:
+                problems.append(f"{where}: sweep run failed")
+            if rec.get("responders") != rec.get("fleet_size"):
+                problems.append(
+                    f"{where}: sweep run lost responders "
+                    f"({rec.get('responders')}/{rec.get('fleet_size')})")
+            if rec.get("sim_ms", 0) <= 0:
+                problems.append(f"{where}: sweep run consumed no virtual time")
+            est = rec.get("mem_bytes_estimate", 0)
+            per = rec.get("mem_bytes_per_token", 0)
+            n = rec.get("fleet_size", 0)
+            if est <= 0 or per <= 0:
+                problems.append(f"{where}: missing memory accounting")
+            elif per * n != est:
+                problems.append(
+                    f"{where}: memory estimate not linear per token "
+                    f"({per} * {n} != {est})")
+        elif section == "quorum":
+            if rec.get("quorum") == 1.0 and rec.get("dropped_tokens", 0) >= 1:
+                quorum_failed_full = quorum_failed_full or not rec["ok"]
+            if (rec.get("quorum", 1.0) < 1.0
+                    and rec.get("dropped_tokens", 0) >= 1):
+                quorum_passed_short = quorum_passed_short or (
+                    rec["ok"] and rec.get("missing_tokens", 0) >= 1)
+        elif section == "churn":
+            churn_ok = churn_ok or (
+                rec["ok"] and rec.get("churned_tokens", 0) >= 1
+                and rec.get("responders") == rec.get("fleet_size"))
+    if len(sweep_sizes) < schema.get("min_sweep_sizes", 2):
+        problems.append(
+            f"sweep: only {len(sweep_sizes)} fleet sizes covered, need "
+            f">= {schema.get('min_sweep_sizes', 2)}")
+    if not quorum_failed_full:
+        problems.append(
+            "quorum: no failed record for the dropout population at "
+            "quorum 1.0")
+    if not quorum_passed_short:
+        problems.append(
+            "quorum: no successful record with a reported shortfall at "
+            "quorum < 1.0")
+    if not churn_ok:
+        problems.append(
+            "churn: no successful full-strength record with re-admitted "
+            "tokens")
+
+
+def check_determinism(doc, problems):
+    det = doc.get("determinism")
+    if not isinstance(det, dict):
+        problems.append("'determinism' missing or not an object")
+        return
+    if det.get("identical") is not True:
+        problems.append(
+            "determinism: repeated seeded runs were not identical")
+    if not is_number(det.get("runs")) or det.get("runs", 0) < 2:
+        problems.append("determinism: needs at least 2 runs")
+
+
+def main(argv):
+    bench_path = argv[1] if len(argv) > 1 else "BENCH_sim.json"
+    schema_path = argv[2] if len(argv) > 2 else "bench/sim_schema.json"
+
+    problems = []
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(bench_path) as f:
+        doc = json.load(f)
+    for field in schema.get("required_top_level", []):
+        if field not in doc:
+            problems.append(f"missing top-level field '{field}'")
+    check_records(doc, schema, problems)
+    check_determinism(doc, problems)
+    if problems:
+        fail(problems)
+    n = len(doc.get("records", []))
+    print(f"validate_sim_json: OK ({n} records)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -3,15 +3,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <limits>
+#include <thread>
 
 namespace pds {
-
-uint64_t MonotonicNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 namespace {
 
@@ -38,19 +32,42 @@ uint32_t ResolveTimeScale() {
   return kBuildScale;
 }
 
+class SteadyWallClock final : public Clock {
+ public:
+  [[nodiscard]] uint64_t NowNs() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void SleepMs(uint32_t ms) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+
+  [[nodiscard]] uint32_t ScaleBudgetMs(uint32_t ms) override {
+    uint64_t scaled = static_cast<uint64_t>(ms) * TimeScale();
+    if (scaled > std::numeric_limits<uint32_t>::max()) {
+      return std::numeric_limits<uint32_t>::max();
+    }
+    return static_cast<uint32_t>(scaled);
+  }
+};
+
 }  // namespace
+
+Clock* WallClock() {
+  static SteadyWallClock clock;
+  return &clock;
+}
+
+uint64_t MonotonicNanos() { return WallClock()->NowNs(); }
 
 uint32_t TimeScale() {
   static const uint32_t scale = ResolveTimeScale();
   return scale;
 }
 
-uint32_t ScaledMs(uint32_t ms) {
-  uint64_t scaled = static_cast<uint64_t>(ms) * TimeScale();
-  if (scaled > std::numeric_limits<uint32_t>::max()) {
-    return std::numeric_limits<uint32_t>::max();
-  }
-  return static_cast<uint32_t>(scaled);
-}
+uint32_t ScaledMs(uint32_t ms) { return WallClock()->ScaleBudgetMs(ms); }
 
 }  // namespace pds

@@ -5,12 +5,46 @@
 
 namespace pds {
 
-/// Monotonic wall-time in nanoseconds since an arbitrary epoch.
+/// Injectable monotonic clock behind every deadline, retry backoff, and
+/// latency timestamp in the wire runtime (SsiServer, TokenClient, fault
+/// injection). Two implementations exist:
 ///
-/// This is the *only* sanctioned wall-clock in the tree, and it is reserved
-/// for observability (span timestamps in src/obs): library logic stays
-/// deterministic (seeded RNGs, simulated flash latency from CostModel), so
-/// nothing that affects an output may read this.
+///  - the process-wide wall clock (`WallClock()`), backed by
+///    std::chrono::steady_clock, whose budget scaling applies the
+///    PDS_TIME_SCALE sanitizer de-flaking factor, and
+///  - `sim::SimClock`, a discrete-event virtual clock whose SleepMs/NowNs
+///    advance a seeded event queue instead of the host scheduler.
+///
+/// Library logic stays deterministic (seeded RNGs, simulated flash latency
+/// from CostModel): nothing that affects a protocol *output* may read a
+/// clock — time feeds only timeouts, pacing, and observability.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since this clock's arbitrary epoch.
+  [[nodiscard]] virtual uint64_t NowNs() = 0;
+
+  /// Blocks the caller for `ms` of this clock's time. On the wall clock
+  /// this is a real sleep; on a simulated clock it advances virtual time
+  /// (running any events that come due) and returns immediately.
+  virtual void SleepMs(uint32_t ms) = 0;
+
+  /// Scales a wall-clock budget (deadline, backoff, poll window) for this
+  /// clock. The wall clock multiplies by TimeScale() so sanitizer builds
+  /// don't race fixed sleeps; simulated clocks return `ms` unchanged —
+  /// virtual time runs at the same speed under any build. Callers that
+  /// configure the wire runtime scale their budgets exactly once, through
+  /// the clock that will enforce them.
+  [[nodiscard]] virtual uint32_t ScaleBudgetMs(uint32_t ms) { return ms; }
+};
+
+/// The process-wide steady_clock-backed Clock. Never null; never destroyed.
+[[nodiscard]] Clock* WallClock();
+
+/// Monotonic wall-time in nanoseconds — shorthand for
+/// `WallClock()->NowNs()`, kept for observability call sites (span
+/// timestamps in src/obs).
 uint64_t MonotonicNanos();
 
 /// Scenario clock scale factor for wall-clock budgets (deadlines, retry
@@ -22,8 +56,9 @@ uint64_t MonotonicNanos();
 /// cached; constant for the whole process.
 uint32_t TimeScale();
 
-/// `ms` scaled by TimeScale(), saturating at uint32 max. Use for every
-/// deadline/backoff a test passes to the wire runtime.
+/// `ms` scaled by TimeScale(), saturating at uint32 max — shorthand for
+/// `WallClock()->ScaleBudgetMs(ms)`. Use for every deadline/backoff a test
+/// passes to the wire runtime.
 uint32_t ScaledMs(uint32_t ms);
 
 }  // namespace pds

@@ -79,8 +79,13 @@ void InjectionLog::Clear() {
 }
 
 FaultInjectingTransport::FaultInjectingTransport(
-    std::unique_ptr<Transport> inner, FaultPlan plan, InjectionLog* log)
-    : inner_(std::move(inner)), plan_(plan), log_(log), rng_(plan.seed) {}
+    std::unique_ptr<Transport> inner, FaultPlan plan, InjectionLog* log,
+    Clock* clock)
+    : inner_(std::move(inner)),
+      plan_(plan),
+      log_(log),
+      clock_(clock != nullptr ? clock : WallClock()),
+      rng_(plan.seed) {}
 
 bool FaultInjectingTransport::BudgetLeft() const {
   return plan_.max_injections == 0 || injections_ < plan_.max_injections;
@@ -115,7 +120,7 @@ FaultInjectingTransport::Verdict FaultInjectingTransport::MutateFrame(
     std::snprintf(d, sizeof(d), "held %u ms",
                   static_cast<unsigned>(plan_.delay_ms));
     Log(index, FaultKind::kDelay, direction, d);
-    std::this_thread::sleep_for(std::chrono::milliseconds(plan_.delay_ms));
+    clock_->SleepMs(plan_.delay_ms);
   }
   if (truncate && BudgetLeft() && frame->size() > 1) {
     size_t cut = 1 + static_cast<size_t>(rng_.Uniform(

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/rng.h"
 #include "net/transport.h"
 
@@ -107,8 +108,11 @@ class InjectionLog {
 class FaultInjectingTransport : public Transport {
  public:
   /// `log` may be null (injections are then only counted internally).
+  /// `clock` backs the delay-fault sleep; null means the process wall
+  /// clock, and the simulation tier passes its SimClock so a held frame
+  /// consumes virtual time instead of stalling the event loop.
   FaultInjectingTransport(std::unique_ptr<Transport> inner, FaultPlan plan,
-                          InjectionLog* log);
+                          InjectionLog* log, Clock* clock = nullptr);
 
   [[nodiscard]] Status Send(ByteView frame) override;
   [[nodiscard]] Result<Bytes> Recv(uint32_t deadline_ms) override;
@@ -132,6 +136,7 @@ class FaultInjectingTransport : public Transport {
   std::unique_ptr<Transport> inner_;
   FaultPlan plan_;
   InjectionLog* log_;
+  Clock* clock_;  // never null: ctor arg or the wall clock
   Rng rng_;
   uint64_t injections_ = 0;
   uint64_t send_index_ = 0;

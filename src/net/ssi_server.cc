@@ -141,7 +141,9 @@ struct SsiServer::WireCost {
 };
 
 SsiServer::SsiServer(const Config& config)
-    : config_(config), trace_rng_(config.nonce_seed ^ 0x7472616365ULL) {}
+    : config_(config),
+      clock_(config.clock != nullptr ? config.clock : WallClock()),
+      trace_rng_(config.nonce_seed ^ 0x7472616365ULL) {}
 
 Bytes SsiServer::MaybeChecksum(Bytes frame) const {
   if (!config_.checksum_frames) {
@@ -211,6 +213,9 @@ Result<size_t> SsiServer::Handshake(std::unique_ptr<Transport> transport,
   session->transport = std::move(transport);
   session->token_id = hello.token_id;
   session->alive = true;
+  if (!config_.lean_sessions) {
+    session->stats = std::make_unique<SessionStats>();
+  }
   sessions_.push_back(std::move(session));
   return sessions_.size() - 1;
 }
@@ -252,28 +257,33 @@ Result<Message> SsiServer::RoundTrip(Session* s, const Bytes& frame,
     wire_frame = &rewritten;
   }
   // Admission-control gauge: bytes of this session's in-flight request.
-  s->stats.buffer_bytes.Set(static_cast<double>(wire_frame->size()));
+  SessionStats* stats = s->stats.get();
+  if (stats != nullptr) {
+    stats->buffer_bytes.Set(static_cast<double>(wire_frame->size()));
+  }
   for (uint32_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
     if (attempt > 0) {
       ++cost->retries;
       hooks.retries->Add(1);
-      s->stats.retries.Add(1);
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(config_.backoff_ms * attempt));
+      if (stats != nullptr) {
+        stats->retries.Add(1);
+      }
+      clock_->SleepMs(config_.backoff_ms * attempt);
     }
-    uint64_t attempt_start_ns = MonotonicNanos();
+    uint64_t attempt_start_ns = clock_->NowNs();
     PDS_RETURN_IF_ERROR(s->transport->Send(*wire_frame));
     cost->wire.AddSsiToToken(wire_frame->size());
     hooks.frames_sent->Add(1);
 
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::milliseconds(config_.deadline_ms);
+    const uint64_t deadline_ns =
+        clock_->NowNs() +
+        static_cast<uint64_t>(config_.deadline_ms) * 1000000ull;
     bool timed_out = false;
     while (!timed_out) {
-      int64_t left = std::chrono::duration_cast<std::chrono::milliseconds>(
-                         deadline - std::chrono::steady_clock::now())
-                         .count();
-      if (left <= 0) {
+      uint64_t now_ns = clock_->NowNs();
+      uint64_t left =
+          now_ns < deadline_ns ? (deadline_ns - now_ns) / 1000000ull : 0;
+      if (left == 0) {
         timed_out = true;
         break;
       }
@@ -284,7 +294,9 @@ Result<Message> SsiServer::RoundTrip(Session* s, const Bytes& frame,
           timed_out = true;
           break;
         }
-        s->stats.buffer_bytes.Set(0);
+        if (stats != nullptr) {
+          stats->buffer_bytes.Set(0);
+        }
         return recv.status();
       }
       Bytes reply = std::move(recv).value();
@@ -309,35 +321,49 @@ Result<Message> SsiServer::RoundTrip(Session* s, const Bytes& frame,
           hooks.frame_rejects->Add(1);
           continue;
         }
-        s->stats.buffer_bytes.Set(0);
+        if (stats != nullptr) {
+          stats->buffer_bytes.Set(0);
+        }
         return Status::FailedPrecondition("peer error: " + err->message);
       }
       const uint32_t* got = ReplyRoundId(m);
       if (got == nullptr) {
-        s->stats.buffer_bytes.Set(0);
+        if (stats != nullptr) {
+          stats->buffer_bytes.Set(0);
+        }
         return Status::FailedPrecondition("unexpected reply message type");
       }
       if (*got < round_id) {
         continue;  // stale answer to an earlier attempt/round; discard
       }
       if (*got > round_id) {
-        s->stats.buffer_bytes.Set(0);
+        if (stats != nullptr) {
+          stats->buffer_bytes.Set(0);
+        }
         return Status::Corruption("reply from a future round");
       }
       double rtt_us =
-          static_cast<double>(MonotonicNanos() - attempt_start_ns) / 1000.0;
-      s->stats.rtt_us.Record(rtt_us);
-      s->stats.round_trips.Add(1);
+          static_cast<double>(clock_->NowNs() - attempt_start_ns) / 1000.0;
+      if (stats != nullptr) {
+        stats->rtt_us.Record(rtt_us);
+        stats->round_trips.Add(1);
+      }
       rtt_us_.Record(rtt_us);
       hooks.round_trip_us->Record(rtt_us);
-      s->stats.buffer_bytes.Set(0);
+      if (stats != nullptr) {
+        stats->buffer_bytes.Set(0);
+      }
       return m;
     }
     ++cost->deadline_hits;
     hooks.deadline_hits->Add(1);
-    s->stats.deadline_hits.Add(1);
+    if (stats != nullptr) {
+      stats->deadline_hits.Add(1);
+    }
   }
-  s->stats.buffer_bytes.Set(0);
+  if (stats != nullptr) {
+    stats->buffer_bytes.Set(0);
+  }
   return Status::DeadlineExceeded("token did not answer round " +
                                   std::to_string(round_id) + " after " +
                                   std::to_string(config_.max_retries + 1) +
@@ -386,7 +412,7 @@ Result<AggOutput> SsiServer::RunSecureAggregation(AggFunc func) {
           if (!reply.ok()) {
             if (IsStragglerFailure(reply.status())) {
               s->alive = false;  // straggler: drop for the whole run
-              s->stats.stragglers.Add(1);
+              if (s->stats != nullptr) s->stats->stragglers.Add(1);
               return Status::Ok();
             }
             return reply.status();
@@ -632,7 +658,7 @@ Result<AggOutput> SsiServer::RunPackedAggregation(
           if (!reply.ok()) {
             if (IsStragglerFailure(reply.status())) {
               s->alive = false;  // straggler: drop for the whole run
-              s->stats.stragglers.Add(1);
+              if (s->stats != nullptr) s->stats->stragglers.Add(1);
               return Status::Ok();
             }
             return reply.status();
@@ -770,7 +796,7 @@ Result<AggOutput> SsiServer::RunDetAggregation(AggFunc func,
           if (!reply.ok()) {
             if (IsStragglerFailure(reply.status())) {
               s->alive = false;  // straggler: drop for the whole run
-              s->stats.stragglers.Add(1);
+              if (s->stats != nullptr) s->stats->stragglers.Add(1);
               return Status::Ok();
             }
             return reply.status();
@@ -912,7 +938,7 @@ Result<AggOutput> SsiServer::RunDetAggregation(AggFunc func,
             if (!st.ok()) {
               if (IsStragglerFailure(st)) {
                 s->alive = false;  // failover picks up this session's rest
-                s->stats.stragglers.Add(1);
+                if (s->stats != nullptr) s->stats->stragglers.Add(1);
                 return Status::Ok();
               }
               return st;
@@ -937,7 +963,7 @@ Result<AggOutput> SsiServer::RunDetAggregation(AggFunc func,
           recovered = true;
         } else if (IsStragglerFailure(st)) {
           s->alive = false;
-          s->stats.stragglers.Add(1);
+          if (s->stats != nullptr) s->stats->stragglers.Add(1);
         } else {
           return st;
         }
@@ -1019,7 +1045,7 @@ Result<SsiServer::SealedCollect> SsiServer::RunSealedCollect() {
         if (!reply.ok()) {
           if (IsStragglerFailure(reply.status())) {
             s->alive = false;
-            s->stats.stragglers.Add(1);
+            if (s->stats != nullptr) s->stats->stragglers.Add(1);
             return Status::Ok();
           }
           return reply.status();
@@ -1175,16 +1201,18 @@ std::vector<SsiServer::SessionTelemetry> SsiServer::Telemetry() const {
     SessionTelemetry t;
     t.token_id = s->token_id;
     t.alive = s->alive;
-    t.round_trips = s->stats.round_trips.Value();
-    t.retries = s->stats.retries.Value();
-    t.deadline_hits = s->stats.deadline_hits.Value();
-    t.stragglers = s->stats.stragglers.Value();
-    t.rtt_p50_us = s->stats.rtt_us.Percentile(50.0);
-    t.rtt_p90_us = s->stats.rtt_us.Percentile(90.0);
-    t.rtt_p99_us = s->stats.rtt_us.Percentile(99.0);
-    t.rtt_p999_us = s->stats.rtt_us.Percentile(99.9);
-    t.buffer_bytes = s->stats.buffer_bytes.Value();
-    t.buffer_high_water = s->stats.buffer_bytes.max();
+    if (s->stats != nullptr) {
+      t.round_trips = s->stats->round_trips.Value();
+      t.retries = s->stats->retries.Value();
+      t.deadline_hits = s->stats->deadline_hits.Value();
+      t.stragglers = s->stats->stragglers.Value();
+      t.rtt_p50_us = s->stats->rtt_us.Percentile(50.0);
+      t.rtt_p90_us = s->stats->rtt_us.Percentile(90.0);
+      t.rtt_p99_us = s->stats->rtt_us.Percentile(99.0);
+      t.rtt_p999_us = s->stats->rtt_us.Percentile(99.9);
+      t.buffer_bytes = s->stats->buffer_bytes.Value();
+      t.buffer_high_water = s->stats->buffer_bytes.max();
+    }
     out.push_back(t);
   }
   return out;

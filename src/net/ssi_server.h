@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/rng.h"
 #include "global/agg_protocols.h"
 #include "global/common.h"
@@ -59,6 +60,15 @@ class SsiServer {
     /// Weakly-malicious misbehaviour this server performs during runs (the
     /// scenario harness turns this on to prove querier-side detection).
     AdversaryPlan adversary;
+    /// Clock behind every deadline, retry backoff, and round-trip latency
+    /// measurement. Null means the process wall clock; the simulation tier
+    /// injects a sim::SimClock here so timeouts run in virtual time.
+    Clock* clock = nullptr;
+    /// Skip per-session telemetry (the ~2 KiB SessionStats histogram per
+    /// session). Million-session simulated fleets turn this on; Telemetry()
+    /// then reports zeroed counters. The fleet-wide rtt histogram and the
+    /// RoundReport stay exact either way.
+    bool lean_sessions = false;
   };
 
   /// What happened on the wire during the last protocol run.
@@ -207,7 +217,8 @@ class SsiServer {
     uint64_t token_id = 0;
     bool alive = false;
     uint32_t next_round_id = 1;
-    SessionStats stats;
+    /// Null under Config::lean_sessions (million-session fleets).
+    std::unique_ptr<SessionStats> stats;
   };
   struct WireCost;  // per-work-unit wire accounting (defined in the .cc)
 
@@ -232,6 +243,7 @@ class SsiServer {
   [[nodiscard]] static bool IsStragglerFailure(const Status& s);
 
   Config config_;
+  Clock* clock_;  // never null: Config::clock or the wall clock
   std::vector<std::unique_ptr<Session>> sessions_;
   RoundReport report_;
   /// Monotonic handshake-challenge counter: a re-handshake must never see

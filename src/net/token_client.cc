@@ -54,6 +54,7 @@ bool IsRequestFault(const Status& s) {
 TokenClient::TokenClient(std::unique_ptr<Transport> transport, Config config)
     : transport_(std::move(transport)),
       config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock : WallClock()),
       rng_(config_.faults.seed),
       swallow_budget_(config_.faults.swallow_first) {}
 
@@ -71,7 +72,7 @@ mcu::SecureToken* TokenClient::token() const {
   return config_.token;
 }
 
-Status TokenClient::Connect() {
+Status TokenClient::PrepareTuples() {
   mcu::SecureToken* tok = token();
   if (tok == nullptr) {
     return Status::InvalidArgument("TokenClient needs a token or a PdsNode");
@@ -92,13 +93,16 @@ Status TokenClient::Connect() {
   } else {
     tuples_ = config_.tuples;
   }
+  return Status::Ok();
+}
+
+Status TokenClient::Connect() {
+  PDS_RETURN_IF_ERROR(PrepareTuples());
   return Handshake();
 }
 
-Status TokenClient::Handshake() {
+Status TokenClient::OnChallengeFrame(const Bytes& frame) {
   mcu::SecureToken* tok = token();
-  obs::Span span("net.token-connect", "net");
-  PDS_ASSIGN_OR_RETURN(Bytes frame, transport_->Recv(config_.deadline_ms));
   PDS_ASSIGN_OR_RETURN(Message cm, DecodeMessage(frame));
   if (cm.checksummed) {
     peer_checksummed_ = true;
@@ -110,13 +114,23 @@ Status TokenClient::Handshake() {
   HelloMsg hello;
   hello.token_id = tok->id();
   PDS_ASSIGN_OR_RETURN(hello.proof, tok->Attest(ByteView(challenge->nonce)));
-  PDS_RETURN_IF_ERROR(SendFrame(EncodeHello(hello)));
-  PDS_ASSIGN_OR_RETURN(Bytes ack_frame, transport_->Recv(config_.deadline_ms));
-  PDS_ASSIGN_OR_RETURN(HelloAckMsg ack, DecodeAs<HelloAckMsg>(ack_frame));
+  return SendFrame(EncodeHello(hello));
+}
+
+Status TokenClient::OnAckFrame(const Bytes& frame) {
+  PDS_ASSIGN_OR_RETURN(HelloAckMsg ack, DecodeAs<HelloAckMsg>(frame));
   if (!ack.accepted) {
     return Status::PermissionDenied("SSI refused the session");
   }
   return Status::Ok();
+}
+
+Status TokenClient::Handshake() {
+  obs::Span span("net.token-connect", "net");
+  PDS_ASSIGN_OR_RETURN(Bytes frame, transport_->Recv(config_.deadline_ms));
+  PDS_RETURN_IF_ERROR(OnChallengeFrame(frame));
+  PDS_ASSIGN_OR_RETURN(Bytes ack_frame, transport_->Recv(config_.deadline_ms));
+  return OnAckFrame(ack_frame);
 }
 
 Status TokenClient::SendFrame(const Bytes& frame) {
@@ -154,7 +168,7 @@ Status TokenClient::MaybeChurn() {
   uint32_t backoff =
       config_.reconnect_backoff_ms * reconnects_done_ +
       static_cast<uint32_t>(rng_.Uniform(config_.reconnect_backoff_ms + 1));
-  std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  clock_->SleepMs(backoff);
   PDS_ASSIGN_OR_RETURN(std::unique_ptr<Transport> fresh, config_.reconnect());
   transport_ = std::move(fresh);
   replies_since_connect_ = 0;
@@ -389,6 +403,114 @@ Status TokenClient::HandleSealedCollect(const RoundRequestMsg& req) {
   return SendFrame(EncodeTupleBatch(reply));
 }
 
+Status TokenClient::ServeFrame(const Bytes& frame, bool* done) {
+  *done = false;
+  ++frame_index_;
+  auto decoded = DecodeMessage(frame);
+  if (!decoded.ok()) {
+    // A garbled frame indicts the frame, not the session — answer with a
+    // transient error so the SSI can retry, but give up on a stream that
+    // keeps producing garbage.
+    if (++malformed_seen_ > kMaxMalformedFrames) {
+      return Status::Corruption("too many malformed frames from the SSI");
+    }
+    ErrorMsg err{3, "malformed frame"};
+    return SendFrame(EncodeError(err));
+  }
+  Message m = std::move(decoded.value());
+  if (m.checksummed) {
+    peer_checksummed_ = true;  // mirror the trailer from now on
+  }
+  if (std::get_if<ByeMsg>(&m.body) != nullptr) {
+    *done = true;
+    return Status::Ok();
+  }
+  if (std::get_if<PartitionMapMsg>(&m.body) != nullptr) {
+    return Status::Ok();  // layout announcement; the requests follow
+  }
+  const RoundRequestMsg* req = std::get_if<RoundRequestMsg>(&m.body);
+  if (req == nullptr) {
+    ErrorMsg err{1, "unexpected message type"};
+    return SendFrame(EncodeError(err));
+  }
+  if (req->header.round_id < highest_round_) {
+    // Replay of an already-answered round (an equal id is the SSI's
+    // legitimate retry of a request we never answered).
+    ErrorMsg err{4, "stale round replay rejected"};
+    return SendFrame(EncodeError(err));
+  }
+  highest_round_ = req->header.round_id;
+  if (swallow_budget_ > 0) {
+    --swallow_budget_;  // fault plan: swallow the request silently
+    log_.Add({frame_index_, FaultKind::kSwallowRequest, "token",
+              "round " + std::to_string(req->header.round_id) +
+                  " swallowed"});
+    return Status::Ok();
+  }
+  // Parent this round's handler span under the SSI's round-trip span
+  // when the frame carried trace context; the merged Chrome trace then
+  // shows one cross-process timeline per round.
+  obs::RemoteParent remote;
+  if (m.trace.has_value()) {
+    remote.span_id = m.trace->parent_span_id;
+    remote.sampled = m.trace->sampled;
+  }
+  Status handled = Status::Ok();
+  switch (req->header.kind) {
+    case RoundKind::kCollect: {
+      obs::Span span("net.round.collect", "net", remote);
+      handled = HandleCollect(*req);
+      break;
+    }
+    case RoundKind::kAggregate: {
+      obs::Span span("net.round.aggregate", "net", remote);
+      handled = HandleAggregate(*req);
+      break;
+    }
+    case RoundKind::kFinalize: {
+      obs::Span span("net.round.finalize", "net", remote);
+      handled = HandleFinalize(*req);
+      break;
+    }
+    case RoundKind::kPackedCollect: {
+      if (config_.packed == nullptr) {
+        ErrorMsg err{2, "token has no packed-Paillier context"};
+        return SendFrame(EncodeError(err));
+      }
+      obs::Span span("net.round.packed-collect", "net", remote);
+      handled = HandlePackedCollect(*req);
+      break;
+    }
+    case RoundKind::kSealedCollect: {
+      obs::Span span("net.round.sealed-collect", "net", remote);
+      handled = HandleSealedCollect(*req);
+      break;
+    }
+    case RoundKind::kDetCollect: {
+      obs::Span span("net.round.det-collect", "net", remote);
+      handled = HandleDetCollect(*req);
+      break;
+    }
+    case RoundKind::kClassAggregate: {
+      obs::Span span("net.round.class-aggregate", "net", remote);
+      handled = HandleClassAggregate(*req);
+      break;
+    }
+  }
+  if (!handled.ok()) {
+    if (!IsRequestFault(handled)) {
+      return handled;
+    }
+    if (++malformed_seen_ > kMaxMalformedFrames) {
+      return Status::Corruption("too many malformed rounds from the SSI");
+    }
+    ErrorMsg err{3, "malformed round request"};
+    return SendFrame(EncodeError(err));
+  }
+  ++replies_since_connect_;
+  return MaybeChurn();
+}
+
 Status TokenClient::ServeLoop() {
   while (!stop_.load()) {
     auto frame = transport_->Recv(config_.poll_ms);
@@ -400,116 +522,80 @@ Status TokenClient::ServeLoop() {
       // the socket-level equivalent of Bye.
       return Status::Ok();
     }
-    ++frame_index_;
-    auto decoded = DecodeMessage(frame.value());
-    if (!decoded.ok()) {
-      // A garbled frame indicts the frame, not the session — answer with a
-      // transient error so the SSI can retry, but give up on a stream that
-      // keeps producing garbage.
-      if (++malformed_seen_ > kMaxMalformedFrames) {
-        return Status::Corruption("too many malformed frames from the SSI");
-      }
-      ErrorMsg err{3, "malformed frame"};
-      PDS_RETURN_IF_ERROR(SendFrame(EncodeError(err)));
-      continue;
-    }
-    Message m = std::move(decoded.value());
-    if (m.checksummed) {
-      peer_checksummed_ = true;  // mirror the trailer from now on
-    }
-    if (std::get_if<ByeMsg>(&m.body) != nullptr) {
+    bool done = false;
+    PDS_RETURN_IF_ERROR(ServeFrame(frame.value(), &done));
+    if (done) {
       return Status::Ok();
     }
-    if (std::get_if<PartitionMapMsg>(&m.body) != nullptr) {
-      continue;  // layout announcement; the requests themselves follow
-    }
-    const RoundRequestMsg* req = std::get_if<RoundRequestMsg>(&m.body);
-    if (req == nullptr) {
-      ErrorMsg err{1, "unexpected message type"};
-      PDS_RETURN_IF_ERROR(SendFrame(EncodeError(err)));
-      continue;
-    }
-    if (req->header.round_id < highest_round_) {
-      // Replay of an already-answered round (an equal id is the SSI's
-      // legitimate retry of a request we never answered).
-      ErrorMsg err{4, "stale round replay rejected"};
-      PDS_RETURN_IF_ERROR(SendFrame(EncodeError(err)));
-      continue;
-    }
-    highest_round_ = req->header.round_id;
-    if (swallow_budget_ > 0) {
-      --swallow_budget_;  // fault plan: swallow the request silently
-      log_.Add({frame_index_, FaultKind::kSwallowRequest, "token",
-                "round " + std::to_string(req->header.round_id) +
-                    " swallowed"});
-      continue;
-    }
-    // Parent this round's handler span under the SSI's round-trip span
-    // when the frame carried trace context; the merged Chrome trace then
-    // shows one cross-process timeline per round.
-    obs::RemoteParent remote;
-    if (m.trace.has_value()) {
-      remote.span_id = m.trace->parent_span_id;
-      remote.sampled = m.trace->sampled;
-    }
-    Status handled = Status::Ok();
-    switch (req->header.kind) {
-      case RoundKind::kCollect: {
-        obs::Span span("net.round.collect", "net", remote);
-        handled = HandleCollect(*req);
-        break;
-      }
-      case RoundKind::kAggregate: {
-        obs::Span span("net.round.aggregate", "net", remote);
-        handled = HandleAggregate(*req);
-        break;
-      }
-      case RoundKind::kFinalize: {
-        obs::Span span("net.round.finalize", "net", remote);
-        handled = HandleFinalize(*req);
-        break;
-      }
-      case RoundKind::kPackedCollect: {
-        if (config_.packed == nullptr) {
-          ErrorMsg err{2, "token has no packed-Paillier context"};
-          PDS_RETURN_IF_ERROR(SendFrame(EncodeError(err)));
-          break;
-        }
-        obs::Span span("net.round.packed-collect", "net", remote);
-        handled = HandlePackedCollect(*req);
-        break;
-      }
-      case RoundKind::kSealedCollect: {
-        obs::Span span("net.round.sealed-collect", "net", remote);
-        handled = HandleSealedCollect(*req);
-        break;
-      }
-      case RoundKind::kDetCollect: {
-        obs::Span span("net.round.det-collect", "net", remote);
-        handled = HandleDetCollect(*req);
-        break;
-      }
-      case RoundKind::kClassAggregate: {
-        obs::Span span("net.round.class-aggregate", "net", remote);
-        handled = HandleClassAggregate(*req);
-        break;
-      }
-    }
-    if (!handled.ok()) {
-      if (!IsRequestFault(handled)) {
-        return handled;
-      }
-      if (++malformed_seen_ > kMaxMalformedFrames) {
-        return Status::Corruption("too many malformed rounds from the SSI");
-      }
-      ErrorMsg err{3, "malformed round request"};
-      PDS_RETURN_IF_ERROR(SendFrame(EncodeError(err)));
-      continue;
-    }
-    ++replies_since_connect_;
-    PDS_RETURN_IF_ERROR(MaybeChurn());
   }
   return Status::Ok();
+}
+
+Status TokenClient::StartPumped() {
+  if (config_.reconnect != nullptr) {
+    return Status::InvalidArgument(
+        "pumped mode cannot re-dial from inside the event loop; use a null "
+        "reconnect factory (churned tokens stay gone)");
+  }
+  if (pump_state_ != PumpState::kIdle) {
+    return Status::FailedPrecondition("StartPumped called twice");
+  }
+  PDS_RETURN_IF_ERROR(PrepareTuples());
+  pump_state_ = PumpState::kAwaitChallenge;
+  return Status::Ok();
+}
+
+Result<bool> TokenClient::PumpOnce() {
+  if (pump_state_ == PumpState::kIdle) {
+    return Status::FailedPrecondition("PumpOnce before StartPumped");
+  }
+  if (pump_state_ == PumpState::kDone) {
+    return false;
+  }
+  auto frame = transport_->Recv(0);
+  if (!frame.ok()) {
+    if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+      return true;  // nothing pending right now
+    }
+    // Transport closed: the socket-level equivalent of Bye (same clean
+    // outcome the blocking ServeLoop reports).
+    pump_state_ = PumpState::kDone;
+    loop_status_ = Status::Ok();
+    return false;
+  }
+  Status st = Status::Ok();
+  bool done = false;
+  switch (pump_state_) {
+    case PumpState::kAwaitChallenge:
+      st = OnChallengeFrame(frame.value());
+      if (st.ok()) {
+        pump_state_ = PumpState::kAwaitAck;
+      }
+      break;
+    case PumpState::kAwaitAck:
+      st = OnAckFrame(frame.value());
+      if (st.ok()) {
+        pump_state_ = PumpState::kServing;
+      }
+      break;
+    case PumpState::kServing:
+      st = ServeFrame(frame.value(), &done);
+      break;
+    default:
+      st = Status::FailedPrecondition("pump state machine out of sequence");
+      break;
+  }
+  if (!st.ok()) {
+    pump_state_ = PumpState::kDone;
+    loop_status_ = st;
+    return st;
+  }
+  if (done) {
+    pump_state_ = PumpState::kDone;
+    loop_status_ = Status::Ok();
+    return false;
+  }
+  return true;
 }
 
 void TokenClient::Start() {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ac/policy.h"
+#include "common/clock.h"
 #include "common/rng.h"
 #include "global/common.h"
 #include "net/codec.h"
@@ -62,6 +63,9 @@ class TokenClient {
     /// distributed out of band before the round). Required to answer
     /// kPackedCollect rounds; null tokens refuse them with an ErrorMsg.
     const crypto::PackedAggregate* packed = nullptr;
+    /// Clock behind the reconnect backoff sleep. Null means the process
+    /// wall clock; the simulation tier injects a sim::SimClock here.
+    Clock* clock = nullptr;
   };
 
   TokenClient(std::unique_ptr<Transport> transport, Config config);
@@ -86,16 +90,55 @@ class TokenClient {
   /// Joins the background thread and returns its final status.
   [[nodiscard]] Status Join();
 
+  /// Single-frame ("pumped") mode for the discrete-event simulator: no
+  /// thread, no blocking Recv — the event loop delivers frames one at a
+  /// time. StartPumped() runs Connect()'s tuple export and arms the
+  /// handshake state machine (the challenge has not necessarily arrived
+  /// yet); each PumpOnce() polls the transport once (Recv with a zero
+  /// deadline) and advances exactly one frame through the same
+  /// handshake/serve logic the blocking path uses. Requires a null
+  /// reconnect factory — a churned pumped client stays gone by design
+  /// (re-dialing from inside the event loop would recurse into it).
+  [[nodiscard]] Status StartPumped();
+
+  /// One pump step. Returns true while the session is live (including
+  /// "nothing pending right now"), false once it ended cleanly (Bye, or
+  /// transport closed after rounds), or the fatal error that killed it.
+  [[nodiscard]] Result<bool> PumpOnce();
+
+  /// True once PumpOnce() has seen the handshake through.
+  [[nodiscard]] bool pump_serving() const {
+    return pump_state_ == PumpState::kServing;
+  }
+  [[nodiscard]] bool pump_done() const {
+    return pump_state_ == PumpState::kDone;
+  }
+
   [[nodiscard]] const Transport& transport() const { return *transport_; }
 
   /// Token-level realized faults (swallows, churns) for scenario repro.
   [[nodiscard]] const InjectionLog& injection_log() const { return log_; }
 
  private:
+  /// Where the pumped session stands; blocking mode never leaves kIdle.
+  enum class PumpState { kIdle, kAwaitChallenge, kAwaitAck, kServing, kDone };
+
   [[nodiscard]] mcu::SecureToken* token() const;
+  /// The tuple-export half of Connect(): policy-checked ExportAs from a
+  /// PdsNode, or the pre-exported Config::tuples.
+  [[nodiscard]] Status PrepareTuples();
   /// The handshake half of Connect(), reused on reconnect: a returning
   /// token must re-prove fleet membership against a FRESH challenge.
   [[nodiscard]] Status Handshake();
+  /// One inbound handshake frame each — the shared bodies of the blocking
+  /// Handshake() and the pumped state machine. Byte-for-byte the same
+  /// decoding, attestation, and replies on both paths.
+  [[nodiscard]] Status OnChallengeFrame(const Bytes& frame);
+  [[nodiscard]] Status OnAckFrame(const Bytes& frame);
+  /// One serve-loop iteration over an already-received frame: decode,
+  /// replay/fault handling, dispatch to the round handler, reply. Sets
+  /// *done when the session ended cleanly (Bye).
+  [[nodiscard]] Status ServeFrame(const Bytes& frame, bool* done);
   /// All frames leave through here: mirrors the SSI's checksum trailer once
   /// one has been seen on the inbound side.
   [[nodiscard]] Status SendFrame(const Bytes& frame);
@@ -114,6 +157,8 @@ class TokenClient {
 
   std::unique_ptr<Transport> transport_;
   Config config_;
+  Clock* clock_;  // never null: Config::clock or the wall clock
+  PumpState pump_state_ = PumpState::kIdle;
   std::vector<global::SourceTuple> tuples_;
   InjectionLog log_;
   Rng rng_;  // jitter + fault draws, seeded from the fault plan

@@ -1,0 +1,50 @@
+#include "sim/sim_clock.h"
+
+#include <limits>
+#include <utility>
+
+namespace pds::sim {
+
+void SimClock::Schedule(uint64_t at_ns, std::function<void()> fn) {
+  Event e;
+  e.at_ns = at_ns < now_ns_ ? now_ns_ : at_ns;
+  e.seq = next_seq_++;
+  e.fn = std::move(fn);
+  events_.push(std::move(e));
+}
+
+void SimClock::AdvanceTo(uint64_t t_ns) {
+  // Events an in-flight closure schedules before `t_ns` run in this same
+  // pass: the loop re-reads the queue head every iteration.
+  while (!events_.empty() && events_.top().at_ns <= t_ns) {
+    RunOne();
+  }
+  if (t_ns > now_ns_) {
+    now_ns_ = t_ns;
+  }
+}
+
+bool SimClock::RunOne() {
+  if (events_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; the closure must be moved out before
+  // pop so it survives anything it schedules while running.
+  Event e = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  if (e.at_ns > now_ns_) {
+    now_ns_ = e.at_ns;
+  }
+  ++events_run_;
+  e.fn();
+  return true;
+}
+
+uint64_t SimClock::next_event_ns() const {
+  if (events_.empty()) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return events_.top().at_ns;
+}
+
+}  // namespace pds::sim

@@ -1,0 +1,238 @@
+#include "sim/sim_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pds::sim {
+
+void SimEventLog::RecordEvent(const SimEvent& event) {
+  entries_.push_back(event);
+}
+
+uint64_t SimEventLog::Count(SimEventKind kind) const {
+  uint64_t n = 0;
+  for (const SimEvent& e : entries_) {
+    if (e.kind == kind) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+SimNet::SimNet(SimClock* clock, LinkModel model, uint64_t seed)
+    : clock_(clock), model_(std::move(model)), rng_(seed) {}
+
+std::pair<std::unique_ptr<SimTransport>, std::unique_ptr<SimTransport>>
+SimNet::CreatePair(size_t max_queued) {
+  auto link = std::make_shared<Link>();
+  link->net = this;
+  link->id = next_link_id_++;
+  link->max_queued = max_queued;
+  auto a = std::make_unique<SimTransport>(SimTransport::Private{}, link, 0);
+  auto b = std::make_unique<SimTransport>(SimTransport::Private{}, link, 1);
+  return {std::move(a), std::move(b)};
+}
+
+bool SimNet::InPartition(uint64_t t_ns) const {
+  for (const PartitionWindow& w : model_.partitions) {
+    if (t_ns >= w.start_ns && t_ns < w.end_ns) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status SimNet::SendFrom(const std::shared_ptr<Link>& link, int from_side,
+                        ByteView frame) {
+  const int to_side = 1 - from_side;
+  LinkDir& dir = link->dirs[to_side];
+  if (dir.inbox.size() + dir.in_flight >= link->max_queued) {
+    return Status::ResourceExhausted("transport queue full");
+  }
+  ++stats_.frames_sent;
+  const uint64_t now_ns = clock_->NowNs();
+
+  // Per-frame draws happen in a fixed order regardless of outcome, so one
+  // seed pins the realization of every later frame no matter what happens
+  // to this one.
+  const bool lost = rng_.Bernoulli(model_.loss_rate);
+  const uint64_t jitter_us =
+      model_.jitter_us > 0 ? rng_.Uniform(model_.jitter_us + 1) : 0;
+  const bool reordered = rng_.Bernoulli(model_.reorder_rate);
+
+  if (InPartition(now_ns)) {
+    ++stats_.frames_partitioned;
+    if (log_events_) {
+      SimEvent e;
+      e.t_ns = now_ns;
+      e.link_id = link->id;
+      e.to_side = static_cast<uint8_t>(to_side);
+      e.kind = SimEventKind::kPartitioned;
+      e.bytes = static_cast<uint32_t>(frame.size());
+      log_.RecordEvent(e);
+    }
+    return Status::Ok();
+  }
+  if (lost) {
+    ++stats_.frames_lost;
+    if (log_events_) {
+      SimEvent e;
+      e.t_ns = now_ns;
+      e.link_id = link->id;
+      e.to_side = static_cast<uint8_t>(to_side);
+      e.kind = SimEventKind::kLost;
+      e.bytes = static_cast<uint32_t>(frame.size());
+      log_.RecordEvent(e);
+    }
+    return Status::Ok();
+  }
+
+  // Bandwidth serializes frames per direction: transmission starts when the
+  // link is free and holds it for size/rate.
+  uint64_t start_ns = std::max(now_ns, dir.next_free_ns);
+  if (model_.bandwidth_bytes_per_sec > 0) {
+    const uint64_t tx_ns = (static_cast<uint64_t>(frame.size()) * 1000000000ull) /
+                           model_.bandwidth_bytes_per_sec;
+    dir.next_free_ns = start_ns + tx_ns;
+  } else {
+    dir.next_free_ns = start_ns;
+  }
+  uint64_t arrival_ns =
+      dir.next_free_ns + (model_.base_latency_us + jitter_us) * 1000ull;
+  // FIFO clamp: without a reorder draw, no frame may overtake an earlier
+  // one on the same direction.
+  if (!reordered) {
+    arrival_ns = std::max(arrival_ns, dir.last_arrival_ns);
+  }
+  dir.last_arrival_ns = std::max(dir.last_arrival_ns, arrival_ns);
+
+  ++dir.in_flight;
+  clock_->Schedule(arrival_ns,
+                   [this, link, to_side, f = frame.ToBytes(), now_ns]() mutable {
+                     Deliver(link, to_side, std::move(f), now_ns);
+                   });
+  return Status::Ok();
+}
+
+void SimNet::Deliver(const std::shared_ptr<Link>& link, int to_side,
+                     Bytes frame, uint64_t sent_ns) {
+  LinkDir& dir = link->dirs[to_side];
+  --dir.in_flight;
+  ++stats_.frames_delivered;
+  stats_.bytes_delivered += frame.size();
+  if (log_events_) {
+    SimEvent e;
+    e.t_ns = sent_ns;
+    e.link_id = link->id;
+    e.to_side = static_cast<uint8_t>(to_side);
+    e.kind = SimEventKind::kDelivered;
+    e.bytes = static_cast<uint32_t>(frame.size());
+    e.arrival_ns = clock_->NowNs();
+    log_.RecordEvent(e);
+  }
+  // Frames in flight at Close still land in the inbox: InProcessTransport
+  // keeps queued frames poppable after close, and the churn anchor depends
+  // on the SSI reading a token's final reply after the link went down.
+  dir.inbox.push_back(std::move(frame));
+  if (dir.on_frame) {
+    dir.on_frame();
+  }
+}
+
+Status SimTransport::Send(ByteView frame) {
+  if (link_->closed) {
+    return Status::IoError("transport closed");
+  }
+  Status st = link_->net->SendFrom(link_, side_, frame);
+  if (!st.ok()) {
+    return st;
+  }
+  CountSent(frame.size());
+  return Status::Ok();
+}
+
+Result<Bytes> SimTransport::Recv(uint32_t deadline_ms) {
+  SimNet::LinkDir& dir = link_->dirs[side_];
+  SimClock* clock = link_->net->clock_;
+  if (deadline_ms == 0) {
+    // Pure poll from event context: never advances time (the driver owns
+    // the queue), pops even after close, mirrors InProcess error order.
+    // InProcess enqueues at Send time, so frames already on the wire at
+    // Close stay poppable there; catch up on deliveries that are due
+    // before conceding the link is drained.
+    while (dir.inbox.empty() && link_->closed && dir.in_flight > 0 &&
+           clock->next_event_ns() <= clock->NowNs()) {
+      clock->RunOne();
+    }
+    if (!dir.inbox.empty()) {
+      Bytes frame = std::move(dir.inbox.front());
+      dir.inbox.pop_front();
+      CountReceived(frame.size());
+      return frame;
+    }
+    if (link_->closed) {
+      return Status::IoError("transport closed");
+    }
+    return Status::DeadlineExceeded("recv deadline exceeded");
+  }
+  // Driver role: block by running the event queue until our frame lands or
+  // virtual time reaches the deadline.
+  const uint64_t deadline_ns =
+      clock->NowNs() + static_cast<uint64_t>(deadline_ms) * 1000000ull;
+  while (dir.inbox.empty()) {
+    // Frames already on the wire at Close still arrive (and InProcess
+    // keeps its queues poppable after close), so the link only reports
+    // closed once nothing is in flight toward us.
+    if (link_->closed && dir.in_flight == 0) {
+      return Status::IoError("transport closed");
+    }
+    if (clock->idle() || clock->next_event_ns() > deadline_ns) {
+      clock->AdvanceTo(deadline_ns);
+      return Status::DeadlineExceeded("recv deadline exceeded");
+    }
+    clock->RunOne();
+  }
+  Bytes frame = std::move(dir.inbox.front());
+  dir.inbox.pop_front();
+  CountReceived(frame.size());
+  return frame;
+}
+
+void SimTransport::Close() {
+  link_->closed = true;
+  // A closed endpoint must never be pumped again: a churned token's client
+  // object is about to be destroyed, so drop both reactive hooks.
+  link_->dirs[0].on_frame = nullptr;
+  link_->dirs[1].on_frame = nullptr;
+}
+
+bool SimTransport::closed() const { return link_->closed; }
+
+void SimTransport::set_on_frame(std::function<void()> fn) {
+  link_->dirs[side_].on_frame = std::move(fn);
+}
+
+Status FrameTap::Send(ByteView frame) {
+  Status st = inner_->Send(frame);
+  if (!st.ok()) {
+    return st;
+  }
+  Entry e;
+  e.outbound = true;
+  e.frame = frame.ToBytes();
+  entries_.push_back(std::move(e));
+  return Status::Ok();
+}
+
+Result<Bytes> FrameTap::Recv(uint32_t deadline_ms) {
+  Result<Bytes> r = inner_->Recv(deadline_ms);
+  if (r.ok()) {
+    Entry e;
+    e.outbound = false;
+    e.frame = r.value();
+    entries_.push_back(std::move(e));
+  }
+  return r;
+}
+
+}  // namespace pds::sim

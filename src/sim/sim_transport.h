@@ -1,0 +1,197 @@
+#ifndef PDS_SIM_SIM_TRANSPORT_H_
+#define PDS_SIM_SIM_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/transport.h"
+#include "sim/link_model.h"
+#include "sim/sim_clock.h"
+
+/// SimTransport — the simulated wire.
+///
+/// SimNet::CreatePair() hands out two connected net::Transport endpoints,
+/// exactly like InProcessTransport::CreatePair(), except delivery runs
+/// through the SimClock event queue under a LinkModel: Send draws loss /
+/// jitter / reorder from the net's single seeded RNG and schedules the
+/// frame's arrival; a blocking Recv *advances the event queue* until its
+/// frame lands or the (virtual) deadline passes. The error surface mirrors
+/// InProcessTransport verbatim — IoError("transport closed") after close,
+/// ResourceExhausted("transport queue full") past max_queued,
+/// DeadlineExceeded("recv deadline exceeded") on timeout — so the protocol
+/// layer cannot tell the two apart on an ideal link. Everything is
+/// single-threaded: one driver endpoint may block in Recv; every other
+/// endpoint must be reactive (set_on_frame + non-blocking Recv(0)).
+namespace pds::sim {
+
+/// What happened to a frame on the modeled link. Records carry sizes and
+/// timing only — never payload bytes: ciphertext stays out of event
+/// records by construction, and pdslint's secret-flow pass treats
+/// RecordEvent as a sink to keep it that way.
+enum class SimEventKind : uint8_t {
+  kDelivered = 1,    // frame landed in the destination inbox
+  kLost = 2,         // loss_rate draw consumed the frame
+  kPartitioned = 3,  // sent inside a partition window
+};
+
+struct SimEvent {
+  uint64_t t_ns = 0;     // virtual send time
+  uint32_t link_id = 0;  // which CreatePair() link
+  uint8_t to_side = 0;   // destination endpoint (0 or 1)
+  SimEventKind kind = SimEventKind::kDelivered;
+  uint32_t bytes = 0;
+  uint64_t arrival_ns = 0;  // virtual delivery time (kDelivered only)
+};
+
+/// Append-only log of link-level events, the simulation-tier sibling of
+/// net::InjectionLog: a failing fleet scenario replays from the seed and
+/// this log names every frame the model touched.
+class SimEventLog {
+ public:
+  // pdslint: sink(RecordEvent)
+  void RecordEvent(const SimEvent& event);
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+  [[nodiscard]] uint64_t Count(SimEventKind kind) const;
+  [[nodiscard]] const std::vector<SimEvent>& Entries() const {
+    return entries_;
+  }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<SimEvent> entries_;
+};
+
+class SimTransport;
+
+/// The fleet's modeled network: owns the LinkModel, the single seeded RNG
+/// every per-frame draw comes from, the event log, and aggregate counters.
+/// Lives as long as every transport it created.
+class SimNet {
+ public:
+  struct Stats {
+    uint64_t frames_sent = 0;       // accepted by Send (drawn upon)
+    uint64_t frames_delivered = 0;  // landed in an inbox
+    uint64_t frames_lost = 0;       // loss_rate casualties
+    uint64_t frames_partitioned = 0;
+    uint64_t bytes_delivered = 0;
+  };
+
+  SimNet(SimClock* clock, LinkModel model, uint64_t seed);
+
+  /// Two connected endpoints; each direction holds at most `max_queued`
+  /// undelivered frames (in flight + inbox) before Send returns
+  /// ResourceExhausted — the same bound InProcessTransport enforces.
+  [[nodiscard]] std::pair<std::unique_ptr<SimTransport>,
+                          std::unique_ptr<SimTransport>>
+  CreatePair(size_t max_queued = 1024);
+
+  [[nodiscard]] SimClock* clock() { return clock_; }
+  [[nodiscard]] const LinkModel& model() const { return model_; }
+  /// Swaps the link model mid-scenario (e.g. a lossless build phase, then
+  /// loss during protocol rounds — the handshake has no retry machinery).
+  /// Part of the scripted scenario, so determinism is unaffected.
+  void set_model(LinkModel model) { model_ = std::move(model); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const SimEventLog& event_log() const { return log_; }
+  /// Event logging is on by default; million-frame benches turn it off so
+  /// the log does not dominate memory.
+  void set_log_events(bool on) { log_events_ = on; }
+
+ private:
+  friend class SimTransport;
+
+  /// One direction of a link: frames *for* endpoint `side`.
+  struct LinkDir {
+    std::deque<Bytes> inbox;
+    size_t in_flight = 0;          // scheduled, not yet delivered
+    uint64_t last_arrival_ns = 0;  // FIFO clamp for in-order delivery
+    uint64_t next_free_ns = 0;     // bandwidth serialization horizon
+    std::function<void()> on_frame;
+  };
+  struct Link {
+    SimNet* net = nullptr;
+    uint32_t id = 0;
+    bool closed = false;
+    size_t max_queued = 1024;
+    LinkDir dirs[2];
+  };
+
+  [[nodiscard]] Status SendFrom(const std::shared_ptr<Link>& link,
+                                int from_side, ByteView frame);
+  void Deliver(const std::shared_ptr<Link>& link, int to_side, Bytes frame,
+               uint64_t sent_ns);
+  [[nodiscard]] bool InPartition(uint64_t t_ns) const;
+
+  SimClock* clock_;
+  LinkModel model_;
+  Rng rng_;
+  SimEventLog log_;
+  Stats stats_;
+  bool log_events_ = true;
+  uint32_t next_link_id_ = 0;
+};
+
+/// One endpoint of a simulated link. Blocking Recv drives the event queue
+/// (driver role); Recv(0) polls the inbox without advancing time (reactive
+/// role, paired with set_on_frame).
+class SimTransport final : public net::Transport {
+  /// Passkey: only SimNet::CreatePair can construct endpoints.
+  struct Private {
+    explicit Private() = default;
+  };
+
+ public:
+  SimTransport(Private, std::shared_ptr<SimNet::Link> link, int side)
+      : link_(std::move(link)), side_(side) {}
+
+  [[nodiscard]] Status Send(ByteView frame) override;
+  [[nodiscard]] Result<Bytes> Recv(uint32_t deadline_ms) override;
+  void Close() override;
+  [[nodiscard]] bool closed() const override;
+
+  /// Reactive delivery hook, invoked from event context right after a
+  /// frame lands in this endpoint's inbox. The callee typically drains it
+  /// with Recv(0). Must not block.
+  void set_on_frame(std::function<void()> fn);
+
+ private:
+  friend class SimNet;
+
+  std::shared_ptr<SimNet::Link> link_;
+  int side_;  // we receive from dirs[side_], send to the other
+};
+
+/// Transparent probe recording every frame that crosses a wrapped
+/// transport, in order, per direction — the instrument the anchor property
+/// tests use to compare a simulated run byte-for-byte against an
+/// in-process run. Single caller per direction, like the fault wrapper.
+class FrameTap final : public net::Transport {
+ public:
+  struct Entry {
+    bool outbound = false;  // true: Send() saw it; false: Recv() returned it
+    Bytes frame;
+  };
+
+  explicit FrameTap(std::unique_ptr<net::Transport> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] Status Send(ByteView frame) override;
+  [[nodiscard]] Result<Bytes> Recv(uint32_t deadline_ms) override;
+  void Close() override { inner_->Close(); }
+  [[nodiscard]] bool closed() const override { return inner_->closed(); }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::unique_ptr<net::Transport> inner_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pds::sim
+
+#endif  // PDS_SIM_SIM_TRANSPORT_H_

@@ -300,6 +300,37 @@ TEST(PdslintSecretFlow, CatchesKeyMaterialFoldedIntoTraceId) {
             std::string::npos);
 }
 
+TEST(PdslintSecretFlow, CatchesCiphertextInSimEventRecord) {
+  // The simulator leak: a secret-annotated Paillier ciphertext copied into
+  // the per-link event record and handed to the record sink. The sim event
+  // log is dumped wholesale by bench tooling, so it must only ever carry
+  // frame sizes and kinds — never payload bytes.
+  Report r = Lint("sim/leak_event_record.cc");
+  std::vector<int> lines = LinesFor(r, Rule::kSecretFlow);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], 35);
+  EXPECT_NE(r.findings[0].message.find("RecordEvent"), std::string::npos);
+}
+
+TEST(PdslintSimModule, SilentOnMetadataOnlyEventLog) {
+  // The sim module is under the embedded-RAM and secret-flow rules like
+  // net: a metadata-only event log with reserve-bounded growth is the
+  // idiom src/sim actually uses and must stay silent.
+  Report r = Lint("sim/good_event_record.cc");
+  EXPECT_TRUE(r.findings.empty())
+      << pdslint::FormatFinding(r.findings.front());
+}
+
+TEST(PdslintSimModule, SimIsUnderTheEmbeddedAndFramedRules) {
+  Options opts;
+  auto has = [](const std::vector<std::string>& v, const char* m) {
+    return std::find(v.begin(), v.end(), m) != v.end();
+  };
+  EXPECT_TRUE(has(opts.embedded_modules, "sim"));
+  EXPECT_TRUE(has(opts.nodiscard_modules, "sim"));
+  EXPECT_TRUE(has(opts.framed_modules, "sim"));
+}
+
 TEST(PdslintSecretFlow, FlagsAnySecretInSsiCompiledCode) {
   Report r = Lint("net/ssi_server_bad.cc");
   std::vector<int> lines = LinesFor(r, Rule::kSecretFlow);

@@ -70,18 +70,22 @@ struct Waiver {
 struct Options {
   /// Modules under the tiny-RAM rule (tutorial Part II: code that must run
   /// in the secure MCU's <128 KB of RAM; "net" includes the token-side wire
-  /// runtime, which shares that budget).
+  /// runtime, which shares that budget, and "sim" hosts a million token
+  /// endpoints in one process so its per-token state is held to the same
+  /// reserve-don't-grow discipline).
   std::vector<std::string> embedded_modules{"embdb", "search", "logstore",
-                                            "flash", "mcu", "net"};
+                                            "flash", "mcu", "net", "sim"};
   /// Modules whose headers must spell [[nodiscard]] on every
   /// Status/Result-returning declaration.
   std::vector<std::string> nodiscard_modules{"common", "crypto", "embdb",
                                              "logstore", "mcu", "flash",
-                                             "net"};
+                                             "net", "sim"};
   /// Modules whose Decode*/Deserialize*/Parse* functions handle untrusted
   /// wire input and must check declared lengths against a compile-time kMax*
-  /// bound before any allocation (the net-bounded-frame rule).
-  std::vector<std::string> framed_modules{"net"};
+  /// bound before any allocation (the net-bounded-frame rule). "sim"
+  /// carries real net::Frame bytes, so any decode helper it grows is under
+  /// the same rule.
+  std::vector<std::string> framed_modules{"net", "sim"};
   /// Basename prefixes of the crypto kernel files under the const-time rule
   /// (secret-dependent branches and secret-indexed loads are findings).
   std::vector<std::string> const_time_files{"montgomery", "bigint"};
